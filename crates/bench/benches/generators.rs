@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the synthetic workload generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use louvain_graph::gen::{
+    banded, erdos_renyi, grid3d, lfr, rmat, ssca2, weblike, BandedParams, ErdosRenyiParams,
+    Grid3dParams, LfrParams, RmatParams, Ssca2Params, WeblikeParams,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    let n = 20_000u64;
+    group.bench_function(BenchmarkId::new("lfr", n), |b| {
+        b.iter(|| black_box(lfr(LfrParams::small(n, 1)).graph.num_edges()));
+    });
+    group.bench_function(BenchmarkId::new("ssca2", n), |b| {
+        b.iter(|| black_box(ssca2(Ssca2Params::paper(n, 2)).graph.num_edges()));
+    });
+    group.bench_function(BenchmarkId::new("rmat", n), |b| {
+        b.iter(|| black_box(rmat(RmatParams::social(14, 8, 3)).graph.num_edges()));
+    });
+    group.bench_function(BenchmarkId::new("weblike", n), |b| {
+        b.iter(|| black_box(weblike(WeblikeParams::web(n, 4)).graph.num_edges()));
+    });
+    group.bench_function(BenchmarkId::new("grid3d", n), |b| {
+        b.iter(|| black_box(grid3d(Grid3dParams::cube(n, 5)).graph.num_edges()));
+    });
+    group.bench_function(BenchmarkId::new("banded", n), |b| {
+        b.iter(|| black_box(banded(BandedParams::channel_like(n, 6)).graph.num_edges()));
+    });
+    group.bench_function(BenchmarkId::new("erdos_renyi", n), |b| {
+        b.iter(|| {
+            black_box(
+                erdos_renyi(ErdosRenyiParams { n, avg_degree: 8.0, seed: 7 })
+                    .graph
+                    .num_edges(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

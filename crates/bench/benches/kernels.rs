@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the algorithmic kernels: modularity
+//! scan, one serial Louvain phase, shared-memory coarsening, greedy
+//! coloring, and a full distributed run at small scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use grappolo::{greedy_coloring, GrappoloConfig, ParallelLouvain};
+use louvain_dist::{run_distributed, serial_louvain, DistConfig};
+use louvain_graph::community::{coarsen, modularity, singleton_assignment};
+use louvain_graph::gen::{lfr, LfrParams};
+
+fn bench_modularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modularity");
+    for n in [1_000u64, 4_000, 16_000] {
+        let gen = lfr(LfrParams::small(n, 1));
+        let assignment = gen.ground_truth.clone().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(modularity(&gen.graph, &assignment)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_serial_louvain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serial_louvain");
+    group.sample_size(10);
+    for n in [1_000u64, 4_000] {
+        let gen = lfr(LfrParams::small(n, 2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(serial_louvain(&gen.graph, 1e-6).modularity));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grappolo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grappolo");
+    group.sample_size(10);
+    let gen = lfr(LfrParams::small(4_000, 3));
+    group.bench_function("default_4k", |b| {
+        b.iter(|| {
+            black_box(ParallelLouvain::new(GrappoloConfig::default()).run(&gen.graph).modularity)
+        });
+    });
+    group.bench_function("coloring_4k", |b| {
+        let cfg = GrappoloConfig { coloring: true, ..Default::default() };
+        b.iter(|| black_box(ParallelLouvain::new(cfg).run(&gen.graph).modularity));
+    });
+    group.finish();
+}
+
+fn bench_coarsen(c: &mut Criterion) {
+    let gen = lfr(LfrParams::small(8_000, 4));
+    let assignment = gen.ground_truth.clone().unwrap();
+    c.bench_function("coarsen_8k", |b| {
+        b.iter(|| black_box(coarsen(&gen.graph, &assignment).0.num_vertices()));
+    });
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let gen = lfr(LfrParams::small(8_000, 5));
+    c.bench_function("greedy_coloring_8k", |b| {
+        b.iter(|| black_box(greedy_coloring(&gen.graph).1.len()));
+    });
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed");
+    group.sample_size(10);
+    let gen = lfr(LfrParams::small(2_000, 6));
+    for p in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("baseline", p), &p, |b, &p| {
+            b.iter(|| {
+                black_box(run_distributed(&gen.graph, p, &DistConfig::baseline()).modularity)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_singleton_setup(c: &mut Criterion) {
+    c.bench_function("singleton_assignment_1M", |b| {
+        b.iter(|| black_box(singleton_assignment(1_000_000).len()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_modularity,
+    bench_serial_louvain,
+    bench_grappolo,
+    bench_coarsen,
+    bench_coloring,
+    bench_distributed,
+    bench_singleton_setup,
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figure 3 — strong scaling of the distributed Louvain implementation:
+//! execution time for every Table II graph over a sweep of process
+//! counts, for all six variants (Baseline, Threshold Cycling,
+//! ET/ETC × α∈{0.25, 0.75}).
+//!
+//! Times are the modeled job times (α-β communication + work-counter
+//! compute on the critical path); the paper's wall times on Cori cannot
+//! be reproduced on a laptop, but the *shape* — which variant wins, where
+//! scaling flattens — can. Run with
+//! `cargo run --release -p louvain-bench --bin fig3 [graph ...]` to
+//! restrict the graph set, and `LOUVAIN_SCALE=quick` for a fast pass.
+
+use louvain_bench::datasets::{registry, Scale};
+use louvain_bench::{harness, Table};
+use louvain_dist::DistConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let datasets: Vec<_> = if args.is_empty() {
+        registry()
+    } else {
+        registry()
+            .into_iter()
+            .filter(|d| args.iter().any(|a| a.eq_ignore_ascii_case(d.name)))
+            .collect()
+    };
+    let ranks = match scale {
+        Scale::Quick => vec![1usize, 2, 4, 8],
+        _ => vec![1usize, 2, 4, 8, 16, 32, 64],
+    };
+    let variants = DistConfig::paper_variants();
+
+    let mut tsv = String::from("graph\tvariant\tranks\tmodeled_s\twall_s\tmodularity\tphases\titerations\n");
+    for ds in &datasets {
+        let gen = ds.generate(scale);
+        let mut table = Table::new(
+            format!(
+                "Fig 3: strong scaling, {} (|V|={}, |E|={})",
+                ds.name,
+                gen.graph.num_vertices(),
+                gen.graph.num_edges()
+            ),
+            &["variant", "ranks", "modeled_s", "modularity", "phases", "iters"],
+        );
+        for &variant in &variants {
+            for &p in &ranks {
+                let r = harness::run_dist_once(ds.name, &gen.graph, p, variant);
+                table.add_row(vec![
+                    r.variant.clone(),
+                    p.to_string(),
+                    format!("{:.4}", r.modeled_seconds),
+                    format!("{:.4}", r.modularity),
+                    r.phases.to_string(),
+                    r.iterations.to_string(),
+                ]);
+                tsv.push_str(&format!(
+                    "{}\t{}\t{}\t{:.6}\t{:.6}\t{:.6}\t{}\t{}\n",
+                    r.graph,
+                    r.variant,
+                    r.ranks,
+                    r.modeled_seconds,
+                    r.wall_seconds,
+                    r.modularity,
+                    r.phases,
+                    r.iterations
+                ));
+            }
+            eprintln!("# {} / {} done", ds.name, variant.label());
+        }
+        table.print();
+    }
+
+    let path = louvain_bench::write_tsv("fig3_strong_scaling", &tsv).unwrap();
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! Figure 5 — convergence characteristics of nlpkkt240 (Baseline vs
+//! ET/ETC variants): (a) modularity at the end of each phase,
+//! (b) cumulative iterations per phase.
+//!
+//! Expected shape (paper): ET(0.75) stretches over many more phases with
+//! slow modularity growth; ET(0.25) converges in fewer phases; the two
+//! ETC variants look alike because the 90%-inactive exit, not τ, ends
+//! their phases.
+
+fn main() {
+    louvain_bench::harness::convergence_figure("nlpkkt240", "fig5");
+}

@@ -1,0 +1,9 @@
+//! Figure 6 — convergence characteristics of web-cc12-PayLevelDomain.
+//!
+//! Expected shape (paper): here the *aggressive* ET(0.75) beats ET(0.25)
+//! (fewer iterations per phase, ~16% faster) at the cost of ~4% lower
+//! modularity — the opposite trend to Fig 5's nlpkkt240.
+
+fn main() {
+    louvain_bench::harness::convergence_figure("web-cc12-PayLevelDomain", "fig6");
+}

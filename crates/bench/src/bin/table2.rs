@@ -1,0 +1,37 @@
+//! Table II — the test-graph inventory with the modularity reported by
+//! (serial) Grappolo. Paper columns: #Vertices, #Edges, Modularity.
+//! Here: stand-in sizes plus paper-vs-measured modularity.
+//!
+//! Expected shape: mesh and web graphs in the 0.93–0.99 band, social
+//! graphs near 0.47–0.48, the moderate web graphs around 0.62–0.69.
+
+use grappolo::{GrappoloConfig, ParallelLouvain};
+use louvain_bench::datasets::{registry, Scale};
+use louvain_bench::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut table = Table::new(
+        "Table II: test graphs (synthetic stand-ins) and Grappolo modularity",
+        &["graph", "paper_V", "paper_E", "standin_V", "standin_E", "paper_Q", "measured_Q"],
+    );
+
+    for ds in registry() {
+        let gen = ds.generate(scale);
+        let result = ParallelLouvain::new(GrappoloConfig::serial()).run(&gen.graph);
+        table.add_row(vec![
+            ds.name.to_string(),
+            ds.paper_vertices.to_string(),
+            ds.paper_edges.to_string(),
+            gen.graph.num_vertices().to_string(),
+            gen.graph.num_edges().to_string(),
+            format!("{:.3}", ds.paper_modularity),
+            format!("{:.3}", result.modularity),
+        ]);
+        eprintln!("# {} done (Q = {:.3})", ds.name, result.modularity);
+    }
+
+    table.print();
+    let path = table.write_tsv_named("table2_inventory").unwrap();
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,200 @@
+//! Laptop-scale stand-ins for the paper's test graphs (Table II).
+//!
+//! The paper's inputs range from 42.7M to 3.3B edges — far beyond a
+//! single development machine. Each registry entry generates a synthetic
+//! graph whose *structure* (and therefore Louvain behaviour: modularity
+//! level, convergence profile, which heuristic wins) mimics the original
+//! graph's class, at a size that runs in seconds. See DESIGN.md §2 for
+//! the substitution argument.
+
+use louvain_graph::gen::{
+    grid3d, lfr, weblike, Generated, Grid3dParams, LfrParams, WeblikeParams,
+};
+
+/// Structural class of a dataset — decides which generator stands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphClass {
+    /// Banded mesh / matrix structure (channel, nlpkkt240): near-uniform
+    /// degrees, very high modularity, ET-friendly.
+    Mesh,
+    /// Scale-free social network (orkut, twitter, sinaweibo): heavy-tailed
+    /// degrees, weak community structure (Q ≈ 0.47–0.48).
+    Social,
+    /// Web crawl (arabic, sk, uk, webbase): power-law host clusters,
+    /// Q ≈ 0.97–0.99.
+    Web,
+    /// Web-derived graph with moderate structure (wiki links, pay-level
+    /// domains): Q ≈ 0.67–0.69.
+    WebModerate,
+    /// Social network with pronounced clusters (friendster, Q ≈ 0.62).
+    SocialClustered,
+}
+
+/// Experiment scale, from the `LOUVAIN_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Quarter size — smoke-test the harness in seconds.
+    Quick,
+    /// Default size.
+    Default,
+    /// 4× size — closer shapes, minutes of runtime.
+    Full,
+}
+
+impl Scale {
+    /// Read `LOUVAIN_SCALE` (quick|default|full), defaulting to `Default`.
+    pub fn from_env() -> Scale {
+        match std::env::var("LOUVAIN_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            Ok("full") => Scale::Full,
+            _ => Scale::Default,
+        }
+    }
+
+    fn apply(&self, n: u64) -> u64 {
+        match self {
+            Scale::Quick => (n / 4).max(1_000),
+            Scale::Default => n,
+            Scale::Full => n * 4,
+        }
+    }
+
+}
+
+/// One paper graph and its synthetic stand-in.
+#[derive(Debug, Clone, Copy)]
+pub struct Dataset {
+    /// Name as printed in the paper.
+    pub name: &'static str,
+    /// Paper-reported size (for the Table II columns).
+    pub paper_vertices: &'static str,
+    pub paper_edges: &'static str,
+    /// Modularity reported by Grappolo in Table II.
+    pub paper_modularity: f64,
+    pub class: GraphClass,
+    /// Default-scale vertex count of the stand-in.
+    base_n: u64,
+    seed: u64,
+}
+
+impl Dataset {
+    /// Generate the stand-in graph at the given scale.
+    pub fn generate(&self, scale: Scale) -> Generated {
+        let n = scale.apply(self.base_n);
+        match self.class {
+            GraphClass::Mesh => grid3d(Grid3dParams::cube(n, self.seed)),
+            // LFR with μ≈0.5: weak community structure, Louvain lands at
+            // Q ≈ 0.47 like the paper's social networks. (A raw RMAT has
+            // Q < 0.2 — too unstructured to mimic Table II.)
+            GraphClass::Social => lfr(LfrParams {
+                mu: 0.52,
+                ..LfrParams::small(n, self.seed)
+            }),
+            GraphClass::Web => weblike(WeblikeParams {
+                n,
+                min_cluster: 8,
+                max_cluster: 128,
+                tau: 2.0,
+                intra_degree: 10.0,
+                inter_edges: 1,
+                seed: self.seed,
+            }),
+            GraphClass::WebModerate => weblike(WeblikeParams {
+                n,
+                min_cluster: 6,
+                max_cluster: 64,
+                tau: 2.0,
+                intra_degree: 8.0,
+                inter_edges: 30,
+                seed: self.seed,
+            }),
+            GraphClass::SocialClustered => lfr(LfrParams {
+                mu: 0.36,
+                ..LfrParams::small(n, self.seed)
+            }),
+        }
+    }
+}
+
+/// The 12 graphs of Table II, in the paper's (ascending-edge) order.
+pub fn registry() -> Vec<Dataset> {
+    vec![
+        Dataset { name: "channel", paper_vertices: "4.8M", paper_edges: "42.7M", paper_modularity: 0.943, class: GraphClass::Mesh, base_n: 12_000, seed: 101 },
+        Dataset { name: "com-orkut", paper_vertices: "3M", paper_edges: "117.1M", paper_modularity: 0.472, class: GraphClass::Social, base_n: 8_192, seed: 102 },
+        Dataset { name: "soc-sinaweibo", paper_vertices: "58.6M", paper_edges: "261.3M", paper_modularity: 0.482, class: GraphClass::Social, base_n: 16_384, seed: 103 },
+        Dataset { name: "twitter-2010", paper_vertices: "21.2M", paper_edges: "265M", paper_modularity: 0.478, class: GraphClass::Social, base_n: 16_384, seed: 104 },
+        Dataset { name: "nlpkkt240", paper_vertices: "27.9M", paper_edges: "401.2M", paper_modularity: 0.939, class: GraphClass::Mesh, base_n: 24_000, seed: 105 },
+        Dataset { name: "web-wiki-en-2013", paper_vertices: "27.1M", paper_edges: "601M", paper_modularity: 0.671, class: GraphClass::WebModerate, base_n: 24_000, seed: 106 },
+        Dataset { name: "arabic-2005", paper_vertices: "22.7M", paper_edges: "640M", paper_modularity: 0.989, class: GraphClass::Web, base_n: 26_000, seed: 107 },
+        Dataset { name: "webbase-2001", paper_vertices: "118M", paper_edges: "1B", paper_modularity: 0.983, class: GraphClass::Web, base_n: 32_000, seed: 108 },
+        Dataset { name: "web-cc12-PayLevelDomain", paper_vertices: "42.8M", paper_edges: "1.2B", paper_modularity: 0.687, class: GraphClass::WebModerate, base_n: 36_000, seed: 109 },
+        Dataset { name: "soc-friendster", paper_vertices: "65.6M", paper_edges: "1.8B", paper_modularity: 0.624, class: GraphClass::SocialClustered, base_n: 40_000, seed: 110 },
+        Dataset { name: "sk-2005", paper_vertices: "50.6M", paper_edges: "1.9B", paper_modularity: 0.971, class: GraphClass::Web, base_n: 44_000, seed: 111 },
+        Dataset { name: "uk-2007", paper_vertices: "105.8M", paper_edges: "3.3B", paper_modularity: 0.972, class: GraphClass::Web, base_n: 48_000, seed: 112 },
+    ]
+}
+
+/// The two Table I inputs (downloaded from the UFL collection in the
+/// paper): CNR (a web crawl with small-world characteristics) and Channel
+/// (a banded flow mesh).
+pub fn table1_datasets() -> Vec<Dataset> {
+    vec![
+        Dataset { name: "CNR", paper_vertices: "325K", paper_edges: "3.2M", paper_modularity: 0.9128, class: GraphClass::Web, base_n: 10_000, seed: 201 },
+        Dataset { name: "Channel", paper_vertices: "4.8M", paper_edges: "42.7M", paper_modularity: 0.9431, class: GraphClass::Mesh, base_n: 16_000, seed: 202 },
+    ]
+}
+
+/// Look up a dataset (paper graphs and Table I inputs) by name.
+pub fn dataset_by_name(name: &str) -> Option<Dataset> {
+    registry()
+        .into_iter()
+        .chain(table1_datasets())
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use louvain_graph::community::modularity;
+
+    #[test]
+    fn registry_has_twelve_graphs_in_paper_order() {
+        let r = registry();
+        assert_eq!(r.len(), 12);
+        assert_eq!(r[0].name, "channel");
+        assert_eq!(r[11].name, "uk-2007");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(dataset_by_name("soc-friendster").is_some());
+        assert!(dataset_by_name("CNR").is_some());
+        assert!(dataset_by_name("UK-2007").is_some());
+        assert!(dataset_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn quick_scale_shrinks() {
+        let d = dataset_by_name("uk-2007").unwrap();
+        let quick = d.generate(Scale::Quick).graph;
+        let def = d.generate(Scale::Default).graph;
+        assert!(quick.num_vertices() < def.num_vertices());
+    }
+
+    #[test]
+    fn web_class_stand_in_has_high_planted_modularity() {
+        let d = dataset_by_name("arabic-2005").unwrap();
+        let g = d.generate(Scale::Quick);
+        let q = modularity(&g.graph, g.ground_truth.as_ref().unwrap());
+        assert!(q > 0.9, "q = {q}");
+    }
+
+    #[test]
+    fn social_class_stand_in_has_weak_planted_structure() {
+        let d = dataset_by_name("com-orkut").unwrap();
+        let g = d.generate(Scale::Quick);
+        let q = modularity(&g.graph, g.ground_truth.as_ref().unwrap());
+        // μ ≈ 0.5 planted structure: clearly weaker than web graphs.
+        assert!(q < 0.6, "q = {q}");
+    }
+}

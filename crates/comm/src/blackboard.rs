@@ -1,0 +1,130 @@
+//! A reusable all-gather rendezvous shared by all ranks of a job.
+//!
+//! Every collective except `all_to_all_v` is built on one primitive: each
+//! rank deposits a value, waits until all `p` values are present, reads the
+//! full board, and the last reader resets the board for the next round.
+//! A generation counter plus a single condvar make the board safely
+//! reusable back-to-back (a fast rank cannot start round `g+1` while a slow
+//! rank is still reading round `g`).
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+struct State {
+    generation: u64,
+    slots: Vec<Option<Box<dyn Any + Send>>>,
+    filled: usize,
+    read: usize,
+}
+
+/// Shared rendezvous board; one per job, `Arc`-shared across ranks.
+pub(crate) struct Blackboard {
+    state: Mutex<State>,
+    cv: Condvar,
+    poison: Arc<AtomicBool>,
+    p: usize,
+}
+
+impl Blackboard {
+    pub fn new(p: usize, poison: Arc<AtomicBool>) -> Self {
+        Self {
+            state: Mutex::new(State {
+                generation: 0,
+                slots: (0..p).map(|_| None).collect(),
+                filled: 0,
+                read: 0,
+            }),
+            cv: Condvar::new(),
+            poison,
+            p,
+        }
+    }
+
+    fn check_poison(&self) {
+        if self.poison.load(Ordering::Relaxed) {
+            panic!("communicator poisoned: a peer rank panicked");
+        }
+    }
+
+    /// Deposit `value` for `rank`, wait for all ranks, then map the complete
+    /// board through `read`. Returns `read`'s result once every rank of the
+    /// current generation has deposited.
+    pub fn exchange<T, R, F>(&self, rank: usize, value: T, read: F) -> R
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut [Option<Box<dyn Any + Send>>]) -> R,
+    {
+        let mut s = self.state.lock();
+        // Wait out the read phase of the previous round.
+        while s.filled == self.p {
+            self.cv.wait_for(&mut s, std::time::Duration::from_millis(50));
+            self.check_poison();
+        }
+        debug_assert!(s.slots[rank].is_none(), "rank {rank} double deposit");
+        s.slots[rank] = Some(Box::new(value));
+        s.filled += 1;
+        let gen = s.generation;
+        if s.filled == self.p {
+            self.cv.notify_all();
+        }
+        while s.generation == gen && s.filled < self.p {
+            self.cv.wait_for(&mut s, std::time::Duration::from_millis(50));
+            self.check_poison();
+        }
+        let out = read(&mut s.slots);
+        s.read += 1;
+        if s.read == self.p {
+            for slot in s.slots.iter_mut() {
+                *slot = None;
+            }
+            s.filled = 0;
+            s.read = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+        }
+        out
+    }
+
+    /// Wake all waiters so they observe the poison flag.
+    pub fn poison_notify(&self) {
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn exchange_sums_across_threads() {
+        let p = 4;
+        let bb = Arc::new(Blackboard::new(p, Arc::new(AtomicBool::new(false))));
+        let handles: Vec<_> = (0..p)
+            .map(|r| {
+                let bb = Arc::clone(&bb);
+                std::thread::spawn(move || {
+                    let mut total = 0u64;
+                    for round in 0..100u64 {
+                        total += bb.exchange(r, r as u64 + round, |slots| {
+                            slots
+                                .iter()
+                                .map(|s| *s.as_ref().unwrap().downcast_ref::<u64>().unwrap())
+                                .sum::<u64>()
+                        });
+                    }
+                    total
+                })
+            })
+            .collect();
+        let results: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every round the board holds 0+1+2+3 + 4*round.
+        let expected: u64 = (0..100).map(|round| 6 + 4 * round).sum();
+        for r in results {
+            assert_eq!(r, expected);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The per-rank communicator handle.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::blackboard::Blackboard;
+use crate::cost::CostModel;
+use crate::envelope::{Envelope, Mailbox, Senders};
+use crate::reduce::{Reducible, ReduceOp};
+use crate::stats::CommStats;
+
+/// Message tag, matched together with the source rank on receive.
+pub type Tag = u32;
+
+/// One rank's endpoint into the simulated job.
+///
+/// A `Comm` is owned by exactly one rank (thread); it is `Send` but not
+/// `Sync`. All methods take `&self` — internal mutability covers the
+/// mailbox and statistics.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Senders,
+    mailbox: RefCell<Mailbox>,
+    blackboard: Arc<Blackboard>,
+    stats: CommStats,
+    cost: CostModel,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Senders,
+        mailbox: Mailbox,
+        blackboard: Arc<Blackboard>,
+        cost: CostModel,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            senders,
+            mailbox: RefCell::new(mailbox),
+            blackboard,
+            stats: CommStats::new(),
+            cost,
+        }
+    }
+
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Traffic counters recorded so far by this rank.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// The cost model used for modeled-time accounting.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    // ---------------------------------------------------------------
+    // Point-to-point
+    // ---------------------------------------------------------------
+
+    /// Send `data` to rank `dst` with tag `tag`. Never blocks (buffered).
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, data: Vec<T>) {
+        assert!(dst < self.size, "send to rank {dst} out of range (p={})", self.size);
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.stats.record_p2p(bytes, self.cost.p2p(bytes));
+        let env = Envelope { src: self.rank, tag, payload: Box::new(data) };
+        self.senders[dst].send(env).expect("peer mailbox closed");
+    }
+
+    /// Blocking receive of a message from `src` with tag `tag`.
+    ///
+    /// Panics if the payload type does not match what was sent — a type
+    /// confusion here is a programming error, not a runtime condition.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> Vec<T> {
+        let env = self.mailbox.borrow_mut().recv_matching(src, tag);
+        *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!(
+                "type mismatch receiving from rank {src} tag {tag}: expected Vec<{}>",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Collectives
+    // ---------------------------------------------------------------
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.stats.record_collective(0, self.cost.collective(self.size, 0));
+        self.blackboard.exchange(self.rank, (), |_| ());
+    }
+
+    /// Every rank contributes one value; every rank receives the vector of
+    /// all contributions indexed by rank.
+    pub fn all_gather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.stats
+            .record_collective(bytes, self.cost.collective(self.size, bytes));
+        self.blackboard.exchange(self.rank, value, |slots| {
+            slots
+                .iter()
+                .map(|s| s.as_ref().unwrap().downcast_ref::<T>().unwrap().clone())
+                .collect()
+        })
+    }
+
+    /// Global reduction; every rank receives the combined value.
+    pub fn all_reduce<T: Reducible>(&self, value: T, op: ReduceOp) -> T {
+        let bytes = T::wire_bytes();
+        self.stats
+            .record_collective(bytes, self.cost.collective(self.size, bytes));
+        self.blackboard.exchange(self.rank, value, |slots| {
+            slots
+                .iter()
+                .map(|s| *s.as_ref().unwrap().downcast_ref::<T>().unwrap())
+                .reduce(|a, b| T::combine(op, a, b))
+                .expect("non-empty job")
+        })
+    }
+
+    /// Exclusive prefix sum: rank `i` receives the sum of the values
+    /// contributed by ranks `0..i` (zero on rank 0). This is the primitive
+    /// behind the global renumbering step of graph reconstruction.
+    pub fn exscan_sum<T: Reducible>(&self, value: T) -> T {
+        let bytes = T::wire_bytes();
+        self.stats
+            .record_collective(bytes, self.cost.collective(self.size, bytes));
+        let rank = self.rank;
+        self.blackboard.exchange(self.rank, value, move |slots| {
+            slots[..rank]
+                .iter()
+                .map(|s| *s.as_ref().unwrap().downcast_ref::<T>().unwrap())
+                .fold(T::zero(), |a, b| T::combine(ReduceOp::Sum, a, b))
+        })
+    }
+
+    /// Broadcast `value` from `root` to all ranks. Non-root contributions
+    /// are ignored (pass any placeholder).
+    pub fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: T) -> T {
+        assert!(root < self.size);
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.stats
+            .record_collective(bytes, self.cost.collective(self.size, bytes));
+        self.blackboard.exchange(self.rank, value, |slots| {
+            slots[root].as_ref().unwrap().downcast_ref::<T>().unwrap().clone()
+        })
+    }
+
+    /// Gather variable-length buffers to `root`. Returns `Some(bufs)` on
+    /// the root (indexed by source rank) and `None` elsewhere.
+    pub fn gather_to_root<T: Send + 'static>(&self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        assert!(root < self.size);
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.stats
+            .record_collective(bytes, self.cost.collective(self.size, bytes));
+        let is_root = self.rank == root;
+        self.blackboard.exchange(self.rank, data, move |slots| {
+            if is_root {
+                Some(
+                    slots
+                        .iter_mut()
+                        .map(|s| {
+                            // Move the payload out; non-roots never read it and
+                            // the board is reset after the round completes.
+                            std::mem::take(
+                                s.as_mut().unwrap().downcast_mut::<Vec<T>>().unwrap(),
+                            )
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Irregular all-to-all: `bufs[j]` is sent to rank `j`; the result's
+    /// entry `i` holds what rank `i` sent here. `bufs` must have length
+    /// `size`. The self-buffer is moved, not copied through a channel.
+    pub fn all_to_all_v<T: Send + 'static>(&self, mut bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(bufs.len(), self.size, "all_to_all_v needs one buffer per rank");
+        const A2A_TAG: Tag = u32::MAX - 7;
+        let mine = std::mem::take(&mut bufs[self.rank]);
+        let mut nmsgs = 0u64;
+        let mut sent = 0u64;
+        for (dst, buf) in bufs.into_iter().enumerate() {
+            if dst == self.rank {
+                continue;
+            }
+            let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
+            nmsgs += 1;
+            sent += bytes;
+            let env = Envelope { src: self.rank, tag: A2A_TAG, payload: Box::new(buf) };
+            self.senders[dst].send(env).expect("peer mailbox closed");
+        }
+        self.stats
+            .record_p2p_batch(nmsgs, sent, self.cost.all_to_all(nmsgs, sent));
+        let mut out: Vec<Vec<T>> = (0..self.size).map(|_| Vec::new()).collect();
+        out[self.rank] = mine;
+        for (src, slot) in out.iter_mut().enumerate() {
+            if src == self.rank {
+                continue;
+            }
+            let env = self.mailbox.borrow_mut().recv_matching(src, A2A_TAG);
+            *slot = *env
+                .payload
+                .downcast::<Vec<T>>()
+                .expect("all_to_all_v type mismatch");
+        }
+        out
+    }
+
+    /// MPI-3-style neighborhood all-to-all (`MPI_Neighbor_alltoallv`):
+    /// exchange only with a fixed, **symmetric** set of topology
+    /// neighbors. `bufs[i]` goes to `neighbors[i]`; the result is aligned
+    /// with `neighbors`. Every rank must call this with a consistent
+    /// topology (if A lists B, B lists A) — the paper's future-work
+    /// optimization for the ghost exchange, where the communication graph
+    /// is fixed per phase and much sparser than all-to-all.
+    ///
+    /// Compared to [`Comm::all_to_all_v`], the α (per-message) cost scales
+    /// with the neighbor count instead of `p−1`.
+    pub fn neighbor_all_to_all_v<T: Send + 'static>(
+        &self,
+        neighbors: &[usize],
+        bufs: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
+        assert_eq!(
+            bufs.len(),
+            neighbors.len(),
+            "one buffer per topology neighbor"
+        );
+        const NBR_TAG: Tag = u32::MAX - 8;
+        let mut nmsgs = 0u64;
+        let mut sent = 0u64;
+        for (&dst, buf) in neighbors.iter().zip(bufs) {
+            assert!(dst < self.size && dst != self.rank, "bad neighbor {dst}");
+            let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
+            nmsgs += 1;
+            sent += bytes;
+            let env = Envelope { src: self.rank, tag: NBR_TAG, payload: Box::new(buf) };
+            self.senders[dst].send(env).expect("peer mailbox closed");
+        }
+        self.stats.record_p2p_batch(nmsgs, sent, self.cost.all_to_all(nmsgs, sent));
+        neighbors
+            .iter()
+            .map(|&src| {
+                let env = self.mailbox.borrow_mut().recv_matching(src, NBR_TAG);
+                *env.payload
+                    .downcast::<Vec<T>>()
+                    .expect("neighbor_all_to_all_v type mismatch")
+            })
+            .collect()
+    }
+
+    /// Number of messages sitting unreceived in this rank's mailbox —
+    /// should be zero at clean shutdown; asserted by the runtime in tests.
+    pub fn pending_messages(&self) -> usize {
+        self.mailbox.borrow().pending_len()
+    }
+}

@@ -1,0 +1,76 @@
+//! Point-to-point transport: tagged, typed envelopes delivered through
+//! per-rank mailboxes.
+//!
+//! Each rank owns one [`Mailbox`] (a crossbeam channel receiver plus a queue
+//! of messages that arrived before anyone asked for them). Out-of-order
+//! arrival is expected — MPI matches on `(source, tag)` and so do we.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+/// A single in-flight message: source rank, user tag, and payload.
+/// (Byte accounting happens on the send side, in `CommStats`.)
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: u32,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Receiving side of a rank's channel plus the "unexpected message queue".
+pub(crate) struct Mailbox {
+    rx: Receiver<Envelope>,
+    /// Messages received from the channel that did not match the
+    /// `(src, tag)` a caller was waiting for.
+    pending: Vec<Envelope>,
+    /// Set when any rank in the job panicked; blocked receives abort.
+    poison: Arc<AtomicBool>,
+}
+
+impl Mailbox {
+    pub fn new(rx: Receiver<Envelope>, poison: Arc<AtomicBool>) -> Self {
+        Self { rx, pending: Vec::new(), poison }
+    }
+
+    /// Blocking receive of the next envelope matching `(src, tag)`.
+    ///
+    /// Panics if the job is poisoned (another rank panicked) so the whole
+    /// run fails loudly instead of deadlocking.
+    pub fn recv_matching(&mut self, src: usize, tag: u32) -> Envelope {
+        if let Some(pos) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
+            // `remove`, not `swap_remove`: two buffered messages from the
+            // same (src, tag) stream must be delivered in arrival order,
+            // or consecutive all_to_all_v rounds would get swapped.
+            return self.pending.remove(pos);
+        }
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(env) => {
+                    if env.src == src && env.tag == tag {
+                        return env;
+                    }
+                    self.pending.push(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.poison.load(Ordering::Relaxed) {
+                        panic!("communicator poisoned: a peer rank panicked");
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("communicator channel disconnected while waiting for rank {src} tag {tag}");
+                }
+            }
+        }
+    }
+
+    /// Number of buffered (unexpected) messages; used by shutdown checks.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Sending endpoints to every rank in the job (index = destination rank).
+pub(crate) type Senders = Arc<Vec<Sender<Envelope>>>;

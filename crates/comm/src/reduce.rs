@@ -1,0 +1,79 @@
+//! Reduction operators for the scalar collectives.
+
+/// Reduction operator applied by [`crate::Comm::all_reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+/// Scalar types usable in reductions and scans.
+///
+/// Implemented for the numeric types the Louvain code actually reduces:
+/// `u64` (counts, prefix sums), `i64`, `f64` (modularity), `usize`.
+pub trait Reducible: Copy + Send + 'static {
+    fn zero() -> Self;
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self;
+    /// Accounted size in bytes for traffic statistics.
+    fn wire_bytes() -> u64 {
+        std::mem::size_of::<Self>() as u64
+    }
+}
+
+macro_rules! impl_reducible_int {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn zero() -> Self { 0 }
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible_int!(u32, u64, i64, usize);
+
+impl Reducible for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+        match op {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ops() {
+        assert_eq!(u64::combine(ReduceOp::Sum, 2, 3), 5);
+        assert_eq!(u64::combine(ReduceOp::Min, 2, 3), 2);
+        assert_eq!(u64::combine(ReduceOp::Max, 2, 3), 3);
+        assert_eq!(i64::combine(ReduceOp::Sum, -2, 3), 1);
+    }
+
+    #[test]
+    fn float_ops() {
+        assert_eq!(f64::combine(ReduceOp::Sum, 0.5, 0.25), 0.75);
+        assert_eq!(f64::combine(ReduceOp::Min, 0.5, 0.25), 0.25);
+        assert_eq!(f64::combine(ReduceOp::Max, 0.5, 0.25), 0.5);
+    }
+
+    #[test]
+    fn wire_bytes_match_size() {
+        assert_eq!(u64::wire_bytes(), 8);
+        assert_eq!(f64::wire_bytes(), 8);
+        assert_eq!(u32::wire_bytes(), 4);
+    }
+}

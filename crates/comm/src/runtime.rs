@@ -1,0 +1,451 @@
+//! Job launcher: spawns one thread per rank and hands each a [`Comm`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use crate::blackboard::Blackboard;
+use crate::comm::Comm;
+use crate::cost::CostModel;
+use crate::envelope::Mailbox;
+
+/// Launch-time options for a simulated job.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Communication cost model for modeled-time accounting.
+    pub cost: CostModel,
+    /// Thread stack size in bytes (graph workloads recurse little, but the
+    /// per-rank CSR builders can use deep temporary structures).
+    pub stack_size: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { cost: CostModel::default(), stack_size: 8 << 20 }
+    }
+}
+
+/// Run `f` on `p` simulated ranks and return the per-rank results in rank
+/// order. Panics (with the original message) if any rank panics; peer ranks
+/// blocked in communication calls abort via poisoning instead of hanging.
+pub fn run<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    run_with(p, RunConfig::default(), f)
+}
+
+/// [`run`] with explicit configuration.
+pub fn run_with<R, F>(p: usize, config: RunConfig, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Send + Sync,
+{
+    assert!(p > 0, "need at least one rank");
+    let poison = Arc::new(AtomicBool::new(false));
+    // The payload of the rank that panicked FIRST; secondary "poisoned"
+    // panics from blocked peers are discarded in its favour.
+    let first_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        parking_lot::Mutex::new(None);
+    let blackboard = Arc::new(Blackboard::new(p, Arc::clone(&poison)));
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..p).map(|_| unbounded()).unzip();
+    let senders = Arc::new(senders);
+
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, (rx, slot)) in receivers.into_iter().zip(results.iter_mut()).enumerate() {
+            let senders = Arc::clone(&senders);
+            let blackboard = Arc::clone(&blackboard);
+            let poison = Arc::clone(&poison);
+            let first_payload_ref = &first_payload;
+            let builder = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(config.stack_size);
+            let handle = builder
+                .spawn_scoped(scope, move || {
+                    let mailbox = Mailbox::new(rx, Arc::clone(&poison));
+                    let comm = Comm::new(rank, p, senders, mailbox, Arc::clone(&blackboard), config.cost);
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
+                    match out {
+                        Ok(r) => {
+                            *slot = Some(r);
+                            Ok(())
+                        }
+                        Err(payload) => {
+                            let was_first = !poison.swap(true, Ordering::SeqCst);
+                            if was_first {
+                                *first_payload_ref.lock() = Some(payload);
+                            }
+                            blackboard.poison_notify();
+                            Err(())
+                        }
+                    }
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+        let mut any_failed = false;
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                _ => any_failed = true,
+            }
+        }
+        if any_failed {
+            let payload = first_payload
+                .lock()
+                .take()
+                .unwrap_or_else(|| Box::new("rank thread failed without recorded payload"));
+            std::panic::resume_unwind(payload);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("rank finished without result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::ReduceOp;
+
+    #[test]
+    fn ranks_are_numbered_and_sized() {
+        let out = run(3, |c| (c.rank(), c.size()));
+        assert_eq!(out, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn single_rank_job_works() {
+        let out = run(1, |c| c.all_reduce(42u64, ReduceOp::Sum));
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn p2p_ring_passes_messages() {
+        let p = 4;
+        let out = run(p, |c| {
+            let next = (c.rank() + 1) % p;
+            let prev = (c.rank() + p - 1) % p;
+            c.send(next, 7, vec![c.rank() as u64]);
+            c.recv::<u64>(prev, 7)[0]
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn p2p_matches_by_tag_out_of_order() {
+        // Rank 0 sends two differently-tagged messages; rank 1 receives them
+        // in the opposite order.
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![10u32]);
+                c.send(1, 2, vec![20u32]);
+                vec![]
+            } else {
+                let b = c.recv::<u32>(0, 2);
+                let a = c.recv::<u32>(0, 1);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out[1], vec![10, 20]);
+    }
+
+    #[test]
+    fn all_reduce_sum_min_max() {
+        let out = run(4, |c| {
+            let v = c.rank() as u64 + 1; // 1..=4
+            (
+                c.all_reduce(v, ReduceOp::Sum),
+                c.all_reduce(v, ReduceOp::Min),
+                c.all_reduce(v, ReduceOp::Max),
+            )
+        });
+        for r in out {
+            assert_eq!(r, (10, 1, 4));
+        }
+    }
+
+    #[test]
+    fn all_reduce_f64() {
+        let out = run(3, |c| c.all_reduce(0.5 * (c.rank() as f64 + 1.0), ReduceOp::Sum));
+        for r in out {
+            assert!((r - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exscan_is_exclusive_prefix() {
+        let out = run(4, |c| c.exscan_sum((c.rank() as u64 + 1) * 10));
+        assert_eq!(out, vec![0, 10, 30, 60]);
+    }
+
+    #[test]
+    fn all_gather_collects_in_rank_order() {
+        let out = run(3, |c| c.all_gather(format!("r{}", c.rank())));
+        for v in out {
+            assert_eq!(v, vec!["r0", "r1", "r2"]);
+        }
+    }
+
+    #[test]
+    fn broadcast_takes_root_value() {
+        let out = run(4, |c| {
+            let v = if c.rank() == 2 { 99u64 } else { 0 };
+            c.broadcast(2, v)
+        });
+        assert_eq!(out, vec![99; 4]);
+    }
+
+    #[test]
+    fn gather_to_root_only_root_receives() {
+        let out = run(3, |c| c.gather_to_root(0, vec![c.rank() as u64; c.rank() + 1]));
+        assert_eq!(
+            out[0],
+            Some(vec![vec![0], vec![1, 1], vec![2, 2, 2]])
+        );
+        assert_eq!(out[1], None);
+        assert_eq!(out[2], None);
+    }
+
+    #[test]
+    fn all_to_all_v_routes_buffers() {
+        let p = 4;
+        let out = run(p, |c| {
+            let bufs: Vec<Vec<u64>> = (0..p)
+                .map(|dst| vec![(c.rank() * 100 + dst) as u64])
+                .collect();
+            c.all_to_all_v(bufs)
+        });
+        for (rank, received) in out.iter().enumerate() {
+            for (src, buf) in received.iter().enumerate() {
+                assert_eq!(buf, &vec![(src * 100 + rank) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_v_handles_empty_buffers() {
+        let p = 3;
+        let out = run(p, |c| {
+            // Only rank 0 sends anything, and only to rank 2.
+            let mut bufs: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+            if c.rank() == 0 {
+                bufs[2] = vec![5, 6];
+            }
+            c.all_to_all_v(bufs)
+        });
+        assert_eq!(out[2][0], vec![5, 6]);
+        assert!(out[1].iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_rounds() {
+        let out = run(4, |c| {
+            let mut acc = 0u64;
+            for i in 0..50u64 {
+                acc = acc.wrapping_add(c.all_reduce(i + c.rank() as u64, ReduceOp::Sum));
+                c.barrier();
+            }
+            acc
+        });
+        let expected: u64 = (0..50u64).map(|i| 4 * i + 6).sum();
+        assert_eq!(out, vec![expected; 4]);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![1u64, 2, 3]);
+            } else {
+                let _ = c.recv::<u64>(0, 3);
+            }
+            c.barrier();
+            c.stats().snapshot()
+        });
+        assert_eq!(out[0].p2p_messages, 1);
+        assert_eq!(out[0].p2p_bytes, 24);
+        assert_eq!(out[1].p2p_messages, 0);
+        assert_eq!(out[0].collective_calls, 1);
+        assert!(out[0].modeled_seconds > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate rank failure")]
+    fn rank_panic_propagates_without_deadlock() {
+        run(3, |c| {
+            if c.rank() == 1 {
+                panic!("deliberate rank failure");
+            }
+            // Other ranks block in a barrier rank 1 never reaches; they must
+            // be released by poisoning rather than hanging forever.
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn custom_cost_model_drives_modeled_time() {
+        use crate::cost::CostModel;
+        let free = run_with(2, RunConfig { cost: CostModel::free(), ..Default::default() }, |c| {
+            c.send((c.rank() + 1) % 2, 1, vec![0u64; 1000]);
+            let _ = c.recv::<u64>((c.rank() + 1) % 2, 1);
+            c.barrier();
+            c.stats().modeled_seconds()
+        });
+        assert_eq!(free, vec![0.0, 0.0]);
+        let slow = run_with(
+            2,
+            RunConfig { cost: CostModel { alpha: 1.0, beta: 0.0 }, ..Default::default() },
+            |c| {
+                c.send((c.rank() + 1) % 2, 1, vec![0u64; 1000]);
+                let _ = c.recv::<u64>((c.rank() + 1) % 2, 1);
+                c.stats().modeled_seconds()
+            },
+        );
+        // One p2p message at α=1s.
+        assert_eq!(slow, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn concurrent_jobs_are_isolated() {
+        // Two simulated jobs running at once must not cross wires.
+        let h1 = std::thread::spawn(|| run(3, |c| c.all_reduce(c.rank() as u64, ReduceOp::Sum)));
+        let h2 = std::thread::spawn(|| run(4, |c| c.all_reduce(1u64, ReduceOp::Sum)));
+        assert_eq!(h1.join().unwrap(), vec![3, 3, 3]);
+        assert_eq!(h2.join().unwrap(), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn all_gather_of_heterogeneous_struct() {
+        #[derive(Clone, Debug, PartialEq)]
+        struct Info {
+            rank: usize,
+            label: String,
+        }
+        let out = run(3, |c| {
+            c.all_gather(Info { rank: c.rank(), label: format!("r{}", c.rank()) })
+        });
+        for v in out {
+            assert_eq!(v.len(), 3);
+            assert_eq!(v[2], Info { rank: 2, label: "r2".into() });
+        }
+    }
+
+    #[test]
+    fn exscan_f64() {
+        let out = run(3, |c| c.exscan_sum(0.5 * (c.rank() as f64 + 1.0)));
+        assert_eq!(out, vec![0.0, 0.5, 1.5]);
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 2, (0..100_000u64).collect());
+                0
+            } else {
+                let v = c.recv::<u64>(0, 2);
+                v.iter().sum::<u64>()
+            }
+        });
+        assert_eq!(out[1], (0..100_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn neighbor_all_to_all_on_a_ring() {
+        let p = 4;
+        let out = run(p, |c| {
+            let left = (c.rank() + p - 1) % p;
+            let right = (c.rank() + 1) % p;
+            let neighbors = vec![left, right];
+            let bufs = vec![vec![c.rank() as u64 * 10], vec![c.rank() as u64 * 10 + 1]];
+            c.neighbor_all_to_all_v(&neighbors, bufs)
+        });
+        // Rank 1 hears from 0 (its right-buffer: 0*10+1) and 2 (left: 20).
+        assert_eq!(out[1], vec![vec![1], vec![20]]);
+        assert_eq!(out[0], vec![vec![31], vec![10]]);
+    }
+
+    #[test]
+    fn neighbor_all_to_all_with_empty_topology() {
+        let out = run(3, |c| c.neighbor_all_to_all_v::<u64>(&[], Vec::new()));
+        assert!(out.iter().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn neighbor_exchange_charges_fewer_messages_than_full() {
+        let p = 4;
+        let out = run(p, |c| {
+            // Full all-to-all…
+            let full: Vec<Vec<u64>> = (0..p).map(|_| vec![1]).collect();
+            let _ = c.all_to_all_v(full);
+            let after_full = c.stats().p2p_messages();
+            // …vs a single-neighbor exchange.
+            let nbr = [(c.rank() + 1) % p, (c.rank() + p - 1) % p];
+            let _ = c.neighbor_all_to_all_v(&nbr, vec![vec![1u64], vec![2u64]]);
+            let after_nbr = c.stats().p2p_messages();
+            (after_full, after_nbr - after_full)
+        });
+        for (full, nbr) in out {
+            assert_eq!(full, 3);
+            assert_eq!(nbr, 2);
+        }
+    }
+
+    #[test]
+    fn buffered_same_stream_messages_keep_arrival_order() {
+        // Regression: rank 0 floods rank 1 with many same-tag messages of
+        // alternating types while rank 1 is busy buffering them behind an
+        // unrelated receive; they must still be delivered in send order.
+        let out = run(3, |c| {
+            if c.rank() == 0 {
+                for i in 0..50u64 {
+                    c.send(1, 5, vec![i]); // u64 stream
+                    c.send(1, 5, vec![i as f64]); // f64 stream, same tag
+                }
+                c.send(1, 6, vec![1u8]);
+                vec![]
+            } else if c.rank() == 1 {
+                // First wait on rank 2 so rank 0's burst lands in `pending`.
+                let _ = c.recv::<u8>(2, 9);
+                let _ = c.recv::<u8>(0, 6);
+                let mut vals = Vec::new();
+                for _ in 0..50 {
+                    vals.push(c.recv::<u64>(0, 5)[0]);
+                    let f = c.recv::<f64>(0, 5)[0];
+                    assert_eq!(f, *vals.last().unwrap() as f64);
+                }
+                vals
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                c.send(1, 9, vec![0u8]);
+                vec![]
+            }
+        });
+        assert_eq!(out[1], (0..50u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixed_p2p_and_collectives() {
+        let p = 4;
+        let out = run(p, |c| {
+            // Shift a token around the ring, then verify with an all-reduce.
+            let next = (c.rank() + 1) % p;
+            let prev = (c.rank() + p - 1) % p;
+            let mut token = c.rank() as u64;
+            for _ in 0..p {
+                c.send(next, 9, vec![token]);
+                token = c.recv::<u64>(prev, 9)[0];
+            }
+            assert_eq!(token, c.rank() as u64);
+            c.all_reduce(token, ReduceOp::Sum)
+        });
+        assert_eq!(out, vec![6; 4]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-rank communication accounting.
+//!
+//! Every `Comm` method updates these counters; experiment harnesses read
+//! them to report communication volume and to feed the [`CostModel`]
+//! (the HPCToolkit-style breakdown of Section V-A of the paper is derived
+//! from exactly these numbers).
+
+use std::cell::Cell;
+
+/// Classification of recorded traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficKind {
+    /// Point-to-point sends (including the sends inside `all_to_all_v`).
+    PointToPoint,
+    /// Barriers, reductions, scans, gathers, broadcasts.
+    Collective,
+}
+
+/// Mutable per-rank counters. Each rank owns its `CommStats` exclusively
+/// (interior mutability via `Cell` keeps the `Comm` API `&self`).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    p2p_messages: Cell<u64>,
+    p2p_bytes: Cell<u64>,
+    collective_calls: Cell<u64>,
+    collective_bytes: Cell<u64>,
+    /// Modeled communication time (seconds) accumulated via the cost model.
+    modeled_seconds: Cell<f64>,
+}
+
+impl CommStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_p2p(&self, bytes: u64, modeled: f64) {
+        self.record_p2p_batch(1, bytes, modeled);
+    }
+
+    pub(crate) fn record_p2p_batch(&self, nmsgs: u64, bytes: u64, modeled: f64) {
+        self.p2p_messages.set(self.p2p_messages.get() + nmsgs);
+        self.p2p_bytes.set(self.p2p_bytes.get() + bytes);
+        self.modeled_seconds.set(self.modeled_seconds.get() + modeled);
+    }
+
+    pub(crate) fn record_collective(&self, bytes: u64, modeled: f64) {
+        self.collective_calls.set(self.collective_calls.get() + 1);
+        self.collective_bytes.set(self.collective_bytes.get() + bytes);
+        self.modeled_seconds.set(self.modeled_seconds.get() + modeled);
+    }
+
+    /// Number of point-to-point messages sent by this rank.
+    pub fn p2p_messages(&self) -> u64 {
+        self.p2p_messages.get()
+    }
+
+    /// Bytes sent point-to-point by this rank.
+    pub fn p2p_bytes(&self) -> u64 {
+        self.p2p_bytes.get()
+    }
+
+    /// Number of collective operations this rank participated in.
+    pub fn collective_calls(&self) -> u64 {
+        self.collective_calls.get()
+    }
+
+    /// Bytes this rank contributed to collectives.
+    pub fn collective_bytes(&self) -> u64 {
+        self.collective_bytes.get()
+    }
+
+    /// Modeled communication time in seconds (α-β model).
+    pub fn modeled_seconds(&self) -> f64 {
+        self.modeled_seconds.get()
+    }
+
+    /// Snapshot as a plain-old-data summary (for aggregation across ranks).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            p2p_messages: self.p2p_messages(),
+            p2p_bytes: self.p2p_bytes(),
+            collective_calls: self.collective_calls(),
+            collective_bytes: self.collective_bytes(),
+            modeled_seconds: self.modeled_seconds(),
+        }
+    }
+}
+
+/// Plain-old-data copy of [`CommStats`], summable across ranks.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    pub p2p_messages: u64,
+    pub p2p_bytes: u64,
+    pub collective_calls: u64,
+    pub collective_bytes: u64,
+    pub modeled_seconds: f64,
+}
+
+impl StatsSnapshot {
+    /// Element-wise accumulation (modeled time takes the max, matching the
+    /// bulk-synchronous critical path; counters sum).
+    pub fn merge_max_time(&mut self, other: &StatsSnapshot) {
+        self.p2p_messages += other.p2p_messages;
+        self.p2p_bytes += other.p2p_bytes;
+        self.collective_calls += other.collective_calls;
+        self.collective_bytes += other.collective_bytes;
+        self.modeled_seconds = self.modeled_seconds.max(other.modeled_seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = CommStats::new();
+        s.record_p2p(100, 0.5);
+        s.record_p2p(50, 0.25);
+        s.record_collective(8, 0.1);
+        assert_eq!(s.p2p_messages(), 2);
+        assert_eq!(s.p2p_bytes(), 150);
+        assert_eq!(s.collective_calls(), 1);
+        assert_eq!(s.collective_bytes(), 8);
+        assert!((s.modeled_seconds() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_merge_takes_time_max_and_counter_sum() {
+        let mut a = StatsSnapshot { p2p_messages: 1, p2p_bytes: 10, collective_calls: 2, collective_bytes: 4, modeled_seconds: 0.5 };
+        let b = StatsSnapshot { p2p_messages: 3, p2p_bytes: 30, collective_calls: 1, collective_bytes: 8, modeled_seconds: 0.2 };
+        a.merge_max_time(&b);
+        assert_eq!(a.p2p_messages, 4);
+        assert_eq!(a.p2p_bytes, 40);
+        assert_eq!(a.collective_calls, 3);
+        assert_eq!(a.collective_bytes, 12);
+        assert_eq!(a.modeled_seconds, 0.5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Configuration for the distributed Louvain algorithm.
+
+/// The algorithm variants evaluated in the paper (Section V legend).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Variant {
+    /// Algorithm 2 without Section IV-B heuristics.
+    Baseline,
+    /// τ modulated cyclically across phases (Fig 2).
+    ThresholdCycling,
+    /// Adaptive early termination with decay rate α (Eq. 3).
+    Et { alpha: f64 },
+    /// ET plus the extra global reduction of the inactive-vertex count;
+    /// the phase exits once ≥ `etc_exit_fraction` of vertices are
+    /// globally inactive.
+    Etc { alpha: f64 },
+    /// ET(α) combined with threshold cycling (Table VI).
+    EtPlusCycling { alpha: f64 },
+}
+
+impl Variant {
+    /// Display label matching the paper's figures ("ET(0.25)" etc.).
+    pub fn label(&self) -> String {
+        match self {
+            Variant::Baseline => "Baseline".into(),
+            Variant::ThresholdCycling => "Threshold Cycling".into(),
+            Variant::Et { alpha } => format!("ET({alpha})"),
+            Variant::Etc { alpha } => format!("ETC({alpha})"),
+            Variant::EtPlusCycling { alpha } => format!("ET({alpha})+Cycling"),
+        }
+    }
+
+    /// The α of any ET-family variant.
+    pub fn alpha(&self) -> Option<f64> {
+        match *self {
+            Variant::Et { alpha } | Variant::Etc { alpha } | Variant::EtPlusCycling { alpha } => {
+                Some(alpha)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn uses_cycling(&self) -> bool {
+        matches!(self, Variant::ThresholdCycling | Variant::EtPlusCycling { .. })
+    }
+
+    pub fn uses_etc_exit(&self) -> bool {
+        matches!(self, Variant::Etc { .. })
+    }
+}
+
+/// Tunables of the distributed runner.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    pub variant: Variant,
+    /// Final (minimum) threshold τ; the paper's default is 1e-6.
+    pub threshold: f64,
+    /// Safety cap on phases.
+    pub max_phases: usize,
+    /// Safety cap on iterations per phase.
+    pub max_iterations: usize,
+    /// ETC exits the phase when this fraction of vertices is inactive
+    /// globally (paper: 90%).
+    pub etc_exit_fraction: f64,
+    /// Seed for deterministic ET coin flips.
+    pub seed: u64,
+    /// Use MPI-3-style neighborhood collectives for the ghost refresh
+    /// instead of a full all-to-all (the paper's future-work item: the
+    /// per-message α cost then scales with the ghost topology degree, not
+    /// with p−1).
+    pub neighborhood_collectives: bool,
+    /// With an ET variant: once a vertex is permanently inactive, its
+    /// community is frozen, so owners announce it and peers stop
+    /// refreshing that ghost (the paper's "communication that relates to
+    /// inactive vertices can be prevented" refinement).
+    pub prune_inactive_ghosts: bool,
+    /// Distance-1 coloring sweeps (the paper's other future-work item):
+    /// vertices are processed color class by color class with a ghost
+    /// refresh and delta push between classes, so concurrently moved
+    /// vertices are never adjacent. Fewer iterations, more communication
+    /// per iteration.
+    pub color_sweeps: bool,
+    /// Ablation switch: disable the Vite singleton-swap guard.
+    pub disable_singleton_guard: bool,
+    /// Ablation switch: sweep vertices in index order instead of the
+    /// seeded shuffled order.
+    pub index_order_sweep: bool,
+    /// Intra-rank ("OpenMP") threads for the compute sweep — the paper is
+    /// MPI+OpenMP and runs "either 2 or 4 threads per process". With 1
+    /// the sweep is sequential and deterministic; with more, community
+    /// state is shared through atomics exactly like the shared-memory
+    /// baseline (results then depend on thread interleaving, as they do
+    /// in the original).
+    pub threads_per_rank: usize,
+    /// Distributed vertex following (Grappolo's VF heuristic, §4.1 of Lu
+    /// et al.): before the first phase's sweeps, every degree-1 vertex
+    /// adopts its unique neighbor's (singleton) community; pendant pairs
+    /// collapse toward the smaller id. One extra ghost exchange.
+    pub vertex_following: bool,
+}
+
+impl DistConfig {
+    pub fn baseline() -> Self {
+        Self::with_variant(Variant::Baseline)
+    }
+
+    pub fn with_variant(variant: Variant) -> Self {
+        Self {
+            variant,
+            threshold: 1e-6,
+            max_phases: 40,
+            max_iterations: 200,
+            etc_exit_fraction: 0.9,
+            seed: 0xD157,
+            neighborhood_collectives: false,
+            prune_inactive_ghosts: false,
+            color_sweeps: false,
+            disable_singleton_guard: false,
+            index_order_sweep: false,
+            threads_per_rank: 1,
+            vertex_following: false,
+        }
+    }
+
+    /// All six variants the paper evaluates in Fig 3 / Table IV.
+    pub fn paper_variants() -> Vec<Variant> {
+        vec![
+            Variant::Baseline,
+            Variant::ThresholdCycling,
+            Variant::Et { alpha: 0.25 },
+            Variant::Et { alpha: 0.75 },
+            Variant::Etc { alpha: 0.25 },
+            Variant::Etc { alpha: 0.75 },
+        ]
+    }
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(Variant::Baseline.label(), "Baseline");
+        assert_eq!(Variant::Et { alpha: 0.25 }.label(), "ET(0.25)");
+        assert_eq!(Variant::Etc { alpha: 0.75 }.label(), "ETC(0.75)");
+        assert_eq!(Variant::ThresholdCycling.label(), "Threshold Cycling");
+    }
+
+    #[test]
+    fn variant_predicates() {
+        assert!(Variant::ThresholdCycling.uses_cycling());
+        assert!(Variant::EtPlusCycling { alpha: 0.25 }.uses_cycling());
+        assert!(!Variant::Et { alpha: 0.5 }.uses_cycling());
+        assert!(Variant::Etc { alpha: 0.5 }.uses_etc_exit());
+        assert!(!Variant::Et { alpha: 0.5 }.uses_etc_exit());
+        assert_eq!(Variant::Et { alpha: 0.5 }.alpha(), Some(0.5));
+        assert_eq!(Variant::Baseline.alpha(), None);
+    }
+
+    #[test]
+    fn paper_variant_set_is_complete() {
+        assert_eq!(DistConfig::paper_variants().len(), 6);
+    }
+}

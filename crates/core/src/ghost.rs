@@ -1,0 +1,409 @@
+//! Ghost-vertex discovery and refresh (Algorithm 4).
+//!
+//! Once per phase, every rank scans its edge lists for destinations owned
+//! elsewhere, sends each owner the list of vertices it needs ("ghosts"),
+//! and the owner remembers which of its vertices to serve to whom. Every
+//! iteration then starts with the owners *pushing* the latest community
+//! assignment of those vertices (Algorithm 3 lines 4–5).
+//!
+//! Two refinements from the paper's discussion are implemented here:
+//!
+//! * **neighborhood refresh** ([`GhostLayer::refresh_neighborhood`]) —
+//!   the ghost topology is fixed for the whole phase and symmetric, so the
+//!   exchange can use an MPI-3-style neighborhood collective whose
+//!   per-message cost scales with the topology degree instead of `p−1`;
+//! * **inactive-ghost pruning** ([`GhostLayer::prune`]) — under early
+//!   termination, a permanently inactive vertex can never move again, so
+//!   its owner announces it and peers stop refreshing that ghost
+//!   ("any communication that relates to inactive vertices can be
+//!   prevented/preempted by communicating the ghost vertex IDs that have
+//!   become inactive", Section IV-B).
+
+use louvain_comm::Comm;
+use louvain_graph::hash::{fast_map, fast_set, FastMap};
+use louvain_graph::{LocalGraph, VertexId};
+
+/// Per-phase ghost bookkeeping for one rank.
+#[derive(Debug)]
+pub struct GhostLayer {
+    /// Ghost ids this rank needs, grouped by owner, sorted (fixed order —
+    /// the wire format of every refresh).
+    requests: Vec<Vec<VertexId>>,
+    /// `request_mask[owner][i]` — false once the ghost was pruned
+    /// (frozen); its slot keeps the last received value.
+    request_mask: Vec<Vec<bool>>,
+    /// Global ghost id → slot in the flat ghost value array.
+    slot: FastMap<VertexId, usize>,
+    /// For each peer rank: the local indices of our vertices it ghosts,
+    /// aligned with that peer's request order.
+    serve: Vec<Vec<usize>>,
+    /// Mirror of the peer's `request_mask` for our serve entries.
+    serve_mask: Vec<Vec<bool>>,
+    /// Ranks this rank actually exchanges ghosts with (symmetric).
+    neighbors: Vec<usize>,
+    num_ghosts: usize,
+    pruned: usize,
+}
+
+impl GhostLayer {
+    /// Run Algorithm 4: discover ghosts and exchange request lists.
+    /// Collective — every rank must call it.
+    pub fn build(comm: &Comm, lg: &LocalGraph) -> Self {
+        let p = comm.size();
+        let part = lg.partition();
+        let mut seen = fast_set::<VertexId>();
+        let mut requests: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+        for l in 0..lg.num_local() {
+            for (u, _) in lg.neighbors(l) {
+                if !lg.owns(u) && seen.insert(u) {
+                    requests[part.owner_of(u)].push(u);
+                }
+            }
+        }
+        for r in requests.iter_mut() {
+            r.sort_unstable();
+        }
+        // Assign slots in (owner, position-in-request) order.
+        let mut slot = fast_map::<VertexId, usize>();
+        let mut next = 0usize;
+        for r in &requests {
+            for &g in r {
+                slot.insert(g, next);
+                next += 1;
+            }
+        }
+        // Tell each owner what we need; learn what others need from us.
+        let received = comm.all_to_all_v(requests.clone());
+        let serve: Vec<Vec<usize>> = received
+            .into_iter()
+            .map(|ids| ids.into_iter().map(|g| lg.to_local(g)).collect())
+            .collect();
+        // The ghost relation is symmetric (arcs are stored in both
+        // directions), so requests[j] and serve[j] are non-empty together.
+        let neighbors: Vec<usize> = (0..p)
+            .filter(|&j| j != comm.rank() && (!requests[j].is_empty() || !serve[j].is_empty()))
+            .collect();
+        let request_mask = requests.iter().map(|r| vec![true; r.len()]).collect();
+        let serve_mask = serve.iter().map(|s| vec![true; s.len()]).collect();
+        Self {
+            requests,
+            request_mask,
+            slot,
+            serve,
+            serve_mask,
+            neighbors,
+            num_ghosts: next,
+            pruned: 0,
+        }
+    }
+
+    /// Number of distinct ghost vertices held by this rank.
+    pub fn num_ghosts(&self) -> usize {
+        self.num_ghosts
+    }
+
+    /// Ghosts whose refresh has been pruned.
+    pub fn num_pruned(&self) -> usize {
+        self.pruned
+    }
+
+    /// Ranks this rank exchanges ghosts with (symmetric topology).
+    pub fn neighbor_ranks(&self) -> &[usize] {
+        &self.neighbors
+    }
+
+    /// Slot of a ghost id in the value array filled by
+    /// [`GhostLayer::refresh`].
+    #[inline]
+    pub fn slot_of(&self, v: VertexId) -> usize {
+        self.slot[&v]
+    }
+
+    /// Build the per-peer outgoing value buffers for a refresh round
+    /// (masked serve entries are skipped).
+    fn serve_buffers(&self, local_vals: &[VertexId], j: usize) -> Vec<VertexId> {
+        self.serve[j]
+            .iter()
+            .zip(&self.serve_mask[j])
+            .filter(|&(_, &alive)| alive)
+            .map(|(&l, _)| local_vals[l])
+            .collect()
+    }
+
+    /// Scatter one peer's reply into the slot array (masked request
+    /// entries keep their last value).
+    fn fill_from(&self, out: &mut [VertexId], owner: usize, values: &[VertexId]) {
+        let base: usize = self.requests[..owner].iter().map(|r| r.len()).sum();
+        let mut vi = 0;
+        for (i, &alive) in self.request_mask[owner].iter().enumerate() {
+            if alive {
+                out[base + i] = values[vi];
+                vi += 1;
+            }
+        }
+        debug_assert_eq!(vi, values.len());
+    }
+
+    /// One refresh round over the full communicator: every owner pushes
+    /// `local_vals` entries for the vertices each peer ghosts; `out` is
+    /// updated in slot order (it must persist across rounds once pruning
+    /// is enabled — pruned slots keep their frozen value). Collective.
+    pub fn refresh(&self, comm: &Comm, local_vals: &[VertexId], out: &mut Vec<VertexId>) {
+        out.resize(self.num_ghosts, 0);
+        let sends: Vec<Vec<VertexId>> = (0..comm.size())
+            .map(|j| self.serve_buffers(local_vals, j))
+            .collect();
+        let received = comm.all_to_all_v(sends);
+        for (owner, values) in received.iter().enumerate() {
+            self.fill_from(out, owner, values);
+        }
+    }
+
+    /// [`GhostLayer::refresh`] over the neighborhood topology only
+    /// (MPI-3 style): per-message cost scales with the topology degree.
+    /// All ranks must use the same refresh flavour within a phase.
+    pub fn refresh_neighborhood(
+        &self,
+        comm: &Comm,
+        local_vals: &[VertexId],
+        out: &mut Vec<VertexId>,
+    ) {
+        out.resize(self.num_ghosts, 0);
+        let sends: Vec<Vec<VertexId>> = self
+            .neighbors
+            .iter()
+            .map(|&j| self.serve_buffers(local_vals, j))
+            .collect();
+        let received = comm.neighbor_all_to_all_v(&self.neighbors, sends);
+        for (&owner, values) in self.neighbors.iter().zip(&received) {
+            self.fill_from(out, owner, values);
+        }
+    }
+
+    /// Prune refresh traffic for permanently frozen vertices: this rank
+    /// announces `frozen_locals` (local indices of owned vertices that
+    /// became permanently inactive) to every peer ghosting them, and
+    /// symmetrically drops the ghosts other owners announce. Both sides
+    /// mask in the same round, so subsequent refreshes stay aligned.
+    /// Returns the number of ghost slots this rank stopped refreshing.
+    /// Collective.
+    pub fn prune(&mut self, comm: &Comm, lg: &LocalGraph, frozen_locals: &[usize]) -> usize {
+        let frozen: louvain_graph::hash::FastSet<usize> =
+            frozen_locals.iter().copied().collect();
+        // Mask our serve entries and build the announcements.
+        let mut announce: Vec<Vec<VertexId>> = vec![Vec::new(); comm.size()];
+        for ((serve, mask), out) in self
+            .serve
+            .iter()
+            .zip(self.serve_mask.iter_mut())
+            .zip(announce.iter_mut())
+        {
+            for (i, &l) in serve.iter().enumerate() {
+                if mask[i] && frozen.contains(&l) {
+                    mask[i] = false;
+                    out.push(lg.to_global(l));
+                }
+            }
+        }
+        let received = comm.all_to_all_v(announce);
+        // Drop the announced ghosts from our request masks.
+        let mut dropped = 0;
+        for (owner, gids) in received.iter().enumerate() {
+            for gid in gids {
+                let i = self.requests[owner]
+                    .binary_search(gid)
+                    .expect("announced ghost not in request list");
+                if self.request_mask[owner][i] {
+                    self.request_mask[owner][i] = false;
+                    dropped += 1;
+                }
+            }
+        }
+        self.pruned += dropped;
+        dropped
+    }
+
+    /// The request lists (per owner) — used by tests and by rebuild to
+    /// enumerate ghost ids.
+    pub fn requests(&self) -> &[Vec<VertexId>] {
+        &self.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use louvain_comm::run;
+    use louvain_graph::{Csr, EdgeList, VertexPartition};
+
+    fn ring(n: u64) -> Csr {
+        let mut el = EdgeList::new(n);
+        for v in 0..n {
+            el.push(v, (v + 1) % n, 1.0);
+        }
+        Csr::from_edge_list(el)
+    }
+
+    fn scatter_for(p: usize, g: &Csr) -> Vec<LocalGraph> {
+        let part = VertexPartition::balanced_vertices(g.num_vertices() as u64, p);
+        LocalGraph::scatter(g, &part)
+    }
+
+    #[test]
+    fn ring_ghosts_are_the_boundary_vertices() {
+        let g = ring(12);
+        let parts = scatter_for(3, &g);
+        let out = run(3, |c| {
+            let lg = parts[c.rank()].clone();
+            let layer = GhostLayer::build(c, &lg);
+            (layer.num_ghosts(), layer.neighbor_ranks().to_vec())
+        });
+        // Each rank's range is contiguous on a ring: exactly 2 ghosts
+        // (one on each side), and both other ranks are topology neighbors.
+        for (rank, (ghosts, neighbors)) in out.into_iter().enumerate() {
+            assert_eq!(ghosts, 2);
+            let expected: Vec<usize> = (0..3).filter(|&j| j != rank).collect();
+            assert_eq!(neighbors, expected);
+        }
+    }
+
+    #[test]
+    fn refresh_delivers_owner_values() {
+        let g = ring(12);
+        let parts = scatter_for(3, &g);
+        let out = run(3, |c| {
+            let lg = parts[c.rank()].clone();
+            let layer = GhostLayer::build(c, &lg);
+            // Every rank publishes value = 1000 + global id for each of
+            // its local vertices.
+            let local_vals: Vec<u64> =
+                (0..lg.num_local()).map(|l| 1000 + lg.to_global(l)).collect();
+            let mut ghost_vals = Vec::new();
+            layer.refresh(c, &local_vals, &mut ghost_vals);
+            // Check all ghosts carry their owner's value.
+            let mut ok = true;
+            for reqs in layer.requests() {
+                for &gid in reqs {
+                    if ghost_vals[layer.slot_of(gid)] != 1000 + gid {
+                        ok = false;
+                    }
+                }
+            }
+            ok
+        });
+        assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn neighborhood_refresh_matches_full_refresh() {
+        let g = ring(16);
+        let parts = scatter_for(4, &g);
+        let out = run(4, |c| {
+            let lg = parts[c.rank()].clone();
+            let layer = GhostLayer::build(c, &lg);
+            let local_vals: Vec<u64> =
+                (0..lg.num_local()).map(|l| 7 * lg.to_global(l)).collect();
+            let mut full = Vec::new();
+            layer.refresh(c, &local_vals, &mut full);
+            let mut nbr = Vec::new();
+            layer.refresh_neighborhood(c, &local_vals, &mut nbr);
+            full == nbr
+        });
+        assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn single_rank_has_no_ghosts() {
+        let g = ring(8);
+        let parts = scatter_for(1, &g);
+        let out = run(1, |c| {
+            let layer = GhostLayer::build(c, &parts[0]);
+            let mut vals = vec![7u64; 3];
+            layer.refresh(c, &[0u64; 8], &mut vals);
+            (layer.num_ghosts(), vals.len(), layer.neighbor_ranks().len())
+        });
+        assert_eq!(out[0], (0, 0, 0));
+    }
+
+    #[test]
+    fn repeated_refreshes_track_changing_values() {
+        let g = ring(8);
+        let parts = scatter_for(2, &g);
+        let out = run(2, |c| {
+            let lg = parts[c.rank()].clone();
+            let layer = GhostLayer::build(c, &lg);
+            let mut results = Vec::new();
+            let mut ghost_vals = Vec::new();
+            for round in 0..3u64 {
+                let local_vals: Vec<u64> =
+                    (0..lg.num_local()).map(|l| round * 100 + lg.to_global(l)).collect();
+                layer.refresh(c, &local_vals, &mut ghost_vals);
+                results.push(ghost_vals.clone());
+            }
+            results
+        });
+        // Rank 0 on an 8-ring owns 0..4, ghosts are 7 and 4.
+        let r0 = &out[0];
+        for round in 0..3u64 {
+            assert!(r0[round as usize].contains(&(round * 100 + 7)));
+            assert!(r0[round as usize].contains(&(round * 100 + 4)));
+        }
+    }
+
+    #[test]
+    fn pruned_ghosts_keep_their_frozen_value() {
+        let g = ring(8);
+        let parts = scatter_for(2, &g);
+        let out = run(2, |c| {
+            let lg = parts[c.rank()].clone();
+            let mut layer = GhostLayer::build(c, &lg);
+            let mut ghost_vals = Vec::new();
+            // Round 1: everyone publishes 100 + gid.
+            let vals1: Vec<u64> = (0..lg.num_local()).map(|l| 100 + lg.to_global(l)).collect();
+            layer.refresh(c, &vals1, &mut ghost_vals);
+            let before = ghost_vals.clone();
+            // Rank 0 freezes its local vertex with global id 0 — which is
+            // ghosted by rank 1 (ring edge 7–0).
+            let frozen: Vec<usize> = if c.rank() == 0 { vec![lg.to_local(0)] } else { vec![] };
+            let dropped = layer.prune(c, &lg, &frozen);
+            // Round 2: values change to 200 + gid; the pruned ghost must
+            // keep its round-1 value.
+            let vals2: Vec<u64> = (0..lg.num_local()).map(|l| 200 + lg.to_global(l)).collect();
+            layer.refresh(c, &vals2, &mut ghost_vals);
+            (before, ghost_vals, dropped, layer.num_pruned())
+        });
+        // Rank 1 ghosts vertices 0 and 3. After pruning vertex 0 its value
+        // stays at 100 while vertex 3 advances to 203.
+        let (before1, after1, dropped1, pruned1) = &out[1];
+        assert_eq!(*dropped1, 1);
+        assert_eq!(*pruned1, 1);
+        assert!(before1.contains(&100));
+        assert!(after1.contains(&100), "frozen ghost value lost: {after1:?}");
+        assert!(after1.contains(&203));
+        // Rank 0 pruned nothing on its side.
+        assert_eq!(out[0].2, 0);
+    }
+
+    #[test]
+    fn prune_then_neighborhood_refresh_stays_consistent() {
+        let g = ring(12);
+        let parts = scatter_for(3, &g);
+        let out = run(3, |c| {
+            let lg = parts[c.rank()].clone();
+            let mut layer = GhostLayer::build(c, &lg);
+            let mut ghost_vals = Vec::new();
+            let vals: Vec<u64> = (0..lg.num_local()).map(|l| lg.to_global(l)).collect();
+            layer.refresh_neighborhood(c, &vals, &mut ghost_vals);
+            // Everyone freezes their first local vertex.
+            let frozen = vec![0usize];
+            layer.prune(c, &lg, &frozen);
+            let vals2: Vec<u64> = (0..lg.num_local()).map(|l| 500 + lg.to_global(l)).collect();
+            layer.refresh_neighborhood(c, &vals2, &mut ghost_vals);
+            ghost_vals
+        });
+        // Rank 0 ghosts 11 (from rank 2) and 4 (from rank 1). Vertex 4 is
+        // rank 1's first local vertex → frozen at its old value 4.
+        assert!(out[0].contains(&4), "{:?}", out[0]);
+        assert!(out[0].contains(&(500 + 11)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Early termination for the distributed algorithm (Section IV-B(b)).
+//!
+//! Identical decay rule to the shared-memory retrofit (Eq. 3) but tracked
+//! per *rank* over the rank's local vertices, with globally-deterministic
+//! coin flips keyed by the **global** vertex id. The ETC variant adds a
+//! global reduction of the inactive count each iteration; the phase exits
+//! once ≥90% of all vertices are inactive.
+
+use louvain_graph::hash::{coin_u01, mix64};
+
+/// A vertex whose probability falls below 2% is labeled inactive
+/// (paper: "when the probability for a given vertex becomes less than 2%,
+/// we label it inactive").
+pub const INACTIVE_CUTOFF: f64 = 0.02;
+
+/// Per-rank early-termination state for one phase.
+#[derive(Debug, Clone)]
+pub struct EtTracker {
+    alpha: f64,
+    seed: u64,
+    first_global: u64,
+    prob: Vec<f64>,
+    /// Vertices already announced as permanently frozen (ghost pruning).
+    frozen_reported: Vec<bool>,
+}
+
+impl EtTracker {
+    /// Fresh tracker for `n_local` vertices starting at global id
+    /// `first_global`.
+    pub fn new(n_local: usize, first_global: u64, alpha: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha));
+        Self {
+            alpha,
+            seed,
+            first_global,
+            prob: vec![1.0; n_local],
+            frozen_reported: vec![false; n_local],
+        }
+    }
+
+    /// Whether local vertex `l` participates in `(phase, iteration)`.
+    #[inline]
+    pub fn is_active(&self, phase: usize, iteration: usize, l: usize) -> bool {
+        let p = self.prob[l];
+        if p < INACTIVE_CUTOFF {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let g = self.first_global + l as u64;
+        let h = mix64(self.seed ^ mix64((phase as u64) << 32 | iteration as u64) ^ mix64(g));
+        coin_u01(h) < p
+    }
+
+    /// Decay/reset after an iteration.
+    #[inline]
+    pub fn update(&mut self, l: usize, moved: bool) {
+        if moved {
+            self.prob[l] = 1.0;
+        } else {
+            self.prob[l] *= 1.0 - self.alpha;
+        }
+    }
+
+    /// Local count of inactive vertices (for the ETC global reduction).
+    pub fn num_inactive(&self) -> u64 {
+        self.prob.iter().filter(|&&p| p < INACTIVE_CUTOFF).count() as u64
+    }
+
+    pub fn probability(&self, l: usize) -> f64 {
+        self.prob[l]
+    }
+
+    /// Local vertices that crossed below the inactive cutoff since the
+    /// last call. Once below the cutoff a vertex can never move again
+    /// (its probability only resets on a move, and it no longer
+    /// participates), so these are safe to announce for ghost pruning.
+    pub fn drain_newly_frozen(&mut self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for l in 0..self.prob.len() {
+            if !self.frozen_reported[l] && self.prob[l] < INACTIVE_CUTOFF {
+                self.frozen_reported[l] = true;
+                out.push(l);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coins_depend_on_global_id_not_local_index() {
+        // Two trackers covering different ranges: the vertex with the same
+        // GLOBAL id must make the same decision regardless of which rank
+        // hosts it.
+        let mut a = EtTracker::new(10, 0, 0.5, 42);
+        let mut b = EtTracker::new(10, 5, 0.5, 42);
+        // Decay both copies of global vertex 7 identically.
+        a.update(7, false);
+        b.update(2, false);
+        for it in 0..30 {
+            assert_eq!(a.is_active(0, it, 7), b.is_active(0, it, 2), "iteration {it}");
+        }
+    }
+
+    #[test]
+    fn decay_and_reset() {
+        let mut t = EtTracker::new(2, 100, 0.75, 1);
+        t.update(0, false);
+        assert!((t.probability(0) - 0.25).abs() < 1e-12);
+        t.update(0, false);
+        assert!(t.probability(0) < INACTIVE_CUTOFF + 0.05);
+        t.update(1, true);
+        assert_eq!(t.probability(1), 1.0);
+    }
+
+    #[test]
+    fn inactive_counting() {
+        let mut t = EtTracker::new(4, 0, 1.0, 1);
+        t.update(0, false);
+        t.update(1, false);
+        t.update(2, true);
+        assert_eq!(t.num_inactive(), 2);
+    }
+
+    #[test]
+    fn drain_newly_frozen_reports_each_vertex_once() {
+        let mut t = EtTracker::new(3, 0, 1.0, 5);
+        assert!(t.drain_newly_frozen().is_empty());
+        t.update(0, false); // P = 0 → frozen
+        t.update(1, true);
+        assert_eq!(t.drain_newly_frozen(), vec![0]);
+        assert!(t.drain_newly_frozen().is_empty(), "reported twice");
+        t.update(2, false);
+        assert_eq!(t.drain_newly_frozen(), vec![2]);
+    }
+
+    #[test]
+    fn alpha_one_vertices_never_reactivate_without_move() {
+        let mut t = EtTracker::new(1, 0, 1.0, 3);
+        t.update(0, false);
+        for phase in 0..3 {
+            for it in 0..20 {
+                assert!(!t.is_active(phase, it, 0));
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! The performance heuristics of Section IV-B.
+
+pub mod coloring;
+pub mod early_term;
+pub mod threshold;
+
+pub use coloring::distributed_coloring;
+pub use early_term::{EtTracker, INACTIVE_CUTOFF};
+pub use threshold::ThresholdSchedule;

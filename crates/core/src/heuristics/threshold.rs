@@ -1,0 +1,110 @@
+//! Threshold cycling (Section IV-B(a), Fig 2).
+//!
+//! The modularity-gain threshold τ is modulated across phases: large
+//! thresholds in early phases (when the graph is big and iterations are
+//! expensive) let phases exit sooner; the schedule steps down to the
+//! final τ and repeats. The paper's Fig 2 pattern: phases 0–2 at 1e-3,
+//! 3–6 at 1e-4, 7–9 at 1e-5, 10–12 at 1e-6, then the cycle restarts.
+//! Convergence is only *accepted* at the minimum threshold — "our
+//! distributed implementation always forces Louvain iteration to run once
+//! more with the lowest threshold".
+
+/// Per-phase τ schedule.
+#[derive(Debug, Clone)]
+pub struct ThresholdSchedule {
+    /// `(tau, phases_at_tau)` steps; cycles after the last step.
+    steps: Vec<(f64, usize)>,
+    /// τ used when cycling is disabled and for final acceptance.
+    min_tau: f64,
+    cycling: bool,
+}
+
+impl ThresholdSchedule {
+    /// Fixed τ for every phase (Baseline / ET / ETC variants).
+    pub fn fixed(tau: f64) -> Self {
+        Self { steps: vec![(tau, 1)], min_tau: tau, cycling: false }
+    }
+
+    /// The paper's Fig 2 cycle ending at `min_tau`:
+    /// 3 phases at `1000·min_tau`, 4 at `100·min_tau`, 3 at `10·min_tau`,
+    /// 3 at `min_tau`, repeating.
+    pub fn paper_cycle(min_tau: f64) -> Self {
+        Self {
+            steps: vec![
+                (min_tau * 1e3, 3),
+                (min_tau * 1e2, 4),
+                (min_tau * 1e1, 3),
+                (min_tau, 3),
+            ],
+            min_tau,
+            cycling: true,
+        }
+    }
+
+    /// τ for a given phase index.
+    pub fn tau_for_phase(&self, phase: usize) -> f64 {
+        if !self.cycling {
+            return self.min_tau;
+        }
+        let cycle_len: usize = self.steps.iter().map(|&(_, n)| n).sum();
+        let mut pos = phase % cycle_len;
+        for &(tau, n) in &self.steps {
+            if pos < n {
+                return tau;
+            }
+            pos -= n;
+        }
+        unreachable!("phase position exceeds cycle length")
+    }
+
+    /// The final acceptance threshold.
+    pub fn min_tau(&self) -> f64 {
+        self.min_tau
+    }
+
+    pub fn is_cycling(&self) -> bool {
+        self.cycling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_schedule_is_constant() {
+        let s = ThresholdSchedule::fixed(1e-6);
+        for phase in 0..20 {
+            assert_eq!(s.tau_for_phase(phase), 1e-6);
+        }
+        assert!(!s.is_cycling());
+    }
+
+    #[test]
+    fn paper_cycle_matches_fig2() {
+        let s = ThresholdSchedule::paper_cycle(1e-6);
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9 * b;
+        // Fig 2: phases 0–2 → 1e-3, 3–6 → 1e-4, 7–9 → 1e-5, 10–12 → 1e-6.
+        for p in 0..=2 {
+            assert!(close(s.tau_for_phase(p), 1e-3), "phase {p}");
+        }
+        for p in 3..=6 {
+            assert!(close(s.tau_for_phase(p), 1e-4), "phase {p}");
+        }
+        for p in 7..=9 {
+            assert!(close(s.tau_for_phase(p), 1e-5), "phase {p}");
+        }
+        for p in 10..=12 {
+            assert!(close(s.tau_for_phase(p), 1e-6), "phase {p}");
+        }
+        // "This pattern is again repeated from phase 13 and so on."
+        assert!(close(s.tau_for_phase(13), 1e-3));
+        assert!(close(s.tau_for_phase(13 + 13), 1e-3));
+    }
+
+    #[test]
+    fn min_tau_is_preserved() {
+        assert_eq!(ThresholdSchedule::paper_cycle(1e-6).min_tau(), 1e-6);
+        assert_eq!(ThresholdSchedule::fixed(1e-4).min_tau(), 1e-4);
+    }
+}

@@ -1,0 +1,886 @@
+//! The Louvain iterations of one phase (Algorithm 3).
+//!
+//! Each iteration performs the paper's four communication steps:
+//!
+//! 1. owners push the latest community of every ghosted vertex
+//!    (lines 4–5),
+//! 2. ranks pull the weights `a_c` (and sizes) of remote communities
+//!    their vertices might join (the "ghost community" information),
+//! 3. after the local compute step (lines 6–9), weight deltas for
+//!    remotely-owned communities are pushed to their owners
+//!    (lines 10–11),
+//! 4. modularity is computed with global reductions (lines 12–13).
+//!
+//! Ranks see remote state only as of the most recent exchange — the
+//! "community update lag" that distinguishes the distributed algorithm
+//! from its shared-memory counterpart (Section III-B).
+//!
+//! The compute sweep is MPI+OpenMP-shaped like the original: with
+//! `threads_per_rank > 1` local vertices are processed by a rayon
+//! parallel loop over shared atomic community state (the same relaxed
+//! discipline as the Grappolo baseline); with 1 thread the sweep is
+//! sequential and fully deterministic.
+//!
+//! Paper future-work extensions, all off by default (see
+//! [`crate::DistConfig`]): MPI-3-style neighborhood collectives for the
+//! ghost refresh, pruning of refresh traffic for permanently inactive
+//! vertices under ET, and distance-1-colored sub-rounds in which
+//! concurrently moved vertices are never adjacent.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use louvain_comm::{Comm, ReduceOp};
+use louvain_graph::atomic::AtomicF64;
+use louvain_graph::hash::{fast_map, FastMap};
+use louvain_graph::{LocalGraph, VertexId, Weight};
+
+use crate::config::DistConfig;
+use crate::ghost::GhostLayer;
+use crate::heuristics::{distributed_coloring, EtTracker};
+use crate::stats::{IterationTrace, WorkCounter};
+
+/// Outcome of one phase's iteration loop on one rank.
+#[derive(Debug)]
+pub struct PhaseResult {
+    /// Final community (global id) of each local vertex.
+    pub comm_of_local: Vec<VertexId>,
+    /// Final communities of the ghost vertices (freshly exchanged after
+    /// the last iteration, so rebuild sees a consistent state).
+    pub ghost_comm: Vec<VertexId>,
+    /// Weight `a_c` of every *owned* community (indexed by `c - first`).
+    pub owned_a: Vec<Weight>,
+    pub modularity: f64,
+    pub iterations: usize,
+    pub traces: Vec<IterationTrace>,
+    pub compute: WorkCounter,
+    /// Modeled seconds in ghost/community exchanges (steps 1–3).
+    pub comm_seconds: f64,
+    /// Modeled seconds in the modularity reductions (step 4).
+    pub reduce_seconds: f64,
+    /// True if the ETC 90%-inactive exit ended the phase.
+    pub etc_exit: bool,
+    /// Ghost refreshes pruned away by the inactive-vertex refinement.
+    pub pruned_ghosts: usize,
+}
+
+/// Immutable phase inputs shared by the iteration loop.
+pub struct PhaseContext<'a> {
+    pub comm: &'a Comm,
+    pub lg: &'a LocalGraph,
+    /// Global `2m` (all-reduced once per phase by the caller).
+    pub two_m: f64,
+}
+
+/// Shared (possibly multi-threaded) per-rank community state.
+struct SweepState {
+    /// Community of each local vertex (global ids).
+    comm: Vec<AtomicU64>,
+    /// Weight of each owned community (`a_c`, indexed `c - first`).
+    a: Vec<AtomicF64>,
+    /// Size of each owned community.
+    size: Vec<AtomicU64>,
+    /// Per-vertex move flags for this iteration.
+    moved: Vec<AtomicBool>,
+}
+
+impl SweepState {
+    fn new(k_local: &[Weight], lg: &LocalGraph) -> Self {
+        let nlocal = lg.num_local();
+        Self {
+            comm: (0..nlocal).map(|l| AtomicU64::new(lg.to_global(l))).collect(),
+            a: k_local.iter().map(|&k| AtomicF64::new(k)).collect(),
+            size: (0..nlocal).map(|_| AtomicU64::new(1)).collect(),
+            moved: (0..nlocal).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    #[inline]
+    fn comm_of_local(&self, l: usize) -> VertexId {
+        self.comm[l].load(Ordering::Relaxed)
+    }
+
+    fn snapshot_comm(&self) -> Vec<VertexId> {
+        self.comm.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    fn snapshot_a(&self) -> Vec<Weight> {
+        self.a.iter().map(|a| a.load()).collect()
+    }
+}
+
+/// Per-thread accumulation of one sweep chunk, merged after the loop.
+#[derive(Default)]
+struct SweepAcc {
+    deltas: FastMap<VertexId, (Weight, i64)>,
+    moves: u64,
+    edges: u64,
+    vertices: u64,
+}
+
+impl SweepAcc {
+    fn merge(mut self, other: SweepAcc) -> SweepAcc {
+        for (c, (da, ds)) in other.deltas {
+            let e = self.deltas.entry(c).or_insert((0.0, 0));
+            e.0 += da;
+            e.1 += ds;
+        }
+        self.moves += other.moves;
+        self.edges += other.edges;
+        self.vertices += other.vertices;
+        self
+    }
+}
+
+/// Evaluate and (if profitable) apply the best move for local vertex `l`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn try_move(
+    l: usize,
+    lg: &LocalGraph,
+    ghosts: &GhostLayer,
+    ghost_comm: &[VertexId],
+    state: &SweepState,
+    k_local: &[Weight],
+    two_m: f64,
+    guard_singleton_swap: bool,
+    remote_a: &FastMap<VertexId, (Weight, u64)>,
+    acc: &mut SweepAcc,
+    weights: &mut FastMap<VertexId, Weight>,
+) {
+    let first = lg.first_vertex();
+    let nlocal = lg.num_local();
+    let comm_of = |u: VertexId| -> VertexId {
+        if u >= first && u < first + nlocal as u64 {
+            state.comm_of_local((u - first) as usize)
+        } else {
+            ghost_comm[ghosts.slot_of(u)]
+        }
+    };
+    acc.vertices += 1;
+    let v_global = lg.to_global(l);
+    let cu = state.comm_of_local(l);
+    let kv = k_local[l];
+    weights.clear();
+    for (u, w) in lg.neighbors(l) {
+        acc.edges += 1;
+        if u == v_global {
+            continue;
+        }
+        *weights.entry(comm_of(u)).or_insert(0.0) += w;
+    }
+    if weights.is_empty() {
+        return;
+    }
+    // Remote community info = the iteration-start pull, adjusted by the
+    // deltas this thread has itself accumulated since — without this
+    // "local view", every vertex of the rank sees the same stale (small)
+    // a_c of an attractive remote community and they all pile in,
+    // overshooting badly on mesh-like graphs.
+    fn info_of(
+        c: VertexId,
+        lg: &LocalGraph,
+        state: &SweepState,
+        remote_a: &FastMap<VertexId, (Weight, u64)>,
+        acc: &SweepAcc,
+    ) -> (Weight, u64) {
+        if lg.owns(c) {
+            let i = (c - lg.first_vertex()) as usize;
+            (state.a[i].load(), state.size[i].load(Ordering::Relaxed))
+        } else {
+            let (mut a, mut sz) = remote_a.get(&c).copied().unwrap_or((0.0, 0));
+            if let Some(&(da, ds)) = acc.deltas.get(&c) {
+                a += da;
+                sz = (sz as i64 + ds).max(0) as u64;
+            }
+            (a, sz)
+        }
+    }
+    let e_cu = weights.get(&cu).copied().unwrap_or(0.0);
+    let (a_cu, size_cu) = info_of(cu, lg, state, remote_a, acc);
+    let stay = e_cu - kv * (a_cu - kv) / two_m;
+    let mut best_c = cu;
+    let mut best_score = f64::NEG_INFINITY;
+    let mut best_size = 0u64;
+    for (&c, &e_vc) in weights.iter() {
+        if c == cu {
+            continue;
+        }
+        let (a_c, size_c) = info_of(c, lg, state, remote_a, acc);
+        let score = e_vc - kv * a_c / two_m;
+        if score > best_score + 1e-12 || ((score - best_score).abs() <= 1e-12 && c < best_c) {
+            best_score = score;
+            best_c = c;
+            best_size = size_c;
+        }
+    }
+    let mut do_move = best_c != cu
+        && (best_score > stay + 1e-12 || ((best_score - stay).abs() <= 1e-12 && best_c < cu));
+    // Singleton-swap guard (Vite / Lu et al. minimum labeling): two
+    // singleton vertices evaluating each other concurrently would swap
+    // communities forever; only the one moving toward the smaller
+    // community id proceeds.
+    if guard_singleton_swap && do_move && size_cu == 1 && best_size == 1 && best_c > cu {
+        do_move = false;
+    }
+    if do_move {
+        state.comm[l].store(best_c, Ordering::Relaxed);
+        state.moved[l].store(true, Ordering::Relaxed);
+        acc.moves += 1;
+        // Leave cu.
+        if lg.owns(cu) {
+            let i = (cu - first) as usize;
+            state.a[i].fetch_add(-kv);
+            state.size[i].fetch_sub(1, Ordering::Relaxed);
+        } else {
+            let d = acc.deltas.entry(cu).or_insert((0.0, 0));
+            d.0 -= kv;
+            d.1 -= 1;
+        }
+        // Join best_c.
+        if lg.owns(best_c) {
+            let i = (best_c - first) as usize;
+            state.a[i].fetch_add(kv);
+            state.size[i].fetch_add(1, Ordering::Relaxed);
+        } else {
+            let d = acc.deltas.entry(best_c).or_insert((0.0, 0));
+            d.0 += kv;
+            d.1 += 1;
+        }
+    }
+}
+
+/// Run the iteration loop of one phase with threshold `tau`.
+/// `ghosts` is taken mutably so the inactive-ghost pruning refinement can
+/// mask refresh traffic mid-phase.
+pub fn louvain_phase(
+    ctx: &PhaseContext<'_>,
+    ghosts: &mut GhostLayer,
+    cfg: &DistConfig,
+    phase_idx: usize,
+    tau: f64,
+) -> PhaseResult {
+    let comm = ctx.comm;
+    let lg = ctx.lg;
+    let part = lg.partition();
+    let nlocal = lg.num_local();
+    let first = lg.first_vertex();
+    let n_global = lg.num_global();
+    let threads = cfg.threads_per_rank.max(1);
+    // Hoisted copy: the parallel sweep closure must not capture `ctx`
+    // (it holds the non-Sync communicator).
+    let two_m = ctx.two_m;
+
+    let k_local: Vec<Weight> = (0..nlocal).map(|l| lg.weighted_degree(l)).collect();
+    let state = SweepState::new(&k_local, lg);
+    let mut ghost_comm: Vec<VertexId> = Vec::new();
+
+    let mut et: Option<EtTracker> = cfg
+        .variant
+        .alpha()
+        .map(|alpha| EtTracker::new(nlocal, first, alpha, cfg.seed));
+    let sweep_order: Vec<usize> = if cfg.index_order_sweep {
+        (0..nlocal).collect()
+    } else {
+        louvain_graph::hash::shuffled_order(
+            nlocal,
+            cfg.seed ^ (phase_idx as u64).wrapping_mul(0x9e37) ^ first,
+        )
+    };
+
+    let mut compute = WorkCounter::default();
+    let mut comm_seconds = 0.0;
+    let mut reduce_seconds = 0.0;
+
+    // Optional distance-1 coloring (future-work extension): compute once
+    // per phase; iterations then process one color class per sub-round.
+    let coloring: Option<(Vec<u32>, u32)> = if cfg.color_sweeps {
+        let t0 = comm.stats().modeled_seconds();
+        let res = distributed_coloring(comm, lg, ghosts, cfg.seed ^ 0xC0105);
+        comm_seconds += comm.stats().modeled_seconds() - t0;
+        Some(res)
+    } else {
+        None
+    };
+    let num_rounds = coloring.as_ref().map_or(1, |&(_, nc)| nc as usize);
+
+    let refresh =
+        |ghosts: &GhostLayer, vals: &[VertexId], out: &mut Vec<VertexId>, comm: &Comm| {
+            if cfg.neighborhood_collectives {
+                ghosts.refresh_neighborhood(comm, vals, out);
+            } else {
+                ghosts.refresh(comm, vals, out);
+            }
+        };
+
+    // Distributed vertex following: pendant vertices pre-join their
+    // unique neighbor's singleton community before the first sweep.
+    // Collective (one ghost exchange of pendant flags + one delta push),
+    // so every rank must agree on the flag.
+    if cfg.vertex_following && phase_idx == 0 {
+        let t0 = comm.stats().modeled_seconds();
+        apply_vertex_following(comm, lg, ghosts, &state, &k_local, cfg.neighborhood_collectives);
+        comm_seconds += comm.stats().modeled_seconds() - t0;
+    }
+
+    let mut traces: Vec<IterationTrace> = Vec::new();
+    let mut prev_q = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut etc_exit = false;
+
+    while iterations < cfg.max_iterations {
+        iterations += 1;
+        let edges_at_iter_start = compute.edges_scanned;
+        let active: Vec<bool> = (0..nlocal)
+            .map(|l| match &et {
+                Some(t) => t.is_active(phase_idx, iterations, l),
+                None => true,
+            })
+            .collect();
+        for m in &state.moved {
+            m.store(false, Ordering::Relaxed);
+        }
+        let mut local_moves = 0u64;
+
+        // One sub-round per color class (one total without coloring).
+        for round in 0..num_rounds {
+            let in_round = |l: usize| match &coloring {
+                Some((color, _)) => color[l] as usize == round,
+                None => true,
+            };
+
+            // -- Step 1: receive the latest ghost vertex communities. -----
+            let comm_snapshot = state.snapshot_comm();
+            let t0 = comm.stats().modeled_seconds();
+            refresh(ghosts, &comm_snapshot, &mut ghost_comm, comm);
+            comm_seconds += comm.stats().modeled_seconds() - t0;
+
+            // -- Step 2: pull a_c for remote communities we may join. ------
+            let mut needed: FastMap<VertexId, ()> = fast_map();
+            for (l, &is_active) in active.iter().enumerate() {
+                if !is_active || !in_round(l) {
+                    continue;
+                }
+                let cu = state.comm_of_local(l);
+                if !lg.owns(cu) {
+                    needed.insert(cu, ());
+                }
+                for (u, _) in lg.neighbors(l) {
+                    compute.edges_scanned += 1;
+                    let c = if lg.owns(u) {
+                        state.comm_of_local((u - first) as usize)
+                    } else {
+                        ghost_comm[ghosts.slot_of(u)]
+                    };
+                    if !lg.owns(c) {
+                        needed.insert(c, ());
+                    }
+                }
+            }
+            let t0 = comm.stats().modeled_seconds();
+            let mut requests: Vec<Vec<VertexId>> = vec![Vec::new(); comm.size()];
+            for &c in needed.keys() {
+                requests[part.owner_of(c)].push(c);
+            }
+            let incoming = comm.all_to_all_v(requests.clone());
+            let replies: Vec<Vec<(f64, u64)>> = incoming
+                .iter()
+                .map(|ids| {
+                    ids.iter()
+                        .map(|&c| {
+                            let i = (c - first) as usize;
+                            (state.a[i].load(), state.size[i].load(Ordering::Relaxed))
+                        })
+                        .collect()
+                })
+                .collect();
+            let reply_vals = comm.all_to_all_v(replies);
+            let mut remote_a: FastMap<VertexId, (Weight, u64)> = fast_map();
+            for (owner, ids) in requests.iter().enumerate() {
+                for (i, &c) in ids.iter().enumerate() {
+                    remote_a.insert(c, reply_vals[owner][i]);
+                }
+            }
+            comm_seconds += comm.stats().modeled_seconds() - t0;
+
+            // -- Step 3: the compute sweep (lines 6–9). --------------------
+            // Sequential when threads_per_rank == 1 (deterministic, the
+            // paper's per-process order); rayon-parallel over the shared
+            // atomic state otherwise (the paper's OpenMP loop).
+            let guard = !cfg.disable_singleton_guard;
+            let round_vertices: Vec<usize> = sweep_order
+                .iter()
+                .copied()
+                .filter(|&l| active[l] && in_round(l))
+                .collect();
+            let acc: SweepAcc = if threads <= 1 {
+                let mut acc = SweepAcc::default();
+                let mut weights = fast_map();
+                for &l in &round_vertices {
+                    try_move(
+                        l, lg, ghosts, &ghost_comm, &state, &k_local, two_m, guard,
+                        &remote_a, &mut acc, &mut weights,
+                    );
+                }
+                acc
+            } else {
+                let chunk = round_vertices.len().div_ceil(threads * 4).max(64);
+                round_vertices
+                    .par_chunks(chunk)
+                    .map(|chunk| {
+                        let mut acc = SweepAcc::default();
+                        let mut weights = fast_map();
+                        for &l in chunk {
+                            try_move(
+                                l, lg, ghosts, &ghost_comm, &state, &k_local, two_m,
+                                guard, &remote_a, &mut acc, &mut weights,
+                            );
+                        }
+                        acc
+                    })
+                    .reduce(SweepAcc::default, SweepAcc::merge)
+            };
+            local_moves += acc.moves;
+            compute.edges_scanned += acc.edges;
+            compute.vertices_processed += acc.vertices;
+
+            // -- Step 3b: push deltas to community owners (lines 10–11). --
+            let t0 = comm.stats().modeled_seconds();
+            let mut delta_msgs: Vec<Vec<(VertexId, f64, i64)>> =
+                vec![Vec::new(); comm.size()];
+            for (&c, &(da, ds)) in &acc.deltas {
+                delta_msgs[part.owner_of(c)].push((c, da, ds));
+            }
+            let received_deltas = comm.all_to_all_v(delta_msgs);
+            for msgs in &received_deltas {
+                for &(c, da, ds) in msgs {
+                    let i = (c - first) as usize;
+                    state.a[i].fetch_add(da);
+                    let cur = state.size[i].load(Ordering::Relaxed) as i64;
+                    state.size[i].store((cur + ds) as u64, Ordering::Relaxed);
+                }
+            }
+            comm_seconds += comm.stats().modeled_seconds() - t0;
+        }
+
+        // -- Step 4: global modularity (lines 12–13). ----------------------
+        let (e_in_local, a2_local) = local_modularity_terms(lg, ghosts, &state, &ghost_comm);
+        compute.edges_scanned += lg.num_local_arcs() as u64;
+        let t0 = comm.stats().modeled_seconds();
+        let e_in = comm.all_reduce(e_in_local, ReduceOp::Sum);
+        let a2 = comm.all_reduce(a2_local, ReduceOp::Sum);
+        let moves_global = comm.all_reduce(local_moves, ReduceOp::Sum);
+        reduce_seconds += comm.stats().modeled_seconds() - t0;
+        let q = if ctx.two_m > 0.0 {
+            e_in / ctx.two_m - a2 / (ctx.two_m * ctx.two_m)
+        } else {
+            0.0
+        };
+
+        // -- ET bookkeeping / ghost pruning / ETC exit. --------------------
+        let mut inactive_global = 0u64;
+        if let Some(t) = &mut et {
+            for (l, m) in state.moved.iter().enumerate() {
+                t.update(l, m.load(Ordering::Relaxed));
+            }
+            if cfg.prune_inactive_ghosts {
+                let frozen = t.drain_newly_frozen();
+                let t0 = comm.stats().modeled_seconds();
+                ghosts.prune(comm, lg, &frozen);
+                comm_seconds += comm.stats().modeled_seconds() - t0;
+            }
+            if cfg.variant.uses_etc_exit() {
+                let t0 = comm.stats().modeled_seconds();
+                inactive_global = comm.all_reduce(t.num_inactive(), ReduceOp::Sum);
+                comm_seconds += comm.stats().modeled_seconds() - t0;
+            }
+        }
+        traces.push(IterationTrace {
+            modularity: q,
+            moves: moves_global,
+            inactive: inactive_global,
+            local_edges: compute.edges_scanned - edges_at_iter_start,
+        });
+
+        if cfg.variant.uses_etc_exit()
+            && inactive_global as f64 >= cfg.etc_exit_fraction * n_global as f64
+        {
+            etc_exit = true;
+            break;
+        }
+        if moves_global == 0 || (prev_q.is_finite() && q - prev_q <= tau) {
+            break;
+        }
+        prev_q = q;
+    }
+
+    // Final refresh so rebuild observes the final state of the ghosts,
+    // then recompute modularity once WITHOUT lag: the per-iteration values
+    // above drive convergence exactly as in the paper (stale ghost state),
+    // but the reported phase modularity must be exact. Pruned ghosts are
+    // frozen, so their cached values are already final.
+    let comm_of_local = state.snapshot_comm();
+    let t0 = comm.stats().modeled_seconds();
+    refresh(ghosts, &comm_of_local, &mut ghost_comm, comm);
+    comm_seconds += comm.stats().modeled_seconds() - t0;
+    let (e_in_local, a2_local) = local_modularity_terms(lg, ghosts, &state, &ghost_comm);
+    let t0 = comm.stats().modeled_seconds();
+    let e_in = comm.all_reduce(e_in_local, ReduceOp::Sum);
+    let a2 = comm.all_reduce(a2_local, ReduceOp::Sum);
+    reduce_seconds += comm.stats().modeled_seconds() - t0;
+    let final_q = if ctx.two_m > 0.0 {
+        e_in / ctx.two_m - a2 / (ctx.two_m * ctx.two_m)
+    } else {
+        0.0
+    };
+
+    PhaseResult {
+        comm_of_local,
+        ghost_comm,
+        owned_a: state.snapshot_a(),
+        modularity: final_q,
+        iterations,
+        traces,
+        compute,
+        comm_seconds,
+        reduce_seconds,
+        etc_exit,
+        pruned_ghosts: ghosts.num_pruned(),
+    }
+}
+
+/// Distributed vertex following (phase 0 only): every vertex with exactly
+/// one non-loop neighbor adopts that neighbor's singleton community
+/// (community ids equal vertex ids at phase start, so the target id is
+/// known without communication). Pendant *pairs* (an isolated edge, both
+/// endpoints degree 1) collapse toward the smaller id — following blindly
+/// would swap them instead of merging. Pendant flags of remote neighbors
+/// are learned through one ghost exchange; `a_c`/size deltas for remote
+/// targets are pushed in one all-to-all.
+fn apply_vertex_following(
+    comm: &Comm,
+    lg: &LocalGraph,
+    ghosts: &GhostLayer,
+    state: &SweepState,
+    k_local: &[Weight],
+    neighborhood: bool,
+) {
+    let part = lg.partition();
+    let first = lg.first_vertex();
+    let nlocal = lg.num_local();
+    // Unique non-loop neighbor of each pendant local vertex.
+    let pendant_target: Vec<Option<VertexId>> = (0..nlocal)
+        .map(|l| {
+            let v = lg.to_global(l);
+            let mut nbrs = lg.neighbors(l).filter(|&(u, _)| u != v);
+            match (nbrs.next(), nbrs.next()) {
+                (Some((u, _)), None) => Some(u),
+                _ => None,
+            }
+        })
+        .collect();
+    // Exchange pendant flags so the pair rule sees remote neighbors.
+    let flags: Vec<u64> = pendant_target.iter().map(|t| u64::from(t.is_some())).collect();
+    let mut ghost_flags: Vec<u64> = Vec::new();
+    if neighborhood {
+        ghosts.refresh_neighborhood(comm, &flags, &mut ghost_flags);
+    } else {
+        ghosts.refresh(comm, &flags, &mut ghost_flags);
+    }
+    let is_pendant = |u: VertexId| -> bool {
+        if lg.owns(u) {
+            pendant_target[(u - first) as usize].is_some()
+        } else {
+            ghost_flags[ghosts.slot_of(u)] == 1
+        }
+    };
+
+    let mut deltas: FastMap<VertexId, (Weight, i64)> = fast_map();
+    for l in 0..nlocal {
+        let Some(u) = pendant_target[l] else { continue };
+        let v = lg.to_global(l);
+        // Pendant pair: only the larger id follows.
+        if is_pendant(u) && u > v {
+            continue;
+        }
+        let kv = k_local[l];
+        // Leave own singleton community v (owned here by construction).
+        state.comm[l].store(u, Ordering::Relaxed);
+        state.a[l].fetch_add(-kv);
+        state.size[l].fetch_sub(1, Ordering::Relaxed);
+        // Join community u.
+        if lg.owns(u) {
+            let i = (u - first) as usize;
+            state.a[i].fetch_add(kv);
+            state.size[i].fetch_add(1, Ordering::Relaxed);
+        } else {
+            let d = deltas.entry(u).or_insert((0.0, 0));
+            d.0 += kv;
+            d.1 += 1;
+        }
+    }
+    let mut delta_msgs: Vec<Vec<(VertexId, f64, i64)>> = vec![Vec::new(); comm.size()];
+    for (&c, &(da, ds)) in &deltas {
+        delta_msgs[part.owner_of(c)].push((c, da, ds));
+    }
+    let received = comm.all_to_all_v(delta_msgs);
+    for msgs in &received {
+        for &(c, da, ds) in msgs {
+            let i = (c - first) as usize;
+            state.a[i].fetch_add(da);
+            let cur = state.size[i].load(Ordering::Relaxed) as i64;
+            state.size[i].store((cur + ds) as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// This rank's contribution to `Σ e_in` and `Σ a_c²` (Eq. 2).
+fn local_modularity_terms(
+    lg: &LocalGraph,
+    ghosts: &GhostLayer,
+    state: &SweepState,
+    ghost_comm: &[VertexId],
+) -> (f64, f64) {
+    let first = lg.first_vertex();
+    let mut e_in_local = 0.0;
+    for l in 0..lg.num_local() {
+        let cv = state.comm_of_local(l);
+        let v_global = lg.to_global(l);
+        for (u, w) in lg.neighbors(l) {
+            let cu = if u == v_global {
+                cv
+            } else if lg.owns(u) {
+                state.comm_of_local((u - first) as usize)
+            } else {
+                ghost_comm[ghosts.slot_of(u)]
+            };
+            if cu == cv {
+                e_in_local += w;
+            }
+        }
+    }
+    let a2_local: f64 = state
+        .a
+        .iter()
+        .map(|a| {
+            let v = a.load();
+            v * v
+        })
+        .sum();
+    (e_in_local, a2_local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistConfig;
+    use louvain_comm::run;
+    use louvain_graph::community::modularity;
+    use louvain_graph::{Csr, EdgeList, VertexPartition};
+
+    fn two_triangles() -> Csr {
+        Csr::from_edge_list(EdgeList::from_edges(
+            6,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+                (2, 3, 1.0),
+            ],
+        ))
+    }
+
+    /// Run one phase on `p` ranks; return (global assignment, modularity).
+    fn run_one_phase(g: &Csr, p: usize, cfg: &DistConfig) -> (Vec<VertexId>, f64) {
+        let part = VertexPartition::balanced_vertices(g.num_vertices() as u64, p);
+        let parts = LocalGraph::scatter(g, &part);
+        let two_m = g.two_m();
+        let outs = run(p, |c| {
+            let lg = parts[c.rank()].clone();
+            let mut ghosts = GhostLayer::build(c, &lg);
+            let ctx = PhaseContext { comm: c, lg: &lg, two_m };
+            let r = louvain_phase(&ctx, &mut ghosts, cfg, 0, cfg.threshold);
+            (r.comm_of_local, r.modularity)
+        });
+        let mut assignment = Vec::new();
+        let q = outs[0].1;
+        for (a, q_r) in outs {
+            assert!((q_r - q).abs() < 1e-12, "ranks disagree on modularity");
+            assignment.extend(a);
+        }
+        (assignment, q)
+    }
+
+    #[test]
+    fn single_rank_phase_finds_triangles() {
+        let g = two_triangles();
+        let (assignment, q) = run_one_phase(&g, 1, &DistConfig::baseline());
+        assert_eq!(assignment[0], assignment[1]);
+        assert_eq!(assignment[1], assignment[2]);
+        assert_eq!(assignment[3], assignment[4]);
+        assert_ne!(assignment[0], assignment[3]);
+        assert!(q > 0.3);
+    }
+
+    #[test]
+    fn distributed_phase_matches_reference_modularity() {
+        let g = two_triangles();
+        for p in [1, 2, 3] {
+            let (assignment, q) = run_one_phase(&g, p, &DistConfig::baseline());
+            let q_ref = modularity(&g, &assignment);
+            assert!((q - q_ref).abs() < 1e-9, "p={p}: reported {q} vs reference {q_ref}");
+        }
+    }
+
+    #[test]
+    fn phase_on_lfr_improves_modularity_on_many_ranks() {
+        let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(600, 5)).graph;
+        let (assignment, q) = run_one_phase(&g, 4, &DistConfig::baseline());
+        assert!(q > 0.4, "q = {q}");
+        assert_eq!(assignment.len(), 600);
+        let q_ref = modularity(&g, &assignment);
+        assert!((q - q_ref).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vertex_following_merges_pendants_immediately() {
+        // Star + pendant chain: 0-1, 0-2, 0-3 (star) and isolated edge 4-5.
+        let g = Csr::from_edge_list(EdgeList::from_edges(
+            6,
+            [(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (4, 5, 1.0)],
+        ));
+        let cfg = DistConfig { vertex_following: true, ..DistConfig::baseline() };
+        for p in [1, 2, 3] {
+            let (assignment, q) = run_one_phase(&g, p, &cfg);
+            // All star leaves end with the hub.
+            assert_eq!(assignment[1], assignment[0], "p={p}");
+            assert_eq!(assignment[2], assignment[0], "p={p}");
+            assert_eq!(assignment[3], assignment[0], "p={p}");
+            // The pendant pair collapses toward the smaller id.
+            assert_eq!(assignment[4], assignment[5], "p={p}");
+            assert_eq!(assignment[4], 4, "p={p}");
+            let q_ref = modularity(&g, &assignment);
+            assert!((q - q_ref).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn vertex_following_preserves_quality_on_lfr() {
+        let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(800, 11)).graph;
+        let base = run_one_phase(&g, 2, &DistConfig::baseline());
+        let cfg = DistConfig { vertex_following: true, ..DistConfig::baseline() };
+        let vf = run_one_phase(&g, 2, &cfg);
+        assert!(vf.1 > base.1 - 0.05, "vf {} vs base {}", vf.1, base.1);
+    }
+
+    #[test]
+    fn multithreaded_sweep_reaches_comparable_quality() {
+        let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(1_000, 9)).graph;
+        let base = run_one_phase(&g, 2, &DistConfig::baseline());
+        let cfg = DistConfig { threads_per_rank: 4, ..DistConfig::baseline() };
+        let threaded = run_one_phase(&g, 2, &cfg);
+        // Parallel interleaving changes the trajectory but not the
+        // quality ballpark; the reported Q must still be exact for the
+        // returned assignment.
+        assert!(
+            threaded.1 > base.1 - 0.1,
+            "threaded {} vs sequential {}",
+            threaded.1,
+            base.1
+        );
+        let q_ref = modularity(&g, &threaded.0);
+        assert!((threaded.1 - q_ref).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighborhood_collectives_give_identical_results() {
+        let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(600, 6)).graph;
+        let base = run_one_phase(&g, 3, &DistConfig::baseline());
+        let cfg = DistConfig { neighborhood_collectives: true, ..DistConfig::baseline() };
+        let nbr = run_one_phase(&g, 3, &cfg);
+        assert_eq!(base.0, nbr.0, "assignments differ");
+        assert_eq!(base.1, nbr.1);
+    }
+
+    #[test]
+    fn colored_sweeps_converge_with_comparable_quality() {
+        let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(600, 7)).graph;
+        let base = run_one_phase(&g, 3, &DistConfig::baseline());
+        let cfg = DistConfig { color_sweeps: true, ..DistConfig::baseline() };
+        let colored = run_one_phase(&g, 3, &cfg);
+        assert!(
+            colored.1 > base.1 - 0.1,
+            "colored {} vs base {}",
+            colored.1,
+            base.1
+        );
+    }
+
+    #[test]
+    fn pruning_preserves_results_for_frozen_et() {
+        // With pruning on, the phase output must still be a consistent
+        // (reported == recomputed) clustering.
+        let g = louvain_graph::gen::ssca2(louvain_graph::gen::Ssca2Params {
+            n: 600,
+            max_clique_size: 15,
+            inter_clique_prob: 0.05,
+            seed: 3,
+        })
+        .graph;
+        let cfg = DistConfig {
+            prune_inactive_ghosts: true,
+            ..DistConfig::with_variant(crate::Variant::Et { alpha: 0.75 })
+        };
+        let (assignment, q) = run_one_phase(&g, 3, &cfg);
+        let q_ref = modularity(&g, &assignment);
+        assert!((q - q_ref).abs() < 1e-9, "reported {q} vs reference {q_ref}");
+    }
+
+    #[test]
+    fn etc_variant_terminates_and_reports_inactive() {
+        let g = louvain_graph::gen::ssca2(louvain_graph::gen::Ssca2Params {
+            n: 600,
+            max_clique_size: 15,
+            inter_clique_prob: 0.05,
+            seed: 2,
+        })
+        .graph;
+        let cfg = DistConfig::with_variant(crate::Variant::Etc { alpha: 0.75 });
+        let part = VertexPartition::balanced_vertices(600, 2);
+        let parts = LocalGraph::scatter(&g, &part);
+        let two_m = g.two_m();
+        let outs = run(2, |c| {
+            let lg = parts[c.rank()].clone();
+            let mut ghosts = GhostLayer::build(c, &lg);
+            let ctx = PhaseContext { comm: c, lg: &lg, two_m };
+            let r = louvain_phase(&ctx, &mut ghosts, &cfg, 0, cfg.threshold);
+            (r.iterations, r.traces.last().unwrap().inactive)
+        });
+        // Both ranks agree on iteration count (bulk synchronous).
+        assert_eq!(outs[0].0, outs[1].0);
+    }
+
+    #[test]
+    fn work_counters_and_comm_time_are_recorded() {
+        let g = two_triangles();
+        let part = VertexPartition::balanced_vertices(6, 2);
+        let parts = LocalGraph::scatter(&g, &part);
+        let outs = run(2, |c| {
+            let lg = parts[c.rank()].clone();
+            let mut ghosts = GhostLayer::build(c, &lg);
+            let ctx = PhaseContext { comm: c, lg: &lg, two_m: g.two_m() };
+            let r = louvain_phase(&ctx, &mut ghosts, &DistConfig::baseline(), 0, 1e-6);
+            (r.compute, r.comm_seconds, r.reduce_seconds)
+        });
+        for (w, cs, rs) in outs {
+            assert!(w.edges_scanned > 0);
+            assert!(w.vertices_processed > 0);
+            assert!(cs > 0.0);
+            assert!(rs > 0.0);
+        }
+    }
+}

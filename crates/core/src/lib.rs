@@ -1,0 +1,50 @@
+//! # louvain-dist — distributed-memory parallel Louvain
+//!
+//! The primary contribution of Ghosh et al., *Distributed Louvain
+//! Algorithm for Graph Community Detection* (IPDPS 2018), reproduced on
+//! top of the [`louvain_comm`] simulated-MPI runtime:
+//!
+//! * **Algorithm 2** — the phase loop with distributed graph
+//!   reconstruction between phases ([`runner`], [`rebuild`]),
+//! * **Algorithm 3** — the Louvain iteration with its four communication
+//!   steps per iteration: ghost-vertex community refresh, ghost-community
+//!   weight pull, community-delta push to owners, and the global
+//!   modularity all-reduce ([`iteration`]),
+//! * **Algorithm 4** — one-time-per-phase ghost discovery ([`ghost`]),
+//! * the **threshold cycling** and **early termination (ET/ETC)**
+//!   heuristics of Section IV-B ([`heuristics`]),
+//! * the ground-truth **quality assessment** (precision / recall /
+//!   F-score) of Section V-D ([`quality`]),
+//! * a **serial reference** implementation of Algorithm 1 ([`serial`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use louvain_dist::{run_distributed, DistConfig};
+//! use louvain_graph::gen::{lfr, LfrParams};
+//!
+//! let g = lfr(LfrParams::small(1_000, 3)).graph;
+//! let outcome = run_distributed(&g, 4, &DistConfig::baseline());
+//! assert!(outcome.modularity > 0.5);
+//! ```
+
+pub mod api;
+pub mod config;
+pub mod ghost;
+pub mod heuristics;
+pub mod iteration;
+pub mod quality;
+pub mod rebuild;
+pub mod runner;
+pub mod serial;
+pub mod stats;
+
+pub use api::{
+    run_distributed, run_distributed_partitioned, run_distributed_with, DistOutcome,
+    PartitionStrategy,
+};
+pub use config::{DistConfig, Variant};
+pub use quality::{adjusted_rand_index, f_score, nmi, QualityReport};
+pub use runner::RankOutcome;
+pub use serial::serial_louvain;
+pub use stats::{IterationTrace, PhaseStats, WorkCounter};

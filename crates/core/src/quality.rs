@@ -1,0 +1,247 @@
+//! Ground-truth quality assessment (Section V-D, Table VII).
+//!
+//! Follows the methodology of Halappanavar et al. (HPEC 2017): detected
+//! communities are compared to ground truth with set-overlap precision
+//! and recall, weighted by community size, and combined into an F-score.
+//! In the paper's runs recall is 1.0 throughout (Louvain *merges* planted
+//! communities but rarely splits them), and precision/F-score degrade
+//! gently with graph size — the behaviour reproduced by our Table VII.
+
+use louvain_graph::hash::{fast_map, FastMap};
+use louvain_graph::VertexId;
+
+/// Precision / recall / F-score of a detected partition vs. ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    pub precision: f64,
+    pub recall: f64,
+    pub f_score: f64,
+}
+
+/// Compare a detected community assignment to ground truth.
+///
+/// * `precision` — each *detected* community is matched to the ground
+///   truth community with the largest overlap; the overlap fraction is
+///   averaged weighted by detected-community size.
+/// * `recall` — symmetric, over *ground-truth* communities.
+/// * `f_score` — harmonic mean of the two.
+pub fn f_score(ground_truth: &[VertexId], detected: &[VertexId]) -> QualityReport {
+    assert_eq!(ground_truth.len(), detected.len());
+    let n = ground_truth.len();
+    if n == 0 {
+        return QualityReport { precision: 1.0, recall: 1.0, f_score: 1.0 };
+    }
+    // Contingency counts |t ∩ d|.
+    let mut joint: FastMap<(VertexId, VertexId), u64> = fast_map();
+    let mut t_size: FastMap<VertexId, u64> = fast_map();
+    let mut d_size: FastMap<VertexId, u64> = fast_map();
+    for i in 0..n {
+        *joint.entry((ground_truth[i], detected[i])).or_insert(0) += 1;
+        *t_size.entry(ground_truth[i]).or_insert(0) += 1;
+        *d_size.entry(detected[i]).or_insert(0) += 1;
+    }
+    let mut best_for_d: FastMap<VertexId, u64> = fast_map();
+    let mut best_for_t: FastMap<VertexId, u64> = fast_map();
+    for (&(t, d), &cnt) in &joint {
+        let bd = best_for_d.entry(d).or_insert(0);
+        *bd = (*bd).max(cnt);
+        let bt = best_for_t.entry(t).or_insert(0);
+        *bt = (*bt).max(cnt);
+    }
+    // Weighted by community size, the weights cancel into a plain sum/n.
+    let precision: f64 =
+        best_for_d.values().map(|&b| b as f64).sum::<f64>() / n as f64;
+    let recall: f64 = best_for_t.values().map(|&b| b as f64).sum::<f64>() / n as f64;
+    let f = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    QualityReport { precision, recall, f_score: f }
+}
+
+/// Normalized mutual information between two partitions:
+/// `NMI = 2·I(X;Y) / (H(X) + H(Y))` over the label distributions.
+/// 1.0 for identical partitions (up to relabeling), →0 for independent
+/// ones. The standard complementary metric to F-score in community
+/// detection studies.
+pub fn nmi(a: &[VertexId], b: &[VertexId]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let nf = n as f64;
+    let mut joint: FastMap<(VertexId, VertexId), u64> = fast_map();
+    let mut ca: FastMap<VertexId, u64> = fast_map();
+    let mut cb: FastMap<VertexId, u64> = fast_map();
+    for i in 0..n {
+        *joint.entry((a[i], b[i])).or_insert(0) += 1;
+        *ca.entry(a[i]).or_insert(0) += 1;
+        *cb.entry(b[i]).or_insert(0) += 1;
+    }
+    let h = |counts: &FastMap<VertexId, u64>| -> f64 {
+        -counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / nf;
+                p * p.ln()
+            })
+            .sum::<f64>()
+    };
+    let ha = h(&ca);
+    let hb = h(&cb);
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0; // both partitions trivial (single community)
+    }
+    let mut mi = 0.0;
+    for (&(x, y), &cxy) in &joint {
+        let pxy = cxy as f64 / nf;
+        let px = ca[&x] as f64 / nf;
+        let py = cb[&y] as f64 / nf;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+/// Adjusted Rand index between two partitions: 1.0 for identical
+/// partitions, ≈0 in expectation for random ones (can be negative).
+pub fn adjusted_rand_index(a: &[VertexId], b: &[VertexId]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let mut joint: FastMap<(VertexId, VertexId), u64> = fast_map();
+    let mut ca: FastMap<VertexId, u64> = fast_map();
+    let mut cb: FastMap<VertexId, u64> = fast_map();
+    for i in 0..n {
+        *joint.entry((a[i], b[i])).or_insert(0) += 1;
+        *ca.entry(a[i]).or_insert(0) += 1;
+        *cb.entry(b[i]).or_insert(0) += 1;
+    }
+    let sum_joint: f64 = joint.values().map(|&c| choose2(c)).sum();
+    let sum_a: f64 = ca.values().map(|&c| choose2(c)).sum();
+    let sum_b: f64 = cb.values().map(|&c| choose2(c)).sum();
+    let total = choose2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // degenerate: both partitions trivial
+    }
+    (sum_joint - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_are_perfect() {
+        let gt = vec![0, 0, 1, 1, 2, 2];
+        let r = f_score(&gt, &gt);
+        assert_eq!(r.precision, 1.0);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.f_score, 1.0);
+    }
+
+    #[test]
+    fn relabeled_partition_is_still_perfect() {
+        let gt = vec![0, 0, 1, 1, 2, 2];
+        let det = vec![9, 9, 4, 4, 7, 7];
+        let r = f_score(&gt, &det);
+        assert_eq!(r.f_score, 1.0);
+    }
+
+    #[test]
+    fn merging_two_truth_communities_keeps_recall_one() {
+        // Detected merges gt communities 0 and 1 — the paper's typical
+        // failure mode ("recall was found to be 1.0 for every case").
+        let gt = vec![0, 0, 1, 1, 2, 2];
+        let det = vec![0, 0, 0, 0, 2, 2];
+        let r = f_score(&gt, &det);
+        assert_eq!(r.recall, 1.0);
+        // Precision: community {0,1,2,3} best-overlaps a gt community with
+        // 2 of its 4 members; community {4,5} is exact.
+        assert!((r.precision - 4.0 / 6.0).abs() < 1e-12);
+        assert!(r.f_score < 1.0);
+    }
+
+    #[test]
+    fn splitting_a_truth_community_keeps_precision_one() {
+        let gt = vec![0, 0, 0, 0];
+        let det = vec![0, 0, 1, 1];
+        let r = f_score(&gt, &det);
+        assert_eq!(r.precision, 1.0);
+        assert!((r.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_perfect() {
+        let r = f_score(&[], &[]);
+        assert_eq!(r.f_score, 1.0);
+    }
+
+    #[test]
+    fn f_score_is_harmonic_mean() {
+        let gt = vec![0, 0, 1, 1];
+        let det = vec![0, 1, 0, 1]; // orthogonal partitions
+        let r = f_score(&gt, &det);
+        let expected_f = 2.0 * r.precision * r.recall / (r.precision + r.recall);
+        assert!((r.f_score - expected_f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_of_identical_partitions_is_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        // Relabeled but identical.
+        let b = vec![7, 7, 3, 3, 9, 9];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_of_orthogonal_partitions_is_low() {
+        // Four blocks crossed two ways: labels share no information.
+        let a = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(nmi(&a, &b) < 0.05, "nmi = {}", nmi(&a, &b));
+    }
+
+    #[test]
+    fn nmi_handles_trivial_partitions() {
+        let a = vec![0; 5];
+        assert_eq!(nmi(&a, &a), 1.0);
+        assert_eq!(nmi(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn nmi_of_merged_partition_is_between_zero_and_one() {
+        let gt = vec![0, 0, 1, 1, 2, 2];
+        let merged = vec![0, 0, 0, 0, 2, 2];
+        let v = nmi(&gt, &merged);
+        assert!(v > 0.5 && v < 1.0, "nmi = {v}");
+    }
+
+    #[test]
+    fn ari_of_identical_partitions_is_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![5, 5, 8, 8, 1, 1];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_of_orthogonal_partitions_is_near_zero() {
+        let a = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let v = adjusted_rand_index(&a, &b);
+        assert!(v.abs() < 0.3, "ari = {v}");
+    }
+
+    #[test]
+    fn ari_degenerate_cases() {
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0, 0], &[0, 0]), 1.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Distributed graph reconstruction (Section IV-A(b), Fig 1).
+//!
+//! The seven steps of the paper:
+//! 1. count unique local clusters,
+//! 2. drop owned community ids no longer used by anyone,
+//! 3. renumber surviving clusters globally with a parallel prefix sum,
+//! 4. communicate the new global community ids to the ranks that use
+//!    them,
+//! 5. build partial new edge lists (same-community neighbors become a
+//!    self-loop),
+//! 6. redistribute edges so every rank owns an equal number of the new
+//!    vertices,
+//! 7. rebuild the CSR arrays of the coarse graph.
+
+use louvain_comm::{Comm, ReduceOp};
+use louvain_graph::hash::{fast_map, fast_set, FastMap};
+use louvain_graph::{LocalGraph, VertexId, VertexPartition, Weight};
+
+use crate::ghost::GhostLayer;
+use crate::stats::WorkCounter;
+
+/// Output of one distributed rebuild on one rank.
+#[derive(Debug)]
+pub struct RebuildOutput {
+    /// The rank's piece of the coarse graph.
+    pub new_lg: LocalGraph,
+    /// For each OLD local vertex: its vertex id in the coarse graph
+    /// (i.e. the renumbered id of its final community).
+    pub vertex_new_id: Vec<VertexId>,
+    /// Number of vertices of the coarse graph.
+    pub new_num_vertices: u64,
+    pub work: WorkCounter,
+    /// Modeled seconds spent in rebuild communication.
+    pub comm_seconds: f64,
+}
+
+/// Execute the distributed rebuild. Collective.
+///
+/// `comm_of_local` / `ghost_comm` are the final (exchanged) community
+/// assignments from the phase's last iteration.
+pub fn rebuild(
+    comm: &Comm,
+    lg: &LocalGraph,
+    ghosts: &GhostLayer,
+    comm_of_local: &[VertexId],
+    ghost_comm: &[VertexId],
+) -> RebuildOutput {
+    let p = comm.size();
+    let part = lg.partition();
+    let first = lg.first_vertex();
+    let mut work = WorkCounter::default();
+    let t_start = comm.stats().modeled_seconds();
+
+    // -- Steps 1–2: report used communities to their owners. -------------
+    // Each community that has at least one member must survive; members
+    // report to the community's owner. (A community id owned here that no
+    // vertex uses anymore is thereby dropped — step 2.)
+    let mut report_sets: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+    {
+        let mut seen = fast_set::<VertexId>();
+        for &c in comm_of_local {
+            if seen.insert(c) {
+                report_sets[part.owner_of(c)].push(c);
+            }
+        }
+    }
+    let reports = comm.all_to_all_v(report_sets);
+    let mut survivors: Vec<VertexId> = {
+        let mut s = fast_set::<VertexId>();
+        for list in &reports {
+            s.extend(list.iter().copied());
+        }
+        s.into_iter().collect()
+    };
+    survivors.sort_unstable();
+    work.vertices_processed += survivors.len() as u64;
+
+    // -- Step 3: global renumbering via exclusive prefix sum. -------------
+    let k_local = survivors.len() as u64;
+    let base = comm.exscan_sum(k_local);
+    let new_num_vertices = comm.all_reduce(k_local, ReduceOp::Sum);
+    let mut owned_new_id: FastMap<VertexId, VertexId> = fast_map();
+    for (i, &c) in survivors.iter().enumerate() {
+        owned_new_id.insert(c, base + i as u64);
+    }
+
+    // -- Step 4: query the new ids of every community we reference. -------
+    // Referenced = final communities of local vertices and of ghosts
+    // (needed to relabel edge destinations).
+    let mut query_sets: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+    {
+        let mut seen = fast_set::<VertexId>();
+        for &c in comm_of_local.iter().chain(ghost_comm.iter()) {
+            if seen.insert(c) && !lg.owns(c) {
+                query_sets[part.owner_of(c)].push(c);
+            }
+        }
+    }
+    let queries_sent = query_sets.clone();
+    let incoming_queries = comm.all_to_all_v(query_sets);
+    let replies: Vec<Vec<VertexId>> = incoming_queries
+        .iter()
+        .map(|ids| {
+            ids.iter()
+                .map(|c| {
+                    *owned_new_id
+                        .get(c)
+                        .expect("queried community has no member anywhere")
+                })
+                .collect()
+        })
+        .collect();
+    let reply_vals = comm.all_to_all_v(replies);
+    let mut new_id: FastMap<VertexId, VertexId> = owned_new_id;
+    for (owner, ids) in queries_sent.iter().enumerate() {
+        for (i, &c) in ids.iter().enumerate() {
+            new_id.insert(c, reply_vals[owner][i]);
+        }
+    }
+
+    // -- Step 5: partial new edge lists. -----------------------------------
+    let vertex_new_id: Vec<VertexId> = comm_of_local.iter().map(|c| new_id[c]).collect();
+    let new_part = VertexPartition::balanced_vertices(new_num_vertices, p);
+    let mut outgoing: Vec<Vec<(VertexId, VertexId, Weight)>> = vec![Vec::new(); p];
+    for l in 0..lg.num_local() {
+        let src = vertex_new_id[l];
+        let v_global = first + l as u64;
+        for (u, w) in lg.neighbors(l) {
+            work.edges_scanned += 1;
+            let cu = if u == v_global {
+                comm_of_local[l]
+            } else if lg.owns(u) {
+                comm_of_local[(u - first) as usize]
+            } else {
+                ghost_comm[ghosts.slot_of(u)]
+            };
+            let dst = new_id[&cu];
+            outgoing[new_part.owner_of(src)].push((src, dst, w));
+        }
+    }
+
+    // -- Step 6: redistribute. ---------------------------------------------
+    let received = comm.all_to_all_v(outgoing);
+    let arcs: Vec<(VertexId, VertexId, Weight)> = received.into_iter().flatten().collect();
+    work.edges_scanned += arcs.len() as u64;
+
+    // -- Step 7: rebuild the CSR (duplicate arcs merged inside from_arcs).
+    let new_lg = LocalGraph::from_arcs(new_part, comm.rank(), arcs);
+    let comm_seconds = comm.stats().modeled_seconds() - t_start;
+
+    RebuildOutput { new_lg, vertex_new_id, new_num_vertices, work, comm_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use louvain_comm::run;
+    use louvain_graph::community::{modularity, singleton_assignment};
+    use louvain_graph::{Csr, EdgeList};
+
+    fn two_triangles() -> Csr {
+        Csr::from_edge_list(EdgeList::from_edges(
+            6,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+                (2, 3, 1.0),
+            ],
+        ))
+    }
+
+    /// Rebuild with an explicit global assignment, return the assembled
+    /// coarse graph.
+    fn rebuild_with(g: &Csr, p: usize, assignment: &[VertexId]) -> Csr {
+        let part = VertexPartition::balanced_vertices(g.num_vertices() as u64, p);
+        let parts = LocalGraph::scatter(g, &part);
+        let assignment = assignment.to_vec();
+        let outs = run(p, |c| {
+            let lg = parts[c.rank()].clone();
+            let ghosts = GhostLayer::build(c, &lg);
+            let range = lg.partition().range(c.rank());
+            let local: Vec<VertexId> = range.map(|v| assignment[v as usize]).collect();
+            // Ghost communities straight from the global assignment.
+            let mut ghost_comm = vec![0u64; ghosts.num_ghosts()];
+            for reqs in ghosts.requests() {
+                for &gid in reqs {
+                    ghost_comm[ghosts.slot_of(gid)] = assignment[gid as usize];
+                }
+            }
+            let out = rebuild(c, &lg, &ghosts, &local, &ghost_comm);
+            out.new_lg
+        });
+        LocalGraph::assemble(&outs)
+    }
+
+    #[test]
+    fn distributed_rebuild_matches_shared_memory_coarsen() {
+        let g = two_triangles();
+        let assignment = vec![0u64, 0, 0, 3, 3, 3];
+        let (expected, _) = louvain_graph::community::coarsen(&g, &assignment);
+        for p in [1, 2, 3] {
+            let coarse = rebuild_with(&g, p, &assignment);
+            assert_eq!(coarse.num_vertices(), 2, "p={p}");
+            assert_eq!(coarse.two_m(), expected.two_m(), "p={p}");
+            assert_eq!(coarse.self_loop(0), 6.0, "p={p}");
+            assert_eq!(coarse.self_loop(1), 6.0, "p={p}");
+            // Modularity invariance through distributed coarsening.
+            let q_fine = modularity(&g, &assignment);
+            let q_coarse = modularity(&coarse, &singleton_assignment(2));
+            assert!((q_fine - q_coarse).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn identity_assignment_keeps_graph_shape() {
+        let g = two_triangles();
+        let assignment = singleton_assignment(6);
+        let coarse = rebuild_with(&g, 2, &assignment);
+        assert_eq!(coarse.num_vertices(), 6);
+        assert_eq!(coarse.two_m(), g.two_m());
+        assert_eq!(coarse.num_arcs(), g.num_arcs());
+    }
+
+    #[test]
+    fn remote_community_assignment_renumbers_densely() {
+        // All vertices join community 5 (owned by the last rank).
+        let g = two_triangles();
+        let assignment = vec![5u64; 6];
+        let coarse = rebuild_with(&g, 3, &assignment);
+        assert_eq!(coarse.num_vertices(), 1);
+        assert_eq!(coarse.self_loop(0), g.two_m());
+    }
+
+    #[test]
+    fn larger_graph_rebuild_preserves_modularity_invariance() {
+        let gen = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(500, 3));
+        let g = gen.graph;
+        let assignment = gen.ground_truth.unwrap();
+        let coarse = rebuild_with(&g, 4, &assignment);
+        let q_fine = modularity(&g, &assignment);
+        let q_coarse = modularity(&coarse, &singleton_assignment(coarse.num_vertices()));
+        assert!((q_fine - q_coarse).abs() < 1e-9);
+        assert_eq!(coarse.two_m(), g.two_m());
+    }
+}

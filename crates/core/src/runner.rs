@@ -1,0 +1,271 @@
+//! The phase loop (Algorithm 2) executed on every rank.
+
+use std::time::{Duration, Instant};
+
+use louvain_comm::{Comm, ReduceOp};
+use louvain_graph::hash::{fast_map, FastMap};
+use louvain_graph::{LocalGraph, VertexId, VertexPartition};
+
+use crate::config::DistConfig;
+use crate::ghost::GhostLayer;
+use crate::heuristics::ThresholdSchedule;
+use crate::iteration::{louvain_phase, PhaseContext};
+use crate::rebuild::rebuild;
+use crate::stats::PhaseStats;
+
+/// What one rank returns from a full distributed Louvain run.
+#[derive(Debug)]
+pub struct RankOutcome {
+    /// Final community id (a coarse-graph vertex id, globally consistent)
+    /// for each of this rank's ORIGINAL vertices, in global-id order.
+    pub assignment: Vec<VertexId>,
+    /// Final modularity (identical on every rank).
+    pub modularity: f64,
+    pub phases: usize,
+    pub total_iterations: usize,
+    pub phase_stats: Vec<PhaseStats>,
+    /// Wall time of the whole run on this rank.
+    pub wall: Duration,
+}
+
+/// Fetch `local_vals[key - owner_first]` from the owner of every `key`.
+/// Used to project assignments through the distributed coarse hierarchy.
+/// Collective.
+fn pull_values(
+    comm: &Comm,
+    part: &VertexPartition,
+    keys: &[VertexId],
+    local_vals: &[VertexId],
+    first: VertexId,
+) -> Vec<VertexId> {
+    let p = comm.size();
+    let mut unique: FastMap<VertexId, ()> = fast_map();
+    for &k in keys {
+        unique.insert(k, ());
+    }
+    let mut requests: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+    for &k in unique.keys() {
+        requests[part.owner_of(k)].push(k);
+    }
+    let sent = requests.clone();
+    let incoming = comm.all_to_all_v(requests);
+    let replies: Vec<Vec<VertexId>> = incoming
+        .iter()
+        .map(|ids| {
+            ids.iter()
+                .map(|&k| {
+                    debug_assert_eq!(part.owner_of(k), comm.rank());
+                    local_vals[(k - first) as usize]
+                })
+                .collect()
+        })
+        .collect();
+    let reply_vals = comm.all_to_all_v(replies);
+    let mut map: FastMap<VertexId, VertexId> = fast_map();
+    for (owner, ids) in sent.iter().enumerate() {
+        for (i, &k) in ids.iter().enumerate() {
+            map.insert(k, reply_vals[owner][i]);
+        }
+    }
+    keys.iter().map(|k| map[k]).collect()
+}
+
+/// Run the distributed Louvain algorithm on this rank's piece of the
+/// graph. Collective — all ranks call it with their own [`LocalGraph`].
+pub fn run_on_rank(comm: &Comm, lg0: LocalGraph, cfg: &DistConfig) -> RankOutcome {
+    let start = Instant::now();
+    let schedule = if cfg.variant.uses_cycling() {
+        ThresholdSchedule::paper_cycle(cfg.threshold)
+    } else {
+        ThresholdSchedule::fixed(cfg.threshold)
+    };
+    let min_tau = schedule.min_tau();
+
+    let mut lg = lg0;
+    // Original vertex (this rank's range) → vertex of the current coarse
+    // graph. Starts as the identity.
+    let mut cur_of_orig: Vec<VertexId> = lg.partition().range(comm.rank()).collect();
+
+    let mut phase_stats: Vec<PhaseStats> = Vec::new();
+    let mut prev_q = f64::NEG_INFINITY;
+    let mut final_q = 0.0;
+    let mut total_iterations = 0;
+    let mut force_min_tau = false;
+
+    for phase_idx in 0..cfg.max_phases {
+        let tau = if force_min_tau {
+            min_tau
+        } else {
+            schedule.tau_for_phase(phase_idx)
+        };
+
+        let mut ghosts = GhostLayer::build(comm, &lg);
+        let two_m = comm.all_reduce(lg.local_arc_weight(), ReduceOp::Sum);
+        let ctx = PhaseContext { comm, lg: &lg, two_m };
+        let result = louvain_phase(&ctx, &mut ghosts, cfg, phase_idx, tau);
+        total_iterations += result.iterations;
+        final_q = result.modularity;
+
+        let gain = result.modularity - prev_q;
+        let converged = prev_q.is_finite() && gain <= tau;
+        // "our distributed implementation always forces Louvain iteration
+        // to run once more with the lowest threshold, to ensure acceptable
+        // modularity" — convergence at a cycled (higher) τ only schedules
+        // a final min-τ phase.
+        let accept = converged && (tau <= min_tau * (1.0 + 1e-12) || force_min_tau);
+        prev_q = prev_q.max(result.modularity);
+
+        let mut stats = PhaseStats {
+            phase: phase_idx,
+            num_vertices: lg.num_global(),
+            iterations: result.iterations,
+            modularity: result.modularity,
+            tau,
+            iteration_traces: result.traces.clone(),
+            compute: result.compute,
+            rebuild: Default::default(),
+            comm_seconds: result.comm_seconds,
+            reduce_seconds: result.reduce_seconds,
+            etc_exit: result.etc_exit,
+            threads_per_rank: cfg.threads_per_rank.max(1),
+        };
+
+        if accept {
+            // Map original vertices to their final communities: the final
+            // community of orig v is comm_of_local[cur_of_orig[v]] held by
+            // the owner of that coarse vertex.
+            let first = lg.first_vertex();
+            cur_of_orig = pull_values(comm, lg.partition(), &cur_of_orig, &result.comm_of_local, first);
+            phase_stats.push(stats);
+            break;
+        }
+        if converged {
+            force_min_tau = true;
+        }
+
+        // Rebuild the coarse graph (also yields each old vertex's new id).
+        let out = rebuild(comm, &lg, &ghosts, &result.comm_of_local, &result.ghost_comm);
+        stats.rebuild = out.work;
+        stats.comm_seconds += out.comm_seconds;
+        phase_stats.push(stats);
+
+        // Project the original vertices onto the new coarse graph.
+        let first = lg.first_vertex();
+        cur_of_orig = pull_values(comm, lg.partition(), &cur_of_orig, &out.vertex_new_id, first);
+
+        let compressed = out.new_num_vertices < lg.num_global();
+        lg = out.new_lg;
+        if !compressed {
+            // No compression: one more phase cannot improve; map current
+            // coarse vertices to their (identity) communities and stop.
+            break;
+        }
+        if phase_idx + 1 == cfg.max_phases {
+            // Phase budget exhausted: cur_of_orig already points at the
+            // final coarse vertices, which are the final communities.
+            break;
+        }
+    }
+
+    RankOutcome {
+        assignment: cur_of_orig,
+        modularity: final_q.max(0.0_f64.min(final_q)),
+        phases: phase_stats.len(),
+        total_iterations,
+        phase_stats,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use louvain_comm::run;
+    use louvain_graph::{Csr, EdgeList};
+
+    fn scatter(g: &Csr, p: usize) -> Vec<LocalGraph> {
+        let part = VertexPartition::balanced_vertices(g.num_vertices() as u64, p);
+        LocalGraph::scatter(g, &part)
+    }
+
+    #[test]
+    fn two_triangles_converge_on_any_rank_count() {
+        let g = Csr::from_edge_list(EdgeList::from_edges(
+            6,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+                (2, 3, 1.0),
+            ],
+        ));
+        for p in [1, 2, 3] {
+            let parts = scatter(&g, p);
+            let cfg = DistConfig::baseline();
+            let outs = run(p, |c| run_on_rank(c, parts[c.rank()].clone(), &cfg));
+            let mut assignment = Vec::new();
+            for o in &outs {
+                assignment.extend(o.assignment.iter().copied());
+                assert!((o.modularity - outs[0].modularity).abs() < 1e-12);
+            }
+            assert_eq!(assignment[0], assignment[1]);
+            assert_eq!(assignment[1], assignment[2]);
+            assert_eq!(assignment[3], assignment[5]);
+            assert_ne!(assignment[0], assignment[3]);
+            let q_ref = louvain_graph::community::modularity(&g, &assignment);
+            assert!(
+                (outs[0].modularity - q_ref).abs() < 1e-9,
+                "p={p}: {} vs {}",
+                outs[0].modularity,
+                q_ref
+            );
+        }
+    }
+
+    #[test]
+    fn max_phases_budget_is_respected() {
+        let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(800, 3)).graph;
+        let parts = scatter(&g, 2);
+        let cfg = DistConfig { max_phases: 1, ..DistConfig::baseline() };
+        let outs = run(2, |c| run_on_rank(c, parts[c.rank()].clone(), &cfg));
+        for o in &outs {
+            assert_eq!(o.phases, 1);
+            // Output is still a complete, valid assignment for the
+            // original vertices.
+            assert!(!o.assignment.is_empty());
+        }
+        let total: usize = outs.iter().map(|o| o.assignment.len()).sum();
+        assert_eq!(total, 800);
+    }
+
+    #[test]
+    fn per_phase_modularity_is_nondecreasing_at_acceptance() {
+        let g = louvain_graph::gen::weblike(louvain_graph::gen::WeblikeParams::web(1_200, 4)).graph;
+        let parts = scatter(&g, 2);
+        let cfg = DistConfig::baseline();
+        let outs = run(2, |c| run_on_rank(c, parts[c.rank()].clone(), &cfg));
+        let qs: Vec<f64> = outs[0].phase_stats.iter().map(|p| p.modularity).collect();
+        // Phases must improve until the last (which may only tie within τ).
+        for w in qs.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "phase modularity regressed: {qs:?}");
+        }
+    }
+
+    #[test]
+    fn pull_values_fetches_owner_state() {
+        let outs = run(3, |c| {
+            let part = VertexPartition::balanced_vertices(9, 3);
+            let first = part.first(c.rank());
+            // Owner stores value = 10 * global id for each owned vertex.
+            let local_vals: Vec<u64> = part.range(c.rank()).map(|v| v * 10).collect();
+            // Every rank asks about vertices it does not own.
+            let keys: Vec<u64> = (0..9).filter(|v| part.owner_of(*v) != c.rank()).collect();
+            let vals = pull_values(c, &part, &keys, &local_vals, first);
+            keys.into_iter().zip(vals).all(|(k, v)| v == k * 10)
+        });
+        assert!(outs.into_iter().all(|b| b));
+    }
+}

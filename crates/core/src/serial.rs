@@ -1,0 +1,184 @@
+//! Serial Louvain (Algorithm 1) — the single-threaded reference against
+//! which both the shared-memory and distributed implementations are
+//! validated in tests.
+
+use louvain_graph::community::{coarsen, modularity, project, singleton_assignment};
+use louvain_graph::hash::fast_map;
+use louvain_graph::{Csr, VertexId, Weight};
+
+/// Result of [`serial_louvain`].
+#[derive(Debug, Clone)]
+pub struct SerialResult {
+    /// Dense community id per vertex.
+    pub assignment: Vec<VertexId>,
+    pub modularity: f64,
+    pub phases: usize,
+    pub total_iterations: usize,
+}
+
+/// One serial phase: sequential sweeps in a seed-shuffled vertex order
+/// with immediate updates until the modularity gain falls below `tau`.
+/// Returns (assignment, modularity, iterations).
+fn serial_phase(
+    g: &Csr,
+    tau: f64,
+    max_iterations: usize,
+    seed: u64,
+) -> (Vec<VertexId>, f64, usize) {
+    let n = g.num_vertices();
+    let k: Vec<Weight> = g.weighted_degrees();
+    let two_m = g.two_m();
+    let mut comm: Vec<VertexId> = singleton_assignment(n);
+    let mut a_tot: Vec<Weight> = k.clone();
+    let order = louvain_graph::hash::shuffled_order(n, seed);
+
+    let mut prev_q = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    while iterations < max_iterations {
+        iterations += 1;
+        let mut moves = 0usize;
+        for &v in &order {
+            let cu = comm[v];
+            let kv = k[v];
+            let mut weights = fast_map::<VertexId, Weight>();
+            for (u, w) in g.neighbors(v as VertexId) {
+                if u == v as VertexId {
+                    continue;
+                }
+                *weights.entry(comm[u as usize]).or_insert(0.0) += w;
+            }
+            if weights.is_empty() {
+                continue;
+            }
+            let e_cu = weights.get(&cu).copied().unwrap_or(0.0);
+            let stay = e_cu - kv * (a_tot[cu as usize] - kv) / two_m;
+            let mut best_c = cu;
+            let mut best_score = f64::NEG_INFINITY;
+            for (&c, &e_vc) in &weights {
+                if c == cu {
+                    continue;
+                }
+                let score = e_vc - kv * a_tot[c as usize] / two_m;
+                if score > best_score + 1e-12
+                    || ((score - best_score).abs() <= 1e-12 && c < best_c)
+                {
+                    best_score = score;
+                    best_c = c;
+                }
+            }
+            if best_c != cu
+                && (best_score > stay + 1e-12
+                    || ((best_score - stay).abs() <= 1e-12 && best_c < cu))
+            {
+                comm[v] = best_c;
+                a_tot[cu as usize] -= kv;
+                a_tot[best_c as usize] += kv;
+                moves += 1;
+            }
+        }
+        let q = modularity(g, &comm);
+        if moves == 0 || (prev_q.is_finite() && q - prev_q <= tau) {
+            return (comm, q.max(prev_q), iterations);
+        }
+        prev_q = q;
+    }
+    (comm, prev_q, iterations)
+}
+
+/// Run the serial Louvain method to convergence.
+pub fn serial_louvain(g: &Csr, tau: f64) -> SerialResult {
+    let mut owned: Option<Csr> = None;
+    let n0 = g.num_vertices();
+    let mut flat: Vec<VertexId> = (0..n0 as VertexId).collect();
+    let mut prev_q = f64::NEG_INFINITY;
+    let mut phases = 0;
+    let mut total_iterations = 0;
+
+    loop {
+        let cur: &Csr = owned.as_ref().unwrap_or(g);
+        let (assignment, q, iters) = serial_phase(cur, tau, 500, 0x5e41a1 + phases as u64);
+        phases += 1;
+        total_iterations += iters;
+        let gain = q - prev_q;
+        let converged = prev_q.is_finite() && gain <= tau;
+        prev_q = prev_q.max(q);
+        if converged || phases >= 50 {
+            break;
+        }
+        let (coarse, dense) = coarsen(cur, &assignment);
+        flat = project(&flat, &dense);
+        let compressed = coarse.num_vertices() < cur.num_vertices();
+        owned = Some(coarse);
+        if !compressed {
+            break;
+        }
+    }
+
+    let (dense_flat, _) = louvain_graph::community::renumber(&flat);
+    SerialResult {
+        assignment: dense_flat,
+        modularity: prev_q.max(0.0_f64.min(prev_q)),
+        phases,
+        total_iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use louvain_graph::gen::{lfr, ssca2, LfrParams, Ssca2Params};
+    use louvain_graph::EdgeList;
+
+    #[test]
+    fn two_triangles_split_correctly() {
+        let g = Csr::from_edge_list(EdgeList::from_edges(
+            6,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+                (2, 3, 1.0),
+            ],
+        ));
+        let r = serial_louvain(&g, 1e-6);
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[3], r.assignment[5]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+        assert!((r.modularity - 0.357142857).abs() < 1e-6, "q = {}", r.modularity);
+    }
+
+    #[test]
+    fn reported_modularity_is_consistent() {
+        let gen = lfr(LfrParams::small(1_000, 4));
+        let r = serial_louvain(&gen.graph, 1e-6);
+        let q_ref = modularity(&gen.graph, &r.assignment);
+        assert!((r.modularity - q_ref).abs() < 1e-9);
+        assert!(r.modularity > 0.5);
+    }
+
+    #[test]
+    fn recovers_near_truth_quality_on_lfr() {
+        let gen = lfr(LfrParams::small(1_500, 8));
+        let truth_q = modularity(&gen.graph, gen.ground_truth.as_ref().unwrap());
+        let r = serial_louvain(&gen.graph, 1e-6);
+        assert!(r.modularity > truth_q - 0.05, "{} vs {}", r.modularity, truth_q);
+    }
+
+    #[test]
+    fn ssca2_is_nearly_perfect() {
+        let gen = ssca2(Ssca2Params { n: 2_000, max_clique_size: 25, inter_clique_prob: 0.02, seed: 4 });
+        let r = serial_louvain(&gen.graph, 1e-6);
+        assert!(r.modularity > 0.95, "q = {}", r.modularity);
+    }
+
+    #[test]
+    fn multiple_phases_on_structured_graph() {
+        let gen = lfr(LfrParams::small(1_200, 5));
+        let r = serial_louvain(&gen.graph, 1e-6);
+        assert!(r.phases >= 2);
+        assert!(r.total_iterations >= r.phases);
+    }
+}

@@ -1,0 +1,172 @@
+//! Binary edge-list file format and range reads.
+//!
+//! The paper converts every input to "an edge list based binary format, and
+//! used the binary file as an input", reading it with MPI I/O so that every
+//! rank loads only its byte range. This module reproduces that: a fixed
+//! 24-byte header followed by 24-byte `(u64 src, u64 dst, f64 weight)`
+//! records, plus [`read_edge_range`] for per-rank loading.
+//!
+//! Layout (little endian):
+//! ```text
+//! magic  u64  = 0x4C56_4752_4250_4831  ("LVGRBPH1")
+//! n      u64  number of vertices
+//! m      u64  number of undirected edge records
+//! m × { src u64, dst u64, weight f64 }
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::edgelist::EdgeList;
+use crate::{VertexId, Weight};
+
+const MAGIC: u64 = 0x4C56_4752_4250_4831;
+const HEADER_BYTES: u64 = 24;
+const RECORD_BYTES: u64 = 24;
+
+/// Header of a binary graph file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    pub num_vertices: u64,
+    pub num_edges: u64,
+}
+
+/// Write an edge list to `path` in the binary format.
+pub fn write_edge_list(path: &Path, list: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&list.num_vertices().to_le_bytes())?;
+    w.write_all(&(list.num_edges() as u64).to_le_bytes())?;
+    for e in list.edges() {
+        w.write_all(&e.u.to_le_bytes())?;
+        w.write_all(&e.v.to_le_bytes())?;
+        w.write_all(&e.w.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read only the header.
+pub fn read_header(path: &Path) -> io::Result<Header> {
+    let mut r = File::open(path)?;
+    let mut buf = [0u8; HEADER_BYTES as usize];
+    r.read_exact(&mut buf)?;
+    let magic = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic in graph file"));
+    }
+    Ok(Header {
+        num_vertices: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        num_edges: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+    })
+}
+
+/// Read edge records `lo..hi` (record indices). This is the MPI-I/O-style
+/// range read: each rank calls it with its own slice of the file.
+pub fn read_edge_range(
+    path: &Path,
+    lo: u64,
+    hi: u64,
+) -> io::Result<Vec<(VertexId, VertexId, Weight)>> {
+    let header = read_header(path)?;
+    assert!(lo <= hi && hi <= header.num_edges, "range {lo}..{hi} out of bounds");
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(HEADER_BYTES + lo * RECORD_BYTES))?;
+    let mut r = BufReader::new(f);
+    let mut out = Vec::with_capacity((hi - lo) as usize);
+    let mut rec = [0u8; RECORD_BYTES as usize];
+    for _ in lo..hi {
+        r.read_exact(&mut rec)?;
+        out.push((
+            u64::from_le_bytes(rec[0..8].try_into().unwrap()),
+            u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+            f64::from_le_bytes(rec[16..24].try_into().unwrap()),
+        ));
+    }
+    Ok(out)
+}
+
+/// Read the whole file back into an [`EdgeList`].
+pub fn read_edge_list(path: &Path) -> io::Result<EdgeList> {
+    let header = read_header(path)?;
+    let records = read_edge_range(path, 0, header.num_edges)?;
+    Ok(EdgeList::from_edges(header.num_vertices, records))
+}
+
+/// The record range rank `rank` of `p` should read (balanced split).
+pub fn rank_record_range(num_edges: u64, rank: usize, p: usize) -> (u64, u64) {
+    let lo = num_edges * rank as u64 / p as u64;
+    let hi = num_edges * (rank as u64 + 1) / p as u64;
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("louvain-binio-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> EdgeList {
+        EdgeList::from_edges(5, [(0, 1, 1.0), (1, 2, 2.5), (3, 4, 0.25), (2, 2, 1.0)])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip.bin");
+        let el = sample();
+        write_edge_list(&path, &el).unwrap();
+        let back = read_edge_list(&path).unwrap();
+        assert_eq!(back.num_vertices(), 5);
+        assert_eq!(back.num_edges(), 4);
+        assert_eq!(back.edges(), el.edges());
+    }
+
+    #[test]
+    fn header_matches() {
+        let path = tmp("header.bin");
+        write_edge_list(&path, &sample()).unwrap();
+        let h = read_header(&path).unwrap();
+        assert_eq!(h, Header { num_vertices: 5, num_edges: 4 });
+    }
+
+    #[test]
+    fn range_reads_compose_to_whole_file() {
+        let path = tmp("ranges.bin");
+        let el = sample();
+        write_edge_list(&path, &el).unwrap();
+        let p = 3;
+        let mut all = Vec::new();
+        for rank in 0..p {
+            let (lo, hi) = rank_record_range(4, rank, p);
+            all.extend(read_edge_range(&path, lo, hi).unwrap());
+        }
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0], (0, 1, 1.0));
+        assert_eq!(all[3], (2, 2, 1.0));
+    }
+
+    #[test]
+    fn rank_ranges_are_disjoint_and_cover() {
+        let m = 103u64;
+        let p = 8;
+        let mut covered = 0u64;
+        for rank in 0..p {
+            let (lo, hi) = rank_record_range(m, rank, p);
+            assert!(lo <= hi);
+            assert_eq!(lo, covered);
+            covered = hi;
+        }
+        assert_eq!(covered, m);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("bad.bin");
+        std::fs::write(&path, [0u8; 48]).unwrap();
+        assert!(read_header(&path).is_err());
+    }
+}

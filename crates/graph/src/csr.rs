@@ -1,0 +1,236 @@
+//! Compressed-sparse-row storage for weighted undirected graphs.
+//!
+//! A `Csr` stores *directed arcs*: each undirected edge appears in both
+//! rows, a self-loop appears once in its row. This is the storage layout
+//! of the paper (Section IV, Fig 1) and makes the weighted degree of a
+//! vertex exactly the sum of its row.
+
+use crate::edgelist::EdgeList;
+use crate::{VertexId, Weight};
+
+/// Weighted CSR graph over vertices `0..num_vertices()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    dests: Vec<VertexId>,
+    weights: Vec<Weight>,
+}
+
+impl Csr {
+    /// Build from an undirected edge list (duplicates are merged first).
+    pub fn from_edge_list(mut list: EdgeList) -> Self {
+        list.dedup_sum();
+        let n = list.num_vertices() as usize;
+        let arcs = list.to_arcs();
+        Self::from_arcs(n, arcs)
+    }
+
+    /// Build from directed arcs. The caller guarantees symmetry (both
+    /// orientations present for non-loops); this is checked in debug mode.
+    pub fn from_arcs(n: usize, mut arcs: Vec<(VertexId, VertexId, Weight)>) -> Self {
+        arcs.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let dests = arcs.iter().map(|&(_, v, _)| v).collect();
+        let weights = arcs.iter().map(|&(_, _, w)| w).collect();
+        let csr = Self { offsets, dests, weights };
+        debug_assert!(csr.is_symmetric(), "CSR built from asymmetric arc set");
+        csr
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs (2·|undirected non-loop edges| + |loops|).
+    pub fn num_arcs(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Number of undirected edges (self-loops count once).
+    pub fn num_edges(&self) -> usize {
+        let loops = (0..self.num_vertices())
+            .flat_map(|u| self.neighbors(u as VertexId).filter(move |&(v, _)| v == u as VertexId))
+            .count();
+        (self.num_arcs() - loops) / 2 + loops
+    }
+
+    /// Out-degree of `v` in arcs.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Iterator over `(neighbor, weight)` of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let v = v as usize;
+        let range = self.offsets[v]..self.offsets[v + 1];
+        self.dests[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[range].iter().copied())
+    }
+
+    /// Weighted degree `k_v` = sum of the row's arc weights (self-loop
+    /// counts once, matching the coarsening-invariant convention).
+    pub fn weighted_degree(&self, v: VertexId) -> Weight {
+        let v = v as usize;
+        self.weights[self.offsets[v]..self.offsets[v + 1]].iter().sum()
+    }
+
+    /// All weighted degrees at once (one pass).
+    pub fn weighted_degrees(&self) -> Vec<Weight> {
+        (0..self.num_vertices())
+            .map(|v| self.weighted_degree(v as VertexId))
+            .collect()
+    }
+
+    /// `2m` in the modularity formula: the sum of all arc weights.
+    pub fn two_m(&self) -> Weight {
+        self.weights.iter().sum()
+    }
+
+    /// Self-loop weight of `v` (0 if none).
+    pub fn self_loop(&self, v: VertexId) -> Weight {
+        self.neighbors(v)
+            .filter(|&(u, _)| u == v)
+            .map(|(_, w)| w)
+            .sum()
+    }
+
+    /// True if every non-loop arc has its reverse with equal weight.
+    pub fn is_symmetric(&self) -> bool {
+        for u in 0..self.num_vertices() as VertexId {
+            for (v, w) in self.neighbors(u) {
+                if v == u {
+                    continue;
+                }
+                let back: Weight = self
+                    .neighbors(v)
+                    .filter(|&(x, _)| x == u)
+                    .map(|(_, w)| w)
+                    .sum();
+                if (back - w).abs() > 1e-9 * w.abs().max(1.0) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Raw offsets (length `n+1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw destination array.
+    pub fn dests(&self) -> &[VertexId] {
+        &self.dests
+    }
+
+    /// Raw weight array (parallel to [`Csr::dests`]).
+    pub fn weights(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    /// Export as an undirected edge list (each non-loop pair emitted once).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut el = EdgeList::new(self.num_vertices() as u64);
+        for u in 0..self.num_vertices() as VertexId {
+            for (v, w) in self.neighbors(u) {
+                if u <= v {
+                    el.push(u, v, w);
+                }
+            }
+        }
+        el
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_with_loop() -> Csr {
+        // Triangle 0-1-2 plus a self-loop on 2.
+        Csr::from_edge_list(EdgeList::from_edges(
+            3,
+            [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 2, 4.0)],
+        ))
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = triangle_with_loop();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 7); // 3 edges * 2 + 1 loop
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+    }
+
+    #[test]
+    fn weighted_degrees_and_two_m() {
+        let g = triangle_with_loop();
+        assert_eq!(g.weighted_degree(0), 4.0); // 1 + 3
+        assert_eq!(g.weighted_degree(1), 3.0); // 1 + 2
+        assert_eq!(g.weighted_degree(2), 9.0); // 2 + 3 + 4
+        assert_eq!(g.two_m(), 16.0);
+        let degs = g.weighted_degrees();
+        assert_eq!(degs, vec![4.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn self_loop_weight() {
+        let g = triangle_with_loop();
+        assert_eq!(g.self_loop(2), 4.0);
+        assert_eq!(g.self_loop(0), 0.0);
+    }
+
+    #[test]
+    fn symmetry_detected() {
+        let g = triangle_with_loop();
+        assert!(g.is_symmetric());
+        let bad = Csr {
+            offsets: vec![0, 1, 1],
+            dests: vec![1],
+            weights: vec![1.0],
+        };
+        assert!(!bad.is_symmetric());
+    }
+
+    #[test]
+    fn neighbors_sorted_by_destination() {
+        let g = triangle_with_loop();
+        let n2: Vec<_> = g.neighbors(2).map(|(v, _)| v).collect();
+        assert_eq!(n2, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_edges_merged() {
+        let g = Csr::from_edge_list(EdgeList::from_edges(2, [(0, 1, 1.0), (1, 0, 1.0)]));
+        assert_eq!(g.num_arcs(), 2);
+        assert_eq!(g.weighted_degree(0), 2.0);
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = triangle_with_loop();
+        let g2 = Csr::from_edge_list(g.to_edge_list());
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_rows() {
+        let g = Csr::from_edge_list(EdgeList::from_edges(5, [(0, 1, 1.0)]));
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.weighted_degree(3), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Weighted undirected edge lists — the interchange format between
+//! generators, binary I/O, and CSR construction.
+
+use crate::hash::fast_map;
+use crate::{VertexId, Weight};
+
+/// One undirected edge. `u == v` denotes a self-loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    pub u: VertexId,
+    pub v: VertexId,
+    pub w: Weight,
+}
+
+/// A bag of undirected edges over vertices `0..num_vertices`.
+///
+/// Invariants maintained by the constructors: no duplicate undirected
+/// pairs after [`EdgeList::dedup_sum`], endpoints `< num_vertices`.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeList {
+    num_vertices: u64,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Empty list over `n` vertices.
+    pub fn new(num_vertices: u64) -> Self {
+        Self { num_vertices, edges: Vec::new() }
+    }
+
+    /// Build from raw `(u, v, w)` triples.
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(num_vertices: u64, triples: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> Self {
+        let mut list = Self::new(num_vertices);
+        for (u, v, w) in triples {
+            list.push(u, v, w);
+        }
+        list
+    }
+
+    /// Append one undirected edge.
+    pub fn push(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        assert!(
+            u < self.num_vertices && v < self.num_vertices,
+            "edge ({u},{v}) out of range (n={})",
+            self.num_vertices
+        );
+        self.edges.push(Edge { u, v, w });
+    }
+
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Number of undirected edges currently stored (self-loops count once).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Sum of all edge weights (undirected; self-loops count once).
+    pub fn total_weight(&self) -> Weight {
+        self.edges.iter().map(|e| e.w).sum()
+    }
+
+    /// Merge duplicate undirected pairs by summing their weights.
+    /// `(u,v)` and `(v,u)` are the same pair.
+    pub fn dedup_sum(&mut self) {
+        let mut acc = fast_map::<(VertexId, VertexId), Weight>();
+        acc.reserve(self.edges.len());
+        for e in &self.edges {
+            let key = if e.u <= e.v { (e.u, e.v) } else { (e.v, e.u) };
+            *acc.entry(key).or_insert(0.0) += e.w;
+        }
+        self.edges = acc
+            .into_iter()
+            .map(|((u, v), w)| Edge { u, v, w })
+            .collect();
+        self.edges.sort_unstable_by_key(|e| (e.u, e.v));
+    }
+
+    /// Expand to directed arcs: each non-loop edge becomes two arcs, each
+    /// self-loop one arc. Returned triples are `(src, dst, w)`.
+    pub fn to_arcs(&self) -> Vec<(VertexId, VertexId, Weight)> {
+        let mut arcs = Vec::with_capacity(self.edges.len() * 2);
+        for e in &self.edges {
+            arcs.push((e.u, e.v, e.w));
+            if e.u != e.v {
+                arcs.push((e.v, e.u, e.w));
+            }
+        }
+        arcs
+    }
+
+    /// Maximum endpoint id present, or `None` if empty.
+    pub fn max_endpoint(&self) -> Option<VertexId> {
+        self.edges.iter().map(|e| e.u.max(e.v)).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1, 1.0);
+        el.push(2, 3, 2.0);
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.total_weight(), 3.0);
+        assert_eq!(el.max_endpoint(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut el = EdgeList::new(2);
+        el.push(0, 2, 1.0);
+    }
+
+    #[test]
+    fn dedup_sums_both_orientations() {
+        let mut el = EdgeList::from_edges(3, [(0, 1, 1.0), (1, 0, 2.0), (0, 1, 0.5), (2, 2, 1.0)]);
+        el.dedup_sum();
+        assert_eq!(el.num_edges(), 2);
+        let e01 = el.edges().iter().find(|e| e.u == 0 && e.v == 1).unwrap();
+        assert_eq!(e01.w, 3.5);
+        let loop2 = el.edges().iter().find(|e| e.u == 2 && e.v == 2).unwrap();
+        assert_eq!(loop2.w, 1.0);
+    }
+
+    #[test]
+    fn arcs_double_non_loops_only() {
+        let el = EdgeList::from_edges(3, [(0, 1, 1.0), (2, 2, 4.0)]);
+        let arcs = el.to_arcs();
+        assert_eq!(arcs.len(), 3);
+        assert!(arcs.contains(&(0, 1, 1.0)));
+        assert!(arcs.contains(&(1, 0, 1.0)));
+        assert!(arcs.contains(&(2, 2, 4.0)));
+    }
+
+    #[test]
+    fn empty_list() {
+        let el = EdgeList::new(5);
+        assert!(el.is_empty());
+        assert_eq!(el.max_endpoint(), None);
+        assert_eq!(el.total_weight(), 0.0);
+    }
+}

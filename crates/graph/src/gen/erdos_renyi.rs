@@ -1,0 +1,70 @@
+//! Erdős–Rényi random graphs (no community structure; used as a negative
+//! control in tests — modularity found on them should be low).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::Generated;
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+
+/// Parameters for [`erdos_renyi`].
+#[derive(Debug, Clone, Copy)]
+pub struct ErdosRenyiParams {
+    pub n: u64,
+    /// Target average degree (undirected).
+    pub avg_degree: f64,
+    pub seed: u64,
+}
+
+/// Sample `n·avg_degree/2` uniformly random edges (duplicates merged,
+/// self-loops skipped).
+pub fn erdos_renyi(p: ErdosRenyiParams) -> Generated {
+    assert!(p.n >= 2);
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let m = ((p.n as f64) * p.avg_degree / 2.0).round() as usize;
+    let mut el = EdgeList::new(p.n);
+    while el.num_edges() < m {
+        let u = rng.random_range(0..p.n);
+        let v = rng.random_range(0..p.n);
+        if u != v {
+            el.push(u, v, 1.0);
+        }
+    }
+    Generated { graph: Csr::from_edge_list(el), ground_truth: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_degree_is_close() {
+        let g = erdos_renyi(ErdosRenyiParams { n: 2_000, avg_degree: 10.0, seed: 42 }).graph;
+        let avg = g.num_arcs() as f64 / g.num_vertices() as f64;
+        assert!((avg - 10.0).abs() < 1.0, "avg = {avg}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = ErdosRenyiParams { n: 500, avg_degree: 6.0, seed: 7 };
+        let a = erdos_renyi(p).graph;
+        let b = erdos_renyi(p).graph;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = erdos_renyi(ErdosRenyiParams { n: 500, avg_degree: 6.0, seed: 1 }).graph;
+        let b = erdos_renyi(ErdosRenyiParams { n: 500, avg_degree: 6.0, seed: 2 }).graph;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(ErdosRenyiParams { n: 300, avg_degree: 8.0, seed: 3 }).graph;
+        for v in 0..g.num_vertices() as u64 {
+            assert_eq!(g.self_loop(v), 0.0);
+        }
+    }
+}

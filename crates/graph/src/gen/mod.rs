@@ -1,0 +1,100 @@
+//! Synthetic graph generators.
+//!
+//! These stand in for the paper's workloads (see DESIGN.md §2):
+//!
+//! | generator | paper workload it substitutes |
+//! |---|---|
+//! | [`lfr`] | LFR benchmark graphs with ground truth (Table VII) |
+//! | [`ssca2`] | GTgraph SSCA#2 weak-scaling graphs (Table V, Fig 4) |
+//! | [`rmat`] | social networks: com-orkut, twitter-2010, soc-friendster, soc-sinaweibo |
+//! | [`banded`] | mesh/banded matrices: channel, nlpkkt240 |
+//! | [`weblike`] | web crawls: uk-2007, sk-2005, arabic-2005, webbase-2001, web-* |
+//! | [`erdos_renyi`] | unstructured noise (tests) |
+//!
+//! All generators are deterministic in `(params, seed)`.
+
+mod banded;
+mod erdos_renyi;
+mod grid;
+mod lfr;
+mod preferential;
+mod rmat;
+mod smallworld;
+mod ssca2;
+mod weblike;
+
+pub use banded::{banded, BandedParams};
+pub use erdos_renyi::{erdos_renyi, ErdosRenyiParams};
+pub use grid::{grid3d, Grid3dParams};
+pub use lfr::{lfr, LfrParams};
+pub use preferential::{barabasi_albert, BarabasiAlbertParams};
+pub use rmat::{rmat, RmatParams};
+pub use smallworld::{watts_strogatz, WattsStrogatzParams};
+pub use ssca2::{ssca2, Ssca2Params};
+pub use weblike::{weblike, WeblikeParams};
+
+use rand::Rng;
+
+use crate::community::CommunityAssignment;
+use crate::csr::Csr;
+
+/// A generated graph, optionally with the planted ("ground truth")
+/// community structure used for quality assessment.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    pub graph: Csr,
+    pub ground_truth: Option<CommunityAssignment>,
+}
+
+/// Sample an integer from a bounded discrete power law `P(k) ∝ k^(−tau)`,
+/// `k ∈ [lo, hi]`, by inverse transform on the continuous distribution.
+pub(crate) fn power_law_sample(rng: &mut impl Rng, tau: f64, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo >= 1 && hi >= lo);
+    if lo == hi {
+        return lo;
+    }
+    let u: f64 = rng.random();
+    let one_minus = 1.0 - tau;
+    let k = if one_minus.abs() < 1e-9 {
+        // tau == 1: log-uniform.
+        (lo as f64) * ((hi as f64) / (lo as f64)).powf(u)
+    } else {
+        let lo_p = (lo as f64).powf(one_minus);
+        let hi_p = (hi as f64).powf(one_minus);
+        (lo_p + u * (hi_p - lo_p)).powf(1.0 / one_minus)
+    };
+    (k.round() as u64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = power_law_sample(&mut rng, 2.5, 10, 50);
+            assert!((10..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn power_law_is_heavy_at_low_end() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples: Vec<u64> = (0..20_000)
+            .map(|_| power_law_sample(&mut rng, 2.5, 10, 100))
+            .collect();
+        let low = samples.iter().filter(|&&k| k <= 20).count();
+        let high = samples.iter().filter(|&&k| k >= 80).count();
+        assert!(low > 5 * high, "low={low} high={high}");
+    }
+
+    #[test]
+    fn power_law_degenerate_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(power_law_sample(&mut rng, 2.0, 7, 7), 7);
+    }
+}

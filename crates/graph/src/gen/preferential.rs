@@ -1,0 +1,93 @@
+//! Barabási–Albert preferential attachment: scale-free graphs grown one
+//! vertex at a time, each attaching to `m` existing vertices with
+//! probability proportional to degree. A second social-network stand-in
+//! alongside RMAT, with guaranteed connectivity.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::Generated;
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+
+/// Parameters for [`barabasi_albert`].
+#[derive(Debug, Clone, Copy)]
+pub struct BarabasiAlbertParams {
+    pub n: u64,
+    /// Edges added per new vertex.
+    pub m: u64,
+    pub seed: u64,
+}
+
+/// Generate a Barabási–Albert graph (repeated-endpoint sampling: each
+/// edge endpoint is drawn uniformly from the stub list, which realizes
+/// degree-proportional attachment).
+pub fn barabasi_albert(p: BarabasiAlbertParams) -> Generated {
+    assert!(p.m >= 1 && p.n > p.m, "need n > m >= 1");
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let mut el = EdgeList::new(p.n);
+    // Stub list: every edge contributes both endpoints, so sampling a
+    // uniform stub is degree-proportional sampling.
+    let mut stubs: Vec<VertexId> = Vec::with_capacity(2 * (p.n * p.m) as usize);
+    // Seed clique over the first m+1 vertices.
+    for i in 0..=p.m {
+        for j in (i + 1)..=p.m {
+            el.push(i, j, 1.0);
+            stubs.push(i);
+            stubs.push(j);
+        }
+    }
+    for v in (p.m + 1)..p.n {
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(p.m as usize);
+        let mut guard = 0;
+        while (chosen.len() as u64) < p.m && guard < 100 * p.m {
+            guard += 1;
+            let t = stubs[rng.random_range(0..stubs.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            el.push(v, t, 1.0);
+            stubs.push(v);
+            stubs.push(t);
+        }
+    }
+    Generated { graph: Csr::from_edge_list(el), ground_truth: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_to_requested_size() {
+        let g = barabasi_albert(BarabasiAlbertParams { n: 2_000, m: 3, seed: 1 }).graph;
+        assert_eq!(g.num_vertices(), 2_000);
+        // ~m edges per vertex beyond the seed clique.
+        assert!(g.num_edges() as u64 >= 3 * (2_000 - 4));
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let g = barabasi_albert(BarabasiAlbertParams { n: 5_000, m: 2, seed: 2 }).graph;
+        let max_deg = (0..g.num_vertices()).map(|v| g.degree(v as u64)).max().unwrap();
+        let avg = g.num_arcs() as f64 / g.num_vertices() as f64;
+        assert!(max_deg as f64 > 15.0 * avg, "max {max_deg} avg {avg}");
+    }
+
+    #[test]
+    fn every_vertex_is_connected() {
+        let g = barabasi_albert(BarabasiAlbertParams { n: 1_000, m: 2, seed: 3 }).graph;
+        for v in 0..g.num_vertices() as u64 {
+            assert!(g.degree(v) >= 1, "vertex {v} isolated");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = BarabasiAlbertParams { n: 600, m: 3, seed: 4 };
+        assert_eq!(barabasi_albert(p).graph, barabasi_albert(p).graph);
+    }
+}

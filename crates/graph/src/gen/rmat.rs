@@ -1,0 +1,93 @@
+//! RMAT (recursive matrix) generator — the standard model for scale-free
+//! social networks. Stand-in for com-orkut / twitter-2010 / soc-friendster /
+//! soc-sinaweibo in the paper's Table II: heavy-tailed degrees and weak
+//! community structure (Louvain modularity around 0.4–0.5).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::Generated;
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+
+/// Parameters for [`rmat`].
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// `n = 2^scale` vertices.
+    pub scale: u32,
+    /// `m = n · edge_factor` undirected edges sampled.
+    pub edge_factor: u32,
+    /// Quadrant probabilities; must sum to ~1. Graph500 uses
+    /// (0.57, 0.19, 0.19, 0.05).
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub seed: u64,
+}
+
+impl RmatParams {
+    /// Graph500-style socials: a=0.57 b=0.19 c=0.19 d=0.05.
+    pub fn social(scale: u32, edge_factor: u32, seed: u64) -> Self {
+        Self { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19, seed }
+    }
+}
+
+/// Generate an RMAT graph. Duplicate edges are merged, self-loops skipped.
+pub fn rmat(p: RmatParams) -> Generated {
+    let n: u64 = 1 << p.scale;
+    let m = n * p.edge_factor as u64;
+    let d = 1.0 - p.a - p.b - p.c;
+    assert!(d >= 0.0, "quadrant probabilities exceed 1");
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let mut el = EdgeList::new(n);
+    for _ in 0..m {
+        let (mut u, mut v) = (0u64, 0u64);
+        for level in (0..p.scale).rev() {
+            let r: f64 = rng.random();
+            let bit = 1u64 << level;
+            if r < p.a {
+                // top-left: no bits
+            } else if r < p.a + p.b {
+                v |= bit;
+            } else if r < p.a + p.b + p.c {
+                u |= bit;
+            } else {
+                u |= bit;
+                v |= bit;
+            }
+        }
+        if u != v {
+            el.push(u, v, 1.0);
+        }
+    }
+    Generated { graph: Csr::from_edge_list(el), ground_truth: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_as_requested() {
+        let g = rmat(RmatParams::social(10, 8, 5)).graph;
+        assert_eq!(g.num_vertices(), 1024);
+        // Some duplicates collapse; expect most of the 8192 sampled edges.
+        assert!(g.num_edges() > 4000, "edges = {}", g.num_edges());
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let g = rmat(RmatParams::social(12, 8, 9)).graph;
+        let mut degs: Vec<usize> = (0..g.num_vertices()).map(|v| g.degree(v as u64)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // The top vertex should have degree far above the average.
+        let avg = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        assert!(degs[0] as f64 > 10.0 * avg, "max={} avg={avg}", degs[0]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = RmatParams::social(9, 4, 77);
+        assert_eq!(rmat(p).graph, rmat(p).graph);
+    }
+}

@@ -1,0 +1,75 @@
+//! Watts–Strogatz small-world generator: a ring lattice with random
+//! rewiring. Useful as a controlled testbed — high clustering at low
+//! rewiring probability, approaching a random graph as `beta → 1`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::Generated;
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+
+/// Parameters for [`watts_strogatz`].
+#[derive(Debug, Clone, Copy)]
+pub struct WattsStrogatzParams {
+    pub n: u64,
+    /// Each vertex connects to `k` nearest ring neighbors on each side
+    /// (total initial degree `2k`).
+    pub k: u64,
+    /// Rewiring probability per edge.
+    pub beta: f64,
+    pub seed: u64,
+}
+
+/// Generate a Watts–Strogatz graph.
+pub fn watts_strogatz(p: WattsStrogatzParams) -> Generated {
+    assert!(p.n > 2 * p.k, "ring too small for k");
+    assert!((0.0..=1.0).contains(&p.beta));
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let mut el = EdgeList::new(p.n);
+    for v in 0..p.n {
+        for d in 1..=p.k {
+            let mut u = (v + d) % p.n;
+            if rng.random::<f64>() < p.beta {
+                // Rewire the far endpoint to a uniform random vertex.
+                loop {
+                    u = rng.random_range(0..p.n);
+                    if u != v {
+                        break;
+                    }
+                }
+            }
+            el.push(v, u, 1.0);
+        }
+    }
+    Generated { graph: Csr::from_edge_list(el), ground_truth: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::clustering_coefficient;
+
+    #[test]
+    fn zero_beta_is_a_ring_lattice() {
+        let g = watts_strogatz(WattsStrogatzParams { n: 100, k: 3, beta: 0.0, seed: 1 }).graph;
+        for v in 0..100u64 {
+            assert_eq!(g.degree(v), 6, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn low_beta_keeps_high_clustering() {
+        let low = watts_strogatz(WattsStrogatzParams { n: 2_000, k: 5, beta: 0.05, seed: 2 });
+        let high = watts_strogatz(WattsStrogatzParams { n: 2_000, k: 5, beta: 1.0, seed: 2 });
+        let c_low = clustering_coefficient(&low.graph);
+        let c_high = clustering_coefficient(&high.graph);
+        assert!(c_low > 3.0 * c_high, "c_low={c_low} c_high={c_high}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = WattsStrogatzParams { n: 500, k: 4, beta: 0.2, seed: 9 };
+        assert_eq!(watts_strogatz(p).graph, watts_strogatz(p).graph);
+    }
+}

@@ -1,0 +1,144 @@
+//! GTgraph SSCA#2 generator (DARPA HPCS graph analysis benchmark).
+//!
+//! The paper's weak-scaling study (Table V, Fig 4) uses SSCA#2 graphs:
+//! "comprised of random-sized cliques, with various parameters to control
+//! the amount of vertex connections and inter-clique edges … we fix the
+//! maximum clique size … and deliberately keep inter-clique edge
+//! probability low to enforce good community structure." Those graphs
+//! reach modularity 0.9999+ — this generator reproduces that.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::Generated;
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+
+/// Parameters for [`ssca2`].
+#[derive(Debug, Clone, Copy)]
+pub struct Ssca2Params {
+    /// Total number of vertices.
+    pub n: u64,
+    /// Cliques have uniform random size in `1..=max_clique_size`
+    /// (the paper fixes this to 100).
+    pub max_clique_size: u64,
+    /// Probability that a pair of consecutive cliques is linked by one
+    /// inter-clique edge (kept low to enforce community structure).
+    pub inter_clique_prob: f64,
+    pub seed: u64,
+}
+
+impl Ssca2Params {
+    /// The paper's configuration, scaled by `n`.
+    pub fn paper(n: u64, seed: u64) -> Self {
+        Self { n, max_clique_size: 100, inter_clique_prob: 0.05, seed }
+    }
+}
+
+/// Generate an SSCA#2 graph. Ground truth = the cliques.
+pub fn ssca2(p: Ssca2Params) -> Generated {
+    assert!(p.n >= 1 && p.max_clique_size >= 1);
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+
+    // Carve vertices into random-sized cliques.
+    let mut clique_of: Vec<VertexId> = Vec::with_capacity(p.n as usize);
+    let mut cliques: Vec<(u64, u64)> = Vec::new(); // (first, size)
+    let mut v = 0u64;
+    let mut cid = 0u64;
+    while v < p.n {
+        let size = rng.random_range(1..=p.max_clique_size).min(p.n - v);
+        cliques.push((v, size));
+        for _ in 0..size {
+            clique_of.push(cid);
+        }
+        v += size;
+        cid += 1;
+    }
+
+    let mut el = EdgeList::new(p.n);
+    // All intra-clique pairs.
+    for &(first, size) in &cliques {
+        for i in 0..size {
+            for j in (i + 1)..size {
+                el.push(first + i, first + j, 1.0);
+            }
+        }
+    }
+    // Sparse inter-clique edges between consecutive cliques (plus a few
+    // long-range links so the graph does not decompose by construction).
+    for w in cliques.windows(2) {
+        let (f0, s0) = w[0];
+        let (f1, s1) = w[1];
+        if rng.random::<f64>() < p.inter_clique_prob {
+            let a = f0 + rng.random_range(0..s0);
+            let b = f1 + rng.random_range(0..s1);
+            el.push(a, b, 1.0);
+        }
+    }
+    let nc = cliques.len();
+    if nc > 2 {
+        let long_range = (nc as f64 * p.inter_clique_prob * 0.2).round() as usize;
+        for _ in 0..long_range {
+            let ci = rng.random_range(0..nc);
+            let cj = rng.random_range(0..nc);
+            if ci == cj {
+                continue;
+            }
+            let (fi, si) = cliques[ci];
+            let (fj, sj) = cliques[cj];
+            el.push(fi + rng.random_range(0..si), fj + rng.random_range(0..sj), 1.0);
+        }
+    }
+
+    Generated { graph: Csr::from_edge_list(el), ground_truth: Some(clique_of) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::modularity;
+
+    #[test]
+    fn cliques_are_complete() {
+        let g = ssca2(Ssca2Params { n: 500, max_clique_size: 20, inter_clique_prob: 0.0, seed: 3 });
+        let gt = g.ground_truth.as_ref().unwrap();
+        // With zero inter-clique probability every edge is internal.
+        for u in 0..g.graph.num_vertices() as u64 {
+            for (v, _) in g.graph.neighbors(u) {
+                assert_eq!(gt[u as usize], gt[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn near_perfect_modularity_with_low_inter_prob() {
+        let g = ssca2(Ssca2Params { n: 5_000, max_clique_size: 40, inter_clique_prob: 0.05, seed: 8 });
+        let q = modularity(&g.graph, g.ground_truth.as_ref().unwrap());
+        assert!(q > 0.95, "q = {q}");
+    }
+
+    #[test]
+    fn covers_all_vertices() {
+        let g = ssca2(Ssca2Params::paper(1_234, 6));
+        assert_eq!(g.graph.num_vertices(), 1_234);
+        assert_eq!(g.ground_truth.unwrap().len(), 1_234);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = Ssca2Params::paper(600, 10);
+        assert_eq!(ssca2(p).graph, ssca2(p).graph);
+    }
+
+    #[test]
+    fn clique_sizes_bounded() {
+        let g = ssca2(Ssca2Params { n: 2_000, max_clique_size: 15, inter_clique_prob: 0.1, seed: 1 });
+        let gt = g.ground_truth.unwrap();
+        let mut sizes = std::collections::HashMap::new();
+        for &c in &gt {
+            *sizes.entry(c).or_insert(0u64) += 1;
+        }
+        assert!(sizes.values().all(|&s| s <= 15));
+    }
+}

@@ -1,0 +1,141 @@
+//! Web-crawl-like generator — stand-in for uk-2007, sk-2005, arabic-2005,
+//! webbase-2001 and the web-* graphs of Table II: power-law-sized dense
+//! host clusters, sparse inter-host links, very high modularity (≥0.95).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{power_law_sample, Generated};
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+
+/// Parameters for [`weblike`].
+#[derive(Debug, Clone, Copy)]
+pub struct WeblikeParams {
+    /// Approximate number of vertices (rounded up to whole clusters).
+    pub n: u64,
+    /// Cluster ("host") size bounds; sizes follow a power law with
+    /// exponent `tau`.
+    pub min_cluster: u64,
+    pub max_cluster: u64,
+    pub tau: f64,
+    /// Average intra-cluster degree (a ring plus random chords).
+    pub intra_degree: f64,
+    /// Number of inter-cluster edges per cluster.
+    pub inter_edges: u64,
+    pub seed: u64,
+}
+
+impl WeblikeParams {
+    /// uk-2007-like defaults at a given scale.
+    pub fn web(n: u64, seed: u64) -> Self {
+        Self {
+            n,
+            min_cluster: 8,
+            max_cluster: 256,
+            tau: 2.0,
+            intra_degree: 10.0,
+            inter_edges: 2,
+            seed,
+        }
+    }
+}
+
+/// Generate a web-like clustered graph. Ground truth = host clusters.
+pub fn weblike(p: WeblikeParams) -> Generated {
+    assert!(p.n >= p.min_cluster && p.min_cluster >= 2);
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+
+    // Carve vertices into power-law-sized clusters.
+    let mut cluster_of: Vec<VertexId> = Vec::with_capacity(p.n as usize);
+    let mut bounds: Vec<(u64, u64)> = Vec::new(); // (first, size)
+    let mut v = 0u64;
+    let mut cid = 0u64;
+    while v < p.n {
+        let size = power_law_sample(&mut rng, p.tau, p.min_cluster, p.max_cluster).min(p.n - v).max(1);
+        bounds.push((v, size));
+        for _ in 0..size {
+            cluster_of.push(cid);
+        }
+        v += size;
+        cid += 1;
+    }
+    let n = v;
+    let mut el = EdgeList::new(n);
+
+    // Intra-cluster: a ring for connectivity plus random chords up to the
+    // requested average degree.
+    for &(first, size) in &bounds {
+        if size == 1 {
+            continue;
+        }
+        for i in 0..size {
+            el.push(first + i, first + (i + 1) % size, 1.0);
+        }
+        let extra = ((p.intra_degree - 2.0).max(0.0) * size as f64 / 2.0).round() as u64;
+        for _ in 0..extra {
+            let a = first + rng.random_range(0..size);
+            let b = first + rng.random_range(0..size);
+            if a != b {
+                el.push(a, b, 1.0);
+            }
+        }
+    }
+
+    // Inter-cluster links (sparse).
+    let nc = bounds.len();
+    if nc > 1 {
+        for (ci, &(first, size)) in bounds.iter().enumerate() {
+            for _ in 0..p.inter_edges {
+                let cj = rng.random_range(0..nc - 1);
+                let cj = if cj >= ci { cj + 1 } else { cj };
+                let (ofirst, osize) = bounds[cj];
+                let a = first + rng.random_range(0..size);
+                let b = ofirst + rng.random_range(0..osize);
+                el.push(a, b, 1.0);
+            }
+        }
+    }
+
+    Generated { graph: Csr::from_edge_list(el), ground_truth: Some(cluster_of) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::modularity;
+
+    #[test]
+    fn planted_structure_has_high_modularity() {
+        let g = weblike(WeblikeParams::web(5_000, 11));
+        let q = modularity(&g.graph, g.ground_truth.as_ref().unwrap());
+        assert!(q > 0.9, "q = {q}");
+    }
+
+    #[test]
+    fn cluster_sizes_within_bounds() {
+        let g = weblike(WeblikeParams::web(3_000, 4));
+        let gt = g.ground_truth.unwrap();
+        let mut sizes = std::collections::HashMap::new();
+        for &c in &gt {
+            *sizes.entry(c).or_insert(0u64) += 1;
+        }
+        for (&c, &s) in &sizes {
+            assert!(s <= 256, "cluster {c} has size {s}");
+        }
+        assert!(sizes.len() > 10);
+    }
+
+    #[test]
+    fn ground_truth_len_matches_graph() {
+        let g = weblike(WeblikeParams::web(1_000, 2));
+        assert_eq!(g.graph.num_vertices(), g.ground_truth.unwrap().len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = WeblikeParams::web(800, 13);
+        assert_eq!(weblike(p).graph, weblike(p).graph);
+    }
+}

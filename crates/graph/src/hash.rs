@@ -1,0 +1,192 @@
+//! A fast, non-cryptographic hasher for integer-keyed maps.
+//!
+//! The Louvain inner loop is dominated by `community id → accumulated edge
+//! weight` map operations with `u64` keys. SipHash (std's default) is a
+//! measurable bottleneck there, so this module provides an FxHash-style
+//! multiply-rotate hasher (the rustc hasher) implemented in-house to keep
+//! the dependency set to the approved list.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style hasher: `state = (state rotl 5 ^ word) * K` per 8 bytes.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `HashMap` with the fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the fast hasher.
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Construct an empty [`FastMap`].
+pub fn fast_map<K, V>() -> FastMap<K, V> {
+    FastMap::default()
+}
+
+/// Construct an empty [`FastMap`] with capacity.
+pub fn fast_map_with_capacity<K, V>(cap: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+/// Construct an empty [`FastSet`].
+pub fn fast_set<K>() -> FastSet<K> {
+    FastSet::default()
+}
+
+/// SplitMix64 finalizer — a high-quality 64-bit mixing function.
+///
+/// Used for deterministic "coin flips" that do not depend on thread
+/// scheduling: `coin_u01(mix64(seed ^ vertex ^ ...))`.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Map a mixed hash to a uniform `[0, 1)` double.
+#[inline]
+pub fn coin_u01(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A deterministic shuffled permutation of `0..n` (Fisher–Yates driven by
+/// [`mix64`]).
+///
+/// Louvain sweeps must visit vertices in randomized order: on regularly
+/// numbered graphs (grids, bands), index order produces systematic
+/// boundary drift that over-merges communities.
+pub fn shuffled_order(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = mix64(seed ^ 0x0005_eed0_5eed);
+    for i in (1..n).rev() {
+        state = mix64(state);
+        let j = (state % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u64, u64> = fast_map();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m[&i], i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn hasher_distributes_sequential_keys() {
+        // Sequential integers must not collide in the low bits the table
+        // actually uses.
+        let mut buckets = [0usize; 64];
+        for i in 0..64_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            buckets[(h.finish() % 64) as usize] += 1;
+        }
+        let (min, max) = buckets
+            .iter()
+            .fold((usize::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        assert!(max < 2 * min, "bucket skew: min={min} max={max}");
+    }
+
+    #[test]
+    fn byte_and_word_writes_agree_on_8_bytes() {
+        let mut a = FxHasher::default();
+        a.write_u64(0x0123_4567_89ab_cdef);
+        let mut b = FxHasher::default();
+        b.write(&0x0123_4567_89ab_cdefu64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn shuffled_order_is_a_permutation() {
+        let order = shuffled_order(1_000, 7);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1_000).collect::<Vec<_>>());
+        // Deterministic in the seed, different across seeds.
+        assert_eq!(order, shuffled_order(1_000, 7));
+        assert_ne!(order, shuffled_order(1_000, 8));
+        // Actually shuffled (identity has every element in place).
+        let in_place = order.iter().enumerate().filter(|(i, &v)| *i == v).count();
+        assert!(in_place < 50, "{in_place} fixed points");
+    }
+
+    #[test]
+    fn mix64_coins_are_uniform_ish() {
+        let mean: f64 = (0..10_000u64).map(|i| coin_u01(mix64(i))).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+        // Range check.
+        for i in 0..1_000u64 {
+            let c = coin_u01(mix64(i));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn set_deduplicates() {
+        let mut s: FastSet<u64> = fast_set();
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+}

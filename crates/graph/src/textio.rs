@@ -1,0 +1,144 @@
+//! Text edge-list import/export (SNAP / Matrix-Market-adjacent format).
+//!
+//! The paper's inputs come "in their native formats from four sources:
+//! UFL sparse matrix collection, Network repository, SNAP and LAW", which
+//! the authors convert to their binary format. This module covers the
+//! common text form: one edge per line, `src dst [weight]`, `#` or `%`
+//! comments, arbitrary (non-contiguous) vertex ids remapped densely.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::edgelist::EdgeList;
+use crate::hash::{fast_map, FastMap};
+use crate::{VertexId, Weight};
+
+/// Result of a text import: the edge list plus the mapping from original
+/// (file) ids to the dense ids used in the graph.
+#[derive(Debug)]
+pub struct TextImport {
+    pub edges: EdgeList,
+    /// `original_id[dense_id]` — the file's id for each dense vertex.
+    pub original_ids: Vec<u64>,
+}
+
+/// Parse a text edge list from a reader. Lines: `src dst [weight]`,
+/// separated by whitespace; `#`/`%`-prefixed lines are comments.
+/// Vertex ids are remapped to `0..n` in order of first appearance.
+pub fn parse_edge_list<R: BufRead>(reader: R) -> io::Result<TextImport> {
+    let mut remap: FastMap<u64, VertexId> = fast_map();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut triples: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    let dense = |raw: u64, remap: &mut FastMap<u64, VertexId>, orig: &mut Vec<u64>| {
+        *remap.entry(raw).or_insert_with(|| {
+            orig.push(raw);
+            (orig.len() - 1) as VertexId
+        })
+    };
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {what}: {t}", lineno + 1),
+            )
+        };
+        let u: u64 = it
+            .next()
+            .ok_or_else(|| bad("missing source"))?
+            .parse()
+            .map_err(|_| bad("bad source id"))?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| bad("missing destination"))?
+            .parse()
+            .map_err(|_| bad("bad destination id"))?;
+        let w: f64 = match it.next() {
+            None => 1.0,
+            Some(s) => s.parse().map_err(|_| bad("bad weight"))?,
+        };
+        let du = dense(u, &mut remap, &mut original_ids);
+        let dv = dense(v, &mut remap, &mut original_ids);
+        triples.push((du, dv, w));
+    }
+    let n = original_ids.len() as u64;
+    Ok(TextImport { edges: EdgeList::from_edges(n, triples), original_ids })
+}
+
+/// Read a text edge-list file.
+pub fn read_text_edge_list(path: &Path) -> io::Result<TextImport> {
+    let f = std::fs::File::open(path)?;
+    parse_edge_list(io::BufReader::new(f))
+}
+
+/// Write an edge list as text (`src dst weight` per line).
+pub fn write_text_edge_list(path: &Path, list: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# {} vertices, {} edges", list.num_vertices(), list.num_edges())?;
+    for e in list.edges() {
+        if e.w == 1.0 {
+            writeln!(w, "{} {}", e.u, e.v)?;
+        } else {
+            writeln!(w, "{} {} {}", e.u, e.v, e.w)?;
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> TextImport {
+        parse_edge_list(io::BufReader::new(s.as_bytes())).unwrap()
+    }
+
+    #[test]
+    fn parses_basic_edges_with_comments() {
+        let t = parse("# a comment\n% another\n0 1\n1 2 2.5\n\n2 0\n");
+        assert_eq!(t.edges.num_vertices(), 3);
+        assert_eq!(t.edges.num_edges(), 3);
+        assert_eq!(t.edges.total_weight(), 4.5);
+    }
+
+    #[test]
+    fn remaps_sparse_ids_densely() {
+        let t = parse("1000 42\n42 7\n");
+        assert_eq!(t.edges.num_vertices(), 3);
+        assert_eq!(t.original_ids, vec![1000, 42, 7]);
+        // First edge became (0, 1) after remapping.
+        assert_eq!(t.edges.edges()[0].u, 0);
+        assert_eq!(t.edges.edges()[0].v, 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let r = parse_edge_list(io::BufReader::new("0 x\n".as_bytes()));
+        assert!(r.is_err());
+        let r = parse_edge_list(io::BufReader::new("17\n".as_bytes()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn text_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("louvain-textio-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.txt");
+        let el = EdgeList::from_edges(4, [(0, 1, 1.0), (2, 3, 0.5), (1, 1, 2.0)]);
+        write_text_edge_list(&path, &el).unwrap();
+        let back = read_text_edge_list(&path).unwrap();
+        assert_eq!(back.edges.num_edges(), 3);
+        assert_eq!(back.edges.total_weight(), 3.5);
+    }
+
+    #[test]
+    fn weight_defaults_to_one() {
+        let t = parse("5 6\n");
+        assert_eq!(t.edges.edges()[0].w, 1.0);
+    }
+}

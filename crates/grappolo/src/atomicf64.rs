@@ -1,0 +1,4 @@
+//! Re-export of the shared atomic `f64` (lives in `louvain-graph` so the
+//! distributed algorithm's intra-rank parallel sweep can use it too).
+
+pub use louvain_graph::atomic::AtomicF64;

@@ -1,0 +1,138 @@
+//! Early-termination state (Eq. 3 of the IPDPS 2018 paper).
+//!
+//! Each vertex holds an activity probability `P_v`. After an iteration in
+//! which the vertex did **not** change community, `P_v ← P_v · (1 − α)`;
+//! if it moved, `P_v ← 1`. A vertex participates in an iteration with
+//! probability `P_v`, and is permanently below the radar once
+//! `P_v < 2%` (the paper's cutoff).
+//!
+//! Coin flips are deterministic functions of `(seed, phase, iteration,
+//! vertex)` so results do not depend on thread scheduling.
+
+use louvain_graph::hash::{coin_u01, mix64};
+
+/// The paper labels a vertex inactive once its probability drops below 2%.
+pub const INACTIVE_CUTOFF: f64 = 0.02;
+
+/// Per-vertex activity probabilities for one phase.
+#[derive(Debug, Clone)]
+pub struct EtState {
+    alpha: f64,
+    seed: u64,
+    prob: Vec<f64>,
+}
+
+impl EtState {
+    /// Fresh state with every vertex fully active.
+    pub fn new(n: usize, alpha: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        Self { alpha, seed, prob: vec![1.0; n] }
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Decide whether vertex `v` is active in `(phase, iteration)`.
+    #[inline]
+    pub fn is_active(&self, phase: usize, iteration: usize, v: usize) -> bool {
+        let p = self.prob[v];
+        if p < INACTIVE_CUTOFF {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let h = mix64(
+            self.seed ^ mix64((phase as u64) << 32 | iteration as u64) ^ mix64(v as u64),
+        );
+        coin_u01(h) < p
+    }
+
+    /// Update `v`'s probability after an iteration: `moved` says whether it
+    /// changed community.
+    #[inline]
+    pub fn update(&mut self, v: usize, moved: bool) {
+        if moved {
+            self.prob[v] = 1.0;
+        } else {
+            self.prob[v] *= 1.0 - self.alpha;
+        }
+    }
+
+    /// Number of vertices currently under the inactive cutoff.
+    pub fn num_inactive(&self) -> usize {
+        self.prob.iter().filter(|&&p| p < INACTIVE_CUTOFF).count()
+    }
+
+    /// Direct probability access (for tests and introspection).
+    pub fn probability(&self, v: usize) -> f64 {
+        self.prob[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_zero_never_deactivates() {
+        let mut et = EtState::new(4, 0.0, 1);
+        for _ in 0..100 {
+            et.update(0, false);
+        }
+        assert_eq!(et.probability(0), 1.0);
+        assert!(et.is_active(0, 50, 0));
+    }
+
+    #[test]
+    fn alpha_one_deactivates_after_one_stationary_iteration() {
+        let mut et = EtState::new(2, 1.0, 1);
+        et.update(0, false);
+        assert_eq!(et.probability(0), 0.0);
+        assert!(!et.is_active(0, 1, 0));
+        // Vertex 1 moved, stays fully active.
+        et.update(1, true);
+        assert!(et.is_active(0, 1, 1));
+    }
+
+    #[test]
+    fn probability_decays_geometrically() {
+        let mut et = EtState::new(1, 0.5, 9);
+        et.update(0, false);
+        et.update(0, false);
+        assert!((et.probability(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_resets_probability() {
+        let mut et = EtState::new(1, 0.75, 9);
+        et.update(0, false);
+        assert!(et.probability(0) < 1.0);
+        et.update(0, true);
+        assert_eq!(et.probability(0), 1.0);
+    }
+
+    #[test]
+    fn inactive_count_tracks_cutoff() {
+        let mut et = EtState::new(3, 0.9, 2);
+        // Two stationary updates: P = 0.01 < 2% cutoff.
+        for _ in 0..2 {
+            et.update(0, false);
+            et.update(1, false);
+        }
+        et.update(2, true);
+        assert_eq!(et.num_inactive(), 2);
+    }
+
+    #[test]
+    fn coin_flips_are_deterministic() {
+        let mut et = EtState::new(1, 0.3, 42);
+        et.update(0, false); // p = 0.7
+        let a: Vec<bool> = (0..20).map(|it| et.is_active(0, it, 0)).collect();
+        let b: Vec<bool> = (0..20).map(|it| et.is_active(0, it, 0)).collect();
+        assert_eq!(a, b);
+        // Probability 0.7: most iterations active, some not.
+        assert!(a.iter().filter(|&&x| x).count() >= 10);
+    }
+}

@@ -1,0 +1,334 @@
+//! One Louvain phase: repeated parallel sweeps over all vertices until the
+//! modularity gain between iterations drops below τ.
+//!
+//! Community state is shared through atomics and read without locking —
+//! threads see slightly stale neighbor information, exactly like Grappolo
+//! (and like the distributed algorithm sees ghost state from the previous
+//! exchange). Ties are broken toward the minimum community label, which
+//! Lu et al. show prevents the oscillation pathologies of parallel
+//! Louvain.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use louvain_graph::hash::fast_map;
+use louvain_graph::{Csr, VertexId, Weight};
+
+use crate::atomicf64::AtomicF64;
+use crate::coloring::greedy_coloring;
+use crate::config::{EtMode, GrappoloConfig};
+use crate::et::EtState;
+
+/// Result of one phase.
+#[derive(Debug, Clone)]
+pub struct PhaseOutcome {
+    /// Community per vertex (ids are vertex ids of this phase's graph).
+    pub assignment: Vec<VertexId>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Modularity after the final iteration.
+    pub modularity: f64,
+    /// Modularity after each iteration (for convergence plots).
+    pub curve: Vec<f64>,
+}
+
+struct PhaseState<'g> {
+    g: &'g Csr,
+    k: Vec<Weight>,
+    two_m: Weight,
+    comm: Vec<AtomicU64>,
+    a_tot: Vec<AtomicF64>,
+    /// Community sizes — needed for the singleton-swap guard.
+    size: Vec<AtomicU64>,
+    moved: Vec<AtomicBool>,
+}
+
+impl<'g> PhaseState<'g> {
+    fn new(g: &'g Csr, init: &[VertexId]) -> Self {
+        let n = g.num_vertices();
+        assert_eq!(init.len(), n);
+        let k = g.weighted_degrees();
+        let two_m = g.two_m();
+        let comm: Vec<AtomicU64> = init.iter().map(|&c| AtomicU64::new(c)).collect();
+        let a_tot: Vec<AtomicF64> = (0..n).map(|_| AtomicF64::new(0.0)).collect();
+        let size: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        for v in 0..n {
+            a_tot[init[v] as usize].fetch_add(k[v]);
+            size[init[v] as usize].fetch_add(1, Ordering::Relaxed);
+        }
+        let moved = (0..n).map(|_| AtomicBool::new(false)).collect();
+        Self { g, k, two_m, comm, a_tot, size, moved }
+    }
+
+    /// Evaluate and (if profitable) apply the best move for vertex `v`.
+    #[inline]
+    fn try_move(&self, v: usize) {
+        let cu = self.comm[v].load(Ordering::Relaxed);
+        let kv = self.k[v];
+        // Accumulate edge weight toward each neighboring community,
+        // excluding v's own self-loop.
+        let mut weights = fast_map::<VertexId, Weight>();
+        for (u, w) in self.g.neighbors(v as VertexId) {
+            if u == v as VertexId {
+                continue;
+            }
+            let c = self.comm[u as usize].load(Ordering::Relaxed);
+            *weights.entry(c).or_insert(0.0) += w;
+        }
+        if weights.is_empty() {
+            return;
+        }
+        let e_cu = weights.get(&cu).copied().unwrap_or(0.0);
+        let stay = e_cu - kv * (self.a_tot[cu as usize].load() - kv) / self.two_m;
+        let mut best_c = cu;
+        let mut best_score = f64::NEG_INFINITY;
+        for (&c, &e_vc) in &weights {
+            if c == cu {
+                continue;
+            }
+            let score = e_vc - kv * self.a_tot[c as usize].load() / self.two_m;
+            // Strictly better, or equal with smaller label (min-label
+            // tie-break; labels strictly decrease so this terminates).
+            if score > best_score + 1e-12
+                || ((score - best_score).abs() <= 1e-12 && c < best_c)
+            {
+                best_score = score;
+                best_c = c;
+            }
+        }
+        let mut do_move = best_c != cu
+            && (best_score > stay + 1e-12
+                || ((best_score - stay).abs() <= 1e-12 && best_c < cu));
+        // Singleton-swap guard (Lu et al. minimum labeling): two singleton
+        // vertices evaluating each other concurrently would swap
+        // communities forever; only the one moving toward the smaller
+        // community id may proceed.
+        if do_move
+            && self.size[cu as usize].load(Ordering::Relaxed) == 1
+            && self.size[best_c as usize].load(Ordering::Relaxed) == 1
+            && best_c > cu
+        {
+            do_move = false;
+        }
+        if do_move {
+            self.comm[v].store(best_c, Ordering::Relaxed);
+            self.a_tot[cu as usize].fetch_add(-kv);
+            self.a_tot[best_c as usize].fetch_add(kv);
+            self.size[cu as usize].fetch_sub(1, Ordering::Relaxed);
+            self.size[best_c as usize].fetch_add(1, Ordering::Relaxed);
+            self.moved[v].store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Modularity of the current state (Eq. 2).
+    fn modularity(&self) -> f64 {
+        if self.two_m == 0.0 {
+            return 0.0;
+        }
+        let e_in: f64 = (0..self.g.num_vertices())
+            .into_par_iter()
+            .map(|v| {
+                let cv = self.comm[v].load(Ordering::Relaxed);
+                self.g
+                    .neighbors(v as VertexId)
+                    .filter(|&(u, _)| self.comm[u as usize].load(Ordering::Relaxed) == cv)
+                    .map(|(_, w)| w)
+                    .sum::<f64>()
+            })
+            .sum();
+        let a2: f64 = self
+            .a_tot
+            .par_iter()
+            .map(|a| {
+                let v = a.load();
+                v * v
+            })
+            .sum();
+        e_in / self.two_m - a2 / (self.two_m * self.two_m)
+    }
+
+    fn snapshot_assignment(&self) -> Vec<VertexId> {
+        self.comm.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Run the Louvain iterations of one phase.
+///
+/// `phase_idx` seeds the deterministic early-termination coins; `init` is
+/// the starting assignment (singletons, or vertex following on phase 0).
+pub fn run_phase(
+    g: &Csr,
+    init: &[VertexId],
+    cfg: &GrappoloConfig,
+    phase_idx: usize,
+) -> PhaseOutcome {
+    let n = g.num_vertices();
+    let state = PhaseState::new(g, init);
+    // Randomized sweep order (seeded): index-order sweeps over-merge on
+    // regularly numbered graphs such as grids and bands.
+    let order = louvain_graph::hash::shuffled_order(n, cfg.seed ^ (phase_idx as u64).wrapping_mul(0x9e37));
+    let classes = if cfg.coloring {
+        Some(greedy_coloring(g).1)
+    } else {
+        None
+    };
+    let mut et = match cfg.early_termination {
+        EtMode::On { alpha } => Some(EtState::new(n, alpha, cfg.seed)),
+        EtMode::Off => None,
+    };
+
+    let mut curve = Vec::new();
+    let mut prev_q = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    while iterations < cfg.max_iterations {
+        iterations += 1;
+        state.moved.par_iter().for_each(|m| m.store(false, Ordering::Relaxed));
+
+        let active = |v: usize| match &et {
+            Some(et) => et.is_active(phase_idx, iterations, v),
+            None => true,
+        };
+        match &classes {
+            Some(classes) => {
+                for class in classes {
+                    class.par_iter().for_each(|&v| {
+                        if active(v as usize) {
+                            state.try_move(v as usize);
+                        }
+                    });
+                }
+            }
+            None => {
+                order.par_iter().for_each(|&v| {
+                    if active(v) {
+                        state.try_move(v);
+                    }
+                });
+            }
+        }
+
+        let moves: usize = state
+            .moved
+            .par_iter()
+            .map(|m| usize::from(m.load(Ordering::Relaxed)))
+            .sum();
+        if let Some(et) = &mut et {
+            for v in 0..n {
+                et.update(v, state.moved[v].load(Ordering::Relaxed));
+            }
+        }
+
+        let q = state.modularity();
+        curve.push(q);
+        if moves == 0 || (prev_q.is_finite() && q - prev_q <= cfg.threshold) {
+            break;
+        }
+        prev_q = q;
+    }
+
+    PhaseOutcome {
+        assignment: state.snapshot_assignment(),
+        iterations,
+        modularity: *curve.last().unwrap_or(&0.0),
+        curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use louvain_graph::community::{modularity, singleton_assignment};
+    use louvain_graph::EdgeList;
+
+    fn two_triangles() -> Csr {
+        Csr::from_edge_list(EdgeList::from_edges(
+            6,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+                (2, 3, 1.0),
+            ],
+        ))
+    }
+
+    #[test]
+    fn phase_finds_the_two_triangles() {
+        let g = two_triangles();
+        let cfg = GrappoloConfig { threads: 1, ..Default::default() };
+        let out = run_phase(&g, &singleton_assignment(6), &cfg, 0);
+        assert_eq!(out.assignment[0], out.assignment[1]);
+        assert_eq!(out.assignment[1], out.assignment[2]);
+        assert_eq!(out.assignment[3], out.assignment[4]);
+        assert_eq!(out.assignment[4], out.assignment[5]);
+        assert_ne!(out.assignment[0], out.assignment[3]);
+        assert!(out.modularity > 0.3);
+    }
+
+    #[test]
+    fn reported_modularity_matches_reference_computation() {
+        let g = two_triangles();
+        let cfg = GrappoloConfig::default();
+        let out = run_phase(&g, &singleton_assignment(6), &cfg, 0);
+        let q_ref = modularity(&g, &out.assignment);
+        assert!((out.modularity - q_ref).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_until_convergence() {
+        let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(800, 7)).graph;
+        let cfg = GrappoloConfig::default();
+        let out = run_phase(&g, &singleton_assignment(800), &cfg, 0);
+        for w in out.curve.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "curve regressed: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn coloring_variant_also_converges() {
+        let g = two_triangles();
+        let cfg = GrappoloConfig { coloring: true, ..Default::default() };
+        let out = run_phase(&g, &singleton_assignment(6), &cfg, 0);
+        assert!(out.modularity > 0.3);
+    }
+
+    #[test]
+    fn et_alpha_one_uses_fewer_iterations() {
+        let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(2_000, 3)).graph;
+        let base = run_phase(
+            &g,
+            &singleton_assignment(2_000),
+            &GrappoloConfig::default(),
+            0,
+        );
+        let et = run_phase(
+            &g,
+            &singleton_assignment(2_000),
+            &GrappoloConfig::with_et(1.0),
+            0,
+        );
+        assert!(
+            et.iterations <= base.iterations,
+            "ET {} vs base {}",
+            et.iterations,
+            base.iterations
+        );
+        // Within a single phase aggressive ET may lag in quality — the
+        // multi-phase runner recovers it (tested in runner.rs). Here we
+        // only require meaningful progress over the singleton start (the
+        // exact value varies with parallel scheduling).
+        assert!(et.modularity > 0.3, "et {} base {}", et.modularity, base.modularity);
+    }
+
+    #[test]
+    fn empty_graph_terminates() {
+        let g = Csr::from_edge_list(EdgeList::new(4));
+        let out = run_phase(&g, &singleton_assignment(4), &GrappoloConfig::default(), 0);
+        assert_eq!(out.modularity, 0.0);
+        assert!(out.iterations >= 1);
+    }
+}

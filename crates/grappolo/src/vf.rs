@@ -1,0 +1,115 @@
+//! Vertex following (Grappolo §4.1 of Lu et al. 2015).
+//!
+//! Degree-1 vertices can never profitably sit in their own community: the
+//! optimum always co-locates them with their unique neighbor. Pre-merging
+//! them shrinks the effective work of the first phase. We implement it as
+//! an initial assignment: each degree-1 vertex adopts the community of its
+//! unique neighbor, following chains (a path of degree-1 vertices all
+//! collapse onto the chain's anchor).
+
+use louvain_graph::{Csr, VertexId};
+
+/// Initial community assignment implementing vertex following.
+/// Non-degree-1 vertices start in their own singleton community.
+pub fn vertex_following_assignment(g: &Csr) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut comm: Vec<VertexId> = (0..n as VertexId).collect();
+    // parent[v] = unique neighbor for degree-1 vertices (excluding pure
+    // self-loop rows).
+    for v in 0..n as VertexId {
+        let mut non_loop = g.neighbors(v).filter(|&(u, _)| u != v);
+        if let (Some((u, _)), None) = (non_loop.next(), non_loop.next()) {
+            if g.degree(v) <= 2 {
+                // degree counts arcs; a single non-loop neighbor plus at
+                // most one self-loop arc means "degree-1" in the paper's
+                // sense.
+                comm[v as usize] = u;
+            }
+        }
+    }
+    // Follow chains with path halving; break 2-cycles (two mutually
+    // following degree-1 vertices) toward the smaller id.
+    for v in 0..n {
+        let mut cur = v as VertexId;
+        let mut hops = 0;
+        loop {
+            let next = comm[cur as usize];
+            if next == cur {
+                break;
+            }
+            // 2-cycle: pick the min id as the anchor.
+            if comm[next as usize] == cur {
+                let anchor = cur.min(next);
+                comm[cur as usize] = anchor;
+                comm[next as usize] = anchor;
+                cur = anchor;
+                break;
+            }
+            cur = next;
+            hops += 1;
+            if hops > n {
+                break; // defensive: malformed cycle
+            }
+        }
+        comm[v] = cur;
+    }
+    comm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use louvain_graph::EdgeList;
+
+    #[test]
+    fn pendant_joins_its_neighbor() {
+        // Triangle 0-1-2 with pendant 3 attached to 0.
+        let g = Csr::from_edge_list(EdgeList::from_edges(
+            4,
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (0, 3, 1.0)],
+        ));
+        let comm = vertex_following_assignment(&g);
+        assert_eq!(comm[3], 0);
+        assert_eq!(comm[0], 0);
+        assert_eq!(comm[1], 1);
+    }
+
+    #[test]
+    fn chain_collapses_to_anchor() {
+        // 0-1-2-3 path hanging off triangle 3-4-5: vertices 0,1,2 are a
+        // degree-1 chain (0 deg1, 1 deg2 ...). Only true degree-1 vertices
+        // follow: 0 follows 1; 1 has degree 2 so it stays.
+        let g = Csr::from_edge_list(EdgeList::from_edges(
+            6,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0)],
+        ));
+        let comm = vertex_following_assignment(&g);
+        assert_eq!(comm[0], 1);
+        assert_eq!(comm[1], 1);
+    }
+
+    #[test]
+    fn isolated_pair_breaks_cycle_to_min_id() {
+        // Single edge 0-1: both are degree-1 and follow each other.
+        let g = Csr::from_edge_list(EdgeList::from_edges(2, [(0, 1, 1.0)]));
+        let comm = vertex_following_assignment(&g);
+        assert_eq!(comm, vec![0, 0]);
+    }
+
+    #[test]
+    fn non_pendants_stay_singleton() {
+        let g = Csr::from_edge_list(EdgeList::from_edges(
+            3,
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)],
+        ));
+        assert_eq!(vertex_following_assignment(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn self_loop_only_vertex_stays() {
+        let g = Csr::from_edge_list(EdgeList::from_edges(2, [(0, 0, 1.0), (0, 1, 1.0)]));
+        let comm = vertex_following_assignment(&g);
+        // Vertex 1 is a pendant of 0.
+        assert_eq!(comm[1], 0);
+    }
+}

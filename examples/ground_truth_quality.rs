@@ -1,0 +1,47 @@
+//! Ground-truth quality assessment — the paper's Section V-D experiment
+//! in miniature: generate LFR benchmark graphs of growing size, run the
+//! distributed implementation, and score the detected communities with
+//! precision / recall / F-score.
+//!
+//! ```sh
+//! cargo run --release --example ground_truth_quality
+//! ```
+
+use distributed_louvain::dist::f_score;
+use distributed_louvain::prelude::*;
+
+fn main() {
+    println!(
+        "{:>9} {:>9} {:>10} {:>8} {:>9}",
+        "vertices", "edges", "precision", "recall", "F-score"
+    );
+    for (i, n) in [2_000u64, 5_000, 10_000, 20_000].into_iter().enumerate() {
+        let generated = lfr(LfrParams::small(n, 900 + i as u64));
+        let truth = generated.ground_truth.as_ref().unwrap();
+
+        let out = run_distributed(&generated.graph, 4, &DistConfig::baseline());
+        let q = f_score(truth, &out.assignment);
+        println!(
+            "{:>9} {:>9} {:>10.4} {:>8.4} {:>9.4}",
+            n,
+            generated.graph.num_edges(),
+            q.precision,
+            q.recall,
+            q.f_score
+        );
+    }
+
+    println!("\nhow the mixing parameter affects detectability (n = 5000):");
+    println!("{:>6} {:>10} {:>9} {:>14}", "mu", "planted Q", "found Q", "F-score");
+    for (i, mu) in [0.1, 0.2, 0.3, 0.4, 0.5].into_iter().enumerate() {
+        let generated = lfr(LfrParams { mu, ..LfrParams::small(5_000, 950 + i as u64) });
+        let truth = generated.ground_truth.as_ref().unwrap();
+        let planted_q = distributed_louvain::graph::modularity(&generated.graph, truth);
+        let out = run_distributed(&generated.graph, 4, &DistConfig::baseline());
+        let q = f_score(truth, &out.assignment);
+        println!(
+            "{:>6.1} {:>10.4} {:>9.4} {:>14.4}",
+            mu, planted_q, out.modularity, q.f_score
+        );
+    }
+}

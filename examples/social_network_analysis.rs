@@ -1,0 +1,62 @@
+//! Social-network community detection — the paper's motivating workload
+//! (com-orkut, twitter, soc-friendster are all social graphs).
+//!
+//! Builds a scale-free social network, detects communities with both the
+//! shared-memory (Grappolo) and distributed implementations, and reports
+//! community structure statistics.
+//!
+//! ```sh
+//! cargo run --release --example social_network_analysis
+//! ```
+
+use distributed_louvain::prelude::*;
+
+fn main() {
+    // A friendster-like social network: strong local friend groups
+    // (LFR with μ = 0.36) at laptop scale.
+    let generated = lfr(LfrParams {
+        mu: 0.36,
+        ..LfrParams::small(20_000, 7)
+    });
+    let graph = generated.graph;
+    println!(
+        "social network: {} members, {} friendships",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Shared-memory baseline (state of the art before the paper).
+    let shared = ParallelLouvain::new(GrappoloConfig::default()).run(&graph);
+    println!(
+        "grappolo (shared memory): Q = {:.4}, {} communities in {:.0} ms",
+        shared.modularity,
+        shared.num_communities,
+        shared.elapsed.as_secs_f64() * 1e3
+    );
+
+    // Distributed with the paper's best-performing heuristic for
+    // soc-friendster (Table IV: ETC(0.25), 23x over Baseline).
+    let out = run_distributed(&graph, 8, &DistConfig::with_variant(Variant::Etc { alpha: 0.25 }));
+    println!(
+        "distributed ETC(0.25), 8 ranks: Q = {:.4}, {} communities",
+        out.modularity, out.num_communities
+    );
+
+    // Community size distribution from the distributed run.
+    let mut sizes = vec![0usize; out.num_communities];
+    for &c in &out.assignment {
+        sizes[c as usize] += 1;
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!("largest communities: {:?}", &sizes[..sizes.len().min(10)]);
+    let median = sizes[sizes.len() / 2];
+    println!(
+        "median community size: {median}, singletons: {}",
+        sizes.iter().filter(|&&s| s == 1).count()
+    );
+
+    // Who shares a community with member #0?
+    let c0 = out.assignment[0];
+    let peers = out.assignment.iter().filter(|&&c| c == c0).count();
+    println!("member #0 belongs to a community of {peers} members");
+}

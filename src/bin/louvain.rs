@@ -1,0 +1,429 @@
+//! `louvain` — command-line driver for the distributed Louvain library.
+//!
+//! ```text
+//! louvain generate --kind lfr --n 10000 --seed 1 --out g.graph
+//! louvain info g.graph
+//! louvain run g.graph --ranks 8 --variant etc:0.25 --assignment out.comm
+//! louvain quality --truth g.graph.truth --detected out.comm
+//! ```
+//!
+//! Graphs use the binary edge-list format of the paper
+//! (`louvain_graph::binio`); assignments and ground truth are plain text,
+//! one community id per line, line number = vertex id.
+
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use distributed_louvain::dist::{
+    adjusted_rand_index, f_score, nmi, run_distributed, DistConfig, Variant,
+};
+use distributed_louvain::graph::{binio, gen, Csr, VertexId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("quality") => cmd_quality(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+louvain — distributed Louvain community detection (IPDPS 2018 reproduction)
+
+USAGE:
+  louvain generate --kind <KIND> --n <N> [--seed <S>] --out <FILE>
+      KIND: lfr | ssca2 | rmat | weblike | grid3d | erdos-renyi |
+            watts-strogatz | barabasi-albert
+      extra: --mu <F> (lfr), --avg-degree <F> (erdos-renyi)
+      Writes <FILE> (binary edge list) and, when the generator plants
+      communities, <FILE>.truth (one community id per line).
+
+  louvain convert <TEXT-FILE> --out <FILE>
+      Converts a text edge list (`src dst [weight]` per line, # comments,
+      SNAP-style) to the binary format, remapping sparse ids densely.
+
+  louvain info <FILE>
+      Prints header, degree and clustering statistics of a binary graph
+      file.
+
+  louvain run <FILE> [--ranks <P>] [--variant <V>] [--threads-per-rank <T>]
+              [--tau <F>] [--assignment <OUT>]
+      V: baseline | cycling | et:<alpha> | etc:<alpha> | et+cycling:<alpha>
+      Runs distributed Louvain on P simulated ranks, prints the summary,
+      optionally writes the community assignment to <OUT>.
+
+  louvain quality --truth <FILE> --detected <FILE>
+      Precision/recall/F-score (methodology of the paper's §V-D), NMI and
+      adjusted Rand index between two assignment files.
+";
+
+/// Minimal `--key value` argument scanner.
+struct Opts<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Opts<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&'a str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option {key}"))
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {key}: {v}")),
+        }
+    }
+
+    /// First non-flag positional argument.
+    fn positional(&self) -> Option<&'a str> {
+        let mut skip = false;
+        for a in self.args {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if let Some(stripped) = a.strip_prefix("--") {
+                let _ = stripped;
+                skip = true;
+                continue;
+            }
+            return Some(a);
+        }
+        None
+    }
+}
+
+/// Parse a variant spec: `baseline`, `cycling`, `et:0.25`, `etc:0.75`,
+/// `et+cycling:0.25`.
+fn parse_variant(spec: &str) -> Result<Variant, String> {
+    let (name, alpha) = match spec.split_once(':') {
+        Some((n, a)) => {
+            let alpha: f64 = a.parse().map_err(|_| format!("bad alpha in `{spec}`"))?;
+            if !(0.0..=1.0).contains(&alpha) {
+                return Err(format!("alpha must be in [0,1], got {alpha}"));
+            }
+            (n, Some(alpha))
+        }
+        None => (spec, None),
+    };
+    match (name, alpha) {
+        ("baseline", None) => Ok(Variant::Baseline),
+        ("cycling", None) => Ok(Variant::ThresholdCycling),
+        ("et", Some(a)) => Ok(Variant::Et { alpha: a }),
+        ("etc", Some(a)) => Ok(Variant::Etc { alpha: a }),
+        ("et+cycling", Some(a)) => Ok(Variant::EtPlusCycling { alpha: a }),
+        _ => Err(format!(
+            "unknown variant `{spec}` (expected baseline | cycling | et:<a> | etc:<a> | et+cycling:<a>)"
+        )),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let opts = Opts { args };
+    let kind = opts.require("--kind")?;
+    let n: u64 = opts.parse("--n", 10_000u64)?;
+    let seed: u64 = opts.parse("--seed", 1u64)?;
+    let out = PathBuf::from(opts.require("--out")?);
+
+    let generated = match kind {
+        "lfr" => {
+            let mu: f64 = opts.parse("--mu", 0.1f64)?;
+            gen::lfr(gen::LfrParams { mu, ..gen::LfrParams::small(n, seed) })
+        }
+        "ssca2" => gen::ssca2(gen::Ssca2Params::paper(n, seed)),
+        "rmat" => {
+            let scale = (63 - n.max(2).leading_zeros() as u64) as u32;
+            gen::rmat(gen::RmatParams::social(scale, 8, seed))
+        }
+        "weblike" => gen::weblike(gen::WeblikeParams::web(n, seed)),
+        "grid3d" => gen::grid3d(gen::Grid3dParams::cube(n, seed)),
+        "erdos-renyi" => {
+            let d: f64 = opts.parse("--avg-degree", 8.0f64)?;
+            gen::erdos_renyi(gen::ErdosRenyiParams { n, avg_degree: d, seed })
+        }
+        "watts-strogatz" => {
+            gen::watts_strogatz(gen::WattsStrogatzParams { n, k: 4, beta: 0.1, seed })
+        }
+        "barabasi-albert" => gen::barabasi_albert(gen::BarabasiAlbertParams { n, m: 4, seed }),
+        other => return Err(format!("unknown generator kind `{other}`")),
+    };
+
+    binio::write_edge_list(&out, &generated.graph.to_edge_list())
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} vertices, {} edges)",
+        out.display(),
+        generated.graph.num_vertices(),
+        generated.graph.num_edges()
+    );
+    if let Some(truth) = generated.ground_truth {
+        let truth_path = truth_sibling(&out);
+        write_assignment(&truth_path, &truth)?;
+        println!("wrote {} (ground truth)", truth_path.display());
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let opts = Opts { args };
+    let input = PathBuf::from(opts.positional().ok_or("missing text edge-list file")?);
+    let out = PathBuf::from(opts.require("--out")?);
+    let imported = distributed_louvain::graph::textio::read_text_edge_list(&input)
+        .map_err(|e| format!("{}: {e}", input.display()))?;
+    binio::write_edge_list(&out, &imported.edges)
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "converted {} -> {} ({} vertices, {} edges; sparse ids remapped densely)",
+        input.display(),
+        out.display(),
+        imported.edges.num_vertices(),
+        imported.edges.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let opts = Opts { args };
+    let path = PathBuf::from(opts.positional().ok_or("missing graph file")?);
+    let header = binio::read_header(&path).map_err(|e| e.to_string())?;
+    let el = binio::read_edge_list(&path).map_err(|e| e.to_string())?;
+    let g = Csr::from_edge_list(el);
+    let mut degs: Vec<usize> = (0..g.num_vertices()).map(|v| g.degree(v as u64)).collect();
+    degs.sort_unstable();
+    let nz = degs.iter().filter(|&&d| d > 0).count();
+    println!("file:         {}", path.display());
+    println!("vertices:     {}", header.num_vertices);
+    println!("edges:        {}", header.num_edges);
+    println!("arcs (2E):    {}", g.num_arcs());
+    println!("total weight: {}", g.two_m() / 2.0);
+    println!("isolated:     {}", g.num_vertices() - nz);
+    println!("max degree:   {}", degs.last().copied().unwrap_or(0));
+    println!(
+        "median degree: {}",
+        degs.get(degs.len() / 2).copied().unwrap_or(0)
+    );
+    if g.num_vertices() <= 200_000 {
+        println!(
+            "clustering:   {:.4}",
+            distributed_louvain::graph::metrics::clustering_coefficient(&g)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let opts = Opts { args };
+    let path = PathBuf::from(opts.positional().ok_or("missing graph file")?);
+    let ranks: usize = opts.parse("--ranks", 4usize)?;
+    let threads: usize = opts.parse("--threads-per-rank", 1usize)?;
+    let tau: f64 = opts.parse("--tau", 1e-6f64)?;
+    let variant = parse_variant(opts.get("--variant").unwrap_or("baseline"))?;
+
+    let el = binio::read_edge_list(&path).map_err(|e| e.to_string())?;
+    let g = Csr::from_edge_list(el);
+    println!(
+        "graph: {} vertices, {} edges; running {} on {ranks} ranks × {threads} threads",
+        g.num_vertices(),
+        g.num_edges(),
+        variant.label()
+    );
+
+    let cfg = DistConfig {
+        threshold: tau,
+        threads_per_rank: threads,
+        ..DistConfig::with_variant(variant)
+    };
+    let out = run_distributed(&g, ranks, &cfg);
+    println!("modularity:    {:.6}", out.modularity);
+    println!("communities:   {}", out.num_communities);
+    println!("phases:        {}", out.phases);
+    println!("iterations:    {}", out.total_iterations);
+    println!("modeled time:  {:.4} s", out.modeled_seconds);
+    println!("wall time:     {:.4} s", out.wall.as_secs_f64());
+    println!(
+        "traffic:       {} p2p msgs, {} KiB, {} collectives",
+        out.traffic.p2p_messages,
+        out.traffic.p2p_bytes / 1024,
+        out.traffic.collective_calls
+    );
+
+    if let Some(dest) = opts.get("--assignment") {
+        write_assignment(Path::new(dest), &out.assignment)?;
+        println!("wrote {dest}");
+    }
+    // If the generator left a ground-truth file next to the input, score
+    // against it automatically.
+    let truth_path = truth_sibling(&path);
+    if truth_path.exists() {
+        let truth = read_assignment(&truth_path)?;
+        if truth.len() == out.assignment.len() {
+            let q = f_score(&truth, &out.assignment);
+            println!(
+                "vs ground truth: precision {:.4}, recall {:.4}, F {:.4}, NMI {:.4}",
+                q.precision,
+                q.recall,
+                q.f_score,
+                nmi(&truth, &out.assignment)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_quality(args: &[String]) -> Result<(), String> {
+    let opts = Opts { args };
+    let truth = read_assignment(Path::new(opts.require("--truth")?))?;
+    let detected = read_assignment(Path::new(opts.require("--detected")?))?;
+    if truth.len() != detected.len() {
+        return Err(format!(
+            "length mismatch: truth has {} vertices, detected {}",
+            truth.len(),
+            detected.len()
+        ));
+    }
+    let q = f_score(&truth, &detected);
+    println!("precision: {:.6}", q.precision);
+    println!("recall:    {:.6}", q.recall);
+    println!("f_score:   {:.6}", q.f_score);
+    println!("nmi:       {:.6}", nmi(&truth, &detected));
+    println!("ari:       {:.6}", adjusted_rand_index(&truth, &detected));
+    Ok(())
+}
+
+/// `<file>.truth` next to a graph file.
+fn truth_sibling(graph_path: &Path) -> PathBuf {
+    let mut os = graph_path.as_os_str().to_owned();
+    os.push(".truth");
+    PathBuf::from(os)
+}
+
+fn write_assignment(path: &Path, assignment: &[VertexId]) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut w = std::io::BufWriter::new(f);
+    for c in assignment {
+        writeln!(w, "{c}").map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())
+}
+
+fn read_assignment(path: &Path) -> Result<Vec<VertexId>, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (i, line) in std::io::BufReader::new(f).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(
+            line.parse()
+                .map_err(|_| format!("{}:{}: not a community id: {line}", path.display(), i + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_parsing() {
+        assert_eq!(parse_variant("baseline").unwrap(), Variant::Baseline);
+        assert_eq!(parse_variant("cycling").unwrap(), Variant::ThresholdCycling);
+        assert_eq!(parse_variant("et:0.25").unwrap(), Variant::Et { alpha: 0.25 });
+        assert_eq!(parse_variant("etc:0.75").unwrap(), Variant::Etc { alpha: 0.75 });
+        assert_eq!(
+            parse_variant("et+cycling:0.5").unwrap(),
+            Variant::EtPlusCycling { alpha: 0.5 }
+        );
+        assert!(parse_variant("et").is_err());
+        assert!(parse_variant("et:2.0").is_err());
+        assert!(parse_variant("bogus").is_err());
+    }
+
+    #[test]
+    fn opts_scanner() {
+        let args: Vec<String> = ["g.graph", "--ranks", "8", "--variant", "et:0.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Opts { args: &args };
+        assert_eq!(o.positional(), Some("g.graph"));
+        assert_eq!(o.get("--ranks"), Some("8"));
+        assert_eq!(o.parse("--ranks", 0usize).unwrap(), 8);
+        assert_eq!(o.parse("--missing", 3usize).unwrap(), 3);
+        assert!(o.require("--nope").is_err());
+    }
+
+    #[test]
+    fn assignment_roundtrip() {
+        let dir = std::env::temp_dir().join("louvain-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.comm");
+        write_assignment(&path, &[3, 1, 4, 1, 5]).unwrap();
+        assert_eq!(read_assignment(&path).unwrap(), vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn truth_sibling_appends_extension() {
+        assert_eq!(
+            truth_sibling(Path::new("/tmp/g.graph")),
+            PathBuf::from("/tmp/g.graph.truth")
+        );
+    }
+
+    #[test]
+    fn end_to_end_generate_run_quality() {
+        let dir = std::env::temp_dir().join("louvain-cli-e2e");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("t.graph");
+        let assign = dir.join("t.comm");
+        let s = |x: &str| x.to_string();
+        cmd_generate(&[
+            s("--kind"), s("lfr"), s("--n"), s("800"), s("--seed"), s("5"),
+            s("--out"), s(graph.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(graph.exists());
+        assert!(truth_sibling(&graph).exists());
+        cmd_info(&[s(graph.to_str().unwrap())]).unwrap();
+        cmd_run(&[
+            s(graph.to_str().unwrap()),
+            s("--ranks"), s("2"),
+            s("--variant"), s("etc:0.25"),
+            s("--assignment"), s(assign.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(assign.exists());
+        cmd_quality(&[
+            s("--truth"), s(truth_sibling(&graph).to_str().unwrap()),
+            s("--detected"), s(assign.to_str().unwrap()),
+        ])
+        .unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! # distributed-louvain
+//!
+//! Umbrella crate for the IPDPS 2018 "Distributed Louvain Algorithm for
+//! Graph Community Detection" reproduction. It re-exports the public API of
+//! the workspace crates so that examples and downstream users need a single
+//! dependency:
+//!
+//! * [`comm`] — simulated MPI runtime (ranks as threads, collectives,
+//!   traffic accounting, α-β cost model),
+//! * [`graph`] — CSR graphs, partitioning, distributed graphs with ghosts,
+//!   synthetic generators (LFR, SSCA#2, RMAT, …), modularity,
+//! * [`grappolo`] — the shared-memory multithreaded Louvain baseline,
+//! * [`dist`] — the distributed Louvain algorithm with threshold cycling
+//!   and early-termination heuristics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distributed_louvain::prelude::*;
+//!
+//! // Generate a small graph with planted communities …
+//! let graph = lfr(LfrParams::small(2_000, 7)).graph;
+//! // … and run distributed Louvain on 4 simulated ranks.
+//! let outcome = run_distributed(&graph, 4, &DistConfig::baseline());
+//! assert!(outcome.modularity > 0.5);
+//! ```
+
+pub use grappolo;
+pub use louvain_comm as comm;
+pub use louvain_dist as dist;
+pub use louvain_graph as graph;
+
+/// Convenience re-exports for examples and quick experiments.
+pub mod prelude {
+    pub use crate::comm::{run as run_ranks, CostModel, ReduceOp, RunConfig};
+    pub use crate::dist::{
+        adjusted_rand_index, f_score, nmi, run_distributed, run_distributed_partitioned,
+        run_distributed_with, DistConfig, DistOutcome, PartitionStrategy, Variant,
+    };
+    pub use crate::graph::gen::{
+        banded, barabasi_albert, erdos_renyi, grid3d, lfr, rmat, ssca2, watts_strogatz, weblike,
+        BandedParams, BarabasiAlbertParams, ErdosRenyiParams, Grid3dParams, LfrParams,
+        RmatParams, Ssca2Params, WattsStrogatzParams, WeblikeParams,
+    };
+    pub use crate::graph::metrics::{clustering_coefficient, partition_metrics};
+    pub use crate::graph::{Csr, EdgeList, VertexId};
+    pub use crate::grappolo::{GrappoloConfig, ParallelLouvain};
+}

@@ -1,0 +1,148 @@
+//! Property-based tests (proptest) over the core invariants:
+//! modularity bounds, coarsening invariance, partition coverage,
+//! distributed/sequential agreement on random graphs.
+
+use distributed_louvain::dist::{run_distributed, DistConfig};
+use distributed_louvain::graph::community::{
+    coarsen, count_communities, modularity, renumber, singleton_assignment,
+};
+use distributed_louvain::graph::{Csr, EdgeList, LocalGraph, VertexPartition};
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish undirected graph as (n, edges).
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (4usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u64, 0..n as u64, 1u32..4);
+        proptest::collection::vec(edge, n..4 * n).prop_map(move |edges| {
+            let mut el = EdgeList::new(n as u64);
+            // A spine keeps the graph connected so Louvain has work to do.
+            for v in 0..n as u64 - 1 {
+                el.push(v, v + 1, 1.0);
+            }
+            for (u, v, w) in edges {
+                el.push(u, v, w as f64);
+            }
+            Csr::from_edge_list(el)
+        })
+    })
+}
+
+/// Strategy: a random community assignment for a given n.
+fn arb_assignment(n: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0..n as u64, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn modularity_is_bounded(g in arb_graph(), seed in 0u64..1000) {
+        let n = g.num_vertices();
+        let assignment: Vec<u64> = (0..n as u64)
+            .map(|v| (v.wrapping_mul(seed + 1)) % (n as u64 / 2 + 1))
+            .collect();
+        let q = modularity(&g, &assignment);
+        // Modularity is in [-1, 1] by definition.
+        prop_assert!((-1.0..=1.0).contains(&q), "q = {q}");
+    }
+
+    #[test]
+    fn coarsening_preserves_modularity((g, seed) in arb_graph().prop_flat_map(|g| {
+        let n = g.num_vertices();
+        (Just(g), Just(n).prop_flat_map(arb_assignment))
+    })) {
+        let assignment = seed;
+        let q_fine = modularity(&g, &assignment);
+        let (coarse, dense) = coarsen(&g, &assignment);
+        let q_coarse = modularity(&coarse, &singleton_assignment(coarse.num_vertices()));
+        prop_assert!((q_fine - q_coarse).abs() < 1e-9, "{q_fine} vs {q_coarse}");
+        // Total weight is conserved.
+        prop_assert!((g.two_m() - coarse.two_m()).abs() < 1e-9);
+        // The dense map is consistent with the input partition.
+        let (expected_dense, k) = renumber(&assignment);
+        prop_assert_eq!(dense, expected_dense);
+        prop_assert_eq!(coarse.num_vertices(), k);
+    }
+
+    #[test]
+    fn scatter_preserves_all_arcs(g in arb_graph(), p in 1usize..6) {
+        let part = VertexPartition::balanced_edges(&g, p);
+        let parts = LocalGraph::scatter(&g, &part);
+        let assembled = LocalGraph::assemble(&parts);
+        prop_assert_eq!(assembled, g);
+    }
+
+    #[test]
+    fn partition_owner_is_consistent(n in 1u64..200, p in 1usize..8) {
+        let part = VertexPartition::balanced_vertices(n, p);
+        for v in 0..n {
+            let owner = part.owner_of(v);
+            prop_assert!(part.range(owner).contains(&v));
+        }
+        let total: usize = (0..p).map(|r| part.num_local(r)).sum();
+        prop_assert_eq!(total as u64, n);
+    }
+
+    #[test]
+    fn single_rank_louvain_never_reduces_modularity_below_singletons(g in arb_graph()) {
+        // With one rank there is no information lag: every applied move
+        // had truly positive gain, so the result can never be worse than
+        // the all-singletons start state. (With p > 1 this is NOT an
+        // invariant — the paper's Section III-B "community update lag"
+        // means concurrent moves based on stale ghost state can be
+        // globally negative; see the bounded-degradation property below.)
+        let q_singleton = modularity(&g, &singleton_assignment(g.num_vertices()));
+        let out = run_distributed(&g, 1, &DistConfig::baseline());
+        prop_assert!(
+            out.modularity >= q_singleton - 1e-9,
+            "q = {} vs singleton {}", out.modularity, q_singleton
+        );
+    }
+
+    #[test]
+    fn serial_louvain_never_reduces_modularity_below_singletons(g in arb_graph()) {
+        let q_singleton = modularity(&g, &singleton_assignment(g.num_vertices()));
+        let out = distributed_louvain::dist::serial_louvain(&g, 1e-6);
+        prop_assert!(
+            out.modularity >= q_singleton - 1e-9,
+            "q = {} vs singleton {}", out.modularity, q_singleton
+        );
+    }
+
+    #[test]
+    fn distributed_louvain_output_is_valid_and_degradation_bounded(
+        g in arb_graph(), p in 2usize..4
+    ) {
+        let q_singleton = modularity(&g, &singleton_assignment(g.num_vertices()));
+        let out = run_distributed(&g, p, &DistConfig::baseline());
+        // Lag-induced regressions exist but stay bounded on these tiny
+        // inputs.
+        prop_assert!(
+            out.modularity >= q_singleton - 0.25,
+            "q = {} vs singleton {}", out.modularity, q_singleton
+        );
+        // The assignment is dense and complete, and the reported
+        // modularity is the true modularity of the reported assignment.
+        prop_assert_eq!(out.assignment.len(), g.num_vertices());
+        prop_assert_eq!(count_communities(&out.assignment), out.num_communities);
+        let q = modularity(&g, &out.assignment);
+        prop_assert!((out.modularity - q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renumber_is_idempotent_and_dense(comm in proptest::collection::vec(0u64..50, 1..100)) {
+        let (dense, k) = renumber(&comm);
+        prop_assert_eq!(dense.len(), comm.len());
+        let max = *dense.iter().max().unwrap() as usize;
+        prop_assert_eq!(max + 1, k);
+        let (dense2, k2) = renumber(&dense);
+        prop_assert_eq!(&dense2, &dense);
+        prop_assert_eq!(k2, k);
+        // Same-community relations preserved.
+        for i in 0..comm.len() {
+            for j in 0..comm.len() {
+                prop_assert_eq!(comm[i] == comm[j], dense[i] == dense[j]);
+            }
+        }
+    }
+}
