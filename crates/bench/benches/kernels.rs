@@ -6,9 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use grappolo::{greedy_coloring, GrappoloConfig, ParallelLouvain};
-use louvain_dist::{run_distributed, serial_louvain, DistConfig};
+use louvain_dist::{run_distributed, serial_louvain, DistConfig, Variant};
 use louvain_graph::community::{coarsen, modularity, singleton_assignment};
-use louvain_graph::gen::{lfr, LfrParams};
+use louvain_graph::gen::{lfr, ssca2, LfrParams, Ssca2Params};
 
 fn bench_modularity(c: &mut Criterion) {
     let mut group = c.benchmark_group("modularity");
@@ -79,6 +79,31 @@ fn bench_distributed(c: &mut Criterion) {
     group.finish();
 }
 
+/// The iteration hot path end to end: ET run over an SSCA#2 graph with
+/// the full vs the delta ghost refresh. Exercises the per-phase scratch
+/// arena (no per-round map or buffer allocation) and, in delta mode, the
+/// shrunken steady-state refresh payloads.
+fn bench_ghost_refresh_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ghost_refresh");
+    group.sample_size(10);
+    let gen = ssca2(Ssca2Params {
+        n: 2_000,
+        max_clique_size: 40,
+        inter_clique_prob: 0.05,
+        seed: 9,
+    });
+    for (name, delta) in [("full_4r", false), ("delta_4r", true)] {
+        let cfg = DistConfig {
+            delta_ghost_refresh: delta,
+            ..DistConfig::with_variant(Variant::Et { alpha: 0.25 })
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_distributed(&gen.graph, 4, &cfg).modularity));
+        });
+    }
+    group.finish();
+}
+
 fn bench_singleton_setup(c: &mut Criterion) {
     c.bench_function("singleton_assignment_1M", |b| {
         b.iter(|| black_box(singleton_assignment(1_000_000).len()));
@@ -93,6 +118,7 @@ criterion_group!(
     bench_coarsen,
     bench_coloring,
     bench_distributed,
+    bench_ghost_refresh_modes,
     bench_singleton_setup,
 );
 criterion_main!(benches);

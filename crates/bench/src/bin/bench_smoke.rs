@@ -1,0 +1,183 @@
+//! Offline perf-regression smoke bench: a quick fixed-seed sweep over the
+//! generator families, recording modeled communication time and the
+//! per-step byte counters — in particular ghost-refresh bytes with the
+//! full vs the delta refresh — into `BENCH_PR1.json`.
+//!
+//! Everything runs in-process on the simulated communicator; no network,
+//! registry, or dataset downloads are involved, so the numbers are
+//! reproducible on any machine (byte counters exactly, modeled seconds
+//! exactly, wall times approximately).
+//!
+//! Usage: `cargo run --release -p louvain-bench --bin bench_smoke [out.json]`
+//! (default output path: `BENCH_PR1.json` in the current directory).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use louvain_comm::CommStep;
+use louvain_dist::{run_distributed, DistConfig, DistOutcome, Variant};
+use louvain_graph::gen::{lfr, rmat, ssca2, LfrParams, RmatParams, Ssca2Params};
+use louvain_graph::Csr;
+
+struct RunRow {
+    graph: &'static str,
+    n: u64,
+    m: u64,
+    ranks: usize,
+    mode: &'static str,
+    modularity: f64,
+    phases: usize,
+    iterations: usize,
+    modeled_comm_seconds: f64,
+    modeled_total_seconds: f64,
+    ghost_refresh_bytes: u64,
+    /// Ghost-refresh bytes minus the (mode-specific) bytes of a
+    /// one-iteration probe run — i.e. the traffic of every exchange
+    /// *after* the first, which is where the delta refresh can win.
+    ghost_refresh_bytes_post_first: u64,
+    community_pull_bytes: u64,
+    delta_push_bytes: u64,
+    reduction_bytes: u64,
+    wall_ms: u128,
+}
+
+fn et_cfg(delta: bool) -> DistConfig {
+    DistConfig {
+        delta_ghost_refresh: delta,
+        ..DistConfig::with_variant(Variant::Et { alpha: 0.25 })
+    }
+}
+
+fn ghost_bytes(out: &DistOutcome) -> u64 {
+    out.traffic.step_bytes_for(CommStep::GhostRefresh)
+}
+
+fn run_mode(graph: &'static str, g: &Csr, ranks: usize, delta: bool) -> RunRow {
+    let cfg = et_cfg(delta);
+    let t0 = Instant::now();
+    let out = run_distributed(g, ranks, &cfg);
+    let wall_ms = t0.elapsed().as_millis();
+    // One-iteration probe: captures the cost of the mandatory first
+    // (full) exchange so the steady-state share can be separated out.
+    let probe_cfg = DistConfig { max_phases: 1, max_iterations: 1, ..cfg };
+    let probe = run_distributed(g, ranks, &probe_cfg);
+    let (_, comm, _, _) = out.modeled_breakdown();
+    RunRow {
+        graph,
+        n: g.num_vertices() as u64,
+        m: g.num_edges() as u64,
+        ranks,
+        mode: if delta { "delta" } else { "full" },
+        modularity: out.modularity,
+        phases: out.phases,
+        iterations: out.total_iterations,
+        modeled_comm_seconds: comm,
+        modeled_total_seconds: out.modeled_seconds,
+        ghost_refresh_bytes: ghost_bytes(&out),
+        ghost_refresh_bytes_post_first: ghost_bytes(&out).saturating_sub(ghost_bytes(&probe)),
+        community_pull_bytes: out.traffic.step_bytes_for(CommStep::CommunityPull),
+        delta_push_bytes: out.traffic.step_bytes_for(CommStep::DeltaPush),
+        reduction_bytes: out.traffic.step_bytes_for(CommStep::Reduction),
+        wall_ms,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR1.json".into());
+
+    let graphs: Vec<(&'static str, Csr)> = vec![
+        ("rmat_s11_ef8", rmat(RmatParams::social(11, 8, 5)).graph),
+        (
+            "ssca2_4k",
+            ssca2(Ssca2Params { n: 4_000, max_clique_size: 50, inter_clique_prob: 0.05, seed: 9 })
+                .graph,
+        ),
+        ("lfr_3k", lfr(LfrParams::small(3_000, 7)).graph),
+    ];
+
+    let mut rows: Vec<RunRow> = Vec::new();
+    for (name, g) in &graphs {
+        for ranks in [1usize, 2, 8] {
+            for delta in [false, true] {
+                let row = run_mode(name, g, ranks, delta);
+                eprintln!(
+                    "{:>14} p={:<2} {:<5} q={:.4} it={:<3} ghost_bytes={:<10} post_first={}",
+                    row.graph,
+                    row.ranks,
+                    row.mode,
+                    row.modularity,
+                    row.iterations,
+                    row.ghost_refresh_bytes,
+                    row.ghost_refresh_bytes_post_first,
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    // Summary: full/delta ghost-byte ratios per (graph, ranks) pair.
+    let mut summary = String::new();
+    let mut first = true;
+    for (name, _) in &graphs {
+        for ranks in [2usize, 8] {
+            let find = |mode: &str| {
+                rows.iter()
+                    .find(|r| r.graph == *name && r.ranks == ranks && r.mode == mode)
+                    .unwrap()
+            };
+            let full = find("full");
+            let delta = find("delta");
+            let ratio = |a: u64, b: u64| if b == 0 { f64::NAN } else { a as f64 / b as f64 };
+            if !first {
+                summary.push(',');
+            }
+            first = false;
+            write!(
+                summary,
+                "\n    {{\"graph\": {:?}, \"ranks\": {}, \"ghost_bytes_ratio_total\": {:.3}, \"ghost_bytes_ratio_post_first\": {:.3}}}",
+                name,
+                ranks,
+                ratio(full.ghost_refresh_bytes, delta.ghost_refresh_bytes),
+                ratio(
+                    full.ghost_refresh_bytes_post_first,
+                    delta.ghost_refresh_bytes_post_first
+                ),
+            )
+            .unwrap();
+        }
+    }
+
+    let mut runs = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            runs.push(',');
+        }
+        write!(
+            runs,
+            "\n    {{\"graph\": {:?}, \"n\": {}, \"m\": {}, \"ranks\": {}, \"variant\": \"ET(0.25)\", \"mode\": {:?}, \"modularity\": {:.6}, \"phases\": {}, \"iterations\": {}, \"modeled_comm_seconds\": {:.6}, \"modeled_total_seconds\": {:.6}, \"ghost_refresh_bytes\": {}, \"ghost_refresh_bytes_post_first\": {}, \"community_pull_bytes\": {}, \"delta_push_bytes\": {}, \"reduction_bytes\": {}, \"wall_ms\": {}}}",
+            r.graph,
+            r.n,
+            r.m,
+            r.ranks,
+            r.mode,
+            r.modularity,
+            r.phases,
+            r.iterations,
+            r.modeled_comm_seconds,
+            r.modeled_total_seconds,
+            r.ghost_refresh_bytes,
+            r.ghost_refresh_bytes_post_first,
+            r.community_pull_bytes,
+            r.delta_push_bytes,
+            r.reduction_bytes,
+            r.wall_ms,
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_PR1\",\n  \"description\": \"fixed-seed smoke sweep: ET(0.25), full vs delta ghost refresh\",\n  \"runs\": [{runs}\n  ],\n  \"summary\": [{summary}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write bench json");
+    eprintln!("wrote {out_path}");
+}

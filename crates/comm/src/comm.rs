@@ -7,7 +7,7 @@ use crate::blackboard::Blackboard;
 use crate::cost::CostModel;
 use crate::envelope::{Envelope, Mailbox, Senders};
 use crate::reduce::{Reducible, ReduceOp};
-use crate::stats::CommStats;
+use crate::stats::{CommStats, CommStep};
 
 /// Message tag, matched together with the source rank on receive.
 pub type Tag = u32;
@@ -65,6 +65,15 @@ impl Comm {
     /// The cost model used for modeled-time accounting.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// Attribute all traffic recorded inside `f` to the given
+    /// algorithmic step, restoring the previous attribution afterwards.
+    pub fn with_step<R>(&self, step: CommStep, f: impl FnOnce() -> R) -> R {
+        let prev = self.stats.set_step(step);
+        let out = f();
+        self.stats.set_step(prev);
+        out
     }
 
     // ---------------------------------------------------------------
@@ -211,6 +220,44 @@ impl Comm {
             .record_p2p_batch(nmsgs, sent, self.cost.all_to_all(nmsgs, sent));
         let mut out: Vec<Vec<T>> = (0..self.size).map(|_| Vec::new()).collect();
         out[self.rank] = mine;
+        for (src, slot) in out.iter_mut().enumerate() {
+            if src == self.rank {
+                continue;
+            }
+            let env = self.mailbox.borrow_mut().recv_matching(src, A2A_TAG);
+            *slot = *env
+                .payload
+                .downcast::<Vec<T>>()
+                .expect("all_to_all_v type mismatch");
+        }
+        out
+    }
+
+    /// Like [`Comm::all_to_all_v`], but borrows the send buffers instead
+    /// of consuming them, so a caller that reuses the same buffers every
+    /// round (e.g. a ghost layer's request lists) does not have to clone
+    /// the whole `Vec<Vec<T>>` per call. Only the cross-rank payloads are
+    /// cloned onto the wire; the self-buffer is cloned directly into the
+    /// result.
+    pub fn all_to_all_v_ref<T: Clone + Send + 'static>(&self, bufs: &[Vec<T>]) -> Vec<Vec<T>> {
+        assert_eq!(bufs.len(), self.size, "all_to_all_v needs one buffer per rank");
+        const A2A_TAG: Tag = u32::MAX - 7;
+        let mut nmsgs = 0u64;
+        let mut sent = 0u64;
+        for (dst, buf) in bufs.iter().enumerate() {
+            if dst == self.rank {
+                continue;
+            }
+            let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
+            nmsgs += 1;
+            sent += bytes;
+            let env = Envelope { src: self.rank, tag: A2A_TAG, payload: Box::new(buf.clone()) };
+            self.senders[dst].send(env).expect("peer mailbox closed");
+        }
+        self.stats
+            .record_p2p_batch(nmsgs, sent, self.cost.all_to_all(nmsgs, sent));
+        let mut out: Vec<Vec<T>> = (0..self.size).map(|_| Vec::new()).collect();
+        out[self.rank] = bufs[self.rank].clone();
         for (src, slot) in out.iter_mut().enumerate() {
             if src == self.rank {
                 continue;

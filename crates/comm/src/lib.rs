@@ -41,4 +41,4 @@ pub use comm::{Comm, Tag};
 pub use cost::CostModel;
 pub use reduce::{Reducible, ReduceOp};
 pub use runtime::{run, run_with, RunConfig};
-pub use stats::{CommStats, StatsSnapshot, TrafficKind};
+pub use stats::{CommStats, CommStep, StatsSnapshot, TrafficKind, NUM_COMM_STEPS};

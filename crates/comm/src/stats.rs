@@ -16,6 +16,54 @@ pub enum TrafficKind {
     Collective,
 }
 
+/// The algorithmic step traffic is attributed to. The distributed
+/// Louvain iteration has four communication steps per sweep (ghost
+/// community refresh, remote-community a_c pull, delta push to owners,
+/// and the modularity reduction); everything else (setup, graph
+/// rebuild, result gathering) lands in `Other`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CommStep {
+    GhostRefresh,
+    CommunityPull,
+    DeltaPush,
+    Reduction,
+    #[default]
+    Other,
+}
+
+/// Number of [`CommStep`] variants (array-indexed counters).
+pub const NUM_COMM_STEPS: usize = 5;
+
+impl CommStep {
+    pub const ALL: [CommStep; NUM_COMM_STEPS] = [
+        CommStep::GhostRefresh,
+        CommStep::CommunityPull,
+        CommStep::DeltaPush,
+        CommStep::Reduction,
+        CommStep::Other,
+    ];
+
+    pub fn index(self) -> usize {
+        match self {
+            CommStep::GhostRefresh => 0,
+            CommStep::CommunityPull => 1,
+            CommStep::DeltaPush => 2,
+            CommStep::Reduction => 3,
+            CommStep::Other => 4,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            CommStep::GhostRefresh => "ghost_refresh",
+            CommStep::CommunityPull => "community_pull",
+            CommStep::DeltaPush => "delta_push",
+            CommStep::Reduction => "reduction",
+            CommStep::Other => "other",
+        }
+    }
+}
+
 /// Mutable per-rank counters. Each rank owns its `CommStats` exclusively
 /// (interior mutability via `Cell` keeps the `Comm` API `&self`).
 #[derive(Debug, Default)]
@@ -26,11 +74,32 @@ pub struct CommStats {
     collective_bytes: Cell<u64>,
     /// Modeled communication time (seconds) accumulated via the cost model.
     modeled_seconds: Cell<f64>,
+    /// Which algorithmic step subsequent traffic is attributed to.
+    step: Cell<CommStep>,
+    step_messages: [Cell<u64>; NUM_COMM_STEPS],
+    step_bytes: [Cell<u64>; NUM_COMM_STEPS],
 }
 
 impl CommStats {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Set the step label that subsequent traffic is attributed to;
+    /// returns the previous label so callers can scope and restore.
+    pub fn set_step(&self, step: CommStep) -> CommStep {
+        self.step.replace(step)
+    }
+
+    /// The step currently being attributed.
+    pub fn current_step(&self) -> CommStep {
+        self.step.get()
+    }
+
+    fn charge_step(&self, nmsgs: u64, bytes: u64) {
+        let i = self.step.get().index();
+        self.step_messages[i].set(self.step_messages[i].get() + nmsgs);
+        self.step_bytes[i].set(self.step_bytes[i].get() + bytes);
     }
 
     pub(crate) fn record_p2p(&self, bytes: u64, modeled: f64) {
@@ -41,12 +110,14 @@ impl CommStats {
         self.p2p_messages.set(self.p2p_messages.get() + nmsgs);
         self.p2p_bytes.set(self.p2p_bytes.get() + bytes);
         self.modeled_seconds.set(self.modeled_seconds.get() + modeled);
+        self.charge_step(nmsgs, bytes);
     }
 
     pub(crate) fn record_collective(&self, bytes: u64, modeled: f64) {
         self.collective_calls.set(self.collective_calls.get() + 1);
         self.collective_bytes.set(self.collective_bytes.get() + bytes);
         self.modeled_seconds.set(self.modeled_seconds.get() + modeled);
+        self.charge_step(1, bytes);
     }
 
     /// Number of point-to-point messages sent by this rank.
@@ -74,6 +145,16 @@ impl CommStats {
         self.modeled_seconds.get()
     }
 
+    /// Bytes attributed to one algorithmic step.
+    pub fn step_bytes(&self, step: CommStep) -> u64 {
+        self.step_bytes[step.index()].get()
+    }
+
+    /// Messages/calls attributed to one algorithmic step.
+    pub fn step_messages(&self, step: CommStep) -> u64 {
+        self.step_messages[step.index()].get()
+    }
+
     /// Snapshot as a plain-old-data summary (for aggregation across ranks).
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -82,6 +163,8 @@ impl CommStats {
             collective_calls: self.collective_calls(),
             collective_bytes: self.collective_bytes(),
             modeled_seconds: self.modeled_seconds(),
+            step_messages: std::array::from_fn(|i| self.step_messages[i].get()),
+            step_bytes: std::array::from_fn(|i| self.step_bytes[i].get()),
         }
     }
 }
@@ -94,6 +177,10 @@ pub struct StatsSnapshot {
     pub collective_calls: u64,
     pub collective_bytes: u64,
     pub modeled_seconds: f64,
+    /// Per-[`CommStep`] message/call counts, indexed by `CommStep::index()`.
+    pub step_messages: [u64; NUM_COMM_STEPS],
+    /// Per-[`CommStep`] byte counts, indexed by `CommStep::index()`.
+    pub step_bytes: [u64; NUM_COMM_STEPS],
 }
 
 impl StatsSnapshot {
@@ -105,6 +192,20 @@ impl StatsSnapshot {
         self.collective_calls += other.collective_calls;
         self.collective_bytes += other.collective_bytes;
         self.modeled_seconds = self.modeled_seconds.max(other.modeled_seconds);
+        for i in 0..NUM_COMM_STEPS {
+            self.step_messages[i] += other.step_messages[i];
+            self.step_bytes[i] += other.step_bytes[i];
+        }
+    }
+
+    /// Bytes attributed to one algorithmic step.
+    pub fn step_bytes_for(&self, step: CommStep) -> u64 {
+        self.step_bytes[step.index()]
+    }
+
+    /// Messages/calls attributed to one algorithmic step.
+    pub fn step_messages_for(&self, step: CommStep) -> u64 {
+        self.step_messages[step.index()]
     }
 }
 
@@ -126,9 +227,28 @@ mod tests {
     }
 
     #[test]
+    fn step_attribution_follows_set_step() {
+        let s = CommStats::new();
+        s.record_p2p(100, 0.0);
+        let prev = s.set_step(CommStep::GhostRefresh);
+        assert_eq!(prev, CommStep::Other);
+        s.record_p2p_batch(3, 300, 0.0);
+        s.set_step(CommStep::Reduction);
+        s.record_collective(8, 0.0);
+        s.set_step(prev);
+        assert_eq!(s.step_bytes(CommStep::Other), 100);
+        assert_eq!(s.step_bytes(CommStep::GhostRefresh), 300);
+        assert_eq!(s.step_messages(CommStep::GhostRefresh), 3);
+        assert_eq!(s.step_bytes(CommStep::Reduction), 8);
+        let snap = s.snapshot();
+        assert_eq!(snap.step_bytes_for(CommStep::GhostRefresh), 300);
+        assert_eq!(snap.step_bytes.iter().sum::<u64>(), snap.p2p_bytes + snap.collective_bytes);
+    }
+
+    #[test]
     fn snapshot_merge_takes_time_max_and_counter_sum() {
-        let mut a = StatsSnapshot { p2p_messages: 1, p2p_bytes: 10, collective_calls: 2, collective_bytes: 4, modeled_seconds: 0.5 };
-        let b = StatsSnapshot { p2p_messages: 3, p2p_bytes: 30, collective_calls: 1, collective_bytes: 8, modeled_seconds: 0.2 };
+        let mut a = StatsSnapshot { p2p_messages: 1, p2p_bytes: 10, collective_calls: 2, collective_bytes: 4, modeled_seconds: 0.5, ..Default::default() };
+        let b = StatsSnapshot { p2p_messages: 3, p2p_bytes: 30, collective_calls: 1, collective_bytes: 8, modeled_seconds: 0.2, ..Default::default() };
         a.merge_max_time(&b);
         assert_eq!(a.p2p_messages, 4);
         assert_eq!(a.p2p_bytes, 40);

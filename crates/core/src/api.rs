@@ -189,11 +189,7 @@ fn merge(results: Vec<(RankOutcome, StatsSnapshot)>, wall: Duration) -> DistOutc
     let mut per_rank_stats = Vec::with_capacity(results.len());
     for (o, s) in &results {
         assignment.extend(o.assignment.iter().copied());
-        traffic.p2p_messages += s.p2p_messages;
-        traffic.p2p_bytes += s.p2p_bytes;
-        traffic.collective_calls += s.collective_calls;
-        traffic.collective_bytes += s.collective_bytes;
-        traffic.modeled_seconds = traffic.modeled_seconds.max(s.modeled_seconds);
+        traffic.merge_max_time(s);
     }
     for (o, _) in results {
         per_rank_stats.push(o.phase_stats);

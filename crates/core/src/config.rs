@@ -96,6 +96,20 @@ pub struct DistConfig {
     /// adopts its unique neighbor's (singleton) community; pendant pairs
     /// collapse toward the smaller id. One extra ghost exchange.
     pub vertex_following: bool,
+    /// Delta ghost refresh: after the first iteration of a phase, owners
+    /// push `(index, community)` pairs only for vertices whose community
+    /// changed since the last exchange, instead of re-sending every ghost
+    /// value. Bit-identical trajectory to the full refresh (ghost slots
+    /// not mentioned already hold the owner's current value); the rounds
+    /// where most vertices are stable shrink to near-zero refresh bytes.
+    /// When more than a quarter of the global vertices moved in the
+    /// previous iteration, ranks fall back to a full refresh for that
+    /// round: the pair encoding is twice as wide as a plain value, and
+    /// heavily-ghosted hub vertices churn more often than the global
+    /// average, so the conservative threshold keeps delta mode from ever
+    /// costing more than full. The decision is made uniformly from the
+    /// all-reduced move count so every rank picks the same flavour.
+    pub delta_ghost_refresh: bool,
 }
 
 impl DistConfig {
@@ -118,6 +132,7 @@ impl DistConfig {
             index_order_sweep: false,
             threads_per_rank: 1,
             vertex_following: false,
+            delta_ghost_refresh: false,
         }
     }
 

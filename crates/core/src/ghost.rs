@@ -6,22 +6,61 @@
 //! iteration then starts with the owners *pushing* the latest community
 //! assignment of those vertices (Algorithm 3 lines 4–5).
 //!
-//! Two refinements from the paper's discussion are implemented here:
+//! Three refinements from the paper's discussion are implemented here:
 //!
 //! * **neighborhood refresh** ([`GhostLayer::refresh_neighborhood`]) —
 //!   the ghost topology is fixed for the whole phase and symmetric, so the
 //!   exchange can use an MPI-3-style neighborhood collective whose
 //!   per-message cost scales with the topology degree instead of `p−1`;
+//! * **delta refresh** ([`GhostLayer::refresh_delta`]) — after the first
+//!   iterations most vertices stop moving, so owners push `(index, value)`
+//!   pairs only for vertices whose community changed since the last
+//!   exchange instead of re-sending every ghost value. Ghost slots not
+//!   mentioned keep their previous value, which is exactly the owner's
+//!   current value — so a delta refresh leaves the ghost array
+//!   byte-identical to what a full [`GhostLayer::refresh`] would produce;
 //! * **inactive-ghost pruning** ([`GhostLayer::prune`]) — under early
 //!   termination, a permanently inactive vertex can never move again, so
 //!   its owner announces it and peers stop refreshing that ghost
 //!   ("any communication that relates to inactive vertices can be
 //!   prevented/preempted by communicating the ghost vertex IDs that have
 //!   become inactive", Section IV-B).
+//!
+//! Refresh rounds run in the per-iteration hot path, so all send/receive
+//! buffers cycle through a small pool ([`GhostLayer`] keeps the vectors
+//! returned by one collective and reuses their capacity as the next
+//! round's send buffers) and per-owner slot offsets are precomputed once
+//! at build time.
+
+use std::sync::Mutex;
 
 use louvain_comm::Comm;
 use louvain_graph::hash::{fast_map, fast_set, FastMap};
 use louvain_graph::{LocalGraph, VertexId};
+
+/// Wire entry of a delta refresh: (position in the receiver's request
+/// list for this owner, new value).
+pub type DeltaEntry = (u32, VertexId);
+
+/// Grab-and-put vector pool: `take` pops a cleared buffer (or makes a
+/// fresh one), `put_back` returns buffers so their capacity is reused.
+#[derive(Debug, Default)]
+struct BufPool<T> {
+    free: Mutex<Vec<Vec<T>>>,
+}
+
+impl<T> BufPool<T> {
+    fn take(&self) -> Vec<T> {
+        let mut buf = self.free.lock().unwrap_or_else(|e| e.into_inner()).pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    fn put_back(&self, bufs: impl IntoIterator<Item = Vec<T>>) {
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        free.extend(bufs);
+    }
+}
 
 /// Per-phase ghost bookkeeping for one rank.
 #[derive(Debug)]
@@ -41,8 +80,15 @@ pub struct GhostLayer {
     serve_mask: Vec<Vec<bool>>,
     /// Ranks this rank actually exchanges ghosts with (symmetric).
     neighbors: Vec<usize>,
+    /// `base[owner]` — slot offset of `requests[owner][0]` in the flat
+    /// ghost value array (precomputed; `fill_from` runs per refresh).
+    base: Vec<usize>,
     num_ghosts: usize,
     pruned: usize,
+    /// Recycled value buffers for full refreshes.
+    val_pool: BufPool<VertexId>,
+    /// Recycled `(index, value)` buffers for delta refreshes.
+    delta_pool: BufPool<DeltaEntry>,
 }
 
 impl GhostLayer {
@@ -73,7 +119,9 @@ impl GhostLayer {
             }
         }
         // Tell each owner what we need; learn what others need from us.
-        let received = comm.all_to_all_v(requests.clone());
+        // `all_to_all_v_ref` borrows the request lists (they stay the
+        // wire-format reference for every later refresh).
+        let received = comm.all_to_all_v_ref(&requests);
         let serve: Vec<Vec<usize>> = received
             .into_iter()
             .map(|ids| ids.into_iter().map(|g| lg.to_local(g)).collect())
@@ -85,6 +133,14 @@ impl GhostLayer {
             .collect();
         let request_mask = requests.iter().map(|r| vec![true; r.len()]).collect();
         let serve_mask = serve.iter().map(|s| vec![true; s.len()]).collect();
+        let base: Vec<usize> = requests
+            .iter()
+            .scan(0usize, |acc, r| {
+                let b = *acc;
+                *acc += r.len();
+                Some(b)
+            })
+            .collect();
         Self {
             requests,
             request_mask,
@@ -92,8 +148,11 @@ impl GhostLayer {
             serve,
             serve_mask,
             neighbors,
+            base,
             num_ghosts: next,
             pruned: 0,
+            val_pool: BufPool::default(),
+            delta_pool: BufPool::default(),
         }
     }
 
@@ -119,21 +178,39 @@ impl GhostLayer {
         self.slot[&v]
     }
 
-    /// Build the per-peer outgoing value buffers for a refresh round
-    /// (masked serve entries are skipped).
+    /// Build the per-peer outgoing value buffer for a refresh round
+    /// (masked serve entries are skipped), reusing pooled capacity.
     fn serve_buffers(&self, local_vals: &[VertexId], j: usize) -> Vec<VertexId> {
-        self.serve[j]
-            .iter()
-            .zip(&self.serve_mask[j])
-            .filter(|&(_, &alive)| alive)
-            .map(|(&l, _)| local_vals[l])
-            .collect()
+        let mut buf = self.val_pool.take();
+        buf.extend(
+            self.serve[j]
+                .iter()
+                .zip(&self.serve_mask[j])
+                .filter(|&(_, &alive)| alive)
+                .map(|(&l, _)| local_vals[l]),
+        );
+        buf
+    }
+
+    /// Build the per-peer outgoing delta buffer: `(index, value)` pairs
+    /// for alive serve entries whose local vertex is marked changed.
+    fn delta_buffers(&self, local_vals: &[VertexId], changed: &[bool], j: usize) -> Vec<DeltaEntry> {
+        let mut buf = self.delta_pool.take();
+        buf.extend(
+            self.serve[j]
+                .iter()
+                .zip(&self.serve_mask[j])
+                .enumerate()
+                .filter(|&(_, (&l, &alive))| alive && changed[l])
+                .map(|(i, (&l, _))| (i as u32, local_vals[l])),
+        );
+        buf
     }
 
     /// Scatter one peer's reply into the slot array (masked request
     /// entries keep their last value).
     fn fill_from(&self, out: &mut [VertexId], owner: usize, values: &[VertexId]) {
-        let base: usize = self.requests[..owner].iter().map(|r| r.len()).sum();
+        let base = self.base[owner];
         let mut vi = 0;
         for (i, &alive) in self.request_mask[owner].iter().enumerate() {
             if alive {
@@ -142,6 +219,18 @@ impl GhostLayer {
             }
         }
         debug_assert_eq!(vi, values.len());
+    }
+
+    /// Scatter one peer's delta reply: only the mentioned slots change.
+    fn fill_from_delta(&self, out: &mut [VertexId], owner: usize, pairs: &[DeltaEntry]) {
+        let base = self.base[owner];
+        for &(i, v) in pairs {
+            debug_assert!(
+                self.request_mask[owner][i as usize],
+                "delta for a pruned ghost slot"
+            );
+            out[base + i as usize] = v;
+        }
     }
 
     /// One refresh round over the full communicator: every owner pushes
@@ -157,6 +246,7 @@ impl GhostLayer {
         for (owner, values) in received.iter().enumerate() {
             self.fill_from(out, owner, values);
         }
+        self.val_pool.put_back(received);
     }
 
     /// [`GhostLayer::refresh`] over the neighborhood topology only
@@ -178,6 +268,53 @@ impl GhostLayer {
         for (&owner, values) in self.neighbors.iter().zip(&received) {
             self.fill_from(out, owner, values);
         }
+        self.val_pool.put_back(received);
+    }
+
+    /// Delta refresh over the full communicator: owners push `(index,
+    /// value)` pairs only for serve entries whose local vertex is marked
+    /// in `changed` (indexed by local vertex). `out` must already hold
+    /// the values of a previous full refresh of this phase with every
+    /// un-`changed` vertex at its current value — then the result is
+    /// byte-identical to a full [`GhostLayer::refresh`]. Collective; all
+    /// ranks must take the delta path in the same round.
+    pub fn refresh_delta(
+        &self,
+        comm: &Comm,
+        local_vals: &[VertexId],
+        changed: &[bool],
+        out: &mut Vec<VertexId>,
+    ) {
+        debug_assert_eq!(out.len(), self.num_ghosts, "delta refresh needs a full refresh first");
+        let sends: Vec<Vec<DeltaEntry>> = (0..comm.size())
+            .map(|j| self.delta_buffers(local_vals, changed, j))
+            .collect();
+        let received = comm.all_to_all_v(sends);
+        for (owner, pairs) in received.iter().enumerate() {
+            self.fill_from_delta(out, owner, pairs);
+        }
+        self.delta_pool.put_back(received);
+    }
+
+    /// [`GhostLayer::refresh_delta`] over the neighborhood topology.
+    pub fn refresh_delta_neighborhood(
+        &self,
+        comm: &Comm,
+        local_vals: &[VertexId],
+        changed: &[bool],
+        out: &mut Vec<VertexId>,
+    ) {
+        debug_assert_eq!(out.len(), self.num_ghosts, "delta refresh needs a full refresh first");
+        let sends: Vec<Vec<DeltaEntry>> = self
+            .neighbors
+            .iter()
+            .map(|&j| self.delta_buffers(local_vals, changed, j))
+            .collect();
+        let received = comm.neighbor_all_to_all_v(&self.neighbors, sends);
+        for (&owner, pairs) in self.neighbors.iter().zip(&received) {
+            self.fill_from_delta(out, owner, pairs);
+        }
+        self.delta_pool.put_back(received);
     }
 
     /// Prune refresh traffic for permanently frozen vertices: this rank
@@ -310,6 +447,86 @@ mod tests {
             full == nbr
         });
         assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn delta_refresh_matches_full_refresh() {
+        let g = ring(16);
+        let parts = scatter_for(4, &g);
+        let out = run(4, |c| {
+            let lg = parts[c.rank()].clone();
+            let layer = GhostLayer::build(c, &lg);
+            // Round 1: full refresh establishes the baseline.
+            let vals1: Vec<u64> = (0..lg.num_local()).map(|l| 10 + lg.to_global(l)).collect();
+            let mut baseline = Vec::new();
+            layer.refresh(c, &vals1, &mut baseline);
+            // Round 2: only even-id vertices change.
+            let vals2: Vec<u64> = (0..lg.num_local())
+                .map(|l| {
+                    let gid = lg.to_global(l);
+                    if gid % 2 == 0 { 900 + gid } else { 10 + gid }
+                })
+                .collect();
+            let changed: Vec<bool> =
+                (0..lg.num_local()).map(|l| lg.to_global(l) % 2 == 0).collect();
+            let mut full = baseline.clone();
+            layer.refresh(c, &vals2, &mut full);
+            let mut delta = baseline.clone();
+            layer.refresh_delta(c, &vals2, &changed, &mut delta);
+            // Round 3 (no changes at all): the delta exchange is empty and
+            // must leave the array untouched.
+            let no_change = vec![false; lg.num_local()];
+            let mut delta3 = delta.clone();
+            layer.refresh_delta(c, &vals2, &no_change, &mut delta3);
+            (full == delta, delta3 == delta)
+        });
+        assert!(out.into_iter().all(|(a, b)| a && b));
+    }
+
+    #[test]
+    fn delta_neighborhood_matches_delta_full() {
+        let g = ring(12);
+        let parts = scatter_for(3, &g);
+        let out = run(3, |c| {
+            let lg = parts[c.rank()].clone();
+            let layer = GhostLayer::build(c, &lg);
+            let vals1: Vec<u64> = (0..lg.num_local()).map(|l| lg.to_global(l)).collect();
+            let mut baseline = Vec::new();
+            layer.refresh(c, &vals1, &mut baseline);
+            let vals2: Vec<u64> = (0..lg.num_local()).map(|l| 3 * lg.to_global(l) + 1).collect();
+            let changed = vec![true; lg.num_local()];
+            let mut via_full = baseline.clone();
+            layer.refresh_delta(c, &vals2, &changed, &mut via_full);
+            let mut via_nbr = baseline.clone();
+            layer.refresh_delta_neighborhood(c, &vals2, &changed, &mut via_nbr);
+            via_full == via_nbr
+        });
+        assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn delta_refresh_respects_pruned_slots() {
+        let g = ring(8);
+        let parts = scatter_for(2, &g);
+        let out = run(2, |c| {
+            let lg = parts[c.rank()].clone();
+            let mut layer = GhostLayer::build(c, &lg);
+            let mut ghost_vals = Vec::new();
+            let vals1: Vec<u64> = (0..lg.num_local()).map(|l| 100 + lg.to_global(l)).collect();
+            layer.refresh(c, &vals1, &mut ghost_vals);
+            // Rank 0 freezes global vertex 0 (ghosted by rank 1).
+            let frozen: Vec<usize> = if c.rank() == 0 { vec![lg.to_local(0)] } else { vec![] };
+            layer.prune(c, &lg, &frozen);
+            // Every vertex "changes" — but the pruned serve entry must not
+            // be sent, so the frozen ghost keeps its round-1 value.
+            let vals2: Vec<u64> = (0..lg.num_local()).map(|l| 200 + lg.to_global(l)).collect();
+            let changed = vec![true; lg.num_local()];
+            layer.refresh_delta(c, &vals2, &changed, &mut ghost_vals);
+            ghost_vals
+        });
+        // Rank 1 ghosts vertices 0 and 3: 0 is frozen at 100, 3 moves to 203.
+        assert!(out[1].contains(&100), "{:?}", out[1]);
+        assert!(out[1].contains(&203), "{:?}", out[1]);
     }
 
     #[test]

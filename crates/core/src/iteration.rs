@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
-use louvain_comm::{Comm, ReduceOp};
+use louvain_comm::{Comm, CommStep, ReduceOp};
 use louvain_graph::atomic::AtomicF64;
 use louvain_graph::hash::{fast_map, FastMap};
 use louvain_graph::{LocalGraph, VertexId, Weight};
@@ -39,6 +39,7 @@ use louvain_graph::{LocalGraph, VertexId, Weight};
 use crate::config::DistConfig;
 use crate::ghost::GhostLayer;
 use crate::heuristics::{distributed_coloring, EtTracker};
+use crate::scratch::{reclaim, IterScratch};
 use crate::stats::{IterationTrace, WorkCounter};
 
 /// Outcome of one phase's iteration loop on one rank.
@@ -101,10 +102,6 @@ impl SweepState {
         self.comm[l].load(Ordering::Relaxed)
     }
 
-    fn snapshot_comm(&self) -> Vec<VertexId> {
-        self.comm.iter().map(|c| c.load(Ordering::Relaxed)).collect()
-    }
-
     fn snapshot_a(&self) -> Vec<Weight> {
         self.a.iter().map(|a| a.load()).collect()
     }
@@ -131,6 +128,55 @@ impl SweepAcc {
         self.vertices += other.vertices;
         self
     }
+}
+
+/// One ghost community exchange (Step 1), full or delta flavour.
+///
+/// The snapshot is taken into the scratch arena, and after the exchange
+/// becomes the new delta baseline (`last_pushed`). `use_delta` must be
+/// decided *uniformly* across ranks (it changes the collective's payload
+/// type): callers derive it from the config flag, from whether a full
+/// baseline exists yet (`have_baseline`, which advances in lockstep
+/// because exchanges are collective), and from the previous iteration's
+/// all-reduced global move count.
+///
+/// The changed-bit tracking diffs against `last_pushed` rather than
+/// reusing `SweepState::moved`: the move flags reset once per iteration
+/// while colored sweeps exchange once per sub-round, and vertex
+/// following moves vertices outside any sweep. Comparing against the
+/// exact last-pushed values is correct in every one of those paths.
+fn exchange_ghosts(
+    comm: &Comm,
+    ghosts: &GhostLayer,
+    state: &SweepState,
+    scratch: &mut IterScratch,
+    ghost_comm: &mut Vec<VertexId>,
+    neighborhood: bool,
+    use_delta: bool,
+) {
+    scratch.comm_snapshot.clear();
+    scratch
+        .comm_snapshot
+        .extend(state.comm.iter().map(|c| c.load(Ordering::Relaxed)));
+    let vals = &scratch.comm_snapshot;
+    if use_delta {
+        debug_assert_eq!(scratch.last_pushed.len(), vals.len());
+        scratch.changed.clear();
+        scratch
+            .changed
+            .extend(vals.iter().zip(&scratch.last_pushed).map(|(a, b)| a != b));
+        if neighborhood {
+            ghosts.refresh_delta_neighborhood(comm, vals, &scratch.changed, ghost_comm);
+        } else {
+            ghosts.refresh_delta(comm, vals, &scratch.changed, ghost_comm);
+        }
+    } else if neighborhood {
+        ghosts.refresh_neighborhood(comm, vals, ghost_comm);
+    } else {
+        ghosts.refresh(comm, vals, ghost_comm);
+    }
+    scratch.last_pushed.clear();
+    scratch.last_pushed.extend_from_slice(vals);
 }
 
 /// Evaluate and (if profitable) apply the best move for local vertex `l`.
@@ -305,14 +351,14 @@ pub fn louvain_phase(
     };
     let num_rounds = coloring.as_ref().map_or(1, |&(_, nc)| nc as usize);
 
-    let refresh =
-        |ghosts: &GhostLayer, vals: &[VertexId], out: &mut Vec<VertexId>, comm: &Comm| {
-            if cfg.neighborhood_collectives {
-                ghosts.refresh_neighborhood(comm, vals, out);
-            } else {
-                ghosts.refresh(comm, vals, out);
-            }
-        };
+    // Per-phase scratch arena: every buffer of the four-step loop is
+    // allocated once here and recycled across iterations.
+    let mut scratch = IterScratch::new(nlocal, comm.size());
+    // Delta-refresh policy state. Both inputs advance in lockstep on all
+    // ranks (exchanges are collective, the move count is all-reduced), so
+    // every rank picks the same refresh flavour each time.
+    let mut have_baseline = false;
+    let mut prev_moves_global = u64::MAX;
 
     // Distributed vertex following: pendant vertices pre-join their
     // unique neighbor's singleton community before the first sweep.
@@ -332,12 +378,11 @@ pub fn louvain_phase(
     while iterations < cfg.max_iterations {
         iterations += 1;
         let edges_at_iter_start = compute.edges_scanned;
-        let active: Vec<bool> = (0..nlocal)
-            .map(|l| match &et {
-                Some(t) => t.is_active(phase_idx, iterations, l),
-                None => true,
-            })
-            .collect();
+        scratch.active.clear();
+        scratch.active.extend((0..nlocal).map(|l| match &et {
+            Some(t) => t.is_active(phase_idx, iterations, l),
+            None => true,
+        }));
         for m in &state.moved {
             m.store(false, Ordering::Relaxed);
         }
@@ -351,20 +396,33 @@ pub fn louvain_phase(
             };
 
             // -- Step 1: receive the latest ghost vertex communities. -----
-            let comm_snapshot = state.snapshot_comm();
+            let use_delta = cfg.delta_ghost_refresh
+                && have_baseline
+                && prev_moves_global.saturating_mul(4) < n_global;
             let t0 = comm.stats().modeled_seconds();
-            refresh(ghosts, &comm_snapshot, &mut ghost_comm, comm);
+            comm.with_step(CommStep::GhostRefresh, || {
+                exchange_ghosts(
+                    comm,
+                    ghosts,
+                    &state,
+                    &mut scratch,
+                    &mut ghost_comm,
+                    cfg.neighborhood_collectives,
+                    use_delta,
+                );
+            });
+            have_baseline = true;
             comm_seconds += comm.stats().modeled_seconds() - t0;
 
             // -- Step 2: pull a_c for remote communities we may join. ------
-            let mut needed: FastMap<VertexId, ()> = fast_map();
-            for (l, &is_active) in active.iter().enumerate() {
+            scratch.needed.clear();
+            for (l, &is_active) in scratch.active.iter().enumerate() {
                 if !is_active || !in_round(l) {
                     continue;
                 }
                 let cu = state.comm_of_local(l);
                 if !lg.owns(cu) {
-                    needed.insert(cu, ());
+                    scratch.needed.insert(cu);
                 }
                 for (u, _) in lg.neighbors(l) {
                     compute.edges_scanned += 1;
@@ -374,34 +432,42 @@ pub fn louvain_phase(
                         ghost_comm[ghosts.slot_of(u)]
                     };
                     if !lg.owns(c) {
-                        needed.insert(c, ());
+                        scratch.needed.insert(c);
                     }
                 }
             }
             let t0 = comm.stats().modeled_seconds();
-            let mut requests: Vec<Vec<VertexId>> = vec![Vec::new(); comm.size()];
-            for &c in needed.keys() {
-                requests[part.owner_of(c)].push(c);
+            for buf in &mut scratch.requests {
+                buf.clear();
             }
-            let incoming = comm.all_to_all_v(requests.clone());
-            let replies: Vec<Vec<(f64, u64)>> = incoming
-                .iter()
-                .map(|ids| {
-                    ids.iter()
-                        .map(|&c| {
-                            let i = (c - first) as usize;
-                            (state.a[i].load(), state.size[i].load(Ordering::Relaxed))
-                        })
-                        .collect()
-                })
-                .collect();
-            let reply_vals = comm.all_to_all_v(replies);
-            let mut remote_a: FastMap<VertexId, (Weight, u64)> = fast_map();
-            for (owner, ids) in requests.iter().enumerate() {
-                for (i, &c) in ids.iter().enumerate() {
-                    remote_a.insert(c, reply_vals[owner][i]);
+            for &c in scratch.needed.iter() {
+                scratch.requests[part.owner_of(c)].push(c);
+            }
+            // Keyed exchange: owners reply (community, a_c, size), so the
+            // request buffers need not be retained (or cloned) to decode
+            // the positional replies; both receive sides are reclaimed as
+            // next round's send buffers.
+            let reply_vals = comm.with_step(CommStep::CommunityPull, || {
+                let incoming = comm.all_to_all_v(std::mem::take(&mut scratch.requests));
+                for buf in &mut scratch.replies {
+                    buf.clear();
+                }
+                for (j, ids) in incoming.iter().enumerate() {
+                    scratch.replies[j].extend(ids.iter().map(|&c| {
+                        let i = (c - first) as usize;
+                        (c, state.a[i].load(), state.size[i].load(Ordering::Relaxed))
+                    }));
+                }
+                reclaim(&mut scratch.requests, incoming);
+                comm.all_to_all_v(std::mem::take(&mut scratch.replies))
+            });
+            scratch.remote_a.clear();
+            for vals in &reply_vals {
+                for &(c, a, sz) in vals {
+                    scratch.remote_a.insert(c, (a, sz));
                 }
             }
+            reclaim(&mut scratch.replies, reply_vals);
             comm_seconds += comm.stats().modeled_seconds() - t0;
 
             // -- Step 3: the compute sweep (lines 6–9). --------------------
@@ -409,34 +475,40 @@ pub fn louvain_phase(
             // paper's per-process order); rayon-parallel over the shared
             // atomic state otherwise (the paper's OpenMP loop).
             let guard = !cfg.disable_singleton_guard;
-            let round_vertices: Vec<usize> = sweep_order
-                .iter()
-                .copied()
-                .filter(|&l| active[l] && in_round(l))
-                .collect();
+            scratch.round_vertices.clear();
+            {
+                let active = &scratch.active;
+                scratch.round_vertices.extend(
+                    sweep_order.iter().copied().filter(|&l| active[l] && in_round(l)),
+                );
+            }
             let acc: SweepAcc = if threads <= 1 {
                 let mut acc = SweepAcc::default();
-                let mut weights = fast_map();
-                for &l in &round_vertices {
+                let mut weights = scratch.take_weights();
+                for &l in &scratch.round_vertices {
                     try_move(
                         l, lg, ghosts, &ghost_comm, &state, &k_local, two_m, guard,
-                        &remote_a, &mut acc, &mut weights,
+                        &scratch.remote_a, &mut acc, &mut weights,
                     );
                 }
+                scratch.put_weights(weights);
                 acc
             } else {
-                let chunk = round_vertices.len().div_ceil(threads * 4).max(64);
-                round_vertices
+                let chunk = scratch.round_vertices.len().div_ceil(threads * 4).max(64);
+                let scratch_ref = &scratch;
+                scratch
+                    .round_vertices
                     .par_chunks(chunk)
                     .map(|chunk| {
                         let mut acc = SweepAcc::default();
-                        let mut weights = fast_map();
+                        let mut weights = scratch_ref.take_weights();
                         for &l in chunk {
                             try_move(
                                 l, lg, ghosts, &ghost_comm, &state, &k_local, two_m,
-                                guard, &remote_a, &mut acc, &mut weights,
+                                guard, &scratch_ref.remote_a, &mut acc, &mut weights,
                             );
                         }
+                        scratch_ref.put_weights(weights);
                         acc
                     })
                     .reduce(SweepAcc::default, SweepAcc::merge)
@@ -447,12 +519,15 @@ pub fn louvain_phase(
 
             // -- Step 3b: push deltas to community owners (lines 10–11). --
             let t0 = comm.stats().modeled_seconds();
-            let mut delta_msgs: Vec<Vec<(VertexId, f64, i64)>> =
-                vec![Vec::new(); comm.size()];
-            for (&c, &(da, ds)) in &acc.deltas {
-                delta_msgs[part.owner_of(c)].push((c, da, ds));
+            for buf in &mut scratch.delta_msgs {
+                buf.clear();
             }
-            let received_deltas = comm.all_to_all_v(delta_msgs);
+            for (&c, &(da, ds)) in &acc.deltas {
+                scratch.delta_msgs[part.owner_of(c)].push((c, da, ds));
+            }
+            let received_deltas = comm.with_step(CommStep::DeltaPush, || {
+                comm.all_to_all_v(std::mem::take(&mut scratch.delta_msgs))
+            });
             for msgs in &received_deltas {
                 for &(c, da, ds) in msgs {
                     let i = (c - first) as usize;
@@ -461,6 +536,7 @@ pub fn louvain_phase(
                     state.size[i].store((cur + ds) as u64, Ordering::Relaxed);
                 }
             }
+            reclaim(&mut scratch.delta_msgs, received_deltas);
             comm_seconds += comm.stats().modeled_seconds() - t0;
         }
 
@@ -468,10 +544,15 @@ pub fn louvain_phase(
         let (e_in_local, a2_local) = local_modularity_terms(lg, ghosts, &state, &ghost_comm);
         compute.edges_scanned += lg.num_local_arcs() as u64;
         let t0 = comm.stats().modeled_seconds();
-        let e_in = comm.all_reduce(e_in_local, ReduceOp::Sum);
-        let a2 = comm.all_reduce(a2_local, ReduceOp::Sum);
-        let moves_global = comm.all_reduce(local_moves, ReduceOp::Sum);
+        let (e_in, a2, moves_global) = comm.with_step(CommStep::Reduction, || {
+            (
+                comm.all_reduce(e_in_local, ReduceOp::Sum),
+                comm.all_reduce(a2_local, ReduceOp::Sum),
+                comm.all_reduce(local_moves, ReduceOp::Sum),
+            )
+        });
         reduce_seconds += comm.stats().modeled_seconds() - t0;
+        prev_moves_global = moves_global;
         let q = if ctx.two_m > 0.0 {
             e_in / ctx.two_m - a2 / (ctx.two_m * ctx.two_m)
         } else {
@@ -492,7 +573,9 @@ pub fn louvain_phase(
             }
             if cfg.variant.uses_etc_exit() {
                 let t0 = comm.stats().modeled_seconds();
-                inactive_global = comm.all_reduce(t.num_inactive(), ReduceOp::Sum);
+                inactive_global = comm.with_step(CommStep::Reduction, || {
+                    comm.all_reduce(t.num_inactive(), ReduceOp::Sum)
+                });
                 comm_seconds += comm.stats().modeled_seconds() - t0;
             }
         }
@@ -520,14 +603,31 @@ pub fn louvain_phase(
     // above drive convergence exactly as in the paper (stale ghost state),
     // but the reported phase modularity must be exact. Pruned ghosts are
     // frozen, so their cached values are already final.
-    let comm_of_local = state.snapshot_comm();
+    let use_delta = cfg.delta_ghost_refresh
+        && have_baseline
+        && prev_moves_global.saturating_mul(4) < n_global;
     let t0 = comm.stats().modeled_seconds();
-    refresh(ghosts, &comm_of_local, &mut ghost_comm, comm);
+    comm.with_step(CommStep::GhostRefresh, || {
+        exchange_ghosts(
+            comm,
+            ghosts,
+            &state,
+            &mut scratch,
+            &mut ghost_comm,
+            cfg.neighborhood_collectives,
+            use_delta,
+        );
+    });
     comm_seconds += comm.stats().modeled_seconds() - t0;
+    let comm_of_local = std::mem::take(&mut scratch.comm_snapshot);
     let (e_in_local, a2_local) = local_modularity_terms(lg, ghosts, &state, &ghost_comm);
     let t0 = comm.stats().modeled_seconds();
-    let e_in = comm.all_reduce(e_in_local, ReduceOp::Sum);
-    let a2 = comm.all_reduce(a2_local, ReduceOp::Sum);
+    let (e_in, a2) = comm.with_step(CommStep::Reduction, || {
+        (
+            comm.all_reduce(e_in_local, ReduceOp::Sum),
+            comm.all_reduce(a2_local, ReduceOp::Sum),
+        )
+    });
     reduce_seconds += comm.stats().modeled_seconds() - t0;
     let final_q = if ctx.two_m > 0.0 {
         e_in / ctx.two_m - a2 / (ctx.two_m * ctx.two_m)
@@ -804,6 +904,89 @@ mod tests {
         let nbr = run_one_phase(&g, 3, &cfg);
         assert_eq!(base.0, nbr.0, "assignments differ");
         assert_eq!(base.1, nbr.1);
+    }
+
+    #[test]
+    fn delta_ghost_refresh_gives_identical_results() {
+        // The delta refresh promises a *bit-identical* trajectory, so the
+        // comparison is exact equality (not a tolerance) on three
+        // generator families at 1, 2 and 8 ranks — including the p=1
+        // degenerate case where there are no ghosts at all.
+        let graphs = [
+            louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(600, 6)).graph,
+            louvain_graph::gen::ssca2(louvain_graph::gen::Ssca2Params {
+                n: 500,
+                max_clique_size: 12,
+                inter_clique_prob: 0.05,
+                seed: 7,
+            })
+            .graph,
+            louvain_graph::gen::rmat(louvain_graph::gen::RmatParams::social(9, 8, 11)).graph,
+        ];
+        let delta_cfg = DistConfig { delta_ghost_refresh: true, ..DistConfig::baseline() };
+        for (gi, g) in graphs.iter().enumerate() {
+            for p in [1, 2, 8] {
+                let base = run_one_phase(g, p, &DistConfig::baseline());
+                let delta = run_one_phase(g, p, &delta_cfg);
+                assert_eq!(base.0, delta.0, "graph {gi}, p={p}: assignments differ");
+                assert_eq!(base.1, delta.1, "graph {gi}, p={p}: modularity differs");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_refresh_composes_with_neighborhood_and_pruning() {
+        let g = louvain_graph::gen::ssca2(louvain_graph::gen::Ssca2Params {
+            n: 600,
+            max_clique_size: 15,
+            inter_clique_prob: 0.05,
+            seed: 3,
+        })
+        .graph;
+        // Neighborhood collectives: the delta flavour rides the same
+        // neighbor topology, so results stay identical.
+        let nbr = DistConfig { neighborhood_collectives: true, ..DistConfig::baseline() };
+        let nbr_delta = DistConfig { delta_ghost_refresh: true, ..nbr.clone() };
+        let a = run_one_phase(&g, 4, &nbr);
+        let b = run_one_phase(&g, 4, &nbr_delta);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        // ET + inactive-ghost pruning: pruned serve slots are excluded
+        // from delta payloads exactly as from full ones.
+        let et = DistConfig {
+            prune_inactive_ghosts: true,
+            ..DistConfig::with_variant(crate::Variant::Et { alpha: 0.75 })
+        };
+        let et_delta = DistConfig { delta_ghost_refresh: true, ..et.clone() };
+        let a = run_one_phase(&g, 3, &et);
+        let b = run_one_phase(&g, 3, &et_delta);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        let q_ref = modularity(&g, &b.0);
+        assert!((b.1 - q_ref).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modularity_traces_are_deterministic_and_delta_invariant() {
+        let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(500, 3)).graph;
+        let part = VertexPartition::balanced_vertices(500, 2);
+        let parts = LocalGraph::scatter(&g, &part);
+        let two_m = g.two_m();
+        let run_traces = |cfg: &DistConfig| -> Vec<Vec<(f64, u64)>> {
+            run(2, |c| {
+                let lg = parts[c.rank()].clone();
+                let mut ghosts = GhostLayer::build(c, &lg);
+                let ctx = PhaseContext { comm: c, lg: &lg, two_m };
+                let r = louvain_phase(&ctx, &mut ghosts, cfg, 0, cfg.threshold);
+                r.traces.iter().map(|t| (t.modularity, t.moves)).collect()
+            })
+        };
+        let base = run_traces(&DistConfig::baseline());
+        let again = run_traces(&DistConfig::baseline());
+        assert_eq!(base, again, "single-threaded sweeps must be bit-reproducible");
+        let delta_cfg = DistConfig { delta_ghost_refresh: true, ..DistConfig::baseline() };
+        let delta = run_traces(&delta_cfg);
+        assert_eq!(base, delta, "delta refresh must not perturb the trajectory");
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod iteration;
 pub mod quality;
 pub mod rebuild;
 pub mod runner;
+pub mod scratch;
 pub mod serial;
 pub mod stats;
 

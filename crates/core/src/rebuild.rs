@@ -96,25 +96,29 @@ pub fn rebuild(
             }
         }
     }
-    let queries_sent = query_sets.clone();
     let incoming_queries = comm.all_to_all_v(query_sets);
-    let replies: Vec<Vec<VertexId>> = incoming_queries
+    // Keyed replies (community, new id) avoid cloning the query sets just
+    // to decode positional responses.
+    let replies: Vec<Vec<(VertexId, VertexId)>> = incoming_queries
         .iter()
         .map(|ids| {
             ids.iter()
                 .map(|c| {
-                    *owned_new_id
-                        .get(c)
-                        .expect("queried community has no member anywhere")
+                    (
+                        *c,
+                        *owned_new_id
+                            .get(c)
+                            .expect("queried community has no member anywhere"),
+                    )
                 })
                 .collect()
         })
         .collect();
     let reply_vals = comm.all_to_all_v(replies);
     let mut new_id: FastMap<VertexId, VertexId> = owned_new_id;
-    for (owner, ids) in queries_sent.iter().enumerate() {
-        for (i, &c) in ids.iter().enumerate() {
-            new_id.insert(c, reply_vals[owner][i]);
+    for pairs in &reply_vals {
+        for &(c, id) in pairs {
+            new_id.insert(c, id);
         }
     }
 

@@ -47,24 +47,25 @@ fn pull_values(
     for &k in unique.keys() {
         requests[part.owner_of(k)].push(k);
     }
-    let sent = requests.clone();
     let incoming = comm.all_to_all_v(requests);
-    let replies: Vec<Vec<VertexId>> = incoming
+    // Keyed replies (key, value) make retaining a copy of the outbound
+    // requests unnecessary.
+    let replies: Vec<Vec<(VertexId, VertexId)>> = incoming
         .iter()
         .map(|ids| {
             ids.iter()
                 .map(|&k| {
                     debug_assert_eq!(part.owner_of(k), comm.rank());
-                    local_vals[(k - first) as usize]
+                    (k, local_vals[(k - first) as usize])
                 })
                 .collect()
         })
         .collect();
     let reply_vals = comm.all_to_all_v(replies);
     let mut map: FastMap<VertexId, VertexId> = fast_map();
-    for (owner, ids) in sent.iter().enumerate() {
-        for (i, &k) in ids.iter().enumerate() {
-            map.insert(k, reply_vals[owner][i]);
+    for pairs in &reply_vals {
+        for &(k, v) in pairs {
+            map.insert(k, v);
         }
     }
     keys.iter().map(|k| map[k]).collect()
@@ -221,6 +222,43 @@ mod tests {
                 "p={p}: {} vs {}",
                 outs[0].modularity,
                 q_ref
+            );
+        }
+    }
+
+    #[test]
+    fn delta_refresh_full_run_matches_baseline_exactly() {
+        // Multi-phase end-to-end parity: the delta ghost refresh must not
+        // change a single assignment across the whole coarsening
+        // hierarchy, and must cut ghost-refresh bytes.
+        use louvain_comm::CommStep;
+        let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(800, 5)).graph;
+        for p in [2, 4] {
+            let parts = scatter(&g, p);
+            let collect = |cfg: &DistConfig| {
+                let outs = run(p, |c| {
+                    let o = run_on_rank(c, parts[c.rank()].clone(), cfg);
+                    let refresh_bytes = c.stats().step_bytes(CommStep::GhostRefresh);
+                    (o, refresh_bytes)
+                });
+                let mut assignment = Vec::new();
+                let mut bytes = 0u64;
+                for (o, b) in &outs {
+                    assignment.extend(o.assignment.iter().copied());
+                    bytes += b;
+                }
+                (assignment, outs[0].0.modularity, bytes)
+            };
+            let base = collect(&DistConfig::baseline());
+            let cfg = DistConfig { delta_ghost_refresh: true, ..DistConfig::baseline() };
+            let delta = collect(&cfg);
+            assert_eq!(base.0, delta.0, "p={p}: assignments differ");
+            assert_eq!(base.1, delta.1, "p={p}: modularity differs");
+            assert!(
+                delta.2 < base.2,
+                "p={p}: delta refresh sent {} bytes vs full {}",
+                delta.2,
+                base.2
             );
         }
     }

@@ -1,0 +1,129 @@
+//! Reusable per-phase scratch buffers for the iteration hot loop.
+//!
+//! [`louvain_phase`](crate::iteration::louvain_phase) runs the paper's
+//! four communication steps dozens of times per phase. The seed
+//! implementation allocated every intermediate — the community snapshot,
+//! the request/reply vectors of the a_c pull, the delta message buffers,
+//! the per-thread neighbor-weight maps — from scratch on every round.
+//! [`IterScratch`] owns all of them for the lifetime of a phase: buffers
+//! are cleared between uses (which keeps their capacity) instead of
+//! reallocated, and vectors that cross the simulated wire are reclaimed
+//! from the receive side of the same collective (see [`reclaim`]), so
+//! after the first iteration the steady state performs no allocation at
+//! all on the exchange path.
+
+use std::sync::Mutex;
+
+use louvain_graph::hash::{FastMap, FastSet};
+use louvain_graph::{VertexId, Weight};
+
+/// Per-phase arena of reusable iteration buffers. `Sync` so the parallel
+/// compute sweep can check neighbor-weight maps out of the shared pool.
+pub struct IterScratch {
+    /// Community snapshot taken immediately before each ghost exchange.
+    pub comm_snapshot: Vec<VertexId>,
+    /// Community values as of the *last* ghost exchange — the baseline the
+    /// delta refresh diffs against. Empty until the first (always full)
+    /// exchange of the phase.
+    pub last_pushed: Vec<VertexId>,
+    /// `changed[l]`: vertex `l`'s community differs from [`last_pushed`];
+    /// rebuilt before every delta refresh.
+    ///
+    /// [`last_pushed`]: IterScratch::last_pushed
+    pub changed: Vec<bool>,
+    /// Per-vertex ET activity flags for the current iteration.
+    pub active: Vec<bool>,
+    /// Remote communities whose `a_c` must be pulled this round.
+    pub needed: FastSet<VertexId>,
+    /// Per-destination-rank request buffers for the a_c pull.
+    pub requests: Vec<Vec<VertexId>>,
+    /// Per-destination-rank keyed `(community, a_c, size)` reply buffers.
+    pub replies: Vec<Vec<(VertexId, Weight, u64)>>,
+    /// `a_c` and size of remote communities, rebuilt every round.
+    pub remote_a: FastMap<VertexId, (Weight, u64)>,
+    /// The vertex ids swept in the current (sub-)round.
+    pub round_vertices: Vec<usize>,
+    /// Per-destination-rank delta messages for the owner push.
+    pub delta_msgs: Vec<Vec<(VertexId, f64, i64)>>,
+    /// Neighbor-weight maps checked out by sweep workers (sequential or
+    /// one per rayon chunk) and returned after the sweep.
+    weights: Mutex<Vec<FastMap<VertexId, Weight>>>,
+}
+
+impl IterScratch {
+    /// Arena for a rank with `nlocal` vertices in a world of `p` ranks.
+    pub fn new(nlocal: usize, p: usize) -> Self {
+        Self {
+            comm_snapshot: Vec::with_capacity(nlocal),
+            last_pushed: Vec::with_capacity(nlocal),
+            changed: Vec::with_capacity(nlocal),
+            active: Vec::with_capacity(nlocal),
+            needed: FastSet::default(),
+            requests: vec![Vec::new(); p],
+            replies: vec![Vec::new(); p],
+            remote_a: FastMap::default(),
+            round_vertices: Vec::with_capacity(nlocal),
+            delta_msgs: vec![Vec::new(); p],
+            weights: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Check a cleared neighbor-weight map out of the pool (allocating
+    /// only if the pool is dry — i.e. the first sweep of the phase).
+    pub fn take_weights(&self) -> FastMap<VertexId, Weight> {
+        let mut m = self
+            .weights
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        m.clear();
+        m
+    }
+
+    /// Return a neighbor-weight map to the pool for the next sweep.
+    pub fn put_weights(&self, m: FastMap<VertexId, Weight>) {
+        self.weights
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(m);
+    }
+}
+
+/// Reclaim the vectors received from one collective as the send buffers
+/// of the next: `dst` takes ownership of `used`'s (cleared) allocations.
+/// Exchange patterns are near-symmetric round over round, so the
+/// capacities stay warm.
+pub fn reclaim<T>(dst: &mut Vec<Vec<T>>, mut used: Vec<Vec<T>>) {
+    for b in &mut used {
+        b.clear();
+    }
+    *dst = used;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_pool_recycles_maps() {
+        let s = IterScratch::new(8, 2);
+        let mut m = s.take_weights();
+        m.insert(1, 2.0);
+        let cap_hint = m.capacity();
+        s.put_weights(m);
+        let m2 = s.take_weights();
+        assert!(m2.is_empty(), "pooled map must come back cleared");
+        assert!(m2.capacity() >= cap_hint.min(1));
+    }
+
+    #[test]
+    fn reclaim_clears_and_keeps_allocations() {
+        let mut dst: Vec<Vec<u64>> = vec![Vec::new(); 2];
+        let used = vec![vec![1, 2, 3], vec![4]];
+        reclaim(&mut dst, used);
+        assert_eq!(dst.len(), 2);
+        assert!(dst.iter().all(|b| b.is_empty()));
+        assert!(dst[0].capacity() >= 3);
+    }
+}

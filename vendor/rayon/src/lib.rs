@@ -1,0 +1,349 @@
+//! Offline stand-in for `rayon`. Provides genuinely parallel
+//! `par_iter`/`par_chunks`/`into_par_iter` with `map`/`for_each`/`sum`/
+//! `reduce`, plus `ThreadPoolBuilder`/`ThreadPool::install`, implemented
+//! over `std::thread::scope` with contiguous index partitioning. Only
+//! the surface this workspace uses is provided (see vendor/README.md).
+//!
+//! Differences from real rayon: no work stealing (static partitioning),
+//! threads are spawned per terminal call rather than pooled, and
+//! `ThreadPool::install` affects only parallel calls made from the
+//! calling thread (no nested-pool propagation).
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 means "use the machine default".
+    static POOL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn effective_threads() -> usize {
+    let o = POOL_OVERRIDE.with(|c| c.get());
+    if o != 0 {
+        o
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Number of threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    effective_threads()
+}
+
+/// Run `work` over `0..len` split into one contiguous range per thread,
+/// returning the per-thread results in range order.
+fn split_run<A, F>(len: usize, work: &F) -> Vec<A>
+where
+    A: Send,
+    F: Fn(Range<usize>) -> A + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads().min(len).max(1);
+    if threads == 1 {
+        return vec![work(0..len)];
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = (t * chunk).min(len);
+                let hi = ((t + 1) * chunk).min(len);
+                scope.spawn(move || work(lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+/// A random-access source of items, the backbone of every parallel
+/// iterator here.
+pub trait IndexedSource: Sync {
+    type Item;
+    fn len(&self) -> usize;
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedSource for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+pub struct ChunkSource<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> IndexedSource for ChunkSource<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn get(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+pub struct RangeSource {
+    start: usize,
+    len: usize,
+}
+
+impl IndexedSource for RangeSource {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+pub struct MapSource<S, F, T> {
+    src: S,
+    f: F,
+    _out: PhantomData<fn() -> T>,
+}
+
+impl<S, F, T> IndexedSource for MapSource<S, F, T>
+where
+    S: IndexedSource,
+    F: Fn(S::Item) -> T + Sync,
+{
+    type Item = T;
+    fn len(&self) -> usize {
+        self.src.len()
+    }
+    fn get(&self, i: usize) -> T {
+        (self.f)(self.src.get(i))
+    }
+}
+
+/// A parallel iterator over an [`IndexedSource`].
+pub struct Par<S>(S);
+
+impl<S: IndexedSource> Par<S> {
+    pub fn map<T, F>(self, f: F) -> Par<MapSource<S, F, T>>
+    where
+        F: Fn(S::Item) -> T + Sync,
+    {
+        Par(MapSource { src: self.0, f, _out: PhantomData })
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync,
+    {
+        let src = &self.0;
+        split_run(src.len(), &|r: Range<usize>| {
+            for i in r {
+                f(src.get(i));
+            }
+        });
+    }
+
+    pub fn sum<T>(self) -> T
+    where
+        T: Send + std::iter::Sum<S::Item> + std::iter::Sum<T>,
+    {
+        let src = &self.0;
+        let partials = split_run(src.len(), &|r: Range<usize>| {
+            r.map(|i| src.get(i)).sum::<T>()
+        });
+        partials.into_iter().sum()
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
+    where
+        S::Item: Send,
+        ID: Fn() -> S::Item + Sync,
+        OP: Fn(S::Item, S::Item) -> S::Item + Sync,
+    {
+        let src = &self.0;
+        let partials = split_run(src.len(), &|r: Range<usize>| {
+            let mut acc = identity();
+            for i in r {
+                acc = op(acc, src.get(i));
+            }
+            acc
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    pub fn count(self) -> usize {
+        self.0.len()
+    }
+}
+
+/// `into_par_iter()` entry point (ranges).
+pub trait IntoParallelIterator {
+    type Source: IndexedSource;
+    fn into_par_iter(self) -> Par<Self::Source>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Source = RangeSource;
+    fn into_par_iter(self) -> Par<RangeSource> {
+        Par(RangeSource { start: self.start, len: self.end.saturating_sub(self.start) })
+    }
+}
+
+/// `par_iter()` / `par_chunks()` entry points on slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> Par<SliceSource<'_, T>>;
+    fn par_chunks(&self, size: usize) -> Par<ChunkSource<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<SliceSource<'_, T>> {
+        Par(SliceSource { slice: self })
+    }
+    fn par_chunks(&self, size: usize) -> Par<ChunkSource<'_, T>> {
+        assert!(size > 0, "par_chunks requires a non-zero chunk size");
+        Par(ChunkSource { slice: self, size })
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 means "machine default", matching rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A "pool" that scopes a thread-count override; workers are spawned
+/// per call rather than kept alive.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads != 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_iter_sum_matches_serial() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let par: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(par, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn range_into_par_iter_sum() {
+        let s: usize = (0..1000usize).into_par_iter().map(|i| i * 2).sum();
+        assert_eq!(s, 999 * 1000);
+    }
+
+    #[test]
+    fn for_each_visits_everything_once() {
+        let counters: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        (0..500usize)
+            .into_par_iter()
+            .for_each(|i| {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_reduce() {
+        let v: Vec<usize> = (1..=100).collect();
+        let total = v
+            .par_chunks(7)
+            .map(|c| c.iter().sum::<usize>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<usize> = Vec::new();
+        assert_eq!(v.par_iter().map(|&x| x).sum::<usize>(), 0);
+        assert_eq!(
+            v.par_chunks(4).map(|c| c.len()).reduce(|| 0, |a, b| a + b),
+            0
+        );
+    }
+}
