@@ -58,8 +58,7 @@ fn bench_all_to_all_v(c: &mut Criterion) {
             |b, &(p, len)| {
                 b.iter(|| {
                     let out = run(p, |comm| {
-                        let bufs: Vec<Vec<u64>> =
-                            (0..p).map(|dst| vec![dst as u64; len]).collect();
+                        let bufs: Vec<Vec<u64>> = (0..p).map(|dst| vec![dst as u64; len]).collect();
                         let recv = comm.all_to_all_v(bufs);
                         recv.iter().map(|v| v.len()).sum::<usize>()
                     });
@@ -88,5 +87,11 @@ fn bench_barrier(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_all_reduce, bench_exscan, bench_all_to_all_v, bench_barrier);
+criterion_group!(
+    benches,
+    bench_all_reduce,
+    bench_exscan,
+    bench_all_to_all_v,
+    bench_barrier
+);
 criterion_main!(benches);

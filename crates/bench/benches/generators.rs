@@ -33,9 +33,13 @@ fn bench_generators(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("erdos_renyi", n), |b| {
         b.iter(|| {
             black_box(
-                erdos_renyi(ErdosRenyiParams { n, avg_degree: 8.0, seed: 7 })
-                    .graph
-                    .num_edges(),
+                erdos_renyi(ErdosRenyiParams {
+                    n,
+                    avg_degree: 8.0,
+                    seed: 7,
+                })
+                .graph
+                .num_edges(),
             )
         });
     });

@@ -40,11 +40,18 @@ fn bench_grappolo(c: &mut Criterion) {
     let gen = lfr(LfrParams::small(4_000, 3));
     group.bench_function("default_4k", |b| {
         b.iter(|| {
-            black_box(ParallelLouvain::new(GrappoloConfig::default()).run(&gen.graph).modularity)
+            black_box(
+                ParallelLouvain::new(GrappoloConfig::default())
+                    .run(&gen.graph)
+                    .modularity,
+            )
         });
     });
     group.bench_function("coloring_4k", |b| {
-        let cfg = GrappoloConfig { coloring: true, ..Default::default() };
+        let cfg = GrappoloConfig {
+            coloring: true,
+            ..Default::default()
+        };
         b.iter(|| black_box(ParallelLouvain::new(cfg).run(&gen.graph).modularity));
     });
     group.finish();

@@ -34,7 +34,15 @@ fn row(t: &mut Table, name: &str, out: &louvain_dist::DistOutcome) {
 fn ablate(title: &str, g: &Csr, ranks: usize, configs: &[(&str, DistConfig)]) -> Table {
     let mut t = Table::new(
         format!("{title} ({ranks} ranks)"),
-        &["config", "Q", "iters", "phases", "modeled_s", "p2p_msgs", "p2p_KiB"],
+        &[
+            "config",
+            "Q",
+            "iters",
+            "phases",
+            "modeled_s",
+            "p2p_msgs",
+            "p2p_KiB",
+        ],
     );
     for (name, cfg) in configs {
         let out = run_distributed(g, ranks, cfg);
@@ -49,7 +57,10 @@ fn main() {
         Scale::Quick => 4,
         _ => 8,
     };
-    let social = dataset_by_name("soc-friendster").unwrap().generate(scale).graph;
+    let social = dataset_by_name("soc-friendster")
+        .unwrap()
+        .generate(scale)
+        .graph;
     let mesh = dataset_by_name("nlpkkt240").unwrap().generate(scale).graph;
     let web = dataset_by_name("uk-2007").unwrap().generate(scale).graph;
     eprintln!(
@@ -68,7 +79,10 @@ fn main() {
             ("guard on (default)", DistConfig::baseline()),
             (
                 "guard off",
-                DistConfig { disable_singleton_guard: true, ..DistConfig::baseline() },
+                DistConfig {
+                    disable_singleton_guard: true,
+                    ..DistConfig::baseline()
+                },
             ),
         ],
     );
@@ -84,7 +98,10 @@ fn main() {
             ("shuffled (default)", DistConfig::baseline()),
             (
                 "index order",
-                DistConfig { index_order_sweep: true, ..DistConfig::baseline() },
+                DistConfig {
+                    index_order_sweep: true,
+                    ..DistConfig::baseline()
+                },
             ),
         ],
     );
@@ -95,7 +112,15 @@ fn main() {
     {
         let mut t = Table::new(
             format!("Ablation 3: input distribution (web graph, {ranks} ranks)"),
-            &["config", "Q", "iters", "phases", "modeled_s", "p2p_msgs", "p2p_KiB"],
+            &[
+                "config",
+                "Q",
+                "iters",
+                "phases",
+                "modeled_s",
+                "p2p_msgs",
+                "p2p_KiB",
+            ],
         );
         for (name, strategy) in [
             ("edge-balanced (paper)", PartitionStrategy::EdgeBalanced),
@@ -123,7 +148,10 @@ fn main() {
             ("all-to-all (paper)", DistConfig::baseline()),
             (
                 "MPI-3 neighborhood",
-                DistConfig { neighborhood_collectives: true, ..DistConfig::baseline() },
+                DistConfig {
+                    neighborhood_collectives: true,
+                    ..DistConfig::baseline()
+                },
             ),
         ],
     );
@@ -136,7 +164,10 @@ fn main() {
         &mesh,
         ranks,
         &[
-            ("ET(0.75)", DistConfig::with_variant(Variant::Et { alpha: 0.75 })),
+            (
+                "ET(0.75)",
+                DistConfig::with_variant(Variant::Et { alpha: 0.75 }),
+            ),
             (
                 "ET(0.75) + pruning",
                 DistConfig {
@@ -158,7 +189,10 @@ fn main() {
             ("free-for-all (paper)", DistConfig::baseline()),
             (
                 "colored sub-rounds",
-                DistConfig { color_sweeps: true, ..DistConfig::baseline() },
+                DistConfig {
+                    color_sweeps: true,
+                    ..DistConfig::baseline()
+                },
             ),
         ],
     );

@@ -8,14 +8,23 @@
 //! reproducible on any machine (byte counters exactly, modeled seconds
 //! exactly, wall times approximately).
 //!
-//! Usage: `cargo run --release -p louvain-bench --bin bench_smoke [out.json]`
-//! (default output path: `BENCH_PR1.json` in the current directory).
+//! Usage:
+//! `cargo run --release -p louvain-bench --bin bench_smoke -- \
+//!      [--out bench.json] [--report-out reports.json]`
+//!
+//! `--out` (or env `BENCH_SMOKE_OUT`, or the first positional argument)
+//! selects the bench-row output path, default `BENCH_PR1.json`.
+//! `--report-out` (or env `BENCH_SMOKE_REPORT`) additionally enables
+//! tracing and writes one aggregated [`louvain_obs::RunReport`] per graph
+//! (8 ranks, delta refresh) with the modeled compute/comm/reduce
+//! fractions to compare against the paper's §V-A breakdown.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use louvain_comm::CommStep;
-use louvain_dist::{run_distributed, DistConfig, DistOutcome, Variant};
+use louvain_dist::{
+    build_run_report, run_distributed, DistConfig, DistOutcome, ReportMeta, Variant,
+};
 use louvain_graph::gen::{lfr, rmat, ssca2, LfrParams, RmatParams, Ssca2Params};
 use louvain_graph::Csr;
 
@@ -38,6 +47,12 @@ struct RunRow {
     community_pull_bytes: u64,
     delta_push_bytes: u64,
     reduction_bytes: u64,
+    /// Modeled HPCToolkit-style breakdown (seconds) — the RunReport
+    /// fields, flattened into the bench row.
+    modeled_compute_seconds: f64,
+    modeled_reduce_seconds: f64,
+    modeled_rebuild_seconds: f64,
+    comm_fraction: f64,
     wall_ms: u128,
 }
 
@@ -52,17 +67,22 @@ fn ghost_bytes(out: &DistOutcome) -> u64 {
     out.traffic.step_bytes_for(CommStep::GhostRefresh)
 }
 
-fn run_mode(graph: &'static str, g: &Csr, ranks: usize, delta: bool) -> RunRow {
+fn run_mode(graph: &'static str, g: &Csr, ranks: usize, delta: bool) -> (RunRow, DistOutcome) {
     let cfg = et_cfg(delta);
-    let t0 = Instant::now();
+    let watch = louvain_obs::Stopwatch::start();
     let out = run_distributed(g, ranks, &cfg);
-    let wall_ms = t0.elapsed().as_millis();
+    let wall_ms = (watch.wall_seconds() * 1e3) as u128;
     // One-iteration probe: captures the cost of the mandatory first
     // (full) exchange so the steady-state share can be separated out.
-    let probe_cfg = DistConfig { max_phases: 1, max_iterations: 1, ..cfg };
+    let probe_cfg = DistConfig {
+        max_phases: 1,
+        max_iterations: 1,
+        ..cfg
+    };
     let probe = run_distributed(g, ranks, &probe_cfg);
-    let (_, comm, _, _) = out.modeled_breakdown();
-    RunRow {
+    let (compute, comm, reduce, rebuild) = out.modeled_breakdown();
+    let total = (compute + comm + reduce + rebuild).max(f64::MIN_POSITIVE);
+    let row = RunRow {
         graph,
         n: g.num_vertices() as u64,
         m: g.num_edges() as u64,
@@ -78,28 +98,54 @@ fn run_mode(graph: &'static str, g: &Csr, ranks: usize, delta: bool) -> RunRow {
         community_pull_bytes: out.traffic.step_bytes_for(CommStep::CommunityPull),
         delta_push_bytes: out.traffic.step_bytes_for(CommStep::DeltaPush),
         reduction_bytes: out.traffic.step_bytes_for(CommStep::Reduction),
+        modeled_compute_seconds: compute,
+        modeled_reduce_seconds: reduce,
+        modeled_rebuild_seconds: rebuild,
+        comm_fraction: comm / total,
         wall_ms,
-    }
+    };
+    (row, out)
+}
+
+/// `--key value` lookup over raw args.
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR1.json".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag(&args, "--out")
+        .or_else(|| std::env::var("BENCH_SMOKE_OUT").ok())
+        .or_else(|| args.first().filter(|a| !a.starts_with("--")).cloned())
+        .unwrap_or_else(|| "BENCH_PR1.json".into());
+    let report_path =
+        flag(&args, "--report-out").or_else(|| std::env::var("BENCH_SMOKE_REPORT").ok());
 
     let graphs: Vec<(&'static str, Csr)> = vec![
         ("rmat_s11_ef8", rmat(RmatParams::social(11, 8, 5)).graph),
         (
             "ssca2_4k",
-            ssca2(Ssca2Params { n: 4_000, max_clique_size: 50, inter_clique_prob: 0.05, seed: 9 })
-                .graph,
+            ssca2(Ssca2Params {
+                n: 4_000,
+                max_clique_size: 50,
+                inter_clique_prob: 0.05,
+                seed: 9,
+            })
+            .graph,
         ),
         ("lfr_3k", lfr(LfrParams::small(3_000, 7)).graph),
     ];
 
+    // The sweep runs with tracing OFF: its wall_ms columns are the
+    // perf-regression reference and must not pay recording costs.
     let mut rows: Vec<RunRow> = Vec::new();
     for (name, g) in &graphs {
         for ranks in [1usize, 2, 8] {
             for delta in [false, true] {
-                let row = run_mode(name, g, ranks, delta);
+                let (row, _out) = run_mode(name, g, ranks, delta);
                 eprintln!(
                     "{:>14} p={:<2} {:<5} q={:.4} it={:<3} ghost_bytes={:<10} post_first={}",
                     row.graph,
@@ -115,6 +161,22 @@ fn main() {
         }
     }
 
+    // Dedicated traced runs for the reports — one per graph at the
+    // largest rank count with the delta refresh (the paper's
+    // configuration) — separate from the sweep so tracing overhead
+    // never leaks into the bench rows.
+    let mut reports: Vec<String> = Vec::new();
+    if report_path.is_some() {
+        louvain_obs::set_enabled(true);
+        for (name, g) in &graphs {
+            let (_row, out) = run_mode(name, g, 8, true);
+            let meta = ReportMeta::new(*name, g.num_vertices() as u64, g.num_edges() as u64)
+                .variant("ET(0.25)+delta");
+            reports.push(build_run_report(&out, &meta).to_json_string());
+        }
+        louvain_obs::set_enabled(false);
+    }
+
     // Summary: full/delta ghost-byte ratios per (graph, ranks) pair.
     let mut summary = String::new();
     let mut first = true;
@@ -127,7 +189,13 @@ fn main() {
             };
             let full = find("full");
             let delta = find("delta");
-            let ratio = |a: u64, b: u64| if b == 0 { f64::NAN } else { a as f64 / b as f64 };
+            let ratio = |a: u64, b: u64| {
+                if b == 0 {
+                    f64::NAN
+                } else {
+                    a as f64 / b as f64
+                }
+            };
             if !first {
                 summary.push(',');
             }
@@ -154,7 +222,7 @@ fn main() {
         }
         write!(
             runs,
-            "\n    {{\"graph\": {:?}, \"n\": {}, \"m\": {}, \"ranks\": {}, \"variant\": \"ET(0.25)\", \"mode\": {:?}, \"modularity\": {:.6}, \"phases\": {}, \"iterations\": {}, \"modeled_comm_seconds\": {:.6}, \"modeled_total_seconds\": {:.6}, \"ghost_refresh_bytes\": {}, \"ghost_refresh_bytes_post_first\": {}, \"community_pull_bytes\": {}, \"delta_push_bytes\": {}, \"reduction_bytes\": {}, \"wall_ms\": {}}}",
+            "\n    {{\"graph\": {:?}, \"n\": {}, \"m\": {}, \"ranks\": {}, \"variant\": \"ET(0.25)\", \"mode\": {:?}, \"modularity\": {:.6}, \"phases\": {}, \"iterations\": {}, \"modeled_comm_seconds\": {:.6}, \"modeled_total_seconds\": {:.6}, \"ghost_refresh_bytes\": {}, \"ghost_refresh_bytes_post_first\": {}, \"community_pull_bytes\": {}, \"delta_push_bytes\": {}, \"reduction_bytes\": {}, \"modeled_compute_seconds\": {:.6}, \"modeled_reduce_seconds\": {:.6}, \"modeled_rebuild_seconds\": {:.6}, \"comm_fraction\": {:.4}, \"wall_ms\": {}}}",
             r.graph,
             r.n,
             r.m,
@@ -170,6 +238,10 @@ fn main() {
             r.community_pull_bytes,
             r.delta_push_bytes,
             r.reduction_bytes,
+            r.modeled_compute_seconds,
+            r.modeled_reduce_seconds,
+            r.modeled_rebuild_seconds,
+            r.comm_fraction,
             r.wall_ms,
         )
         .unwrap();
@@ -180,4 +252,30 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("wrote {out_path}");
+
+    if let Some(path) = report_path {
+        // The paper's §V-A HPCToolkit breakdown attributes roughly 22% of
+        // time to compute, 34% to point-to-point communication and 40% to
+        // the modularity reductions; each report's `modeled` section
+        // carries our fractions for the same buckets.
+        let mut body = String::new();
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                body.push_str(",\n");
+            }
+            // Indent the pretty-printed report two levels.
+            for (j, line) in r.lines().enumerate() {
+                if j > 0 {
+                    body.push('\n');
+                }
+                body.push_str("    ");
+                body.push_str(line);
+            }
+        }
+        let doc = format!(
+            "{{\n  \"bench\": \"RUNREPORT_PR2\",\n  \"description\": \"aggregated run reports: ET(0.25) + delta refresh on 8 ranks; compare modeled compute/comm/reduce fractions with the paper's ~22/34/40 split (IPDPS 2018, Sec. V-A)\",\n  \"paper_fractions\": {{\"compute\": 0.22, \"comm\": 0.34, \"reduce\": 0.40}},\n  \"reports\": [\n{body}\n  ]\n}}\n"
+        );
+        std::fs::write(&path, doc).expect("write run reports");
+        eprintln!("wrote {path}");
+    }
 }

@@ -30,7 +30,15 @@ fn main() {
 
     let mut table = Table::new(
         "Time breakdown (modeled critical path), Baseline",
-        &["ranks", "compute_%", "comm_%", "reduce_%", "rebuild_%", "iter_body_%", "total_s"],
+        &[
+            "ranks",
+            "compute_%",
+            "comm_%",
+            "reduce_%",
+            "rebuild_%",
+            "iter_body_%",
+            "total_s",
+        ],
     );
 
     for &ranks in &rank_counts {
@@ -51,7 +59,9 @@ fn main() {
     }
 
     table.print();
-    println!("paper (256 ranks): iteration body ~98% (34% comm, 40% reduce, 22% compute), rebuild ~1%");
+    println!(
+        "paper (256 ranks): iteration body ~98% (34% comm, 40% reduce, 22% compute), rebuild ~1%"
+    );
     let path = table.write_tsv_named("breakdown_profile").unwrap();
     println!("wrote {}", path.display());
 }

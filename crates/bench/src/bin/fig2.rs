@@ -10,7 +10,10 @@ fn main() {
         &["phase", "tau"],
     );
     for phase in 0..=14 {
-        t.add_row(vec![phase.to_string(), format!("{:.0e}", schedule.tau_for_phase(phase))]);
+        t.add_row(vec![
+            phase.to_string(),
+            format!("{:.0e}", schedule.tau_for_phase(phase)),
+        ]);
     }
     t.print();
     let path = t.write_tsv_named("fig2_threshold_schedule").unwrap();

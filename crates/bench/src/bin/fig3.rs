@@ -31,7 +31,8 @@ fn main() {
     };
     let variants = DistConfig::paper_variants();
 
-    let mut tsv = String::from("graph\tvariant\tranks\tmodeled_s\twall_s\tmodularity\tphases\titerations\n");
+    let mut tsv =
+        String::from("graph\tvariant\tranks\tmodeled_s\twall_s\tmodularity\tphases\titerations\n");
     for ds in &datasets {
         let gen = ds.generate(scale);
         let mut table = Table::new(
@@ -41,7 +42,14 @@ fn main() {
                 gen.graph.num_vertices(),
                 gen.graph.num_edges()
             ),
-            &["variant", "ranks", "modeled_s", "modularity", "phases", "iters"],
+            &[
+                "variant",
+                "ranks",
+                "modeled_s",
+                "modularity",
+                "phases",
+                "iters",
+            ],
         );
         for &variant in &variants {
             for &p in &ranks {

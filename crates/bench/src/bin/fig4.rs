@@ -17,14 +17,25 @@ fn main() {
 
     let mut table = Table::new(
         "Fig 4: weak scaling (Baseline), SSCA#2, fixed work per rank",
-        &["ranks", "vertices", "modeled_s", "modularity", "flatness_vs_p1"],
+        &[
+            "ranks",
+            "vertices",
+            "modeled_s",
+            "modularity",
+            "flatness_vs_p1",
+        ],
     );
 
     let mut first_time = None;
     let mut tsv = String::from("ranks\tvertices\tmodeled_s\tmodularity\n");
     for (i, p) in [1usize, 2, 4, 8, 16].into_iter().enumerate() {
         let n = base * p as u64;
-        let gen = ssca2(Ssca2Params { n, max_clique_size: 25, inter_clique_prob: 0.02, seed: 600 + i as u64 });
+        let gen = ssca2(Ssca2Params {
+            n,
+            max_clique_size: 25,
+            inter_clique_prob: 0.02,
+            seed: 600 + i as u64,
+        });
         let r = harness::run_dist_once("ssca2", &gen.graph, p, Variant::Baseline);
         let t1 = *first_time.get_or_insert(r.modeled_seconds);
         table.add_row(vec![
@@ -34,7 +45,10 @@ fn main() {
             format!("{:.6}", r.modularity),
             format!("{:.2}x", r.modeled_seconds / t1),
         ]);
-        tsv.push_str(&format!("{p}\t{n}\t{:.6}\t{:.6}\n", r.modeled_seconds, r.modularity));
+        tsv.push_str(&format!(
+            "{p}\t{n}\t{:.6}\t{:.6}\n",
+            r.modeled_seconds, r.modularity
+        ));
         eprintln!("# ranks={p} done");
     }
 

@@ -13,7 +13,15 @@ fn main() {
     let scale = Scale::from_env();
     let mut table = Table::new(
         "Table II: test graphs (synthetic stand-ins) and Grappolo modularity",
-        &["graph", "paper_V", "paper_E", "standin_V", "standin_E", "paper_Q", "measured_Q"],
+        &[
+            "graph",
+            "paper_V",
+            "paper_E",
+            "standin_V",
+            "standin_E",
+            "paper_Q",
+            "measured_Q",
+        ],
     );
 
     for ds in registry() {

@@ -47,12 +47,19 @@ fn main() {
             threads_per_rank: 4,
             ..louvain_dist::DistConfig::baseline()
         };
-        let hybrid =
-            harness::run_dist_cfg("soc-friendster", &gen.graph, (threads / 4).max(1), &hybrid_cfg);
+        let hybrid = harness::run_dist_cfg(
+            "soc-friendster",
+            &gen.graph,
+            (threads / 4).max(1),
+            &hybrid_cfg,
+        );
         let shared = harness::run_shared_once(
             "soc-friendster",
             &gen.graph,
-            &GrappoloConfig { threads, ..Default::default() },
+            &GrappoloConfig {
+                threads,
+                ..Default::default()
+            },
         );
         table.add_row(vec![
             threads.to_string(),

@@ -37,7 +37,10 @@ fn main() {
                 continue;
             }
             let r = harness::run_dist_once(ds.name, &gen.graph, ranks, variant);
-            if best.as_ref().is_none_or(|b| r.modeled_seconds < b.modeled_seconds) {
+            if best
+                .as_ref()
+                .is_none_or(|b| r.modeled_seconds < b.modeled_seconds)
+            {
                 best = Some(r);
             }
         }

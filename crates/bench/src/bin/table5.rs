@@ -25,13 +25,30 @@ fn main() {
     let scale = Scale::from_env();
     let mut table = Table::new(
         "Table V: SSCA#2 weak-scaling graphs (max clique 25, low inter-clique prob)",
-        &["name", "vertices", "edges", "modularity", "ranks", "modeled_s"],
+        &[
+            "name",
+            "vertices",
+            "edges",
+            "modularity",
+            "ranks",
+            "modeled_s",
+        ],
     );
 
     let mut tsv = String::from("name\tvertices\tedges\tmodularity\tranks\tmodeled_s\n");
     for (i, (n, p)) in series(scale).into_iter().enumerate() {
-        let gen = ssca2(Ssca2Params { n, max_clique_size: 25, inter_clique_prob: 0.02, seed: 500 + i as u64 });
-        let r = harness::run_dist_once(&format!("Graph#{}", i + 1), &gen.graph, p, Variant::Baseline);
+        let gen = ssca2(Ssca2Params {
+            n,
+            max_clique_size: 25,
+            inter_clique_prob: 0.02,
+            seed: 500 + i as u64,
+        });
+        let r = harness::run_dist_once(
+            &format!("Graph#{}", i + 1),
+            &gen.graph,
+            p,
+            Variant::Baseline,
+        );
         table.add_row(vec![
             format!("Graph#{}", i + 1),
             gen.graph.num_vertices().to_string(),

@@ -25,11 +25,19 @@ fn main() {
 
     let mut table = Table::new(
         "Table VI: ET(0.25) vs ET(0.25)+Threshold Cycling, soc-friendster stand-in",
-        &["ranks", "ET(0.25)_s", "ET+Cycling_s", "gain_%", "Q_et", "Q_combo"],
+        &[
+            "ranks",
+            "ET(0.25)_s",
+            "ET+Cycling_s",
+            "gain_%",
+            "Q_et",
+            "Q_combo",
+        ],
     );
 
     for p in ranks {
-        let et = harness::run_dist_once("soc-friendster", &gen.graph, p, Variant::Et { alpha: 0.25 });
+        let et =
+            harness::run_dist_once("soc-friendster", &gen.graph, p, Variant::Et { alpha: 0.25 });
         let combo = harness::run_dist_once(
             "soc-friendster",
             &gen.graph,

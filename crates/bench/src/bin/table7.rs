@@ -18,7 +18,14 @@ fn main() {
 
     let mut table = Table::new(
         format!("Table VII: LFR ground-truth quality ({ranks} ranks)"),
-        &["vertices", "edges", "precision", "recall", "f_score", "modularity"],
+        &[
+            "vertices",
+            "edges",
+            "precision",
+            "recall",
+            "f_score",
+            "modularity",
+        ],
     );
 
     for (i, n) in sizes.into_iter().enumerate() {

@@ -7,9 +7,7 @@
 //! graph's class, at a size that runs in seconds. See DESIGN.md §2 for
 //! the substitution argument.
 
-use louvain_graph::gen::{
-    grid3d, lfr, weblike, Generated, Grid3dParams, LfrParams, WeblikeParams,
-};
+use louvain_graph::gen::{grid3d, lfr, weblike, Generated, Grid3dParams, LfrParams, WeblikeParams};
 
 /// Structural class of a dataset — decides which generator stands in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +56,6 @@ impl Scale {
             Scale::Full => n * 4,
         }
     }
-
 }
 
 /// One paper graph and its synthetic stand-in.
@@ -119,18 +116,114 @@ impl Dataset {
 /// The 12 graphs of Table II, in the paper's (ascending-edge) order.
 pub fn registry() -> Vec<Dataset> {
     vec![
-        Dataset { name: "channel", paper_vertices: "4.8M", paper_edges: "42.7M", paper_modularity: 0.943, class: GraphClass::Mesh, base_n: 12_000, seed: 101 },
-        Dataset { name: "com-orkut", paper_vertices: "3M", paper_edges: "117.1M", paper_modularity: 0.472, class: GraphClass::Social, base_n: 8_192, seed: 102 },
-        Dataset { name: "soc-sinaweibo", paper_vertices: "58.6M", paper_edges: "261.3M", paper_modularity: 0.482, class: GraphClass::Social, base_n: 16_384, seed: 103 },
-        Dataset { name: "twitter-2010", paper_vertices: "21.2M", paper_edges: "265M", paper_modularity: 0.478, class: GraphClass::Social, base_n: 16_384, seed: 104 },
-        Dataset { name: "nlpkkt240", paper_vertices: "27.9M", paper_edges: "401.2M", paper_modularity: 0.939, class: GraphClass::Mesh, base_n: 24_000, seed: 105 },
-        Dataset { name: "web-wiki-en-2013", paper_vertices: "27.1M", paper_edges: "601M", paper_modularity: 0.671, class: GraphClass::WebModerate, base_n: 24_000, seed: 106 },
-        Dataset { name: "arabic-2005", paper_vertices: "22.7M", paper_edges: "640M", paper_modularity: 0.989, class: GraphClass::Web, base_n: 26_000, seed: 107 },
-        Dataset { name: "webbase-2001", paper_vertices: "118M", paper_edges: "1B", paper_modularity: 0.983, class: GraphClass::Web, base_n: 32_000, seed: 108 },
-        Dataset { name: "web-cc12-PayLevelDomain", paper_vertices: "42.8M", paper_edges: "1.2B", paper_modularity: 0.687, class: GraphClass::WebModerate, base_n: 36_000, seed: 109 },
-        Dataset { name: "soc-friendster", paper_vertices: "65.6M", paper_edges: "1.8B", paper_modularity: 0.624, class: GraphClass::SocialClustered, base_n: 40_000, seed: 110 },
-        Dataset { name: "sk-2005", paper_vertices: "50.6M", paper_edges: "1.9B", paper_modularity: 0.971, class: GraphClass::Web, base_n: 44_000, seed: 111 },
-        Dataset { name: "uk-2007", paper_vertices: "105.8M", paper_edges: "3.3B", paper_modularity: 0.972, class: GraphClass::Web, base_n: 48_000, seed: 112 },
+        Dataset {
+            name: "channel",
+            paper_vertices: "4.8M",
+            paper_edges: "42.7M",
+            paper_modularity: 0.943,
+            class: GraphClass::Mesh,
+            base_n: 12_000,
+            seed: 101,
+        },
+        Dataset {
+            name: "com-orkut",
+            paper_vertices: "3M",
+            paper_edges: "117.1M",
+            paper_modularity: 0.472,
+            class: GraphClass::Social,
+            base_n: 8_192,
+            seed: 102,
+        },
+        Dataset {
+            name: "soc-sinaweibo",
+            paper_vertices: "58.6M",
+            paper_edges: "261.3M",
+            paper_modularity: 0.482,
+            class: GraphClass::Social,
+            base_n: 16_384,
+            seed: 103,
+        },
+        Dataset {
+            name: "twitter-2010",
+            paper_vertices: "21.2M",
+            paper_edges: "265M",
+            paper_modularity: 0.478,
+            class: GraphClass::Social,
+            base_n: 16_384,
+            seed: 104,
+        },
+        Dataset {
+            name: "nlpkkt240",
+            paper_vertices: "27.9M",
+            paper_edges: "401.2M",
+            paper_modularity: 0.939,
+            class: GraphClass::Mesh,
+            base_n: 24_000,
+            seed: 105,
+        },
+        Dataset {
+            name: "web-wiki-en-2013",
+            paper_vertices: "27.1M",
+            paper_edges: "601M",
+            paper_modularity: 0.671,
+            class: GraphClass::WebModerate,
+            base_n: 24_000,
+            seed: 106,
+        },
+        Dataset {
+            name: "arabic-2005",
+            paper_vertices: "22.7M",
+            paper_edges: "640M",
+            paper_modularity: 0.989,
+            class: GraphClass::Web,
+            base_n: 26_000,
+            seed: 107,
+        },
+        Dataset {
+            name: "webbase-2001",
+            paper_vertices: "118M",
+            paper_edges: "1B",
+            paper_modularity: 0.983,
+            class: GraphClass::Web,
+            base_n: 32_000,
+            seed: 108,
+        },
+        Dataset {
+            name: "web-cc12-PayLevelDomain",
+            paper_vertices: "42.8M",
+            paper_edges: "1.2B",
+            paper_modularity: 0.687,
+            class: GraphClass::WebModerate,
+            base_n: 36_000,
+            seed: 109,
+        },
+        Dataset {
+            name: "soc-friendster",
+            paper_vertices: "65.6M",
+            paper_edges: "1.8B",
+            paper_modularity: 0.624,
+            class: GraphClass::SocialClustered,
+            base_n: 40_000,
+            seed: 110,
+        },
+        Dataset {
+            name: "sk-2005",
+            paper_vertices: "50.6M",
+            paper_edges: "1.9B",
+            paper_modularity: 0.971,
+            class: GraphClass::Web,
+            base_n: 44_000,
+            seed: 111,
+        },
+        Dataset {
+            name: "uk-2007",
+            paper_vertices: "105.8M",
+            paper_edges: "3.3B",
+            paper_modularity: 0.972,
+            class: GraphClass::Web,
+            base_n: 48_000,
+            seed: 112,
+        },
     ]
 }
 
@@ -139,8 +232,24 @@ pub fn registry() -> Vec<Dataset> {
 /// (a banded flow mesh).
 pub fn table1_datasets() -> Vec<Dataset> {
     vec![
-        Dataset { name: "CNR", paper_vertices: "325K", paper_edges: "3.2M", paper_modularity: 0.9128, class: GraphClass::Web, base_n: 10_000, seed: 201 },
-        Dataset { name: "Channel", paper_vertices: "4.8M", paper_edges: "42.7M", paper_modularity: 0.9431, class: GraphClass::Mesh, base_n: 16_000, seed: 202 },
+        Dataset {
+            name: "CNR",
+            paper_vertices: "325K",
+            paper_edges: "3.2M",
+            paper_modularity: 0.9128,
+            class: GraphClass::Web,
+            base_n: 10_000,
+            seed: 201,
+        },
+        Dataset {
+            name: "Channel",
+            paper_vertices: "4.8M",
+            paper_edges: "42.7M",
+            paper_modularity: 0.9431,
+            class: GraphClass::Mesh,
+            base_n: 16_000,
+            seed: 202,
+        },
     ]
 }
 

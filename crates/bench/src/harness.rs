@@ -1,7 +1,5 @@
 //! Single-run helpers shared by all experiment binaries.
 
-use std::time::Instant;
-
 use grappolo::{GrappoloConfig, ParallelLouvain};
 use louvain_dist::{run_distributed, DistConfig, DistOutcome, Variant};
 use louvain_graph::Csr;
@@ -49,9 +47,9 @@ fn record_from(graph: &str, variant: String, ranks: usize, out: &DistOutcome) ->
 
 /// Run the shared-memory (Grappolo) baseline once.
 pub fn run_shared_once(graph_name: &str, g: &Csr, cfg: &GrappoloConfig) -> RunRecord {
-    let start = Instant::now();
+    let watch = louvain_obs::Stopwatch::start();
     let result = ParallelLouvain::new(*cfg).run(g);
-    let wall = start.elapsed().as_secs_f64();
+    let wall = watch.wall_seconds();
     RunRecord {
         graph: graph_name.to_string(),
         variant: format!("grappolo({}t)", cfg.threads),

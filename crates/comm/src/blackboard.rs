@@ -60,7 +60,8 @@ impl Blackboard {
         let mut s = self.state.lock();
         // Wait out the read phase of the previous round.
         while s.filled == self.p {
-            self.cv.wait_for(&mut s, std::time::Duration::from_millis(50));
+            self.cv
+                .wait_for(&mut s, std::time::Duration::from_millis(50));
             self.check_poison();
         }
         debug_assert!(s.slots[rank].is_none(), "rank {rank} double deposit");
@@ -71,7 +72,8 @@ impl Blackboard {
             self.cv.notify_all();
         }
         while s.generation == gen && s.filled < self.p {
-            self.cv.wait_for(&mut s, std::time::Duration::from_millis(50));
+            self.cv
+                .wait_for(&mut s, std::time::Duration::from_millis(50));
             self.check_poison();
         }
         let out = read(&mut s.slots);

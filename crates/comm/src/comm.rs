@@ -6,7 +6,7 @@ use std::sync::Arc;
 use crate::blackboard::Blackboard;
 use crate::cost::CostModel;
 use crate::envelope::{Envelope, Mailbox, Senders};
-use crate::reduce::{Reducible, ReduceOp};
+use crate::reduce::{ReduceOp, Reducible};
 use crate::stats::{CommStats, CommStep};
 
 /// Message tag, matched together with the source rank on receive.
@@ -69,11 +69,53 @@ impl Comm {
 
     /// Attribute all traffic recorded inside `f` to the given
     /// algorithmic step, restoring the previous attribution afterwards.
+    ///
+    /// The restore runs from a drop guard, so a panicking closure cannot
+    /// leave later traffic misattributed to `step`. When tracing is
+    /// enabled the scope also records a span named after the step
+    /// (category `comm`) carrying the bytes/messages charged inside it.
     pub fn with_step<R>(&self, step: CommStep, f: impl FnOnce() -> R) -> R {
+        struct Restore<'a> {
+            stats: &'a CommStats,
+            prev: CommStep,
+        }
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.stats.set_step(self.prev);
+            }
+        }
         let prev = self.stats.set_step(step);
+        let _restore = Restore {
+            stats: &self.stats,
+            prev,
+        };
+        let mut span = louvain_obs::span_cat(step.label(), "comm", Vec::new());
+        let bytes_before = self.stats.step_bytes(step);
+        let msgs_before = self.stats.step_messages(step);
         let out = f();
-        self.stats.set_step(prev);
+        span.arg("bytes", self.stats.step_bytes(step) - bytes_before);
+        span.arg("messages", self.stats.step_messages(step) - msgs_before);
         out
+    }
+
+    /// Gather every rank's [`StatsSnapshot`]. Each rank snapshots its own
+    /// counters *before* the underlying `all_gather`, so the result
+    /// reflects only application traffic, not the aggregation itself.
+    /// Collective: all ranks must call it together.
+    pub fn gather_stats(&self) -> Vec<crate::stats::StatsSnapshot> {
+        let snap = self.stats.snapshot();
+        self.all_gather(snap)
+    }
+
+    /// Combine all ranks' snapshots into job totals (counters summed,
+    /// modeled time max — the bulk-synchronous critical path).
+    /// Collective: all ranks must call it together.
+    pub fn aggregate_stats(&self) -> crate::stats::StatsSnapshot {
+        let mut total = crate::stats::StatsSnapshot::default();
+        for s in self.gather_stats() {
+            total.merge_max_time(&s);
+        }
+        total
     }
 
     // ---------------------------------------------------------------
@@ -82,10 +124,18 @@ impl Comm {
 
     /// Send `data` to rank `dst` with tag `tag`. Never blocks (buffered).
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, data: Vec<T>) {
-        assert!(dst < self.size, "send to rank {dst} out of range (p={})", self.size);
+        assert!(
+            dst < self.size,
+            "send to rank {dst} out of range (p={})",
+            self.size
+        );
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.stats.record_p2p(bytes, self.cost.p2p(bytes));
-        let env = Envelope { src: self.rank, tag, payload: Box::new(data) };
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            payload: Box::new(data),
+        };
         self.senders[dst].send(env).expect("peer mailbox closed");
     }
 
@@ -109,7 +159,8 @@ impl Comm {
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
-        self.stats.record_collective(0, self.cost.collective(self.size, 0));
+        self.stats
+            .record_collective(0, self.cost.collective(self.size, 0));
         self.blackboard.exchange(self.rank, (), |_| ());
     }
 
@@ -165,13 +216,22 @@ impl Comm {
         self.stats
             .record_collective(bytes, self.cost.collective(self.size, bytes));
         self.blackboard.exchange(self.rank, value, |slots| {
-            slots[root].as_ref().unwrap().downcast_ref::<T>().unwrap().clone()
+            slots[root]
+                .as_ref()
+                .unwrap()
+                .downcast_ref::<T>()
+                .unwrap()
+                .clone()
         })
     }
 
     /// Gather variable-length buffers to `root`. Returns `Some(bufs)` on
     /// the root (indexed by source rank) and `None` elsewhere.
-    pub fn gather_to_root<T: Send + 'static>(&self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+    pub fn gather_to_root<T: Send + 'static>(
+        &self,
+        root: usize,
+        data: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
         assert!(root < self.size);
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.stats
@@ -185,9 +245,7 @@ impl Comm {
                         .map(|s| {
                             // Move the payload out; non-roots never read it and
                             // the board is reset after the round completes.
-                            std::mem::take(
-                                s.as_mut().unwrap().downcast_mut::<Vec<T>>().unwrap(),
-                            )
+                            std::mem::take(s.as_mut().unwrap().downcast_mut::<Vec<T>>().unwrap())
                         })
                         .collect(),
                 )
@@ -201,7 +259,11 @@ impl Comm {
     /// entry `i` holds what rank `i` sent here. `bufs` must have length
     /// `size`. The self-buffer is moved, not copied through a channel.
     pub fn all_to_all_v<T: Send + 'static>(&self, mut bufs: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(bufs.len(), self.size, "all_to_all_v needs one buffer per rank");
+        assert_eq!(
+            bufs.len(),
+            self.size,
+            "all_to_all_v needs one buffer per rank"
+        );
         const A2A_TAG: Tag = u32::MAX - 7;
         let mine = std::mem::take(&mut bufs[self.rank]);
         let mut nmsgs = 0u64;
@@ -213,7 +275,11 @@ impl Comm {
             let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
             nmsgs += 1;
             sent += bytes;
-            let env = Envelope { src: self.rank, tag: A2A_TAG, payload: Box::new(buf) };
+            let env = Envelope {
+                src: self.rank,
+                tag: A2A_TAG,
+                payload: Box::new(buf),
+            };
             self.senders[dst].send(env).expect("peer mailbox closed");
         }
         self.stats
@@ -240,7 +306,11 @@ impl Comm {
     /// cloned onto the wire; the self-buffer is cloned directly into the
     /// result.
     pub fn all_to_all_v_ref<T: Clone + Send + 'static>(&self, bufs: &[Vec<T>]) -> Vec<Vec<T>> {
-        assert_eq!(bufs.len(), self.size, "all_to_all_v needs one buffer per rank");
+        assert_eq!(
+            bufs.len(),
+            self.size,
+            "all_to_all_v needs one buffer per rank"
+        );
         const A2A_TAG: Tag = u32::MAX - 7;
         let mut nmsgs = 0u64;
         let mut sent = 0u64;
@@ -251,7 +321,11 @@ impl Comm {
             let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
             nmsgs += 1;
             sent += bytes;
-            let env = Envelope { src: self.rank, tag: A2A_TAG, payload: Box::new(buf.clone()) };
+            let env = Envelope {
+                src: self.rank,
+                tag: A2A_TAG,
+                payload: Box::new(buf.clone()),
+            };
             self.senders[dst].send(env).expect("peer mailbox closed");
         }
         self.stats
@@ -299,10 +373,15 @@ impl Comm {
             let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
             nmsgs += 1;
             sent += bytes;
-            let env = Envelope { src: self.rank, tag: NBR_TAG, payload: Box::new(buf) };
+            let env = Envelope {
+                src: self.rank,
+                tag: NBR_TAG,
+                payload: Box::new(buf),
+            };
             self.senders[dst].send(env).expect("peer mailbox closed");
         }
-        self.stats.record_p2p_batch(nmsgs, sent, self.cost.all_to_all(nmsgs, sent));
+        self.stats
+            .record_p2p_batch(nmsgs, sent, self.cost.all_to_all(nmsgs, sent));
         neighbors
             .iter()
             .map(|&src| {
@@ -318,5 +397,82 @@ impl Comm {
     /// should be zero at clean shutdown; asserted by the runtime in tests.
     pub fn pending_messages(&self) -> usize {
         self.mailbox.borrow().pending_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run;
+    use crate::stats::StatsSnapshot;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn with_step_restores_attribution_on_panic() {
+        run(2, |comm| {
+            let unwound = catch_unwind(AssertUnwindSafe(|| {
+                comm.with_step(CommStep::GhostRefresh, || {
+                    comm.all_gather(1u64);
+                    panic!("boom inside step");
+                })
+            }));
+            assert!(unwound.is_err());
+            // The drop guard must have restored the default attribution…
+            assert_eq!(comm.stats().current_step(), CommStep::Other);
+            // …so traffic after the unwind lands on `Other`, not the
+            // panicked step.
+            let ghost_before = comm.stats().step_bytes(CommStep::GhostRefresh);
+            let other_before = comm.stats().step_bytes(CommStep::Other);
+            comm.all_gather(2u64);
+            assert_eq!(
+                comm.stats().step_bytes(CommStep::GhostRefresh),
+                ghost_before
+            );
+            assert!(comm.stats().step_bytes(CommStep::Other) > other_before);
+        });
+    }
+
+    #[test]
+    fn with_step_nests_and_restores() {
+        run(1, |comm| {
+            comm.with_step(CommStep::Reduction, || {
+                assert_eq!(comm.stats().current_step(), CommStep::Reduction);
+                comm.with_step(CommStep::DeltaPush, || {
+                    assert_eq!(comm.stats().current_step(), CommStep::DeltaPush);
+                });
+                assert_eq!(comm.stats().current_step(), CommStep::Reduction);
+            });
+            assert_eq!(comm.stats().current_step(), CommStep::Other);
+        });
+    }
+
+    #[test]
+    fn aggregate_stats_sums_counters_across_ranks() {
+        let totals = run(4, |comm| {
+            // Rank r sends r+1 eight-byte values to every peer.
+            let bufs: Vec<Vec<u64>> = (0..comm.size())
+                .map(|_| vec![0u64; comm.rank() + 1])
+                .collect();
+            comm.with_step(CommStep::DeltaPush, || comm.all_to_all_v(bufs));
+            let local = comm.stats().snapshot();
+            let total = comm.aggregate_stats();
+            (local, total)
+        });
+        // Every rank computed the same aggregate.
+        let agg = totals[0].1;
+        for (_, t) in &totals {
+            assert_eq!(*t, agg);
+        }
+        // The aggregate equals the manual sum of the local snapshots
+        // taken at the same point (aggregation traffic excluded).
+        let mut manual = StatsSnapshot::default();
+        for (l, _) in &totals {
+            manual.merge_max_time(l);
+        }
+        assert_eq!(agg.p2p_bytes, manual.p2p_bytes);
+        assert_eq!(agg.p2p_messages, manual.p2p_messages);
+        assert_eq!(agg.step_bytes, manual.step_bytes);
+        // 4 ranks × 3 peers × (rank+1) u64s = 3·(1+2+3+4)·8 bytes.
+        assert_eq!(agg.step_bytes_for(CommStep::DeltaPush), 3 * 10 * 8);
     }
 }

@@ -22,12 +22,18 @@ impl CostModel {
     /// Cray-Aries-like defaults: ~1.3 µs latency, ~9 GB/s effective
     /// per-rank bandwidth.
     pub const fn aries() -> Self {
-        Self { alpha: 1.3e-6, beta: 1.0 / 9.0e9 }
+        Self {
+            alpha: 1.3e-6,
+            beta: 1.0 / 9.0e9,
+        }
     }
 
     /// A model with zero cost — for tests that only care about semantics.
     pub const fn free() -> Self {
-        Self { alpha: 0.0, beta: 0.0 }
+        Self {
+            alpha: 0.0,
+            beta: 0.0,
+        }
     }
 
     /// Cost of one point-to-point message of `bytes` bytes.
@@ -63,14 +69,20 @@ mod tests {
 
     #[test]
     fn p2p_cost_is_affine() {
-        let m = CostModel { alpha: 1.0, beta: 0.5 };
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 0.5,
+        };
         assert_eq!(m.p2p(0), 1.0);
         assert_eq!(m.p2p(10), 6.0);
     }
 
     #[test]
     fn collective_scales_logarithmically() {
-        let m = CostModel { alpha: 1.0, beta: 0.0 };
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+        };
         assert_eq!(m.collective(1, 0), 1.0);
         assert_eq!(m.collective(2, 0), 1.0);
         assert_eq!(m.collective(4, 0), 2.0);

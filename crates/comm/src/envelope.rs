@@ -32,7 +32,11 @@ pub(crate) struct Mailbox {
 
 impl Mailbox {
     pub fn new(rx: Receiver<Envelope>, poison: Arc<AtomicBool>) -> Self {
-        Self { rx, pending: Vec::new(), poison }
+        Self {
+            rx,
+            pending: Vec::new(),
+            poison,
+        }
     }
 
     /// Blocking receive of the next envelope matching `(src, tag)`.
@@ -40,7 +44,11 @@ impl Mailbox {
     /// Panics if the job is poisoned (another rank panicked) so the whole
     /// run fails loudly instead of deadlocking.
     pub fn recv_matching(&mut self, src: usize, tag: u32) -> Envelope {
-        if let Some(pos) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)
+        {
             // `remove`, not `swap_remove`: two buffered messages from the
             // same (src, tag) stream must be delivered in arrival order,
             // or consecutive all_to_all_v rounds would get swapped.
@@ -60,7 +68,9 @@ impl Mailbox {
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    panic!("communicator channel disconnected while waiting for rank {src} tag {tag}");
+                    panic!(
+                        "communicator channel disconnected while waiting for rank {src} tag {tag}"
+                    );
                 }
             }
         }

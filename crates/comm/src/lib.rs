@@ -39,6 +39,6 @@ mod stats;
 
 pub use comm::{Comm, Tag};
 pub use cost::CostModel;
-pub use reduce::{Reducible, ReduceOp};
+pub use reduce::{ReduceOp, Reducible};
 pub use runtime::{run, run_with, RunConfig};
 pub use stats::{CommStats, CommStep, StatsSnapshot, TrafficKind, NUM_COMM_STEPS};

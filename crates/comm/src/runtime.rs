@@ -22,7 +22,10 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { cost: CostModel::default(), stack_size: 8 << 20 }
+        Self {
+            cost: CostModel::default(),
+            stack_size: 8 << 20,
+        }
     }
 }
 
@@ -68,7 +71,14 @@ where
             let handle = builder
                 .spawn_scoped(scope, move || {
                     let mailbox = Mailbox::new(rx, Arc::clone(&poison));
-                    let comm = Comm::new(rank, p, senders, mailbox, Arc::clone(&blackboard), config.cost);
+                    let comm = Comm::new(
+                        rank,
+                        p,
+                        senders,
+                        mailbox,
+                        Arc::clone(&blackboard),
+                        config.cost,
+                    );
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
                     match out {
                         Ok(r) => {
@@ -173,7 +183,9 @@ mod tests {
 
     #[test]
     fn all_reduce_f64() {
-        let out = run(3, |c| c.all_reduce(0.5 * (c.rank() as f64 + 1.0), ReduceOp::Sum));
+        let out = run(3, |c| {
+            c.all_reduce(0.5 * (c.rank() as f64 + 1.0), ReduceOp::Sum)
+        });
         for r in out {
             assert!((r - 3.0).abs() < 1e-12);
         }
@@ -204,11 +216,10 @@ mod tests {
 
     #[test]
     fn gather_to_root_only_root_receives() {
-        let out = run(3, |c| c.gather_to_root(0, vec![c.rank() as u64; c.rank() + 1]));
-        assert_eq!(
-            out[0],
-            Some(vec![vec![0], vec![1, 1], vec![2, 2, 2]])
-        );
+        let out = run(3, |c| {
+            c.gather_to_root(0, vec![c.rank() as u64; c.rank() + 1])
+        });
+        assert_eq!(out[0], Some(vec![vec![0], vec![1, 1], vec![2, 2, 2]]));
         assert_eq!(out[1], None);
         assert_eq!(out[2], None);
     }
@@ -292,16 +303,29 @@ mod tests {
     #[test]
     fn custom_cost_model_drives_modeled_time() {
         use crate::cost::CostModel;
-        let free = run_with(2, RunConfig { cost: CostModel::free(), ..Default::default() }, |c| {
-            c.send((c.rank() + 1) % 2, 1, vec![0u64; 1000]);
-            let _ = c.recv::<u64>((c.rank() + 1) % 2, 1);
-            c.barrier();
-            c.stats().modeled_seconds()
-        });
+        let free = run_with(
+            2,
+            RunConfig {
+                cost: CostModel::free(),
+                ..Default::default()
+            },
+            |c| {
+                c.send((c.rank() + 1) % 2, 1, vec![0u64; 1000]);
+                let _ = c.recv::<u64>((c.rank() + 1) % 2, 1);
+                c.barrier();
+                c.stats().modeled_seconds()
+            },
+        );
         assert_eq!(free, vec![0.0, 0.0]);
         let slow = run_with(
             2,
-            RunConfig { cost: CostModel { alpha: 1.0, beta: 0.0 }, ..Default::default() },
+            RunConfig {
+                cost: CostModel {
+                    alpha: 1.0,
+                    beta: 0.0,
+                },
+                ..Default::default()
+            },
             |c| {
                 c.send((c.rank() + 1) % 2, 1, vec![0u64; 1000]);
                 let _ = c.recv::<u64>((c.rank() + 1) % 2, 1);
@@ -329,11 +353,20 @@ mod tests {
             label: String,
         }
         let out = run(3, |c| {
-            c.all_gather(Info { rank: c.rank(), label: format!("r{}", c.rank()) })
+            c.all_gather(Info {
+                rank: c.rank(),
+                label: format!("r{}", c.rank()),
+            })
         });
         for v in out {
             assert_eq!(v.len(), 3);
-            assert_eq!(v[2], Info { rank: 2, label: "r2".into() });
+            assert_eq!(
+                v[2],
+                Info {
+                    rank: 2,
+                    label: "r2".into()
+                }
+            );
         }
     }
 

@@ -109,15 +109,22 @@ impl CommStats {
     pub(crate) fn record_p2p_batch(&self, nmsgs: u64, bytes: u64, modeled: f64) {
         self.p2p_messages.set(self.p2p_messages.get() + nmsgs);
         self.p2p_bytes.set(self.p2p_bytes.get() + bytes);
-        self.modeled_seconds.set(self.modeled_seconds.get() + modeled);
+        self.modeled_seconds
+            .set(self.modeled_seconds.get() + modeled);
         self.charge_step(nmsgs, bytes);
+        // Advance the tracing layer's modeled clock so open spans see
+        // modeled comm time next to their wall-clock duration.
+        louvain_obs::add_modeled_seconds(modeled);
     }
 
     pub(crate) fn record_collective(&self, bytes: u64, modeled: f64) {
         self.collective_calls.set(self.collective_calls.get() + 1);
-        self.collective_bytes.set(self.collective_bytes.get() + bytes);
-        self.modeled_seconds.set(self.modeled_seconds.get() + modeled);
+        self.collective_bytes
+            .set(self.collective_bytes.get() + bytes);
+        self.modeled_seconds
+            .set(self.modeled_seconds.get() + modeled);
         self.charge_step(1, bytes);
+        louvain_obs::add_modeled_seconds(modeled);
     }
 
     /// Number of point-to-point messages sent by this rank.
@@ -242,13 +249,30 @@ mod tests {
         assert_eq!(s.step_bytes(CommStep::Reduction), 8);
         let snap = s.snapshot();
         assert_eq!(snap.step_bytes_for(CommStep::GhostRefresh), 300);
-        assert_eq!(snap.step_bytes.iter().sum::<u64>(), snap.p2p_bytes + snap.collective_bytes);
+        assert_eq!(
+            snap.step_bytes.iter().sum::<u64>(),
+            snap.p2p_bytes + snap.collective_bytes
+        );
     }
 
     #[test]
     fn snapshot_merge_takes_time_max_and_counter_sum() {
-        let mut a = StatsSnapshot { p2p_messages: 1, p2p_bytes: 10, collective_calls: 2, collective_bytes: 4, modeled_seconds: 0.5, ..Default::default() };
-        let b = StatsSnapshot { p2p_messages: 3, p2p_bytes: 30, collective_calls: 1, collective_bytes: 8, modeled_seconds: 0.2, ..Default::default() };
+        let mut a = StatsSnapshot {
+            p2p_messages: 1,
+            p2p_bytes: 10,
+            collective_calls: 2,
+            collective_bytes: 4,
+            modeled_seconds: 0.5,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            p2p_messages: 3,
+            p2p_bytes: 30,
+            collective_calls: 1,
+            collective_bytes: 8,
+            modeled_seconds: 0.2,
+            ..Default::default()
+        };
         a.merge_max_time(&b);
         assert_eq!(a.p2p_messages, 4);
         assert_eq!(a.p2p_bytes, 40);

@@ -24,7 +24,9 @@ mod parking_lot_free {
         }
 
         pub fn take(&self, i: usize) -> T {
-            self.0.lock().unwrap()[i].take().expect("slot already taken")
+            self.0.lock().unwrap()[i]
+                .take()
+                .expect("slot already taken")
         }
     }
 }
@@ -42,22 +44,35 @@ pub struct DistOutcome {
     pub per_rank_stats: Vec<Vec<PhaseStats>>,
     /// Aggregate communication counters (summed over ranks).
     pub traffic: StatsSnapshot,
+    /// Each rank's own communication counters (index = rank). `traffic`
+    /// is their merge; kept separately so run reports can show per-rank
+    /// imbalance.
+    pub per_rank_traffic: Vec<StatsSnapshot>,
     /// Modeled job time: Σ over phases of the slowest rank's modeled
     /// phase time (bulk-synchronous critical path).
     pub modeled_seconds: f64,
     /// Real wall time of the simulated job (all ranks share the host).
     pub wall: Duration,
+    /// Harvested trace events/metrics, present when tracing was enabled
+    /// (`louvain_obs::set_enabled(true)` / `LOUVAIN_TRACE=1`) for the run.
+    pub trace: Option<louvain_obs::TraceData>,
 }
 
 impl DistOutcome {
     /// Modularity after each phase (from rank 0's trace).
     pub fn modularity_per_phase(&self) -> Vec<f64> {
-        self.per_rank_stats[0].iter().map(|p| p.modularity).collect()
+        self.per_rank_stats[0]
+            .iter()
+            .map(|p| p.modularity)
+            .collect()
     }
 
     /// Iterations per phase.
     pub fn iterations_per_phase(&self) -> Vec<usize> {
-        self.per_rank_stats[0].iter().map(|p| p.iterations).collect()
+        self.per_rank_stats[0]
+            .iter()
+            .map(|p| p.iterations)
+            .collect()
     }
 
     /// Modeled-time breakdown over the whole run:
@@ -139,12 +154,7 @@ pub fn run_distributed(g: &Csr, p: usize, cfg: &DistConfig) -> DistOutcome {
 
 /// [`run_distributed`] with an explicit runtime configuration (cost
 /// model, stack size).
-pub fn run_distributed_with(
-    g: &Csr,
-    p: usize,
-    cfg: &DistConfig,
-    runcfg: RunConfig,
-) -> DistOutcome {
+pub fn run_distributed_with(g: &Csr, p: usize, cfg: &DistConfig, runcfg: RunConfig) -> DistOutcome {
     run_distributed_partitioned(g, p, cfg, runcfg, PartitionStrategy::EdgeBalanced)
 }
 
@@ -166,30 +176,41 @@ pub fn run_distributed_partitioned(
     let parts = LocalGraph::scatter(g, &part);
     let slots = TakeSlots::new(parts);
 
-    let start = std::time::Instant::now();
+    // One collector for the whole job when tracing is on: rank threads
+    // install it on entry so spans/metrics land in per-rank rings.
+    let collector = louvain_obs::enabled().then(|| louvain_obs::Collector::new(p));
+    let watch = louvain_obs::Stopwatch::start();
     let results: Vec<(RankOutcome, StatsSnapshot)> = run_with(p, runcfg, |c| {
+        let _obs = collector.as_ref().map(|col| col.install(c.rank()));
         let lg = slots.take(c.rank());
         let outcome = run_on_rank(c, lg, cfg);
         let stats = c.stats().snapshot();
         (outcome, stats)
     });
-    let wall = start.elapsed();
+    let wall = Duration::from_secs_f64(watch.wall_seconds());
+    let trace = collector.map(louvain_obs::Collector::finish);
 
-    merge(results, wall)
+    merge(results, wall, trace)
 }
 
 /// Merge per-rank outcomes into a [`DistOutcome`].
-fn merge(results: Vec<(RankOutcome, StatsSnapshot)>, wall: Duration) -> DistOutcome {
+fn merge(
+    results: Vec<(RankOutcome, StatsSnapshot)>,
+    wall: Duration,
+    trace: Option<louvain_obs::TraceData>,
+) -> DistOutcome {
     let modularity = results[0].0.modularity;
     let phases = results.iter().map(|(o, _)| o.phases).max().unwrap_or(0);
     let total_iterations = results[0].0.total_iterations;
 
     let mut assignment: Vec<VertexId> = Vec::new();
     let mut traffic = StatsSnapshot::default();
+    let mut per_rank_traffic = Vec::with_capacity(results.len());
     let mut per_rank_stats = Vec::with_capacity(results.len());
     for (o, s) in &results {
         assignment.extend(o.assignment.iter().copied());
         traffic.merge_max_time(s);
+        per_rank_traffic.push(*s);
     }
     for (o, _) in results {
         per_rank_stats.push(o.phase_stats);
@@ -215,8 +236,10 @@ fn merge(results: Vec<(RankOutcome, StatsSnapshot)>, wall: Duration) -> DistOutc
         total_iterations,
         per_rank_stats,
         traffic,
+        per_rank_traffic,
         modeled_seconds,
         wall,
+        trace,
     }
 }
 
@@ -246,7 +269,12 @@ mod tests {
 
     #[test]
     fn assignment_is_dense_and_complete() {
-        let gen = ssca2(Ssca2Params { n: 800, max_clique_size: 20, inter_clique_prob: 0.05, seed: 3 });
+        let gen = ssca2(Ssca2Params {
+            n: 800,
+            max_clique_size: 20,
+            inter_clique_prob: 0.05,
+            seed: 3,
+        });
         let out = run_distributed(&gen.graph, 3, &DistConfig::baseline());
         assert_eq!(out.assignment.len(), 800);
         let max = *out.assignment.iter().max().unwrap() as usize;
@@ -261,7 +289,10 @@ mod tests {
         assert!(out.traffic.collective_calls > 0);
         assert_eq!(out.per_rank_stats.len(), 2);
         assert!(out.phases >= 1);
-        assert_eq!(out.modularity_per_phase().len(), out.per_rank_stats[0].len());
+        assert_eq!(
+            out.modularity_per_phase().len(),
+            out.per_rank_stats[0].len()
+        );
         let (compute, comm, reduce, rebuild) = out.modeled_breakdown();
         assert!(compute > 0.0 && comm > 0.0 && reduce > 0.0);
         assert!(rebuild >= 0.0);

@@ -40,7 +40,10 @@ impl Variant {
     }
 
     pub fn uses_cycling(&self) -> bool {
-        matches!(self, Variant::ThresholdCycling | Variant::EtPlusCycling { .. })
+        matches!(
+            self,
+            Variant::ThresholdCycling | Variant::EtPlusCycling { .. }
+        )
     }
 
     pub fn uses_etc_exit(&self) -> bool {

@@ -51,7 +51,12 @@ struct BufPool<T> {
 
 impl<T> BufPool<T> {
     fn take(&self) -> Vec<T> {
-        let mut buf = self.free.lock().unwrap_or_else(|e| e.into_inner()).pop().unwrap_or_default();
+        let mut buf = self
+            .free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
         buf.clear();
         buf
     }
@@ -194,7 +199,12 @@ impl GhostLayer {
 
     /// Build the per-peer outgoing delta buffer: `(index, value)` pairs
     /// for alive serve entries whose local vertex is marked changed.
-    fn delta_buffers(&self, local_vals: &[VertexId], changed: &[bool], j: usize) -> Vec<DeltaEntry> {
+    fn delta_buffers(
+        &self,
+        local_vals: &[VertexId],
+        changed: &[bool],
+        j: usize,
+    ) -> Vec<DeltaEntry> {
         let mut buf = self.delta_pool.take();
         buf.extend(
             self.serve[j]
@@ -283,9 +293,13 @@ impl GhostLayer {
         comm: &Comm,
         local_vals: &[VertexId],
         changed: &[bool],
-        out: &mut Vec<VertexId>,
+        out: &mut [VertexId],
     ) {
-        debug_assert_eq!(out.len(), self.num_ghosts, "delta refresh needs a full refresh first");
+        debug_assert_eq!(
+            out.len(),
+            self.num_ghosts,
+            "delta refresh needs a full refresh first"
+        );
         let sends: Vec<Vec<DeltaEntry>> = (0..comm.size())
             .map(|j| self.delta_buffers(local_vals, changed, j))
             .collect();
@@ -302,9 +316,13 @@ impl GhostLayer {
         comm: &Comm,
         local_vals: &[VertexId],
         changed: &[bool],
-        out: &mut Vec<VertexId>,
+        out: &mut [VertexId],
     ) {
-        debug_assert_eq!(out.len(), self.num_ghosts, "delta refresh needs a full refresh first");
+        debug_assert_eq!(
+            out.len(),
+            self.num_ghosts,
+            "delta refresh needs a full refresh first"
+        );
         let sends: Vec<Vec<DeltaEntry>> = self
             .neighbors
             .iter()
@@ -325,8 +343,7 @@ impl GhostLayer {
     /// Returns the number of ghost slots this rank stopped refreshing.
     /// Collective.
     pub fn prune(&mut self, comm: &Comm, lg: &LocalGraph, frozen_locals: &[usize]) -> usize {
-        let frozen: louvain_graph::hash::FastSet<usize> =
-            frozen_locals.iter().copied().collect();
+        let frozen: louvain_graph::hash::FastSet<usize> = frozen_locals.iter().copied().collect();
         // Mask our serve entries and build the announcements.
         let mut announce: Vec<Vec<VertexId>> = vec![Vec::new(); comm.size()];
         for ((serve, mask), out) in self
@@ -413,8 +430,9 @@ mod tests {
             let layer = GhostLayer::build(c, &lg);
             // Every rank publishes value = 1000 + global id for each of
             // its local vertices.
-            let local_vals: Vec<u64> =
-                (0..lg.num_local()).map(|l| 1000 + lg.to_global(l)).collect();
+            let local_vals: Vec<u64> = (0..lg.num_local())
+                .map(|l| 1000 + lg.to_global(l))
+                .collect();
             let mut ghost_vals = Vec::new();
             layer.refresh(c, &local_vals, &mut ghost_vals);
             // Check all ghosts carry their owner's value.
@@ -438,8 +456,7 @@ mod tests {
         let out = run(4, |c| {
             let lg = parts[c.rank()].clone();
             let layer = GhostLayer::build(c, &lg);
-            let local_vals: Vec<u64> =
-                (0..lg.num_local()).map(|l| 7 * lg.to_global(l)).collect();
+            let local_vals: Vec<u64> = (0..lg.num_local()).map(|l| 7 * lg.to_global(l)).collect();
             let mut full = Vec::new();
             layer.refresh(c, &local_vals, &mut full);
             let mut nbr = Vec::new();
@@ -464,11 +481,16 @@ mod tests {
             let vals2: Vec<u64> = (0..lg.num_local())
                 .map(|l| {
                     let gid = lg.to_global(l);
-                    if gid % 2 == 0 { 900 + gid } else { 10 + gid }
+                    if gid.is_multiple_of(2) {
+                        900 + gid
+                    } else {
+                        10 + gid
+                    }
                 })
                 .collect();
-            let changed: Vec<bool> =
-                (0..lg.num_local()).map(|l| lg.to_global(l) % 2 == 0).collect();
+            let changed: Vec<bool> = (0..lg.num_local())
+                .map(|l| lg.to_global(l).is_multiple_of(2))
+                .collect();
             let mut full = baseline.clone();
             layer.refresh(c, &vals2, &mut full);
             let mut delta = baseline.clone();
@@ -493,7 +515,9 @@ mod tests {
             let vals1: Vec<u64> = (0..lg.num_local()).map(|l| lg.to_global(l)).collect();
             let mut baseline = Vec::new();
             layer.refresh(c, &vals1, &mut baseline);
-            let vals2: Vec<u64> = (0..lg.num_local()).map(|l| 3 * lg.to_global(l) + 1).collect();
+            let vals2: Vec<u64> = (0..lg.num_local())
+                .map(|l| 3 * lg.to_global(l) + 1)
+                .collect();
             let changed = vec![true; lg.num_local()];
             let mut via_full = baseline.clone();
             layer.refresh_delta(c, &vals2, &changed, &mut via_full);
@@ -515,7 +539,11 @@ mod tests {
             let vals1: Vec<u64> = (0..lg.num_local()).map(|l| 100 + lg.to_global(l)).collect();
             layer.refresh(c, &vals1, &mut ghost_vals);
             // Rank 0 freezes global vertex 0 (ghosted by rank 1).
-            let frozen: Vec<usize> = if c.rank() == 0 { vec![lg.to_local(0)] } else { vec![] };
+            let frozen: Vec<usize> = if c.rank() == 0 {
+                vec![lg.to_local(0)]
+            } else {
+                vec![]
+            };
             layer.prune(c, &lg, &frozen);
             // Every vertex "changes" — but the pruned serve entry must not
             // be sent, so the frozen ghost keeps its round-1 value.
@@ -552,8 +580,9 @@ mod tests {
             let mut results = Vec::new();
             let mut ghost_vals = Vec::new();
             for round in 0..3u64 {
-                let local_vals: Vec<u64> =
-                    (0..lg.num_local()).map(|l| round * 100 + lg.to_global(l)).collect();
+                let local_vals: Vec<u64> = (0..lg.num_local())
+                    .map(|l| round * 100 + lg.to_global(l))
+                    .collect();
                 layer.refresh(c, &local_vals, &mut ghost_vals);
                 results.push(ghost_vals.clone());
             }
@@ -581,7 +610,11 @@ mod tests {
             let before = ghost_vals.clone();
             // Rank 0 freezes its local vertex with global id 0 — which is
             // ghosted by rank 1 (ring edge 7–0).
-            let frozen: Vec<usize> = if c.rank() == 0 { vec![lg.to_local(0)] } else { vec![] };
+            let frozen: Vec<usize> = if c.rank() == 0 {
+                vec![lg.to_local(0)]
+            } else {
+                vec![]
+            };
             let dropped = layer.prune(c, &lg, &frozen);
             // Round 2: values change to 200 + gid; the pruned ghost must
             // keep its round-1 value.

@@ -100,7 +100,10 @@ pub fn distributed_coloring(
 
     let local_max = color.iter().copied().max().unwrap_or(0);
     let global_max = comm.all_reduce(if nlocal == 0 { 0 } else { local_max }, ReduceOp::Max);
-    (color.into_iter().map(|c| c as u32).collect(), global_max as u32 + 1)
+    (
+        color.into_iter().map(|c| c as u32).collect(),
+        global_max as u32 + 1,
+    )
 }
 
 #[cfg(test)]
@@ -129,18 +132,29 @@ mod tests {
 
     #[test]
     fn coloring_is_proper_across_ranks() {
-        let g = erdos_renyi(ErdosRenyiParams { n: 400, avg_degree: 8.0, seed: 3 }).graph;
+        let g = erdos_renyi(ErdosRenyiParams {
+            n: 400,
+            avg_degree: 8.0,
+            seed: 3,
+        })
+        .graph;
         for p in [1, 2, 4] {
             let (colors, ncolors) = color_distributed(&g, p);
             assert_eq!(colors.len(), g.num_vertices());
             for v in 0..g.num_vertices() as u64 {
                 for (u, _) in g.neighbors(v) {
                     if u != v {
-                        assert_ne!(colors[v as usize], colors[u as usize], "edge {v}-{u} (p={p})");
+                        assert_ne!(
+                            colors[v as usize], colors[u as usize],
+                            "edge {v}-{u} (p={p})"
+                        );
                     }
                 }
             }
-            let max_deg = (0..g.num_vertices()).map(|v| g.degree(v as u64)).max().unwrap();
+            let max_deg = (0..g.num_vertices())
+                .map(|v| g.degree(v as u64))
+                .max()
+                .unwrap();
             assert!(ncolors as usize <= max_deg + 1);
         }
     }
@@ -149,7 +163,12 @@ mod tests {
     fn coloring_is_rank_count_invariant() {
         // Priorities depend only on (seed, global id), so the JP coloring
         // is identical no matter how the graph is partitioned.
-        let g = erdos_renyi(ErdosRenyiParams { n: 300, avg_degree: 6.0, seed: 5 }).graph;
+        let g = erdos_renyi(ErdosRenyiParams {
+            n: 300,
+            avg_degree: 6.0,
+            seed: 5,
+        })
+        .graph;
         let (c1, n1) = color_distributed(&g, 1);
         let (c3, n3) = color_distributed(&g, 3);
         assert_eq!(c1, c3);

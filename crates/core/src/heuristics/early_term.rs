@@ -103,7 +103,11 @@ mod tests {
         a.update(7, false);
         b.update(2, false);
         for it in 0..30 {
-            assert_eq!(a.is_active(0, it, 7), b.is_active(0, it, 2), "iteration {it}");
+            assert_eq!(
+                a.is_active(0, it, 7),
+                b.is_active(0, it, 2),
+                "iteration {it}"
+            );
         }
     }
 

@@ -22,7 +22,11 @@ pub struct ThresholdSchedule {
 impl ThresholdSchedule {
     /// Fixed τ for every phase (Baseline / ET / ETC variants).
     pub fn fixed(tau: f64) -> Self {
-        Self { steps: vec![(tau, 1)], min_tau: tau, cycling: false }
+        Self {
+            steps: vec![(tau, 1)],
+            min_tau: tau,
+            cycling: false,
+        }
     }
 
     /// The paper's Fig 2 cycle ending at `min_tau`:

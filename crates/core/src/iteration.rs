@@ -90,7 +90,9 @@ impl SweepState {
     fn new(k_local: &[Weight], lg: &LocalGraph) -> Self {
         let nlocal = lg.num_local();
         Self {
-            comm: (0..nlocal).map(|l| AtomicU64::new(lg.to_global(l))).collect(),
+            comm: (0..nlocal)
+                .map(|l| AtomicU64::new(lg.to_global(l)))
+                .collect(),
             a: k_local.iter().map(|&k| AtomicF64::new(k)).collect(),
             size: (0..nlocal).map(|_| AtomicU64::new(1)).collect(),
             moved: (0..nlocal).map(|_| AtomicBool::new(false)).collect(),
@@ -177,6 +179,17 @@ fn exchange_ghosts(
     }
     scratch.last_pushed.clear();
     scratch.last_pushed.extend_from_slice(vals);
+    // Delta hit-rate metrics: changed/total slot ratio is the payload
+    // compression the delta flavour achieves over a full refresh.
+    if louvain_obs::enabled() {
+        if use_delta {
+            let changed = scratch.changed.iter().filter(|&&c| c).count() as u64;
+            louvain_obs::counter_add("ghost.delta.changed", changed);
+            louvain_obs::counter_add("ghost.delta.slots", scratch.changed.len() as u64);
+        } else {
+            louvain_obs::counter_add("ghost.full.slots", vals.len() as u64);
+        }
+    }
 }
 
 /// Evaluate and (if profitable) apply the best move for local vertex `l`.
@@ -366,7 +379,14 @@ pub fn louvain_phase(
     // so every rank must agree on the flag.
     if cfg.vertex_following && phase_idx == 0 {
         let t0 = comm.stats().modeled_seconds();
-        apply_vertex_following(comm, lg, ghosts, &state, &k_local, cfg.neighborhood_collectives);
+        apply_vertex_following(
+            comm,
+            lg,
+            ghosts,
+            &state,
+            &k_local,
+            cfg.neighborhood_collectives,
+        );
         comm_seconds += comm.stats().modeled_seconds() - t0;
     }
 
@@ -377,6 +397,7 @@ pub fn louvain_phase(
 
     while iterations < cfg.max_iterations {
         iterations += 1;
+        let mut iter_span = louvain_obs::span!("iteration", phase = phase_idx, iter = iterations);
         let edges_at_iter_start = compute.edges_scanned;
         scratch.active.clear();
         scratch.active.extend((0..nlocal).map(|l| match &et {
@@ -479,43 +500,80 @@ pub fn louvain_phase(
             {
                 let active = &scratch.active;
                 scratch.round_vertices.extend(
-                    sweep_order.iter().copied().filter(|&l| active[l] && in_round(l)),
+                    sweep_order
+                        .iter()
+                        .copied()
+                        .filter(|&l| active[l] && in_round(l)),
                 );
             }
-            let acc: SweepAcc = if threads <= 1 {
-                let mut acc = SweepAcc::default();
-                let mut weights = scratch.take_weights();
-                for &l in &scratch.round_vertices {
-                    try_move(
-                        l, lg, ghosts, &ghost_comm, &state, &k_local, two_m, guard,
-                        &scratch.remote_a, &mut acc, &mut weights,
-                    );
-                }
-                scratch.put_weights(weights);
+            let acc: SweepAcc = {
+                let _sweep_span = louvain_obs::span!("sweep", iter = iterations, round = round);
+                let acc = if threads <= 1 {
+                    let mut acc = SweepAcc::default();
+                    let mut weights = scratch.take_weights();
+                    for &l in &scratch.round_vertices {
+                        try_move(
+                            l,
+                            lg,
+                            ghosts,
+                            &ghost_comm,
+                            &state,
+                            &k_local,
+                            two_m,
+                            guard,
+                            &scratch.remote_a,
+                            &mut acc,
+                            &mut weights,
+                        );
+                    }
+                    scratch.put_weights(weights);
+                    acc
+                } else {
+                    let chunk = scratch.round_vertices.len().div_ceil(threads * 4).max(64);
+                    let scratch_ref = &scratch;
+                    scratch
+                        .round_vertices
+                        .par_chunks(chunk)
+                        .map(|chunk| {
+                            let mut acc = SweepAcc::default();
+                            let mut weights = scratch_ref.take_weights();
+                            for &l in chunk {
+                                try_move(
+                                    l,
+                                    lg,
+                                    ghosts,
+                                    &ghost_comm,
+                                    &state,
+                                    &k_local,
+                                    two_m,
+                                    guard,
+                                    &scratch_ref.remote_a,
+                                    &mut acc,
+                                    &mut weights,
+                                );
+                            }
+                            scratch_ref.put_weights(weights);
+                            acc
+                        })
+                        .reduce(SweepAcc::default, SweepAcc::merge)
+                };
+                // Advance the tracing layer's modeled clock so the sweep
+                // span carries modeled compute time next to wall time.
+                let work = WorkCounter {
+                    edges_scanned: acc.edges,
+                    vertices_processed: acc.vertices,
+                };
+                louvain_obs::add_modeled_seconds(
+                    work.modeled_seconds() / crate::stats::parallel_speedup(threads),
+                );
                 acc
-            } else {
-                let chunk = scratch.round_vertices.len().div_ceil(threads * 4).max(64);
-                let scratch_ref = &scratch;
-                scratch
-                    .round_vertices
-                    .par_chunks(chunk)
-                    .map(|chunk| {
-                        let mut acc = SweepAcc::default();
-                        let mut weights = scratch_ref.take_weights();
-                        for &l in chunk {
-                            try_move(
-                                l, lg, ghosts, &ghost_comm, &state, &k_local, two_m,
-                                guard, &scratch_ref.remote_a, &mut acc, &mut weights,
-                            );
-                        }
-                        scratch_ref.put_weights(weights);
-                        acc
-                    })
-                    .reduce(SweepAcc::default, SweepAcc::merge)
             };
             local_moves += acc.moves;
             compute.edges_scanned += acc.edges;
             compute.vertices_processed += acc.vertices;
+            louvain_obs::counter_add("sweep.moves", acc.moves);
+            louvain_obs::counter_add("sweep.vertices", acc.vertices);
+            louvain_obs::counter_add("sweep.edges", acc.edges);
 
             // -- Step 3b: push deltas to community owners (lines 10–11). --
             let t0 = comm.stats().modeled_seconds();
@@ -585,6 +643,9 @@ pub fn louvain_phase(
             inactive: inactive_global,
             local_edges: compute.edges_scanned - edges_at_iter_start,
         });
+        iter_span.arg("moves", moves_global);
+        iter_span.arg("q", q);
+        louvain_obs::gauge_set("modularity", q);
 
         if cfg.variant.uses_etc_exit()
             && inactive_global as f64 >= cfg.etc_exit_fraction * n_global as f64
@@ -603,9 +664,8 @@ pub fn louvain_phase(
     // above drive convergence exactly as in the paper (stale ghost state),
     // but the reported phase modularity must be exact. Pruned ghosts are
     // frozen, so their cached values are already final.
-    let use_delta = cfg.delta_ghost_refresh
-        && have_baseline
-        && prev_moves_global.saturating_mul(4) < n_global;
+    let use_delta =
+        cfg.delta_ghost_refresh && have_baseline && prev_moves_global.saturating_mul(4) < n_global;
     let t0 = comm.stats().modeled_seconds();
     comm.with_step(CommStep::GhostRefresh, || {
         exchange_ghosts(
@@ -681,7 +741,10 @@ fn apply_vertex_following(
         })
         .collect();
     // Exchange pendant flags so the pair rule sees remote neighbors.
-    let flags: Vec<u64> = pendant_target.iter().map(|t| u64::from(t.is_some())).collect();
+    let flags: Vec<u64> = pendant_target
+        .iter()
+        .map(|t| u64::from(t.is_some()))
+        .collect();
     let mut ghost_flags: Vec<u64> = Vec::new();
     if neighborhood {
         ghosts.refresh_neighborhood(comm, &flags, &mut ghost_flags);
@@ -802,7 +865,11 @@ mod tests {
         let outs = run(p, |c| {
             let lg = parts[c.rank()].clone();
             let mut ghosts = GhostLayer::build(c, &lg);
-            let ctx = PhaseContext { comm: c, lg: &lg, two_m };
+            let ctx = PhaseContext {
+                comm: c,
+                lg: &lg,
+                two_m,
+            };
             let r = louvain_phase(&ctx, &mut ghosts, cfg, 0, cfg.threshold);
             (r.comm_of_local, r.modularity)
         });
@@ -832,7 +899,10 @@ mod tests {
         for p in [1, 2, 3] {
             let (assignment, q) = run_one_phase(&g, p, &DistConfig::baseline());
             let q_ref = modularity(&g, &assignment);
-            assert!((q - q_ref).abs() < 1e-9, "p={p}: reported {q} vs reference {q_ref}");
+            assert!(
+                (q - q_ref).abs() < 1e-9,
+                "p={p}: reported {q} vs reference {q_ref}"
+            );
         }
     }
 
@@ -853,7 +923,10 @@ mod tests {
             6,
             [(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (4, 5, 1.0)],
         ));
-        let cfg = DistConfig { vertex_following: true, ..DistConfig::baseline() };
+        let cfg = DistConfig {
+            vertex_following: true,
+            ..DistConfig::baseline()
+        };
         for p in [1, 2, 3] {
             let (assignment, q) = run_one_phase(&g, p, &cfg);
             // All star leaves end with the hub.
@@ -872,7 +945,10 @@ mod tests {
     fn vertex_following_preserves_quality_on_lfr() {
         let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(800, 11)).graph;
         let base = run_one_phase(&g, 2, &DistConfig::baseline());
-        let cfg = DistConfig { vertex_following: true, ..DistConfig::baseline() };
+        let cfg = DistConfig {
+            vertex_following: true,
+            ..DistConfig::baseline()
+        };
         let vf = run_one_phase(&g, 2, &cfg);
         assert!(vf.1 > base.1 - 0.05, "vf {} vs base {}", vf.1, base.1);
     }
@@ -881,7 +957,10 @@ mod tests {
     fn multithreaded_sweep_reaches_comparable_quality() {
         let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(1_000, 9)).graph;
         let base = run_one_phase(&g, 2, &DistConfig::baseline());
-        let cfg = DistConfig { threads_per_rank: 4, ..DistConfig::baseline() };
+        let cfg = DistConfig {
+            threads_per_rank: 4,
+            ..DistConfig::baseline()
+        };
         let threaded = run_one_phase(&g, 2, &cfg);
         // Parallel interleaving changes the trajectory but not the
         // quality ballpark; the reported Q must still be exact for the
@@ -900,7 +979,10 @@ mod tests {
     fn neighborhood_collectives_give_identical_results() {
         let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(600, 6)).graph;
         let base = run_one_phase(&g, 3, &DistConfig::baseline());
-        let cfg = DistConfig { neighborhood_collectives: true, ..DistConfig::baseline() };
+        let cfg = DistConfig {
+            neighborhood_collectives: true,
+            ..DistConfig::baseline()
+        };
         let nbr = run_one_phase(&g, 3, &cfg);
         assert_eq!(base.0, nbr.0, "assignments differ");
         assert_eq!(base.1, nbr.1);
@@ -923,7 +1005,10 @@ mod tests {
             .graph,
             louvain_graph::gen::rmat(louvain_graph::gen::RmatParams::social(9, 8, 11)).graph,
         ];
-        let delta_cfg = DistConfig { delta_ghost_refresh: true, ..DistConfig::baseline() };
+        let delta_cfg = DistConfig {
+            delta_ghost_refresh: true,
+            ..DistConfig::baseline()
+        };
         for (gi, g) in graphs.iter().enumerate() {
             for p in [1, 2, 8] {
                 let base = run_one_phase(g, p, &DistConfig::baseline());
@@ -945,8 +1030,14 @@ mod tests {
         .graph;
         // Neighborhood collectives: the delta flavour rides the same
         // neighbor topology, so results stay identical.
-        let nbr = DistConfig { neighborhood_collectives: true, ..DistConfig::baseline() };
-        let nbr_delta = DistConfig { delta_ghost_refresh: true, ..nbr.clone() };
+        let nbr = DistConfig {
+            neighborhood_collectives: true,
+            ..DistConfig::baseline()
+        };
+        let nbr_delta = DistConfig {
+            delta_ghost_refresh: true,
+            ..nbr.clone()
+        };
         let a = run_one_phase(&g, 4, &nbr);
         let b = run_one_phase(&g, 4, &nbr_delta);
         assert_eq!(a.0, b.0);
@@ -957,7 +1048,10 @@ mod tests {
             prune_inactive_ghosts: true,
             ..DistConfig::with_variant(crate::Variant::Et { alpha: 0.75 })
         };
-        let et_delta = DistConfig { delta_ghost_refresh: true, ..et.clone() };
+        let et_delta = DistConfig {
+            delta_ghost_refresh: true,
+            ..et.clone()
+        };
         let a = run_one_phase(&g, 3, &et);
         let b = run_one_phase(&g, 3, &et_delta);
         assert_eq!(a.0, b.0);
@@ -976,15 +1070,25 @@ mod tests {
             run(2, |c| {
                 let lg = parts[c.rank()].clone();
                 let mut ghosts = GhostLayer::build(c, &lg);
-                let ctx = PhaseContext { comm: c, lg: &lg, two_m };
+                let ctx = PhaseContext {
+                    comm: c,
+                    lg: &lg,
+                    two_m,
+                };
                 let r = louvain_phase(&ctx, &mut ghosts, cfg, 0, cfg.threshold);
                 r.traces.iter().map(|t| (t.modularity, t.moves)).collect()
             })
         };
         let base = run_traces(&DistConfig::baseline());
         let again = run_traces(&DistConfig::baseline());
-        assert_eq!(base, again, "single-threaded sweeps must be bit-reproducible");
-        let delta_cfg = DistConfig { delta_ghost_refresh: true, ..DistConfig::baseline() };
+        assert_eq!(
+            base, again,
+            "single-threaded sweeps must be bit-reproducible"
+        );
+        let delta_cfg = DistConfig {
+            delta_ghost_refresh: true,
+            ..DistConfig::baseline()
+        };
         let delta = run_traces(&delta_cfg);
         assert_eq!(base, delta, "delta refresh must not perturb the trajectory");
     }
@@ -993,7 +1097,10 @@ mod tests {
     fn colored_sweeps_converge_with_comparable_quality() {
         let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(600, 7)).graph;
         let base = run_one_phase(&g, 3, &DistConfig::baseline());
-        let cfg = DistConfig { color_sweeps: true, ..DistConfig::baseline() };
+        let cfg = DistConfig {
+            color_sweeps: true,
+            ..DistConfig::baseline()
+        };
         let colored = run_one_phase(&g, 3, &cfg);
         assert!(
             colored.1 > base.1 - 0.1,
@@ -1020,7 +1127,10 @@ mod tests {
         };
         let (assignment, q) = run_one_phase(&g, 3, &cfg);
         let q_ref = modularity(&g, &assignment);
-        assert!((q - q_ref).abs() < 1e-9, "reported {q} vs reference {q_ref}");
+        assert!(
+            (q - q_ref).abs() < 1e-9,
+            "reported {q} vs reference {q_ref}"
+        );
     }
 
     #[test]
@@ -1039,7 +1149,11 @@ mod tests {
         let outs = run(2, |c| {
             let lg = parts[c.rank()].clone();
             let mut ghosts = GhostLayer::build(c, &lg);
-            let ctx = PhaseContext { comm: c, lg: &lg, two_m };
+            let ctx = PhaseContext {
+                comm: c,
+                lg: &lg,
+                two_m,
+            };
             let r = louvain_phase(&ctx, &mut ghosts, &cfg, 0, cfg.threshold);
             (r.iterations, r.traces.last().unwrap().inactive)
         });
@@ -1055,7 +1169,11 @@ mod tests {
         let outs = run(2, |c| {
             let lg = parts[c.rank()].clone();
             let mut ghosts = GhostLayer::build(c, &lg);
-            let ctx = PhaseContext { comm: c, lg: &lg, two_m: g.two_m() };
+            let ctx = PhaseContext {
+                comm: c,
+                lg: &lg,
+                two_m: g.two_m(),
+            };
             let r = louvain_phase(&ctx, &mut ghosts, &DistConfig::baseline(), 0, 1e-6);
             (r.compute, r.comm_seconds, r.reduce_seconds)
         });

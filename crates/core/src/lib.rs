@@ -35,6 +35,7 @@ pub mod heuristics;
 pub mod iteration;
 pub mod quality;
 pub mod rebuild;
+pub mod report;
 pub mod runner;
 pub mod scratch;
 pub mod serial;
@@ -46,6 +47,7 @@ pub use api::{
 };
 pub use config::{DistConfig, Variant};
 pub use quality::{adjusted_rand_index, f_score, nmi, QualityReport};
+pub use report::{build_run_report, ReportMeta};
 pub use runner::RankOutcome;
 pub use serial::serial_louvain;
 pub use stats::{IterationTrace, PhaseStats, WorkCounter};

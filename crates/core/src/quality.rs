@@ -29,7 +29,11 @@ pub fn f_score(ground_truth: &[VertexId], detected: &[VertexId]) -> QualityRepor
     assert_eq!(ground_truth.len(), detected.len());
     let n = ground_truth.len();
     if n == 0 {
-        return QualityReport { precision: 1.0, recall: 1.0, f_score: 1.0 };
+        return QualityReport {
+            precision: 1.0,
+            recall: 1.0,
+            f_score: 1.0,
+        };
     }
     // Contingency counts |t ∩ d|.
     let mut joint: FastMap<(VertexId, VertexId), u64> = fast_map();
@@ -49,15 +53,18 @@ pub fn f_score(ground_truth: &[VertexId], detected: &[VertexId]) -> QualityRepor
         *bt = (*bt).max(cnt);
     }
     // Weighted by community size, the weights cancel into a plain sum/n.
-    let precision: f64 =
-        best_for_d.values().map(|&b| b as f64).sum::<f64>() / n as f64;
+    let precision: f64 = best_for_d.values().map(|&b| b as f64).sum::<f64>() / n as f64;
     let recall: f64 = best_for_t.values().map(|&b| b as f64).sum::<f64>() / n as f64;
     let f = if precision + recall > 0.0 {
         2.0 * precision * recall / (precision + recall)
     } else {
         0.0
     };
-    QualityReport { precision, recall, f_score: f }
+    QualityReport {
+        precision,
+        recall,
+        f_score: f,
+    }
 }
 
 /// Normalized mutual information between two partitions:

@@ -152,7 +152,13 @@ pub fn rebuild(
     let new_lg = LocalGraph::from_arcs(new_part, comm.rank(), arcs);
     let comm_seconds = comm.stats().modeled_seconds() - t_start;
 
-    RebuildOutput { new_lg, vertex_new_id, new_num_vertices, work, comm_seconds }
+    RebuildOutput {
+        new_lg,
+        vertex_new_id,
+        new_num_vertices,
+        work,
+        comm_seconds,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,179 @@
+//! Build a [`louvain_obs::RunReport`] from a finished distributed run.
+//!
+//! The report glues together two independent data sources:
+//!
+//! * the communication counters every rank carries in its
+//!   [`louvain_comm::StatsSnapshot`] (always on, no tracing required), and
+//! * the optional span/metric trace harvested by the
+//!   [`louvain_obs::Collector`] when tracing was enabled for the run.
+//!
+//! Per-step byte and message totals in the report are copied verbatim
+//! from the merged snapshot, so they match `louvain_comm::stats` exactly
+//! — `tests/observability.rs` asserts this invariant across rank counts.
+
+use louvain_comm::CommStep;
+use louvain_obs::{ModeledBreakdown, RankTotals, RunReport, StepTotal};
+
+use crate::api::DistOutcome;
+
+/// Run identity that the [`DistOutcome`] itself does not know: what
+/// graph was run, under which variant label, with how many software
+/// threads per rank.
+#[derive(Debug, Clone, Default)]
+pub struct ReportMeta {
+    /// Human-readable graph name (e.g. `"ssca2-8k"`).
+    pub graph: String,
+    /// Vertex count of the input graph.
+    pub vertices: u64,
+    /// Undirected edge count of the input graph.
+    pub edges: u64,
+    /// Variant label (e.g. `"baseline"`, `"etc-0.25"`).
+    pub variant: String,
+    /// Software threads used inside each rank's sweep.
+    pub threads_per_rank: usize,
+}
+
+impl ReportMeta {
+    pub fn new(graph: impl Into<String>, vertices: u64, edges: u64) -> Self {
+        Self {
+            graph: graph.into(),
+            vertices,
+            edges,
+            variant: "baseline".to_string(),
+            threads_per_rank: 1,
+        }
+    }
+
+    pub fn variant(mut self, label: impl Into<String>) -> Self {
+        self.variant = label.into();
+        self
+    }
+
+    pub fn threads_per_rank(mut self, t: usize) -> Self {
+        self.threads_per_rank = t;
+        self
+    }
+}
+
+/// Assemble the aggregated run report for `outcome`.
+///
+/// Works with or without tracing: the communication section is always
+/// populated from the per-rank [`louvain_comm::StatsSnapshot`]s; the
+/// `metrics` and `spans` sections are filled only when the outcome
+/// carries a harvested trace.
+pub fn build_run_report(outcome: &DistOutcome, meta: &ReportMeta) -> RunReport {
+    let traffic = &outcome.traffic;
+
+    let step_totals: Vec<StepTotal> = CommStep::ALL
+        .iter()
+        .map(|&step| StepTotal {
+            step: step.label().to_string(),
+            bytes: traffic.step_bytes_for(step),
+            messages: traffic.step_messages_for(step),
+        })
+        .collect();
+
+    let per_rank: Vec<RankTotals> = outcome
+        .per_rank_traffic
+        .iter()
+        .enumerate()
+        .map(|(rank, s)| {
+            let (events_recorded, events_dropped) = outcome
+                .trace
+                .as_ref()
+                .and_then(|t| t.ranks.get(rank))
+                .map(|r| (r.events.len() as u64, r.dropped))
+                .unwrap_or((0, 0));
+            RankTotals {
+                rank,
+                p2p_messages: s.p2p_messages,
+                p2p_bytes: s.p2p_bytes,
+                collective_calls: s.collective_calls,
+                collective_bytes: s.collective_bytes,
+                modeled_comm_seconds: s.modeled_seconds,
+                step_messages: s.step_messages.to_vec(),
+                step_bytes: s.step_bytes.to_vec(),
+                events_recorded,
+                events_dropped,
+            }
+        })
+        .collect();
+
+    let (compute, comm, reduce, rebuild) = outcome.modeled_breakdown();
+
+    let (metrics, spans) = match &outcome.trace {
+        Some(t) => (t.merged_metrics(), t.span_rollup()),
+        None => (Default::default(), Vec::new()),
+    };
+
+    RunReport {
+        graph: meta.graph.clone(),
+        vertices: meta.vertices,
+        edges: meta.edges,
+        ranks: outcome.per_rank_traffic.len(),
+        variant: meta.variant.clone(),
+        threads_per_rank: meta.threads_per_rank,
+        modularity: outcome.modularity,
+        num_communities: outcome.num_communities as u64,
+        phases: outcome.phases as u64,
+        iterations: outcome.total_iterations as u64,
+        wall_seconds: outcome.wall.as_secs_f64(),
+        modeled: ModeledBreakdown {
+            compute,
+            comm,
+            reduce,
+            rebuild,
+        },
+        step_totals,
+        total_bytes: traffic.p2p_bytes + traffic.collective_bytes,
+        total_messages: traffic.p2p_messages + traffic.collective_calls,
+        per_rank,
+        metrics,
+        spans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistConfig;
+    use louvain_graph::gen::{ssca2, Ssca2Params};
+
+    #[test]
+    fn report_step_totals_match_traffic_snapshot() {
+        let gen = ssca2(Ssca2Params {
+            n: 600,
+            max_clique_size: 12,
+            inter_clique_prob: 0.05,
+            seed: 9,
+        });
+        let out = crate::api::run_distributed(&gen.graph, 3, &DistConfig::baseline());
+        let meta = ReportMeta::new("ssca2-600", 600, gen.graph.num_edges() as u64);
+        let report = build_run_report(&out, &meta);
+
+        assert_eq!(report.ranks, 3);
+        assert_eq!(report.per_rank.len(), 3);
+        let total_from_steps: u64 = report.step_totals.iter().map(|s| s.bytes).sum();
+        assert_eq!(total_from_steps, out.traffic.step_bytes.iter().sum::<u64>());
+        assert_eq!(
+            report.total_bytes,
+            out.traffic.p2p_bytes + out.traffic.collective_bytes
+        );
+        // Conservation: per-step decomposition covers all traffic.
+        assert_eq!(total_from_steps, report.total_bytes);
+        // Per-rank snapshots sum to the merged totals.
+        let per_rank_bytes: u64 = report
+            .per_rank
+            .iter()
+            .map(|r| r.p2p_bytes + r.collective_bytes)
+            .sum();
+        assert_eq!(per_rank_bytes, report.total_bytes);
+
+        // Round-trips through JSON without loss.
+        let text = report.to_json_string();
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back.total_bytes, report.total_bytes);
+        assert_eq!(back.step_totals, report.step_totals);
+        assert_eq!(back.per_rank, report.per_rank);
+    }
+}

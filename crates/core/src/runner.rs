@@ -1,6 +1,6 @@
 //! The phase loop (Algorithm 2) executed on every rank.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use louvain_comm::{Comm, ReduceOp};
 use louvain_graph::hash::{fast_map, FastMap};
@@ -74,7 +74,7 @@ fn pull_values(
 /// Run the distributed Louvain algorithm on this rank's piece of the
 /// graph. Collective — all ranks call it with their own [`LocalGraph`].
 pub fn run_on_rank(comm: &Comm, lg0: LocalGraph, cfg: &DistConfig) -> RankOutcome {
-    let start = Instant::now();
+    let watch = louvain_obs::Stopwatch::start();
     let schedule = if cfg.variant.uses_cycling() {
         ThresholdSchedule::paper_cycle(cfg.threshold)
     } else {
@@ -100,12 +100,28 @@ pub fn run_on_rank(comm: &Comm, lg0: LocalGraph, cfg: &DistConfig) -> RankOutcom
             schedule.tau_for_phase(phase_idx)
         };
 
-        let mut ghosts = GhostLayer::build(comm, &lg);
+        let mut phase_span = louvain_obs::span!(
+            "phase",
+            phase = phase_idx,
+            tau = tau,
+            vertices = lg.num_global()
+        );
+
+        let mut ghosts = {
+            let _s = louvain_obs::span!("ghost_build", phase = phase_idx);
+            GhostLayer::build(comm, &lg)
+        };
         let two_m = comm.all_reduce(lg.local_arc_weight(), ReduceOp::Sum);
-        let ctx = PhaseContext { comm, lg: &lg, two_m };
+        let ctx = PhaseContext {
+            comm,
+            lg: &lg,
+            two_m,
+        };
         let result = louvain_phase(&ctx, &mut ghosts, cfg, phase_idx, tau);
         total_iterations += result.iterations;
         final_q = result.modularity;
+        phase_span.arg("iterations", result.iterations);
+        phase_span.arg("q", result.modularity);
 
         let gain = result.modularity - prev_q;
         let converged = prev_q.is_finite() && gain <= tau;
@@ -136,7 +152,14 @@ pub fn run_on_rank(comm: &Comm, lg0: LocalGraph, cfg: &DistConfig) -> RankOutcom
             // community of orig v is comm_of_local[cur_of_orig[v]] held by
             // the owner of that coarse vertex.
             let first = lg.first_vertex();
-            cur_of_orig = pull_values(comm, lg.partition(), &cur_of_orig, &result.comm_of_local, first);
+            let _s = louvain_obs::span!("project", phase = phase_idx);
+            cur_of_orig = pull_values(
+                comm,
+                lg.partition(),
+                &cur_of_orig,
+                &result.comm_of_local,
+                first,
+            );
             phase_stats.push(stats);
             break;
         }
@@ -145,14 +168,32 @@ pub fn run_on_rank(comm: &Comm, lg0: LocalGraph, cfg: &DistConfig) -> RankOutcom
         }
 
         // Rebuild the coarse graph (also yields each old vertex's new id).
-        let out = rebuild(comm, &lg, &ghosts, &result.comm_of_local, &result.ghost_comm);
+        let out = {
+            let _s = louvain_obs::span!("rebuild", phase = phase_idx);
+            rebuild(
+                comm,
+                &lg,
+                &ghosts,
+                &result.comm_of_local,
+                &result.ghost_comm,
+            )
+        };
         stats.rebuild = out.work;
         stats.comm_seconds += out.comm_seconds;
         phase_stats.push(stats);
 
         // Project the original vertices onto the new coarse graph.
         let first = lg.first_vertex();
-        cur_of_orig = pull_values(comm, lg.partition(), &cur_of_orig, &out.vertex_new_id, first);
+        cur_of_orig = {
+            let _s = louvain_obs::span!("project", phase = phase_idx);
+            pull_values(
+                comm,
+                lg.partition(),
+                &cur_of_orig,
+                &out.vertex_new_id,
+                first,
+            )
+        };
 
         let compressed = out.new_num_vertices < lg.num_global();
         lg = out.new_lg;
@@ -174,7 +215,7 @@ pub fn run_on_rank(comm: &Comm, lg0: LocalGraph, cfg: &DistConfig) -> RankOutcom
         phases: phase_stats.len(),
         total_iterations,
         phase_stats,
-        wall: start.elapsed(),
+        wall: Duration::from_secs_f64(watch.wall_seconds()),
     }
 }
 
@@ -250,7 +291,10 @@ mod tests {
                 (assignment, outs[0].0.modularity, bytes)
             };
             let base = collect(&DistConfig::baseline());
-            let cfg = DistConfig { delta_ghost_refresh: true, ..DistConfig::baseline() };
+            let cfg = DistConfig {
+                delta_ghost_refresh: true,
+                ..DistConfig::baseline()
+            };
             let delta = collect(&cfg);
             assert_eq!(base.0, delta.0, "p={p}: assignments differ");
             assert_eq!(base.1, delta.1, "p={p}: modularity differs");
@@ -267,7 +311,10 @@ mod tests {
     fn max_phases_budget_is_respected() {
         let g = louvain_graph::gen::lfr(louvain_graph::gen::LfrParams::small(800, 3)).graph;
         let parts = scatter(&g, 2);
-        let cfg = DistConfig { max_phases: 1, ..DistConfig::baseline() };
+        let cfg = DistConfig {
+            max_phases: 1,
+            ..DistConfig::baseline()
+        };
         let outs = run(2, |c| run_on_rank(c, parts[c.rank()].clone(), &cfg));
         for o in &outs {
             assert_eq!(o.phases, 1);

@@ -59,8 +59,7 @@ fn serial_phase(
                     continue;
                 }
                 let score = e_vc - kv * a_tot[c as usize] / two_m;
-                if score > best_score + 1e-12
-                    || ((score - best_score).abs() <= 1e-12 && c < best_c)
+                if score > best_score + 1e-12 || ((score - best_score).abs() <= 1e-12 && c < best_c)
                 {
                     best_score = score;
                     best_c = c;
@@ -147,7 +146,11 @@ mod tests {
         assert_eq!(r.assignment[0], r.assignment[1]);
         assert_eq!(r.assignment[3], r.assignment[5]);
         assert_ne!(r.assignment[0], r.assignment[3]);
-        assert!((r.modularity - 0.357142857).abs() < 1e-6, "q = {}", r.modularity);
+        assert!(
+            (r.modularity - 0.357142857).abs() < 1e-6,
+            "q = {}",
+            r.modularity
+        );
     }
 
     #[test]
@@ -164,12 +167,22 @@ mod tests {
         let gen = lfr(LfrParams::small(1_500, 8));
         let truth_q = modularity(&gen.graph, gen.ground_truth.as_ref().unwrap());
         let r = serial_louvain(&gen.graph, 1e-6);
-        assert!(r.modularity > truth_q - 0.05, "{} vs {}", r.modularity, truth_q);
+        assert!(
+            r.modularity > truth_q - 0.05,
+            "{} vs {}",
+            r.modularity,
+            truth_q
+        );
     }
 
     #[test]
     fn ssca2_is_nearly_perfect() {
-        let gen = ssca2(Ssca2Params { n: 2_000, max_clique_size: 25, inter_clique_prob: 0.02, seed: 4 });
+        let gen = ssca2(Ssca2Params {
+            n: 2_000,
+            max_clique_size: 25,
+            inter_clique_prob: 0.02,
+            seed: 4,
+        });
         let r = serial_louvain(&gen.graph, 1e-6);
         assert!(r.modularity > 0.95, "q = {}", r.modularity);
     }

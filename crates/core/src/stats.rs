@@ -107,16 +107,31 @@ mod tests {
 
     #[test]
     fn work_counter_converts_to_seconds() {
-        let w = WorkCounter { edges_scanned: 1_000_000, vertices_processed: 100_000 };
+        let w = WorkCounter {
+            edges_scanned: 1_000_000,
+            vertices_processed: 100_000,
+        };
         let s = w.modeled_seconds();
         assert!((s - (1e6 * EDGE_COST + 1e5 * VERTEX_COST)).abs() < 1e-12);
     }
 
     #[test]
     fn work_counter_add() {
-        let mut a = WorkCounter { edges_scanned: 1, vertices_processed: 2 };
-        a.add(WorkCounter { edges_scanned: 10, vertices_processed: 20 });
-        assert_eq!(a, WorkCounter { edges_scanned: 11, vertices_processed: 22 });
+        let mut a = WorkCounter {
+            edges_scanned: 1,
+            vertices_processed: 2,
+        };
+        a.add(WorkCounter {
+            edges_scanned: 10,
+            vertices_processed: 20,
+        });
+        assert_eq!(
+            a,
+            WorkCounter {
+                edges_scanned: 11,
+                vertices_processed: 22
+            }
+        );
     }
 
     #[test]
@@ -128,8 +143,14 @@ mod tests {
             modularity: 0.5,
             tau: 1e-6,
             iteration_traces: vec![],
-            compute: WorkCounter { edges_scanned: 100, vertices_processed: 10 },
-            rebuild: WorkCounter { edges_scanned: 50, vertices_processed: 5 },
+            compute: WorkCounter {
+                edges_scanned: 100,
+                vertices_processed: 10,
+            },
+            rebuild: WorkCounter {
+                edges_scanned: 50,
+                vertices_processed: 5,
+            },
             comm_seconds: 0.25,
             reduce_seconds: 0.5,
             etc_exit: false,
@@ -138,7 +159,10 @@ mod tests {
         let expected = 150.0 * EDGE_COST + 15.0 * VERTEX_COST + 0.75;
         assert!((p.modeled_seconds() - expected).abs() < 1e-12);
         // More intra-rank threads shrink only the iteration-body compute.
-        let p4 = PhaseStats { threads_per_rank: 4, ..p.clone() };
+        let p4 = PhaseStats {
+            threads_per_rank: 4,
+            ..p.clone()
+        };
         let expected4 = (100.0 * EDGE_COST + 10.0 * VERTEX_COST) / parallel_speedup(4)
             + 50.0 * EDGE_COST
             + 5.0 * VERTEX_COST

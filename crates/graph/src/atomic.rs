@@ -14,7 +14,9 @@ pub struct AtomicF64 {
 
 impl AtomicF64 {
     pub fn new(v: f64) -> Self {
-        Self { bits: AtomicU64::new(v.to_bits()) }
+        Self {
+            bits: AtomicU64::new(v.to_bits()),
+        }
     }
 
     #[inline]

@@ -53,7 +53,10 @@ pub fn read_header(path: &Path) -> io::Result<Header> {
     r.read_exact(&mut buf)?;
     let magic = u64::from_le_bytes(buf[0..8].try_into().unwrap());
     if magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic in graph file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic in graph file",
+        ));
     }
     Ok(Header {
         num_vertices: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
@@ -69,7 +72,10 @@ pub fn read_edge_range(
     hi: u64,
 ) -> io::Result<Vec<(VertexId, VertexId, Weight)>> {
     let header = read_header(path)?;
-    assert!(lo <= hi && hi <= header.num_edges, "range {lo}..{hi} out of bounds");
+    assert!(
+        lo <= hi && hi <= header.num_edges,
+        "range {lo}..{hi} out of bounds"
+    );
     let mut f = File::open(path)?;
     f.seek(SeekFrom::Start(HEADER_BYTES + lo * RECORD_BYTES))?;
     let mut r = BufReader::new(f);
@@ -130,7 +136,13 @@ mod tests {
         let path = tmp("header.bin");
         write_edge_list(&path, &sample()).unwrap();
         let h = read_header(&path).unwrap();
-        assert_eq!(h, Header { num_vertices: 5, num_edges: 4 });
+        assert_eq!(
+            h,
+            Header {
+                num_vertices: 5,
+                num_edges: 4
+            }
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl Csr {
         }
         let dests = arcs.iter().map(|&(_, v, _)| v).collect();
         let weights = arcs.iter().map(|&(_, _, w)| w).collect();
-        let csr = Self { offsets, dests, weights };
+        let csr = Self {
+            offsets,
+            dests,
+            weights,
+        };
         debug_assert!(csr.is_symmetric(), "CSR built from asymmetric arc set");
         csr
     }
@@ -55,7 +59,10 @@ impl Csr {
     /// Number of undirected edges (self-loops count once).
     pub fn num_edges(&self) -> usize {
         let loops = (0..self.num_vertices())
-            .flat_map(|u| self.neighbors(u as VertexId).filter(move |&(v, _)| v == u as VertexId))
+            .flat_map(|u| {
+                self.neighbors(u as VertexId)
+                    .filter(move |&(v, _)| v == u as VertexId)
+            })
             .count();
         (self.num_arcs() - loops) / 2 + loops
     }
@@ -81,7 +88,9 @@ impl Csr {
     /// counts once, matching the coarsening-invariant convention).
     pub fn weighted_degree(&self, v: VertexId) -> Weight {
         let v = v as usize;
-        self.weights[self.offsets[v]..self.offsets[v + 1]].iter().sum()
+        self.weights[self.offsets[v]..self.offsets[v + 1]]
+            .iter()
+            .sum()
     }
 
     /// All weighted degrees at once (one pass).

@@ -148,7 +148,9 @@ impl LocalGraph {
 
     /// Weighted degree of local vertex `l` (self-loop counts once).
     pub fn weighted_degree(&self, l: usize) -> Weight {
-        self.weights[self.offsets[l]..self.offsets[l + 1]].iter().sum()
+        self.weights[self.offsets[l]..self.offsets[l + 1]]
+            .iter()
+            .sum()
     }
 
     /// Sum of all local arc weights (this rank's contribution to `2m`).
@@ -337,7 +339,11 @@ mod tests {
             vec![(0, 1, 1.0), (0, 1, 2.0), (1, 3, 1.0), (0, 0, 0.5)],
         );
         assert_eq!(lg.num_local_arcs(), 3);
-        let w01: f64 = lg.neighbors(0).filter(|&(v, _)| v == 1).map(|(_, w)| w).sum();
+        let w01: f64 = lg
+            .neighbors(0)
+            .filter(|&(v, _)| v == 1)
+            .map(|(_, w)| w)
+            .sum();
         assert_eq!(w01, 3.0);
         assert_eq!(lg.weighted_degree(0), 3.5);
     }
@@ -349,8 +355,7 @@ mod tests {
         let el = g.to_edge_list();
         let n = g.num_vertices() as u64;
         for p in [1, 2, 4] {
-            let edges: Vec<(u64, u64, f64)> =
-                el.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+            let edges: Vec<(u64, u64, f64)> = el.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
             // Split the records arbitrarily across ranks (as a range read
             // of the binary file would).
             let chunks: Vec<Vec<(u64, u64, f64)>> = (0..p)
@@ -360,9 +365,7 @@ mod tests {
                     edges[lo..hi].to_vec()
                 })
                 .collect();
-            let parts = louvain_comm::run(p, |c| {
-                build_distributed(c, n, chunks[c.rank()].clone())
-            });
+            let parts = louvain_comm::run(p, |c| build_distributed(c, n, chunks[c.rank()].clone()));
             let assembled = LocalGraph::assemble(&parts);
             assert_eq!(assembled, g, "p={p}");
             // The split is edge-balanced: no rank holds more than ~2x the
@@ -387,7 +390,11 @@ mod tests {
         let el = g.to_edge_list();
         let edges: Vec<(u64, u64, f64)> = el.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
         let parts = louvain_comm::run(3, |c| {
-            let chunk = if c.rank() == 0 { edges.clone() } else { Vec::new() };
+            let chunk = if c.rank() == 0 {
+                edges.clone()
+            } else {
+                Vec::new()
+            };
             build_distributed(c, 20, chunk)
         });
         assert_eq!(LocalGraph::assemble(&parts), g);

@@ -25,13 +25,19 @@ pub struct EdgeList {
 impl EdgeList {
     /// Empty list over `n` vertices.
     pub fn new(num_vertices: u64) -> Self {
-        Self { num_vertices, edges: Vec::new() }
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+        }
     }
 
     /// Build from raw `(u, v, w)` triples.
     ///
     /// Panics if an endpoint is out of range.
-    pub fn from_edges(num_vertices: u64, triples: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> Self {
+    pub fn from_edges(
+        num_vertices: u64,
+        triples: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Self {
         let mut list = Self::new(num_vertices);
         for (u, v, w) in triples {
             list.push(u, v, w);

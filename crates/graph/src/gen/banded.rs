@@ -26,7 +26,12 @@ pub struct BandedParams {
 impl BandedParams {
     /// A channel-flow-like band: width 8, 90% fill.
     pub fn channel_like(n: u64, seed: u64) -> Self {
-        Self { n, bandwidth: 8, fill: 0.9, seed }
+        Self {
+            n,
+            bandwidth: 8,
+            fill: 0.9,
+            seed,
+        }
     }
 }
 
@@ -48,7 +53,10 @@ pub fn banded(p: BandedParams) -> Generated {
             }
         }
     }
-    Generated { graph: Csr::from_edge_list(el), ground_truth: None }
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: None,
+    }
 }
 
 #[cfg(test)]
@@ -57,14 +65,26 @@ mod tests {
 
     #[test]
     fn full_band_has_expected_edges() {
-        let g = banded(BandedParams { n: 100, bandwidth: 3, fill: 1.0, seed: 1 }).graph;
+        let g = banded(BandedParams {
+            n: 100,
+            bandwidth: 3,
+            fill: 1.0,
+            seed: 1,
+        })
+        .graph;
         // Σ_{d=1..3} (n - d) = 99 + 98 + 97.
         assert_eq!(g.num_edges(), 99 + 98 + 97);
     }
 
     #[test]
     fn band_is_connected_chain() {
-        let g = banded(BandedParams { n: 50, bandwidth: 4, fill: 0.5, seed: 2 }).graph;
+        let g = banded(BandedParams {
+            n: 50,
+            bandwidth: 4,
+            fill: 0.5,
+            seed: 2,
+        })
+        .graph;
         for v in 0..49u64 {
             let has_next = g.neighbors(v).any(|(u, _)| u == v + 1);
             assert!(has_next, "missing chain edge at {v}");

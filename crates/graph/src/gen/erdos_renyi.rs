@@ -31,7 +31,10 @@ pub fn erdos_renyi(p: ErdosRenyiParams) -> Generated {
             el.push(u, v, 1.0);
         }
     }
-    Generated { graph: Csr::from_edge_list(el), ground_truth: None }
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: None,
+    }
 }
 
 #[cfg(test)]
@@ -40,14 +43,23 @@ mod tests {
 
     #[test]
     fn average_degree_is_close() {
-        let g = erdos_renyi(ErdosRenyiParams { n: 2_000, avg_degree: 10.0, seed: 42 }).graph;
+        let g = erdos_renyi(ErdosRenyiParams {
+            n: 2_000,
+            avg_degree: 10.0,
+            seed: 42,
+        })
+        .graph;
         let avg = g.num_arcs() as f64 / g.num_vertices() as f64;
         assert!((avg - 10.0).abs() < 1.0, "avg = {avg}");
     }
 
     #[test]
     fn deterministic_in_seed() {
-        let p = ErdosRenyiParams { n: 500, avg_degree: 6.0, seed: 7 };
+        let p = ErdosRenyiParams {
+            n: 500,
+            avg_degree: 6.0,
+            seed: 7,
+        };
         let a = erdos_renyi(p).graph;
         let b = erdos_renyi(p).graph;
         assert_eq!(a, b);
@@ -55,14 +67,29 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = erdos_renyi(ErdosRenyiParams { n: 500, avg_degree: 6.0, seed: 1 }).graph;
-        let b = erdos_renyi(ErdosRenyiParams { n: 500, avg_degree: 6.0, seed: 2 }).graph;
+        let a = erdos_renyi(ErdosRenyiParams {
+            n: 500,
+            avg_degree: 6.0,
+            seed: 1,
+        })
+        .graph;
+        let b = erdos_renyi(ErdosRenyiParams {
+            n: 500,
+            avg_degree: 6.0,
+            seed: 2,
+        })
+        .graph;
         assert_ne!(a, b);
     }
 
     #[test]
     fn no_self_loops() {
-        let g = erdos_renyi(ErdosRenyiParams { n: 300, avg_degree: 8.0, seed: 3 }).graph;
+        let g = erdos_renyi(ErdosRenyiParams {
+            n: 300,
+            avg_degree: 8.0,
+            seed: 3,
+        })
+        .graph;
         for v in 0..g.num_vertices() as u64 {
             assert_eq!(g.self_loop(v), 0.0);
         }

@@ -30,7 +30,14 @@ impl Grid3dParams {
     /// diagonals, 95% fill (channel-flow-like).
     pub fn cube(n: u64, seed: u64) -> Self {
         let side = (n as f64).cbrt().round().max(2.0) as u64;
-        Self { nx: side, ny: side, nz: side, diagonals: true, fill: 0.95, seed }
+        Self {
+            nx: side,
+            ny: side,
+            nz: side,
+            diagonals: true,
+            fill: 0.95,
+            seed,
+        }
     }
 }
 
@@ -75,7 +82,10 @@ pub fn grid3d(p: Grid3dParams) -> Generated {
             }
         }
     }
-    Generated { graph: Csr::from_edge_list(el), ground_truth: None }
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: None,
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +100,14 @@ mod tests {
 
     #[test]
     fn face_stencil_degree_is_six_in_interior() {
-        let p = Grid3dParams { nx: 5, ny: 5, nz: 5, diagonals: false, fill: 1.0, seed: 1 };
+        let p = Grid3dParams {
+            nx: 5,
+            ny: 5,
+            nz: 5,
+            diagonals: false,
+            fill: 1.0,
+            seed: 1,
+        };
         let g = grid3d(p).graph;
         // Center vertex of the 5³ cube.
         let center = (2 * 5 + 2) * 5 + 2;
@@ -101,8 +118,18 @@ mod tests {
 
     #[test]
     fn diagonals_increase_density() {
-        let base = Grid3dParams { nx: 6, ny: 6, nz: 6, diagonals: false, fill: 1.0, seed: 1 };
-        let diag = Grid3dParams { diagonals: true, ..base };
+        let base = Grid3dParams {
+            nx: 6,
+            ny: 6,
+            nz: 6,
+            diagonals: false,
+            fill: 1.0,
+            seed: 1,
+        };
+        let diag = Grid3dParams {
+            diagonals: true,
+            ..base
+        };
         assert!(grid3d(diag).graph.num_edges() > grid3d(base).graph.num_edges());
     }
 
@@ -114,7 +141,15 @@ mod tests {
 
     #[test]
     fn connected_along_axes() {
-        let g = grid3d(Grid3dParams { nx: 4, ny: 3, nz: 2, diagonals: true, fill: 0.5, seed: 2 }).graph;
+        let g = grid3d(Grid3dParams {
+            nx: 4,
+            ny: 3,
+            nz: 2,
+            diagonals: true,
+            fill: 0.5,
+            seed: 2,
+        })
+        .graph;
         // +x face edges always kept: vertex 0 connects to 1.
         assert!(g.neighbors(0).any(|(v, _)| v == 1));
     }

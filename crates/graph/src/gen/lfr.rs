@@ -165,7 +165,10 @@ pub fn lfr(p: LfrParams) -> Generated {
         }
     }
 
-    Generated { graph: Csr::from_edge_list(el), ground_truth: Some(community) }
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: Some(community),
+    }
 }
 
 #[cfg(test)]
@@ -189,7 +192,10 @@ mod tests {
 
     #[test]
     fn mixing_parameter_controls_external_fraction() {
-        let params = LfrParams { mu: 0.2, ..LfrParams::small(3_000, 3) };
+        let params = LfrParams {
+            mu: 0.2,
+            ..LfrParams::small(3_000, 3)
+        };
         let g = lfr(params);
         let gt = g.ground_truth.as_ref().unwrap();
         let mut external = 0u64;
@@ -224,7 +230,9 @@ mod tests {
     #[test]
     fn degrees_respect_bounds_roughly() {
         let g = lfr(LfrParams::small(2_000, 5)).graph;
-        let avg: f64 = (0..g.num_vertices()).map(|v| g.degree(v as u64)).sum::<usize>() as f64
+        let avg: f64 = (0..g.num_vertices())
+            .map(|v| g.degree(v as u64))
+            .sum::<usize>() as f64
             / g.num_vertices() as f64;
         // Power law between 8 and 50 with τ=2.5 has mean ≈ 13-16; stub
         // dropping loses a little.
@@ -240,7 +248,11 @@ mod tests {
     #[test]
     fn mu_zero_has_no_external_edges() {
         // μ=0 is only feasible when max_degree < min_community.
-        let params = LfrParams { mu: 0.0, max_degree: 15, ..LfrParams::small(1_500, 6) };
+        let params = LfrParams {
+            mu: 0.0,
+            max_degree: 15,
+            ..LfrParams::small(1_500, 6)
+        };
         let g = lfr(params);
         let gt = g.ground_truth.as_ref().unwrap();
         for u in 0..g.graph.num_vertices() as u64 {

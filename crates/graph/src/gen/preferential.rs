@@ -54,7 +54,10 @@ pub fn barabasi_albert(p: BarabasiAlbertParams) -> Generated {
             stubs.push(t);
         }
     }
-    Generated { graph: Csr::from_edge_list(el), ground_truth: None }
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: None,
+    }
 }
 
 #[cfg(test)]
@@ -63,7 +66,12 @@ mod tests {
 
     #[test]
     fn grows_to_requested_size() {
-        let g = barabasi_albert(BarabasiAlbertParams { n: 2_000, m: 3, seed: 1 }).graph;
+        let g = barabasi_albert(BarabasiAlbertParams {
+            n: 2_000,
+            m: 3,
+            seed: 1,
+        })
+        .graph;
         assert_eq!(g.num_vertices(), 2_000);
         // ~m edges per vertex beyond the seed clique.
         assert!(g.num_edges() as u64 >= 3 * (2_000 - 4));
@@ -71,15 +79,28 @@ mod tests {
 
     #[test]
     fn hubs_emerge() {
-        let g = barabasi_albert(BarabasiAlbertParams { n: 5_000, m: 2, seed: 2 }).graph;
-        let max_deg = (0..g.num_vertices()).map(|v| g.degree(v as u64)).max().unwrap();
+        let g = barabasi_albert(BarabasiAlbertParams {
+            n: 5_000,
+            m: 2,
+            seed: 2,
+        })
+        .graph;
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.degree(v as u64))
+            .max()
+            .unwrap();
         let avg = g.num_arcs() as f64 / g.num_vertices() as f64;
         assert!(max_deg as f64 > 15.0 * avg, "max {max_deg} avg {avg}");
     }
 
     #[test]
     fn every_vertex_is_connected() {
-        let g = barabasi_albert(BarabasiAlbertParams { n: 1_000, m: 2, seed: 3 }).graph;
+        let g = barabasi_albert(BarabasiAlbertParams {
+            n: 1_000,
+            m: 2,
+            seed: 3,
+        })
+        .graph;
         for v in 0..g.num_vertices() as u64 {
             assert!(g.degree(v) >= 1, "vertex {v} isolated");
         }
@@ -87,7 +108,11 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let p = BarabasiAlbertParams { n: 600, m: 3, seed: 4 };
+        let p = BarabasiAlbertParams {
+            n: 600,
+            m: 3,
+            seed: 4,
+        };
         assert_eq!(barabasi_albert(p).graph, barabasi_albert(p).graph);
     }
 }

@@ -28,7 +28,14 @@ pub struct RmatParams {
 impl RmatParams {
     /// Graph500-style socials: a=0.57 b=0.19 c=0.19 d=0.05.
     pub fn social(scale: u32, edge_factor: u32, seed: u64) -> Self {
-        Self { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19, seed }
+        Self {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed,
+        }
     }
 }
 
@@ -60,7 +67,10 @@ pub fn rmat(p: RmatParams) -> Generated {
             el.push(u, v, 1.0);
         }
     }
-    Generated { graph: Csr::from_edge_list(el), ground_truth: None }
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: None,
+    }
 }
 
 #[cfg(test)]

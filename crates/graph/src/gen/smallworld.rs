@@ -42,7 +42,10 @@ pub fn watts_strogatz(p: WattsStrogatzParams) -> Generated {
             el.push(v, u, 1.0);
         }
     }
-    Generated { graph: Csr::from_edge_list(el), ground_truth: None }
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: None,
+    }
 }
 
 #[cfg(test)]
@@ -52,7 +55,13 @@ mod tests {
 
     #[test]
     fn zero_beta_is_a_ring_lattice() {
-        let g = watts_strogatz(WattsStrogatzParams { n: 100, k: 3, beta: 0.0, seed: 1 }).graph;
+        let g = watts_strogatz(WattsStrogatzParams {
+            n: 100,
+            k: 3,
+            beta: 0.0,
+            seed: 1,
+        })
+        .graph;
         for v in 0..100u64 {
             assert_eq!(g.degree(v), 6, "vertex {v}");
         }
@@ -60,8 +69,18 @@ mod tests {
 
     #[test]
     fn low_beta_keeps_high_clustering() {
-        let low = watts_strogatz(WattsStrogatzParams { n: 2_000, k: 5, beta: 0.05, seed: 2 });
-        let high = watts_strogatz(WattsStrogatzParams { n: 2_000, k: 5, beta: 1.0, seed: 2 });
+        let low = watts_strogatz(WattsStrogatzParams {
+            n: 2_000,
+            k: 5,
+            beta: 0.05,
+            seed: 2,
+        });
+        let high = watts_strogatz(WattsStrogatzParams {
+            n: 2_000,
+            k: 5,
+            beta: 1.0,
+            seed: 2,
+        });
         let c_low = clustering_coefficient(&low.graph);
         let c_high = clustering_coefficient(&high.graph);
         assert!(c_low > 3.0 * c_high, "c_low={c_low} c_high={c_high}");
@@ -69,7 +88,12 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let p = WattsStrogatzParams { n: 500, k: 4, beta: 0.2, seed: 9 };
+        let p = WattsStrogatzParams {
+            n: 500,
+            k: 4,
+            beta: 0.2,
+            seed: 9,
+        };
         assert_eq!(watts_strogatz(p).graph, watts_strogatz(p).graph);
     }
 }

@@ -32,7 +32,12 @@ pub struct Ssca2Params {
 impl Ssca2Params {
     /// The paper's configuration, scaled by `n`.
     pub fn paper(n: u64, seed: u64) -> Self {
-        Self { n, max_clique_size: 100, inter_clique_prob: 0.05, seed }
+        Self {
+            n,
+            max_clique_size: 100,
+            inter_clique_prob: 0.05,
+            seed,
+        }
     }
 }
 
@@ -87,11 +92,18 @@ pub fn ssca2(p: Ssca2Params) -> Generated {
             }
             let (fi, si) = cliques[ci];
             let (fj, sj) = cliques[cj];
-            el.push(fi + rng.random_range(0..si), fj + rng.random_range(0..sj), 1.0);
+            el.push(
+                fi + rng.random_range(0..si),
+                fj + rng.random_range(0..sj),
+                1.0,
+            );
         }
     }
 
-    Generated { graph: Csr::from_edge_list(el), ground_truth: Some(clique_of) }
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: Some(clique_of),
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +113,12 @@ mod tests {
 
     #[test]
     fn cliques_are_complete() {
-        let g = ssca2(Ssca2Params { n: 500, max_clique_size: 20, inter_clique_prob: 0.0, seed: 3 });
+        let g = ssca2(Ssca2Params {
+            n: 500,
+            max_clique_size: 20,
+            inter_clique_prob: 0.0,
+            seed: 3,
+        });
         let gt = g.ground_truth.as_ref().unwrap();
         // With zero inter-clique probability every edge is internal.
         for u in 0..g.graph.num_vertices() as u64 {
@@ -113,7 +130,12 @@ mod tests {
 
     #[test]
     fn near_perfect_modularity_with_low_inter_prob() {
-        let g = ssca2(Ssca2Params { n: 5_000, max_clique_size: 40, inter_clique_prob: 0.05, seed: 8 });
+        let g = ssca2(Ssca2Params {
+            n: 5_000,
+            max_clique_size: 40,
+            inter_clique_prob: 0.05,
+            seed: 8,
+        });
         let q = modularity(&g.graph, g.ground_truth.as_ref().unwrap());
         assert!(q > 0.95, "q = {q}");
     }
@@ -133,7 +155,12 @@ mod tests {
 
     #[test]
     fn clique_sizes_bounded() {
-        let g = ssca2(Ssca2Params { n: 2_000, max_clique_size: 15, inter_clique_prob: 0.1, seed: 1 });
+        let g = ssca2(Ssca2Params {
+            n: 2_000,
+            max_clique_size: 15,
+            inter_clique_prob: 0.1,
+            seed: 1,
+        });
         let gt = g.ground_truth.unwrap();
         let mut sizes = std::collections::HashMap::new();
         for &c in &gt {

@@ -53,7 +53,9 @@ pub fn weblike(p: WeblikeParams) -> Generated {
     let mut v = 0u64;
     let mut cid = 0u64;
     while v < p.n {
-        let size = power_law_sample(&mut rng, p.tau, p.min_cluster, p.max_cluster).min(p.n - v).max(1);
+        let size = power_law_sample(&mut rng, p.tau, p.min_cluster, p.max_cluster)
+            .min(p.n - v)
+            .max(1);
         bounds.push((v, size));
         for _ in 0..size {
             cluster_of.push(cid);
@@ -98,7 +100,10 @@ pub fn weblike(p: WeblikeParams) -> Generated {
         }
     }
 
-    Generated { graph: Csr::from_edge_list(el), ground_truth: Some(cluster_of) }
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: Some(cluster_of),
+    }
 }
 
 #[cfg(test)]

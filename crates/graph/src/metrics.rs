@@ -78,11 +78,7 @@ pub fn clustering_coefficient(g: &Csr) -> f64 {
     let mut triangles = 0u64;
     let mut wedges = 0u64;
     for v in 0..n as VertexId {
-        let nbrs: Vec<VertexId> = g
-            .neighbors(v)
-            .map(|(u, _)| u)
-            .filter(|&u| u != v)
-            .collect();
+        let nbrs: Vec<VertexId> = g.neighbors(v).map(|(u, _)| u).filter(|&u| u != v).collect();
         let d = nbrs.len() as u64;
         wedges += d.saturating_sub(1) * d / 2;
         let set: crate::hash::FastSet<VertexId> = nbrs.iter().copied().collect();
@@ -127,7 +123,11 @@ pub fn partition_metrics(g: &Csr, comm: &[VertexId]) -> PartitionMetrics {
     };
     let num_communities = ids.len();
     let total_cut: f64 = cut.values().sum();
-    let coverage = if two_m > 0.0 { 1.0 - total_cut / two_m } else { 1.0 };
+    let coverage = if two_m > 0.0 {
+        1.0 - total_cut / two_m
+    } else {
+        1.0
+    };
     // Size-weighted mean conductance.
     let n = g.num_vertices() as f64;
     let mut mean_conductance = 0.0;

@@ -21,7 +21,10 @@ impl VertexPartition {
     pub fn from_starts(starts: Vec<VertexId>) -> Self {
         assert!(starts.len() >= 2, "need at least one rank");
         assert_eq!(starts[0], 0);
-        assert!(starts.windows(2).all(|w| w[0] <= w[1]), "non-monotone boundaries");
+        assert!(
+            starts.windows(2).all(|w| w[0] <= w[1]),
+            "non-monotone boundaries"
+        );
         Self { starts }
     }
 
@@ -160,7 +163,10 @@ mod tests {
         assert_eq!(p.num_ranks(), 2);
         let arcs_rank0: usize = p.range(0).map(|v| g.degree(v)).sum();
         let arcs_rank1: usize = p.range(1).map(|v| g.degree(v)).sum();
-        assert!(arcs_rank0.abs_diff(arcs_rank1) <= 9, "{arcs_rank0} vs {arcs_rank1}");
+        assert!(
+            arcs_rank0.abs_diff(arcs_rank1) <= 9,
+            "{arcs_rank0} vs {arcs_rank1}"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> io::Result<TextImport> {
         triples.push((du, dv, w));
     }
     let n = original_ids.len() as u64;
-    Ok(TextImport { edges: EdgeList::from_edges(n, triples), original_ids })
+    Ok(TextImport {
+        edges: EdgeList::from_edges(n, triples),
+        original_ids,
+    })
 }
 
 /// Read a text edge-list file.
@@ -79,7 +82,12 @@ pub fn read_text_edge_list(path: &Path) -> io::Result<TextImport> {
 /// Write an edge list as text (`src dst weight` per line).
 pub fn write_text_edge_list(path: &Path, list: &EdgeList) -> io::Result<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
-    writeln!(w, "# {} vertices, {} edges", list.num_vertices(), list.num_edges())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        list.num_vertices(),
+        list.num_edges()
+    )?;
     for e in list.edges() {
         if e.w == 1.0 {
             writeln!(w, "{} {}", e.u, e.v)?;

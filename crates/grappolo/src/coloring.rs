@@ -52,7 +52,12 @@ mod tests {
 
     #[test]
     fn coloring_is_proper() {
-        let g = erdos_renyi(ErdosRenyiParams { n: 500, avg_degree: 8.0, seed: 4 }).graph;
+        let g = erdos_renyi(ErdosRenyiParams {
+            n: 500,
+            avg_degree: 8.0,
+            seed: 4,
+        })
+        .graph;
         let (color, _) = greedy_coloring(&g);
         for v in 0..g.num_vertices() as u64 {
             for (u, _) in g.neighbors(v) {
@@ -65,7 +70,12 @@ mod tests {
 
     #[test]
     fn classes_partition_vertices() {
-        let g = erdos_renyi(ErdosRenyiParams { n: 300, avg_degree: 6.0, seed: 5 }).graph;
+        let g = erdos_renyi(ErdosRenyiParams {
+            n: 300,
+            avg_degree: 6.0,
+            seed: 5,
+        })
+        .graph;
         let (_, classes) = greedy_coloring(&g);
         let total: usize = classes.iter().map(|c| c.len()).sum();
         assert_eq!(total, g.num_vertices());
@@ -84,8 +94,16 @@ mod tests {
 
     #[test]
     fn color_count_bounded_by_max_degree_plus_one() {
-        let g = erdos_renyi(ErdosRenyiParams { n: 400, avg_degree: 10.0, seed: 6 }).graph;
-        let max_deg = (0..g.num_vertices()).map(|v| g.degree(v as u64)).max().unwrap();
+        let g = erdos_renyi(ErdosRenyiParams {
+            n: 400,
+            avg_degree: 10.0,
+            seed: 6,
+        })
+        .graph;
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.degree(v as u64))
+            .max()
+            .unwrap();
         let (_, classes) = greedy_coloring(&g);
         assert!(classes.len() <= max_deg + 1);
     }

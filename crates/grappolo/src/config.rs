@@ -50,13 +50,19 @@ impl GrappoloConfig {
     /// The configuration used for the paper's Table I sweep: fixed τ,
     /// early termination with the given α.
     pub fn with_et(alpha: f64) -> Self {
-        Self { early_termination: EtMode::On { alpha }, ..Self::default() }
+        Self {
+            early_termination: EtMode::On { alpha },
+            ..Self::default()
+        }
     }
 
     /// Single-threaded ("serial Grappolo", the reference for Table II
     /// modularities).
     pub fn serial() -> Self {
-        Self { threads: 1, ..Self::default() }
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
     }
 }
 

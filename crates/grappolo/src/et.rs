@@ -26,7 +26,11 @@ impl EtState {
     /// Fresh state with every vertex fully active.
     pub fn new(n: usize, alpha: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
-        Self { alpha, seed, prob: vec![1.0; n] }
+        Self {
+            alpha,
+            seed,
+            prob: vec![1.0; n],
+        }
     }
 
     pub fn alpha(&self) -> f64 {
@@ -43,9 +47,7 @@ impl EtState {
         if p >= 1.0 {
             return true;
         }
-        let h = mix64(
-            self.seed ^ mix64((phase as u64) << 32 | iteration as u64) ^ mix64(v as u64),
-        );
+        let h = mix64(self.seed ^ mix64((phase as u64) << 32 | iteration as u64) ^ mix64(v as u64));
         coin_u01(h) < p
     }
 

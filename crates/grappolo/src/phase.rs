@@ -58,7 +58,15 @@ impl<'g> PhaseState<'g> {
             size[init[v] as usize].fetch_add(1, Ordering::Relaxed);
         }
         let moved = (0..n).map(|_| AtomicBool::new(false)).collect();
-        Self { g, k, two_m, comm, a_tot, size, moved }
+        Self {
+            g,
+            k,
+            two_m,
+            comm,
+            a_tot,
+            size,
+            moved,
+        }
     }
 
     /// Evaluate and (if profitable) apply the best move for vertex `v`.
@@ -90,16 +98,13 @@ impl<'g> PhaseState<'g> {
             let score = e_vc - kv * self.a_tot[c as usize].load() / self.two_m;
             // Strictly better, or equal with smaller label (min-label
             // tie-break; labels strictly decrease so this terminates).
-            if score > best_score + 1e-12
-                || ((score - best_score).abs() <= 1e-12 && c < best_c)
-            {
+            if score > best_score + 1e-12 || ((score - best_score).abs() <= 1e-12 && c < best_c) {
                 best_score = score;
                 best_c = c;
             }
         }
         let mut do_move = best_c != cu
-            && (best_score > stay + 1e-12
-                || ((best_score - stay).abs() <= 1e-12 && best_c < cu));
+            && (best_score > stay + 1e-12 || ((best_score - stay).abs() <= 1e-12 && best_c < cu));
         // Singleton-swap guard (Lu et al. minimum labeling): two singleton
         // vertices evaluating each other concurrently would swap
         // communities forever; only the one moving toward the smaller
@@ -149,7 +154,10 @@ impl<'g> PhaseState<'g> {
     }
 
     fn snapshot_assignment(&self) -> Vec<VertexId> {
-        self.comm.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.comm
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -167,8 +175,10 @@ pub fn run_phase(
     let state = PhaseState::new(g, init);
     // Randomized sweep order (seeded): index-order sweeps over-merge on
     // regularly numbered graphs such as grids and bands.
-    let order = louvain_graph::hash::shuffled_order(n, cfg.seed ^ (phase_idx as u64).wrapping_mul(0x9e37));
+    let order =
+        louvain_graph::hash::shuffled_order(n, cfg.seed ^ (phase_idx as u64).wrapping_mul(0x9e37));
     let classes = if cfg.coloring {
+        let _s = louvain_obs::span!(cat "grappolo", "grappolo/coloring", phase = phase_idx);
         Some(greedy_coloring(g).1)
     } else {
         None
@@ -183,7 +193,10 @@ pub fn run_phase(
     let mut iterations = 0;
     while iterations < cfg.max_iterations {
         iterations += 1;
-        state.moved.par_iter().for_each(|m| m.store(false, Ordering::Relaxed));
+        state
+            .moved
+            .par_iter()
+            .for_each(|m| m.store(false, Ordering::Relaxed));
 
         let active = |v: usize| match &et {
             Some(et) => et.is_active(phase_idx, iterations, v),
@@ -259,7 +272,10 @@ mod tests {
     #[test]
     fn phase_finds_the_two_triangles() {
         let g = two_triangles();
-        let cfg = GrappoloConfig { threads: 1, ..Default::default() };
+        let cfg = GrappoloConfig {
+            threads: 1,
+            ..Default::default()
+        };
         let out = run_phase(&g, &singleton_assignment(6), &cfg, 0);
         assert_eq!(out.assignment[0], out.assignment[1]);
         assert_eq!(out.assignment[1], out.assignment[2]);
@@ -291,7 +307,10 @@ mod tests {
     #[test]
     fn coloring_variant_also_converges() {
         let g = two_triangles();
-        let cfg = GrappoloConfig { coloring: true, ..Default::default() };
+        let cfg = GrappoloConfig {
+            coloring: true,
+            ..Default::default()
+        };
         let out = run_phase(&g, &singleton_assignment(6), &cfg, 0);
         assert!(out.modularity > 0.3);
     }
@@ -321,7 +340,12 @@ mod tests {
         // multi-phase runner recovers it (tested in runner.rs). Here we
         // only require meaningful progress over the singleton start (the
         // exact value varies with parallel scheduling).
-        assert!(et.modularity > 0.3, "et {} base {}", et.modularity, base.modularity);
+        assert!(
+            et.modularity > 0.3,
+            "et {} base {}",
+            et.modularity,
+            base.modularity
+        );
     }
 
     #[test]

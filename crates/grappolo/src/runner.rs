@@ -1,7 +1,7 @@
 //! Multi-phase driver: run phases, coarsen between them, flatten the
 //! hierarchy back onto the original vertices.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use louvain_graph::community::{coarsen, project, singleton_assignment};
 use louvain_graph::{Csr, VertexId};
@@ -58,7 +58,7 @@ impl ParallelLouvain {
     }
 
     fn run_inner(&self, g: &Csr) -> LouvainResult {
-        let start = Instant::now();
+        let watch = louvain_obs::Stopwatch::start();
         let cfg = &self.cfg;
         let n0 = g.num_vertices();
 
@@ -77,7 +77,11 @@ impl ParallelLouvain {
             } else {
                 singleton_assignment(n)
             };
+            let mut phase_span = louvain_obs::span!(cat "grappolo", "grappolo/phase", phase = phase_idx, vertices = n);
             let out: PhaseOutcome = run_phase(cur, &init, cfg, phase_idx);
+            phase_span.arg("iterations", out.iterations);
+            phase_span.arg("q", out.modularity);
+            drop(phase_span);
             total_iterations += out.iterations;
             traces.push(PhaseTrace {
                 iterations: out.iterations,
@@ -93,6 +97,8 @@ impl ParallelLouvain {
                 break;
             }
 
+            let _coarsen_span =
+                louvain_obs::span!(cat "grappolo", "grappolo/coarsen", phase = phase_idx);
             let (coarse, dense) = coarsen(cur, &out.assignment);
             flat = project(&flat, &dense);
             let compressed = coarse.num_vertices() < n;
@@ -111,7 +117,7 @@ impl ParallelLouvain {
             phases: traces.len(),
             total_iterations,
             phase_traces: traces,
-            elapsed: start.elapsed(),
+            elapsed: Duration::from_secs_f64(watch.wall_seconds()),
         }
     }
 }
@@ -148,7 +154,12 @@ mod tests {
 
     #[test]
     fn ssca2_reaches_near_one() {
-        let gen = ssca2(Ssca2Params { n: 3_000, max_clique_size: 30, inter_clique_prob: 0.02, seed: 5 });
+        let gen = ssca2(Ssca2Params {
+            n: 3_000,
+            max_clique_size: 30,
+            inter_clique_prob: 0.02,
+            seed: 5,
+        });
         let result = ParallelLouvain::default().run(&gen.graph);
         assert!(result.modularity > 0.95, "q = {}", result.modularity);
     }
@@ -186,8 +197,11 @@ mod tests {
     fn coloring_preserves_quality() {
         let gen = lfr(LfrParams::small(1_500, 8));
         let base = ParallelLouvain::default().run(&gen.graph);
-        let col = ParallelLouvain::new(GrappoloConfig { coloring: true, ..Default::default() })
-            .run(&gen.graph);
+        let col = ParallelLouvain::new(GrappoloConfig {
+            coloring: true,
+            ..Default::default()
+        })
+        .run(&gen.graph);
         assert!(col.modularity > base.modularity - 0.05);
     }
 
@@ -205,7 +219,12 @@ mod tests {
 
     #[test]
     fn et_runs_faster_in_iterations_with_similar_quality() {
-        let gen = ssca2(Ssca2Params { n: 4_000, max_clique_size: 40, inter_clique_prob: 0.05, seed: 9 });
+        let gen = ssca2(Ssca2Params {
+            n: 4_000,
+            max_clique_size: 40,
+            inter_clique_prob: 0.05,
+            seed: 9,
+        });
         let base = ParallelLouvain::default().run(&gen.graph);
         let et = ParallelLouvain::new(GrappoloConfig::with_et(1.0)).run(&gen.graph);
         assert!(et.modularity > base.modularity - 0.02);

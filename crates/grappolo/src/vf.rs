@@ -81,7 +81,14 @@ mod tests {
         // follow: 0 follows 1; 1 has degree 2 so it stays.
         let g = Csr::from_edge_list(EdgeList::from_edges(
             6,
-            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0)],
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+            ],
         ));
         let comm = vertex_following_assignment(&g);
         assert_eq!(comm[0], 1);

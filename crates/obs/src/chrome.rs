@@ -1,0 +1,263 @@
+//! Trace exporters: Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`) and line-delimited JSONL.
+//!
+//! Mapping: each rank becomes one `pid` (with a `process_name` metadata
+//! record so Perfetto labels the track "rank N"), each recording thread
+//! one `tid`. Span events use phase `"X"` (complete), markers `"i"`
+//! (instant). Timestamps and durations are microseconds, as the format
+//! requires; the modeled-seconds reading rides along in `args` as
+//! `modeled_ms` so both timelines are visible on every slice.
+
+use crate::collector::TraceData;
+use crate::event::{ArgValue, EventKind, TraceEvent};
+use crate::json::Json;
+
+fn arg_to_json(v: &ArgValue) -> Json {
+    match v {
+        ArgValue::U64(n) => Json::Num(*n as f64),
+        ArgValue::I64(n) => Json::Num(*n as f64),
+        ArgValue::F64(n) => Json::Num(*n),
+        ArgValue::Bool(b) => Json::Bool(*b),
+        ArgValue::Str(s) => Json::str(*s),
+    }
+}
+
+fn event_args(ev: &TraceEvent) -> Json {
+    let mut members: Vec<(String, Json)> = ev
+        .args
+        .iter()
+        .map(|(k, v)| (k.to_string(), arg_to_json(v)))
+        .collect();
+    if ev.modeled_seconds != 0.0 {
+        members.push((
+            "modeled_ms".to_string(),
+            Json::Num(ev.modeled_seconds * 1e3),
+        ));
+    }
+    Json::Obj(members)
+}
+
+fn event_record(rank: usize, ev: &TraceEvent) -> Json {
+    let mut members = vec![
+        ("name".to_string(), Json::str(ev.name)),
+        ("cat".to_string(), Json::str(ev.cat)),
+        ("pid".to_string(), Json::Num(rank as f64)),
+        ("tid".to_string(), Json::Num(ev.tid as f64)),
+        ("ts".to_string(), Json::Num(ev.ts_ns as f64 / 1e3)),
+    ];
+    match ev.kind {
+        EventKind::Complete { dur_ns } => {
+            members.insert(1, ("ph".to_string(), Json::str("X")));
+            members.push(("dur".to_string(), Json::Num(dur_ns as f64 / 1e3)));
+        }
+        EventKind::Instant => {
+            members.insert(1, ("ph".to_string(), Json::str("i")));
+            members.push(("s".to_string(), Json::str("t")));
+        }
+    }
+    members.push(("args".to_string(), event_args(ev)));
+    Json::Obj(members)
+}
+
+fn metadata_record(rank: usize) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::str("process_name")),
+        ("ph".to_string(), Json::str("M")),
+        ("pid".to_string(), Json::Num(rank as f64)),
+        ("tid".to_string(), Json::Num(0.0)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![(
+                "name".to_string(),
+                Json::str(format!("rank {rank}")),
+            )]),
+        ),
+    ])
+}
+
+/// Build the Chrome trace-event document as a [`Json`] value
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`). Events are
+/// emitted globally sorted by timestamp.
+pub fn chrome_trace(data: &TraceData) -> Json {
+    let mut records: Vec<Json> = data.ranks.iter().map(|r| metadata_record(r.rank)).collect();
+    // Per-rank event lists are already time-sorted; k-way merge them so
+    // the whole stream is monotonic.
+    let mut cursors = vec![0usize; data.ranks.len()];
+    loop {
+        let mut best: Option<(u64, usize)> = None; // (ts, rank index)
+        for (ci, rank) in data.ranks.iter().enumerate() {
+            if let Some(ev) = rank.events.get(cursors[ci]) {
+                if best.is_none_or(|(ts, _)| ev.ts_ns < ts) {
+                    best = Some((ev.ts_ns, ci));
+                }
+            }
+        }
+        let Some((_, ci)) = best else { break };
+        let rank = &data.ranks[ci];
+        records.push(event_record(rank.rank, &rank.events[cursors[ci]]));
+        cursors[ci] += 1;
+    }
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(records)),
+        ("displayTimeUnit".to_string(), Json::str("ms")),
+    ])
+}
+
+/// Serialize the Chrome trace-event document to a JSON string.
+pub fn chrome_trace_json(data: &TraceData) -> String {
+    chrome_trace(data).to_string_compact()
+}
+
+/// Serialize every event as one JSON object per line (rank-major order).
+/// Friendlier than the Chrome format for `grep`/`jq`-style analysis.
+pub fn jsonl(data: &TraceData) -> String {
+    let mut out = String::new();
+    for rank in &data.ranks {
+        for ev in &rank.events {
+            let mut members = vec![
+                ("rank".to_string(), Json::Num(rank.rank as f64)),
+                ("name".to_string(), Json::str(ev.name)),
+                ("cat".to_string(), Json::str(ev.cat)),
+                ("ts_us".to_string(), Json::Num(ev.ts_ns as f64 / 1e3)),
+                ("dur_us".to_string(), Json::Num(ev.dur_ns() as f64 / 1e3)),
+                ("tid".to_string(), Json::Num(ev.tid as f64)),
+            ];
+            if ev.modeled_seconds != 0.0 {
+                members.push(("modeled_s".to_string(), Json::Num(ev.modeled_seconds)));
+            }
+            if !ev.args.is_empty() {
+                let args = ev
+                    .args
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), arg_to_json(v)))
+                    .collect();
+                members.push(("args".to_string(), Json::Obj(args)));
+            }
+            out.push_str(&Json::Obj(members).to_string_compact());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::RankTrace;
+    use crate::metrics::MetricsSnapshot;
+
+    fn ev(name: &'static str, ts_ns: u64, dur_ns: u64, tid: u32) -> TraceEvent {
+        TraceEvent {
+            name,
+            cat: "test",
+            kind: if dur_ns == 0 {
+                EventKind::Instant
+            } else {
+                EventKind::Complete { dur_ns }
+            },
+            ts_ns,
+            tid,
+            modeled_seconds: 0.001,
+            args: vec![("k", ArgValue::U64(7))],
+        }
+    }
+
+    fn sample() -> TraceData {
+        TraceData {
+            ranks: vec![
+                RankTrace {
+                    rank: 0,
+                    events: vec![ev("a", 1_000, 5_000, 1), ev("b", 4_000, 0, 1)],
+                    dropped: 0,
+                    metrics: MetricsSnapshot::default(),
+                },
+                RankTrace {
+                    rank: 1,
+                    events: vec![ev("c", 2_000, 3_000, 2)],
+                    dropped: 0,
+                    metrics: MetricsSnapshot::default(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_is_monotonic() {
+        let text = chrome_trace_json(&sample());
+        let doc = Json::parse(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        // 2 metadata + 3 events.
+        assert_eq!(events.len(), 5);
+        let mut last_ts = f64::NEG_INFINITY;
+        let mut pids = std::collections::BTreeSet::new();
+        for e in events {
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            pids.insert(e.get("pid").and_then(Json::as_u64).unwrap());
+            if ph == "M" {
+                continue;
+            }
+            let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+            assert!(ts >= last_ts, "timestamps must be monotonic");
+            last_ts = ts;
+        }
+        assert_eq!(
+            pids.into_iter().collect::<Vec<_>>(),
+            vec![0, 1],
+            "one pid per rank"
+        );
+        // Spot-check the complete event: µs conversion + modeled arg.
+        let a = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("a"))
+            .unwrap();
+        assert_eq!(a.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(a.get("ts").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(a.get("dur").and_then(Json::as_f64), Some(5.0));
+        let args = a.get("args").unwrap();
+        assert_eq!(args.get("k").and_then(Json::as_u64), Some(7));
+        assert_eq!(args.get("modeled_ms").and_then(Json::as_f64), Some(1.0));
+        // Instant event carries scope.
+        let b = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("b"))
+            .unwrap();
+        assert_eq!(b.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(b.get("s").and_then(Json::as_str), Some("t"));
+    }
+
+    #[test]
+    fn metadata_names_rank_tracks() {
+        let doc = chrome_trace(&sample());
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let meta: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(
+            meta[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("rank 0")
+        );
+    }
+
+    #[test]
+    fn jsonl_emits_one_valid_object_per_line() {
+        let text = jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v = Json::parse(line).expect("each line parses");
+            assert!(v.get("rank").is_some());
+            assert!(v.get("ts_us").is_some());
+        }
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("name").and_then(Json::as_str), Some("a"));
+        assert_eq!(first.get("dur_us").and_then(Json::as_f64), Some(5.0));
+    }
+}

@@ -1,0 +1,267 @@
+//! The per-job collector: one event ring and metrics registry per rank,
+//! all stamped against a single shared epoch so rank timelines align.
+//!
+//! Usage: build one [`Collector`] before spawning rank threads, clone it
+//! (via `Arc`) into each rank closure, call [`Collector::install`] at
+//! rank start (holding the returned guard for the rank's lifetime), and
+//! call [`Collector::finish`] after all ranks joined to harvest a
+//! [`TraceData`] for export.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::TraceEvent;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::ring::EventRing;
+use crate::span::{install_observer, uninstall_observer, ThreadObserver};
+
+/// Default per-rank event capacity (events beyond this are dropped and
+/// counted, never reallocated — see [`EventRing`]).
+pub const DEFAULT_EVENTS_PER_RANK: usize = 1 << 16;
+
+struct RankSlot {
+    ring: Arc<EventRing>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+/// Per-job trace/metrics collector (see module docs).
+pub struct Collector {
+    epoch: Instant,
+    ranks: Vec<RankSlot>,
+}
+
+impl Collector {
+    pub fn new(num_ranks: usize) -> Self {
+        Self::with_capacity(num_ranks, DEFAULT_EVENTS_PER_RANK)
+    }
+
+    pub fn with_capacity(num_ranks: usize, events_per_rank: usize) -> Self {
+        Collector {
+            epoch: Instant::now(),
+            ranks: (0..num_ranks)
+                .map(|_| RankSlot {
+                    ring: Arc::new(EventRing::with_capacity(events_per_rank)),
+                    metrics: Arc::new(MetricsRegistry::new()),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Install this collector as the calling thread's observer, recording
+    /// into `rank`'s ring/registry. The returned guard restores the
+    /// previous observer when dropped; hold it for the rank's lifetime.
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn install(&self, rank: usize) -> InstallGuard {
+        let slot = &self.ranks[rank];
+        let prev = install_observer(ThreadObserver {
+            ring: Arc::clone(&slot.ring),
+            epoch: self.epoch,
+            metrics: Arc::clone(&slot.metrics),
+        });
+        InstallGuard {
+            prev: Some(prev),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Direct handle to a rank's metrics registry (e.g. for recording
+    /// from outside the rank thread).
+    pub fn metrics(&self, rank: usize) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.ranks[rank].metrics)
+    }
+
+    /// Harvest all recorded data. Call after every [`InstallGuard`] has
+    /// been dropped (i.e. after rank threads joined); panics if a ring is
+    /// still shared.
+    pub fn finish(self) -> TraceData {
+        let ranks = self
+            .ranks
+            .into_iter()
+            .enumerate()
+            .map(|(rank, slot)| {
+                let mut ring = Arc::try_unwrap(slot.ring)
+                    .expect("Collector::finish called while an InstallGuard is still alive");
+                let dropped = ring.dropped();
+                let mut events = ring.drain();
+                // Claim order is per-thread program order; sort so each
+                // rank's track is globally time-ordered for exporters.
+                events.sort_by_key(|e| (e.ts_ns, e.tid));
+                let metrics = slot.metrics.snapshot();
+                RankTrace {
+                    rank,
+                    events,
+                    dropped,
+                    metrics,
+                }
+            })
+            .collect();
+        TraceData { ranks }
+    }
+}
+
+/// Restores the thread's previous observer on drop. Not `Send`: it must
+/// be dropped on the thread that called [`Collector::install`].
+pub struct InstallGuard {
+    prev: Option<Option<ThreadObserver>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            uninstall_observer(prev);
+        }
+    }
+}
+
+/// Everything one rank recorded.
+#[derive(Debug)]
+pub struct RankTrace {
+    pub rank: usize,
+    /// Events sorted by timestamp.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overflow.
+    pub dropped: u64,
+    pub metrics: MetricsSnapshot,
+}
+
+/// Harvested per-rank traces for a whole job.
+#[derive(Debug)]
+pub struct TraceData {
+    pub ranks: Vec<RankTrace>,
+}
+
+/// Aggregate wall/modeled time for one span name across all ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRollup {
+    pub name: String,
+    pub count: u64,
+    pub wall_seconds: f64,
+    pub modeled_seconds: f64,
+}
+
+impl TraceData {
+    pub fn total_events(&self) -> usize {
+        self.ranks.iter().map(|r| r.events.len()).sum()
+    }
+
+    pub fn total_dropped(&self) -> u64 {
+        self.ranks.iter().map(|r| r.dropped).sum()
+    }
+
+    /// All rank metrics merged into one snapshot.
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for r in &self.ranks {
+            out.merge(&r.metrics);
+        }
+        out
+    }
+
+    /// Sum wall/modeled time per span name across ranks, sorted by
+    /// descending wall time. Only complete (duration-bearing) events
+    /// contribute.
+    pub fn span_rollup(&self) -> Vec<SpanRollup> {
+        let mut by_name: std::collections::BTreeMap<&str, SpanRollup> =
+            std::collections::BTreeMap::new();
+        for rank in &self.ranks {
+            for ev in &rank.events {
+                let dur = ev.dur_ns();
+                if dur == 0 && matches!(ev.kind, crate::event::EventKind::Instant) {
+                    continue;
+                }
+                let e = by_name.entry(ev.name).or_insert_with(|| SpanRollup {
+                    name: ev.name.to_string(),
+                    count: 0,
+                    wall_seconds: 0.0,
+                    modeled_seconds: 0.0,
+                });
+                e.count += 1;
+                e.wall_seconds += dur as f64 * 1e-9;
+                e.modeled_seconds += ev.modeled_seconds;
+            }
+        }
+        let mut out: Vec<SpanRollup> = by_name.into_values().collect();
+        out.sort_by(|a, b| b.wall_seconds.total_cmp(&a.wall_seconds));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::tests::ENABLE_LOCK;
+    use crate::{instant, set_enabled, span};
+
+    #[test]
+    fn collector_gathers_events_from_rank_threads() {
+        let _l = ENABLE_LOCK.lock().unwrap();
+        set_enabled(true);
+        let collector = Arc::new(Collector::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|rank| {
+                let c = Arc::clone(&collector);
+                std::thread::spawn(move || {
+                    let _g = c.install(rank);
+                    {
+                        let mut s = span!("work", rank = rank);
+                        crate::add_modeled_seconds(0.5);
+                        s.arg("done", true);
+                    }
+                    instant("tick", "test", vec![]);
+                    crate::counter_add("moves", (rank + 1) as u64);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_enabled(false);
+        let data = Arc::try_unwrap(collector)
+            .ok()
+            .expect("ranks joined")
+            .finish();
+        assert_eq!(data.ranks.len(), 2);
+        for r in &data.ranks {
+            assert_eq!(r.events.len(), 2, "rank {}: span + instant", r.rank);
+            assert_eq!(r.dropped, 0);
+            assert!(r.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        }
+        assert_eq!(data.total_events(), 4);
+        assert_eq!(data.merged_metrics().counter("moves"), 3);
+        let rollup = data.span_rollup();
+        assert_eq!(rollup.len(), 1);
+        assert_eq!(rollup[0].name, "work");
+        assert_eq!(rollup[0].count, 2);
+        assert!((rollup[0].modeled_seconds - 1.0).abs() < 1e-12);
+        assert!(rollup[0].wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn install_guard_restores_previous_observer() {
+        let _l = ENABLE_LOCK.lock().unwrap();
+        set_enabled(true);
+        let outer = Collector::new(1);
+        let inner = Collector::new(1);
+        let _og = outer.install(0);
+        {
+            let _ig = inner.install(0);
+            instant("inner", "t", vec![]);
+        }
+        instant("outer", "t", vec![]);
+        drop(_og);
+        set_enabled(false);
+        let inner = inner.finish();
+        let outer = outer.finish();
+        assert_eq!(inner.ranks[0].events.len(), 1);
+        assert_eq!(inner.ranks[0].events[0].name, "inner");
+        assert_eq!(outer.ranks[0].events.len(), 1);
+        assert_eq!(outer.ranks[0].events[0].name, "outer");
+    }
+}

@@ -1,0 +1,57 @@
+//! # louvain-obs — rank-aware tracing, metrics, and run reports
+//!
+//! A lightweight, zero-dependency observability layer for the
+//! distributed Louvain workspace. It reproduces, as a first-class
+//! artifact, the kind of evidence the source paper gathers with
+//! HPCToolkit (Section V-A: ~98% of time in the iteration body, split
+//! across community communication / modularity reduction / compute).
+//!
+//! Pieces:
+//!
+//! - **Spans** ([`span!`], [`span`], [`SpanGuard`]): RAII scopes that
+//!   record wall-clock duration *and* the modeled-seconds delta (α-β
+//!   comm model + work counters) side by side, into a per-rank
+//!   lock-free [`EventRing`]. One relaxed atomic load when disabled.
+//! - **Collector** ([`Collector`]): one ring + metrics registry per
+//!   rank, a shared epoch so rank timelines align, and a harvest step
+//!   producing [`TraceData`].
+//! - **Exporters** ([`chrome_trace_json`], [`jsonl`]): Chrome
+//!   trace-event JSON (open in Perfetto / `chrome://tracing`; one `pid`
+//!   per rank) and line-delimited JSON.
+//! - **Metrics** ([`MetricsRegistry`], [`counter_add`], [`gauge_set`],
+//!   [`hist_observe`]): counters, gauges, log2 histograms; snapshots
+//!   merge commutatively across ranks.
+//! - **Run reports** ([`RunReport`]): the end-of-run JSON artifact with
+//!   per-step byte totals, modeled-time breakdown, merged metrics, and
+//!   span rollups.
+//!
+//! This crate sits below `louvain-comm` in the dependency graph so the
+//! communicator can auto-span its own steps; anything needing both the
+//! communicator and reports (cross-rank aggregation) lives above, in
+//! `louvain-dist`.
+
+mod chrome;
+mod collector;
+mod event;
+mod json;
+mod metrics;
+mod report;
+mod ring;
+mod span;
+
+pub use chrome::{chrome_trace, chrome_trace_json, jsonl};
+pub use collector::{
+    Collector, InstallGuard, RankTrace, SpanRollup, TraceData, DEFAULT_EVENTS_PER_RANK,
+};
+pub use event::{ArgValue, EventKind, TraceEvent};
+pub use json::{Json, JsonError};
+pub use metrics::{
+    counter_add, gauge_set, hist_observe, GaugeStat, Histogram, MetricsRegistry, MetricsSnapshot,
+    HIST_BUCKETS,
+};
+pub use report::{ModeledBreakdown, RankTotals, RunReport, StepTotal, RUN_REPORT_VERSION};
+pub use ring::EventRing;
+pub use span::{
+    add_modeled_seconds, enabled, init_from_env, instant, modeled_seconds_now, set_enabled, span,
+    span_cat, SpanGuard, Stopwatch,
+};

@@ -1,0 +1,308 @@
+//! Counters, gauges, and log2-bucket histograms.
+//!
+//! Each rank records into its own registry (no cross-rank contention);
+//! snapshots are plain data that merge commutatively, so rank snapshots
+//! can be combined either locally or by shipping them through the
+//! communicator's collectives into one run-level view.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Summary of one gauge: last set value plus min/max/sum/count of all
+/// sets, so merged snapshots keep distributional information.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeStat {
+    pub last: f64,
+    pub min: f64,
+    pub max: f64,
+    pub sum: f64,
+    pub count: u64,
+}
+
+impl GaugeStat {
+    fn observe(&mut self, v: f64) {
+        self.last = v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &GaugeStat) {
+        self.last = other.last; // arbitrary but deterministic: later snapshot wins
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Number of log2 buckets: bucket `i` counts values `v` with
+/// `floor(log2(v)) == i` (bucket 0 also holds 0); the last bucket is a
+/// catch-all for huge values.
+pub const HIST_BUCKETS: usize = 40;
+
+/// Fixed-size log2 histogram of non-negative integer observations
+/// (bytes, degrees, message sizes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (63 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Plain-data snapshot of a registry; merges commutatively.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, GaugeStat>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges
+                .entry(k.clone())
+                .and_modify(|g| g.merge(v))
+                .or_insert(*v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .and_modify(|h| h.merge(v))
+                .or_insert_with(|| v.clone());
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// A per-rank metrics registry. Mutex-guarded maps: metric updates are
+/// orders of magnitude rarer than span events (per-iteration, not
+/// per-edge), so contention is not a concern and the lock keeps the
+/// implementation dependency-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut m = self.inner.lock().unwrap();
+        match m.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                m.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut m = self.inner.lock().unwrap();
+        match m.gauges.get_mut(name) {
+            Some(g) => g.observe(value),
+            None => {
+                m.gauges.insert(
+                    name.to_string(),
+                    GaugeStat {
+                        last: value,
+                        min: value,
+                        max: value,
+                        sum: value,
+                        count: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    pub fn hist_observe(&self, name: &str, value: u64) {
+        let mut m = self.inner.lock().unwrap();
+        match m.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(value);
+                m.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local helpers (record into the installed rank's registry)
+// ---------------------------------------------------------------------------
+
+/// Add to a named counter on the current rank's registry. No-op when
+/// tracing is disabled or no observer is installed.
+pub fn counter_add(name: &str, delta: u64) {
+    if crate::enabled() {
+        crate::span::with_observer(|o| o.metrics.counter_add(name, delta));
+    }
+}
+
+/// Set a named gauge on the current rank's registry.
+pub fn gauge_set(name: &str, value: f64) {
+    if crate::enabled() {
+        crate::span::with_observer(|o| o.metrics.gauge_set(name, value));
+    }
+}
+
+/// Observe a value into a named histogram on the current rank's registry.
+pub fn hist_observe(name: &str, value: u64) {
+    if crate::enabled() {
+        crate::span::with_observer(|o| o.metrics.hist_observe(name, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.counter_add("moves", 3);
+        r.counter_add("moves", 4);
+        r.counter_add("edges", 10);
+        let s = r.snapshot();
+        assert_eq!(s.counter("moves"), 7);
+        assert_eq!(s.counter("edges"), 10);
+        assert_eq!(s.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_track_min_max_mean() {
+        let r = MetricsRegistry::new();
+        for v in [2.0, 8.0, 5.0] {
+            r.gauge_set("q", v);
+        }
+        let g = r.snapshot().gauges["q"];
+        assert_eq!(g.last, 5.0);
+        assert_eq!(g.min, 2.0);
+        assert_eq!(g.max, 8.0);
+        assert_eq!(g.count, 3);
+        assert!((g.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        let r = MetricsRegistry::new();
+        for v in [1u64, 2, 3, 1024] {
+            r.hist_observe("bytes", v);
+        }
+        let h = &r.snapshot().histograms["bytes"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1030);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[10], 1);
+    }
+
+    #[test]
+    fn snapshots_merge_commutatively() {
+        let a = {
+            let r = MetricsRegistry::new();
+            r.counter_add("moves", 5);
+            r.gauge_set("q", 0.4);
+            r.hist_observe("bytes", 16);
+            r.snapshot()
+        };
+        let b = {
+            let r = MetricsRegistry::new();
+            r.counter_add("moves", 7);
+            r.counter_add("ghost_hits", 2);
+            r.gauge_set("q", 0.6);
+            r.hist_observe("bytes", 64);
+            r.snapshot()
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.counter("moves"), 12);
+        assert_eq!(ab.counter("ghost_hits"), 2);
+        assert_eq!(ab.gauges["q"].min, 0.4);
+        assert_eq!(ab.gauges["q"].max, 0.6);
+        assert_eq!(ab.histograms["bytes"].count, 2);
+        // Order-independent except `last`, which takes the merged-in value.
+        assert_eq!(ab.counters, ba.counters);
+        assert_eq!(ab.histograms, ba.histograms);
+        assert_eq!(ab.gauges["q"].sum, ba.gauges["q"].sum);
+    }
+}

@@ -1,0 +1,539 @@
+//! The machine-readable run artifact: everything one distributed run
+//! produced — configuration, quality, wall/modeled time, per-step and
+//! per-rank traffic totals, merged metrics, and span rollups — in one
+//! JSON-serializable struct.
+//!
+//! This crate is dependency-free, so the report holds plain data; the
+//! glue that lifts `louvain_comm::StatsSnapshot` values into these
+//! fields lives in `louvain-dist` (which sees both crates).
+
+use crate::collector::SpanRollup;
+use crate::json::{Json, JsonError};
+use crate::metrics::{GaugeStat, Histogram, MetricsSnapshot, HIST_BUCKETS};
+
+/// Report schema version (bump on breaking field changes).
+pub const RUN_REPORT_VERSION: u32 = 1;
+
+/// Traffic attributed to one algorithmic communication step, summed
+/// across ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepTotal {
+    /// Step label (`ghost_refresh`, `community_pull`, `delta_push`,
+    /// `reduction`, `other`).
+    pub step: String,
+    pub bytes: u64,
+    pub messages: u64,
+}
+
+/// One rank's traffic totals plus its trace bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankTotals {
+    pub rank: usize,
+    pub p2p_messages: u64,
+    pub p2p_bytes: u64,
+    pub collective_calls: u64,
+    pub collective_bytes: u64,
+    /// Modeled (α-β) communication seconds on this rank.
+    pub modeled_comm_seconds: f64,
+    /// Per-step message counts, indexed like `CommStep::index()`.
+    pub step_messages: Vec<u64>,
+    /// Per-step byte counts, indexed like `CommStep::index()`.
+    pub step_bytes: Vec<u64>,
+    pub events_recorded: u64,
+    pub events_dropped: u64,
+}
+
+/// Modeled-seconds breakdown in the paper's Section V-A categories.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModeledBreakdown {
+    pub compute: f64,
+    pub comm: f64,
+    pub reduce: f64,
+    pub rebuild: f64,
+}
+
+impl ModeledBreakdown {
+    pub fn total(&self) -> f64 {
+        self.compute + self.comm + self.reduce + self.rebuild
+    }
+
+    /// (compute, comm, reduce, rebuild) as fractions of the total — the
+    /// numbers to diff against the paper's ~22/34/40 split.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t <= 0.0 {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            (
+                self.compute / t,
+                self.comm / t,
+                self.reduce / t,
+                self.rebuild / t,
+            )
+        }
+    }
+}
+
+/// The complete run artifact. See module docs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    pub graph: String,
+    pub vertices: u64,
+    pub edges: u64,
+    pub ranks: usize,
+    /// Algorithm variant label (e.g. `full`, `delta`, `delta+et(0.25)`).
+    pub variant: String,
+    pub threads_per_rank: usize,
+    pub modularity: f64,
+    pub num_communities: u64,
+    pub phases: u64,
+    pub iterations: u64,
+    pub wall_seconds: f64,
+    pub modeled: ModeledBreakdown,
+    /// Cross-rank traffic per communication step.
+    pub step_totals: Vec<StepTotal>,
+    pub total_bytes: u64,
+    pub total_messages: u64,
+    pub per_rank: Vec<RankTotals>,
+    /// Metrics merged across all ranks.
+    pub metrics: MetricsSnapshot,
+    /// Wall/modeled rollup per span name (descending wall time).
+    pub spans: Vec<SpanRollup>,
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding
+// ---------------------------------------------------------------------------
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num_u(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn metrics_to_json(m: &MetricsSnapshot) -> Json {
+    obj(vec![
+        (
+            "counters",
+            Json::Obj(
+                m.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), num_u(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(
+                m.gauges
+                    .iter()
+                    .map(|(k, g)| {
+                        (
+                            k.clone(),
+                            obj(vec![
+                                ("last", Json::Num(g.last)),
+                                ("min", Json::Num(g.min)),
+                                ("max", Json::Num(g.max)),
+                                ("sum", Json::Num(g.sum)),
+                                ("count", num_u(g.count)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Obj(
+                m.histograms
+                    .iter()
+                    .map(|(k, h)| {
+                        let top = h.buckets.iter().rposition(|&b| b > 0).map_or(0, |i| i + 1);
+                        (
+                            k.clone(),
+                            obj(vec![
+                                ("count", num_u(h.count)),
+                                ("sum", num_u(h.sum)),
+                                (
+                                    "log2_buckets",
+                                    Json::Arr(h.buckets[..top].iter().map(|&b| num_u(b)).collect()),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+impl RunReport {
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("run_report_version", num_u(RUN_REPORT_VERSION as u64)),
+            ("graph", Json::str(self.graph.clone())),
+            ("vertices", num_u(self.vertices)),
+            ("edges", num_u(self.edges)),
+            ("ranks", num_u(self.ranks as u64)),
+            ("variant", Json::str(self.variant.clone())),
+            ("threads_per_rank", num_u(self.threads_per_rank as u64)),
+            ("modularity", Json::Num(self.modularity)),
+            ("num_communities", num_u(self.num_communities)),
+            ("phases", num_u(self.phases)),
+            ("iterations", num_u(self.iterations)),
+            ("wall_seconds", Json::Num(self.wall_seconds)),
+            ("modeled", {
+                let (fc, fm, fr, fb) = self.modeled.fractions();
+                obj(vec![
+                    ("compute_seconds", Json::Num(self.modeled.compute)),
+                    ("comm_seconds", Json::Num(self.modeled.comm)),
+                    ("reduce_seconds", Json::Num(self.modeled.reduce)),
+                    ("rebuild_seconds", Json::Num(self.modeled.rebuild)),
+                    ("total_seconds", Json::Num(self.modeled.total())),
+                    ("compute_fraction", Json::Num(fc)),
+                    ("comm_fraction", Json::Num(fm)),
+                    ("reduce_fraction", Json::Num(fr)),
+                    ("rebuild_fraction", Json::Num(fb)),
+                ])
+            }),
+            (
+                "step_totals",
+                Json::Arr(
+                    self.step_totals
+                        .iter()
+                        .map(|s| {
+                            obj(vec![
+                                ("step", Json::str(s.step.clone())),
+                                ("bytes", num_u(s.bytes)),
+                                ("messages", num_u(s.messages)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("total_bytes", num_u(self.total_bytes)),
+            ("total_messages", num_u(self.total_messages)),
+            (
+                "per_rank",
+                Json::Arr(
+                    self.per_rank
+                        .iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("rank", num_u(r.rank as u64)),
+                                ("p2p_messages", num_u(r.p2p_messages)),
+                                ("p2p_bytes", num_u(r.p2p_bytes)),
+                                ("collective_calls", num_u(r.collective_calls)),
+                                ("collective_bytes", num_u(r.collective_bytes)),
+                                ("modeled_comm_seconds", Json::Num(r.modeled_comm_seconds)),
+                                (
+                                    "step_messages",
+                                    Json::Arr(r.step_messages.iter().map(|&v| num_u(v)).collect()),
+                                ),
+                                (
+                                    "step_bytes",
+                                    Json::Arr(r.step_bytes.iter().map(|&v| num_u(v)).collect()),
+                                ),
+                                ("events_recorded", num_u(r.events_recorded)),
+                                ("events_dropped", num_u(r.events_dropped)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("metrics", metrics_to_json(&self.metrics)),
+            (
+                "spans",
+                Json::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            obj(vec![
+                                ("name", Json::str(s.name.clone())),
+                                ("count", num_u(s.count)),
+                                ("wall_seconds", Json::Num(s.wall_seconds)),
+                                ("modeled_seconds", Json::Num(s.modeled_seconds)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Pretty-printed JSON document (the on-disk artifact format).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Parse a report back from its JSON text (round-trip testing, and
+    /// diffing committed artifacts).
+    pub fn from_json_str(text: &str) -> Result<RunReport, String> {
+        let doc = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        Self::from_json(&doc)
+    }
+
+    pub fn from_json(doc: &Json) -> Result<RunReport, String> {
+        fn get<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+            doc.get(key).ok_or_else(|| format!("missing field `{key}`"))
+        }
+        fn f(doc: &Json, key: &str) -> Result<f64, String> {
+            get(doc, key)?
+                .as_f64()
+                .ok_or_else(|| format!("field `{key}` is not a number"))
+        }
+        fn u(doc: &Json, key: &str) -> Result<u64, String> {
+            get(doc, key)?
+                .as_u64()
+                .ok_or_else(|| format!("field `{key}` is not a u64"))
+        }
+        fn s(doc: &Json, key: &str) -> Result<String, String> {
+            Ok(get(doc, key)?
+                .as_str()
+                .ok_or_else(|| format!("field `{key}` is not a string"))?
+                .to_string())
+        }
+        fn u_arr(doc: &Json, key: &str) -> Result<Vec<u64>, String> {
+            get(doc, key)?
+                .as_arr()
+                .ok_or_else(|| format!("field `{key}` is not an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| format!("`{key}` element is not a u64"))
+                })
+                .collect()
+        }
+
+        let version = u(doc, "run_report_version")?;
+        if version != RUN_REPORT_VERSION as u64 {
+            return Err(format!("unsupported run_report_version {version}"));
+        }
+        let modeled_doc = get(doc, "modeled")?;
+        let metrics_doc = get(doc, "metrics")?;
+
+        let mut metrics = MetricsSnapshot::default();
+        for (k, v) in get(metrics_doc, "counters")?.as_obj().unwrap_or(&[]) {
+            metrics.counters.insert(
+                k.clone(),
+                v.as_u64().ok_or_else(|| format!("counter `{k}` not u64"))?,
+            );
+        }
+        for (k, v) in get(metrics_doc, "gauges")?.as_obj().unwrap_or(&[]) {
+            metrics.gauges.insert(
+                k.clone(),
+                GaugeStat {
+                    last: f(v, "last")?,
+                    min: f(v, "min")?,
+                    max: f(v, "max")?,
+                    sum: f(v, "sum")?,
+                    count: u(v, "count")?,
+                },
+            );
+        }
+        for (k, v) in get(metrics_doc, "histograms")?.as_obj().unwrap_or(&[]) {
+            let mut h = Histogram {
+                count: u(v, "count")?,
+                sum: u(v, "sum")?,
+                ..Default::default()
+            };
+            for (i, b) in u_arr(v, "log2_buckets")?.into_iter().enumerate() {
+                if i < HIST_BUCKETS {
+                    h.buckets[i] = b;
+                }
+            }
+            metrics.histograms.insert(k.clone(), h);
+        }
+
+        Ok(RunReport {
+            graph: s(doc, "graph")?,
+            vertices: u(doc, "vertices")?,
+            edges: u(doc, "edges")?,
+            ranks: u(doc, "ranks")? as usize,
+            variant: s(doc, "variant")?,
+            threads_per_rank: u(doc, "threads_per_rank")? as usize,
+            modularity: f(doc, "modularity")?,
+            num_communities: u(doc, "num_communities")?,
+            phases: u(doc, "phases")?,
+            iterations: u(doc, "iterations")?,
+            wall_seconds: f(doc, "wall_seconds")?,
+            modeled: ModeledBreakdown {
+                compute: f(modeled_doc, "compute_seconds")?,
+                comm: f(modeled_doc, "comm_seconds")?,
+                reduce: f(modeled_doc, "reduce_seconds")?,
+                rebuild: f(modeled_doc, "rebuild_seconds")?,
+            },
+            step_totals: get(doc, "step_totals")?
+                .as_arr()
+                .ok_or("`step_totals` is not an array")?
+                .iter()
+                .map(|t| {
+                    Ok(StepTotal {
+                        step: s(t, "step")?,
+                        bytes: u(t, "bytes")?,
+                        messages: u(t, "messages")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            total_bytes: u(doc, "total_bytes")?,
+            total_messages: u(doc, "total_messages")?,
+            per_rank: get(doc, "per_rank")?
+                .as_arr()
+                .ok_or("`per_rank` is not an array")?
+                .iter()
+                .map(|r| {
+                    Ok(RankTotals {
+                        rank: u(r, "rank")? as usize,
+                        p2p_messages: u(r, "p2p_messages")?,
+                        p2p_bytes: u(r, "p2p_bytes")?,
+                        collective_calls: u(r, "collective_calls")?,
+                        collective_bytes: u(r, "collective_bytes")?,
+                        modeled_comm_seconds: f(r, "modeled_comm_seconds")?,
+                        step_messages: u_arr(r, "step_messages")?,
+                        step_bytes: u_arr(r, "step_bytes")?,
+                        events_recorded: u(r, "events_recorded")?,
+                        events_dropped: u(r, "events_dropped")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            metrics,
+            spans: get(doc, "spans")?
+                .as_arr()
+                .ok_or("`spans` is not an array")?
+                .iter()
+                .map(|sp| {
+                    Ok(SpanRollup {
+                        name: s(sp, "name")?,
+                        count: u(sp, "count")?,
+                        wall_seconds: f(sp, "wall_seconds")?,
+                        modeled_seconds: f(sp, "modeled_seconds")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("sweep.moves".into(), 42);
+        metrics.gauges.insert(
+            "modularity".into(),
+            GaugeStat {
+                last: 0.41,
+                min: 0.1,
+                max: 0.41,
+                sum: 0.92,
+                count: 3,
+            },
+        );
+        let mut h = Histogram::default();
+        h.observe(100);
+        h.observe(4096);
+        metrics.histograms.insert("msg_bytes".into(), h);
+        RunReport {
+            graph: "ssca2-1e4".into(),
+            vertices: 10_000,
+            edges: 62_000,
+            ranks: 8,
+            variant: "delta+et(0.25)".into(),
+            threads_per_rank: 1,
+            modularity: 0.412345,
+            num_communities: 97,
+            phases: 3,
+            iterations: 14,
+            wall_seconds: 1.25,
+            modeled: ModeledBreakdown {
+                compute: 2.2,
+                comm: 3.4,
+                reduce: 4.0,
+                rebuild: 0.4,
+            },
+            step_totals: vec![
+                StepTotal {
+                    step: "ghost_refresh".into(),
+                    bytes: 1_000,
+                    messages: 24,
+                },
+                StepTotal {
+                    step: "reduction".into(),
+                    bytes: 640,
+                    messages: 80,
+                },
+            ],
+            total_bytes: 1_640,
+            total_messages: 104,
+            per_rank: vec![RankTotals {
+                rank: 0,
+                p2p_messages: 12,
+                p2p_bytes: 500,
+                collective_calls: 10,
+                collective_bytes: 80,
+                modeled_comm_seconds: 0.42,
+                step_messages: vec![12, 0, 0, 10, 0],
+                step_bytes: vec![500, 0, 0, 80, 0],
+                events_recorded: 321,
+                events_dropped: 0,
+            }],
+            metrics,
+            spans: vec![SpanRollup {
+                name: "phase".into(),
+                count: 3,
+                wall_seconds: 1.1,
+                modeled_seconds: 9.9,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample();
+        let text = r.to_json_string();
+        let back = RunReport::from_json_str(&text).expect("parse back");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let m = ModeledBreakdown {
+            compute: 2.2,
+            comm: 3.4,
+            reduce: 4.0,
+            rebuild: 0.4,
+        };
+        let (c, o, r, b) = m.fractions();
+        assert!((c + o + r + b - 1.0).abs() < 1e-12);
+        assert!((c - 0.22).abs() < 1e-12);
+        assert!((o - 0.34).abs() < 1e-12);
+        assert!((r - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_breakdown_has_zero_fractions() {
+        assert_eq!(
+            ModeledBreakdown::default().fractions(),
+            (0.0, 0.0, 0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields_and_bad_versions() {
+        assert!(RunReport::from_json_str("{}").is_err());
+        let mut r = sample().to_json();
+        if let Json::Obj(members) = &mut r {
+            members[0].1 = Json::Num(999.0);
+        }
+        assert!(RunReport::from_json(&r).unwrap_err().contains("version"));
+    }
+}

@@ -1,0 +1,381 @@
+//! RAII spans, instant markers, and the thread-local observer state.
+//!
+//! Recording is a two-switch design: a process-global enable flag (one
+//! relaxed atomic load on the fast path — the ≤2% disabled-overhead
+//! budget) and a thread-local observer installed per rank thread by
+//! [`crate::Collector::install`]. A span records its wall-clock duration
+//! *and* the delta of the thread's modeled-seconds clock (advanced by the
+//! α-β cost model in `louvain-comm` and the work counters in
+//! `louvain-dist`), so both timelines ride on every event.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::{ArgValue, EventKind, TraceEvent};
+use crate::metrics::MetricsRegistry;
+use crate::ring::EventRing;
+
+// ---------------------------------------------------------------------------
+// Global enable flag
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn tracing on or off process-wide. Spans opened while disabled are
+/// no-ops even if tracing is enabled before they close.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently enabled. This is the only cost a span
+/// site pays when tracing is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable tracing if the `LOUVAIN_TRACE` environment variable is set to
+/// anything other than `0`, `false`, or the empty string. Returns the
+/// resulting enabled state.
+pub fn init_from_env() -> bool {
+    if let Ok(v) = std::env::var("LOUVAIN_TRACE") {
+        let on = !matches!(v.as_str(), "" | "0" | "false" | "off");
+        if on {
+            set_enabled(true);
+        }
+    }
+    enabled()
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local observer + modeled clock
+// ---------------------------------------------------------------------------
+
+/// Per-thread recording state, installed by the collector.
+#[derive(Clone)]
+pub(crate) struct ThreadObserver {
+    pub ring: Arc<EventRing>,
+    /// Shared job epoch: all ranks timestamp against the same `Instant`,
+    /// so their events land on one timeline.
+    pub epoch: Instant,
+    pub metrics: Arc<MetricsRegistry>,
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static OBSERVER: RefCell<Option<ThreadObserver>> = const { RefCell::new(None) };
+    /// Monotone modeled-seconds clock for this thread.
+    static MODELED: Cell<f64> = const { Cell::new(0.0) };
+    /// Small process-wide id for this thread (Chrome `tid`).
+    static TID: Cell<u32> = const { Cell::new(0) };
+}
+
+pub(crate) fn install_observer(obs: ThreadObserver) -> Option<ThreadObserver> {
+    OBSERVER.with(|o| o.borrow_mut().replace(obs))
+}
+
+pub(crate) fn uninstall_observer(prev: Option<ThreadObserver>) {
+    OBSERVER.with(|o| *o.borrow_mut() = prev);
+}
+
+fn current_tid() -> u32 {
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+/// Advance this thread's modeled-seconds clock. Called by the comm layer
+/// (α-β transfer model) and compute work counters; open spans observe the
+/// clock's delta.
+#[inline]
+pub fn add_modeled_seconds(seconds: f64) {
+    if enabled() {
+        MODELED.with(|m| m.set(m.get() + seconds));
+    }
+}
+
+/// Current value of this thread's modeled-seconds clock.
+pub fn modeled_seconds_now() -> f64 {
+    MODELED.with(Cell::get)
+}
+
+pub(crate) fn with_observer<R>(f: impl FnOnce(&ThreadObserver) -> R) -> Option<R> {
+    OBSERVER.with(|o| o.borrow().as_ref().map(f))
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+struct SpanInner {
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    start_ts_ns: u64,
+    start_modeled: f64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// RAII guard for an open span; the event is recorded on drop. Obtained
+/// from [`span`], [`span_cat`], or the [`span!`](crate::span!) macro.
+/// When tracing is disabled or no observer is installed the guard is
+/// inert and free.
+#[must_use = "a span records its duration when dropped; binding it to _ closes it immediately"]
+pub struct SpanGuard(Option<SpanInner>);
+
+impl SpanGuard {
+    /// A guard that records nothing (disabled fast path).
+    pub const fn noop() -> Self {
+        SpanGuard(None)
+    }
+
+    /// Attach an argument after the span opened (e.g. a result computed
+    /// inside the span, like the number of moves in a sweep).
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(inner) = &mut self.0 {
+            inner.args.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else { return };
+        let dur_ns = inner.start.elapsed().as_nanos() as u64;
+        let modeled = modeled_seconds_now() - inner.start_modeled;
+        with_observer(|obs| {
+            obs.ring.push(TraceEvent {
+                name: inner.name,
+                cat: inner.cat,
+                kind: EventKind::Complete { dur_ns },
+                ts_ns: inner.start_ts_ns,
+                tid: current_tid(),
+                modeled_seconds: modeled,
+                args: inner.args,
+            });
+        });
+    }
+}
+
+/// Open a span in the default category. See [`span_cat`].
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_cat(name, "louvain", Vec::new())
+}
+
+/// Open a span with an explicit category and initial arguments. Returns
+/// an inert guard unless tracing is enabled *and* an observer is
+/// installed on this thread.
+pub fn span_cat(
+    name: &'static str,
+    cat: &'static str,
+    args: Vec<(&'static str, ArgValue)>,
+) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::noop();
+    }
+    let Some(start_ts_ns) = with_observer(|obs| obs.epoch.elapsed().as_nanos() as u64) else {
+        return SpanGuard::noop();
+    };
+    SpanGuard(Some(SpanInner {
+        name,
+        cat,
+        start: Instant::now(),
+        start_ts_ns,
+        start_modeled: modeled_seconds_now(),
+        args,
+    }))
+}
+
+/// Record a point-in-time marker event.
+pub fn instant(name: &'static str, cat: &'static str, args: Vec<(&'static str, ArgValue)>) {
+    if !enabled() {
+        return;
+    }
+    with_observer(|obs| {
+        obs.ring.push(TraceEvent {
+            name,
+            cat,
+            kind: EventKind::Instant,
+            ts_ns: obs.epoch.elapsed().as_nanos() as u64,
+            tid: current_tid(),
+            modeled_seconds: 0.0,
+            args,
+        });
+    });
+}
+
+/// Open a span: `span!("phase")`, `span!("phase", phase = 2, tau = 0.01)`,
+/// or with a category `span!(cat "comm", "ghost_refresh", bytes = n)`.
+/// Binds to an RAII [`SpanGuard`]; the span closes when the guard drops.
+#[macro_export]
+macro_rules! span {
+    (cat $cat:literal, $name:literal $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::span_cat($name, $cat, vec![$((stringify!($k), $crate::ArgValue::from($v))),*])
+    };
+    ($name:literal $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::span_cat($name, "louvain", vec![$((stringify!($k), $crate::ArgValue::from($v))),*])
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Stopwatch
+// ---------------------------------------------------------------------------
+
+/// Wall-clock + modeled-seconds stopwatch: the one consistent replacement
+/// for the ad-hoc `Instant::now()` pairs that used to live in the
+/// runner, API glue, and bench harness.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+    start_modeled: f64,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+            start_modeled: modeled_seconds_now(),
+        }
+    }
+
+    /// Wall-clock seconds since start.
+    pub fn wall_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Modeled seconds accrued on this thread since start.
+    pub fn modeled_seconds(&self) -> f64 {
+        modeled_seconds_now() - self.start_modeled
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    // The enable flag is process-global and `cargo test` threads share
+    // it, so every test that flips it runs under this lock.
+    pub(crate) static ENABLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_ring<R>(f: impl FnOnce() -> R) -> (R, Vec<TraceEvent>) {
+        let ring = Arc::new(EventRing::with_capacity(64));
+        let prev = install_observer(ThreadObserver {
+            ring: Arc::clone(&ring),
+            epoch: Instant::now(),
+            metrics: Arc::new(MetricsRegistry::new()),
+        });
+        let out = f();
+        uninstall_observer(prev);
+        let mut ring = Arc::try_unwrap(ring).expect("sole owner");
+        (out, ring.drain())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _l = ENABLE_LOCK.lock().unwrap();
+        set_enabled(false);
+        let ((), events) = with_ring(|| {
+            let mut g = span!("phase", phase = 1);
+            g.arg("x", 3u64);
+            drop(g);
+            instant("marker", "t", vec![]);
+        });
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn enabled_spans_record_complete_events_with_args() {
+        let _l = ENABLE_LOCK.lock().unwrap();
+        set_enabled(true);
+        let ((), events) = with_ring(|| {
+            let mut g = span!(cat "comm", "ghost_refresh", bytes = 128u64);
+            add_modeled_seconds(0.25);
+            g.arg("round", 2u64);
+            drop(g);
+            instant("poisoned", "t", vec![("rank", ArgValue::U64(3))]);
+        });
+        set_enabled(false);
+        assert_eq!(events.len(), 2);
+        let span_ev = &events[0];
+        assert_eq!(span_ev.name, "ghost_refresh");
+        assert_eq!(span_ev.cat, "comm");
+        assert!(matches!(span_ev.kind, EventKind::Complete { .. }));
+        assert!((span_ev.modeled_seconds - 0.25).abs() < 1e-12);
+        assert_eq!(
+            span_ev.args,
+            vec![("bytes", ArgValue::U64(128)), ("round", ArgValue::U64(2))]
+        );
+        assert_eq!(events[1].name, "poisoned");
+        assert!(matches!(events[1].kind, EventKind::Instant));
+    }
+
+    #[test]
+    fn spans_without_observer_are_inert() {
+        let _l = ENABLE_LOCK.lock().unwrap();
+        set_enabled(true);
+        // No observer installed on this thread: must not panic or leak.
+        let g = span!("orphan", n = 1u64);
+        drop(g);
+        instant("orphan", "t", vec![]);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn nested_spans_close_in_lifo_order() {
+        let _l = ENABLE_LOCK.lock().unwrap();
+        set_enabled(true);
+        let ((), events) = with_ring(|| {
+            let outer = span!("outer");
+            {
+                let _inner = span!("inner");
+            }
+            drop(outer);
+        });
+        set_enabled(false);
+        // Inner closes (and records) first.
+        assert_eq!(
+            events.iter().map(|e| e.name).collect::<Vec<_>>(),
+            vec!["inner", "outer"]
+        );
+        assert!(
+            events[0].ts_ns >= events[1].ts_ns,
+            "inner starts after outer"
+        );
+    }
+
+    #[test]
+    fn stopwatch_tracks_wall_and_modeled_time() {
+        let _l = ENABLE_LOCK.lock().unwrap();
+        set_enabled(true);
+        let sw = Stopwatch::start();
+        add_modeled_seconds(1.5);
+        add_modeled_seconds(0.5);
+        assert!((sw.modeled_seconds() - 2.0).abs() < 1e-12);
+        assert!(sw.wall_seconds() >= 0.0);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn modeled_clock_ignored_when_disabled() {
+        let _l = ENABLE_LOCK.lock().unwrap();
+        set_enabled(false);
+        let before = modeled_seconds_now();
+        add_modeled_seconds(10.0);
+        assert_eq!(modeled_seconds_now(), before);
+    }
+}

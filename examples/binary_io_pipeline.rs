@@ -50,13 +50,18 @@ fn main() {
         let max_arcs = comm.all_reduce(local_arcs, ReduceOp::Max);
         let min_arcs = comm.all_reduce(local_arcs, ReduceOp::Min);
         if comm.rank() == 0 {
-            println!("edge balance after redistribution: min {min_arcs} / max {max_arcs} arcs per rank");
+            println!(
+                "edge balance after redistribution: min {min_arcs} / max {max_arcs} arcs per rank"
+            );
         }
         run_on_rank(comm, lg, &cfg)
     });
 
     // 3. Merge and report.
-    let assignment: Vec<u64> = outcomes.iter().flat_map(|o| o.assignment.iter().copied()).collect();
+    let assignment: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.assignment.iter().copied())
+        .collect();
     let q_check = distributed_louvain::graph::modularity(&generated.graph, &assignment);
     println!(
         "distributed Louvain from file: Q = {:.4} (recomputed {:.4}), {} phases",

@@ -37,7 +37,10 @@ fn main() {
     let out = run_distributed(
         &g,
         ranks,
-        &DistConfig { neighborhood_collectives: true, ..DistConfig::baseline() },
+        &DistConfig {
+            neighborhood_collectives: true,
+            ..DistConfig::baseline()
+        },
     );
     show("+ neighborhood collectives", &out);
     assert_eq!(out.assignment, base.assignment, "must be bit-identical");
@@ -46,7 +49,10 @@ fn main() {
     let out = run_distributed(
         &g,
         ranks,
-        &DistConfig { color_sweeps: true, ..DistConfig::baseline() },
+        &DistConfig {
+            color_sweeps: true,
+            ..DistConfig::baseline()
+        },
     );
     show("+ colored sweeps", &out);
 
@@ -54,7 +60,10 @@ fn main() {
     let out = run_distributed(
         &g,
         ranks,
-        &DistConfig { vertex_following: true, ..DistConfig::baseline() },
+        &DistConfig {
+            vertex_following: true,
+            ..DistConfig::baseline()
+        },
     );
     show("+ vertex following", &out);
 
@@ -62,7 +71,10 @@ fn main() {
     let out = run_distributed(
         &g,
         ranks / 2,
-        &DistConfig { threads_per_rank: 2, ..DistConfig::baseline() },
+        &DistConfig {
+            threads_per_rank: 2,
+            ..DistConfig::baseline()
+        },
     );
     show("hybrid p/2 x 2 threads", &out);
 
@@ -74,7 +86,10 @@ fn main() {
     let out = run_distributed(
         &g,
         ranks,
-        &DistConfig { prune_inactive_ghosts: true, ..et },
+        &DistConfig {
+            prune_inactive_ghosts: true,
+            ..et
+        },
     );
     show("ET(0.75) + ghost pruning", &out);
 }

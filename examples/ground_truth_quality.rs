@@ -32,9 +32,15 @@ fn main() {
     }
 
     println!("\nhow the mixing parameter affects detectability (n = 5000):");
-    println!("{:>6} {:>10} {:>9} {:>14}", "mu", "planted Q", "found Q", "F-score");
+    println!(
+        "{:>6} {:>10} {:>9} {:>14}",
+        "mu", "planted Q", "found Q", "F-score"
+    );
     for (i, mu) in [0.1, 0.2, 0.3, 0.4, 0.5].into_iter().enumerate() {
-        let generated = lfr(LfrParams { mu, ..LfrParams::small(5_000, 950 + i as u64) });
+        let generated = lfr(LfrParams {
+            mu,
+            ..LfrParams::small(5_000, 950 + i as u64)
+        });
         let truth = generated.ground_truth.as_ref().unwrap();
         let planted_q = distributed_louvain::graph::modularity(&generated.graph, truth);
         let out = run_distributed(&generated.graph, 4, &DistConfig::baseline());

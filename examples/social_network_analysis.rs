@@ -36,7 +36,11 @@ fn main() {
 
     // Distributed with the paper's best-performing heuristic for
     // soc-friendster (Table IV: ETC(0.25), 23x over Baseline).
-    let out = run_distributed(&graph, 8, &DistConfig::with_variant(Variant::Etc { alpha: 0.25 }));
+    let out = run_distributed(
+        &graph,
+        8,
+        &DistConfig::with_variant(Variant::Etc { alpha: 0.25 }),
+    );
     println!(
         "distributed ETC(0.25), 8 ranks: Q = {:.4}, {} communities",
         out.modularity, out.num_communities

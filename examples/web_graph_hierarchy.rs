@@ -29,7 +29,10 @@ fn main() {
             out.num_communities,
             out.modeled_seconds * 1e3
         );
-        println!("{:>5} {:>10} {:>8} {:>8} {:>10}", "phase", "vertices", "tau", "iters", "Q");
+        println!(
+            "{:>5} {:>10} {:>8} {:>8} {:>10}",
+            "phase", "vertices", "tau", "iters", "Q"
+        );
         for stats in &out.per_rank_stats[0] {
             println!(
                 "{:>5} {:>10} {:>8.0e} {:>8} {:>10.4}",

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, format and lint the workspace.
+#
+# The vendor/ shims (rand, rayon, criterion, ...) are API stand-ins with
+# intentionally minimal surfaces; they are built and tested as workspace
+# members but excluded from the style gates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# First-party packages (everything except vendor/ shims).
+PACKAGES=(
+  distributed-louvain
+  louvain-obs
+  louvain-comm
+  louvain-graph
+  louvain-dist
+  grappolo
+  louvain-bench
+)
+
+pkg_flags=()
+for p in "${PACKAGES[@]}"; do
+  pkg_flags+=(-p "$p")
+done
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check (first-party crates)"
+fmt_paths=(src crates/*/src tests)
+fmt_files=()
+while IFS= read -r f; do
+  fmt_files+=("$f")
+done < <(find "${fmt_paths[@]}" -name '*.rs' | sort)
+rustfmt --edition 2021 --check "${fmt_files[@]}"
+
+echo "==> cargo clippy -D warnings (first-party crates)"
+cargo clippy -q "${pkg_flags[@]}" --all-targets -- -D warnings
+
+echo "verify: OK"

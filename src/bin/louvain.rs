@@ -19,6 +19,7 @@ use distributed_louvain::dist::{
     adjusted_rand_index, f_score, nmi, run_distributed, DistConfig, Variant,
 };
 use distributed_louvain::graph::{binio, gen, Csr, VertexId};
+use distributed_louvain::{dist, obs};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,9 +65,16 @@ USAGE:
 
   louvain run <FILE> [--ranks <P>] [--variant <V>] [--threads-per-rank <T>]
               [--tau <F>] [--assignment <OUT>]
+              [--trace-out <TRACE>] [--report-out <REPORT>]
       V: baseline | cycling | et:<alpha> | etc:<alpha> | et+cycling:<alpha>
       Runs distributed Louvain on P simulated ranks, prints the summary,
       optionally writes the community assignment to <OUT>.
+      --trace-out enables tracing and writes a Chrome trace-event JSON
+      (load in Perfetto / chrome://tracing; one process track per rank);
+      a `.jsonl` extension selects line-delimited JSON instead.
+      --report-out writes the aggregated RunReport JSON (per-step byte
+      totals, modeled compute/comm/reduce breakdown, metrics, span
+      rollup). Setting LOUVAIN_TRACE=1 also enables tracing.
 
   louvain quality --truth <FILE> --detected <FILE>
       Precision/recall/F-score (methodology of the paper's §V-D), NMI and
@@ -88,7 +96,8 @@ impl<'a> Opts<'a> {
     }
 
     fn require(&self, key: &str) -> Result<&'a str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option {key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option {key}"))
     }
 
     fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -152,7 +161,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let generated = match kind {
         "lfr" => {
             let mu: f64 = opts.parse("--mu", 0.1f64)?;
-            gen::lfr(gen::LfrParams { mu, ..gen::LfrParams::small(n, seed) })
+            gen::lfr(gen::LfrParams {
+                mu,
+                ..gen::LfrParams::small(n, seed)
+            })
         }
         "ssca2" => gen::ssca2(gen::Ssca2Params::paper(n, seed)),
         "rmat" => {
@@ -163,11 +175,18 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         "grid3d" => gen::grid3d(gen::Grid3dParams::cube(n, seed)),
         "erdos-renyi" => {
             let d: f64 = opts.parse("--avg-degree", 8.0f64)?;
-            gen::erdos_renyi(gen::ErdosRenyiParams { n, avg_degree: d, seed })
+            gen::erdos_renyi(gen::ErdosRenyiParams {
+                n,
+                avg_degree: d,
+                seed,
+            })
         }
-        "watts-strogatz" => {
-            gen::watts_strogatz(gen::WattsStrogatzParams { n, k: 4, beta: 0.1, seed })
-        }
+        "watts-strogatz" => gen::watts_strogatz(gen::WattsStrogatzParams {
+            n,
+            k: 4,
+            beta: 0.1,
+            seed,
+        }),
         "barabasi-albert" => gen::barabasi_albert(gen::BarabasiAlbertParams { n, m: 4, seed }),
         other => return Err(format!("unknown generator kind `{other}`")),
     };
@@ -242,6 +261,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let threads: usize = opts.parse("--threads-per-rank", 1usize)?;
     let tau: f64 = opts.parse("--tau", 1e-6f64)?;
     let variant = parse_variant(opts.get("--variant").unwrap_or("baseline"))?;
+    let trace_out = opts.get("--trace-out").map(PathBuf::from);
+    let report_out = opts.get("--report-out").map(PathBuf::from);
+
+    // LOUVAIN_TRACE=1 enables tracing too; --trace-out implies it.
+    obs::init_from_env();
+    if trace_out.is_some() {
+        obs::set_enabled(true);
+    }
 
     let el = binio::read_edge_list(&path).map_err(|e| e.to_string())?;
     let g = Csr::from_edge_list(el);
@@ -274,6 +301,39 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(dest) = opts.get("--assignment") {
         write_assignment(Path::new(dest), &out.assignment)?;
         println!("wrote {dest}");
+    }
+    if let Some(dest) = &trace_out {
+        let trace = out
+            .trace
+            .as_ref()
+            .ok_or("tracing produced no data (was it disabled mid-run?)")?;
+        let text = if dest.extension().is_some_and(|e| e == "jsonl") {
+            obs::jsonl(trace)
+        } else {
+            obs::chrome_trace_json(trace)
+        };
+        std::fs::write(dest, text).map_err(|e| format!("{}: {e}", dest.display()))?;
+        println!(
+            "wrote {} ({} events, {} dropped)",
+            dest.display(),
+            trace.total_events(),
+            trace.total_dropped()
+        );
+    }
+    if let Some(dest) = &report_out {
+        let meta = dist::ReportMeta::new(
+            path.file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            g.num_vertices() as u64,
+            g.num_edges() as u64,
+        )
+        .variant(variant.label())
+        .threads_per_rank(threads);
+        let report = dist::build_run_report(&out, &meta);
+        std::fs::write(dest, report.to_json_string())
+            .map_err(|e| format!("{}: {e}", dest.display()))?;
+        println!("wrote {}", dest.display());
     }
     // If the generator left a ground-truth file next to the input, score
     // against it automatically.
@@ -355,8 +415,14 @@ mod tests {
     fn variant_parsing() {
         assert_eq!(parse_variant("baseline").unwrap(), Variant::Baseline);
         assert_eq!(parse_variant("cycling").unwrap(), Variant::ThresholdCycling);
-        assert_eq!(parse_variant("et:0.25").unwrap(), Variant::Et { alpha: 0.25 });
-        assert_eq!(parse_variant("etc:0.75").unwrap(), Variant::Etc { alpha: 0.75 });
+        assert_eq!(
+            parse_variant("et:0.25").unwrap(),
+            Variant::Et { alpha: 0.25 }
+        );
+        assert_eq!(
+            parse_variant("etc:0.75").unwrap(),
+            Variant::Etc { alpha: 0.75 }
+        );
         assert_eq!(
             parse_variant("et+cycling:0.5").unwrap(),
             Variant::EtPlusCycling { alpha: 0.5 }
@@ -405,24 +471,49 @@ mod tests {
         let assign = dir.join("t.comm");
         let s = |x: &str| x.to_string();
         cmd_generate(&[
-            s("--kind"), s("lfr"), s("--n"), s("800"), s("--seed"), s("5"),
-            s("--out"), s(graph.to_str().unwrap()),
+            s("--kind"),
+            s("lfr"),
+            s("--n"),
+            s("800"),
+            s("--seed"),
+            s("5"),
+            s("--out"),
+            s(graph.to_str().unwrap()),
         ])
         .unwrap();
         assert!(graph.exists());
         assert!(truth_sibling(&graph).exists());
         cmd_info(&[s(graph.to_str().unwrap())]).unwrap();
+        let trace = dir.join("t.trace.json");
+        let report = dir.join("t.report.json");
         cmd_run(&[
             s(graph.to_str().unwrap()),
-            s("--ranks"), s("2"),
-            s("--variant"), s("etc:0.25"),
-            s("--assignment"), s(assign.to_str().unwrap()),
+            s("--ranks"),
+            s("2"),
+            s("--variant"),
+            s("etc:0.25"),
+            s("--assignment"),
+            s(assign.to_str().unwrap()),
+            s("--trace-out"),
+            s(trace.to_str().unwrap()),
+            s("--report-out"),
+            s(report.to_str().unwrap()),
         ])
         .unwrap();
         assert!(assign.exists());
+        // The trace is valid JSON with a traceEvents array; the report
+        // round-trips through the RunReport parser.
+        let doc = obs::Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(!doc.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+        let rep =
+            obs::RunReport::from_json_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(rep.ranks, 2);
+        assert!(rep.total_bytes > 0);
         cmd_quality(&[
-            s("--truth"), s(truth_sibling(&graph).to_str().unwrap()),
-            s("--detected"), s(assign.to_str().unwrap()),
+            s("--truth"),
+            s(truth_sibling(&graph).to_str().unwrap()),
+            s("--detected"),
+            s(assign.to_str().unwrap()),
         ])
         .unwrap();
     }

@@ -11,7 +11,9 @@
 //!   synthetic generators (LFR, SSCA#2, RMAT, …), modularity,
 //! * [`grappolo`] — the shared-memory multithreaded Louvain baseline,
 //! * [`dist`] — the distributed Louvain algorithm with threshold cycling
-//!   and early-termination heuristics.
+//!   and early-termination heuristics,
+//! * [`obs`] — rank-aware tracing: spans, Chrome-trace/JSONL export,
+//!   metrics, aggregated run reports.
 //!
 //! ## Quickstart
 //!
@@ -29,6 +31,7 @@ pub use grappolo;
 pub use louvain_comm as comm;
 pub use louvain_dist as dist;
 pub use louvain_graph as graph;
+pub use louvain_obs as obs;
 
 /// Convenience re-exports for examples and quick experiments.
 pub mod prelude {
@@ -39,8 +42,8 @@ pub mod prelude {
     };
     pub use crate::graph::gen::{
         banded, barabasi_albert, erdos_renyi, grid3d, lfr, rmat, ssca2, watts_strogatz, weblike,
-        BandedParams, BarabasiAlbertParams, ErdosRenyiParams, Grid3dParams, LfrParams,
-        RmatParams, Ssca2Params, WattsStrogatzParams, WeblikeParams,
+        BandedParams, BarabasiAlbertParams, ErdosRenyiParams, Grid3dParams, LfrParams, RmatParams,
+        Ssca2Params, WattsStrogatzParams, WeblikeParams,
     };
     pub use crate::graph::metrics::{clustering_coefficient, partition_metrics};
     pub use crate::graph::{Csr, EdgeList, VertexId};

@@ -18,7 +18,10 @@ fn neighborhood_collectives_match_baseline_bit_for_bit() {
     let nbr = run_distributed(
         &g,
         4,
-        &DistConfig { neighborhood_collectives: true, ..DistConfig::baseline() },
+        &DistConfig {
+            neighborhood_collectives: true,
+            ..DistConfig::baseline()
+        },
     );
     assert_eq!(base.assignment, nbr.assignment);
     assert_eq!(base.modularity, nbr.modularity);
@@ -34,7 +37,10 @@ fn neighborhood_collectives_reduce_messages_at_scale() {
     let nbr = run_distributed(
         &g,
         8,
-        &DistConfig { neighborhood_collectives: true, ..DistConfig::baseline() },
+        &DistConfig {
+            neighborhood_collectives: true,
+            ..DistConfig::baseline()
+        },
     );
     assert_eq!(base.modularity, nbr.modularity);
     assert!(
@@ -53,7 +59,10 @@ fn ghost_pruning_keeps_quality_and_cuts_refresh_bytes() {
     let pruned = run_distributed(
         &g,
         4,
-        &DistConfig { prune_inactive_ghosts: true, ..et_cfg },
+        &DistConfig {
+            prune_inactive_ghosts: true,
+            ..et_cfg
+        },
     );
     // Pruning must not change what ET converges to by much — frozen
     // vertices were not going to move anyway.
@@ -74,7 +83,10 @@ fn colored_sweeps_full_run_quality() {
     let colored = run_distributed(
         &g,
         4,
-        &DistConfig { color_sweeps: true, ..DistConfig::baseline() },
+        &DistConfig {
+            color_sweeps: true,
+            ..DistConfig::baseline()
+        },
     );
     assert!(
         colored.modularity > base.modularity - 0.05,
@@ -98,7 +110,10 @@ fn hybrid_mpi_openmp_run_is_sane() {
     let hybrid = run_distributed(
         &g,
         2,
-        &DistConfig { threads_per_rank: 2, ..DistConfig::baseline() },
+        &DistConfig {
+            threads_per_rank: 2,
+            ..DistConfig::baseline()
+        },
     );
     assert!(
         hybrid.modularity > base.modularity - 0.1,
@@ -119,7 +134,10 @@ fn vertex_following_full_run_preserves_quality() {
     let vf = run_distributed(
         &g,
         3,
-        &DistConfig { vertex_following: true, ..DistConfig::baseline() },
+        &DistConfig {
+            vertex_following: true,
+            ..DistConfig::baseline()
+        },
     );
     assert!(
         vf.modularity > base.modularity - 0.05,
@@ -161,5 +179,9 @@ fn quality_metric_suite_agrees_on_good_clusterings() {
     // Structural metrics: the found partition covers most edge weight.
     let m = distributed_louvain::graph::metrics::partition_metrics(&gen.graph, &out.assignment);
     assert!(m.coverage > 0.8, "coverage = {}", m.coverage);
-    assert!(m.mean_conductance < 0.3, "conductance = {}", m.mean_conductance);
+    assert!(
+        m.mean_conductance < 0.3,
+        "conductance = {}",
+        m.mean_conductance
+    );
 }

@@ -15,7 +15,11 @@ fn test_graph() -> Csr {
 fn et_reduces_processed_work() {
     let g = test_graph();
     let base = run_distributed(&g, 2, &DistConfig::baseline());
-    let et = run_distributed(&g, 2, &DistConfig::with_variant(Variant::Et { alpha: 0.75 }));
+    let et = run_distributed(
+        &g,
+        2,
+        &DistConfig::with_variant(Variant::Et { alpha: 0.75 }),
+    );
     let work = |o: &distributed_louvain::dist::DistOutcome| -> u64 {
         o.per_rank_stats
             .iter()
@@ -37,13 +41,20 @@ fn et_reduces_processed_work() {
 #[test]
 fn etc_records_inactive_counts_and_can_exit_early() {
     let g = test_graph();
-    let out = run_distributed(&g, 2, &DistConfig::with_variant(Variant::Etc { alpha: 0.75 }));
+    let out = run_distributed(
+        &g,
+        2,
+        &DistConfig::with_variant(Variant::Etc { alpha: 0.75 }),
+    );
     // Inactive counts must be recorded and grow within phases.
     let traces: Vec<_> = out.per_rank_stats[0]
         .iter()
         .flat_map(|p| p.iteration_traces.iter())
         .collect();
-    assert!(traces.iter().any(|t| t.inactive > 0), "no inactive vertices recorded");
+    assert!(
+        traces.iter().any(|t| t.inactive > 0),
+        "no inactive vertices recorded"
+    );
 }
 
 #[test]
@@ -57,7 +68,10 @@ fn etc_exit_flag_set_when_threshold_reached() {
     };
     let out = run_distributed(&g, 2, &cfg);
     let any_etc_exit = out.per_rank_stats[0].iter().any(|p| p.etc_exit);
-    assert!(any_etc_exit, "ETC exit never fired at fraction 0.5 with alpha 1.0");
+    assert!(
+        any_etc_exit,
+        "ETC exit never fired at fraction 0.5 with alpha 1.0"
+    );
 }
 
 #[test]
@@ -65,7 +79,11 @@ fn threshold_cycling_uses_larger_taus_in_early_phases() {
     let g = weblike(WeblikeParams::web(6_000, 13)).graph;
     let out = run_distributed(&g, 2, &DistConfig::with_variant(Variant::ThresholdCycling));
     let taus: Vec<f64> = out.per_rank_stats[0].iter().map(|p| p.tau).collect();
-    assert!(taus[0] > 1e-4, "first phase tau should be cycled up, got {}", taus[0]);
+    assert!(
+        taus[0] > 1e-4,
+        "first phase tau should be cycled up, got {}",
+        taus[0]
+    );
     // The accepted (final) phase must run at the minimum threshold —
     // "always forces Louvain iteration to run once more with the lowest
     // threshold".

@@ -1,0 +1,179 @@
+//! End-to-end tests for the rank-aware tracing subsystem: cross-rank
+//! counter conservation, RunReport/comm-stats agreement, and
+//! Chrome-trace validity.
+//!
+//! Tracing is controlled by a process-global flag, and the cargo test
+//! harness runs tests of one binary concurrently — so every assertion
+//! that needs the flag ON lives in the single test function
+//! [`tracing_enabled_end_to_end`]. The other tests run with tracing in
+//! its default (off) state and only touch always-on machinery.
+
+use std::sync::Mutex;
+
+use distributed_louvain::dist::{build_run_report, run_distributed, DistConfig, ReportMeta};
+use distributed_louvain::graph::gen::{lfr, LfrParams};
+use distributed_louvain::obs;
+
+/// Serializes the tests that read or write the global tracing flag.
+static TRACE_FLAG: Mutex<()> = Mutex::new(());
+
+/// RunReport per-step byte totals must match the `louvain_comm::stats`
+/// snapshots exactly, for every rank count (acceptance criterion).
+#[test]
+fn report_step_bytes_match_comm_snapshots_across_rank_counts() {
+    let g = lfr(LfrParams::small(1_200, 17)).graph;
+    for p in [1usize, 2, 8] {
+        let out = run_distributed(&g, p, &DistConfig::baseline());
+        let meta = ReportMeta::new("lfr-1200", 1_200, g.num_edges() as u64);
+        let report = build_run_report(&out, &meta);
+
+        assert_eq!(report.ranks, p);
+        assert_eq!(report.per_rank.len(), p);
+
+        // Per-step totals are copied verbatim from the merged snapshot.
+        for (i, st) in report.step_totals.iter().enumerate() {
+            assert_eq!(
+                st.bytes, out.traffic.step_bytes[i],
+                "p={p} step={}",
+                st.step
+            );
+            assert_eq!(
+                st.messages, out.traffic.step_messages[i],
+                "p={p} step={}",
+                st.step
+            );
+        }
+
+        // Conservation: the per-step decomposition covers all traffic,
+        // and the merged snapshot equals the sum of the per-rank ones.
+        let step_sum: u64 = report.step_totals.iter().map(|s| s.bytes).sum();
+        assert_eq!(
+            step_sum,
+            out.traffic.p2p_bytes + out.traffic.collective_bytes,
+            "p={p}"
+        );
+        assert_eq!(step_sum, report.total_bytes, "p={p}");
+        let mut per_rank_step_sum = vec![0u64; report.step_totals.len()];
+        for r in &report.per_rank {
+            for (i, b) in r.step_bytes.iter().enumerate() {
+                per_rank_step_sum[i] += b;
+            }
+        }
+        for (i, st) in report.step_totals.iter().enumerate() {
+            assert_eq!(per_rank_step_sum[i], st.bytes, "p={p} step={}", st.step);
+        }
+    }
+}
+
+/// Identical work on identical input: the byte counters (unlike wall
+/// times) are fully deterministic, so two runs must agree.
+#[test]
+fn step_byte_totals_are_deterministic() {
+    let g = lfr(LfrParams::small(900, 23)).graph;
+    let a = run_distributed(&g, 4, &DistConfig::baseline());
+    let b = run_distributed(&g, 4, &DistConfig::baseline());
+    assert_eq!(a.traffic.step_bytes, b.traffic.step_bytes);
+    assert_eq!(a.traffic.step_messages, b.traffic.step_messages);
+    assert_eq!(a.traffic.p2p_bytes, b.traffic.p2p_bytes);
+    assert_eq!(a.traffic.collective_bytes, b.traffic.collective_bytes);
+}
+
+/// Everything that needs the global tracing flag ON, in one test.
+#[test]
+fn tracing_enabled_end_to_end() {
+    let _guard = TRACE_FLAG.lock().unwrap();
+    let g = lfr(LfrParams::small(1_000, 11)).graph;
+    obs::set_enabled(true);
+    let out = run_distributed(&g, 3, &DistConfig::baseline());
+    obs::set_enabled(false);
+
+    // --- Trace harvested, one rank track each, events present.
+    let trace = out.trace.as_ref().expect("tracing was enabled");
+    assert_eq!(trace.ranks.len(), 3);
+    for r in &trace.ranks {
+        assert!(!r.events.is_empty(), "rank {} recorded no events", r.rank);
+    }
+    assert!(trace.total_dropped() == 0, "ring overflowed in a small run");
+
+    // Expected span names from the instrumented phase loop.
+    let rollup = trace.span_rollup();
+    for expected in ["phase", "iteration", "sweep", "ghost_refresh", "reduction"] {
+        assert!(
+            rollup.iter().any(|s| s.name == expected),
+            "span {expected:?} missing from rollup {:?}",
+            rollup.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+        );
+    }
+    // Spans carry both clocks: comm spans accumulate modeled seconds.
+    let ghost = rollup.iter().find(|s| s.name == "ghost_refresh").unwrap();
+    assert!(ghost.wall_seconds >= 0.0);
+    assert!(
+        ghost.modeled_seconds > 0.0,
+        "comm spans must advance the modeled clock"
+    );
+
+    // --- Metrics aggregated across ranks.
+    let metrics = trace.merged_metrics();
+    assert!(metrics.counter("sweep.moves") > 0);
+    assert!(metrics.counter("sweep.edges") > 0);
+
+    // --- Chrome trace: valid JSON, pid per rank, globally monotonic ts.
+    let text = obs::chrome_trace_json(trace);
+    let doc = obs::Json::parse(&text).expect("exporter must emit valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty());
+    let mut pids = std::collections::BTreeSet::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut metadata = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").unwrap().as_str().unwrap();
+        if ph == "M" {
+            metadata += 1;
+            continue;
+        }
+        pids.insert(ev.get("pid").unwrap().as_u64().unwrap());
+        let ts = ev.get("ts").unwrap().as_f64().unwrap();
+        assert!(ts >= last_ts, "timestamps must be globally monotonic");
+        last_ts = ts;
+        assert!(ev.get("dur").is_none() || ev.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+    }
+    assert_eq!(pids.len(), 3, "one Chrome process track per rank");
+    assert!(metadata >= 3, "process_name metadata per rank");
+
+    // --- JSONL exporter: one valid JSON object per line.
+    let jsonl = obs::jsonl(trace);
+    let mut lines = 0usize;
+    for line in jsonl.lines() {
+        let rec = obs::Json::parse(line).expect("each jsonl line parses");
+        assert!(rec.get("rank").is_some() && rec.get("name").is_some());
+        lines += 1;
+    }
+    assert_eq!(lines, trace.total_events());
+
+    // --- RunReport with trace sections populated + JSON round-trip.
+    let meta = ReportMeta::new("lfr-1000", 1_000, g.num_edges() as u64).variant("baseline");
+    let report = build_run_report(&out, &meta);
+    assert!(!report.spans.is_empty());
+    assert!(report.metrics.counter("sweep.moves") > 0);
+    let events_total: u64 = report.per_rank.iter().map(|r| r.events_recorded).sum();
+    assert_eq!(events_total, trace.total_events() as u64);
+    let back = obs::RunReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(back.step_totals, report.step_totals);
+    assert_eq!(back.per_rank, report.per_rank);
+    assert_eq!(back.spans.len(), report.spans.len());
+}
+
+/// With tracing off (the default), runs carry no trace and pay no
+/// recording cost — and the report builder still works from the
+/// always-on comm counters.
+#[test]
+fn disabled_tracing_yields_reports_without_trace_sections() {
+    let _guard = TRACE_FLAG.lock().unwrap();
+    let g = lfr(LfrParams::small(700, 5)).graph;
+    let out = run_distributed(&g, 2, &DistConfig::baseline());
+    assert!(out.trace.is_none());
+    let report = build_run_report(&out, &ReportMeta::new("lfr-700", 700, g.num_edges() as u64));
+    assert!(report.spans.is_empty());
+    assert!(report.metrics.is_empty());
+    assert!(report.total_bytes > 0);
+}

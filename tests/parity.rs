@@ -12,7 +12,13 @@ fn families(seed: u64) -> Vec<(&'static str, Csr)> {
         ("lfr", lfr(LfrParams::small(2_000, seed)).graph),
         (
             "ssca2",
-            ssca2(Ssca2Params { n: 2_000, max_clique_size: 25, inter_clique_prob: 0.03, seed }).graph,
+            ssca2(Ssca2Params {
+                n: 2_000,
+                max_clique_size: 25,
+                inter_clique_prob: 0.03,
+                seed,
+            })
+            .graph,
         ),
         ("weblike", weblike(WeblikeParams::web(2_000, seed)).graph),
         ("grid3d", grid3d(Grid3dParams::cube(2_000, seed)).graph),

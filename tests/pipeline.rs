@@ -46,7 +46,12 @@ fn file_to_communities_pipeline_matches_in_memory_run() {
 
 #[test]
 fn quality_report_on_planted_graph_is_high() {
-    let generated = ssca2(Ssca2Params { n: 1_500, max_clique_size: 25, inter_clique_prob: 0.02, seed: 9 });
+    let generated = ssca2(Ssca2Params {
+        n: 1_500,
+        max_clique_size: 25,
+        inter_clique_prob: 0.02,
+        seed: 9,
+    });
     let out = run_distributed(&generated.graph, 3, &DistConfig::baseline());
     let report = f_score(generated.ground_truth.as_ref().unwrap(), &out.assignment);
     assert!(report.recall > 0.95, "recall {}", report.recall);
@@ -90,7 +95,7 @@ fn isolated_vertices_and_self_loops_survive_the_pipeline() {
         el.push(u, v, 1.0);
     }
     el.push(3, 3, 2.0); // self-loop island
-    // vertex 7 isolated entirely
+                        // vertex 7 isolated entirely
     let g = Csr::from_edge_list(el);
     for p in [1, 2, 4] {
         let out = run_distributed(&g, p, &DistConfig::baseline());

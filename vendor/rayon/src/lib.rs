@@ -67,6 +67,7 @@ where
 
 /// A random-access source of items, the backbone of every parallel
 /// iterator here.
+#[allow(clippy::len_without_is_empty)] // shim surface: only `len` is used
 pub trait IndexedSource: Sync {
     type Item;
     fn len(&self) -> usize;
