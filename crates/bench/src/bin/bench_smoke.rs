@@ -1,7 +1,9 @@
 //! Offline perf-regression smoke bench: a quick fixed-seed sweep over the
 //! generator families, recording modeled communication time and the
 //! per-step byte counters — in particular ghost-refresh bytes with the
-//! full vs the delta refresh — into `BENCH_PR1.json`.
+//! full vs the delta refresh — into `BENCH_PR3.json`, together with a
+//! checkpoint-on vs checkpoint-off overhead comparison (wall time, bytes
+//! written to the checkpoint directory, Checkpoint-step traffic).
 //!
 //! Everything runs in-process on the simulated communicator; no network,
 //! registry, or dataset downloads are involved, so the numbers are
@@ -13,7 +15,7 @@
 //!      [--out bench.json] [--report-out reports.json]`
 //!
 //! `--out` (or env `BENCH_SMOKE_OUT`, or the first positional argument)
-//! selects the bench-row output path, default `BENCH_PR1.json`.
+//! selects the bench-row output path, default `BENCH_PR3.json`.
 //! `--report-out` (or env `BENCH_SMOKE_REPORT`) additionally enables
 //! tracing and writes one aggregated [`louvain_obs::RunReport`] per graph
 //! (8 ranks, delta refresh) with the modeled compute/comm/reduce
@@ -21,9 +23,10 @@
 
 use std::fmt::Write as _;
 
-use louvain_comm::CommStep;
+use louvain_comm::{CommStep, RunConfig};
 use louvain_dist::{
-    build_run_report, run_distributed, DistConfig, DistOutcome, ReportMeta, Variant,
+    build_run_report, run_distributed, run_distributed_resilient, CheckpointOptions, DistConfig,
+    DistOutcome, ReportMeta, ResilOptions, Variant,
 };
 use louvain_graph::gen::{lfr, rmat, ssca2, LfrParams, RmatParams, Ssca2Params};
 use louvain_graph::Csr;
@@ -107,6 +110,23 @@ fn run_mode(graph: &'static str, g: &Csr, ranks: usize, delta: bool) -> (RunRow,
     (row, out)
 }
 
+/// Total size of all regular files under `dir`, recursively.
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    let mut total = 0u64;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            total += dir_bytes(&path);
+        } else if let Ok(meta) = entry.metadata() {
+            total += meta.len();
+        }
+    }
+    total
+}
+
 /// `--key value` lookup over raw args.
 fn flag(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -120,7 +140,7 @@ fn main() {
     let out_path = flag(&args, "--out")
         .or_else(|| std::env::var("BENCH_SMOKE_OUT").ok())
         .or_else(|| args.first().filter(|a| !a.starts_with("--")).cloned())
-        .unwrap_or_else(|| "BENCH_PR1.json".into());
+        .unwrap_or_else(|| "BENCH_PR3.json".into());
     let report_path =
         flag(&args, "--report-out").or_else(|| std::env::var("BENCH_SMOKE_REPORT").ok());
 
@@ -176,6 +196,57 @@ fn main() {
         }
         louvain_obs::set_enabled(false);
     }
+
+    // Checkpoint overhead: per graph at p=2 with the delta refresh, run
+    // once with phase-boundary checkpointing on and once off. The results
+    // must be bit-identical; the row records the wall-time delta, the
+    // bytes landed in the checkpoint directory, and the Checkpoint-step
+    // gather traffic. Tracing stays off, like the main sweep.
+    let mut ckpt_rows = String::new();
+    let ckpt_base = std::env::temp_dir().join(format!("louvain-bench-ckpt-{}", std::process::id()));
+    for (i, (name, g)) in graphs.iter().enumerate() {
+        let cfg = et_cfg(true);
+        let ranks = 2usize;
+        let watch = louvain_obs::Stopwatch::start();
+        let off =
+            run_distributed_resilient(g, ranks, &cfg, RunConfig::default(), &ResilOptions::none())
+                .expect("checkpoint-off run");
+        let off_ms = (watch.wall_seconds() * 1e3) as u128;
+
+        let dir = ckpt_base.join(*name);
+        let _ = std::fs::remove_dir_all(&dir);
+        let resil = ResilOptions {
+            checkpoint: Some(CheckpointOptions::new(dir.clone())),
+            ..ResilOptions::none()
+        };
+        let watch = louvain_obs::Stopwatch::start();
+        let on = run_distributed_resilient(g, ranks, &cfg, RunConfig::default(), &resil)
+            .expect("checkpoint-on run");
+        let on_ms = (watch.wall_seconds() * 1e3) as u128;
+
+        assert_eq!(
+            off.modularity.to_bits(),
+            on.modularity.to_bits(),
+            "{name}: checkpointing changed the result"
+        );
+        let ckpt_dir_bytes = dir_bytes(&dir);
+        let ckpt_step_bytes = on.traffic.step_bytes_for(CommStep::Checkpoint);
+        eprintln!(
+            "{:>14} p={} checkpoint off={}ms on={}ms dir_bytes={} step_bytes={}",
+            name, ranks, off_ms, on_ms, ckpt_dir_bytes, ckpt_step_bytes
+        );
+        if i > 0 {
+            ckpt_rows.push(',');
+        }
+        write!(
+            ckpt_rows,
+            "\n    {{\"graph\": {:?}, \"ranks\": {}, \"mode\": \"delta\", \"modularity\": {:.6}, \"phases\": {}, \"wall_ms_off\": {}, \"wall_ms_on\": {}, \"checkpoint_dir_bytes\": {}, \"checkpoint_step_bytes\": {}, \"bit_identical\": true}}",
+            name, ranks, on.modularity, on.phases, off_ms, on_ms, ckpt_dir_bytes, ckpt_step_bytes,
+        )
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ckpt_base);
 
     // Summary: full/delta ghost-byte ratios per (graph, ranks) pair.
     let mut summary = String::new();
@@ -248,7 +319,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"BENCH_PR1\",\n  \"description\": \"fixed-seed smoke sweep: ET(0.25), full vs delta ghost refresh\",\n  \"runs\": [{runs}\n  ],\n  \"summary\": [{summary}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"BENCH_PR3\",\n  \"description\": \"fixed-seed smoke sweep: ET(0.25), full vs delta ghost refresh; checkpoint-on vs checkpoint-off overhead at p=2\",\n  \"runs\": [{runs}\n  ],\n  \"checkpoint\": [{ckpt_rows}\n  ],\n  \"summary\": [{summary}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("wrote {out_path}");

@@ -1,16 +1,42 @@
 //! The per-rank communicator handle.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::blackboard::Blackboard;
 use crate::cost::CostModel;
 use crate::envelope::{Envelope, Mailbox, Senders};
+use crate::fault::{FaultKind, FaultPlan, RankCrashed, FAULT_MAX_ATTEMPTS};
 use crate::reduce::{ReduceOp, Reducible};
 use crate::stats::{CommStats, CommStep};
 
 /// Message tag, matched together with the source rank on receive.
 pub type Tag = u32;
+
+/// Per-rank mutable state of an active [`FaultPlan`]: where we are in
+/// the epoch/op/message numbering that the plan's deterministic
+/// decisions key on.
+struct FaultSession {
+    plan: Arc<FaultPlan>,
+    /// Current fault epoch (the Louvain phase index, set by the runner).
+    epoch: Cell<u64>,
+    /// Communication operations issued so far in the current epoch.
+    ops_in_epoch: Cell<u64>,
+    /// Logical messages sent so far (plan decision key).
+    msg_counter: Cell<u64>,
+    /// Physical send sequence (receiver-side dedup key); starts at 1 so
+    /// `seq == 0` stays reserved for clean runs.
+    seq: Cell<u64>,
+}
+
+impl FaultSession {
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get() + 1;
+        self.seq.set(s);
+        s
+    }
+}
 
 /// One rank's endpoint into the simulated job.
 ///
@@ -25,6 +51,7 @@ pub struct Comm {
     blackboard: Arc<Blackboard>,
     stats: CommStats,
     cost: CostModel,
+    fault: Option<FaultSession>,
 }
 
 impl Comm {
@@ -35,6 +62,7 @@ impl Comm {
         mailbox: Mailbox,
         blackboard: Arc<Blackboard>,
         cost: CostModel,
+        fault: Option<Arc<FaultPlan>>,
     ) -> Self {
         Self {
             rank,
@@ -44,6 +72,135 @@ impl Comm {
             blackboard,
             stats: CommStats::new(),
             cost,
+            fault: fault.map(|plan| FaultSession {
+                plan,
+                epoch: Cell::new(0),
+                ops_in_epoch: Cell::new(0),
+                msg_counter: Cell::new(0),
+                seq: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Enter fault epoch `epoch` (the runner calls this with the Louvain
+    /// phase index at each phase start, so crash rules can address "phase
+    /// k, comm op n"). No-op without an active fault plan.
+    pub fn advance_fault_epoch(&self, epoch: u64) {
+        if let Some(f) = &self.fault {
+            f.epoch.set(epoch);
+            f.ops_in_epoch.set(0);
+        }
+    }
+
+    /// Count one communication operation against the fault plan and
+    /// crash if a [`crate::fault::CrashRule`] addresses it. Called at the
+    /// top of every public comm method; a single `Option` check in clean
+    /// runs.
+    fn fault_op_tick(&self) {
+        if let Some(f) = &self.fault {
+            let op = f.ops_in_epoch.get();
+            f.ops_in_epoch.set(op + 1);
+            let phase = f.epoch.get();
+            if f.plan.should_crash(self.rank, phase, op) {
+                std::panic::panic_any(RankCrashed {
+                    rank: self.rank,
+                    phase,
+                    op,
+                });
+            }
+        }
+    }
+
+    /// Deliver one logical message to `dst`, surviving any transient
+    /// faults the plan injects: dropped and truncated copies are
+    /// retransmitted (bounded attempts with backoff), duplicates
+    /// materialize as a stale extra copy the receiver deduplicates,
+    /// delays sleep briefly. Returns the number of physical copies
+    /// transmitted, for byte accounting (always 1 in clean runs).
+    fn deliver<T: Send + 'static>(&self, dst: usize, tag: Tag, data: Vec<T>) -> u64 {
+        let Some(f) = &self.fault else {
+            self.senders[dst]
+                .send(Envelope::clean(self.rank, tag, Box::new(data)))
+                .expect("peer mailbox closed");
+            return 1;
+        };
+        let step = self.stats.current_step();
+        let phase = f.epoch.get();
+        let msg = f.msg_counter.get();
+        f.msg_counter.set(msg + 1);
+        let backoff =
+            |attempt: u32| std::thread::sleep(Duration::from_micros(50u64 << attempt.min(4)));
+        let mut copies = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            // After FAULT_MAX_ATTEMPTS faulty tries the message goes
+            // through clean — injected faults must never block progress.
+            let fault = if attempt < FAULT_MAX_ATTEMPTS {
+                f.plan.decide(self.rank, step, phase, msg, attempt)
+            } else {
+                None
+            };
+            match fault {
+                Some(FaultKind::Drop) => {
+                    // Transmitted but lost on the wire; retransmit.
+                    self.stats.record_fault(FaultKind::Drop);
+                    self.stats.record_retry();
+                    copies += 1;
+                    backoff(attempt);
+                    attempt += 1;
+                }
+                Some(FaultKind::Truncate) => {
+                    // A mangled copy arrives; the receiver discards it
+                    // via the `corrupt` flag and we retransmit.
+                    self.stats.record_fault(FaultKind::Truncate);
+                    self.stats.record_retry();
+                    self.senders[dst]
+                        .send(Envelope {
+                            src: self.rank,
+                            tag,
+                            seq: f.next_seq(),
+                            corrupt: true,
+                            payload: Box::new(Vec::<T>::new()),
+                        })
+                        .expect("peer mailbox closed");
+                    copies += 1;
+                    backoff(attempt);
+                    attempt += 1;
+                }
+                other => {
+                    if other == Some(FaultKind::Delay) {
+                        self.stats.record_fault(FaultKind::Delay);
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    let seq = f.next_seq();
+                    self.senders[dst]
+                        .send(Envelope {
+                            src: self.rank,
+                            tag,
+                            seq,
+                            corrupt: false,
+                            payload: Box::new(data),
+                        })
+                        .expect("peer mailbox closed");
+                    copies += 1;
+                    if other == Some(FaultKind::Duplicate) {
+                        // A stale extra copy reusing the same sequence
+                        // number; the receiver's dedup drops it.
+                        self.stats.record_fault(FaultKind::Duplicate);
+                        self.senders[dst]
+                            .send(Envelope {
+                                src: self.rank,
+                                tag,
+                                seq,
+                                corrupt: false,
+                                payload: Box::new(Vec::<T>::new()),
+                            })
+                            .expect("peer mailbox closed");
+                        copies += 1;
+                    }
+                    return copies;
+                }
+            }
         }
     }
 
@@ -129,14 +286,11 @@ impl Comm {
             "send to rank {dst} out of range (p={})",
             self.size
         );
+        self.fault_op_tick();
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
-        self.stats.record_p2p(bytes, self.cost.p2p(bytes));
-        let env = Envelope {
-            src: self.rank,
-            tag,
-            payload: Box::new(data),
-        };
-        self.senders[dst].send(env).expect("peer mailbox closed");
+        let copies = self.deliver(dst, tag, data);
+        self.stats
+            .record_p2p_batch(copies, bytes * copies, self.cost.p2p(bytes) * copies as f64);
     }
 
     /// Blocking receive of a message from `src` with tag `tag`.
@@ -159,6 +313,7 @@ impl Comm {
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
+        self.fault_op_tick();
         self.stats
             .record_collective(0, self.cost.collective(self.size, 0));
         self.blackboard.exchange(self.rank, (), |_| ());
@@ -167,6 +322,7 @@ impl Comm {
     /// Every rank contributes one value; every rank receives the vector of
     /// all contributions indexed by rank.
     pub fn all_gather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        self.fault_op_tick();
         let bytes = std::mem::size_of::<T>() as u64;
         self.stats
             .record_collective(bytes, self.cost.collective(self.size, bytes));
@@ -180,6 +336,7 @@ impl Comm {
 
     /// Global reduction; every rank receives the combined value.
     pub fn all_reduce<T: Reducible>(&self, value: T, op: ReduceOp) -> T {
+        self.fault_op_tick();
         let bytes = T::wire_bytes();
         self.stats
             .record_collective(bytes, self.cost.collective(self.size, bytes));
@@ -196,6 +353,7 @@ impl Comm {
     /// contributed by ranks `0..i` (zero on rank 0). This is the primitive
     /// behind the global renumbering step of graph reconstruction.
     pub fn exscan_sum<T: Reducible>(&self, value: T) -> T {
+        self.fault_op_tick();
         let bytes = T::wire_bytes();
         self.stats
             .record_collective(bytes, self.cost.collective(self.size, bytes));
@@ -211,6 +369,7 @@ impl Comm {
     /// Broadcast `value` from `root` to all ranks. Non-root contributions
     /// are ignored (pass any placeholder).
     pub fn broadcast<T: Clone + Send + 'static>(&self, root: usize, value: T) -> T {
+        self.fault_op_tick();
         assert!(root < self.size);
         let bytes = std::mem::size_of::<T>() as u64;
         self.stats
@@ -232,6 +391,7 @@ impl Comm {
         root: usize,
         data: Vec<T>,
     ) -> Option<Vec<Vec<T>>> {
+        self.fault_op_tick();
         assert!(root < self.size);
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.stats
@@ -265,6 +425,7 @@ impl Comm {
             "all_to_all_v needs one buffer per rank"
         );
         const A2A_TAG: Tag = u32::MAX - 7;
+        self.fault_op_tick();
         let mine = std::mem::take(&mut bufs[self.rank]);
         let mut nmsgs = 0u64;
         let mut sent = 0u64;
@@ -273,14 +434,9 @@ impl Comm {
                 continue;
             }
             let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
-            nmsgs += 1;
-            sent += bytes;
-            let env = Envelope {
-                src: self.rank,
-                tag: A2A_TAG,
-                payload: Box::new(buf),
-            };
-            self.senders[dst].send(env).expect("peer mailbox closed");
+            let copies = self.deliver(dst, A2A_TAG, buf);
+            nmsgs += copies;
+            sent += bytes * copies;
         }
         self.stats
             .record_p2p_batch(nmsgs, sent, self.cost.all_to_all(nmsgs, sent));
@@ -312,6 +468,7 @@ impl Comm {
             "all_to_all_v needs one buffer per rank"
         );
         const A2A_TAG: Tag = u32::MAX - 7;
+        self.fault_op_tick();
         let mut nmsgs = 0u64;
         let mut sent = 0u64;
         for (dst, buf) in bufs.iter().enumerate() {
@@ -319,14 +476,9 @@ impl Comm {
                 continue;
             }
             let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
-            nmsgs += 1;
-            sent += bytes;
-            let env = Envelope {
-                src: self.rank,
-                tag: A2A_TAG,
-                payload: Box::new(buf.clone()),
-            };
-            self.senders[dst].send(env).expect("peer mailbox closed");
+            let copies = self.deliver(dst, A2A_TAG, buf.clone());
+            nmsgs += copies;
+            sent += bytes * copies;
         }
         self.stats
             .record_p2p_batch(nmsgs, sent, self.cost.all_to_all(nmsgs, sent));
@@ -366,19 +518,15 @@ impl Comm {
             "one buffer per topology neighbor"
         );
         const NBR_TAG: Tag = u32::MAX - 8;
+        self.fault_op_tick();
         let mut nmsgs = 0u64;
         let mut sent = 0u64;
         for (&dst, buf) in neighbors.iter().zip(bufs) {
             assert!(dst < self.size && dst != self.rank, "bad neighbor {dst}");
             let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
-            nmsgs += 1;
-            sent += bytes;
-            let env = Envelope {
-                src: self.rank,
-                tag: NBR_TAG,
-                payload: Box::new(buf),
-            };
-            self.senders[dst].send(env).expect("peer mailbox closed");
+            let copies = self.deliver(dst, NBR_TAG, buf);
+            nmsgs += copies;
+            sent += bytes * copies;
         }
         self.stats
             .record_p2p_batch(nmsgs, sent, self.cost.all_to_all(nmsgs, sent));

@@ -4,11 +4,18 @@
 //! Each rank owns one [`Mailbox`] (a crossbeam channel receiver plus a queue
 //! of messages that arrived before anyone asked for them). Out-of-order
 //! arrival is expected — MPI matches on `(source, tag)` and so do we.
+//!
+//! The mailbox also implements the receiver half of the fault-tolerance
+//! protocol: envelopes carry a per-sender sequence number (`seq == 0`
+//! means "clean run, no protocol"), corrupt copies injected by a
+//! [`crate::FaultPlan`] truncation are discarded at intake, and stale
+//! duplicates (sequence numbers at or below the last accepted one) are
+//! dropped, so retransmissions and duplications are invisible to callers.
 
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
@@ -17,7 +24,26 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 pub(crate) struct Envelope {
     pub src: usize,
     pub tag: u32,
+    /// Per-sender physical sequence number; `0` = clean transmission
+    /// outside the fault protocol (never deduplicated).
+    pub seq: u64,
+    /// Set on copies mangled by an injected truncation; discarded at
+    /// intake before matching.
+    pub corrupt: bool,
     pub payload: Box<dyn Any + Send>,
+}
+
+impl Envelope {
+    /// A clean envelope outside the fault protocol.
+    pub fn clean(src: usize, tag: u32, payload: Box<dyn Any + Send>) -> Self {
+        Self {
+            src,
+            tag,
+            seq: 0,
+            corrupt: false,
+            payload,
+        }
+    }
 }
 
 /// Receiving side of a rank's channel plus the "unexpected message queue".
@@ -28,21 +54,44 @@ pub(crate) struct Mailbox {
     pending: Vec<Envelope>,
     /// Set when any rank in the job panicked; blocked receives abort.
     poison: Arc<AtomicBool>,
+    /// Highest accepted sequence number per sender (fault protocol).
+    last_seq: Vec<u64>,
+    /// How long a receive may block before declaring the job wedged.
+    deadline: Duration,
 }
 
 impl Mailbox {
-    pub fn new(rx: Receiver<Envelope>, poison: Arc<AtomicBool>) -> Self {
+    pub fn new(
+        rx: Receiver<Envelope>,
+        poison: Arc<AtomicBool>,
+        p: usize,
+        deadline: Duration,
+    ) -> Self {
         Self {
             rx,
             pending: Vec::new(),
             poison,
+            last_seq: vec![0; p],
+            deadline,
         }
+    }
+
+    /// Intake filter: discard corrupt copies and stale duplicates.
+    fn admit(&mut self, env: Envelope) -> Option<Envelope> {
+        if env.seq != 0 {
+            if env.corrupt || env.seq <= self.last_seq[env.src] {
+                return None;
+            }
+            self.last_seq[env.src] = env.seq;
+        }
+        Some(env)
     }
 
     /// Blocking receive of the next envelope matching `(src, tag)`.
     ///
-    /// Panics if the job is poisoned (another rank panicked) so the whole
-    /// run fails loudly instead of deadlocking.
+    /// Panics if the job is poisoned (another rank panicked) or if
+    /// nothing matching arrives within the configured deadline, so the
+    /// whole run fails loudly instead of deadlocking.
     pub fn recv_matching(&mut self, src: usize, tag: u32) -> Envelope {
         if let Some(pos) = self
             .pending
@@ -54,9 +103,11 @@ impl Mailbox {
             // or consecutive all_to_all_v rounds would get swapped.
             return self.pending.remove(pos);
         }
+        let started = Instant::now();
         loop {
             match self.rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(env) => {
+                    let Some(env) = self.admit(env) else { continue };
                     if env.src == src && env.tag == tag {
                         return env;
                     }
@@ -65,6 +116,12 @@ impl Mailbox {
                 Err(RecvTimeoutError::Timeout) => {
                     if self.poison.load(Ordering::Relaxed) {
                         panic!("communicator poisoned: a peer rank panicked");
+                    }
+                    if started.elapsed() > self.deadline {
+                        panic!(
+                            "receive timed out after {:?} waiting for a message from rank {src} tag {tag} (lost message or deadlock)",
+                            self.deadline
+                        );
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {

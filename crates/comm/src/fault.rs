@@ -1,0 +1,314 @@
+//! Seeded, deterministic fault injection for the simulated communicator.
+//!
+//! A [`FaultPlan`] describes transient message faults (drop, delay,
+//! duplicate, truncate) and hard crashes (a chosen rank panics at a
+//! chosen communication operation of a chosen phase). Every injection
+//! decision is a pure function of `(plan seed, rule, rank, message
+//! index, attempt)`, so the same plan on the same program produces the
+//! same faults and the same recovery trace — the property the fault
+//! matrix tests rely on.
+//!
+//! Transient faults are *survived* inside the comm layer: the sender
+//! retransmits dropped or truncated messages (with backoff), receivers
+//! discard corrupt copies and deduplicate by per-sender sequence number.
+//! Crashes are *not* survived here — they unwind the rank thread with a
+//! [`RankCrashed`] payload, which the resilient driver in
+//! `louvain-dist` catches and turns into a checkpoint restore.
+
+use crate::stats::CommStep;
+
+/// Transient message-level fault kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The copy is transmitted but never arrives; the sender retries.
+    Drop,
+    /// The copy arrives after a short injected latency.
+    Delay,
+    /// A stale extra copy is delivered; the receiver deduplicates it.
+    Duplicate,
+    /// The copy arrives corrupt; the receiver discards it and the
+    /// sender retries.
+    Truncate,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "drop" => Some(FaultKind::Drop),
+            "delay" => Some(FaultKind::Delay),
+            "duplicate" => Some(FaultKind::Duplicate),
+            "truncate" => Some(FaultKind::Truncate),
+            _ => None,
+        }
+    }
+}
+
+/// One transient-fault rule: messages matching the filters are hit with
+/// probability `prob` per transmission attempt.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    pub kind: FaultKind,
+    /// Restrict to one comm step (`None` = any step).
+    pub step: Option<CommStep>,
+    /// Restrict to one sending rank (`None` = any rank).
+    pub rank: Option<usize>,
+    /// Restrict to one fault epoch / Louvain phase (`None` = any).
+    pub phase: Option<u64>,
+    /// Per-attempt injection probability in `[0, 1]`.
+    pub prob: f64,
+}
+
+/// A hard-crash rule: `rank` panics with [`RankCrashed`] when it reaches
+/// communication operation `op` (0-based) of fault epoch `phase`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRule {
+    pub rank: usize,
+    pub phase: u64,
+    pub op: u64,
+}
+
+/// A deterministic fault schedule, shared (immutably) by all ranks.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub rules: Vec<FaultRule>,
+    pub crashes: Vec<CrashRule>,
+}
+
+/// Panic payload carried out of a rank thread by an injected crash. The
+/// resilient driver downcasts the propagated payload to decide whether
+/// the failure is recoverable.
+#[derive(Debug, Clone, Copy)]
+pub struct RankCrashed {
+    pub rank: usize,
+    pub phase: u64,
+    pub op: u64,
+}
+
+impl std::fmt::Display for RankCrashed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected crash: rank {} at comm op {} of phase {}",
+            self.rank, self.op, self.phase
+        )
+    }
+}
+
+/// Bounded retransmission: after this many faulty attempts per logical
+/// message, faults are suppressed so the run always makes progress.
+pub(crate) const FAULT_MAX_ATTEMPTS: u32 = 3;
+
+/// splitmix64 finalizer — the per-decision hash.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from a hash.
+fn u01(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// Parse the CLI fault-plan DSL: `;`-separated segments, each either
+    /// `seed=N` or `<kind>[:key=value,...]`.
+    ///
+    /// Kinds: `drop`, `delay`, `duplicate`, `truncate` (keys `prob`,
+    /// `step`, `rank`, `phase`) and `crash` (keys `rank` — required —
+    /// `phase`, `op`). Step names are the [`CommStep`] labels. Example:
+    ///
+    /// `seed=42;drop:step=ghost_refresh,prob=0.2;crash:rank=1,phase=1`
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for seg in spec.split(';') {
+            let seg = seg.trim();
+            if seg.is_empty() {
+                continue;
+            }
+            if let Some(v) = seg.strip_prefix("seed=") {
+                plan.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                continue;
+            }
+            let (head, tail) = match seg.split_once(':') {
+                Some((h, t)) => (h, t),
+                None => (seg, ""),
+            };
+            let kv = |key: &str| -> Result<Option<&str>, String> {
+                for pair in tail.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("expected key=value, got {pair:?}"))?;
+                    if k == key {
+                        return Ok(Some(v));
+                    }
+                }
+                Ok(None)
+            };
+            let parse_u64 = |v: &str| v.parse::<u64>().map_err(|_| format!("bad number {v:?}"));
+            if head == "crash" {
+                let rank = kv("rank")?
+                    .ok_or_else(|| format!("crash rule {seg:?} needs rank=N"))?
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad rank in {seg:?}"))?;
+                let phase = kv("phase")?.map(parse_u64).transpose()?.unwrap_or(0);
+                let op = kv("op")?.map(parse_u64).transpose()?.unwrap_or(0);
+                plan.crashes.push(CrashRule { rank, phase, op });
+            } else {
+                let kind = FaultKind::parse(head)
+                    .ok_or_else(|| format!("unknown fault kind {head:?} in {seg:?}"))?;
+                let step = match kv("step")? {
+                    Some(s) => Some(
+                        CommStep::from_label(s)
+                            .ok_or_else(|| format!("unknown comm step {s:?} in {seg:?}"))?,
+                    ),
+                    None => None,
+                };
+                let rank = kv("rank")?
+                    .map(|v| v.parse::<usize>().map_err(|_| format!("bad rank {v:?}")))
+                    .transpose()?;
+                let phase = kv("phase")?.map(parse_u64).transpose()?;
+                let prob = match kv("prob")? {
+                    Some(v) => {
+                        let p: f64 = v.parse().map_err(|_| format!("bad prob {v:?}"))?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(format!("prob {p} outside [0, 1]"));
+                        }
+                        p
+                    }
+                    None => 1.0,
+                };
+                plan.rules.push(FaultRule {
+                    kind,
+                    step,
+                    rank,
+                    phase,
+                    prob,
+                });
+            }
+        }
+        Ok(plan)
+    }
+
+    /// A copy of the plan with the first `n` crash rules removed — what
+    /// the resilient driver runs on recovery attempt `n`, so that each
+    /// injected crash fires exactly once across the whole recovery
+    /// sequence.
+    pub fn with_crashes_skipped(&self, n: usize) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            rules: self.rules.clone(),
+            crashes: self.crashes.iter().skip(n).copied().collect(),
+        }
+    }
+
+    /// The transient fault (if any) to inject into transmission attempt
+    /// `attempt` of logical message `msg` sent by `rank`. Deterministic:
+    /// depends only on the plan and the arguments.
+    pub fn decide(
+        &self,
+        rank: usize,
+        step: CommStep,
+        phase: u64,
+        msg: u64,
+        attempt: u32,
+    ) -> Option<FaultKind> {
+        for (i, r) in self.rules.iter().enumerate() {
+            if r.rank.is_some_and(|x| x != rank) {
+                continue;
+            }
+            if r.step.is_some_and(|s| s != step) {
+                continue;
+            }
+            if r.phase.is_some_and(|p| p != phase) {
+                continue;
+            }
+            let h = mix64(
+                self.seed
+                    ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (rank as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                    ^ msg.wrapping_mul(0x1656_67B1_9E37_79F9)
+                    ^ (attempt as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+            );
+            if u01(h) < r.prob {
+                return Some(r.kind);
+            }
+        }
+        None
+    }
+
+    /// Whether `rank` should crash at comm op `op` of fault epoch `phase`.
+    pub fn should_crash(&self, rank: usize, phase: u64, op: u64) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.rank == rank && c.phase == phase && c.op == op)
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.crashes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse(
+            "seed=42;drop:step=ghost_refresh,prob=0.2;duplicate:rank=1,prob=0.5;crash:rank=1,phase=2,op=3",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules.len(), 2);
+        assert_eq!(plan.rules[0].kind, FaultKind::Drop);
+        assert_eq!(plan.rules[0].step, Some(CommStep::GhostRefresh));
+        assert_eq!(plan.rules[0].prob, 0.2);
+        assert_eq!(plan.rules[1].rank, Some(1));
+        assert_eq!(
+            plan.crashes,
+            vec![CrashRule {
+                rank: 1,
+                phase: 2,
+                op: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("explode:prob=1").is_err());
+        assert!(FaultPlan::parse("drop:step=warp_drive").is_err());
+        assert!(FaultPlan::parse("drop:prob=1.5").is_err());
+        assert!(FaultPlan::parse("crash:phase=1").is_err());
+        assert!(FaultPlan::parse("seed=xyzzy").is_err());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_filtered() {
+        let plan = FaultPlan::parse("seed=7;drop:step=delta_push,rank=2,prob=0.5").unwrap();
+        for msg in 0..200u64 {
+            let a = plan.decide(2, CommStep::DeltaPush, 0, msg, 0);
+            let b = plan.decide(2, CommStep::DeltaPush, 0, msg, 0);
+            assert_eq!(a, b, "same inputs must give the same decision");
+            assert_eq!(plan.decide(1, CommStep::DeltaPush, 0, msg, 0), None);
+            assert_eq!(plan.decide(2, CommStep::GhostRefresh, 0, msg, 0), None);
+        }
+        let hits = (0..1000u64)
+            .filter(|&m| plan.decide(2, CommStep::DeltaPush, 0, m, 0).is_some())
+            .count();
+        assert!((300..700).contains(&hits), "prob=0.5 hit {hits}/1000");
+    }
+
+    #[test]
+    fn crash_skipping_removes_rules_in_order() {
+        let plan = FaultPlan::parse("crash:rank=0,phase=1;crash:rank=1,phase=3").unwrap();
+        assert!(plan.should_crash(0, 1, 0));
+        let after_one = plan.with_crashes_skipped(1);
+        assert!(!after_one.should_crash(0, 1, 0));
+        assert!(after_one.should_crash(1, 3, 0));
+        assert!(plan.with_crashes_skipped(2).crashes.is_empty());
+    }
+}

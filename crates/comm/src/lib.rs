@@ -33,12 +33,14 @@ mod blackboard;
 mod comm;
 mod cost;
 mod envelope;
+mod fault;
 mod reduce;
 mod runtime;
 mod stats;
 
 pub use comm::{Comm, Tag};
 pub use cost::CostModel;
+pub use fault::{CrashRule, FaultKind, FaultPlan, FaultRule, RankCrashed};
 pub use reduce::{ReduceOp, Reducible};
 pub use runtime::{run, run_with, RunConfig};
 pub use stats::{CommStats, CommStep, StatsSnapshot, TrafficKind, NUM_COMM_STEPS};

@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 
@@ -9,15 +10,22 @@ use crate::blackboard::Blackboard;
 use crate::comm::Comm;
 use crate::cost::CostModel;
 use crate::envelope::Mailbox;
+use crate::fault::FaultPlan;
 
 /// Launch-time options for a simulated job.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Communication cost model for modeled-time accounting.
     pub cost: CostModel,
     /// Thread stack size in bytes (graph workloads recurse little, but the
     /// per-rank CSR builders can use deep temporary structures).
     pub stack_size: usize,
+    /// Deterministic fault-injection schedule applied to every rank.
+    /// `None` (the default) is a clean run with zero fault-path work.
+    pub fault: Option<Arc<FaultPlan>>,
+    /// How long a blocked receive may wait before declaring the job
+    /// wedged and panicking with a descriptive timeout.
+    pub recv_timeout: Duration,
 }
 
 impl Default for RunConfig {
@@ -25,6 +33,8 @@ impl Default for RunConfig {
         Self {
             cost: CostModel::default(),
             stack_size: 8 << 20,
+            fault: None,
+            recv_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -64,13 +74,14 @@ where
             let senders = Arc::clone(&senders);
             let blackboard = Arc::clone(&blackboard);
             let poison = Arc::clone(&poison);
+            let fault = config.fault.clone();
             let first_payload_ref = &first_payload;
             let builder = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(config.stack_size);
             let handle = builder
                 .spawn_scoped(scope, move || {
-                    let mailbox = Mailbox::new(rx, Arc::clone(&poison));
+                    let mailbox = Mailbox::new(rx, Arc::clone(&poison), p, config.recv_timeout);
                     let comm = Comm::new(
                         rank,
                         p,
@@ -78,6 +89,7 @@ where
                         mailbox,
                         Arc::clone(&blackboard),
                         config.cost,
+                        fault,
                     );
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
                     match out {
@@ -462,6 +474,80 @@ mod tests {
             }
         });
         assert_eq!(out[1], (0..50u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn transient_faults_are_survived_with_identical_results() {
+        use crate::fault::FaultPlan;
+        let plan = Arc::new(
+            FaultPlan::parse(
+                "seed=3;drop:prob=0.1;duplicate:prob=0.1;truncate:prob=0.05;delay:prob=0.02",
+            )
+            .unwrap(),
+        );
+        let p = 4;
+        let work = |c: &Comm| {
+            let bufs: Vec<Vec<u64>> = (0..p)
+                .map(|d| vec![(c.rank() * 100 + d) as u64; 3])
+                .collect();
+            let got = c.all_to_all_v(bufs);
+            let sum: u64 = got.iter().flatten().sum();
+            c.send((c.rank() + 1) % p, 11, vec![sum]);
+            let prev = c.recv::<u64>((c.rank() + p - 1) % p, 11)[0];
+            c.all_reduce(sum + prev, crate::reduce::ReduceOp::Sum)
+        };
+        let clean = run(p, work);
+        let faulty_cfg = RunConfig {
+            fault: Some(Arc::clone(&plan)),
+            ..Default::default()
+        };
+        let faulty = run_with(p, faulty_cfg.clone(), work);
+        assert_eq!(clean, faulty, "faults must be invisible to callers");
+
+        // Same plan, same seed ⇒ the same injected faults, down to the
+        // per-rank counters.
+        let counters = |cfg: RunConfig| {
+            run_with(p, cfg, |c| {
+                work(c);
+                c.stats().snapshot()
+            })
+        };
+        let a = counters(faulty_cfg.clone());
+        let b = counters(faulty_cfg);
+        assert_eq!(a, b, "fault injection must be deterministic");
+        let hits: u64 = a
+            .iter()
+            .map(|s| s.fault_drops + s.fault_duplicates + s.fault_truncations + s.fault_delays)
+            .sum();
+        assert!(hits > 0, "the plan should have injected something");
+        let retries: u64 = a.iter().map(|s| s.fault_retries).sum();
+        let lossy: u64 = a.iter().map(|s| s.fault_drops + s.fault_truncations).sum();
+        assert_eq!(retries, lossy, "every drop/truncation is retried once");
+    }
+
+    #[test]
+    fn injected_crash_propagates_typed_payload() {
+        use crate::fault::{FaultPlan, RankCrashed};
+        let plan = Arc::new(FaultPlan::parse("crash:rank=1,phase=0,op=2").unwrap());
+        let res = std::panic::catch_unwind(|| {
+            run_with(
+                2,
+                RunConfig {
+                    fault: Some(plan),
+                    ..Default::default()
+                },
+                |c| {
+                    for _ in 0..4 {
+                        c.barrier();
+                    }
+                },
+            )
+        });
+        let payload = res.unwrap_err();
+        let crash = payload
+            .downcast_ref::<RankCrashed>()
+            .expect("crash payload must survive propagation");
+        assert_eq!((crash.rank, crash.phase, crash.op), (1, 0, 2));
     }
 
     #[test]

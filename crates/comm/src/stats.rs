@@ -19,20 +19,22 @@ pub enum TrafficKind {
 /// The algorithmic step traffic is attributed to. The distributed
 /// Louvain iteration has four communication steps per sweep (ghost
 /// community refresh, remote-community a_c pull, delta push to owners,
-/// and the modularity reduction); everything else (setup, graph
-/// rebuild, result gathering) lands in `Other`.
+/// and the modularity reduction); checkpoint manifest gathers land in
+/// `Checkpoint`; everything else (setup, graph rebuild, result
+/// gathering) lands in `Other`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CommStep {
     GhostRefresh,
     CommunityPull,
     DeltaPush,
     Reduction,
+    Checkpoint,
     #[default]
     Other,
 }
 
 /// Number of [`CommStep`] variants (array-indexed counters).
-pub const NUM_COMM_STEPS: usize = 5;
+pub const NUM_COMM_STEPS: usize = 6;
 
 impl CommStep {
     pub const ALL: [CommStep; NUM_COMM_STEPS] = [
@@ -40,6 +42,7 @@ impl CommStep {
         CommStep::CommunityPull,
         CommStep::DeltaPush,
         CommStep::Reduction,
+        CommStep::Checkpoint,
         CommStep::Other,
     ];
 
@@ -49,7 +52,8 @@ impl CommStep {
             CommStep::CommunityPull => 1,
             CommStep::DeltaPush => 2,
             CommStep::Reduction => 3,
-            CommStep::Other => 4,
+            CommStep::Checkpoint => 4,
+            CommStep::Other => 5,
         }
     }
 
@@ -59,8 +63,14 @@ impl CommStep {
             CommStep::CommunityPull => "community_pull",
             CommStep::DeltaPush => "delta_push",
             CommStep::Reduction => "reduction",
+            CommStep::Checkpoint => "checkpoint",
             CommStep::Other => "other",
         }
+    }
+
+    /// Inverse of [`CommStep::label`] (used by the fault-plan DSL).
+    pub fn from_label(label: &str) -> Option<CommStep> {
+        CommStep::ALL.into_iter().find(|s| s.label() == label)
     }
 }
 
@@ -78,6 +88,14 @@ pub struct CommStats {
     step: Cell<CommStep>,
     step_messages: [Cell<u64>; NUM_COMM_STEPS],
     step_bytes: [Cell<u64>; NUM_COMM_STEPS],
+    /// Injected-fault events observed by this rank's sender (all zero in
+    /// clean runs).
+    fault_drops: Cell<u64>,
+    fault_delays: Cell<u64>,
+    fault_duplicates: Cell<u64>,
+    fault_truncations: Cell<u64>,
+    /// Retransmissions performed to survive drops/truncations.
+    fault_retries: Cell<u64>,
 }
 
 impl CommStats {
@@ -102,6 +120,7 @@ impl CommStats {
         self.step_bytes[i].set(self.step_bytes[i].get() + bytes);
     }
 
+    #[cfg(test)]
     pub(crate) fn record_p2p(&self, bytes: u64, modeled: f64) {
         self.record_p2p_batch(1, bytes, modeled);
     }
@@ -162,6 +181,33 @@ impl CommStats {
         self.step_messages[step.index()].get()
     }
 
+    pub(crate) fn record_fault(&self, kind: crate::fault::FaultKind) {
+        use crate::fault::FaultKind;
+        let cell = match kind {
+            FaultKind::Drop => &self.fault_drops,
+            FaultKind::Delay => &self.fault_delays,
+            FaultKind::Duplicate => &self.fault_duplicates,
+            FaultKind::Truncate => &self.fault_truncations,
+        };
+        cell.set(cell.get() + 1);
+    }
+
+    pub(crate) fn record_retry(&self) {
+        self.fault_retries.set(self.fault_retries.get() + 1);
+    }
+
+    /// Injected-fault event counts `(drops, delays, duplicates,
+    /// truncations, retries)`.
+    pub fn fault_counts(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.fault_drops.get(),
+            self.fault_delays.get(),
+            self.fault_duplicates.get(),
+            self.fault_truncations.get(),
+            self.fault_retries.get(),
+        )
+    }
+
     /// Snapshot as a plain-old-data summary (for aggregation across ranks).
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -172,7 +218,62 @@ impl CommStats {
             modeled_seconds: self.modeled_seconds(),
             step_messages: std::array::from_fn(|i| self.step_messages[i].get()),
             step_bytes: std::array::from_fn(|i| self.step_bytes[i].get()),
+            fault_drops: self.fault_drops.get(),
+            fault_delays: self.fault_delays.get(),
+            fault_duplicates: self.fault_duplicates.get(),
+            fault_truncations: self.fault_truncations.get(),
+            fault_retries: self.fault_retries.get(),
         }
+    }
+
+    /// Fold a previously captured snapshot back into the live counters.
+    /// A resumed run calls this with the snapshot stored in its
+    /// checkpoint so that the final totals are cumulative (pre-crash +
+    /// post-resume) and per-step byte sums still reconcile.
+    pub fn absorb(&self, base: &StatsSnapshot) {
+        self.p2p_messages
+            .set(self.p2p_messages.get() + base.p2p_messages);
+        self.p2p_bytes.set(self.p2p_bytes.get() + base.p2p_bytes);
+        self.collective_calls
+            .set(self.collective_calls.get() + base.collective_calls);
+        self.collective_bytes
+            .set(self.collective_bytes.get() + base.collective_bytes);
+        self.modeled_seconds
+            .set(self.modeled_seconds.get() + base.modeled_seconds);
+        for i in 0..NUM_COMM_STEPS {
+            self.step_messages[i].set(self.step_messages[i].get() + base.step_messages[i]);
+            self.step_bytes[i].set(self.step_bytes[i].get() + base.step_bytes[i]);
+        }
+        self.fault_drops
+            .set(self.fault_drops.get() + base.fault_drops);
+        self.fault_delays
+            .set(self.fault_delays.get() + base.fault_delays);
+        self.fault_duplicates
+            .set(self.fault_duplicates.get() + base.fault_duplicates);
+        self.fault_truncations
+            .set(self.fault_truncations.get() + base.fault_truncations);
+        self.fault_retries
+            .set(self.fault_retries.get() + base.fault_retries);
+    }
+
+    /// Zero every counter, returning the pre-reset snapshot.
+    pub fn reset(&self) -> StatsSnapshot {
+        let snap = self.snapshot();
+        self.p2p_messages.set(0);
+        self.p2p_bytes.set(0);
+        self.collective_calls.set(0);
+        self.collective_bytes.set(0);
+        self.modeled_seconds.set(0.0);
+        for i in 0..NUM_COMM_STEPS {
+            self.step_messages[i].set(0);
+            self.step_bytes[i].set(0);
+        }
+        self.fault_drops.set(0);
+        self.fault_delays.set(0);
+        self.fault_duplicates.set(0);
+        self.fault_truncations.set(0);
+        self.fault_retries.set(0);
+        snap
     }
 }
 
@@ -188,6 +289,12 @@ pub struct StatsSnapshot {
     pub step_messages: [u64; NUM_COMM_STEPS],
     /// Per-[`CommStep`] byte counts, indexed by `CommStep::index()`.
     pub step_bytes: [u64; NUM_COMM_STEPS],
+    /// Injected-fault events (all zero in clean runs).
+    pub fault_drops: u64,
+    pub fault_delays: u64,
+    pub fault_duplicates: u64,
+    pub fault_truncations: u64,
+    pub fault_retries: u64,
 }
 
 impl StatsSnapshot {
@@ -203,6 +310,11 @@ impl StatsSnapshot {
             self.step_messages[i] += other.step_messages[i];
             self.step_bytes[i] += other.step_bytes[i];
         }
+        self.fault_drops += other.fault_drops;
+        self.fault_delays += other.fault_delays;
+        self.fault_duplicates += other.fault_duplicates;
+        self.fault_truncations += other.fault_truncations;
+        self.fault_retries += other.fault_retries;
     }
 
     /// Bytes attributed to one algorithmic step.
@@ -279,5 +391,36 @@ mod tests {
         assert_eq!(a.collective_calls, 3);
         assert_eq!(a.collective_bytes, 12);
         assert_eq!(a.modeled_seconds, 0.5);
+    }
+
+    #[test]
+    fn reset_then_absorb_restores_cumulative_totals() {
+        let s = CommStats::new();
+        s.set_step(CommStep::GhostRefresh);
+        s.record_p2p(100, 0.5);
+        s.set_step(CommStep::Checkpoint);
+        s.record_collective(8, 0.1);
+        let before = s.snapshot();
+
+        let cut = s.reset();
+        assert_eq!(cut, before);
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+
+        // Post-"resume" traffic plus the absorbed pre-crash snapshot
+        // must equal the uninterrupted totals plus the new traffic.
+        s.set_step(CommStep::Reduction);
+        s.record_collective(16, 0.2);
+        s.absorb(&cut);
+        let after = s.snapshot();
+        assert_eq!(after.p2p_bytes, 100);
+        assert_eq!(after.collective_bytes, 24);
+        assert_eq!(after.step_bytes_for(CommStep::GhostRefresh), 100);
+        assert_eq!(after.step_bytes_for(CommStep::Checkpoint), 8);
+        assert_eq!(after.step_bytes_for(CommStep::Reduction), 16);
+        assert_eq!(
+            after.step_bytes.iter().sum::<u64>(),
+            after.p2p_bytes + after.collective_bytes
+        );
+        assert!((after.modeled_seconds - 0.8).abs() < 1e-12);
     }
 }

@@ -3,12 +3,13 @@
 
 use std::time::Duration;
 
-use louvain_comm::{run_with, RunConfig, StatsSnapshot};
+use louvain_comm::{run_with, FaultPlan, RankCrashed, RunConfig, StatsSnapshot};
 use louvain_graph::{Csr, LocalGraph, VertexId, VertexPartition};
 use parking_lot_free::TakeSlots;
 
 use crate::config::DistConfig;
-use crate::runner::{run_on_rank, RankOutcome};
+use crate::resume::{ResilAbort, ResilOptions};
+use crate::runner::{run_on_rank, run_on_rank_resilient, RankOutcome};
 use crate::stats::PhaseStats;
 
 /// Tiny helper: hand each rank exactly one pre-built value from a shared
@@ -56,6 +57,12 @@ pub struct DistOutcome {
     /// Harvested trace events/metrics, present when tracing was enabled
     /// (`louvain_obs::set_enabled(true)` / `LOUVAIN_TRACE=1`) for the run.
     pub trace: Option<louvain_obs::TraceData>,
+    /// Phase the final (successful) attempt resumed from, when it was
+    /// restored off a checkpoint.
+    pub resumed_from_phase: Option<u64>,
+    /// Rank crashes absorbed by [`run_distributed_resilient`] on the way
+    /// to this outcome (always 0 from the non-resilient entry points).
+    pub recoveries: u64,
 }
 
 impl DistOutcome {
@@ -193,6 +200,85 @@ pub fn run_distributed_partitioned(
     merge(results, wall, trace)
 }
 
+/// [`run_distributed`] with checkpointing, resume, and crash recovery.
+///
+/// Runs the job, and whenever an injected (or, in principle, real) rank
+/// crash surfaces as a [`RankCrashed`] panic, restarts all ranks from
+/// the newest complete checkpoint — up to `resil.max_recoveries` times —
+/// before giving up with an `Err`. Because phase boundaries are
+/// consistent cuts and the trajectory is deterministic, the recovered
+/// outcome is bit-identical to an uninterrupted run's.
+///
+/// Unrecoverable conditions (corrupt/incompatible checkpoints, I/O
+/// failures, exhausted recovery budget) come back as `Err`; panics that
+/// are neither crashes nor checkpoint failures propagate unchanged.
+pub fn run_distributed_resilient(
+    g: &Csr,
+    p: usize,
+    cfg: &DistConfig,
+    runcfg: RunConfig,
+    resil: &ResilOptions,
+) -> Result<DistOutcome, String> {
+    let part = VertexPartition::balanced_edges(g, p);
+    let base_fault: Option<std::sync::Arc<FaultPlan>> = runcfg.fault.clone();
+
+    // One collector across attempts: a crashed attempt's spans stay in
+    // the rings, so the final trace shows the recovery story end to end.
+    let collector = louvain_obs::enabled().then(|| louvain_obs::Collector::new(p));
+    let watch = louvain_obs::Stopwatch::start();
+
+    let mut recoveries = 0u64;
+    loop {
+        let slots = TakeSlots::new(LocalGraph::scatter(g, &part));
+        let attempt_runcfg = RunConfig {
+            // Each absorbed crash consumes one crash rule, so the next
+            // attempt gets past it deterministically.
+            fault: base_fault
+                .as_ref()
+                .map(|f| std::sync::Arc::new(f.with_crashes_skipped(recoveries as usize))),
+            ..runcfg.clone()
+        };
+        let attempt_resil = ResilOptions {
+            resume: resil.resume || recoveries > 0,
+            ..resil.clone()
+        };
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_with(p, attempt_runcfg, |c| {
+                let _obs = collector.as_ref().map(|col| col.install(c.rank()));
+                let lg = slots.take(c.rank());
+                let outcome = run_on_rank_resilient(c, lg, cfg, &attempt_resil);
+                let stats = c.stats().snapshot();
+                (outcome, stats)
+            })
+        }));
+        match attempt {
+            Ok(results) => {
+                let wall = Duration::from_secs_f64(watch.wall_seconds());
+                let trace = collector.map(louvain_obs::Collector::finish);
+                let mut out = merge(results, wall, trace);
+                out.recoveries = recoveries;
+                return Ok(out);
+            }
+            Err(payload) => {
+                if let Some(aborted) = payload.downcast_ref::<ResilAbort>() {
+                    return Err(aborted.0.clone());
+                }
+                if let Some(crash) = payload.downcast_ref::<RankCrashed>() {
+                    if recoveries >= resil.max_recoveries as u64 {
+                        return Err(format!(
+                            "{crash}; recovery budget of {} exhausted",
+                            resil.max_recoveries
+                        ));
+                    }
+                    recoveries += 1;
+                    continue;
+                }
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
 /// Merge per-rank outcomes into a [`DistOutcome`].
 fn merge(
     results: Vec<(RankOutcome, StatsSnapshot)>,
@@ -202,6 +288,7 @@ fn merge(
     let modularity = results[0].0.modularity;
     let phases = results.iter().map(|(o, _)| o.phases).max().unwrap_or(0);
     let total_iterations = results[0].0.total_iterations;
+    let resumed_from_phase = results[0].0.resumed_from_phase;
 
     let mut assignment: Vec<VertexId> = Vec::new();
     let mut traffic = StatsSnapshot::default();
@@ -240,6 +327,8 @@ fn merge(
         modeled_seconds,
         wall,
         trace,
+        resumed_from_phase,
+        recoveries: 0,
     }
 }
 

@@ -184,9 +184,11 @@ fn exchange_ghosts(
     if louvain_obs::enabled() {
         if use_delta {
             let changed = scratch.changed.iter().filter(|&&c| c).count() as u64;
+            louvain_obs::counter_add("ghost.delta.refreshes", 1);
             louvain_obs::counter_add("ghost.delta.changed", changed);
             louvain_obs::counter_add("ghost.delta.slots", scratch.changed.len() as u64);
         } else {
+            louvain_obs::counter_add("ghost.full.refreshes", 1);
             louvain_obs::counter_add("ghost.full.slots", vals.len() as u64);
         }
     }

@@ -36,18 +36,20 @@ pub mod iteration;
 pub mod quality;
 pub mod rebuild;
 pub mod report;
+pub mod resume;
 pub mod runner;
 pub mod scratch;
 pub mod serial;
 pub mod stats;
 
 pub use api::{
-    run_distributed, run_distributed_partitioned, run_distributed_with, DistOutcome,
-    PartitionStrategy,
+    run_distributed, run_distributed_partitioned, run_distributed_resilient, run_distributed_with,
+    DistOutcome, PartitionStrategy,
 };
 pub use config::{DistConfig, Variant};
 pub use quality::{adjusted_rand_index, f_score, nmi, QualityReport};
 pub use report::{build_run_report, ReportMeta};
-pub use runner::RankOutcome;
+pub use resume::{config_fingerprint, CheckpointOptions, ResilOptions};
+pub use runner::{run_on_rank_resilient, RankOutcome};
 pub use serial::serial_louvain;
 pub use stats::{IterationTrace, PhaseStats, WorkCounter};

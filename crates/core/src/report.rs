@@ -118,6 +118,24 @@ pub fn build_run_report(outcome: &DistOutcome, meta: &ReportMeta) -> RunReport {
         phases: outcome.phases as u64,
         iterations: outcome.total_iterations as u64,
         wall_seconds: outcome.wall.as_secs_f64(),
+        resumed_from_phase: outcome.resumed_from_phase,
+        recoveries: outcome.recoveries,
+        faults: {
+            let (drops, delays, duplicates, truncations, retries) = (
+                traffic.fault_drops,
+                traffic.fault_delays,
+                traffic.fault_duplicates,
+                traffic.fault_truncations,
+                traffic.fault_retries,
+            );
+            louvain_obs::FaultTotals {
+                drops,
+                delays,
+                duplicates,
+                truncations,
+                retries,
+            }
+        },
         modeled: ModeledBreakdown {
             compute,
             comm,

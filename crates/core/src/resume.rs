@@ -1,0 +1,150 @@
+//! Resilience options for the distributed runner, plus the
+//! [`DistConfig`] fingerprint that ties a checkpoint to the exact
+//! configuration that produced it.
+//!
+//! The phase trajectory is a deterministic function of the input graph,
+//! the rank count, and every field of [`DistConfig`] (sweep order is
+//! seeded from `seed` and the absolute phase index, ET coin flips from
+//! `seed`, τ from the variant/threshold). Resuming under a different
+//! configuration would silently diverge from the run that wrote the
+//! checkpoint, so the fingerprint covers *all* fields and the restore
+//! path refuses on mismatch.
+
+use std::path::PathBuf;
+
+use crate::config::{DistConfig, Variant};
+
+/// Where and how often to write phase-boundary checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Checkpoint directory (created on first use).
+    pub dir: PathBuf,
+    /// Write a checkpoint every `every`-th phase boundary (≥ 1).
+    pub every: u64,
+}
+
+impl CheckpointOptions {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every: 1,
+        }
+    }
+
+    pub fn every(mut self, every: u64) -> Self {
+        self.every = every.max(1);
+        self
+    }
+}
+
+/// Checkpoint/resume/recovery behaviour of a distributed run. The
+/// default is fully inert: no checkpoints, no resume, no recovery —
+/// and no cost on the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct ResilOptions {
+    /// Write checkpoints when set.
+    pub checkpoint: Option<CheckpointOptions>,
+    /// Start from the newest complete checkpoint in `checkpoint.dir`
+    /// instead of from scratch (falls back to a fresh start when the
+    /// directory holds no complete checkpoint yet).
+    pub resume: bool,
+    /// How many rank crashes [`crate::api::run_distributed_resilient`]
+    /// absorbs by restarting from the newest checkpoint before giving up.
+    pub max_recoveries: usize,
+}
+
+impl ResilOptions {
+    /// Checkpointing, resume, and recovery all off.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.checkpoint.is_none() && !self.resume
+    }
+}
+
+/// Panic payload for unrecoverable checkpoint/restore failures inside a
+/// rank (I/O error, corrupt or incompatible checkpoint). The resilient
+/// driver downcasts it back into an `Err` for the caller; it is *not* a
+/// recoverable crash, so it never consumes recovery budget.
+#[derive(Debug)]
+pub struct ResilAbort(pub String);
+
+/// Abort the run from inside a rank with a typed payload.
+pub(crate) fn abort(msg: String) -> ! {
+    std::panic::panic_any(ResilAbort(msg))
+}
+
+/// FNV-1a fingerprint over a canonical rendering of every `DistConfig`
+/// field. Floats are hashed by bit pattern so `-0.0` vs `0.0` and NaN
+/// payloads are distinguished exactly like the runner distinguishes
+/// them.
+pub fn config_fingerprint(cfg: &DistConfig) -> u64 {
+    let variant = match cfg.variant {
+        Variant::Baseline => "baseline".to_string(),
+        Variant::ThresholdCycling => "cycling".to_string(),
+        Variant::Et { alpha } => format!("et:{:016x}", alpha.to_bits()),
+        Variant::Etc { alpha } => format!("etc:{:016x}", alpha.to_bits()),
+        Variant::EtPlusCycling { alpha } => format!("et+cycling:{:016x}", alpha.to_bits()),
+    };
+    let text = format!(
+        "variant={variant};threshold={:016x};max_phases={};max_iterations={};\
+         etc_exit_fraction={:016x};seed={:016x};neighborhood_collectives={};\
+         prune_inactive_ghosts={};color_sweeps={};disable_singleton_guard={};\
+         index_order_sweep={};threads_per_rank={};vertex_following={};\
+         delta_ghost_refresh={}",
+        cfg.threshold.to_bits(),
+        cfg.max_phases,
+        cfg.max_iterations,
+        cfg.etc_exit_fraction.to_bits(),
+        cfg.seed,
+        cfg.neighborhood_collectives,
+        cfg.prune_inactive_ghosts,
+        cfg.color_sweeps,
+        cfg.disable_singleton_guard,
+        cfg.index_order_sweep,
+        cfg.threads_per_rank,
+        cfg.vertex_following,
+        cfg.delta_ghost_refresh,
+    );
+    louvain_resil::fnv1a64(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let base = DistConfig::baseline();
+        let fp = config_fingerprint(&base);
+        assert_eq!(fp, config_fingerprint(&DistConfig::baseline()));
+
+        // Every field that steers the trajectory must perturb the
+        // fingerprint — a sample across types:
+        let mut seeds = DistConfig::baseline();
+        seeds.seed ^= 1;
+        let mut tau = DistConfig::baseline();
+        tau.threshold *= 2.0;
+        let mut delta = DistConfig::baseline();
+        delta.delta_ghost_refresh = true;
+        let variant = DistConfig::with_variant(Variant::Et { alpha: 0.25 });
+        let mut alpha = DistConfig::with_variant(Variant::Et { alpha: 0.75 });
+        alpha.seed = base.seed;
+        for other in [&seeds, &tau, &delta, &variant, &alpha] {
+            assert_ne!(fp, config_fingerprint(other));
+        }
+        assert_ne!(
+            config_fingerprint(&variant),
+            config_fingerprint(&alpha),
+            "same variant kind, different alpha"
+        );
+    }
+
+    #[test]
+    fn checkpoint_every_is_clamped_to_one() {
+        assert_eq!(CheckpointOptions::new("/tmp/x").every(0).every, 1);
+        assert_eq!(CheckpointOptions::new("/tmp/x").every(3).every, 3);
+    }
+}

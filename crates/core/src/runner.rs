@@ -2,15 +2,17 @@
 
 use std::time::Duration;
 
-use louvain_comm::{Comm, ReduceOp};
+use louvain_comm::{Comm, CommStep, ReduceOp};
 use louvain_graph::hash::{fast_map, FastMap};
 use louvain_graph::{LocalGraph, VertexId, VertexPartition};
+use louvain_resil::{CheckpointStore, RankCheckpoint};
 
 use crate::config::DistConfig;
 use crate::ghost::GhostLayer;
 use crate::heuristics::ThresholdSchedule;
 use crate::iteration::{louvain_phase, PhaseContext};
 use crate::rebuild::rebuild;
+use crate::resume::{abort, config_fingerprint, ResilOptions};
 use crate::stats::PhaseStats;
 
 /// What one rank returns from a full distributed Louvain run.
@@ -26,6 +28,12 @@ pub struct RankOutcome {
     pub phase_stats: Vec<PhaseStats>,
     /// Wall time of the whole run on this rank.
     pub wall: Duration,
+    /// The phase this run restarted from when it was restored off a
+    /// checkpoint (`None` for uninterrupted runs). `phase_stats` then
+    /// covers only the re-executed phases, while `phases`,
+    /// `total_iterations`, and the comm counters are cumulative over the
+    /// whole logical run.
+    pub resumed_from_phase: Option<u64>,
 }
 
 /// Fetch `local_vals[key - owner_first]` from the owner of every `key`.
@@ -71,9 +79,76 @@ fn pull_values(
     keys.iter().map(|k| map[k]).collect()
 }
 
+/// One rank's state recovered from the newest complete checkpoint.
+struct RestoredState {
+    lg: LocalGraph,
+    cur_of_orig: Vec<VertexId>,
+    start_phase: usize,
+    force_min_tau: bool,
+    prev_q: f64,
+    final_q: f64,
+    total_iterations: usize,
+}
+
+/// Load and validate this rank's slab from the newest complete
+/// checkpoint, or `None` when the store holds no checkpoint yet (a
+/// fresh start is then the correct resume). Unrecoverable problems
+/// (corruption, wrong config, wrong rank count, I/O) abort the run with
+/// a typed payload rather than silently diverging.
+fn restore_rank(comm: &Comm, store: &CheckpointStore, fingerprint: u64) -> Option<RestoredState> {
+    let latest = store
+        .latest()
+        .unwrap_or_else(|e| abort(format!("cannot resume: {e}")))?;
+    let _s = louvain_obs::span!("checkpoint_restore", phase = latest);
+    fn fail(latest: u64, e: louvain_resil::ResilError) -> ! {
+        abort(format!("cannot resume from phase {latest}: {e}"))
+    }
+    let manifest = store.manifest(latest).unwrap_or_else(|e| fail(latest, e));
+    manifest
+        .validate(comm.size(), fingerprint)
+        .unwrap_or_else(|e| fail(latest, e));
+    let ckpt = store
+        .load_rank(&manifest, comm.rank())
+        .unwrap_or_else(|e| fail(latest, e));
+    let part = VertexPartition::from_starts(ckpt.part_starts.clone());
+    let offsets: Vec<usize> = ckpt.offsets.iter().map(|&o| o as usize).collect();
+    let lg = LocalGraph::from_csr_parts(part, comm.rank(), offsets, ckpt.dests, ckpt.weights);
+    // Re-absorb the checkpointed counters so the resumed run's
+    // cumulative traffic matches an uninterrupted run's.
+    comm.stats().absorb(&ckpt.stats);
+    Some(RestoredState {
+        lg,
+        cur_of_orig: ckpt.cur_of_orig,
+        start_phase: ckpt.phase as usize,
+        force_min_tau: ckpt.force_min_tau,
+        prev_q: ckpt.prev_q,
+        final_q: ckpt.final_q,
+        total_iterations: ckpt.total_iterations as usize,
+    })
+}
+
 /// Run the distributed Louvain algorithm on this rank's piece of the
 /// graph. Collective — all ranks call it with their own [`LocalGraph`].
 pub fn run_on_rank(comm: &Comm, lg0: LocalGraph, cfg: &DistConfig) -> RankOutcome {
+    run_on_rank_resilient(comm, lg0, cfg, &ResilOptions::none())
+}
+
+/// [`run_on_rank`] with phase-boundary checkpointing and resume.
+///
+/// Phase boundaries are consistent cuts: the four per-iteration
+/// communication steps have quiesced, the coarse graph was just rebuilt,
+/// and the per-phase heuristic state (ET tracker, delta-refresh
+/// baseline) is recreated from scratch at each phase entry, so the cut
+/// carries none of it. Together with the sweep order being seeded from
+/// the *absolute* phase index, a run resumed from the phase-`k`
+/// checkpoint replays phases `k..` bit-identically to an uninterrupted
+/// run — same assignments, same modularity.
+pub fn run_on_rank_resilient(
+    comm: &Comm,
+    lg0: LocalGraph,
+    cfg: &DistConfig,
+    resil: &ResilOptions,
+) -> RankOutcome {
     let watch = louvain_obs::Stopwatch::start();
     let schedule = if cfg.variant.uses_cycling() {
         ThresholdSchedule::paper_cycle(cfg.threshold)
@@ -81,6 +156,16 @@ pub fn run_on_rank(comm: &Comm, lg0: LocalGraph, cfg: &DistConfig) -> RankOutcom
         ThresholdSchedule::fixed(cfg.threshold)
     };
     let min_tau = schedule.min_tau();
+    let fingerprint = config_fingerprint(cfg);
+
+    let store = resil.checkpoint.as_ref().map(|c| {
+        CheckpointStore::new(&c.dir).unwrap_or_else(|e| {
+            abort(format!(
+                "cannot open checkpoint directory {}: {e}",
+                c.dir.display()
+            ))
+        })
+    });
 
     let mut lg = lg0;
     // Original vertex (this rank's range) → vertex of the current coarse
@@ -92,8 +177,27 @@ pub fn run_on_rank(comm: &Comm, lg0: LocalGraph, cfg: &DistConfig) -> RankOutcom
     let mut final_q = 0.0;
     let mut total_iterations = 0;
     let mut force_min_tau = false;
+    let mut start_phase = 0usize;
+    let mut resumed_from_phase = None;
 
-    for phase_idx in 0..cfg.max_phases {
+    if resil.resume {
+        let store = store
+            .as_ref()
+            .unwrap_or_else(|| abort("resume requested without a checkpoint directory".into()));
+        if let Some(restored) = restore_rank(comm, store, fingerprint) {
+            lg = restored.lg;
+            cur_of_orig = restored.cur_of_orig;
+            start_phase = restored.start_phase;
+            force_min_tau = restored.force_min_tau;
+            prev_q = restored.prev_q;
+            final_q = restored.final_q;
+            total_iterations = restored.total_iterations;
+            resumed_from_phase = Some(start_phase as u64);
+        }
+    }
+
+    for phase_idx in start_phase..cfg.max_phases {
+        comm.advance_fault_epoch(phase_idx as u64);
         let tau = if force_min_tau {
             min_tau
         } else {
@@ -207,15 +311,73 @@ pub fn run_on_rank(comm: &Comm, lg0: LocalGraph, cfg: &DistConfig) -> RankOutcom
             // final coarse vertices, which are the final communities.
             break;
         }
+
+        // Phase-boundary checkpoint: all collectives have quiesced, the
+        // coarse graph was just rebuilt, and the projection is current —
+        // a consistent cut of the whole distributed state.
+        if let Some(store) = store.as_ref() {
+            let every = resil.checkpoint.as_ref().map_or(1, |c| c.every.max(1));
+            let next_phase = (phase_idx + 1) as u64;
+            if next_phase.is_multiple_of(every) {
+                let mut span = louvain_obs::span!("checkpoint_write", phase = next_phase);
+                // The stats cut is snapshotted BEFORE the checkpoint-step
+                // gather below, so the stored counters exclude the
+                // checkpointing traffic itself: a resumed run then
+                // reproduces an uninterrupted run's per-step totals
+                // exactly for every step but `checkpoint`.
+                let (offsets, dests, weights) = lg.csr_parts();
+                let ckpt = RankCheckpoint {
+                    rank: comm.rank(),
+                    ranks: comm.size(),
+                    phase: next_phase,
+                    force_min_tau,
+                    prev_q,
+                    final_q,
+                    total_iterations: total_iterations as u64,
+                    config_fingerprint: fingerprint,
+                    part_starts: lg.partition().starts().to_vec(),
+                    offsets: offsets.iter().map(|&o| o as u64).collect(),
+                    dests: dests.to_vec(),
+                    weights: weights.to_vec(),
+                    cur_of_orig: cur_of_orig.clone(),
+                    stats: comm.stats().snapshot(),
+                };
+                let bytes = comm.with_step(CommStep::Checkpoint, || {
+                    let entry = store.write_rank(&ckpt).unwrap_or_else(|e| {
+                        abort(format!(
+                            "checkpoint write failed at phase {next_phase}: {e}"
+                        ))
+                    });
+                    let bytes = entry.bytes;
+                    if let Some(entries) = comm.gather_to_root(0, vec![entry]) {
+                        let all: Vec<_> = entries.into_iter().flatten().collect();
+                        store
+                            .commit_phase(next_phase, comm.size(), fingerprint, all)
+                            .unwrap_or_else(|e| {
+                                abort(format!(
+                                    "checkpoint commit failed at phase {next_phase}: {e}"
+                                ))
+                            });
+                    }
+                    // No rank proceeds before the manifest is durable —
+                    // otherwise a crash early in the next phase could
+                    // strand slabs with no committed manifest behind them.
+                    comm.barrier();
+                    bytes
+                });
+                span.arg("bytes", bytes);
+            }
+        }
     }
 
     RankOutcome {
         assignment: cur_of_orig,
         modularity: final_q.max(0.0_f64.min(final_q)),
-        phases: phase_stats.len(),
+        phases: start_phase + phase_stats.len(),
         total_iterations,
         phase_stats,
         wall: Duration::from_secs_f64(watch.wall_seconds()),
+        resumed_from_phase,
     }
 }
 

@@ -22,8 +22,16 @@ use crate::edgelist::EdgeList;
 use crate::{VertexId, Weight};
 
 const MAGIC: u64 = 0x4C56_4752_4250_4831;
+/// The low byte of [`MAGIC`] carries the format version (ASCII `'1'`);
+/// the remaining seven bytes are the fixed `"LVGRBPH"` signature.
+const MAGIC_SIGNATURE: u64 = MAGIC & !0xFF;
+const FORMAT_VERSION: u8 = (MAGIC & 0xFF) as u8;
 const HEADER_BYTES: u64 = 24;
 const RECORD_BYTES: u64 = 24;
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
 
 /// Header of a binary graph file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,22 +54,60 @@ pub fn write_edge_list(path: &Path, list: &EdgeList) -> io::Result<()> {
     w.flush()
 }
 
-/// Read only the header.
+/// Read only the header, validating the magic signature, the format
+/// version, and that the file is long enough to hold the edge records
+/// the header claims. Each rejection carries a descriptive
+/// [`io::ErrorKind::InvalidData`] error rather than a raw read failure.
 pub fn read_header(path: &Path) -> io::Result<Header> {
     let mut r = File::open(path)?;
+    let file_len = r.metadata()?.len();
+    if file_len < HEADER_BYTES {
+        return Err(bad_data(format!(
+            "truncated graph file {}: {file_len} bytes, but the header alone is {HEADER_BYTES} bytes",
+            path.display()
+        )));
+    }
     let mut buf = [0u8; HEADER_BYTES as usize];
     r.read_exact(&mut buf)?;
     let magic = u64::from_le_bytes(buf[0..8].try_into().unwrap());
-    if magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad magic in graph file",
-        ));
+    if magic & !0xFF != MAGIC_SIGNATURE {
+        return Err(bad_data(format!(
+            "not a louvain binary graph file {}: bad magic {magic:#018x} (expected signature {MAGIC_SIGNATURE:#018x})",
+            path.display()
+        )));
     }
-    Ok(Header {
+    let version = (magic & 0xFF) as u8;
+    if version != FORMAT_VERSION {
+        return Err(bad_data(format!(
+            "unsupported graph format version {:?} in {} (this build reads version {:?})",
+            version as char,
+            path.display(),
+            FORMAT_VERSION as char
+        )));
+    }
+    let header = Header {
         num_vertices: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
         num_edges: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
-    })
+    };
+    let need = header
+        .num_edges
+        .checked_mul(RECORD_BYTES)
+        .and_then(|b| b.checked_add(HEADER_BYTES))
+        .ok_or_else(|| {
+            bad_data(format!(
+                "corrupt graph header in {}: edge count {} overflows the file size",
+                path.display(),
+                header.num_edges
+            ))
+        })?;
+    if file_len < need {
+        return Err(bad_data(format!(
+            "truncated edge records in {}: header claims {} edges ({need} bytes) but the file has {file_len} bytes",
+            path.display(),
+            header.num_edges
+        )));
+    }
+    Ok(header)
 }
 
 /// Read edge records `lo..hi` (record indices). This is the MPI-I/O-style
@@ -179,6 +225,45 @@ mod tests {
     fn bad_magic_rejected() {
         let path = tmp("bad.bin");
         std::fs::write(&path, [0u8; 48]).unwrap();
-        assert!(read_header(&path).is_err());
+        let err = read_header(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let path = tmp("short.bin");
+        std::fs::write(&path, MAGIC.to_le_bytes()).unwrap();
+        let err = read_header(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated graph file"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let path = tmp("version.bin");
+        write_edge_list(&path, &sample()).unwrap();
+        // Bump the version byte ('1' → '2') while keeping the signature.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'2';
+        std::fs::write(&path, bytes).unwrap();
+        let err = read_header(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("unsupported graph format"),
+            "{err}"
+        );
+        assert!(err.to_string().contains('2'), "{err}");
+    }
+
+    #[test]
+    fn truncated_records_rejected() {
+        let path = tmp("cut.bin");
+        write_edge_list(&path, &sample()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let err = read_header(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated edge records"), "{err}");
     }
 }

@@ -116,6 +116,44 @@ impl LocalGraph {
         self.dests.len()
     }
 
+    /// The raw CSR storage of this rank's slab, `(offsets, dests,
+    /// weights)` — the exact state a checkpoint must persist.
+    /// [`LocalGraph::from_csr_parts`] is the inverse.
+    pub fn csr_parts(&self) -> (&[usize], &[VertexId], &[Weight]) {
+        (&self.offsets, &self.dests, &self.weights)
+    }
+
+    /// Rebuild a slab from raw CSR storage (checkpoint restore). Panics
+    /// if the parts are not a well-formed CSR for `rank`'s vertex range.
+    pub fn from_csr_parts(
+        part: VertexPartition,
+        rank: usize,
+        offsets: Vec<usize>,
+        dests: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> Self {
+        assert!(rank < part.num_ranks(), "rank {rank} out of range");
+        assert_eq!(
+            offsets.len(),
+            part.num_local(rank) + 1,
+            "offsets length does not match the rank's vertex count"
+        );
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be nondecreasing"
+        );
+        assert_eq!(*offsets.last().unwrap(), dests.len());
+        assert_eq!(dests.len(), weights.len());
+        Self {
+            part,
+            rank,
+            offsets,
+            dests,
+            weights,
+        }
+    }
+
     /// Convert a global id of an owned vertex to its local index.
     #[inline]
     pub fn to_local(&self, v: VertexId) -> usize {
@@ -346,6 +384,28 @@ mod tests {
             .sum();
         assert_eq!(w01, 3.0);
         assert_eq!(lg.weighted_degree(0), 3.5);
+    }
+
+    #[test]
+    fn csr_parts_roundtrip() {
+        let g = path_graph(12);
+        let part = VertexPartition::balanced_vertices(12, 3);
+        let parts = LocalGraph::scatter(&g, &part);
+        for lg in &parts {
+            let (offsets, dests, weights) = lg.csr_parts();
+            let back = LocalGraph::from_csr_parts(
+                lg.partition().clone(),
+                lg.rank(),
+                offsets.to_vec(),
+                dests.to_vec(),
+                weights.to_vec(),
+            );
+            assert_eq!(back.num_local(), lg.num_local());
+            assert_eq!(back.num_local_arcs(), lg.num_local_arcs());
+            for l in 0..lg.num_local() {
+                assert!(back.neighbors(l).eq(lg.neighbors(l)));
+            }
+        }
     }
 
     #[test]

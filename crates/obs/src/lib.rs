@@ -49,7 +49,9 @@ pub use metrics::{
     counter_add, gauge_set, hist_observe, GaugeStat, Histogram, MetricsRegistry, MetricsSnapshot,
     HIST_BUCKETS,
 };
-pub use report::{ModeledBreakdown, RankTotals, RunReport, StepTotal, RUN_REPORT_VERSION};
+pub use report::{
+    FaultTotals, ModeledBreakdown, RankTotals, RunReport, StepTotal, RUN_REPORT_VERSION,
+};
 pub use ring::EventRing;
 pub use span::{
     add_modeled_seconds, enabled, init_from_env, instant, modeled_seconds_now, set_enabled, span,

@@ -74,6 +74,22 @@ impl ModeledBreakdown {
     }
 }
 
+/// Injected-fault totals summed across ranks (all zero on clean runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTotals {
+    pub drops: u64,
+    pub delays: u64,
+    pub duplicates: u64,
+    pub truncations: u64,
+    pub retries: u64,
+}
+
+impl FaultTotals {
+    pub fn any(&self) -> bool {
+        self.drops + self.delays + self.duplicates + self.truncations + self.retries > 0
+    }
+}
+
 /// The complete run artifact. See module docs.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
@@ -89,6 +105,16 @@ pub struct RunReport {
     pub phases: u64,
     pub iterations: u64,
     pub wall_seconds: f64,
+    /// Phase index the run resumed from when restarted off a checkpoint
+    /// (`None` on uninterrupted runs). The cumulative totals above cover
+    /// the whole logical run: checkpointed counters are re-absorbed on
+    /// resume, so a recovered run reports the same per-step traffic as
+    /// an uninterrupted one (modulo the `checkpoint` step itself).
+    pub resumed_from_phase: Option<u64>,
+    /// Crash recoveries the resilient driver performed (0 = clean run).
+    pub recoveries: u64,
+    /// Injected-fault totals summed across ranks.
+    pub faults: FaultTotals,
     pub modeled: ModeledBreakdown,
     /// Cross-rank traffic per communication step.
     pub step_totals: Vec<StepTotal>,
@@ -189,6 +215,24 @@ impl RunReport {
             ("phases", num_u(self.phases)),
             ("iterations", num_u(self.iterations)),
             ("wall_seconds", Json::Num(self.wall_seconds)),
+            (
+                "resumed_from_phase",
+                match self.resumed_from_phase {
+                    Some(p) => num_u(p),
+                    None => Json::Null,
+                },
+            ),
+            ("recoveries", num_u(self.recoveries)),
+            (
+                "faults",
+                obj(vec![
+                    ("drops", num_u(self.faults.drops)),
+                    ("delays", num_u(self.faults.delays)),
+                    ("duplicates", num_u(self.faults.duplicates)),
+                    ("truncations", num_u(self.faults.truncations)),
+                    ("retries", num_u(self.faults.retries)),
+                ]),
+            ),
             ("modeled", {
                 let (fc, fm, fr, fb) = self.modeled.fractions();
                 obj(vec![
@@ -364,6 +408,20 @@ impl RunReport {
             phases: u(doc, "phases")?,
             iterations: u(doc, "iterations")?,
             wall_seconds: f(doc, "wall_seconds")?,
+            // Resilience fields arrived after version 1 shipped; parse
+            // them leniently so pre-resilience artifacts still load.
+            resumed_from_phase: doc.get("resumed_from_phase").and_then(Json::as_u64),
+            recoveries: doc.get("recoveries").and_then(Json::as_u64).unwrap_or(0),
+            faults: match doc.get("faults") {
+                Some(fd) => FaultTotals {
+                    drops: u(fd, "drops")?,
+                    delays: u(fd, "delays")?,
+                    duplicates: u(fd, "duplicates")?,
+                    truncations: u(fd, "truncations")?,
+                    retries: u(fd, "retries")?,
+                },
+                None => FaultTotals::default(),
+            },
             modeled: ModeledBreakdown {
                 compute: f(modeled_doc, "compute_seconds")?,
                 comm: f(modeled_doc, "comm_seconds")?,
@@ -454,6 +512,15 @@ mod tests {
             phases: 3,
             iterations: 14,
             wall_seconds: 1.25,
+            resumed_from_phase: Some(2),
+            recoveries: 1,
+            faults: FaultTotals {
+                drops: 3,
+                delays: 1,
+                duplicates: 0,
+                truncations: 2,
+                retries: 5,
+            },
             modeled: ModeledBreakdown {
                 compute: 2.2,
                 comm: 3.4,
@@ -525,6 +592,23 @@ mod tests {
             ModeledBreakdown::default().fractions(),
             (0.0, 0.0, 0.0, 0.0)
         );
+    }
+
+    #[test]
+    fn resilience_fields_parse_leniently_when_absent() {
+        // Reports written before the resilience subsystem carry neither
+        // `resumed_from_phase` nor `recoveries` nor `faults`; they must
+        // still load, defaulting to a clean uninterrupted run.
+        let mut doc = sample().to_json();
+        if let Json::Obj(members) = &mut doc {
+            members
+                .retain(|(k, _)| k != "resumed_from_phase" && k != "recoveries" && k != "faults");
+        }
+        let back = RunReport::from_json(&doc).expect("lenient parse");
+        assert_eq!(back.resumed_from_phase, None);
+        assert_eq!(back.recoveries, 0);
+        assert_eq!(back.faults, FaultTotals::default());
+        assert!(!back.faults.any());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Typed failure modes of checkpoint writing, loading, and validation.
+
+use std::fmt;
+
+/// Everything that can go wrong between a checkpoint directory and a
+/// restored rank state.
+#[derive(Debug)]
+pub enum ResilError {
+    Io(std::io::Error),
+    /// Structural damage: bad magic, truncated buffer, malformed field.
+    Corrupt(String),
+    /// The format version is not one this build reads.
+    UnsupportedVersion {
+        found: u32,
+        expected: u32,
+    },
+    /// The FNV-1a content hash does not match the stored bytes.
+    HashMismatch {
+        expected: u64,
+        actual: u64,
+    },
+    /// The checkpoint was written under a different `DistConfig`.
+    ConfigMismatch {
+        expected: u64,
+        actual: u64,
+    },
+    /// The checkpoint was written by a job with a different rank count.
+    RankCountMismatch {
+        expected: usize,
+        actual: usize,
+    },
+    /// The manifest is missing, malformed, or inconsistent.
+    Manifest(String),
+}
+
+impl fmt::Display for ResilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            ResilError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            ResilError::UnsupportedVersion { found, expected } => write!(
+                f,
+                "unsupported checkpoint format version {found} (this build reads {expected})"
+            ),
+            ResilError::HashMismatch { expected, actual } => write!(
+                f,
+                "checkpoint content hash mismatch: stored {expected:#018x}, computed {actual:#018x}"
+            ),
+            ResilError::ConfigMismatch { expected, actual } => write!(
+                f,
+                "checkpoint was written under a different configuration (fingerprint {actual:#018x}, this run {expected:#018x})"
+            ),
+            ResilError::RankCountMismatch { expected, actual } => write!(
+                f,
+                "checkpoint was written by a {actual}-rank job, cannot resume with {expected} ranks"
+            ),
+            ResilError::Manifest(msg) => write!(f, "checkpoint manifest error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilError {}
+
+impl From<std::io::Error> for ResilError {
+    fn from(e: std::io::Error) -> Self {
+        ResilError::Io(e)
+    }
+}

@@ -1,0 +1,31 @@
+//! # louvain-resil — checkpoint/restart for distributed Louvain
+//!
+//! Phase boundaries of the distributed Louvain algorithm are natural
+//! consistent cuts: all four per-iteration communication steps have
+//! quiesced, the coarse graph has just been rebuilt, and every rank's
+//! state is fully described by its local CSR slab, its projection of the
+//! original vertices onto current communities (the dendrogram-so-far),
+//! and a few phase-loop scalars. This crate persists exactly that state:
+//!
+//! * [`RankCheckpoint`] — one rank's slab in a versioned little-endian
+//!   binary format (magic + format version + trailing FNV-1a content
+//!   hash), written atomically (tmp file + fsync + rename);
+//! * [`Manifest`] — a per-phase JSON manifest recording rank count,
+//!   `DistConfig` fingerprint, and per-rank file checksums, committed
+//!   atomically after every rank's slab is durable, plus a `LATEST`
+//!   pointer naming the newest complete phase;
+//! * [`CheckpointStore`] — the directory layout
+//!   (`<dir>/phase-<k>/rank-<r>.ckpt`) and the validated load path.
+//!
+//! Loading validates magic, version, content hash, manifest checksum,
+//! rank count, and config fingerprint, and reports failures as typed
+//! [`ResilError`]s so callers can distinguish "no checkpoint" from
+//! "corrupt checkpoint" from "checkpoint from a different run".
+
+mod checkpoint;
+mod error;
+mod manifest;
+
+pub use checkpoint::{decode, encode, fnv1a64, RankCheckpoint, CHECKPOINT_VERSION};
+pub use error::ResilError;
+pub use manifest::{CheckpointStore, Manifest, ManifestEntry};

@@ -13,6 +13,7 @@ PACKAGES=(
   louvain-obs
   louvain-comm
   louvain-graph
+  louvain-resil
   louvain-dist
   grappolo
   louvain-bench

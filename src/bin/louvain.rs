@@ -15,8 +15,10 @@ use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use distributed_louvain::comm::{FaultPlan, RunConfig};
 use distributed_louvain::dist::{
-    adjusted_rand_index, f_score, nmi, run_distributed, DistConfig, Variant,
+    adjusted_rand_index, f_score, nmi, run_distributed_resilient, CheckpointOptions, DistConfig,
+    ResilOptions, Variant,
 };
 use distributed_louvain::graph::{binio, gen, Csr, VertexId};
 use distributed_louvain::{dist, obs};
@@ -66,6 +68,8 @@ USAGE:
   louvain run <FILE> [--ranks <P>] [--variant <V>] [--threads-per-rank <T>]
               [--tau <F>] [--assignment <OUT>]
               [--trace-out <TRACE>] [--report-out <REPORT>]
+              [--checkpoint-dir <DIR>] [--checkpoint-every <K>] [--resume]
+              [--fault-plan <SPEC>] [--max-recoveries <N>]
       V: baseline | cycling | et:<alpha> | etc:<alpha> | et+cycling:<alpha>
       Runs distributed Louvain on P simulated ranks, prints the summary,
       optionally writes the community assignment to <OUT>.
@@ -75,6 +79,15 @@ USAGE:
       --report-out writes the aggregated RunReport JSON (per-step byte
       totals, modeled compute/comm/reduce breakdown, metrics, span
       rollup). Setting LOUVAIN_TRACE=1 also enables tracing.
+      --checkpoint-dir writes a checkpoint at every --checkpoint-every'th
+      phase boundary (default 1); --resume restarts from the newest
+      complete checkpoint in that directory. A run killed mid-flight and
+      resumed produces bit-identical results to an uninterrupted run.
+      --fault-plan injects deterministic comm faults, e.g.
+      `seed=7;drop:prob=0.05;crash:rank=1,phase=2,op=0`
+      (kinds: drop | delay | duplicate | truncate; crash needs rank=,
+      optional phase=/op=). Crashes are absorbed by restarting from the
+      newest checkpoint, up to --max-recoveries times (default 8).
 
   louvain quality --truth <FILE> --detected <FILE>
       Precision/recall/F-score (methodology of the paper's §V-D), NMI and
@@ -85,6 +98,10 @@ USAGE:
 struct Opts<'a> {
     args: &'a [String],
 }
+
+/// Flags that take no value; `positional()` must not skip the token
+/// following one of these.
+const BOOL_FLAGS: &[&str] = &["--resume"];
 
 impl<'a> Opts<'a> {
     fn get(&self, key: &str) -> Option<&'a str> {
@@ -107,6 +124,11 @@ impl<'a> Opts<'a> {
         }
     }
 
+    /// Presence of a boolean flag (no value), e.g. `--resume`.
+    fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+
     /// First non-flag positional argument.
     fn positional(&self) -> Option<&'a str> {
         let mut skip = false;
@@ -115,9 +137,8 @@ impl<'a> Opts<'a> {
                 skip = false;
                 continue;
             }
-            if let Some(stripped) = a.strip_prefix("--") {
-                let _ = stripped;
-                skip = true;
+            if a.starts_with("--") {
+                skip = !BOOL_FLAGS.contains(&a.as_str());
                 continue;
             }
             return Some(a);
@@ -263,6 +284,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let variant = parse_variant(opts.get("--variant").unwrap_or("baseline"))?;
     let trace_out = opts.get("--trace-out").map(PathBuf::from);
     let report_out = opts.get("--report-out").map(PathBuf::from);
+    let checkpoint_dir = opts.get("--checkpoint-dir").map(PathBuf::from);
+    let checkpoint_every: u64 = opts.parse("--checkpoint-every", 1u64)?;
+    let resume = opts.has("--resume");
+    let max_recoveries: usize = opts.parse("--max-recoveries", 8usize)?;
+    let fault_plan = match opts.get("--fault-plan") {
+        Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?),
+        None => None,
+    };
+    if resume && checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
 
     // LOUVAIN_TRACE=1 enables tracing too; --trace-out implies it.
     obs::init_from_env();
@@ -284,7 +316,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         threads_per_rank: threads,
         ..DistConfig::with_variant(variant)
     };
-    let out = run_distributed(&g, ranks, &cfg);
+    let runcfg = RunConfig {
+        fault: fault_plan.map(std::sync::Arc::new),
+        ..RunConfig::default()
+    };
+    let resil = ResilOptions {
+        checkpoint: checkpoint_dir.map(|dir| CheckpointOptions::new(dir).every(checkpoint_every)),
+        resume,
+        max_recoveries,
+    };
+    let out = run_distributed_resilient(&g, ranks, &cfg, runcfg, &resil)?;
     println!("modularity:    {:.6}", out.modularity);
     println!("communities:   {}", out.num_communities);
     println!("phases:        {}", out.phases);
@@ -297,6 +338,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         out.traffic.p2p_bytes / 1024,
         out.traffic.collective_calls
     );
+    if let Some(phase) = out.resumed_from_phase {
+        println!("resumed from phase {phase}");
+    }
+    if out.recoveries > 0 {
+        println!("recoveries:    {} (crash restarts)", out.recoveries);
+    }
+    let t = &out.traffic;
+    if t.fault_drops + t.fault_delays + t.fault_duplicates + t.fault_truncations > 0 {
+        println!(
+            "faults:        {} dropped, {} delayed, {} duplicated, {} truncated; {} retries",
+            t.fault_drops, t.fault_delays, t.fault_duplicates, t.fault_truncations, t.fault_retries
+        );
+    }
 
     if let Some(dest) = opts.get("--assignment") {
         write_assignment(Path::new(dest), &out.assignment)?;
@@ -447,6 +501,19 @@ mod tests {
     }
 
     #[test]
+    fn boolean_flags_do_not_swallow_the_positional() {
+        // `--resume` takes no value: the token after it is the graph file.
+        let args: Vec<String> = ["--resume", "g.graph", "--ranks", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Opts { args: &args };
+        assert!(o.has("--resume"));
+        assert!(!o.has("--checkpoint-dir"));
+        assert_eq!(o.positional(), Some("g.graph"));
+    }
+
+    #[test]
     fn assignment_roundtrip() {
         let dir = std::env::temp_dir().join("louvain-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
@@ -516,5 +583,73 @@ mod tests {
             s(assign.to_str().unwrap()),
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn end_to_end_crash_and_resume_flow() {
+        let dir = std::env::temp_dir().join("louvain-cli-resil");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("r.graph");
+        let ckpt = dir.join("ckpt");
+        let clean = dir.join("clean.comm");
+        let resumed = dir.join("resumed.comm");
+        let s = |x: &str| x.to_string();
+        cmd_generate(&[
+            s("--kind"),
+            s("lfr"),
+            s("--n"),
+            s("900"),
+            s("--seed"),
+            s("11"),
+            s("--out"),
+            s(graph.to_str().unwrap()),
+        ])
+        .unwrap();
+        // Reference: uninterrupted run.
+        cmd_run(&[
+            s(graph.to_str().unwrap()),
+            s("--ranks"),
+            s("2"),
+            s("--assignment"),
+            s(clean.to_str().unwrap()),
+        ])
+        .unwrap();
+        // Stage 1: checkpointed run killed by an injected crash, with no
+        // recovery budget — must fail, leaving a phase-1 checkpoint behind.
+        let err = cmd_run(&[
+            s(graph.to_str().unwrap()),
+            s("--ranks"),
+            s("2"),
+            s("--checkpoint-dir"),
+            s(ckpt.to_str().unwrap()),
+            s("--fault-plan"),
+            s("crash:rank=0,phase=1,op=0"),
+            s("--max-recoveries"),
+            s("0"),
+        ])
+        .unwrap_err();
+        assert!(err.contains("rank 0"), "unexpected error: {err}");
+        assert!(ckpt.join("LATEST").exists());
+        // Stage 2: --resume continues from the checkpoint and reproduces
+        // the uninterrupted assignment exactly.
+        cmd_run(&[
+            s("--resume"),
+            s(graph.to_str().unwrap()),
+            s("--ranks"),
+            s("2"),
+            s("--checkpoint-dir"),
+            s(ckpt.to_str().unwrap()),
+            s("--assignment"),
+            s(resumed.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert_eq!(
+            read_assignment(&clean).unwrap(),
+            read_assignment(&resumed).unwrap()
+        );
+        // --resume without a checkpoint directory is refused.
+        let err = cmd_run(&[s("--resume"), s(graph.to_str().unwrap())]).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "unexpected error: {err}");
     }
 }

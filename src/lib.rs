@@ -13,7 +13,9 @@
 //! * [`dist`] — the distributed Louvain algorithm with threshold cycling
 //!   and early-termination heuristics,
 //! * [`obs`] — rank-aware tracing: spans, Chrome-trace/JSONL export,
-//!   metrics, aggregated run reports.
+//!   metrics, aggregated run reports,
+//! * [`resil`] — checkpoint/restart: versioned per-rank phase-boundary
+//!   checkpoints, atomic manifests, deterministic crash recovery.
 //!
 //! ## Quickstart
 //!
@@ -32,13 +34,15 @@ pub use louvain_comm as comm;
 pub use louvain_dist as dist;
 pub use louvain_graph as graph;
 pub use louvain_obs as obs;
+pub use louvain_resil as resil;
 
 /// Convenience re-exports for examples and quick experiments.
 pub mod prelude {
     pub use crate::comm::{run as run_ranks, CostModel, ReduceOp, RunConfig};
     pub use crate::dist::{
         adjusted_rand_index, f_score, nmi, run_distributed, run_distributed_partitioned,
-        run_distributed_with, DistConfig, DistOutcome, PartitionStrategy, Variant,
+        run_distributed_resilient, run_distributed_with, CheckpointOptions, DistConfig,
+        DistOutcome, PartitionStrategy, ResilOptions, Variant,
     };
     pub use crate::graph::gen::{
         banded, barabasi_albert, erdos_renyi, grid3d, lfr, rmat, ssca2, watts_strogatz, weblike,

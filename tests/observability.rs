@@ -177,3 +177,78 @@ fn disabled_tracing_yields_reports_without_trace_sections() {
     assert!(report.metrics.is_empty());
     assert!(report.total_bytes > 0);
 }
+
+/// Stats hygiene across a crash/restart: checkpointed counters are
+/// re-absorbed on resume, so the recovered run's cumulative per-step
+/// traffic reconciles exactly with an uninterrupted run's — for every
+/// step except the `checkpoint` step itself — and the run report
+/// carries the recovery bookkeeping.
+#[test]
+fn resumed_run_counters_reconcile_with_uninterrupted_run() {
+    use distributed_louvain::comm::{CommStep, FaultPlan, RunConfig};
+    use distributed_louvain::dist::{run_distributed_resilient, CheckpointOptions, ResilOptions};
+    use std::sync::Arc;
+
+    let g = lfr(LfrParams::small(900, 11)).graph;
+    let cfg = DistConfig::baseline();
+    let p = 2;
+    let clean = run_distributed(&g, p, &cfg);
+
+    let dir = std::env::temp_dir().join(format!("louvain-obs-reconcile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = FaultPlan::parse("crash:rank=0,phase=1,op=0").unwrap();
+    let resumed = run_distributed_resilient(
+        &g,
+        p,
+        &cfg,
+        RunConfig {
+            fault: Some(Arc::new(plan)),
+            ..RunConfig::default()
+        },
+        &ResilOptions {
+            checkpoint: Some(CheckpointOptions::new(&dir)),
+            resume: false,
+            max_recoveries: 1,
+        },
+    )
+    .expect("crash within recovery budget");
+    assert_eq!(resumed.recoveries, 1);
+    assert_eq!(resumed.resumed_from_phase, Some(1));
+    assert_eq!(resumed.assignment, clean.assignment);
+
+    // Cumulative totals reconcile exactly: the checkpoint cut is
+    // snapshotted before the checkpoint gather, and the crashed
+    // attempt's post-cut traffic dies with it.
+    for step in CommStep::ALL {
+        if step == CommStep::Checkpoint {
+            assert!(
+                resumed.traffic.step_bytes_for(step) > 0,
+                "checkpoint traffic must land in its own step"
+            );
+            continue;
+        }
+        assert_eq!(
+            resumed.traffic.step_bytes_for(step),
+            clean.traffic.step_bytes_for(step),
+            "step {} does not reconcile",
+            step.label()
+        );
+        assert_eq!(
+            resumed.traffic.step_messages_for(step),
+            clean.traffic.step_messages_for(step),
+            "step {} messages do not reconcile",
+            step.label()
+        );
+    }
+
+    // The report mirrors the recovery bookkeeping and round-trips.
+    let meta = ReportMeta::new("lfr-900", 900, g.num_edges() as u64);
+    let report = build_run_report(&resumed, &meta);
+    assert_eq!(report.recoveries, 1);
+    assert_eq!(report.resumed_from_phase, Some(1));
+    assert!(!report.faults.any(), "a crash is not a transient fault");
+    let back = obs::RunReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(back.recoveries, 1);
+    assert_eq!(back.resumed_from_phase, Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,425 @@
+//! Tier-1 resilience guarantees: a run killed at any phase and resumed
+//! from its newest checkpoint produces **bit-identical** final
+//! membership and modularity to an uninterrupted run, transient comm
+//! faults are absorbed without changing any result, and fault injection
+//! is fully deterministic from its seed.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use louvain_comm::{FaultPlan, RunConfig};
+use louvain_dist::{
+    run_distributed, run_distributed_resilient, CheckpointOptions, DistConfig, DistOutcome,
+    ResilOptions,
+};
+use louvain_graph::gen::{lfr, rmat, ssca2, LfrParams, RmatParams, Ssca2Params};
+use louvain_graph::Csr;
+
+/// Tracing toggles are process-global; tests that flip them serialize.
+static TRACE_FLAG: Mutex<()> = Mutex::new(());
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("louvain-resilience-{}", std::process::id()))
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn with_plan(spec: &str) -> RunConfig {
+    RunConfig {
+        fault: Some(Arc::new(FaultPlan::parse(spec).expect("fault spec"))),
+        ..RunConfig::default()
+    }
+}
+
+fn assert_bit_identical(a: &DistOutcome, b: &DistOutcome, what: &str) {
+    assert_eq!(a.assignment, b.assignment, "{what}: assignments differ");
+    assert_eq!(
+        a.modularity.to_bits(),
+        b.modularity.to_bits(),
+        "{what}: modularity differs ({} vs {})",
+        a.modularity,
+        b.modularity
+    );
+    assert_eq!(a.num_communities, b.num_communities, "{what}");
+    assert_eq!(a.phases, b.phases, "{what}: phase counts differ");
+}
+
+/// The paper's three benchmark families, sized for test time.
+fn graphs() -> Vec<(&'static str, Csr)> {
+    vec![
+        (
+            "ssca2",
+            ssca2(Ssca2Params {
+                n: 700,
+                max_clique_size: 14,
+                inter_clique_prob: 0.05,
+                seed: 5,
+            })
+            .graph,
+        ),
+        ("lfr", lfr(LfrParams::small(900, 11)).graph),
+        ("rmat", rmat(RmatParams::social(9, 6, 3)).graph),
+    ]
+}
+
+/// The tentpole guarantee: for every rank count, every graph family,
+/// and a kill at EVERY phase of the run, crash + restore from the
+/// newest checkpoint reproduces the uninterrupted run bit for bit.
+#[test]
+fn kill_and_resume_is_bit_identical_for_every_phase() {
+    let cfg = DistConfig::baseline();
+    for (name, g) in graphs() {
+        for p in [1, 2, 8] {
+            let clean = run_distributed(&g, p, &cfg);
+            assert!(clean.phases >= 2, "{name}: want a multi-phase run");
+            for kill_phase in 0..clean.phases {
+                let label = format!("{name} p={p} kill at phase {kill_phase}");
+                let dir = tmp_dir(&format!("kill-{name}-p{p}-k{kill_phase}"));
+                let resil = ResilOptions {
+                    checkpoint: Some(CheckpointOptions::new(&dir)),
+                    resume: false,
+                    max_recoveries: 1,
+                };
+                let out = run_distributed_resilient(
+                    &g,
+                    p,
+                    &cfg,
+                    with_plan(&format!("crash:rank=0,phase={kill_phase},op=0")),
+                    &resil,
+                )
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_eq!(out.recoveries, 1, "{label}");
+                // The kill lands on the first comm op of phase k, so the
+                // newest complete checkpoint is the phase-k boundary
+                // (none at all for k=0: clean restart).
+                let expected_resume = (kill_phase > 0).then_some(kill_phase as u64);
+                assert_eq!(out.resumed_from_phase, expected_resume, "{label}");
+                assert_bit_identical(&out, &clean, &label);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
+/// Several crashes in one run: each recovery consumes one crash rule
+/// and restarts from the newest checkpoint at that moment.
+#[test]
+fn repeated_crashes_are_each_recovered_from_the_newest_checkpoint() {
+    let g = lfr(LfrParams::small(900, 11)).graph;
+    let cfg = DistConfig::baseline();
+    let p = 2;
+    let clean = run_distributed(&g, p, &cfg);
+    let last = clean.phases - 1;
+    let dir = tmp_dir("repeated-crashes");
+    let resil = ResilOptions {
+        checkpoint: Some(CheckpointOptions::new(&dir)),
+        resume: false,
+        max_recoveries: 2,
+    };
+    let spec = format!("crash:rank=1,phase=1,op=0;crash:rank=0,phase={last},op=1");
+    let out = run_distributed_resilient(&g, p, &cfg, with_plan(&spec), &resil)
+        .expect("two crashes within budget");
+    assert_eq!(out.recoveries, 2);
+    assert_eq!(out.resumed_from_phase, Some(last as u64));
+    assert_bit_identical(&out, &clean, "two-crash recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An exhausted recovery budget surfaces as a descriptive `Err`, not a
+/// panic — the CLI turns this into a nonzero exit.
+#[test]
+fn exhausted_recovery_budget_is_an_error() {
+    let g = ssca2(Ssca2Params {
+        n: 400,
+        max_clique_size: 10,
+        inter_clique_prob: 0.05,
+        seed: 2,
+    })
+    .graph;
+    let cfg = DistConfig::baseline();
+    let dir = tmp_dir("no-budget");
+    let resil = ResilOptions {
+        checkpoint: Some(CheckpointOptions::new(&dir)),
+        resume: false,
+        max_recoveries: 0,
+    };
+    let err =
+        run_distributed_resilient(&g, 2, &cfg, with_plan("crash:rank=0,phase=1,op=0"), &resil)
+            .expect_err("budget 0 cannot absorb a crash");
+    assert!(
+        err.contains("rank 0") && err.contains("budget"),
+        "unhelpful error: {err}"
+    );
+    // The checkpoint the crashed run left behind resumes cleanly.
+    let resumed = run_distributed_resilient(
+        &g,
+        2,
+        &cfg,
+        RunConfig::default(),
+        &ResilOptions {
+            checkpoint: Some(CheckpointOptions::new(&dir)),
+            resume: true,
+            max_recoveries: 0,
+        },
+    )
+    .expect("resume after external restart");
+    assert_eq!(resumed.resumed_from_phase, Some(1));
+    let clean = run_distributed(&g, 2, &cfg);
+    assert_bit_identical(&resumed, &clean, "resume-after-error");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming under a different configuration must refuse loudly instead
+/// of silently diverging; so must resuming without a checkpoint dir.
+#[test]
+fn resume_validation_refuses_incompatible_state() {
+    let g = lfr(LfrParams::small(600, 7)).graph;
+    let cfg = DistConfig::baseline();
+    let dir = tmp_dir("validation");
+    let resil = ResilOptions {
+        checkpoint: Some(CheckpointOptions::new(&dir)),
+        resume: false,
+        max_recoveries: 0,
+    };
+    run_distributed_resilient(&g, 2, &cfg, RunConfig::default(), &resil).expect("checkpointed run");
+
+    let mut other = cfg.clone();
+    other.seed ^= 1;
+    let err = run_distributed_resilient(
+        &g,
+        2,
+        &other,
+        RunConfig::default(),
+        &ResilOptions {
+            resume: true,
+            ..resil.clone()
+        },
+    )
+    .expect_err("different config must not resume");
+    assert!(err.contains("configuration"), "unhelpful error: {err}");
+
+    let err = run_distributed_resilient(
+        &g,
+        3,
+        &cfg,
+        RunConfig::default(),
+        &ResilOptions {
+            resume: true,
+            ..resil.clone()
+        },
+    )
+    .expect_err("different rank count must not resume");
+    assert!(err.contains("rank"), "unhelpful error: {err}");
+
+    let err = run_distributed_resilient(
+        &g,
+        2,
+        &cfg,
+        RunConfig::default(),
+        &ResilOptions {
+            checkpoint: None,
+            resume: true,
+            max_recoveries: 0,
+        },
+    )
+    .expect_err("resume without a checkpoint dir");
+    assert!(err.contains("checkpoint"), "unhelpful error: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Transient comm faults (drops, truncations, duplicates, delays) are
+/// absorbed by the retry protocol without changing a single result, the
+/// injected counts land in the traffic counters, and two runs under the
+/// same seed inject exactly the same faults.
+#[test]
+fn transient_faults_preserve_results_and_are_deterministic() {
+    let g = lfr(LfrParams::small(800, 3)).graph;
+    let cfg = DistConfig::baseline();
+    let p = 4;
+    let spec = "seed=7;drop:prob=0.05;truncate:prob=0.03;duplicate:prob=0.05;delay:prob=0.01";
+    let clean = run_distributed(&g, p, &cfg);
+
+    let run_faulty = || {
+        run_distributed_resilient(&g, p, &cfg, with_plan(spec), &ResilOptions::none())
+            .expect("transient faults need no recovery budget")
+    };
+    let faulty = run_faulty();
+    assert_bit_identical(&faulty, &clean, "transient faults");
+
+    let t = &faulty.traffic;
+    assert!(
+        t.fault_drops + t.fault_truncations + t.fault_duplicates + t.fault_delays > 0,
+        "plan injected nothing"
+    );
+    // Every dropped or truncated copy forces exactly one retry.
+    assert_eq!(t.fault_retries, t.fault_drops + t.fault_truncations);
+
+    let again = run_faulty();
+    assert_bit_identical(&again, &clean, "second faulty run");
+    for (a, b) in faulty.per_rank_traffic.iter().zip(&again.per_rank_traffic) {
+        assert_eq!(a.fault_drops, b.fault_drops);
+        assert_eq!(a.fault_delays, b.fault_delays);
+        assert_eq!(a.fault_duplicates, b.fault_duplicates);
+        assert_eq!(a.fault_truncations, b.fault_truncations);
+        assert_eq!(a.fault_retries, b.fault_retries);
+        assert_eq!(
+            a.p2p_bytes, b.p2p_bytes,
+            "fault injection not deterministic"
+        );
+    }
+}
+
+/// Crashes and transient faults together: the recovery driver skips the
+/// consumed crash rule, the retry protocol keeps absorbing the rest.
+#[test]
+fn crash_recovery_survives_concurrent_transient_faults() {
+    let g = rmat(RmatParams::social(9, 6, 3)).graph;
+    let cfg = DistConfig::baseline();
+    let p = 2;
+    let clean = run_distributed(&g, p, &cfg);
+    let dir = tmp_dir("crash-plus-noise");
+    let resil = ResilOptions {
+        checkpoint: Some(CheckpointOptions::new(&dir)),
+        resume: false,
+        max_recoveries: 1,
+    };
+    let spec = "seed=13;drop:prob=0.04;duplicate:prob=0.04;crash:rank=1,phase=1,op=2";
+    let out = run_distributed_resilient(&g, p, &cfg, with_plan(spec), &resil)
+        .expect("one crash within budget");
+    assert_eq!(out.recoveries, 1);
+    assert_bit_identical(&out, &clean, "crash + transient noise");
+    assert!(out.traffic.fault_drops + out.traffic.fault_duplicates > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: the delta ghost refresh must keep working across a
+/// resume. Each phase's first exchange is always full (no baseline
+/// yet); any *additional* full exchange post-resume can only come from
+/// the >¼-moved fallback inside the delta policy — so seeing more fulls
+/// than ranks×phases proves the fallback fired after restore, and the
+/// bit-identical outcome proves it (and the delta path, which must also
+/// appear) stayed correct.
+#[test]
+fn delta_ghost_refresh_falls_back_to_full_after_resume() {
+    use louvain_graph::gen::{grid3d, Grid3dParams};
+    let _serial = TRACE_FLAG.lock().unwrap_or_else(|p| p.into_inner());
+    // A 3-D grid coarsens through many phases with heavy churn at every
+    // scale, so the >¼-moved condition reliably holds post-resume.
+    let g = grid3d(Grid3dParams {
+        nx: 12,
+        ny: 12,
+        nz: 8,
+        seed: 1,
+        diagonals: false,
+        fill: 1.0,
+    })
+    .graph;
+    let cfg = DistConfig {
+        delta_ghost_refresh: true,
+        ..DistConfig::baseline()
+    };
+    let p = 2;
+    let clean = run_distributed(&g, p, &cfg);
+    let dir = tmp_dir("delta-fallback");
+    let checkpoint = Some(CheckpointOptions::new(&dir));
+
+    // Stage 1: crash at phase 1 with no recovery budget (tracing off).
+    let crashed = run_distributed_resilient(
+        &g,
+        p,
+        &cfg,
+        with_plan("crash:rank=0,phase=1,op=0"),
+        &ResilOptions {
+            checkpoint: checkpoint.clone(),
+            resume: false,
+            max_recoveries: 0,
+        },
+    );
+    assert!(crashed.is_err());
+
+    // Stage 2: resume with tracing on, so the harvested counters cover
+    // exactly the post-resume phases.
+    louvain_obs::set_enabled(true);
+    let out = run_distributed_resilient(
+        &g,
+        p,
+        &cfg,
+        RunConfig::default(),
+        &ResilOptions {
+            checkpoint,
+            resume: true,
+            max_recoveries: 0,
+        },
+    );
+    louvain_obs::set_enabled(false);
+    let out = out.expect("resume");
+    assert_eq!(out.resumed_from_phase, Some(1));
+    assert_bit_identical(&out, &clean, "delta refresh across resume");
+
+    let metrics = out.trace.as_ref().expect("traced run").merged_metrics();
+    let full = metrics
+        .counters
+        .get("ghost.full.refreshes")
+        .copied()
+        .unwrap_or(0);
+    let delta = metrics
+        .counters
+        .get("ghost.delta.refreshes")
+        .copied()
+        .unwrap_or(0);
+    let post_resume_phases = (out.phases - 1) as u64;
+    assert!(delta >= 1, "delta refresh never ran post-resume");
+    assert!(
+        full > p as u64 * post_resume_phases,
+        "no >¼-moved fallback fired post-resume (full={full}, delta={delta}, \
+         post-resume phases={post_resume_phases})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpointing must not perturb the trajectory: checkpoint-on and
+/// checkpoint-off runs are bit-identical, and all checkpoint traffic is
+/// attributed to the dedicated `checkpoint` comm step.
+#[test]
+fn checkpointing_never_changes_results_and_is_step_attributed() {
+    use louvain_comm::CommStep;
+    let g = ssca2(Ssca2Params {
+        n: 700,
+        max_clique_size: 14,
+        inter_clique_prob: 0.05,
+        seed: 5,
+    })
+    .graph;
+    let cfg = DistConfig::baseline();
+    for p in [1, 4] {
+        let clean = run_distributed(&g, p, &cfg);
+        let dir = tmp_dir(&format!("overhead-p{p}"));
+        let resil = ResilOptions {
+            checkpoint: Some(CheckpointOptions::new(&dir)),
+            resume: false,
+            max_recoveries: 0,
+        };
+        let ckpt = run_distributed_resilient(&g, p, &cfg, RunConfig::default(), &resil)
+            .expect("checkpointed run");
+        assert_bit_identical(&ckpt, &clean, "checkpoint-on vs off");
+        assert_eq!(ckpt.recoveries, 0);
+        assert_eq!(ckpt.resumed_from_phase, None);
+        // All non-checkpoint steps carry exactly the clean run's bytes.
+        for step in CommStep::ALL {
+            if step == CommStep::Checkpoint {
+                continue;
+            }
+            assert_eq!(
+                ckpt.traffic.step_bytes_for(step),
+                clean.traffic.step_bytes_for(step),
+                "p={p}: step {} perturbed by checkpointing",
+                step.label()
+            );
+        }
+        // Slabs really hit the disk, under a committed manifest.
+        assert!(dir.join("LATEST").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,11 +17,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -77,7 +81,10 @@ fn run_one(full_id: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
     // sample count would; 10 (the workspace's "slow bench" setting)
     // maps to a short loop.
     let measure_time = Duration::from_millis((20 * sample_size.clamp(10, 100)) as u64 / 10);
-    let mut b = Bencher { result: None, measure_time };
+    let mut b = Bencher {
+        result: None,
+        measure_time,
+    };
     f(&mut b);
     let mut line = String::new();
     match b.result {
@@ -149,7 +156,11 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: 100, _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _criterion: self,
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
@@ -193,9 +204,7 @@ mod tests {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("smoke");
         group.sample_size(10);
-        group.bench_function("trivial", |b| {
-            b.iter(|| std::hint::black_box(1 + 1))
-        });
+        group.bench_function("trivial", |b| b.iter(|| std::hint::black_box(1 + 1)));
         group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
             b.iter(|| std::hint::black_box(n * 2))
         });

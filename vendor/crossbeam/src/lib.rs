@@ -60,7 +60,9 @@ pub mod channel {
             cv: Condvar::new(),
         });
         (
-            Sender { shared: Arc::clone(&shared) },
+            Sender {
+                shared: Arc::clone(&shared),
+            },
             Receiver { shared },
         )
     }
@@ -83,7 +85,9 @@ pub mod channel {
             let mut s = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             s.senders += 1;
             drop(s);
-            Sender { shared: Arc::clone(&self.shared) }
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -109,11 +113,7 @@ pub mod channel {
                 if s.senders == 0 {
                     return Err(RecvError);
                 }
-                s = self
-                    .shared
-                    .cv
-                    .wait(s)
-                    .unwrap_or_else(|e| e.into_inner());
+                s = self.shared.cv.wait(s).unwrap_or_else(|e| e.into_inner());
             }
         }
 

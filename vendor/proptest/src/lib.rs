@@ -221,7 +221,10 @@ pub mod collection {
 
     /// `proptest::collection::vec(element_strategy, size)`.
     pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange + 'static) -> VecStrategy<S> {
-        VecStrategy { elem, size: Box::new(size) }
+        VecStrategy {
+            elem,
+            size: Box::new(size),
+        }
     }
 }
 
@@ -309,9 +312,7 @@ mod tests {
     use super::prelude::*;
 
     fn arb_pair() -> impl Strategy<Value = (usize, Vec<u64>)> {
-        (1usize..20).prop_flat_map(|n| {
-            (Just(n), crate::collection::vec(0u64..10, n))
-        })
+        (1usize..20).prop_flat_map(|n| (Just(n), crate::collection::vec(0u64..10, n)))
     }
 
     proptest! {

@@ -148,7 +148,11 @@ impl<S: IndexedSource> Par<S> {
     where
         F: Fn(S::Item) -> T + Sync,
     {
-        Par(MapSource { src: self.0, f, _out: PhantomData })
+        Par(MapSource {
+            src: self.0,
+            f,
+            _out: PhantomData,
+        })
     }
 
     pub fn for_each<F>(self, f: F)
@@ -205,7 +209,10 @@ pub trait IntoParallelIterator {
 impl IntoParallelIterator for Range<usize> {
     type Source = RangeSource;
     fn into_par_iter(self) -> Par<RangeSource> {
-        Par(RangeSource { start: self.start, len: self.end.saturating_sub(self.start) })
+        Par(RangeSource {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        })
     }
 }
 
@@ -258,7 +265,9 @@ impl ThreadPoolBuilder {
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { num_threads: self.num_threads })
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
     }
 }
 
@@ -314,11 +323,9 @@ mod tests {
     #[test]
     fn for_each_visits_everything_once() {
         let counters: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
-        (0..500usize)
-            .into_par_iter()
-            .for_each(|i| {
-                counters[i].fetch_add(1, Ordering::Relaxed);
-            });
+        (0..500usize).into_par_iter().for_each(|i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
         assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
     }
 
