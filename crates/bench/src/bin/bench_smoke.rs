@@ -20,10 +20,16 @@
 //! tracing and writes one aggregated [`louvain_obs::RunReport`] per graph
 //! (8 ranks, delta refresh) with the modeled compute/comm/reduce
 //! fractions to compare against the paper's §V-A breakdown.
+//! `--watchdog-out` (or env `BENCH_SMOKE_WATCHDOG`) selects the
+//! rank-health watchdog on/off A-B output path, default
+//! `BENCH_PR4.json`: per graph, a fault-free run with the watchdog
+//! ladder enabled vs the legacy hard-deadline path, asserting
+//! bit-identical results and recording the wall-time delta plus the
+//! watchdog counters (all zero on a healthy run).
 
 use std::fmt::Write as _;
 
-use louvain_comm::{CommStep, RunConfig};
+use louvain_comm::{CommStep, HealthConfig, RunConfig};
 use louvain_dist::{
     build_run_report, run_distributed, run_distributed_resilient, CheckpointOptions, DistConfig,
     DistOutcome, ReportMeta, ResilOptions, Variant,
@@ -143,6 +149,9 @@ fn main() {
         .unwrap_or_else(|| "BENCH_PR3.json".into());
     let report_path =
         flag(&args, "--report-out").or_else(|| std::env::var("BENCH_SMOKE_REPORT").ok());
+    let watchdog_path = flag(&args, "--watchdog-out")
+        .or_else(|| std::env::var("BENCH_SMOKE_WATCHDOG").ok())
+        .unwrap_or_else(|| "BENCH_PR4.json".into());
 
     let graphs: Vec<(&'static str, Csr)> = vec![
         ("rmat_s11_ef8", rmat(RmatParams::social(11, 8, 5)).graph),
@@ -247,6 +256,77 @@ fn main() {
         let _ = std::fs::remove_dir_all(&dir);
     }
     let _ = std::fs::remove_dir_all(&ckpt_base);
+
+    // Watchdog overhead: per graph at p=4 with the delta refresh, a
+    // fault-free run with the rank-health watchdog ladder on
+    // (deadline-aware waits, heartbeats, retry/backoff machinery armed)
+    // vs off (the legacy single hard deadline). Results must be
+    // bit-identical and a healthy run must record zero watchdog events;
+    // the wall-time delta is the ladder's bookkeeping cost. Best of
+    // three reps per arm to keep scheduler noise out of the delta.
+    let mut wd_rows = String::new();
+    for (i, (name, g)) in graphs.iter().enumerate() {
+        let cfg = et_cfg(true);
+        let ranks = 4usize;
+        let time_arm = |health: HealthConfig| {
+            let mut best_ms = u128::MAX;
+            let mut last = None;
+            for _ in 0..3 {
+                let run_cfg = RunConfig {
+                    health: health.clone(),
+                    ..RunConfig::default()
+                };
+                let watch = louvain_obs::Stopwatch::start();
+                let out = run_distributed_resilient(g, ranks, &cfg, run_cfg, &ResilOptions::none())
+                    .expect("fault-free watchdog run");
+                best_ms = best_ms.min((watch.wall_seconds() * 1e3) as u128);
+                last = Some(out);
+            }
+            (last.unwrap(), best_ms)
+        };
+        let (off, off_ms) = time_arm(HealthConfig::disabled());
+        let (on, on_ms) = time_arm(HealthConfig::default());
+        assert_eq!(
+            off.modularity.to_bits(),
+            on.modularity.to_bits(),
+            "{name}: the watchdog changed the result"
+        );
+        let t = &on.traffic;
+        assert_eq!(
+            (t.wd_timeouts, t.wd_retries, t.wd_stragglers),
+            (0, 0, 0),
+            "{name}: a healthy run must not trip the watchdog"
+        );
+        eprintln!(
+            "{:>14} p={} watchdog off={}ms on={}ms (timeouts={} retries={} stragglers={})",
+            name, ranks, off_ms, on_ms, t.wd_timeouts, t.wd_retries, t.wd_stragglers
+        );
+        if i > 0 {
+            wd_rows.push(',');
+        }
+        write!(
+            wd_rows,
+            "\n    {{\"graph\": {:?}, \"n\": {}, \"m\": {}, \"ranks\": {}, \"mode\": \"delta\", \"modularity\": {:.6}, \"phases\": {}, \"wall_ms_watchdog_off\": {}, \"wall_ms_watchdog_on\": {}, \"wd_timeouts\": {}, \"wd_retries\": {}, \"wd_stragglers\": {}, \"checksum_rejects\": {}, \"bit_identical\": true}}",
+            name,
+            g.num_vertices(),
+            g.num_edges(),
+            ranks,
+            on.modularity,
+            on.phases,
+            off_ms,
+            on_ms,
+            t.wd_timeouts,
+            t.wd_retries,
+            t.wd_stragglers,
+            t.checksum_rejects,
+        )
+        .unwrap();
+    }
+    let wd_json = format!(
+        "{{\n  \"bench\": \"BENCH_PR4\",\n  \"description\": \"rank-health watchdog on/off A-B: fault-free ET(0.25)+delta at p=4, heartbeat/deadline ladder armed vs legacy hard deadline; results bit-identical, zero watchdog events, wall-time delta is the bookkeeping overhead (best of 3)\",\n  \"watchdog\": [{wd_rows}\n  ]\n}}\n"
+    );
+    std::fs::write(&watchdog_path, wd_json).expect("write watchdog bench json");
+    eprintln!("wrote {watchdog_path}");
 
     // Summary: full/delta ghost-byte ratios per (graph, ranks) pair.
     let mut summary = String::new();

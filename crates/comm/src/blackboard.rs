@@ -10,8 +10,11 @@
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+
+use crate::health::{WaitCtx, Watchdog};
 
 struct State {
     generation: u64,
@@ -52,17 +55,44 @@ impl Blackboard {
     /// Deposit `value` for `rank`, wait for all ranks, then map the complete
     /// board through `read`. Returns `read`'s result once every rank of the
     /// current generation has deposited.
+    #[cfg(test)]
     pub fn exchange<T, R, F>(&self, rank: usize, value: T, read: F) -> R
     where
         T: Send + 'static,
         F: FnOnce(&mut [Option<Box<dyn Any + Send>>]) -> R,
     {
+        self.exchange_watched(rank, value, read, None)
+    }
+
+    /// [`Blackboard::exchange`] under the rank-health watchdog: while
+    /// blocked waiting for the board to fill, the deadline ladder runs
+    /// against the ranks that have not deposited yet (`watch = None`
+    /// falls back to plain 50 ms poison-check polling).
+    pub fn exchange_watched<T, R, F>(
+        &self,
+        rank: usize,
+        value: T,
+        read: F,
+        watch: Option<&WaitCtx<'_>>,
+    ) -> R
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut [Option<Box<dyn Any + Send>>]) -> R,
+    {
+        let mut dog = watch.map(Watchdog::new);
+        let tick = dog
+            .as_ref()
+            .map_or(Duration::from_millis(50), Watchdog::tick);
         let mut s = self.state.lock();
-        // Wait out the read phase of the previous round.
+        // Wait out the read phase of the previous round. Rare and
+        // short (peers are inside `read`, not hung), so the watchdog
+        // only heartbeats here; escalation happens in the fill wait.
         while s.filled == self.p {
-            self.cv
-                .wait_for(&mut s, std::time::Duration::from_millis(50));
+            self.cv.wait_for(&mut s, tick);
             self.check_poison();
+            if let Some(d) = &dog {
+                d.alive();
+            }
         }
         debug_assert!(s.slots[rank].is_none(), "rank {rank} double deposit");
         s.slots[rank] = Some(Box::new(value));
@@ -72,9 +102,24 @@ impl Blackboard {
             self.cv.notify_all();
         }
         while s.generation == gen && s.filled < self.p {
-            self.cv
-                .wait_for(&mut s, std::time::Duration::from_millis(50));
+            self.cv.wait_for(&mut s, tick);
             self.check_poison();
+            if let Some(d) = &mut dog {
+                d.alive();
+                if d.due() && s.generation == gen && s.filled < self.p {
+                    // The ranks still missing from this round are the
+                    // suspects; stale heartbeats among them get the
+                    // ladder, live ones count as stragglers.
+                    let missing: Vec<usize> = s
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, slot)| slot.is_none())
+                        .map(|(i, _)| i)
+                        .collect();
+                    d.observe(&missing);
+                }
+            }
         }
         let out = read(&mut s.slots);
         s.read += 1;

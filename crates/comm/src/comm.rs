@@ -1,28 +1,27 @@
 //! The per-rank communicator handle.
 
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::blackboard::Blackboard;
 use crate::cost::CostModel;
-use crate::envelope::{Envelope, Mailbox, Senders};
+use crate::envelope::{expected_checksum, Envelope, Mailbox, Senders};
 use crate::fault::{FaultKind, FaultPlan, RankCrashed, FAULT_MAX_ATTEMPTS};
+use crate::health::{HealthBoard, HealthConfig, RankHung, WaitCtx};
 use crate::reduce::{ReduceOp, Reducible};
 use crate::stats::{CommStats, CommStep};
 
 /// Message tag, matched together with the source rank on receive.
 pub type Tag = u32;
 
-/// Per-rank mutable state of an active [`FaultPlan`]: where we are in
-/// the epoch/op/message numbering that the plan's deterministic
-/// decisions key on.
+/// Per-rank mutable state of an active [`FaultPlan`]: the message
+/// numbering that the plan's deterministic decisions key on. (Epoch/op
+/// numbering lives on [`Comm`] itself so [`RankHung`] reports carry
+/// phase context even in fault-free runs.)
 struct FaultSession {
     plan: Arc<FaultPlan>,
-    /// Current fault epoch (the Louvain phase index, set by the runner).
-    epoch: Cell<u64>,
-    /// Communication operations issued so far in the current epoch.
-    ops_in_epoch: Cell<u64>,
     /// Logical messages sent so far (plan decision key).
     msg_counter: Cell<u64>,
     /// Physical send sequence (receiver-side dedup key); starts at 1 so
@@ -52,9 +51,17 @@ pub struct Comm {
     stats: CommStats,
     cost: CostModel,
     fault: Option<FaultSession>,
+    health: HealthConfig,
+    board: Arc<HealthBoard>,
+    poison: Arc<AtomicBool>,
+    /// Current fault epoch (the Louvain phase index, set by the runner).
+    epoch: Cell<u64>,
+    /// Communication operations issued so far in the current epoch.
+    ops_in_epoch: Cell<u64>,
 }
 
 impl Comm {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         size: usize,
@@ -63,6 +70,9 @@ impl Comm {
         blackboard: Arc<Blackboard>,
         cost: CostModel,
         fault: Option<Arc<FaultPlan>>,
+        health: HealthConfig,
+        board: Arc<HealthBoard>,
+        poison: Arc<AtomicBool>,
     ) -> Self {
         Self {
             rank,
@@ -74,76 +84,183 @@ impl Comm {
             cost,
             fault: fault.map(|plan| FaultSession {
                 plan,
-                epoch: Cell::new(0),
-                ops_in_epoch: Cell::new(0),
                 msg_counter: Cell::new(0),
                 seq: Cell::new(0),
             }),
+            health,
+            board,
+            poison,
+            epoch: Cell::new(0),
+            ops_in_epoch: Cell::new(0),
         }
     }
 
     /// Enter fault epoch `epoch` (the runner calls this with the Louvain
-    /// phase index at each phase start, so crash rules can address "phase
-    /// k, comm op n"). No-op without an active fault plan.
+    /// phase index at each phase start, so crash/hang rules can address
+    /// "phase k, comm op n" and [`RankHung`] reports carry the phase).
     pub fn advance_fault_epoch(&self, epoch: u64) {
-        if let Some(f) = &self.fault {
-            f.epoch.set(epoch);
-            f.ops_in_epoch.set(0);
+        self.epoch.set(epoch);
+        self.ops_in_epoch.set(0);
+    }
+
+    /// The health configuration this rank runs under.
+    pub fn health_config(&self) -> &HealthConfig {
+        &self.health
+    }
+
+    /// Stamp this rank's heartbeat without counting a comm op. Long
+    /// local sections between comm calls (checkpoint serialization and
+    /// fsync, big rebuilds) should call this so peer watchdogs keep
+    /// classifying the rank as a straggler rather than hung.
+    pub fn heartbeat(&self) {
+        self.board.beat(self.rank);
+    }
+
+    /// Wait identity for the comm op currently in flight (ops are
+    /// counted at op entry, so "current" is the last counted one).
+    fn wait_ctx(&self) -> WaitCtx<'_> {
+        WaitCtx {
+            cfg: &self.health,
+            board: &self.board,
+            stats: &self.stats,
+            rank: self.rank,
+            phase: self.epoch.get(),
+            op: self.ops_in_epoch.get().saturating_sub(1),
         }
     }
 
-    /// Count one communication operation against the fault plan and
-    /// crash if a [`crate::fault::CrashRule`] addresses it. Called at the
-    /// top of every public comm method; a single `Option` check in clean
-    /// runs.
+    /// Count one communication operation, heartbeat the health board,
+    /// and serve any [`crate::fault::CrashRule`]/[`crate::fault::
+    /// HangRule`]/stall addressed to it. Called at the top of every
+    /// public comm method; two cheap stores plus an `Option` check in
+    /// clean runs.
     fn fault_op_tick(&self) {
-        if let Some(f) = &self.fault {
-            let op = f.ops_in_epoch.get();
-            f.ops_in_epoch.set(op + 1);
-            let phase = f.epoch.get();
-            if f.plan.should_crash(self.rank, phase, op) {
-                std::panic::panic_any(RankCrashed {
+        let op = self.ops_in_epoch.get();
+        self.ops_in_epoch.set(op + 1);
+        self.board.beat(self.rank);
+        let Some(f) = &self.fault else { return };
+        let phase = self.epoch.get();
+        if f.plan.should_crash(self.rank, phase, op) {
+            std::panic::panic_any(RankCrashed {
+                rank: self.rank,
+                phase,
+                op,
+            });
+        }
+        if f.plan.should_hang(self.rank, phase, op) {
+            self.hang_injected(phase, op);
+        }
+        if let Some(stall) = f
+            .plan
+            .decide_stall(self.rank, self.stats.current_step(), phase, op)
+        {
+            self.stall_injected(stall);
+        }
+    }
+
+    /// Serve an injected hang: go silent (no heartbeats, no messages)
+    /// until a peer's watchdog declares this rank hung and poisons the
+    /// job, or — in single-rank jobs, where there is no peer to notice —
+    /// until the self-timeout fires, simulating an external supervisor
+    /// kill. Either way the thread unwinds and the resilient driver
+    /// recovers from the newest checkpoint.
+    fn hang_injected(&self, phase: u64, op: u64) -> ! {
+        let started = Instant::now();
+        let limit = self.health.hang_self_timeout();
+        loop {
+            std::thread::sleep(Duration::from_millis(2));
+            if self.poison.load(Ordering::Relaxed) {
+                panic!("communicator poisoned: a peer rank panicked");
+            }
+            if started.elapsed() >= limit {
+                std::panic::panic_any(RankHung {
                     rank: self.rank,
+                    detector: self.rank,
                     phase,
                     op,
+                    step: self.stats.current_step(),
+                    waited_ms: started.elapsed().as_millis() as u64,
                 });
             }
         }
     }
 
+    /// Serve an injected stall: sleep the configured duration while
+    /// *continuing to heartbeat*, so peers classify this rank as a
+    /// straggler (deadline extensions), never as hung.
+    fn stall_injected(&self, dur: Duration) {
+        self.stats.record_fault(FaultKind::Stall);
+        let started = Instant::now();
+        let slice = Duration::from_millis(2).min(dur);
+        while started.elapsed() < dur {
+            self.board.beat(self.rank);
+            if self.poison.load(Ordering::Relaxed) {
+                panic!("communicator poisoned: a peer rank panicked");
+            }
+            std::thread::sleep(slice);
+        }
+        self.board.beat(self.rank);
+    }
+
     /// Deliver one logical message to `dst`, surviving any transient
-    /// faults the plan injects: dropped and truncated copies are
-    /// retransmitted (bounded attempts with backoff), duplicates
-    /// materialize as a stale extra copy the receiver deduplicates,
-    /// delays sleep briefly. Returns the number of physical copies
-    /// transmitted, for byte accounting (always 1 in clean runs).
+    /// faults the plan injects: dropped, truncated, flaky-burst, and
+    /// checksum-corrupted copies are retransmitted (bounded attempts
+    /// with exponential-backoff-plus-jitter), duplicates materialize as
+    /// a stale extra copy the receiver deduplicates, delays sleep
+    /// briefly. Returns the number of physical copies transmitted, for
+    /// byte accounting (always 1 in clean runs).
     fn deliver<T: Send + 'static>(&self, dst: usize, tag: Tag, data: Vec<T>) -> u64 {
+        let beat = self.board.beat(self.rank);
         let Some(f) = &self.fault else {
-            self.senders[dst]
-                .send(Envelope::clean(self.rank, tag, Box::new(data)))
-                .expect("peer mailbox closed");
+            let mut env = Envelope::clean(self.rank, tag, Box::new(data));
+            env.beat = beat;
+            self.senders[dst].send(env).expect("peer mailbox closed");
             return 1;
         };
         let step = self.stats.current_step();
-        let phase = f.epoch.get();
+        let phase = self.epoch.get();
         let msg = f.msg_counter.get();
         f.msg_counter.set(msg + 1);
-        let backoff =
-            |attempt: u32| std::thread::sleep(Duration::from_micros(50u64 << attempt.min(4)));
+        let backoff = |attempt: u32| {
+            let d = self
+                .health
+                .backoff
+                .delay(attempt, msg ^ ((self.rank as u64) << 48));
+            self.stats.record_backoff(d);
+            if !d.is_zero() {
+                std::thread::sleep(d);
+            }
+        };
+        // A protocol envelope: sequenced, checksummed, heartbeat-stamped.
+        let proto =
+            |seq: u64, corrupt: bool, checksum: u64, payload: Box<dyn std::any::Any + Send>| {
+                Envelope {
+                    src: self.rank,
+                    tag,
+                    seq,
+                    corrupt,
+                    checksum,
+                    beat: self.board.beat(self.rank),
+                    payload,
+                }
+            };
+        // After this many faulty tries the message goes through clean —
+        // injected faults must never block progress. The per-step
+        // watchdog retry cap can raise the window so flaky bursts get
+        // room to play out.
+        let retry_cap = FAULT_MAX_ATTEMPTS.max(self.health.retries_for(step));
         let mut copies = 0u64;
         let mut attempt = 0u32;
         loop {
-            // After FAULT_MAX_ATTEMPTS faulty tries the message goes
-            // through clean — injected faults must never block progress.
-            let fault = if attempt < FAULT_MAX_ATTEMPTS {
+            let fault = if attempt < retry_cap {
                 f.plan.decide(self.rank, step, phase, msg, attempt)
             } else {
                 None
             };
             match fault {
-                Some(FaultKind::Drop) => {
+                Some(kind @ (FaultKind::Drop | FaultKind::FlakyBurst)) => {
                     // Transmitted but lost on the wire; retransmit.
-                    self.stats.record_fault(FaultKind::Drop);
+                    self.stats.record_fault(kind);
                     self.stats.record_retry();
                     copies += 1;
                     backoff(attempt);
@@ -154,14 +271,25 @@ impl Comm {
                     // via the `corrupt` flag and we retransmit.
                     self.stats.record_fault(FaultKind::Truncate);
                     self.stats.record_retry();
+                    let seq = f.next_seq();
+                    let sum = expected_checksum(self.rank, tag, seq);
                     self.senders[dst]
-                        .send(Envelope {
-                            src: self.rank,
-                            tag,
-                            seq: f.next_seq(),
-                            corrupt: true,
-                            payload: Box::new(Vec::<T>::new()),
-                        })
+                        .send(proto(seq, true, sum, Box::<Vec<T>>::default()))
+                        .expect("peer mailbox closed");
+                    copies += 1;
+                    backoff(attempt);
+                    attempt += 1;
+                }
+                Some(FaultKind::CorruptPayload) => {
+                    // The copy arrives with a flipped checksum; the
+                    // receiver detects the mismatch, discards it, and we
+                    // retransmit.
+                    self.stats.record_fault(FaultKind::CorruptPayload);
+                    self.stats.record_retry();
+                    let seq = f.next_seq();
+                    let sum = expected_checksum(self.rank, tag, seq) ^ 0xBAD0_BAD0_BAD0_BAD0;
+                    self.senders[dst]
+                        .send(proto(seq, false, sum, Box::<Vec<T>>::default()))
                         .expect("peer mailbox closed");
                     copies += 1;
                     backoff(attempt);
@@ -173,14 +301,9 @@ impl Comm {
                         std::thread::sleep(Duration::from_micros(200));
                     }
                     let seq = f.next_seq();
+                    let sum = expected_checksum(self.rank, tag, seq);
                     self.senders[dst]
-                        .send(Envelope {
-                            src: self.rank,
-                            tag,
-                            seq,
-                            corrupt: false,
-                            payload: Box::new(data),
-                        })
+                        .send(proto(seq, false, sum, Box::new(data)))
                         .expect("peer mailbox closed");
                     copies += 1;
                     if other == Some(FaultKind::Duplicate) {
@@ -188,13 +311,7 @@ impl Comm {
                         // number; the receiver's dedup drops it.
                         self.stats.record_fault(FaultKind::Duplicate);
                         self.senders[dst]
-                            .send(Envelope {
-                                src: self.rank,
-                                tag,
-                                seq,
-                                corrupt: false,
-                                payload: Box::new(Vec::<T>::new()),
-                            })
+                            .send(proto(seq, false, sum, Box::<Vec<T>>::default()))
                             .expect("peer mailbox closed");
                         copies += 1;
                     }
@@ -230,14 +347,35 @@ impl Comm {
     /// The restore runs from a drop guard, so a panicking closure cannot
     /// leave later traffic misattributed to `step`. When tracing is
     /// enabled the scope also records a span named after the step
-    /// (category `comm`) carrying the bytes/messages charged inside it.
+    /// (category `comm`) carrying the bytes/messages/retries charged
+    /// inside it — the span args are recorded from the same drop guard,
+    /// so traffic and retry/backoff activity that happened before a
+    /// panic (e.g. a crash injected mid-collective) still lands on the
+    /// span instead of being lost with the unwind.
     pub fn with_step<R>(&self, step: CommStep, f: impl FnOnce() -> R) -> R {
         struct Restore<'a> {
             stats: &'a CommStats,
             prev: CommStep,
+            step: CommStep,
+            span: louvain_obs::SpanGuard,
+            bytes_before: u64,
+            msgs_before: u64,
+            retries_before: u64,
         }
         impl Drop for Restore<'_> {
             fn drop(&mut self) {
+                self.span.arg(
+                    "bytes",
+                    self.stats.step_bytes(self.step) - self.bytes_before,
+                );
+                self.span.arg(
+                    "messages",
+                    self.stats.step_messages(self.step) - self.msgs_before,
+                );
+                self.span.arg(
+                    "retries",
+                    self.stats.step_retries(self.step) - self.retries_before,
+                );
                 self.stats.set_step(self.prev);
             }
         }
@@ -245,14 +383,13 @@ impl Comm {
         let _restore = Restore {
             stats: &self.stats,
             prev,
+            step,
+            span: louvain_obs::span_cat(step.label(), "comm", Vec::new()),
+            bytes_before: self.stats.step_bytes(step),
+            msgs_before: self.stats.step_messages(step),
+            retries_before: self.stats.step_retries(step),
         };
-        let mut span = louvain_obs::span_cat(step.label(), "comm", Vec::new());
-        let bytes_before = self.stats.step_bytes(step);
-        let msgs_before = self.stats.step_messages(step);
-        let out = f();
-        span.arg("bytes", self.stats.step_bytes(step) - bytes_before);
-        span.arg("messages", self.stats.step_messages(step) - msgs_before);
-        out
+        f()
     }
 
     /// Gather every rank's [`StatsSnapshot`]. Each rank snapshots its own
@@ -298,7 +435,8 @@ impl Comm {
     /// Panics if the payload type does not match what was sent — a type
     /// confusion here is a programming error, not a runtime condition.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> Vec<T> {
-        let env = self.mailbox.borrow_mut().recv_matching(src, tag);
+        let ctx = self.wait_ctx();
+        let env = self.mailbox.borrow_mut().recv_matching(src, tag, &ctx);
         *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
             panic!(
                 "type mismatch receiving from rank {src} tag {tag}: expected Vec<{}>",
@@ -316,7 +454,9 @@ impl Comm {
         self.fault_op_tick();
         self.stats
             .record_collective(0, self.cost.collective(self.size, 0));
-        self.blackboard.exchange(self.rank, (), |_| ());
+        let ctx = self.wait_ctx();
+        self.blackboard
+            .exchange_watched(self.rank, (), |_| (), Some(&ctx));
     }
 
     /// Every rank contributes one value; every rank receives the vector of
@@ -326,12 +466,18 @@ impl Comm {
         let bytes = std::mem::size_of::<T>() as u64;
         self.stats
             .record_collective(bytes, self.cost.collective(self.size, bytes));
-        self.blackboard.exchange(self.rank, value, |slots| {
-            slots
-                .iter()
-                .map(|s| s.as_ref().unwrap().downcast_ref::<T>().unwrap().clone())
-                .collect()
-        })
+        let ctx = self.wait_ctx();
+        self.blackboard.exchange_watched(
+            self.rank,
+            value,
+            |slots| {
+                slots
+                    .iter()
+                    .map(|s| s.as_ref().unwrap().downcast_ref::<T>().unwrap().clone())
+                    .collect()
+            },
+            Some(&ctx),
+        )
     }
 
     /// Global reduction; every rank receives the combined value.
@@ -340,13 +486,19 @@ impl Comm {
         let bytes = T::wire_bytes();
         self.stats
             .record_collective(bytes, self.cost.collective(self.size, bytes));
-        self.blackboard.exchange(self.rank, value, |slots| {
-            slots
-                .iter()
-                .map(|s| *s.as_ref().unwrap().downcast_ref::<T>().unwrap())
-                .reduce(|a, b| T::combine(op, a, b))
-                .expect("non-empty job")
-        })
+        let ctx = self.wait_ctx();
+        self.blackboard.exchange_watched(
+            self.rank,
+            value,
+            |slots| {
+                slots
+                    .iter()
+                    .map(|s| *s.as_ref().unwrap().downcast_ref::<T>().unwrap())
+                    .reduce(|a, b| T::combine(op, a, b))
+                    .expect("non-empty job")
+            },
+            Some(&ctx),
+        )
     }
 
     /// Exclusive prefix sum: rank `i` receives the sum of the values
@@ -358,12 +510,18 @@ impl Comm {
         self.stats
             .record_collective(bytes, self.cost.collective(self.size, bytes));
         let rank = self.rank;
-        self.blackboard.exchange(self.rank, value, move |slots| {
-            slots[..rank]
-                .iter()
-                .map(|s| *s.as_ref().unwrap().downcast_ref::<T>().unwrap())
-                .fold(T::zero(), |a, b| T::combine(ReduceOp::Sum, a, b))
-        })
+        let ctx = self.wait_ctx();
+        self.blackboard.exchange_watched(
+            self.rank,
+            value,
+            move |slots| {
+                slots[..rank]
+                    .iter()
+                    .map(|s| *s.as_ref().unwrap().downcast_ref::<T>().unwrap())
+                    .fold(T::zero(), |a, b| T::combine(ReduceOp::Sum, a, b))
+            },
+            Some(&ctx),
+        )
     }
 
     /// Broadcast `value` from `root` to all ranks. Non-root contributions
@@ -374,14 +532,20 @@ impl Comm {
         let bytes = std::mem::size_of::<T>() as u64;
         self.stats
             .record_collective(bytes, self.cost.collective(self.size, bytes));
-        self.blackboard.exchange(self.rank, value, |slots| {
-            slots[root]
-                .as_ref()
-                .unwrap()
-                .downcast_ref::<T>()
-                .unwrap()
-                .clone()
-        })
+        let ctx = self.wait_ctx();
+        self.blackboard.exchange_watched(
+            self.rank,
+            value,
+            |slots| {
+                slots[root]
+                    .as_ref()
+                    .unwrap()
+                    .downcast_ref::<T>()
+                    .unwrap()
+                    .clone()
+            },
+            Some(&ctx),
+        )
     }
 
     /// Gather variable-length buffers to `root`. Returns `Some(bufs)` on
@@ -397,22 +561,30 @@ impl Comm {
         self.stats
             .record_collective(bytes, self.cost.collective(self.size, bytes));
         let is_root = self.rank == root;
-        self.blackboard.exchange(self.rank, data, move |slots| {
-            if is_root {
-                Some(
-                    slots
-                        .iter_mut()
-                        .map(|s| {
-                            // Move the payload out; non-roots never read it and
-                            // the board is reset after the round completes.
-                            std::mem::take(s.as_mut().unwrap().downcast_mut::<Vec<T>>().unwrap())
-                        })
-                        .collect(),
-                )
-            } else {
-                None
-            }
-        })
+        let ctx = self.wait_ctx();
+        self.blackboard.exchange_watched(
+            self.rank,
+            data,
+            move |slots| {
+                if is_root {
+                    Some(
+                        slots
+                            .iter_mut()
+                            .map(|s| {
+                                // Move the payload out; non-roots never read it and
+                                // the board is reset after the round completes.
+                                std::mem::take(
+                                    s.as_mut().unwrap().downcast_mut::<Vec<T>>().unwrap(),
+                                )
+                            })
+                            .collect(),
+                    )
+                } else {
+                    None
+                }
+            },
+            Some(&ctx),
+        )
     }
 
     /// Irregular all-to-all: `bufs[j]` is sent to rank `j`; the result's
@@ -446,7 +618,8 @@ impl Comm {
             if src == self.rank {
                 continue;
             }
-            let env = self.mailbox.borrow_mut().recv_matching(src, A2A_TAG);
+            let ctx = self.wait_ctx();
+            let env = self.mailbox.borrow_mut().recv_matching(src, A2A_TAG, &ctx);
             *slot = *env
                 .payload
                 .downcast::<Vec<T>>()
@@ -488,7 +661,8 @@ impl Comm {
             if src == self.rank {
                 continue;
             }
-            let env = self.mailbox.borrow_mut().recv_matching(src, A2A_TAG);
+            let ctx = self.wait_ctx();
+            let env = self.mailbox.borrow_mut().recv_matching(src, A2A_TAG, &ctx);
             *slot = *env
                 .payload
                 .downcast::<Vec<T>>()
@@ -533,7 +707,8 @@ impl Comm {
         neighbors
             .iter()
             .map(|&src| {
-                let env = self.mailbox.borrow_mut().recv_matching(src, NBR_TAG);
+                let ctx = self.wait_ctx();
+                let env = self.mailbox.borrow_mut().recv_matching(src, NBR_TAG, &ctx);
                 *env.payload
                     .downcast::<Vec<T>>()
                     .expect("neighbor_all_to_all_v type mismatch")

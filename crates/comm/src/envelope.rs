@@ -7,17 +7,26 @@
 //!
 //! The mailbox also implements the receiver half of the fault-tolerance
 //! protocol: envelopes carry a per-sender sequence number (`seq == 0`
-//! means "clean run, no protocol"), corrupt copies injected by a
-//! [`crate::FaultPlan`] truncation are discarded at intake, and stale
-//! duplicates (sequence numbers at or below the last accepted one) are
-//! dropped, so retransmissions and duplications are invisible to callers.
+//! means "clean run, no protocol"), a header checksum (payload
+//! corruptions injected by a [`crate::FaultPlan`] are detected by the
+//! mismatch and discarded), and a piggybacked heartbeat stamp that
+//! feeds the [`crate::health::HealthBoard`]. Corrupt copies injected by
+//! a truncation are discarded at intake, and stale duplicates (sequence
+//! numbers at or below the last accepted one) are dropped, so
+//! retransmissions and duplications are invisible to callers.
+//!
+//! Blocked receives run under the rank-health [`Watchdog`]: the
+//! configured deadline, deadline extensions with adaptive backoff, and
+//! finally a [`crate::RankHung`] declaration against the silent sender.
 
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::fault::mix64;
+use crate::health::{WaitCtx, Watchdog};
 
 /// A single in-flight message: source rank, user tag, and payload.
 /// (Byte accounting happens on the send side, in `CommStats`.)
@@ -30,7 +39,19 @@ pub(crate) struct Envelope {
     /// Set on copies mangled by an injected truncation; discarded at
     /// intake before matching.
     pub corrupt: bool,
+    /// Header checksum over `(src, tag, seq)`; `0` outside the fault
+    /// protocol. An injected payload corruption flips bits here and the
+    /// receiver discards the copy on the mismatch.
+    pub checksum: u64,
+    /// Sender's latest heartbeat stamp, piggybacked for the health
+    /// board (`0` = no stamp).
+    pub beat: u64,
     pub payload: Box<dyn Any + Send>,
+}
+
+/// The checksum a well-formed protocol envelope must carry.
+pub(crate) fn expected_checksum(src: usize, tag: u32, seq: u64) -> u64 {
+    mix64(seq ^ ((src as u64) << 32) ^ ((tag as u64) << 1) ^ 0x5EED_C0DE_F00D_CAFE)
 }
 
 impl Envelope {
@@ -41,6 +62,8 @@ impl Envelope {
             tag,
             seq: 0,
             corrupt: false,
+            checksum: 0,
+            beat: 0,
             payload,
         }
     }
@@ -56,29 +79,29 @@ pub(crate) struct Mailbox {
     poison: Arc<AtomicBool>,
     /// Highest accepted sequence number per sender (fault protocol).
     last_seq: Vec<u64>,
-    /// How long a receive may block before declaring the job wedged.
-    deadline: Duration,
 }
 
 impl Mailbox {
-    pub fn new(
-        rx: Receiver<Envelope>,
-        poison: Arc<AtomicBool>,
-        p: usize,
-        deadline: Duration,
-    ) -> Self {
+    pub fn new(rx: Receiver<Envelope>, poison: Arc<AtomicBool>, p: usize) -> Self {
         Self {
             rx,
             pending: Vec::new(),
             poison,
             last_seq: vec![0; p],
-            deadline,
         }
     }
 
-    /// Intake filter: discard corrupt copies and stale duplicates.
-    fn admit(&mut self, env: Envelope) -> Option<Envelope> {
+    /// Intake filter: fold in the piggybacked heartbeat, then discard
+    /// corrupt copies (truncation flag or checksum mismatch) and stale
+    /// duplicates.
+    fn admit(&mut self, env: Envelope, ctx: &WaitCtx<'_>) -> Option<Envelope> {
+        ctx.board.observe(env.src, env.beat);
         if env.seq != 0 {
+            if env.checksum != expected_checksum(env.src, env.tag, env.seq) {
+                ctx.stats.record_checksum_reject();
+                louvain_obs::counter_add("comm.checksum_rejects", 1);
+                return None;
+            }
             if env.corrupt || env.seq <= self.last_seq[env.src] {
                 return None;
             }
@@ -87,12 +110,14 @@ impl Mailbox {
         Some(env)
     }
 
-    /// Blocking receive of the next envelope matching `(src, tag)`.
+    /// Blocking receive of the next envelope matching `(src, tag)`,
+    /// under the watchdog ladder described in the module docs.
     ///
-    /// Panics if the job is poisoned (another rank panicked) or if
-    /// nothing matching arrives within the configured deadline, so the
-    /// whole run fails loudly instead of deadlocking.
-    pub fn recv_matching(&mut self, src: usize, tag: u32) -> Envelope {
+    /// Panics if the job is poisoned (another rank panicked), with a
+    /// typed [`crate::RankHung`] once the ladder declares the sender
+    /// hung, or with a plain timeout string when the watchdog is
+    /// disabled and the hard deadline passes.
+    pub fn recv_matching(&mut self, src: usize, tag: u32, ctx: &WaitCtx<'_>) -> Envelope {
         if let Some(pos) = self
             .pending
             .iter()
@@ -103,11 +128,14 @@ impl Mailbox {
             // or consecutive all_to_all_v rounds would get swapped.
             return self.pending.remove(pos);
         }
-        let started = Instant::now();
+        let mut dog = Watchdog::new(ctx);
         loop {
-            match self.rx.recv_timeout(Duration::from_millis(50)) {
+            dog.alive();
+            match self.rx.recv_timeout(dog.tick()) {
                 Ok(env) => {
-                    let Some(env) = self.admit(env) else { continue };
+                    let Some(env) = self.admit(env, ctx) else {
+                        continue;
+                    };
                     if env.src == src && env.tag == tag {
                         return env;
                     }
@@ -117,11 +145,8 @@ impl Mailbox {
                     if self.poison.load(Ordering::Relaxed) {
                         panic!("communicator poisoned: a peer rank panicked");
                     }
-                    if started.elapsed() > self.deadline {
-                        panic!(
-                            "receive timed out after {:?} waiting for a message from rank {src} tag {tag} (lost message or deadlock)",
-                            self.deadline
-                        );
+                    if dog.due() {
+                        dog.observe(&[src]);
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {

@@ -13,7 +13,9 @@
 //! discard corrupt copies and deduplicate by per-sender sequence number.
 //! Crashes are *not* survived here — they unwind the rank thread with a
 //! [`RankCrashed`] payload, which the resilient driver in
-//! `louvain-dist` catches and turns into a checkpoint restore.
+//! `louvain-dist` catches and turns into a checkpoint restore. Injected
+//! hangs likewise unwind — but indirectly, via the rank-health watchdog
+//! declaring the silent rank hung (see [`crate::health`]).
 
 use crate::stats::CommStep;
 
@@ -29,6 +31,16 @@ pub enum FaultKind {
     /// The copy arrives corrupt; the receiver discards it and the
     /// sender retries.
     Truncate,
+    /// The sending rank stalls (sleeping, but still heartbeating)
+    /// before the matched comm op — a straggler, not a hang.
+    Stall,
+    /// The same logical message is dropped on `len` consecutive
+    /// attempts (decided per message, not per attempt), exercising the
+    /// multi-step exponential backoff ladder.
+    FlakyBurst,
+    /// The copy arrives with a corrupted payload; the receiver detects
+    /// the checksum mismatch, discards it, and the sender retries.
+    CorruptPayload,
 }
 
 impl FaultKind {
@@ -38,6 +50,9 @@ impl FaultKind {
             "delay" => Some(FaultKind::Delay),
             "duplicate" => Some(FaultKind::Duplicate),
             "truncate" => Some(FaultKind::Truncate),
+            "stall" => Some(FaultKind::Stall),
+            "flaky-burst" => Some(FaultKind::FlakyBurst),
+            "corrupt-payload" => Some(FaultKind::CorruptPayload),
             _ => None,
         }
     }
@@ -56,6 +71,10 @@ pub struct FaultRule {
     pub phase: Option<u64>,
     /// Per-attempt injection probability in `[0, 1]`.
     pub prob: f64,
+    /// [`FaultKind::Stall`] only: how long the stall sleeps.
+    pub stall_ms: u64,
+    /// [`FaultKind::FlakyBurst`] only: consecutive attempts dropped.
+    pub burst_len: u32,
 }
 
 /// A hard-crash rule: `rank` panics with [`RankCrashed`] when it reaches
@@ -67,12 +86,25 @@ pub struct CrashRule {
     pub op: u64,
 }
 
+/// A hang rule: `rank` stops responding (no heartbeats, no messages)
+/// when it reaches communication operation `op` of fault epoch `phase`.
+/// The watchdog on a peer rank — or the hung rank's own self-timeout in
+/// single-rank jobs — eventually declares it hung via
+/// [`crate::RankHung`], which the resilient driver recovers from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HangRule {
+    pub rank: usize,
+    pub phase: u64,
+    pub op: u64,
+}
+
 /// A deterministic fault schedule, shared (immutably) by all ranks.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     pub seed: u64,
     pub rules: Vec<FaultRule>,
     pub crashes: Vec<CrashRule>,
+    pub hangs: Vec<HangRule>,
 }
 
 /// Panic payload carried out of a rank thread by an injected crash. The
@@ -99,8 +131,9 @@ impl std::fmt::Display for RankCrashed {
 /// message, faults are suppressed so the run always makes progress.
 pub(crate) const FAULT_MAX_ATTEMPTS: u32 = 3;
 
-/// splitmix64 finalizer — the per-decision hash.
-fn mix64(mut x: u64) -> u64 {
+/// splitmix64 finalizer — the per-decision hash (also used by the
+/// envelope checksum and the backoff jitter).
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
@@ -115,11 +148,13 @@ impl FaultPlan {
     /// Parse the CLI fault-plan DSL: `;`-separated segments, each either
     /// `seed=N` or `<kind>[:key=value,...]`.
     ///
-    /// Kinds: `drop`, `delay`, `duplicate`, `truncate` (keys `prob`,
-    /// `step`, `rank`, `phase`) and `crash` (keys `rank` — required —
-    /// `phase`, `op`). Step names are the [`CommStep`] labels. Example:
+    /// Kinds: `drop`, `delay`, `duplicate`, `truncate`,
+    /// `corrupt-payload` (keys `prob`, `step`, `rank`, `phase`),
+    /// `stall` (adds `ms`), `flaky-burst` (adds `len`), and the
+    /// op-addressed `crash` / `hang` (keys `rank` — required — `phase`,
+    /// `op`). Step names are the [`CommStep`] labels. Example:
     ///
-    /// `seed=42;drop:step=ghost_refresh,prob=0.2;crash:rank=1,phase=1`
+    /// `seed=42;drop:step=ghost_refresh,prob=0.2;stall:rank=0,ms=80,prob=0.1;hang:rank=1,phase=1`
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for seg in spec.split(';') {
@@ -147,14 +182,18 @@ impl FaultPlan {
                 Ok(None)
             };
             let parse_u64 = |v: &str| v.parse::<u64>().map_err(|_| format!("bad number {v:?}"));
-            if head == "crash" {
+            if head == "crash" || head == "hang" {
                 let rank = kv("rank")?
-                    .ok_or_else(|| format!("crash rule {seg:?} needs rank=N"))?
+                    .ok_or_else(|| format!("{head} rule {seg:?} needs rank=N"))?
                     .parse::<usize>()
                     .map_err(|_| format!("bad rank in {seg:?}"))?;
                 let phase = kv("phase")?.map(parse_u64).transpose()?.unwrap_or(0);
                 let op = kv("op")?.map(parse_u64).transpose()?.unwrap_or(0);
-                plan.crashes.push(CrashRule { rank, phase, op });
+                if head == "crash" {
+                    plan.crashes.push(CrashRule { rank, phase, op });
+                } else {
+                    plan.hangs.push(HangRule { rank, phase, op });
+                }
             } else {
                 let kind = FaultKind::parse(head)
                     .ok_or_else(|| format!("unknown fault kind {head:?} in {seg:?}"))?;
@@ -179,12 +218,38 @@ impl FaultPlan {
                     }
                     None => 1.0,
                 };
+                let stall_ms = match kv("ms")? {
+                    Some(v) => {
+                        if kind != FaultKind::Stall {
+                            return Err(format!("ms= only applies to stall rules, got {seg:?}"));
+                        }
+                        parse_u64(v)?
+                    }
+                    None => 100,
+                };
+                let burst_len = match kv("len")? {
+                    Some(v) => {
+                        if kind != FaultKind::FlakyBurst {
+                            return Err(format!(
+                                "len= only applies to flaky-burst rules, got {seg:?}"
+                            ));
+                        }
+                        let len = parse_u64(v)?;
+                        if !(1..=16).contains(&len) {
+                            return Err(format!("burst len {len} outside 1..=16"));
+                        }
+                        len as u32
+                    }
+                    None => 3,
+                };
                 plan.rules.push(FaultRule {
                     kind,
                     step,
                     rank,
                     phase,
                     prob,
+                    stall_ms,
+                    burst_len,
                 });
             }
         }
@@ -200,6 +265,20 @@ impl FaultPlan {
             seed: self.seed,
             rules: self.rules.clone(),
             crashes: self.crashes.iter().skip(n).copied().collect(),
+            hangs: self.hangs.clone(),
+        }
+    }
+
+    /// A copy with the first `n` hang rules removed — the hang
+    /// counterpart of [`FaultPlan::with_crashes_skipped`], applied by
+    /// the resilient driver after each [`crate::RankHung`] recovery so
+    /// every injected hang fires exactly once.
+    pub fn with_hangs_skipped(&self, n: usize) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            rules: self.rules.clone(),
+            crashes: self.crashes.clone(),
+            hangs: self.hangs.iter().skip(n).copied().collect(),
         }
     }
 
@@ -215,6 +294,59 @@ impl FaultPlan {
         attempt: u32,
     ) -> Option<FaultKind> {
         for (i, r) in self.rules.iter().enumerate() {
+            if r.kind == FaultKind::Stall {
+                // Op-level, not message-level; see `decide_stall`.
+                continue;
+            }
+            if r.rank.is_some_and(|x| x != rank) {
+                continue;
+            }
+            if r.step.is_some_and(|s| s != step) {
+                continue;
+            }
+            if r.phase.is_some_and(|p| p != phase) {
+                continue;
+            }
+            // A flaky burst is decided once per logical message (the
+            // attempt index is excluded from the hash) and then applies
+            // to its first `burst_len` attempts, so the same message
+            // keeps failing and the backoff ladder actually climbs.
+            let burst = r.kind == FaultKind::FlakyBurst;
+            if burst && attempt >= r.burst_len {
+                continue;
+            }
+            let h = mix64(
+                self.seed
+                    ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (rank as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                    ^ msg.wrapping_mul(0x1656_67B1_9E37_79F9)
+                    ^ if burst {
+                        0
+                    } else {
+                        (attempt as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)
+                    },
+            );
+            if u01(h) < r.prob {
+                return Some(r.kind);
+            }
+        }
+        None
+    }
+
+    /// The injected stall (if any) before comm op `op` of `phase` on
+    /// `rank`: op-level straggler injection, decided like [`FaultPlan::
+    /// decide`] but keyed on the op index. Returns the stall duration.
+    pub fn decide_stall(
+        &self,
+        rank: usize,
+        step: CommStep,
+        phase: u64,
+        op: u64,
+    ) -> Option<std::time::Duration> {
+        for (i, r) in self.rules.iter().enumerate() {
+            if r.kind != FaultKind::Stall {
+                continue;
+            }
             if r.rank.is_some_and(|x| x != rank) {
                 continue;
             }
@@ -228,11 +360,10 @@ impl FaultPlan {
                 self.seed
                     ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     ^ (rank as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
-                    ^ msg.wrapping_mul(0x1656_67B1_9E37_79F9)
-                    ^ (attempt as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                    ^ op.wrapping_mul(0x1656_67B1_9E37_79F9),
             );
             if u01(h) < r.prob {
-                return Some(r.kind);
+                return Some(std::time::Duration::from_millis(r.stall_ms));
             }
         }
         None
@@ -245,9 +376,16 @@ impl FaultPlan {
             .any(|c| c.rank == rank && c.phase == phase && c.op == op)
     }
 
+    /// Whether `rank` should hang at comm op `op` of fault epoch `phase`.
+    pub fn should_hang(&self, rank: usize, phase: u64, op: u64) -> bool {
+        self.hangs
+            .iter()
+            .any(|h| h.rank == rank && h.phase == phase && h.op == op)
+    }
+
     /// True when the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty() && self.crashes.is_empty()
+        self.rules.is_empty() && self.crashes.is_empty() && self.hangs.is_empty()
     }
 }
 
@@ -283,7 +421,93 @@ mod tests {
         assert!(FaultPlan::parse("drop:step=warp_drive").is_err());
         assert!(FaultPlan::parse("drop:prob=1.5").is_err());
         assert!(FaultPlan::parse("crash:phase=1").is_err());
+        assert!(FaultPlan::parse("hang:phase=1").is_err());
         assert!(FaultPlan::parse("seed=xyzzy").is_err());
+        assert!(FaultPlan::parse("drop:ms=5").is_err());
+        assert!(FaultPlan::parse("stall:rank=0,len=2").is_err());
+        assert!(FaultPlan::parse("flaky-burst:len=0").is_err());
+        assert!(FaultPlan::parse("flaky-burst:len=99").is_err());
+    }
+
+    #[test]
+    fn parse_health_fault_kinds() {
+        let plan = FaultPlan::parse(
+            "seed=9;stall:rank=0,ms=80,prob=0.5;flaky-burst:len=4,prob=0.1;corrupt-payload:prob=0.2;hang:rank=2,phase=1,op=3",
+        )
+        .unwrap();
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(plan.rules[0].kind, FaultKind::Stall);
+        assert_eq!(plan.rules[0].stall_ms, 80);
+        assert_eq!(plan.rules[1].kind, FaultKind::FlakyBurst);
+        assert_eq!(plan.rules[1].burst_len, 4);
+        assert_eq!(plan.rules[2].kind, FaultKind::CorruptPayload);
+        assert_eq!(
+            plan.hangs,
+            vec![HangRule {
+                rank: 2,
+                phase: 1,
+                op: 3
+            }]
+        );
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn hang_skipping_mirrors_crash_skipping() {
+        let plan = FaultPlan::parse("hang:rank=0,phase=1;hang:rank=1,phase=3").unwrap();
+        assert!(plan.should_hang(0, 1, 0));
+        let after_one = plan.with_hangs_skipped(1);
+        assert!(!after_one.should_hang(0, 1, 0));
+        assert!(after_one.should_hang(1, 3, 0));
+        assert!(plan.with_hangs_skipped(2).hangs.is_empty());
+        // Crash skipping leaves hang rules alone and vice versa.
+        let mixed = FaultPlan::parse("crash:rank=0,phase=0;hang:rank=1,phase=1").unwrap();
+        assert!(mixed.with_crashes_skipped(1).should_hang(1, 1, 0));
+        assert!(mixed.with_hangs_skipped(1).should_crash(0, 0, 0));
+    }
+
+    #[test]
+    fn flaky_burst_hits_consecutive_attempts_then_clears() {
+        let plan = FaultPlan::parse("seed=5;flaky-burst:len=3,prob=0.3").unwrap();
+        let mut burst_msgs = 0;
+        for msg in 0..300u64 {
+            let first = plan.decide(0, CommStep::DeltaPush, 0, msg, 0);
+            if first == Some(FaultKind::FlakyBurst) {
+                burst_msgs += 1;
+                // The whole burst window fails, then the message clears.
+                for a in 1..3 {
+                    assert_eq!(
+                        plan.decide(0, CommStep::DeltaPush, 0, msg, a),
+                        Some(FaultKind::FlakyBurst)
+                    );
+                }
+                assert_eq!(plan.decide(0, CommStep::DeltaPush, 0, msg, 3), None);
+            } else {
+                assert_eq!(first, None);
+            }
+        }
+        assert!((40..200).contains(&burst_msgs), "prob=0.3 hit {burst_msgs}");
+    }
+
+    #[test]
+    fn stall_decisions_are_op_level_and_deterministic() {
+        let plan = FaultPlan::parse("seed=11;stall:rank=1,ms=40,prob=0.5").unwrap();
+        // Stall rules never fire through the message-level path.
+        for msg in 0..100 {
+            assert_eq!(plan.decide(1, CommStep::Other, 0, msg, 0), None);
+        }
+        let hits = (0..1000u64)
+            .filter(|&op| plan.decide_stall(1, CommStep::Other, 0, op).is_some())
+            .count();
+        assert!((300..700).contains(&hits), "prob=0.5 hit {hits}/1000");
+        assert_eq!(
+            plan.decide_stall(1, CommStep::Other, 0, 7),
+            plan.decide_stall(1, CommStep::Other, 0, 7)
+        );
+        assert_eq!(plan.decide_stall(0, CommStep::Other, 0, 7), None);
+        if let Some(d) = plan.decide_stall(1, CommStep::Other, 0, 3) {
+            assert_eq!(d, std::time::Duration::from_millis(40));
+        }
     }
 
     #[test]

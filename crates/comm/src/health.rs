@@ -1,0 +1,449 @@
+//! Rank-health watchdog: deadline-aware waits, adaptive retry/backoff,
+//! and heartbeat-based hang detection.
+//!
+//! Every blocking wait in the communicator (mailbox receives and
+//! blackboard collectives) runs under a [`Watchdog`] that escalates
+//! through a ladder: *deadline expires* → *consult heartbeats* →
+//! *retry with exponential backoff* → *declare the silent rank hung* by
+//! panicking with a [`RankHung`] payload. The resilient driver in
+//! `louvain-dist` catches that payload exactly like a
+//! [`crate::RankCrashed`] and restores from the newest checkpoint.
+//!
+//! Heartbeats are cheap: every rank stamps a shared [`HealthBoard`]
+//! slot (one relaxed atomic store) at every communication operation and
+//! on every poll tick while blocked, and every protocol envelope
+//! piggybacks the sender's latest stamp. A rank that is merely *slow*
+//! (stalled in compute, or waiting on a third rank) keeps beating and is
+//! recorded as a straggler — only a rank whose heartbeat goes stale past
+//! the deadline is declared hung.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::fault::mix64;
+use crate::stats::{CommStats, CommStep, NUM_COMM_STEPS};
+
+/// Exponential backoff with deterministic jitter.
+///
+/// The delay for attempt `a` is `base · 2^a` plus a jitter of up to 25%
+/// of that value, clamped to `cap`. The jitter is a pure function of
+/// `(seed, salt, attempt)`, so a fixed seed reproduces the exact same
+/// delay sequence — the property the fault matrix and the proptests
+/// rely on. Delays are monotone non-decreasing in `attempt`: the
+/// exponential term doubles while the jitter adds strictly less than
+/// one doubling, and once the cap is reached every later delay equals
+/// the cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay of attempt 0 (before jitter).
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Jitter seed; same seed ⇒ same delays.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_micros(50),
+            cap: Duration::from_millis(5),
+            seed: 0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry `attempt` (0-based) of the logical
+    /// operation identified by `salt`. Deterministic; see the type docs
+    /// for the monotonicity/cap/jitter contract.
+    pub fn delay(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.base.as_nanos() as u64;
+        let cap = self.cap.as_nanos() as u64;
+        let exp = base.saturating_shl(attempt.min(63));
+        // Jitter in [0, exp/4): strictly less than the next doubling,
+        // which is what keeps the sequence monotone non-decreasing.
+        let h = mix64(
+            self.seed
+                ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (attempt as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        );
+        let jitter = if exp >= 4 { h % (exp / 4) } else { 0 };
+        Duration::from_nanos(exp.saturating_add(jitter).min(cap))
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping.
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> u64;
+}
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        if self == 0 {
+            0
+        } else if rhs >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << rhs
+        }
+    }
+}
+
+/// Tuning for the rank-health watchdog, carried by
+/// [`crate::RunConfig`].
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Master switch. When off, blocked waits fall back to the legacy
+    /// behaviour: a single hard deadline that panics with a plain
+    /// string (never a recoverable [`RankHung`]).
+    pub enabled: bool,
+    /// How long one blocked wait may go without progress before the
+    /// watchdog escalates (the per-window deadline of the ladder).
+    pub deadline: Duration,
+    /// Deadline extensions (with backoff) granted to a silent peer
+    /// before it is declared hung; also the default retransmission cap
+    /// for injected message faults.
+    pub max_retries: u32,
+    /// Backoff between deadline extensions and retransmissions.
+    pub backoff: BackoffPolicy,
+    /// Per-[`CommStep`] overrides of `max_retries` (index =
+    /// `CommStep::index()`); `None` = use the global cap.
+    pub step_max_retries: [Option<u32>; NUM_COMM_STEPS],
+    /// Hard liveness ceiling: a wait that exceeds `deadline ×
+    /// liveness_factor` is declared hung even if the suspects are still
+    /// heartbeating (catches application-level deadlocks where every
+    /// rank is alive but none can progress).
+    pub liveness_factor: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            deadline: Duration::from_secs(30),
+            max_retries: 3,
+            backoff: BackoffPolicy::default(),
+            step_max_retries: [None; NUM_COMM_STEPS],
+            liveness_factor: 8,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// A config with the watchdog ladder switched off (legacy
+    /// behaviour); used by the bench harness for the on/off A-B rows.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// The retry cap in effect for `step`.
+    pub fn retries_for(&self, step: CommStep) -> u32 {
+        self.step_max_retries[step.index()].unwrap_or(self.max_retries)
+    }
+
+    /// How long an *injected* hang sleeps before the hung rank declares
+    /// itself dead (simulating an external supervisor kill). Longer
+    /// than the peers' full detection ladder so that in multi-rank jobs
+    /// a peer normally wins; in single-rank jobs this is the only
+    /// detector.
+    pub fn hang_self_timeout(&self) -> Duration {
+        self.deadline * (self.max_retries + 2)
+    }
+
+    /// Hard ceiling on one blocked wait (see `liveness_factor`).
+    pub fn liveness_ceiling(&self) -> Duration {
+        self.deadline * self.liveness_factor.max(1)
+    }
+}
+
+/// Panic payload carried out of a rank thread when the watchdog (or an
+/// injected hang's self-timeout) declares a rank hung. The resilient
+/// driver downcasts it and recovers exactly like a [`crate::RankCrashed`].
+#[derive(Debug, Clone, Copy)]
+pub struct RankHung {
+    /// The rank declared hung.
+    pub rank: usize,
+    /// The rank that made the declaration (== `rank` for an injected
+    /// hang's self-timeout).
+    pub detector: usize,
+    /// Fault epoch (Louvain phase) the detector was in.
+    pub phase: u64,
+    /// Comm-op index the detector was blocked at.
+    pub op: u64,
+    /// Step attribution of the blocked wait.
+    pub step: CommStep,
+    /// Total time the detector had been blocked.
+    pub waited_ms: u64,
+}
+
+impl std::fmt::Display for RankHung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} declared hung by rank {} after {} ms blocked in {} (comm op {} of phase {})",
+            self.rank,
+            self.detector,
+            self.waited_ms,
+            self.step.label(),
+            self.op,
+            self.phase
+        )
+    }
+}
+
+/// Shared per-rank heartbeat stamps (nanoseconds since job start, via
+/// one relaxed atomic per rank). Ranks stamp their own slot on every
+/// comm op and every blocked poll tick; envelope intake folds in the
+/// stamp piggybacked by the sender.
+pub struct HealthBoard {
+    origin: Instant,
+    beats: Vec<AtomicU64>,
+}
+
+impl HealthBoard {
+    pub fn new(p: usize) -> Self {
+        let board = Self {
+            origin: Instant::now(),
+            beats: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        };
+        for r in 0..p {
+            board.beat(r);
+        }
+        board
+    }
+
+    fn now_nanos(&self) -> u64 {
+        // +1 so a stamp of 0 can only mean "never" (and new() stamps
+        // every slot anyway).
+        (self.origin.elapsed().as_nanos() as u64).saturating_add(1)
+    }
+
+    /// Stamp `rank`'s slot with "now"; returns the stamp for envelope
+    /// piggybacking.
+    pub fn beat(&self, rank: usize) -> u64 {
+        let t = self.now_nanos();
+        self.beats[rank].fetch_max(t, Ordering::Relaxed);
+        t
+    }
+
+    /// Fold in a stamp received on the wire (monotone max).
+    pub fn observe(&self, rank: usize, stamp: u64) {
+        if stamp != 0 {
+            self.beats[rank].fetch_max(stamp, Ordering::Relaxed);
+        }
+    }
+
+    /// Time since `rank` last heartbeat.
+    pub fn age(&self, rank: usize) -> Duration {
+        let last = self.beats[rank].load(Ordering::Relaxed);
+        let now = self.now_nanos();
+        Duration::from_nanos(now.saturating_sub(last))
+    }
+}
+
+/// Identity of one blocked wait, for watchdog bookkeeping and the
+/// [`RankHung`] payload.
+pub(crate) struct WaitCtx<'a> {
+    pub cfg: &'a HealthConfig,
+    pub board: &'a HealthBoard,
+    pub stats: &'a CommStats,
+    pub rank: usize,
+    pub phase: u64,
+    pub op: u64,
+}
+
+/// The escalation ladder of one blocked wait: `deadline → (straggler
+/// extension | retry with backoff) → RankHung`. Created per wait;
+/// callers invoke [`Watchdog::alive`] every poll tick and
+/// [`Watchdog::observe`] with the current suspect set once
+/// [`Watchdog::due`] reports the window expired.
+pub(crate) struct Watchdog<'a, 'c> {
+    ctx: &'c WaitCtx<'a>,
+    started: Instant,
+    window: Instant,
+    extensions: u32,
+}
+
+impl<'a, 'c> Watchdog<'a, 'c> {
+    pub fn new(ctx: &'c WaitCtx<'a>) -> Self {
+        let now = Instant::now();
+        Self {
+            ctx,
+            started: now,
+            window: now,
+            extensions: 0,
+        }
+    }
+
+    /// Poll interval for the underlying timed wait: fine-grained enough
+    /// to resolve small deadlines, never coarser than 50 ms.
+    pub fn tick(&self) -> Duration {
+        (self.ctx.cfg.deadline / 4).clamp(Duration::from_millis(1), Duration::from_millis(50))
+    }
+
+    /// Heartbeat this rank's own slot (blocked-but-alive ≠ hung).
+    pub fn alive(&self) {
+        self.ctx.board.beat(self.ctx.rank);
+    }
+
+    /// Whether the current deadline window has expired and
+    /// [`Watchdog::observe`] should be consulted.
+    pub fn due(&self) -> bool {
+        self.window.elapsed() >= self.ctx.cfg.deadline
+    }
+
+    /// Escalate one expired window. `suspects` are the ranks this wait
+    /// is blocked on; the subset whose heartbeats are stale past the
+    /// deadline are candidates for a hung declaration. Panics with
+    /// [`RankHung`] when the ladder is exhausted; otherwise extends the
+    /// window (recording a straggler or a backed-off retry) and returns.
+    pub fn observe(&mut self, suspects: &[usize]) {
+        let cfg = self.ctx.cfg;
+        let waited = self.started.elapsed();
+        if !cfg.enabled {
+            // Legacy behaviour: one hard deadline, plain string panic.
+            if waited > cfg.deadline {
+                panic!(
+                    "receive timed out after {:?} waiting on ranks {:?} (lost message or deadlock)",
+                    cfg.deadline, suspects
+                );
+            }
+            return;
+        }
+        let step = self.ctx.stats.current_step();
+        self.ctx.stats.record_wd_timeout();
+        louvain_obs::counter_add("watchdog.timeouts", 1);
+        let hang = |suspect: usize| RankHung {
+            rank: suspect,
+            detector: self.ctx.rank,
+            phase: self.ctx.phase,
+            op: self.ctx.op,
+            step,
+            waited_ms: waited.as_millis() as u64,
+        };
+        let stale: Option<usize> = suspects
+            .iter()
+            .copied()
+            .filter(|&s| self.ctx.board.age(s) > cfg.deadline)
+            .min();
+        match stale {
+            None => {
+                // Everyone we are waiting on is still heartbeating:
+                // straggler, not hang. Extend the window for free, but
+                // never beyond the liveness ceiling (live-but-deadlocked
+                // ranks must not wedge the job forever).
+                self.ctx.stats.record_wd_straggler();
+                louvain_obs::counter_add("watchdog.stragglers", 1);
+                if waited > cfg.liveness_ceiling() {
+                    let suspect = suspects.iter().copied().min().unwrap_or(self.ctx.rank);
+                    std::panic::panic_any(hang(suspect));
+                }
+            }
+            Some(suspect) => {
+                if self.extensions >= cfg.retries_for(step) {
+                    std::panic::panic_any(hang(suspect));
+                }
+                self.extensions += 1;
+                self.ctx.stats.record_wd_retry();
+                let salt = (self.ctx.rank as u64) << 40 ^ self.ctx.phase << 20 ^ self.ctx.op;
+                let delay = cfg.backoff.delay(self.extensions - 1, salt);
+                self.ctx.stats.record_backoff(delay);
+                louvain_obs::hist_observe("watchdog.backoff_us", delay.as_micros() as u64);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        self.window = Instant::now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_monotone() {
+        let p = BackoffPolicy {
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(50),
+            seed: 42,
+        };
+        for salt in [0u64, 7, 12345] {
+            let mut prev = Duration::ZERO;
+            for attempt in 0..20 {
+                let d = p.delay(attempt, salt);
+                assert_eq!(d, p.delay(attempt, salt), "same inputs, same delay");
+                assert!(d >= prev, "attempt {attempt}: {d:?} < {prev:?}");
+                assert!(d <= p.cap, "cap violated at attempt {attempt}");
+                prev = d;
+            }
+            assert_eq!(p.delay(19, salt), p.cap, "tail saturates at the cap");
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_a_quarter_of_the_exponential() {
+        let p = BackoffPolicy {
+            base: Duration::from_micros(64),
+            cap: Duration::from_secs(10),
+            seed: 9,
+        };
+        for attempt in 0..8u32 {
+            let exp = 64_000u64 << attempt; // nanos
+            for salt in 0..100u64 {
+                let d = p.delay(attempt, salt).as_nanos() as u64;
+                assert!(d >= exp, "delay below the exponential floor");
+                assert!(d < exp + exp / 4 + 1, "jitter above 25% at {attempt}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_zero_base_yields_zero_delays() {
+        let p = BackoffPolicy {
+            base: Duration::ZERO,
+            cap: Duration::from_secs(1),
+            seed: 1,
+        };
+        assert_eq!(p.delay(0, 3), Duration::ZERO);
+        assert_eq!(p.delay(17, 3), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_huge_attempt_saturates_at_cap_without_overflow() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.delay(u32::MAX, 0), p.cap);
+        assert_eq!(p.delay(63, 0), p.cap);
+    }
+
+    #[test]
+    fn health_board_tracks_freshness() {
+        let b = HealthBoard::new(2);
+        assert!(b.age(0) < Duration::from_millis(100));
+        std::thread::sleep(Duration::from_millis(20));
+        b.beat(1);
+        assert!(b.age(1) < Duration::from_millis(10));
+        assert!(b.age(0) >= Duration::from_millis(20));
+        // Piggybacked stamps fold in monotonically.
+        let s = b.beat(0);
+        b.observe(1, s);
+        assert!(b.age(1) < Duration::from_millis(10));
+        b.observe(1, 1); // stale stamp: ignored by the max
+        assert!(b.age(1) < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn per_step_retry_caps_override_the_global_cap() {
+        let mut cfg = HealthConfig {
+            max_retries: 5,
+            ..HealthConfig::default()
+        };
+        cfg.step_max_retries[CommStep::Reduction.index()] = Some(1);
+        assert_eq!(cfg.retries_for(CommStep::Reduction), 1);
+        assert_eq!(cfg.retries_for(CommStep::GhostRefresh), 5);
+    }
+}

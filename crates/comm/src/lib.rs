@@ -34,13 +34,15 @@ mod comm;
 mod cost;
 mod envelope;
 mod fault;
+pub mod health;
 mod reduce;
 mod runtime;
 mod stats;
 
 pub use comm::{Comm, Tag};
 pub use cost::CostModel;
-pub use fault::{CrashRule, FaultKind, FaultPlan, FaultRule, RankCrashed};
+pub use fault::{CrashRule, FaultKind, FaultPlan, FaultRule, HangRule, RankCrashed};
+pub use health::{BackoffPolicy, HealthBoard, HealthConfig, RankHung};
 pub use reduce::{ReduceOp, Reducible};
 pub use runtime::{run, run_with, RunConfig};
 pub use stats::{CommStats, CommStep, StatsSnapshot, TrafficKind, NUM_COMM_STEPS};

@@ -2,7 +2,6 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 
@@ -11,6 +10,7 @@ use crate::comm::Comm;
 use crate::cost::CostModel;
 use crate::envelope::Mailbox;
 use crate::fault::FaultPlan;
+use crate::health::{HealthBoard, HealthConfig};
 
 /// Launch-time options for a simulated job.
 #[derive(Debug, Clone)]
@@ -23,9 +23,9 @@ pub struct RunConfig {
     /// Deterministic fault-injection schedule applied to every rank.
     /// `None` (the default) is a clean run with zero fault-path work.
     pub fault: Option<Arc<FaultPlan>>,
-    /// How long a blocked receive may wait before declaring the job
-    /// wedged and panicking with a descriptive timeout.
-    pub recv_timeout: Duration,
+    /// Rank-health watchdog tuning: wait deadlines, retry/backoff
+    /// policy, and hang-declaration ladder (see [`HealthConfig`]).
+    pub health: HealthConfig,
 }
 
 impl Default for RunConfig {
@@ -34,7 +34,7 @@ impl Default for RunConfig {
             cost: CostModel::default(),
             stack_size: 8 << 20,
             fault: None,
-            recv_timeout: Duration::from_secs(30),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -63,6 +63,7 @@ where
     let first_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
         parking_lot::Mutex::new(None);
     let blackboard = Arc::new(Blackboard::new(p, Arc::clone(&poison)));
+    let board = Arc::new(HealthBoard::new(p));
     let (senders, receivers): (Vec<_>, Vec<_>) = (0..p).map(|_| unbounded()).unzip();
     let senders = Arc::new(senders);
 
@@ -73,15 +74,17 @@ where
         for (rank, (rx, slot)) in receivers.into_iter().zip(results.iter_mut()).enumerate() {
             let senders = Arc::clone(&senders);
             let blackboard = Arc::clone(&blackboard);
+            let board = Arc::clone(&board);
             let poison = Arc::clone(&poison);
             let fault = config.fault.clone();
+            let health = config.health.clone();
             let first_payload_ref = &first_payload;
             let builder = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(config.stack_size);
             let handle = builder
                 .spawn_scoped(scope, move || {
-                    let mailbox = Mailbox::new(rx, Arc::clone(&poison), p, config.recv_timeout);
+                    let mailbox = Mailbox::new(rx, Arc::clone(&poison), p);
                     let comm = Comm::new(
                         rank,
                         p,
@@ -90,6 +93,9 @@ where
                         Arc::clone(&blackboard),
                         config.cost,
                         fault,
+                        health,
+                        board,
+                        Arc::clone(&poison),
                     );
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
                     match out {
@@ -548,6 +554,204 @@ mod tests {
             .downcast_ref::<RankCrashed>()
             .expect("crash payload must survive propagation");
         assert_eq!((crash.rank, crash.phase, crash.op), (1, 0, 2));
+    }
+
+    #[test]
+    fn injected_hang_is_declared_hung_by_a_peer() {
+        use crate::fault::FaultPlan;
+        use crate::health::{HealthConfig, RankHung};
+        let plan = Arc::new(FaultPlan::parse("hang:rank=1,phase=0,op=2").unwrap());
+        let health = HealthConfig {
+            deadline: std::time::Duration::from_millis(50),
+            max_retries: 1,
+            ..HealthConfig::default()
+        };
+        let res = std::panic::catch_unwind(|| {
+            run_with(
+                2,
+                RunConfig {
+                    fault: Some(plan),
+                    health,
+                    ..Default::default()
+                },
+                |c| {
+                    for _ in 0..4 {
+                        c.barrier();
+                    }
+                },
+            )
+        });
+        let payload = res.unwrap_err();
+        let hung = payload
+            .downcast_ref::<RankHung>()
+            .expect("hang payload must survive propagation");
+        assert_eq!(hung.rank, 1, "the injected rank is the one declared hung");
+        assert_eq!((hung.phase, hung.op), (0, 2));
+    }
+
+    #[test]
+    fn injected_hang_self_reports_in_single_rank_job() {
+        use crate::fault::FaultPlan;
+        use crate::health::{HealthConfig, RankHung};
+        let plan = Arc::new(FaultPlan::parse("hang:rank=0,phase=0,op=1").unwrap());
+        let health = HealthConfig {
+            deadline: std::time::Duration::from_millis(30),
+            max_retries: 1,
+            ..HealthConfig::default()
+        };
+        let res = std::panic::catch_unwind(|| {
+            run_with(
+                1,
+                RunConfig {
+                    fault: Some(plan),
+                    health,
+                    ..Default::default()
+                },
+                |c| {
+                    c.barrier();
+                    c.barrier();
+                },
+            )
+        });
+        let payload = res.unwrap_err();
+        let hung = payload
+            .downcast_ref::<RankHung>()
+            .expect("self-timeout must produce a typed RankHung");
+        // No peer exists; the hung rank declares itself.
+        assert_eq!((hung.rank, hung.detector), (0, 0));
+    }
+
+    #[test]
+    fn stall_is_survived_as_a_straggler_not_a_hang() {
+        use crate::fault::FaultPlan;
+        use crate::health::HealthConfig;
+        let work = |c: &Comm| {
+            let mut acc = 0u64;
+            for i in 0..3u64 {
+                acc += c.all_reduce(i + c.rank() as u64, ReduceOp::Sum);
+            }
+            acc
+        };
+        let clean = run(2, work);
+        // Rank 1 stalls 150 ms before every op while the peer's deadline
+        // is 40 ms: the watchdog must classify it as a live straggler
+        // (heartbeats keep flowing) and extend, never declare it hung.
+        let plan = Arc::new(FaultPlan::parse("stall:rank=1,ms=150,prob=1").unwrap());
+        let health = HealthConfig {
+            deadline: std::time::Duration::from_millis(40),
+            max_retries: 1,
+            ..HealthConfig::default()
+        };
+        let out = run_with(
+            2,
+            RunConfig {
+                fault: Some(plan),
+                health,
+                ..Default::default()
+            },
+            |c| {
+                let acc = work(c);
+                (acc, c.stats().snapshot())
+            },
+        );
+        assert_eq!(vec![out[0].0, out[1].0], clean);
+        let stalls: u64 = out.iter().map(|(_, s)| s.fault_stalls).sum();
+        let stragglers: u64 = out.iter().map(|(_, s)| s.wd_stragglers).sum();
+        assert!(stalls > 0, "the stall rule should have fired");
+        assert!(
+            stragglers > 0,
+            "the peer's watchdog should have recorded straggler extensions"
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_and_flaky_burst_are_survived() {
+        use crate::fault::FaultPlan;
+        let plan = Arc::new(
+            FaultPlan::parse("seed=12;corrupt-payload:prob=0.15;flaky-burst:prob=0.1,len=2")
+                .unwrap(),
+        );
+        let p = 4;
+        let work = |c: &Comm| {
+            let bufs: Vec<Vec<u64>> = (0..p)
+                .map(|d| vec![(c.rank() * 10 + d) as u64; 4])
+                .collect();
+            let got = c.all_to_all_v(bufs);
+            c.all_reduce(got.iter().flatten().sum::<u64>(), ReduceOp::Sum)
+        };
+        let clean = run(p, work);
+        let faulty = run_with(
+            p,
+            RunConfig {
+                fault: Some(Arc::clone(&plan)),
+                ..Default::default()
+            },
+            |c| {
+                let out = work(c);
+                (out, c.stats().snapshot())
+            },
+        );
+        for (rank, (out, _)) in faulty.iter().enumerate() {
+            assert_eq!(*out, clean[rank], "faults must be invisible to callers");
+        }
+        let corruptions: u64 = faulty.iter().map(|(_, s)| s.fault_corruptions).sum();
+        let rejects: u64 = faulty.iter().map(|(_, s)| s.checksum_rejects).sum();
+        let bursts: u64 = faulty.iter().map(|(_, s)| s.fault_bursts).sum();
+        let retries: u64 = faulty.iter().map(|(_, s)| s.fault_retries).sum();
+        assert!(corruptions > 0, "the corrupt-payload rule should fire");
+        assert_eq!(
+            corruptions, rejects,
+            "every injected corruption is caught by the receiver checksum"
+        );
+        assert!(bursts > 0, "the flaky-burst rule should fire");
+        assert_eq!(
+            retries,
+            corruptions + bursts,
+            "every corruption/burst drop is retried"
+        );
+        let step_retries: u64 = faulty
+            .iter()
+            .map(|(_, s)| s.step_retries.iter().sum::<u64>())
+            .sum();
+        assert_eq!(
+            step_retries, retries,
+            "retries reconcile with the per-step histogram"
+        );
+    }
+
+    #[test]
+    fn disabled_watchdog_times_out_with_a_plain_string() {
+        use crate::health::HealthConfig;
+        let res = std::panic::catch_unwind(|| {
+            run_with(
+                2,
+                RunConfig {
+                    health: HealthConfig {
+                        deadline: std::time::Duration::from_millis(60),
+                        ..HealthConfig::disabled()
+                    },
+                    ..Default::default()
+                },
+                |c| {
+                    if c.rank() == 0 {
+                        // Rank 1 never sends: rank 0's receive must hit the
+                        // legacy hard deadline.
+                        let _ = c.recv::<u64>(1, 5);
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_millis(400));
+                    }
+                },
+            )
+        });
+        let payload = res.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("receive timed out"),
+            "disabled watchdog keeps the legacy string panic, got {msg:?}"
+        );
     }
 
     #[test]

@@ -96,6 +96,26 @@ pub struct CommStats {
     fault_truncations: Cell<u64>,
     /// Retransmissions performed to survive drops/truncations.
     fault_retries: Cell<u64>,
+    /// Injected stalls (straggler simulation) served by this rank.
+    fault_stalls: Cell<u64>,
+    /// Flaky-burst drops (consecutive-failure windows) on this sender.
+    fault_bursts: Cell<u64>,
+    /// Payload corruptions injected on this sender.
+    fault_corruptions: Cell<u64>,
+    /// Envelopes this rank rejected at intake on a checksum mismatch.
+    checksum_rejects: Cell<u64>,
+    /// Watchdog ladder events on this rank's blocked waits.
+    wd_timeouts: Cell<u64>,
+    wd_retries: Cell<u64>,
+    wd_stragglers: Cell<u64>,
+    /// Total time this rank slept in retry/watchdog backoff.
+    backoff_nanos: Cell<u64>,
+    /// Retries (retransmissions + watchdog deadline extensions) charged
+    /// to the step they occurred under — the per-step retry histogram
+    /// surfaced in the run report. Charged *immediately* when the retry
+    /// happens, so a panic mid-step cannot lose them (the panic-safety
+    /// contract of `Comm::with_step`).
+    step_retries: [Cell<u64>; NUM_COMM_STEPS],
 }
 
 impl CommStats {
@@ -188,12 +208,64 @@ impl CommStats {
             FaultKind::Delay => &self.fault_delays,
             FaultKind::Duplicate => &self.fault_duplicates,
             FaultKind::Truncate => &self.fault_truncations,
+            FaultKind::Stall => &self.fault_stalls,
+            FaultKind::FlakyBurst => &self.fault_bursts,
+            FaultKind::CorruptPayload => &self.fault_corruptions,
         };
         cell.set(cell.get() + 1);
     }
 
     pub(crate) fn record_retry(&self) {
         self.fault_retries.set(self.fault_retries.get() + 1);
+        self.charge_step_retry();
+    }
+
+    fn charge_step_retry(&self) {
+        let i = self.step.get().index();
+        self.step_retries[i].set(self.step_retries[i].get() + 1);
+    }
+
+    pub(crate) fn record_wd_timeout(&self) {
+        self.wd_timeouts.set(self.wd_timeouts.get() + 1);
+    }
+
+    pub(crate) fn record_wd_retry(&self) {
+        self.wd_retries.set(self.wd_retries.get() + 1);
+        self.charge_step_retry();
+    }
+
+    pub(crate) fn record_wd_straggler(&self) {
+        self.wd_stragglers.set(self.wd_stragglers.get() + 1);
+    }
+
+    pub(crate) fn record_backoff(&self, delay: std::time::Duration) {
+        self.backoff_nanos
+            .set(self.backoff_nanos.get() + delay.as_nanos() as u64);
+    }
+
+    pub(crate) fn record_checksum_reject(&self) {
+        self.checksum_rejects.set(self.checksum_rejects.get() + 1);
+    }
+
+    /// Watchdog event counts `(timeouts, retries, stragglers,
+    /// backoff_nanos)` on this rank's blocked waits.
+    pub fn watchdog_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.wd_timeouts.get(),
+            self.wd_retries.get(),
+            self.wd_stragglers.get(),
+            self.backoff_nanos.get(),
+        )
+    }
+
+    /// Checksum-mismatch rejections at this rank's intake.
+    pub fn checksum_rejects(&self) -> u64 {
+        self.checksum_rejects.get()
+    }
+
+    /// Retries charged to one algorithmic step.
+    pub fn step_retries(&self, step: CommStep) -> u64 {
+        self.step_retries[step.index()].get()
     }
 
     /// Injected-fault event counts `(drops, delays, duplicates,
@@ -223,6 +295,15 @@ impl CommStats {
             fault_duplicates: self.fault_duplicates.get(),
             fault_truncations: self.fault_truncations.get(),
             fault_retries: self.fault_retries.get(),
+            fault_stalls: self.fault_stalls.get(),
+            fault_bursts: self.fault_bursts.get(),
+            fault_corruptions: self.fault_corruptions.get(),
+            checksum_rejects: self.checksum_rejects.get(),
+            wd_timeouts: self.wd_timeouts.get(),
+            wd_retries: self.wd_retries.get(),
+            wd_stragglers: self.wd_stragglers.get(),
+            backoff_nanos: self.backoff_nanos.get(),
+            step_retries: std::array::from_fn(|i| self.step_retries[i].get()),
         }
     }
 
@@ -254,6 +335,24 @@ impl CommStats {
             .set(self.fault_truncations.get() + base.fault_truncations);
         self.fault_retries
             .set(self.fault_retries.get() + base.fault_retries);
+        self.fault_stalls
+            .set(self.fault_stalls.get() + base.fault_stalls);
+        self.fault_bursts
+            .set(self.fault_bursts.get() + base.fault_bursts);
+        self.fault_corruptions
+            .set(self.fault_corruptions.get() + base.fault_corruptions);
+        self.checksum_rejects
+            .set(self.checksum_rejects.get() + base.checksum_rejects);
+        self.wd_timeouts
+            .set(self.wd_timeouts.get() + base.wd_timeouts);
+        self.wd_retries.set(self.wd_retries.get() + base.wd_retries);
+        self.wd_stragglers
+            .set(self.wd_stragglers.get() + base.wd_stragglers);
+        self.backoff_nanos
+            .set(self.backoff_nanos.get() + base.backoff_nanos);
+        for i in 0..NUM_COMM_STEPS {
+            self.step_retries[i].set(self.step_retries[i].get() + base.step_retries[i]);
+        }
     }
 
     /// Zero every counter, returning the pre-reset snapshot.
@@ -273,6 +372,17 @@ impl CommStats {
         self.fault_duplicates.set(0);
         self.fault_truncations.set(0);
         self.fault_retries.set(0);
+        self.fault_stalls.set(0);
+        self.fault_bursts.set(0);
+        self.fault_corruptions.set(0);
+        self.checksum_rejects.set(0);
+        self.wd_timeouts.set(0);
+        self.wd_retries.set(0);
+        self.wd_stragglers.set(0);
+        self.backoff_nanos.set(0);
+        for i in 0..NUM_COMM_STEPS {
+            self.step_retries[i].set(0);
+        }
         snap
     }
 }
@@ -295,6 +405,20 @@ pub struct StatsSnapshot {
     pub fault_duplicates: u64,
     pub fault_truncations: u64,
     pub fault_retries: u64,
+    pub fault_stalls: u64,
+    pub fault_bursts: u64,
+    pub fault_corruptions: u64,
+    /// Checksum-mismatch rejections at this rank's intake.
+    pub checksum_rejects: u64,
+    /// Watchdog ladder events (all zero in clean runs).
+    pub wd_timeouts: u64,
+    pub wd_retries: u64,
+    pub wd_stragglers: u64,
+    /// Total retry/watchdog backoff sleep, in nanoseconds.
+    pub backoff_nanos: u64,
+    /// Per-[`CommStep`] retry counts (retransmissions + watchdog
+    /// deadline extensions), indexed by `CommStep::index()`.
+    pub step_retries: [u64; NUM_COMM_STEPS],
 }
 
 impl StatsSnapshot {
@@ -315,6 +439,17 @@ impl StatsSnapshot {
         self.fault_duplicates += other.fault_duplicates;
         self.fault_truncations += other.fault_truncations;
         self.fault_retries += other.fault_retries;
+        self.fault_stalls += other.fault_stalls;
+        self.fault_bursts += other.fault_bursts;
+        self.fault_corruptions += other.fault_corruptions;
+        self.checksum_rejects += other.checksum_rejects;
+        self.wd_timeouts += other.wd_timeouts;
+        self.wd_retries += other.wd_retries;
+        self.wd_stragglers += other.wd_stragglers;
+        self.backoff_nanos += other.backoff_nanos;
+        for i in 0..NUM_COMM_STEPS {
+            self.step_retries[i] += other.step_retries[i];
+        }
     }
 
     /// Bytes attributed to one algorithmic step.

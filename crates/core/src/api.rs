@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use louvain_comm::{run_with, FaultPlan, RankCrashed, RunConfig, StatsSnapshot};
+use louvain_comm::{run_with, FaultPlan, RankCrashed, RankHung, RunConfig, StatsSnapshot};
 use louvain_graph::{Csr, LocalGraph, VertexId, VertexPartition};
 use parking_lot_free::TakeSlots;
 
@@ -62,7 +62,12 @@ pub struct DistOutcome {
     pub resumed_from_phase: Option<u64>,
     /// Rank crashes absorbed by [`run_distributed_resilient`] on the way
     /// to this outcome (always 0 from the non-resilient entry points).
+    /// Counts both crash and hung-rank recoveries.
     pub recoveries: u64,
+    /// Hung-rank declarations absorbed on the way to this outcome, in
+    /// the order the watchdog raised them (empty from the non-resilient
+    /// entry points).
+    pub hung_events: Vec<RankHung>,
 }
 
 impl DistOutcome {
@@ -200,14 +205,17 @@ pub fn run_distributed_partitioned(
     merge(results, wall, trace)
 }
 
-/// [`run_distributed`] with checkpointing, resume, and crash recovery.
+/// [`run_distributed`] with checkpointing, resume, and crash/hang
+/// recovery.
 ///
-/// Runs the job, and whenever an injected (or, in principle, real) rank
-/// crash surfaces as a [`RankCrashed`] panic, restarts all ranks from
-/// the newest complete checkpoint — up to `resil.max_recoveries` times —
-/// before giving up with an `Err`. Because phase boundaries are
-/// consistent cuts and the trajectory is deterministic, the recovered
-/// outcome is bit-identical to an uninterrupted run's.
+/// Runs the job, and whenever a rank failure surfaces as a typed panic
+/// — [`RankCrashed`] from an injected (or, in principle, real) crash,
+/// or [`RankHung`] from the communication watchdog declaring a silent
+/// rank dead — restarts all ranks from the newest complete checkpoint,
+/// up to `resil.max_recoveries` times total across both kinds, before
+/// giving up with an `Err`. Because phase boundaries are consistent
+/// cuts and the trajectory is deterministic, the recovered outcome is
+/// bit-identical to an uninterrupted run's.
 ///
 /// Unrecoverable conditions (corrupt/incompatible checkpoints, I/O
 /// failures, exhausted recovery budget) come back as `Err`; panics that
@@ -227,15 +235,21 @@ pub fn run_distributed_resilient(
     let collector = louvain_obs::enabled().then(|| louvain_obs::Collector::new(p));
     let watch = louvain_obs::Stopwatch::start();
 
-    let mut recoveries = 0u64;
+    let mut crash_recoveries = 0usize;
+    let mut hung_events: Vec<RankHung> = Vec::new();
     loop {
+        let recoveries = crash_recoveries as u64 + hung_events.len() as u64;
         let slots = TakeSlots::new(LocalGraph::scatter(g, &part));
         let attempt_runcfg = RunConfig {
-            // Each absorbed crash consumes one crash rule, so the next
-            // attempt gets past it deterministically.
-            fault: base_fault
-                .as_ref()
-                .map(|f| std::sync::Arc::new(f.with_crashes_skipped(recoveries as usize))),
+            // Each absorbed crash consumes one crash rule and each
+            // absorbed hang one hang rule, so the next attempt gets
+            // past them deterministically.
+            fault: base_fault.as_ref().map(|f| {
+                std::sync::Arc::new(
+                    f.with_crashes_skipped(crash_recoveries)
+                        .with_hangs_skipped(hung_events.len()),
+                )
+            }),
             ..runcfg.clone()
         };
         let attempt_resil = ResilOptions {
@@ -257,6 +271,7 @@ pub fn run_distributed_resilient(
                 let trace = collector.map(louvain_obs::Collector::finish);
                 let mut out = merge(results, wall, trace);
                 out.recoveries = recoveries;
+                out.hung_events = hung_events;
                 return Ok(out);
             }
             Err(payload) => {
@@ -270,7 +285,18 @@ pub fn run_distributed_resilient(
                             resil.max_recoveries
                         ));
                     }
-                    recoveries += 1;
+                    crash_recoveries += 1;
+                    continue;
+                }
+                if let Some(hung) = payload.downcast_ref::<RankHung>() {
+                    if recoveries >= resil.max_recoveries as u64 {
+                        return Err(format!(
+                            "{hung}; recovery budget of {} exhausted",
+                            resil.max_recoveries
+                        ));
+                    }
+                    louvain_obs::counter_add("resil.hang_recoveries", 1);
+                    hung_events.push(*hung);
                     continue;
                 }
                 std::panic::resume_unwind(payload);
@@ -329,6 +355,7 @@ fn merge(
         trace,
         resumed_from_phase,
         recoveries: 0,
+        hung_events: Vec::new(),
     }
 }
 

@@ -12,7 +12,9 @@
 //! — `tests/observability.rs` asserts this invariant across rank counts.
 
 use louvain_comm::CommStep;
-use louvain_obs::{ModeledBreakdown, RankTotals, RunReport, StepTotal};
+use louvain_obs::{
+    HealthTotals, HungEvent, ModeledBreakdown, RankHealth, RankTotals, RunReport, StepTotal,
+};
 
 use crate::api::DistOutcome;
 
@@ -99,6 +101,54 @@ pub fn build_run_report(outcome: &DistOutcome, meta: &ReportMeta) -> RunReport {
         })
         .collect();
 
+    // Slowest-rank attribution: the rank with the largest modeled
+    // communication time carried the job's critical path.
+    let slowest = outcome
+        .per_rank_traffic
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.modeled_seconds.total_cmp(&b.modeled_seconds))
+        .map(|(rank, s)| (rank, s.modeled_seconds));
+    let health = HealthTotals {
+        stalls: traffic.fault_stalls,
+        bursts: traffic.fault_bursts,
+        corruptions: traffic.fault_corruptions,
+        checksum_rejects: traffic.checksum_rejects,
+        wd_timeouts: traffic.wd_timeouts,
+        wd_retries: traffic.wd_retries,
+        wd_stragglers: traffic.wd_stragglers,
+        backoff_seconds: traffic.backoff_nanos as f64 * 1e-9,
+        slowest_rank: slowest.map(|(rank, _)| rank),
+        slowest_rank_seconds: slowest.map_or(0.0, |(_, secs)| secs),
+        per_rank: outcome
+            .per_rank_traffic
+            .iter()
+            .enumerate()
+            .map(|(rank, s)| RankHealth {
+                rank,
+                retries: s.fault_retries,
+                wd_timeouts: s.wd_timeouts,
+                wd_retries: s.wd_retries,
+                wd_stragglers: s.wd_stragglers,
+                backoff_seconds: s.backoff_nanos as f64 * 1e-9,
+                checksum_rejects: s.checksum_rejects,
+                step_retries: s.step_retries.to_vec(),
+            })
+            .collect(),
+        hung_events: outcome
+            .hung_events
+            .iter()
+            .map(|h| HungEvent {
+                rank: h.rank,
+                detector: h.detector,
+                phase: h.phase,
+                op: h.op,
+                step: h.step.label().to_string(),
+                waited_ms: h.waited_ms,
+            })
+            .collect(),
+    };
+
     let (compute, comm, reduce, rebuild) = outcome.modeled_breakdown();
 
     let (metrics, spans) = match &outcome.trace {
@@ -136,6 +186,7 @@ pub fn build_run_report(outcome: &DistOutcome, meta: &ReportMeta) -> RunReport {
                 retries,
             }
         },
+        health,
         modeled: ModeledBreakdown {
             compute,
             comm,

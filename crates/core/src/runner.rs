@@ -343,11 +343,17 @@ pub fn run_on_rank_resilient(
                     stats: comm.stats().snapshot(),
                 };
                 let bytes = comm.with_step(CommStep::Checkpoint, || {
+                    // Slab serialization + fsync is the longest stretch a
+                    // rank spends away from any comm op; bracket it with
+                    // heartbeats so peer watchdogs see a straggler, not a
+                    // hang, when the disk is slow.
+                    comm.heartbeat();
                     let entry = store.write_rank(&ckpt).unwrap_or_else(|e| {
                         abort(format!(
                             "checkpoint write failed at phase {next_phase}: {e}"
                         ))
                     });
+                    comm.heartbeat();
                     let bytes = entry.bytes;
                     if let Some(entries) = comm.gather_to_root(0, vec![entry]) {
                         let all: Vec<_> = entries.into_iter().flatten().collect();

@@ -2,6 +2,7 @@
 //! generators, binary I/O, and CSR construction.
 
 use crate::hash::fast_map;
+use crate::ingest::{check_weight, IngestError, RepairStats};
 use crate::{VertexId, Weight};
 
 /// One undirected edge. `u == v` denotes a self-loop.
@@ -45,6 +46,21 @@ impl EdgeList {
         list
     }
 
+    /// Build from raw triples with a typed error surface instead of
+    /// panics: out-of-range endpoints and NaN/negative/infinite weights
+    /// are reported as [`IngestError`]s (the ingestion path; generators
+    /// keep the infallible [`EdgeList::from_edges`]).
+    pub fn try_from_edges(
+        num_vertices: u64,
+        triples: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Result<Self, IngestError> {
+        let mut list = Self::new(num_vertices);
+        for (u, v, w) in triples {
+            list.try_push(u, v, w)?;
+        }
+        Ok(list)
+    }
+
     /// Append one undirected edge.
     pub fn push(&mut self, u: VertexId, v: VertexId, w: Weight) {
         assert!(
@@ -53,6 +69,20 @@ impl EdgeList {
             self.num_vertices
         );
         self.edges.push(Edge { u, v, w });
+    }
+
+    /// [`EdgeList::push`] with validation errors instead of panics.
+    pub fn try_push(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), IngestError> {
+        if u >= self.num_vertices || v >= self.num_vertices {
+            return Err(IngestError::OutOfRange {
+                u,
+                v,
+                num_vertices: self.num_vertices,
+            });
+        }
+        check_weight(w, 0)?;
+        self.edges.push(Edge { u, v, w });
+        Ok(())
     }
 
     pub fn num_vertices(&self) -> u64 {
@@ -91,6 +121,21 @@ impl EdgeList {
             .map(|((u, v), w)| Edge { u, v, w })
             .collect();
         self.edges.sort_unstable_by_key(|e| (e.u, e.v));
+    }
+
+    /// Repair pass over an already-built list: merge duplicate
+    /// undirected pairs (summing weights) and drop self-loops,
+    /// reporting what changed. Publishes nothing itself — call
+    /// [`RepairStats::publish`] to emit the obs counters.
+    pub fn repair(&mut self) -> RepairStats {
+        let before = self.edges.len();
+        let loops = self.edges.iter().filter(|e| e.u == e.v).count();
+        self.edges.retain(|e| e.u != e.v);
+        self.dedup_sum();
+        RepairStats {
+            duplicates_merged: (before - loops - self.edges.len()) as u64,
+            self_loops_dropped: loops as u64,
+        }
     }
 
     /// Expand to directed arcs: each non-loop edge becomes two arcs, each
@@ -152,6 +197,48 @@ mod tests {
         assert!(arcs.contains(&(0, 1, 1.0)));
         assert!(arcs.contains(&(1, 0, 1.0)));
         assert!(arcs.contains(&(2, 2, 4.0)));
+    }
+
+    #[test]
+    fn try_push_reports_typed_errors() {
+        let mut el = EdgeList::new(2);
+        assert!(el.try_push(0, 1, 1.0).is_ok());
+        assert!(matches!(
+            el.try_push(0, 2, 1.0),
+            Err(IngestError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            el.try_push(0, 1, f64::NAN),
+            Err(IngestError::BadWeight { .. })
+        ));
+        assert!(matches!(
+            el.try_push(0, 1, -2.0),
+            Err(IngestError::BadWeight { .. })
+        ));
+        assert_eq!(el.num_edges(), 1, "failed pushes must not append");
+        assert!(EdgeList::try_from_edges(2, [(0, 1, f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn repair_merges_duplicates_and_drops_loops() {
+        let mut el = EdgeList::from_edges(
+            3,
+            [
+                (0, 1, 1.0),
+                (1, 0, 2.0),
+                (0, 1, 0.5),
+                (2, 2, 1.0),
+                (1, 2, 1.0),
+            ],
+        );
+        let stats = el.repair();
+        assert_eq!(stats.duplicates_merged, 2);
+        assert_eq!(stats.self_loops_dropped, 1);
+        assert!(stats.any());
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.total_weight(), 4.5);
+        // A second pass finds nothing.
+        assert!(!el.repair().any());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod dist;
 pub mod edgelist;
 pub mod gen;
 pub mod hash;
+pub mod ingest;
 pub mod metrics;
 pub mod partition;
 pub mod textio;
@@ -40,6 +41,7 @@ pub use community::{modularity, CommunityAssignment};
 pub use csr::Csr;
 pub use dist::LocalGraph;
 pub use edgelist::EdgeList;
+pub use ingest::{IngestError, IngestPolicy, RepairStats, WeightFault};
 pub use partition::VertexPartition;
 
 /// Global vertex identifier. The paper targets graphs with more than 4

@@ -11,6 +11,7 @@ use std::path::Path;
 
 use crate::edgelist::EdgeList;
 use crate::hash::{fast_map, FastMap};
+use crate::ingest::{check_weight, IngestError, IngestPolicy, RepairStats};
 use crate::{VertexId, Weight};
 
 /// Result of a text import: the edge list plus the mapping from original
@@ -20,15 +21,35 @@ pub struct TextImport {
     pub edges: EdgeList,
     /// `original_id[dense_id]` — the file's id for each dense vertex.
     pub original_ids: Vec<u64>,
+    /// What [`IngestPolicy::Repair`] changed (zero under other
+    /// policies).
+    pub repairs: RepairStats,
 }
 
 /// Parse a text edge list from a reader. Lines: `src dst [weight]`,
 /// separated by whitespace; `#`/`%`-prefixed lines are comments.
 /// Vertex ids are remapped to `0..n` in order of first appearance.
+///
+/// Legacy entry point: [`IngestPolicy::Lenient`] with errors flattened
+/// to `io::Error`. NaN/negative/infinite weights are rejected in every
+/// policy.
 pub fn parse_edge_list<R: BufRead>(reader: R) -> io::Result<TextImport> {
+    parse_edge_list_policy(reader, IngestPolicy::Lenient).map_err(io::Error::from)
+}
+
+/// [`parse_edge_list`] with an explicit defect policy and typed errors.
+pub fn parse_edge_list_policy<R: BufRead>(
+    reader: R,
+    policy: IngestPolicy,
+) -> Result<TextImport, IngestError> {
     let mut remap: FastMap<u64, VertexId> = fast_map();
     let mut original_ids: Vec<u64> = Vec::new();
     let mut triples: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    // Normalized pair -> index into `triples`, for duplicate detection
+    // under the strict/repair policies.
+    let mut seen: FastMap<(VertexId, VertexId), usize> = fast_map();
+    let mut repairs = RepairStats::default();
+    let mut total_weight = 0.0f64;
     let dense = |raw: u64, remap: &mut FastMap<u64, VertexId>, orig: &mut Vec<u64>| {
         *remap.entry(raw).or_insert_with(|| {
             orig.push(raw);
@@ -41,12 +62,11 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> io::Result<TextImport> {
         if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
             continue;
         }
+        let lineno = lineno + 1;
         let mut it = t.split_whitespace();
-        let bad = |what: &str| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: {what}: {t}", lineno + 1),
-            )
+        let bad = |what: &str| IngestError::Parse {
+            line: lineno,
+            msg: format!("{what}: {t}"),
         };
         let u: u64 = it
             .next()
@@ -62,21 +82,61 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> io::Result<TextImport> {
             None => 1.0,
             Some(s) => s.parse().map_err(|_| bad("bad weight"))?,
         };
+        check_weight(w, lineno)?;
+        total_weight += w;
+        if total_weight.is_infinite() {
+            return Err(IngestError::BadWeight {
+                line: lineno,
+                value: w,
+                fault: crate::ingest::WeightFault::Overflow,
+            });
+        }
         let du = dense(u, &mut remap, &mut original_ids);
         let dv = dense(v, &mut remap, &mut original_ids);
+        if policy != IngestPolicy::Lenient {
+            if du == dv {
+                if policy == IngestPolicy::Strict {
+                    return Err(IngestError::SelfLoop { v: u, line: lineno });
+                }
+                repairs.self_loops_dropped += 1;
+                continue;
+            }
+            let key = if du <= dv { (du, dv) } else { (dv, du) };
+            if let Some(&at) = seen.get(&key) {
+                if policy == IngestPolicy::Strict {
+                    return Err(IngestError::DuplicateEdge { u, v, line: lineno });
+                }
+                triples[at].2 += w;
+                repairs.duplicates_merged += 1;
+                continue;
+            }
+            seen.insert(key, triples.len());
+        }
         triples.push((du, dv, w));
     }
     let n = original_ids.len() as u64;
+    repairs.publish();
+    louvain_obs::counter_add("ingest.edges_kept", triples.len() as u64);
     Ok(TextImport {
-        edges: EdgeList::from_edges(n, triples),
+        edges: EdgeList::try_from_edges(n, triples)?,
         original_ids,
+        repairs,
     })
 }
 
-/// Read a text edge-list file.
+/// Read a text edge-list file (lenient policy; see [`parse_edge_list`]).
 pub fn read_text_edge_list(path: &Path) -> io::Result<TextImport> {
     let f = std::fs::File::open(path)?;
     parse_edge_list(io::BufReader::new(f))
+}
+
+/// Read a text edge-list file under an explicit defect policy.
+pub fn read_text_edge_list_policy(
+    path: &Path,
+    policy: IngestPolicy,
+) -> Result<TextImport, IngestError> {
+    let f = std::fs::File::open(path)?;
+    parse_edge_list_policy(io::BufReader::new(f), policy)
 }
 
 /// Write an edge list as text (`src dst weight` per line).
@@ -148,5 +208,63 @@ mod tests {
     fn weight_defaults_to_one() {
         let t = parse("5 6\n");
         assert_eq!(t.edges.edges()[0].w, 1.0);
+    }
+
+    #[test]
+    fn bad_weights_are_typed_errors_in_every_policy() {
+        for policy in [
+            IngestPolicy::Lenient,
+            IngestPolicy::Strict,
+            IngestPolicy::Repair,
+        ] {
+            for text in ["0 1 nan\n", "0 1 -2.5\n", "0 1 inf\n"] {
+                let r = parse_edge_list_policy(io::BufReader::new(text.as_bytes()), policy);
+                assert!(
+                    matches!(r, Err(IngestError::BadWeight { line: 1, .. })),
+                    "{policy:?} must reject {text:?}"
+                );
+            }
+        }
+        // Overflow of the running total, not of any single weight:
+        // each addend is finite, the sum saturates at line 2.
+        let big = "0 1 1e308\n1 2 1e308\n2 3 1e308\n";
+        let r = parse_edge_list_policy(io::BufReader::new(big.as_bytes()), IngestPolicy::Lenient);
+        assert!(matches!(r, Err(IngestError::BadWeight { line: 2, .. })));
+    }
+
+    #[test]
+    fn strict_rejects_duplicates_and_self_loops() {
+        let dup = parse_edge_list_policy(
+            io::BufReader::new("7 8\n8 7 2.0\n".as_bytes()),
+            IngestPolicy::Strict,
+        );
+        assert!(matches!(
+            dup,
+            Err(IngestError::DuplicateEdge {
+                u: 8,
+                v: 7,
+                line: 2
+            })
+        ));
+        let lp =
+            parse_edge_list_policy(io::BufReader::new("3 3\n".as_bytes()), IngestPolicy::Strict);
+        assert!(matches!(lp, Err(IngestError::SelfLoop { v: 3, line: 1 })));
+    }
+
+    #[test]
+    fn repair_merges_duplicates_and_drops_self_loops() {
+        let t = parse_edge_list_policy(
+            io::BufReader::new("0 1\n1 0 2.0\n0 1 0.5\n2 2\n1 2\n".as_bytes()),
+            IngestPolicy::Repair,
+        )
+        .unwrap();
+        assert_eq!(t.repairs.duplicates_merged, 2);
+        assert_eq!(t.repairs.self_loops_dropped, 1);
+        assert_eq!(t.edges.num_edges(), 2);
+        assert_eq!(t.edges.total_weight(), 4.5);
+        // Lenient keeps everything, as before.
+        let lenient = parse("0 1\n1 0 2.0\n0 1 0.5\n2 2\n1 2\n");
+        assert_eq!(lenient.edges.num_edges(), 5);
+        assert!(!lenient.repairs.any());
     }
 }

@@ -50,7 +50,8 @@ pub use metrics::{
     HIST_BUCKETS,
 };
 pub use report::{
-    FaultTotals, ModeledBreakdown, RankTotals, RunReport, StepTotal, RUN_REPORT_VERSION,
+    FaultTotals, HealthTotals, HungEvent, ModeledBreakdown, RankHealth, RankTotals, RunReport,
+    StepTotal, RUN_REPORT_VERSION,
 };
 pub use ring::EventRing;
 pub use span::{

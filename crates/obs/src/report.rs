@@ -90,6 +90,86 @@ impl FaultTotals {
     }
 }
 
+/// One hung-rank declaration absorbed by the resilient driver.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HungEvent {
+    /// Rank declared hung.
+    pub rank: usize,
+    /// Rank whose watchdog raised the declaration (equal to `rank` for
+    /// a self-declaration).
+    pub detector: usize,
+    /// Fault epoch (phase) and operation index at the declaration.
+    pub phase: u64,
+    pub op: u64,
+    /// Communication step the detector was blocked in.
+    pub step: String,
+    /// How long the detector had been waiting, in milliseconds.
+    pub waited_ms: u64,
+}
+
+/// One rank's health counters (watchdog ladder + fault protocol).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RankHealth {
+    pub rank: usize,
+    /// Retransmissions of injected message faults on this rank.
+    pub retries: u64,
+    /// Watchdog deadline expiries while this rank was blocked.
+    pub wd_timeouts: u64,
+    /// Deadline extensions this rank granted to stale peers.
+    pub wd_retries: u64,
+    /// Extensions granted to live-but-slow peers (stragglers).
+    pub wd_stragglers: u64,
+    /// Total time this rank spent in backoff sleeps.
+    pub backoff_seconds: f64,
+    /// Envelopes this rank discarded on a checksum mismatch.
+    pub checksum_rejects: u64,
+    /// Retransmissions per communication step, indexed like
+    /// `CommStep::index()` (the per-step retry histogram).
+    pub step_retries: Vec<u64>,
+}
+
+/// Rank-health section of the report: watchdog activity, hung-rank
+/// events, and slowest-rank attribution (all zero/empty on healthy
+/// runs with the watchdog idle).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthTotals {
+    /// Injected stall events across ranks.
+    pub stalls: u64,
+    /// Injected flaky-burst drops across ranks.
+    pub bursts: u64,
+    /// Injected payload corruptions across ranks.
+    pub corruptions: u64,
+    /// Corrupted envelopes caught by the receiver checksum.
+    pub checksum_rejects: u64,
+    pub wd_timeouts: u64,
+    pub wd_retries: u64,
+    pub wd_stragglers: u64,
+    pub backoff_seconds: f64,
+    /// Rank with the largest modeled communication time (straggler
+    /// attribution); `None` when the run had no ranks.
+    pub slowest_rank: Option<usize>,
+    /// That rank's modeled communication seconds.
+    pub slowest_rank_seconds: f64,
+    pub per_rank: Vec<RankHealth>,
+    /// Hung-rank declarations, in the order they were raised.
+    pub hung_events: Vec<HungEvent>,
+}
+
+impl HealthTotals {
+    /// Did the watchdog or the fault protocol do anything at all?
+    pub fn any(&self) -> bool {
+        self.stalls
+            + self.bursts
+            + self.corruptions
+            + self.checksum_rejects
+            + self.wd_timeouts
+            + self.wd_retries
+            + self.wd_stragglers
+            + self.hung_events.len() as u64
+            > 0
+    }
+}
+
 /// The complete run artifact. See module docs.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
@@ -115,6 +195,8 @@ pub struct RunReport {
     pub recoveries: u64,
     /// Injected-fault totals summed across ranks.
     pub faults: FaultTotals,
+    /// Rank-health section (watchdog, hung events, slowest rank).
+    pub health: HealthTotals,
     pub modeled: ModeledBreakdown,
     /// Cross-rank traffic per communication step.
     pub step_totals: Vec<StepTotal>,
@@ -231,6 +313,75 @@ impl RunReport {
                     ("duplicates", num_u(self.faults.duplicates)),
                     ("truncations", num_u(self.faults.truncations)),
                     ("retries", num_u(self.faults.retries)),
+                ]),
+            ),
+            (
+                "health",
+                obj(vec![
+                    ("stalls", num_u(self.health.stalls)),
+                    ("bursts", num_u(self.health.bursts)),
+                    ("corruptions", num_u(self.health.corruptions)),
+                    ("checksum_rejects", num_u(self.health.checksum_rejects)),
+                    ("wd_timeouts", num_u(self.health.wd_timeouts)),
+                    ("wd_retries", num_u(self.health.wd_retries)),
+                    ("wd_stragglers", num_u(self.health.wd_stragglers)),
+                    ("backoff_seconds", Json::Num(self.health.backoff_seconds)),
+                    (
+                        "slowest_rank",
+                        match self.health.slowest_rank {
+                            Some(r) => num_u(r as u64),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "slowest_rank_seconds",
+                        Json::Num(self.health.slowest_rank_seconds),
+                    ),
+                    (
+                        "per_rank",
+                        Json::Arr(
+                            self.health
+                                .per_rank
+                                .iter()
+                                .map(|r| {
+                                    obj(vec![
+                                        ("rank", num_u(r.rank as u64)),
+                                        ("retries", num_u(r.retries)),
+                                        ("wd_timeouts", num_u(r.wd_timeouts)),
+                                        ("wd_retries", num_u(r.wd_retries)),
+                                        ("wd_stragglers", num_u(r.wd_stragglers)),
+                                        ("backoff_seconds", Json::Num(r.backoff_seconds)),
+                                        ("checksum_rejects", num_u(r.checksum_rejects)),
+                                        (
+                                            "step_retries",
+                                            Json::Arr(
+                                                r.step_retries.iter().map(|&v| num_u(v)).collect(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "hung_events",
+                        Json::Arr(
+                            self.health
+                                .hung_events
+                                .iter()
+                                .map(|e| {
+                                    obj(vec![
+                                        ("rank", num_u(e.rank as u64)),
+                                        ("detector", num_u(e.detector as u64)),
+                                        ("phase", num_u(e.phase)),
+                                        ("op", num_u(e.op)),
+                                        ("step", Json::str(e.step.clone())),
+                                        ("waited_ms", num_u(e.waited_ms)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             ("modeled", {
@@ -422,6 +573,58 @@ impl RunReport {
                 },
                 None => FaultTotals::default(),
             },
+            // The health section also arrived after version 1; absent =
+            // a run with the watchdog idle.
+            health: match doc.get("health") {
+                Some(hd) => HealthTotals {
+                    stalls: u(hd, "stalls")?,
+                    bursts: u(hd, "bursts")?,
+                    corruptions: u(hd, "corruptions")?,
+                    checksum_rejects: u(hd, "checksum_rejects")?,
+                    wd_timeouts: u(hd, "wd_timeouts")?,
+                    wd_retries: u(hd, "wd_retries")?,
+                    wd_stragglers: u(hd, "wd_stragglers")?,
+                    backoff_seconds: f(hd, "backoff_seconds")?,
+                    slowest_rank: hd
+                        .get("slowest_rank")
+                        .and_then(Json::as_u64)
+                        .map(|r| r as usize),
+                    slowest_rank_seconds: f(hd, "slowest_rank_seconds")?,
+                    per_rank: get(hd, "per_rank")?
+                        .as_arr()
+                        .ok_or("`health.per_rank` is not an array")?
+                        .iter()
+                        .map(|r| {
+                            Ok(RankHealth {
+                                rank: u(r, "rank")? as usize,
+                                retries: u(r, "retries")?,
+                                wd_timeouts: u(r, "wd_timeouts")?,
+                                wd_retries: u(r, "wd_retries")?,
+                                wd_stragglers: u(r, "wd_stragglers")?,
+                                backoff_seconds: f(r, "backoff_seconds")?,
+                                checksum_rejects: u(r, "checksum_rejects")?,
+                                step_retries: u_arr(r, "step_retries")?,
+                            })
+                        })
+                        .collect::<Result<_, String>>()?,
+                    hung_events: get(hd, "hung_events")?
+                        .as_arr()
+                        .ok_or("`health.hung_events` is not an array")?
+                        .iter()
+                        .map(|e| {
+                            Ok(HungEvent {
+                                rank: u(e, "rank")? as usize,
+                                detector: u(e, "detector")? as usize,
+                                phase: u(e, "phase")?,
+                                op: u(e, "op")?,
+                                step: s(e, "step")?,
+                                waited_ms: u(e, "waited_ms")?,
+                            })
+                        })
+                        .collect::<Result<_, String>>()?,
+                },
+                None => HealthTotals::default(),
+            },
             modeled: ModeledBreakdown {
                 compute: f(modeled_doc, "compute_seconds")?,
                 comm: f(modeled_doc, "comm_seconds")?,
@@ -521,6 +724,36 @@ mod tests {
                 truncations: 2,
                 retries: 5,
             },
+            health: HealthTotals {
+                stalls: 2,
+                bursts: 4,
+                corruptions: 1,
+                checksum_rejects: 1,
+                wd_timeouts: 3,
+                wd_retries: 2,
+                wd_stragglers: 2,
+                backoff_seconds: 0.004,
+                slowest_rank: Some(5),
+                slowest_rank_seconds: 0.5,
+                per_rank: vec![RankHealth {
+                    rank: 0,
+                    retries: 5,
+                    wd_timeouts: 3,
+                    wd_retries: 2,
+                    wd_stragglers: 2,
+                    backoff_seconds: 0.004,
+                    checksum_rejects: 1,
+                    step_retries: vec![3, 0, 0, 2, 0],
+                }],
+                hung_events: vec![HungEvent {
+                    rank: 3,
+                    detector: 0,
+                    phase: 2,
+                    op: 7,
+                    step: "ghost_refresh".into(),
+                    waited_ms: 480,
+                }],
+            },
             modeled: ModeledBreakdown {
                 compute: 2.2,
                 comm: 3.4,
@@ -601,14 +834,27 @@ mod tests {
         // still load, defaulting to a clean uninterrupted run.
         let mut doc = sample().to_json();
         if let Json::Obj(members) = &mut doc {
-            members
-                .retain(|(k, _)| k != "resumed_from_phase" && k != "recoveries" && k != "faults");
+            members.retain(|(k, _)| {
+                k != "resumed_from_phase" && k != "recoveries" && k != "faults" && k != "health"
+            });
         }
         let back = RunReport::from_json(&doc).expect("lenient parse");
         assert_eq!(back.resumed_from_phase, None);
         assert_eq!(back.recoveries, 0);
         assert_eq!(back.faults, FaultTotals::default());
         assert!(!back.faults.any());
+        assert_eq!(back.health, HealthTotals::default());
+        assert!(!back.health.any());
+    }
+
+    #[test]
+    fn health_section_round_trips_with_hung_events() {
+        let r = sample();
+        assert!(r.health.any());
+        let back = RunReport::from_json_str(&r.to_json_string()).expect("parse back");
+        assert_eq!(back.health, r.health);
+        assert_eq!(back.health.hung_events[0].rank, 3);
+        assert_eq!(back.health.slowest_rank, Some(5));
     }
 
     #[test]

@@ -32,8 +32,10 @@ use louvain_comm::{StatsSnapshot, NUM_COMM_STEPS};
 use crate::error::ResilError;
 
 const MAGIC: u64 = u64::from_le_bytes(*b"LVRSCKPT");
-/// Current (only) checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current checkpoint format version. Version 2 extends the stats
+/// block with the rank-health counters (stalls, bursts, corruptions,
+/// checksum rejects, watchdog ladder, backoff time, per-step retries).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Everything one rank needs to rejoin the phase loop at a phase
 /// boundary. `phase` is the next phase to execute; the ET probabilities
@@ -182,6 +184,15 @@ pub fn encode(ckpt: &RankCheckpoint) -> Vec<u8> {
     put_u64(&mut buf, s.fault_duplicates);
     put_u64(&mut buf, s.fault_truncations);
     put_u64(&mut buf, s.fault_retries);
+    put_u64(&mut buf, s.fault_stalls);
+    put_u64(&mut buf, s.fault_bursts);
+    put_u64(&mut buf, s.fault_corruptions);
+    put_u64(&mut buf, s.checksum_rejects);
+    put_u64(&mut buf, s.wd_timeouts);
+    put_u64(&mut buf, s.wd_retries);
+    put_u64(&mut buf, s.wd_stragglers);
+    put_u64(&mut buf, s.backoff_nanos);
+    put_u64s(&mut buf, &s.step_retries);
     let hash = fnv1a64(&buf);
     put_u64(&mut buf, hash);
     buf
@@ -256,6 +267,22 @@ pub fn decode(bytes: &[u8]) -> Result<RankCheckpoint, ResilError> {
     stats.fault_duplicates = c.u64()?;
     stats.fault_truncations = c.u64()?;
     stats.fault_retries = c.u64()?;
+    stats.fault_stalls = c.u64()?;
+    stats.fault_bursts = c.u64()?;
+    stats.fault_corruptions = c.u64()?;
+    stats.checksum_rejects = c.u64()?;
+    stats.wd_timeouts = c.u64()?;
+    stats.wd_retries = c.u64()?;
+    stats.wd_stragglers = c.u64()?;
+    stats.backoff_nanos = c.u64()?;
+    let step_retries = c.u64s()?;
+    if step_retries.len() != NUM_COMM_STEPS {
+        return Err(ResilError::Corrupt(format!(
+            "stats block has {} retry steps, this build expects {NUM_COMM_STEPS}",
+            step_retries.len()
+        )));
+    }
+    stats.step_retries.copy_from_slice(&step_retries);
     if c.pos != body.len() {
         return Err(ResilError::Corrupt(format!(
             "{} trailing bytes after the stats block",

@@ -11,7 +11,15 @@
 #      automatically inside a single invocation, again bit-identically;
 #   E. a transient-fault run (drops/delays/duplicates/truncations, no
 #      crash) — the retry protocol must absorb every fault and still
-#      reproduce the clean result.
+#      reproduce the clean result;
+#   F. a hang: a rank goes silent mid-phase, the rank-health watchdog
+#      must declare it hung within the deadline ladder and recover from
+#      the newest checkpoint, bit-identically;
+#   G. a straggler: a rank stalls past the deadline but keeps
+#      heartbeating — the watchdog must extend (no hang declaration, no
+#      recovery) and the result must not change;
+#   H. corrupt payloads + flaky bursts — checksums catch every corrupt
+#      envelope, retransmission absorbs both, result unchanged.
 #
 # Everything runs on the simulated communicator: deterministic, offline,
 # a few seconds total.
@@ -69,8 +77,42 @@ echo "==> E: transient faults (drop/delay/duplicate/truncate)"
 grep -q '^faults:' "$WORK/noisy.log" \
   || { echo "FAIL: fault plan injected nothing" >&2; exit 1; }
 
+echo "==> F: hang at phase 1, watchdog declares + recovers from checkpoint"
+"$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
+  --checkpoint-dir "$WORK/ckpt3" \
+  --fault-plan 'hang:rank=1,phase=1,op=0' \
+  --comm-timeout-ms 100 --max-retries 2 \
+  --assignment "$WORK/hang.comm" | tee "$WORK/hang.log"
+grep -q '^hung rank:' "$WORK/hang.log" \
+  || { echo "FAIL: no hung-rank declaration" >&2; exit 1; }
+grep -q '(0 crash, 1 hang)' "$WORK/hang.log" \
+  || { echo "FAIL: hang not recovered as a hang" >&2; exit 1; }
+
+echo "==> G: stall straggler — extended, not declared hung"
+"$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
+  --fault-plan 'seed=2;stall:rank=1,ms=150,prob=0.05' \
+  --comm-timeout-ms 60 \
+  --assignment "$WORK/stall.comm" | tee "$WORK/stall.log"
+if grep -q '^recoveries:' "$WORK/stall.log"; then
+  echo "FAIL: straggler was escalated to a recovery" >&2
+  exit 1
+fi
+grep -Eq '^watchdog:.* [1-9][0-9]* straggler extensions' "$WORK/stall.log" \
+  || { echo "FAIL: no straggler extension recorded" >&2; exit 1; }
+
+echo "==> H: corrupt payloads + flaky bursts, absorbed by checksums/retries"
+"$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
+  --fault-plan 'seed=12;corrupt-payload:prob=0.1;flaky-burst:prob=0.05,len=2' \
+  --assignment "$WORK/corrupt.comm" | tee "$WORK/corrupt.log"
+if grep -q '^recoveries:' "$WORK/corrupt.log"; then
+  echo "FAIL: transient corruption consumed the recovery budget" >&2
+  exit 1
+fi
+grep -Eq '^watchdog:.* [1-9][0-9]* checksum rejects' "$WORK/corrupt.log" \
+  || { echo "FAIL: no corrupt envelope was checksum-rejected" >&2; exit 1; }
+
 echo "==> parity checks"
-for variant in resumed recovered noisy; do
+for variant in resumed recovered noisy hang stall corrupt; do
   cmp -s "$WORK/clean.comm" "$WORK/$variant.comm" \
     || { echo "FAIL: $variant assignment differs from clean run" >&2; exit 1; }
   q_clean="$(run_q "$WORK/clean.log")"
@@ -79,4 +121,4 @@ for variant in resumed recovered noisy; do
     || { echo "FAIL: $variant modularity $q_other != clean $q_clean" >&2; exit 1; }
 done
 
-echo "fault-matrix: OK (clean == resumed == recovered == noisy)"
+echo "fault-matrix: OK (clean == resumed == recovered == noisy == hang == stall == corrupt)"

@@ -15,12 +15,12 @@ use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use distributed_louvain::comm::{FaultPlan, RunConfig};
+use distributed_louvain::comm::{BackoffPolicy, FaultPlan, HealthConfig, RunConfig};
 use distributed_louvain::dist::{
     adjusted_rand_index, f_score, nmi, run_distributed_resilient, CheckpointOptions, DistConfig,
     ResilOptions, Variant,
 };
-use distributed_louvain::graph::{binio, gen, Csr, VertexId};
+use distributed_louvain::graph::{binio, gen, Csr, IngestPolicy, VertexId};
 use distributed_louvain::{dist, obs};
 
 fn main() -> ExitCode {
@@ -57,9 +57,13 @@ USAGE:
       Writes <FILE> (binary edge list) and, when the generator plants
       communities, <FILE>.truth (one community id per line).
 
-  louvain convert <TEXT-FILE> --out <FILE>
+  louvain convert <TEXT-FILE> --out <FILE> [--repair | --strict]
       Converts a text edge list (`src dst [weight]` per line, # comments,
       SNAP-style) to the binary format, remapping sparse ids densely.
+      NaN/negative/overflowing weights are always rejected with the
+      offending line number. --strict also rejects duplicate edges and
+      self-loops; --repair merges duplicates (summing weights) and drops
+      self-loops, printing what changed.
 
   louvain info <FILE>
       Prints header, degree and clustering statistics of a binary graph
@@ -70,6 +74,8 @@ USAGE:
               [--trace-out <TRACE>] [--report-out <REPORT>]
               [--checkpoint-dir <DIR>] [--checkpoint-every <K>] [--resume]
               [--fault-plan <SPEC>] [--max-recoveries <N>]
+              [--comm-timeout-ms <MS>] [--max-retries <N>]
+              [--backoff-base-ms <MS>] [--no-watchdog]
       V: baseline | cycling | et:<alpha> | etc:<alpha> | et+cycling:<alpha>
       Runs distributed Louvain on P simulated ranks, prints the summary,
       optionally writes the community assignment to <OUT>.
@@ -85,9 +91,16 @@ USAGE:
       resumed produces bit-identical results to an uninterrupted run.
       --fault-plan injects deterministic comm faults, e.g.
       `seed=7;drop:prob=0.05;crash:rank=1,phase=2,op=0`
-      (kinds: drop | delay | duplicate | truncate; crash needs rank=,
-      optional phase=/op=). Crashes are absorbed by restarting from the
-      newest checkpoint, up to --max-recoveries times (default 8).
+      (kinds: drop | delay | duplicate | truncate | corrupt-payload |
+      flaky-burst[,len=K] | stall[,ms=MS] | hang | crash; hang/crash
+      need rank=, optional phase=/op=). Crashes and watchdog-declared
+      hangs are absorbed by restarting from the newest checkpoint, up
+      to --max-recoveries times (default 8).
+      --comm-timeout-ms sets the watchdog deadline per blocked wait
+      (default 30000); after --max-retries deadline extensions (default
+      3, exponential backoff from --backoff-base-ms, default 0.05) the
+      silent rank is declared hung. --no-watchdog restores the legacy
+      single hard timeout (no hang recovery).
 
   louvain quality --truth <FILE> --detected <FILE>
       Precision/recall/F-score (methodology of the paper's §V-D), NMI and
@@ -101,7 +114,7 @@ struct Opts<'a> {
 
 /// Flags that take no value; `positional()` must not skip the token
 /// following one of these.
-const BOOL_FLAGS: &[&str] = &["--resume"];
+const BOOL_FLAGS: &[&str] = &["--resume", "--repair", "--strict", "--no-watchdog"];
 
 impl<'a> Opts<'a> {
     fn get(&self, key: &str) -> Option<&'a str> {
@@ -232,7 +245,17 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     let opts = Opts { args };
     let input = PathBuf::from(opts.positional().ok_or("missing text edge-list file")?);
     let out = PathBuf::from(opts.require("--out")?);
-    let imported = distributed_louvain::graph::textio::read_text_edge_list(&input)
+    if opts.has("--repair") && opts.has("--strict") {
+        return Err("--repair and --strict are mutually exclusive".into());
+    }
+    let policy = if opts.has("--repair") {
+        IngestPolicy::Repair
+    } else if opts.has("--strict") {
+        IngestPolicy::Strict
+    } else {
+        IngestPolicy::Lenient
+    };
+    let imported = distributed_louvain::graph::textio::read_text_edge_list_policy(&input, policy)
         .map_err(|e| format!("{}: {e}", input.display()))?;
     binio::write_edge_list(&out, &imported.edges)
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
@@ -243,6 +266,12 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
         imported.edges.num_vertices(),
         imported.edges.num_edges()
     );
+    if imported.repairs.any() {
+        println!(
+            "repaired: {} duplicate edges merged, {} self-loops dropped",
+            imported.repairs.duplicates_merged, imported.repairs.self_loops_dropped
+        );
+    }
     Ok(())
 }
 
@@ -295,6 +324,31 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if resume && checkpoint_dir.is_none() {
         return Err("--resume requires --checkpoint-dir".into());
     }
+    let health = {
+        let defaults = HealthConfig::default();
+        let timeout_ms: u64 =
+            opts.parse("--comm-timeout-ms", defaults.deadline.as_millis() as u64)?;
+        if timeout_ms == 0 {
+            return Err("--comm-timeout-ms must be positive".into());
+        }
+        let backoff_ms: f64 = opts.parse(
+            "--backoff-base-ms",
+            defaults.backoff.base.as_secs_f64() * 1e3,
+        )?;
+        if !backoff_ms.is_finite() || backoff_ms < 0.0 {
+            return Err("--backoff-base-ms must be a non-negative number".into());
+        }
+        HealthConfig {
+            enabled: !opts.has("--no-watchdog"),
+            deadline: std::time::Duration::from_millis(timeout_ms),
+            max_retries: opts.parse("--max-retries", defaults.max_retries)?,
+            backoff: BackoffPolicy {
+                base: std::time::Duration::from_secs_f64(backoff_ms * 1e-3),
+                ..defaults.backoff
+            },
+            ..defaults
+        }
+    };
 
     // LOUVAIN_TRACE=1 enables tracing too; --trace-out implies it.
     obs::init_from_env();
@@ -318,6 +372,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     let runcfg = RunConfig {
         fault: fault_plan.map(std::sync::Arc::new),
+        health,
         ..RunConfig::default()
     };
     let resil = ResilOptions {
@@ -342,13 +397,49 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("resumed from phase {phase}");
     }
     if out.recoveries > 0 {
-        println!("recoveries:    {} (crash restarts)", out.recoveries);
+        println!(
+            "recoveries:    {} ({} crash, {} hang)",
+            out.recoveries,
+            out.recoveries - out.hung_events.len() as u64,
+            out.hung_events.len()
+        );
+    }
+    for h in &out.hung_events {
+        println!(
+            "hung rank:     rank {} declared by rank {} in phase {} op {} after {} ms",
+            h.rank, h.detector, h.phase, h.op, h.waited_ms
+        );
     }
     let t = &out.traffic;
-    if t.fault_drops + t.fault_delays + t.fault_duplicates + t.fault_truncations > 0 {
+    if t.fault_drops
+        + t.fault_delays
+        + t.fault_duplicates
+        + t.fault_truncations
+        + t.fault_stalls
+        + t.fault_corruptions
+        + t.fault_bursts
+        > 0
+    {
         println!(
-            "faults:        {} dropped, {} delayed, {} duplicated, {} truncated; {} retries",
-            t.fault_drops, t.fault_delays, t.fault_duplicates, t.fault_truncations, t.fault_retries
+            "faults:        {} dropped, {} delayed, {} duplicated, {} truncated, {} stalled, {} corrupted, {} burst-dropped; {} retries",
+            t.fault_drops,
+            t.fault_delays,
+            t.fault_duplicates,
+            t.fault_truncations,
+            t.fault_stalls,
+            t.fault_corruptions,
+            t.fault_bursts,
+            t.fault_retries
+        );
+    }
+    if t.wd_timeouts + t.wd_retries + t.wd_stragglers + t.checksum_rejects > 0 {
+        println!(
+            "watchdog:      {} timeouts, {} retries, {} straggler extensions, {} checksum rejects, {:.3} ms backoff",
+            t.wd_timeouts,
+            t.wd_retries,
+            t.wd_stragglers,
+            t.checksum_rejects,
+            t.backoff_nanos as f64 * 1e-6
         );
     }
 

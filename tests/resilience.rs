@@ -423,3 +423,218 @@ fn checkpointing_never_changes_results_and_is_step_attributed() {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Rank-health watchdog: hang detection and recovery
+// ---------------------------------------------------------------------------
+
+use louvain_comm::{BackoffPolicy, CommStep, HealthConfig};
+use std::time::Duration;
+
+/// A watchdog tuned for test time: short deadline, few extensions,
+/// fast backoff. Detection of a hang lands within a few hundred ms.
+/// The checkpoint step gets a higher retry cap (the per-step override
+/// surface): slab serialization + fsync can keep a healthy rank away
+/// from its heartbeat for longer than the tight test deadline.
+fn fast_health() -> HealthConfig {
+    let mut cfg = HealthConfig {
+        deadline: Duration::from_millis(60),
+        max_retries: 2,
+        backoff: BackoffPolicy {
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(2),
+            seed: 0,
+        },
+        ..HealthConfig::default()
+    };
+    // fsync storms on a loaded box can keep a rank from beating for
+    // hundreds of ms; the deep cap keeps checkpoint I/O from being
+    // misread as a hang while every other step stays snappy.
+    cfg.step_max_retries[CommStep::Checkpoint.index()] = Some(30);
+    cfg
+}
+
+fn with_plan_and_health(spec: &str, health: HealthConfig) -> RunConfig {
+    RunConfig {
+        fault: Some(Arc::new(FaultPlan::parse(spec).expect("fault spec"))),
+        health,
+        ..RunConfig::default()
+    }
+}
+
+/// The watchdog counterpart of the kill-and-resume tentpole: a rank
+/// that goes silent (hangs) at EVERY phase, for every rank count and
+/// graph family, is detected within the configured deadline ladder,
+/// declared hung, and recovered from the newest checkpoint — with a
+/// final result bit-identical to the uninterrupted run.
+#[test]
+fn hang_recovery_is_bit_identical_for_every_phase() {
+    let cfg = DistConfig::baseline();
+    for (name, g) in graphs() {
+        for p in [1, 2, 8] {
+            let clean = run_distributed(&g, p, &cfg);
+            assert!(clean.phases >= 2, "{name}: want a multi-phase run");
+            // The hung rank: last rank when p > 1 (so rank 0, which owns
+            // the gathers, does the detecting), itself at p = 1 (the
+            // self-timeout path — no peer exists to notice).
+            let victim = p - 1;
+            for hang_phase in 0..clean.phases {
+                let label = format!("{name} p={p} hang at phase {hang_phase}");
+                let dir = tmp_dir(&format!("hang-{name}-p{p}-h{hang_phase}"));
+                let resil = ResilOptions {
+                    checkpoint: Some(CheckpointOptions::new(&dir)),
+                    resume: false,
+                    max_recoveries: 1,
+                };
+                let out = run_distributed_resilient(
+                    &g,
+                    p,
+                    &cfg,
+                    with_plan_and_health(
+                        &format!("hang:rank={victim},phase={hang_phase},op=0"),
+                        fast_health(),
+                    ),
+                    &resil,
+                )
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_eq!(out.recoveries, 1, "{label}");
+                assert_eq!(out.hung_events.len(), 1, "{label}");
+                let hung = &out.hung_events[0];
+                assert_eq!(hung.rank, victim, "{label}: wrong rank declared");
+                assert_eq!(hung.phase, hang_phase as u64, "{label}");
+                // Who wins the detection race is timing-dependent: a
+                // peer's ladder normally lands first (~2× deadline vs
+                // the 3× self-timeout), but on a loaded machine the
+                // self-timeout may fire before the peer's final window
+                // expires. Either detector is a valid detection; only
+                // the declared rank and phase are deterministic.
+                assert!(hung.detector < p, "{label}: detector out of range");
+                if p == 1 {
+                    assert_eq!(hung.detector, 0, "{label}: must self-declare");
+                }
+                let expected_resume = (hang_phase > 0).then_some(hang_phase as u64);
+                assert_eq!(out.resumed_from_phase, expected_resume, "{label}");
+                assert_bit_identical(&out, &clean, &label);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
+/// A slow rank (stalling longer than the deadline, but heartbeating)
+/// must be carried as a straggler — deadline extensions, no hang
+/// declaration, no recovery — and the result must not change.
+#[test]
+fn stall_straggler_is_extended_not_declared_hung() {
+    let g = lfr(LfrParams::small(700, 5)).graph;
+    let cfg = DistConfig::baseline();
+    let p = 2;
+    let clean = run_distributed(&g, p, &cfg);
+    // 150 ms stalls against a 60 ms deadline. The stall decision is
+    // op-keyed (phase-independent), so under this seed op 10 of every
+    // epoch stalls — roughly one straggler episode per phase.
+    let spec = "seed=2;stall:rank=1,ms=150,prob=0.05";
+    let out = run_distributed_resilient(
+        &g,
+        p,
+        &cfg,
+        with_plan_and_health(spec, fast_health()),
+        &ResilOptions::none(),
+    )
+    .expect("stalls must not consume the recovery budget");
+    assert_eq!(out.recoveries, 0);
+    assert!(out.hung_events.is_empty(), "straggler misdeclared as hung");
+    assert_bit_identical(&out, &clean, "stall straggler");
+    let t = &out.traffic;
+    assert!(t.fault_stalls > 0, "the stall rule never fired");
+    assert!(
+        t.wd_stragglers > 0,
+        "no straggler extension recorded (stalls={}, timeouts={})",
+        t.fault_stalls,
+        t.wd_timeouts
+    );
+}
+
+/// Corrupt payloads (checksum-detected) and flaky bursts are absorbed
+/// by the retransmission protocol without touching results, and both
+/// runs under one seed inject identical faults.
+#[test]
+fn corrupt_payload_and_flaky_burst_are_absorbed_deterministically() {
+    let g = ssca2(Ssca2Params {
+        n: 600,
+        max_clique_size: 12,
+        inter_clique_prob: 0.05,
+        seed: 8,
+    })
+    .graph;
+    let cfg = DistConfig::baseline();
+    let p = 4;
+    let clean = run_distributed(&g, p, &cfg);
+    let spec = "seed=21;corrupt-payload:prob=0.03;flaky-burst:prob=0.02,len=2";
+    let run_faulty = || {
+        run_distributed_resilient(
+            &g,
+            p,
+            &cfg,
+            with_plan_and_health(spec, HealthConfig::default()),
+            &ResilOptions::none(),
+        )
+        .expect("transient corruption needs no recovery budget")
+    };
+    let faulty = run_faulty();
+    assert_bit_identical(&faulty, &clean, "corruption + bursts");
+    let t = &faulty.traffic;
+    assert!(t.fault_corruptions > 0, "corrupt-payload never fired");
+    assert!(t.fault_bursts > 0, "flaky-burst never fired");
+    assert_eq!(
+        t.checksum_rejects, t.fault_corruptions,
+        "every corruption must be caught by the receiver checksum"
+    );
+    assert_eq!(t.fault_retries, t.fault_corruptions + t.fault_bursts);
+    let again = run_faulty();
+    for (a, b) in faulty.per_rank_traffic.iter().zip(&again.per_rank_traffic) {
+        assert_eq!(a.fault_corruptions, b.fault_corruptions);
+        assert_eq!(a.fault_bursts, b.fault_bursts);
+        assert_eq!(a.checksum_rejects, b.checksum_rejects);
+        assert_eq!(a.step_retries, b.step_retries);
+    }
+}
+
+/// The run report surfaces the health story: hung-rank events with
+/// phase/op attribution, per-rank watchdog counters, and slowest-rank
+/// attribution — and it round-trips through JSON.
+#[test]
+fn run_report_carries_health_section_and_hung_events() {
+    use louvain_dist::{build_run_report, ReportMeta};
+    use louvain_obs::RunReport;
+    let g = lfr(LfrParams::small(700, 9)).graph;
+    let cfg = DistConfig::baseline();
+    let p = 2;
+    let dir = tmp_dir("report-health");
+    let resil = ResilOptions {
+        checkpoint: Some(CheckpointOptions::new(&dir)),
+        resume: false,
+        max_recoveries: 1,
+    };
+    let out = run_distributed_resilient(
+        &g,
+        p,
+        &cfg,
+        with_plan_and_health("hang:rank=1,phase=1,op=0", fast_health()),
+        &resil,
+    )
+    .expect("hang within budget");
+    let meta = ReportMeta::new("lfr-700", 700, g.num_edges() as u64);
+    let report = build_run_report(&out, &meta);
+    assert!(report.health.any(), "health section empty after a hang");
+    assert_eq!(report.health.hung_events.len(), 1);
+    assert_eq!(report.health.hung_events[0].rank, 1);
+    assert_eq!(report.health.hung_events[0].phase, 1);
+    assert!(!report.health.hung_events[0].step.is_empty());
+    assert_eq!(report.health.per_rank.len(), p);
+    assert!(report.health.slowest_rank.is_some());
+    assert_eq!(report.recoveries, 1);
+    let back = RunReport::from_json_str(&report.to_json_string()).expect("round-trip");
+    assert_eq!(back.health, report.health);
+    let _ = std::fs::remove_dir_all(&dir);
+}
