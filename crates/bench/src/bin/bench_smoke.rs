@@ -26,6 +26,11 @@
 //! ladder enabled vs the legacy hard-deadline path, asserting
 //! bit-identical results and recording the wall-time delta plus the
 //! watchdog counters (all zero on a healthy run).
+//! `--artifact-out` (or env `BENCH_SMOKE_ARTIFACT`) additionally writes
+//! the whole sweep as one versioned [`louvain_obs::RunArtifact`] (the
+//! schema `lens` diffs and gates on): every sweep row as an untraced
+//! RunReport entry, plus one traced p=2 delta entry per graph carrying
+//! per-iteration convergence telemetry.
 
 use std::fmt::Write as _;
 
@@ -36,6 +41,7 @@ use louvain_dist::{
 };
 use louvain_graph::gen::{lfr, rmat, ssca2, LfrParams, RmatParams, Ssca2Params};
 use louvain_graph::Csr;
+use louvain_obs::{run_label, RunArtifact, RunEntry};
 
 struct RunRow {
     graph: &'static str,
@@ -152,6 +158,8 @@ fn main() {
     let watchdog_path = flag(&args, "--watchdog-out")
         .or_else(|| std::env::var("BENCH_SMOKE_WATCHDOG").ok())
         .unwrap_or_else(|| "BENCH_PR4.json".into());
+    let artifact_path =
+        flag(&args, "--artifact-out").or_else(|| std::env::var("BENCH_SMOKE_ARTIFACT").ok());
 
     let graphs: Vec<(&'static str, Csr)> = vec![
         ("rmat_s11_ef8", rmat(RmatParams::social(11, 8, 5)).graph),
@@ -171,10 +179,25 @@ fn main() {
     // The sweep runs with tracing OFF: its wall_ms columns are the
     // perf-regression reference and must not pay recording costs.
     let mut rows: Vec<RunRow> = Vec::new();
+    let mut artifact_runs: Vec<RunEntry> = Vec::new();
     for (name, g) in &graphs {
         for ranks in [1usize, 2, 8] {
             for delta in [false, true] {
-                let (row, _out) = run_mode(name, g, ranks, delta);
+                let (row, out) = run_mode(name, g, ranks, delta);
+                if artifact_path.is_some() {
+                    let meta =
+                        ReportMeta::new(*name, g.num_vertices() as u64, g.num_edges() as u64)
+                            .variant(if delta {
+                                "ET(0.25)+delta"
+                            } else {
+                                "ET(0.25)+full"
+                            });
+                    artifact_runs.push(RunEntry {
+                        label: run_label(name, ranks, row.mode),
+                        report: build_run_report(&out, &meta),
+                        telemetry: Vec::new(),
+                    });
+                }
                 eprintln!(
                     "{:>14} p={:<2} {:<5} q={:.4} it={:<3} ghost_bytes={:<10} post_first={}",
                     row.graph,
@@ -202,6 +225,30 @@ fn main() {
             let meta = ReportMeta::new(*name, g.num_vertices() as u64, g.num_edges() as u64)
                 .variant("ET(0.25)+delta");
             reports.push(build_run_report(&out, &meta).to_json_string());
+        }
+        louvain_obs::set_enabled(false);
+    }
+
+    // Artifact telemetry runs: one traced p=2 delta run per graph, kept
+    // separate from the sweep (so tracing overhead never leaks into the
+    // wall_ms columns) and labeled `<graph>/p2/delta+traced` to avoid
+    // colliding with the untraced sweep entry of the same shape.
+    if artifact_path.is_some() {
+        louvain_obs::set_enabled(true);
+        for (name, g) in &graphs {
+            let (_row, out) = run_mode(name, g, 2, true);
+            let telemetry = out
+                .trace
+                .as_ref()
+                .map(|t| t.merged_telemetry())
+                .unwrap_or_default();
+            let meta = ReportMeta::new(*name, g.num_vertices() as u64, g.num_edges() as u64)
+                .variant("ET(0.25)+delta");
+            artifact_runs.push(RunEntry {
+                label: run_label(name, 2, "delta+traced"),
+                report: build_run_report(&out, &meta),
+                telemetry,
+            });
         }
         louvain_obs::set_enabled(false);
     }
@@ -403,6 +450,21 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("wrote {out_path}");
+
+    if let Some(path) = artifact_path {
+        let artifact = RunArtifact {
+            name: "BENCH_PR5".into(),
+            description: "fixed-seed bench sweep as a unified run artifact: ET(0.25) full vs \
+                          delta ghost refresh over {rmat_s11_ef8, ssca2_4k, lfr_3k} x p{1,2,8}, \
+                          plus one traced p=2 delta run per graph with per-iteration convergence \
+                          telemetry; byte counters and modularity are deterministic, wall times \
+                          are machine-local (gate with a generous --wall-tol)"
+                .into(),
+            runs: artifact_runs,
+        };
+        std::fs::write(&path, artifact.to_json_string()).expect("write run artifact");
+        eprintln!("wrote {path}");
+    }
 
     if let Some(path) = report_path {
         // The paper's §V-A HPCToolkit breakdown attributes roughly 22% of

@@ -315,7 +315,7 @@ impl<'a, 'c> Watchdog<'a, 'c> {
         }
         let step = self.ctx.stats.current_step();
         self.ctx.stats.record_wd_timeout();
-        louvain_obs::counter_add("watchdog.timeouts", 1);
+        louvain_obs::counter_add("wd_timeouts", 1);
         let hang = |suspect: usize| RankHung {
             rank: suspect,
             detector: self.ctx.rank,
@@ -336,7 +336,7 @@ impl<'a, 'c> Watchdog<'a, 'c> {
                 // never beyond the liveness ceiling (live-but-deadlocked
                 // ranks must not wedge the job forever).
                 self.ctx.stats.record_wd_straggler();
-                louvain_obs::counter_add("watchdog.stragglers", 1);
+                louvain_obs::counter_add("wd_stragglers", 1);
                 if waited > cfg.liveness_ceiling() {
                     let suspect = suspects.iter().copied().min().unwrap_or(self.ctx.rank);
                     std::panic::panic_any(hang(suspect));
@@ -348,10 +348,11 @@ impl<'a, 'c> Watchdog<'a, 'c> {
                 }
                 self.extensions += 1;
                 self.ctx.stats.record_wd_retry();
+                louvain_obs::counter_add("wd_retries", 1);
                 let salt = (self.ctx.rank as u64) << 40 ^ self.ctx.phase << 20 ^ self.ctx.op;
                 let delay = cfg.backoff.delay(self.extensions - 1, salt);
                 self.ctx.stats.record_backoff(delay);
-                louvain_obs::hist_observe("watchdog.backoff_us", delay.as_micros() as u64);
+                louvain_obs::hist_observe("wd_backoff_us", delay.as_micros() as u64);
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
                 }

@@ -401,6 +401,13 @@ pub fn louvain_phase(
         iterations += 1;
         let mut iter_span = louvain_obs::span!("iteration", phase = phase_idx, iter = iterations);
         let edges_at_iter_start = compute.edges_scanned;
+        // Telemetry baseline for this iteration's ghost-traffic delta;
+        // behind the same one-relaxed-load gate as every recording site.
+        let ghost_bytes_at_start = if louvain_obs::enabled() {
+            comm.stats().step_bytes(CommStep::GhostRefresh)
+        } else {
+            0
+        };
         scratch.active.clear();
         scratch.active.extend((0..nlocal).map(|l| match &et {
             Some(t) => t.is_active(phase_idx, iterations, l),
@@ -648,6 +655,33 @@ pub fn louvain_phase(
         iter_span.arg("moves", moves_global);
         iter_span.arg("q", q);
         louvain_obs::gauge_set("modularity", q);
+        if louvain_obs::enabled() {
+            // Convergence telemetry: the global fields (q, delta-Q,
+            // moves) are all-reduced and identical on every rank; the
+            // per-rank fields sum exactly across ranks because each
+            // vertex and each community has exactly one owner.
+            let mut community_sizes = louvain_obs::Histogram::default();
+            let mut communities = 0u64;
+            for sz in &state.size {
+                let sz = sz.load(Ordering::Relaxed);
+                if sz > 0 {
+                    communities += 1;
+                    community_sizes.observe(sz);
+                }
+            }
+            louvain_obs::record_iteration(louvain_obs::IterationRecord {
+                phase: phase_idx as u64,
+                iteration: (iterations - 1) as u64,
+                modularity: q,
+                delta_q: if prev_q.is_finite() { q - prev_q } else { 0.0 },
+                moves: moves_global,
+                active: scratch.active.iter().filter(|&&a| a).count() as u64,
+                vertices: nlocal as u64,
+                communities,
+                community_sizes,
+                ghost_bytes: comm.stats().step_bytes(CommStep::GhostRefresh) - ghost_bytes_at_start,
+            });
+        }
 
         if cfg.variant.uses_etc_exit()
             && inactive_global as f64 >= cfg.etc_exit_fraction * n_global as f64

@@ -151,10 +151,23 @@ pub fn build_run_report(outcome: &DistOutcome, meta: &ReportMeta) -> RunReport {
 
     let (compute, comm, reduce, rebuild) = outcome.modeled_breakdown();
 
-    let (metrics, spans) = match &outcome.trace {
+    let (mut metrics, spans) = match &outcome.trace {
         Some(t) => (t.merged_metrics(), t.span_rollup()),
         None => (Default::default(), Vec::new()),
     };
+
+    // Per-rank imbalance row: one observation per rank of its total
+    // traffic, so the artifact's p50/p95/p99 expose load skew without
+    // re-deriving it from the per-rank table.
+    if !outcome.per_rank_traffic.is_empty() {
+        let mut rank_bytes = louvain_obs::Histogram::default();
+        for s in &outcome.per_rank_traffic {
+            rank_bytes.observe(s.p2p_bytes + s.collective_bytes);
+        }
+        metrics
+            .histograms
+            .insert("rank.total_bytes".into(), rank_bytes);
+    }
 
     RunReport {
         graph: meta.graph.clone(),
@@ -244,5 +257,104 @@ mod tests {
         assert_eq!(back.total_bytes, report.total_bytes);
         assert_eq!(back.step_totals, report.step_totals);
         assert_eq!(back.per_rank, report.per_rank);
+
+        // The imbalance histogram has one observation per rank and its
+        // percentiles are monotone.
+        let h = &report.metrics.histograms["rank.total_bytes"];
+        assert_eq!(h.count, 3);
+        let (p50, p95, p99) = h.quantile_summary();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 > 0);
+    }
+
+    fn sample_report_text() -> String {
+        let gen = ssca2(Ssca2Params {
+            n: 400,
+            max_clique_size: 10,
+            inter_clique_prob: 0.05,
+            seed: 4,
+        });
+        let out = crate::api::run_distributed(&gen.graph, 2, &DistConfig::baseline());
+        let meta = ReportMeta::new("ssca2-400", 400, gen.graph.num_edges() as u64);
+        build_run_report(&out, &meta).to_json_string()
+    }
+
+    // Lenient-parse coverage: reports written by older builds (or by
+    // hand) must load as long as the core fields are intact.
+
+    #[test]
+    fn report_without_health_section_parses() {
+        let text = sample_report_text();
+        let mut doc = louvain_obs::Json::parse(&text).unwrap();
+        if let louvain_obs::Json::Obj(members) = &mut doc {
+            members.retain(|(k, _)| k != "health");
+        }
+        let back = RunReport::from_json(&doc).expect("missing health is lenient");
+        assert_eq!(back.health, HealthTotals::default());
+        assert!(!back.health.any());
+    }
+
+    #[test]
+    fn report_with_unknown_fields_parses() {
+        let text = sample_report_text();
+        let mut doc = louvain_obs::Json::parse(&text).unwrap();
+        if let louvain_obs::Json::Obj(members) = &mut doc {
+            members.push(("future_field".into(), louvain_obs::Json::Num(7.0)));
+            members.push((
+                "future_section".into(),
+                louvain_obs::Json::Obj(vec![("x".into(), louvain_obs::Json::Bool(true))]),
+            ));
+        }
+        let back = RunReport::from_json(&doc).expect("unknown fields are ignored");
+        assert_eq!(back.graph, "ssca2-400");
+    }
+
+    #[test]
+    fn truncated_report_json_is_an_error_not_a_panic() {
+        let text = sample_report_text();
+        for cut in [1, text.len() / 4, text.len() / 2, text.len() - 2] {
+            assert!(
+                RunReport::from_json_str(&text[..cut]).is_err(),
+                "truncation at {cut} must fail cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_health_counter_sets_parse_with_zero_defaults() {
+        // Reports written before checkpoint format v2 carried a health
+        // section without the wd_* ladder counters; those fields must
+        // default to zero instead of failing the parse.
+        let text = sample_report_text();
+        let mut doc = louvain_obs::Json::parse(&text).unwrap();
+        if let louvain_obs::Json::Obj(members) = &mut doc {
+            for (key, value) in members.iter_mut() {
+                if key != "health" {
+                    continue;
+                }
+                let louvain_obs::Json::Obj(health) = value else {
+                    continue;
+                };
+                health.retain(|(k, _)| !k.starts_with("wd_") && k != "backoff_seconds");
+                for (k, v) in health.iter_mut() {
+                    if k != "per_rank" {
+                        continue;
+                    }
+                    let louvain_obs::Json::Arr(rows) = v else {
+                        continue;
+                    };
+                    for row in rows {
+                        if let louvain_obs::Json::Obj(fields) = row {
+                            fields.retain(|(k, _)| !k.starts_with("wd_") && k != "step_retries");
+                        }
+                    }
+                }
+            }
+        }
+        let back = RunReport::from_json(&doc).expect("pre-v2 counter set is lenient");
+        assert_eq!(back.health.wd_timeouts, 0);
+        assert_eq!(back.health.backoff_seconds, 0.0);
+        assert!(!back.health.per_rank.is_empty());
+        assert!(back.health.per_rank[0].step_retries.is_empty());
     }
 }

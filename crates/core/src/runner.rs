@@ -100,6 +100,7 @@ fn restore_rank(comm: &Comm, store: &CheckpointStore, fingerprint: u64) -> Optio
         .latest()
         .unwrap_or_else(|e| abort(format!("cannot resume: {e}")))?;
     let _s = louvain_obs::span!("checkpoint_restore", phase = latest);
+    louvain_obs::counter_add("checkpoint.restores", 1);
     fn fail(latest: u64, e: louvain_resil::ResilError) -> ! {
         abort(format!("cannot resume from phase {latest}: {e}"))
     }
@@ -372,6 +373,8 @@ pub fn run_on_rank_resilient(
                     bytes
                 });
                 span.arg("bytes", bytes);
+                louvain_obs::counter_add("checkpoint.writes", 1);
+                louvain_obs::counter_add("checkpoint.bytes", bytes);
             }
         }
     }

@@ -1,0 +1,525 @@
+//! # louvain-lens — run-artifact analytics
+//!
+//! Turns [`RunArtifact`]s (and every legacy bench shape that converts
+//! into them) into human summaries, deterministic diffs, and a CI
+//! regression verdict:
+//!
+//! - [`show`]: per-run summary plus a sparkline convergence table when
+//!   the run carries telemetry.
+//! - [`diff`]: match runs by label across two artifacts and compute
+//!   wall / bytes / modularity / iterations-to-converge deltas, with
+//!   noise thresholds separating signal (deterministic byte and
+//!   modularity counts) from jitter (wall time).
+//! - [`gate`]: nonzero-exit regression verdict for CI, against a
+//!   committed baseline artifact.
+//!
+//! Every rendering path is deterministic — fixed float precision, label
+//! ordering via `BTreeMap`, no clocks — so diffing the same two
+//! artifacts twice is byte-identical (asserted in tests; the property
+//! CI relies on to keep verdicts reproducible).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use louvain_obs::{RunArtifact, RunEntry, TelemetryRow};
+
+/// Noise thresholds separating regression signal from run-to-run
+/// jitter. Wall time on a shared CI box is noisy, so it gets both a
+/// generous relative tolerance and an absolute floor; byte counts and
+/// modularity are deterministic for a fixed seed, so their tolerances
+/// only allow for intentional drift.
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// Relative wall-time growth allowed (0.75 = fail above 1.75x).
+    pub wall_tol: f64,
+    /// Absolute wall-time growth (seconds) below which wall deltas are
+    /// never flagged, whatever the ratio.
+    pub wall_floor_seconds: f64,
+    /// Relative total-byte growth allowed.
+    pub bytes_tol: f64,
+    /// Absolute modularity drop allowed.
+    pub modularity_drop: f64,
+    /// Relative growth allowed in iterations-to-converge (plus a fixed
+    /// slack of 2 iterations).
+    pub iters_tol: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            wall_tol: 0.75,
+            wall_floor_seconds: 0.005,
+            bytes_tol: 0.10,
+            modularity_drop: 0.01,
+            iters_tol: 0.50,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// show
+// ---------------------------------------------------------------------------
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Map a series onto sparkline glyphs (min → `▁`, max → `█`).
+fn sparkline(values: &[f64]) -> String {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    values
+        .iter()
+        .map(|&v| {
+            if hi > lo {
+                let t = (v - lo) / (hi - lo);
+                SPARKS[((t * 7.0).round() as usize).min(7)]
+            } else {
+                SPARKS[3]
+            }
+        })
+        .collect()
+}
+
+fn convergence_table(rows: &[TelemetryRow]) -> String {
+    let mut out = String::new();
+    let qs: Vec<f64> = rows.iter().map(|r| r.modularity).collect();
+    let _ = writeln!(
+        out,
+        "  convergence: {}  (modularity per iteration)",
+        sparkline(&qs)
+    );
+    let _ = writeln!(
+        out,
+        "  {:>5} {:>4} {:>12} {:>12} {:>8} {:>7} {:>7} {:>10}",
+        "phase", "iter", "q", "dq", "moves", "active", "comms", "ghost B"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>4} {:>12.6} {:>12.6} {:>8} {:>6.1}% {:>7} {:>10}",
+            r.phase,
+            r.iteration,
+            r.modularity,
+            r.delta_q,
+            r.moves,
+            100.0 * r.active_fraction(),
+            r.communities,
+            r.ghost_bytes_total(),
+        );
+    }
+    out
+}
+
+/// Human summary of an artifact: one block per run, with a sparkline
+/// convergence table for traced runs.
+pub fn show(artifact: &RunArtifact) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "artifact: {} ({} runs)",
+        artifact.name,
+        artifact.runs.len()
+    );
+    if !artifact.description.is_empty() {
+        let _ = writeln!(out, "  {}", artifact.description);
+    }
+    for entry in &artifact.runs {
+        let r = &entry.report;
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{}  [{}]  q={:.6}  phases={} iters={}  wall={:.1}ms  bytes={}",
+            entry.label,
+            r.variant,
+            r.modularity,
+            r.phases,
+            r.iterations,
+            r.wall_seconds * 1000.0,
+            r.total_bytes,
+        );
+        if r.recoveries > 0 || r.resumed_from_phase.is_some() {
+            let _ = writeln!(
+                out,
+                "  resilience: recoveries={} resumed_from_phase={}",
+                r.recoveries,
+                r.resumed_from_phase
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        if r.health.any() {
+            let _ = writeln!(
+                out,
+                "  health: wd_timeouts={} wd_stragglers={} checksum_rejects={} hung_events={}",
+                r.health.wd_timeouts,
+                r.health.wd_stragglers,
+                r.health.checksum_rejects,
+                r.health.hung_events.len(),
+            );
+        }
+        if let Some(h) = r.metrics.histograms.get("rank.total_bytes") {
+            let (p50, p95, p99) = h.quantile_summary();
+            let _ = writeln!(
+                out,
+                "  rank imbalance (total bytes): p50<={p50} p95<={p95} p99<={p99}"
+            );
+        }
+        if !entry.telemetry.is_empty() {
+            out.push_str(&convergence_table(&entry.telemetry));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------------
+
+/// Deltas for one label present in both artifacts.
+#[derive(Debug, Clone)]
+pub struct RunDelta {
+    pub label: String,
+    pub wall_a: f64,
+    pub wall_b: f64,
+    pub bytes_a: u64,
+    pub bytes_b: u64,
+    pub modularity_a: f64,
+    pub modularity_b: f64,
+    pub iters_a: u64,
+    pub iters_b: u64,
+    /// Threshold-crossing regressions for this run (empty = within
+    /// noise).
+    pub regressions: Vec<String>,
+}
+
+/// The full diff of two artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    pub matched: Vec<RunDelta>,
+    /// Labels only in the first (baseline) artifact.
+    pub only_a: Vec<String>,
+    /// Labels only in the second artifact.
+    pub only_b: Vec<String>,
+}
+
+impl DiffReport {
+    /// All regressions, prefixed with their run label.
+    pub fn regressions(&self) -> Vec<String> {
+        self.matched
+            .iter()
+            .flat_map(|d| d.regressions.iter().map(|r| format!("{}: {r}", d.label)))
+            .collect()
+    }
+
+    /// Deterministic human rendering (byte-identical across
+    /// invocations on the same inputs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "diff: {} matched, {} only-baseline, {} only-current",
+            self.matched.len(),
+            self.only_a.len(),
+            self.only_b.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>16} {:>20} {:>20} {:>12}",
+            "label", "wall ms", "bytes", "modularity", "iters"
+        );
+        for d in &self.matched {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>7.1}→{:<8.1} {:>9}→{:<10} {:>9.6}→{:<10.6} {:>5}→{:<6}",
+                d.label,
+                d.wall_a * 1000.0,
+                d.wall_b * 1000.0,
+                d.bytes_a,
+                d.bytes_b,
+                d.modularity_a,
+                d.modularity_b,
+                d.iters_a,
+                d.iters_b,
+            );
+            for r in &d.regressions {
+                let _ = writeln!(out, "  REGRESSION: {r}");
+            }
+        }
+        for l in &self.only_a {
+            let _ = writeln!(out, "only in baseline: {l}");
+        }
+        for l in &self.only_b {
+            let _ = writeln!(out, "only in current:  {l}");
+        }
+        out
+    }
+}
+
+fn by_label(a: &RunArtifact) -> BTreeMap<String, RunEntry> {
+    // First entry wins on duplicate labels (legacy files may repeat).
+    let mut map = BTreeMap::new();
+    for e in &a.runs {
+        map.entry(e.label.clone()).or_insert_with(|| e.clone());
+    }
+    map
+}
+
+/// Diff `current` against `baseline`, matching runs by label.
+pub fn diff(baseline: &RunArtifact, current: &RunArtifact, t: &Thresholds) -> DiffReport {
+    let a = by_label(baseline);
+    let b = by_label(current);
+    let mut report = DiffReport::default();
+    for (label, ea) in &a {
+        let Some(eb) = b.get(label) else {
+            report.only_a.push(label.clone());
+            continue;
+        };
+        let (ra, rb) = (&ea.report, &eb.report);
+        let mut regressions = Vec::new();
+        let wall_grew = rb.wall_seconds - ra.wall_seconds;
+        if rb.wall_seconds > ra.wall_seconds * (1.0 + t.wall_tol)
+            && wall_grew > t.wall_floor_seconds
+        {
+            regressions.push(format!(
+                "wall {:.1}ms → {:.1}ms exceeds {:.0}% tolerance",
+                ra.wall_seconds * 1000.0,
+                rb.wall_seconds * 1000.0,
+                t.wall_tol * 100.0
+            ));
+        }
+        if ra.total_bytes > 0 && rb.total_bytes as f64 > ra.total_bytes as f64 * (1.0 + t.bytes_tol)
+        {
+            regressions.push(format!(
+                "total bytes {} → {} exceeds {:.0}% tolerance",
+                ra.total_bytes,
+                rb.total_bytes,
+                t.bytes_tol * 100.0
+            ));
+        }
+        if rb.modularity < ra.modularity - t.modularity_drop {
+            regressions.push(format!(
+                "modularity {:.6} → {:.6} drops more than {:.3}",
+                ra.modularity, rb.modularity, t.modularity_drop
+            ));
+        }
+        if ra.iterations > 0
+            && rb.iterations as f64 > ra.iterations as f64 * (1.0 + t.iters_tol) + 2.0
+        {
+            regressions.push(format!(
+                "iterations to converge {} → {} exceeds {:.0}% tolerance",
+                ra.iterations,
+                rb.iterations,
+                t.iters_tol * 100.0
+            ));
+        }
+        report.matched.push(RunDelta {
+            label: label.clone(),
+            wall_a: ra.wall_seconds,
+            wall_b: rb.wall_seconds,
+            bytes_a: ra.total_bytes,
+            bytes_b: rb.total_bytes,
+            modularity_a: ra.modularity,
+            modularity_b: rb.modularity,
+            iters_a: ra.iterations,
+            iters_b: rb.iterations,
+            regressions,
+        });
+    }
+    for label in b.keys() {
+        if !a.contains_key(label) {
+            report.only_b.push(label.clone());
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// gate
+// ---------------------------------------------------------------------------
+
+/// CI verdict: every baseline run must match within thresholds, and no
+/// baseline run may silently disappear from the current artifact.
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    pub checked: usize,
+    pub failures: Vec<String>,
+}
+
+impl GateResult {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.passed() {
+            let _ = writeln!(out, "gate: PASS ({} runs within thresholds)", self.checked);
+        } else {
+            let _ = writeln!(
+                out,
+                "gate: FAIL ({} regressions across {} runs)",
+                self.failures.len(),
+                self.checked
+            );
+            for f in &self.failures {
+                let _ = writeln!(out, "  {f}");
+            }
+        }
+        out
+    }
+}
+
+/// Gate `current` against `baseline`: regressions and missing baseline
+/// runs fail; runs only in `current` are allowed (new coverage).
+pub fn gate(baseline: &RunArtifact, current: &RunArtifact, t: &Thresholds) -> GateResult {
+    let d = diff(baseline, current, t);
+    let mut failures = d.regressions();
+    for l in &d.only_a {
+        failures.push(format!("{l}: present in baseline but missing from current"));
+    }
+    GateResult {
+        checked: d.matched.len(),
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use louvain_obs::RunReport;
+
+    fn entry(label: &str, wall: f64, bytes: u64, q: f64, iters: u64) -> RunEntry {
+        RunEntry {
+            label: label.into(),
+            report: RunReport {
+                graph: label.split('/').next().unwrap_or("g").into(),
+                ranks: 2,
+                variant: "delta".into(),
+                modularity: q,
+                iterations: iters,
+                wall_seconds: wall,
+                total_bytes: bytes,
+                ..Default::default()
+            },
+            telemetry: Vec::new(),
+        }
+    }
+
+    fn artifact(entries: Vec<RunEntry>) -> RunArtifact {
+        RunArtifact {
+            name: "test".into(),
+            description: String::new(),
+            runs: entries,
+        }
+    }
+
+    #[test]
+    fn identical_artifacts_pass_the_gate() {
+        let a = artifact(vec![entry("g/p2/delta", 0.2, 10_000, 0.8, 12)]);
+        let g = gate(&a, &a, &Thresholds::default());
+        assert!(g.passed(), "{:?}", g.failures);
+        assert_eq!(g.checked, 1);
+    }
+
+    #[test]
+    fn two_x_wall_regression_fails_the_gate() {
+        let base = artifact(vec![entry("g/p2/delta", 0.2, 10_000, 0.8, 12)]);
+        let cur = artifact(vec![entry("g/p2/delta", 0.4, 10_000, 0.8, 12)]);
+        let g = gate(&base, &cur, &Thresholds::default());
+        assert!(!g.passed());
+        assert!(g.failures[0].contains("wall"), "{:?}", g.failures);
+    }
+
+    #[test]
+    fn wall_floor_suppresses_tiny_absolute_jitter() {
+        // 3ms → 7ms is >2x but under the absolute floor: noise, not signal.
+        let base = artifact(vec![entry("g/p2/delta", 0.003, 10_000, 0.8, 12)]);
+        let cur = artifact(vec![entry("g/p2/delta", 0.007, 10_000, 0.8, 12)]);
+        assert!(gate(&base, &cur, &Thresholds::default()).passed());
+    }
+
+    #[test]
+    fn byte_modularity_and_iteration_regressions_fail() {
+        let base = artifact(vec![entry("g/p2/delta", 0.2, 10_000, 0.8, 12)]);
+        let bytes = artifact(vec![entry("g/p2/delta", 0.2, 12_000, 0.8, 12)]);
+        let quality = artifact(vec![entry("g/p2/delta", 0.2, 10_000, 0.77, 12)]);
+        let iters = artifact(vec![entry("g/p2/delta", 0.2, 10_000, 0.8, 25)]);
+        let t = Thresholds::default();
+        assert!(gate(&base, &bytes, &t).failures[0].contains("bytes"));
+        assert!(gate(&base, &quality, &t).failures[0].contains("modularity"));
+        assert!(gate(&base, &iters, &t).failures[0].contains("iterations"));
+    }
+
+    #[test]
+    fn missing_baseline_run_fails_new_runs_allowed() {
+        let base = artifact(vec![
+            entry("g/p2/delta", 0.2, 10_000, 0.8, 12),
+            entry("g/p4/delta", 0.2, 10_000, 0.8, 12),
+        ]);
+        let cur = artifact(vec![
+            entry("g/p2/delta", 0.2, 10_000, 0.8, 12),
+            entry("g/p8/delta", 0.2, 10_000, 0.8, 12),
+        ]);
+        let g = gate(&base, &cur, &Thresholds::default());
+        assert_eq!(g.failures.len(), 1);
+        assert!(g.failures[0].contains("missing from current"));
+    }
+
+    #[test]
+    fn diff_render_is_deterministic() {
+        let base = artifact(vec![
+            entry("g/p2/delta", 0.2, 10_000, 0.8, 12),
+            entry("g/p4/full", 0.1, 20_000, 0.81, 14),
+        ]);
+        let cur = artifact(vec![entry("g/p2/delta", 0.5, 9_000, 0.8, 12)]);
+        let r1 = diff(&base, &cur, &Thresholds::default()).render();
+        let r2 = diff(&base, &cur, &Thresholds::default()).render();
+        assert_eq!(r1, r2, "diff rendering must be byte-identical");
+        assert!(r1.contains("only in baseline: g/p4/full"));
+    }
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        assert_eq!(sparkline(&[0.3, 0.3]), "▄▄");
+    }
+
+    #[test]
+    fn show_includes_convergence_table_when_traced() {
+        let mut e = entry("g/p2/delta", 0.2, 10_000, 0.8, 2);
+        e.telemetry = vec![
+            TelemetryRow {
+                phase: 0,
+                iteration: 0,
+                modularity: 0.4,
+                delta_q: 0.0,
+                moves: 100,
+                active: 200,
+                vertices: 200,
+                communities: 150,
+                community_sizes: Default::default(),
+                ghost_bytes_per_rank: vec![64, 32],
+            },
+            TelemetryRow {
+                phase: 0,
+                iteration: 1,
+                modularity: 0.6,
+                delta_q: 0.2,
+                moves: 10,
+                active: 50,
+                vertices: 200,
+                communities: 60,
+                community_sizes: Default::default(),
+                ghost_bytes_per_rank: vec![8, 8],
+            },
+        ];
+        let text = show(&artifact(vec![e]));
+        assert!(text.contains("convergence: ▁█"));
+        assert!(text.contains("25.0%"), "{text}");
+        assert!(text.contains("96"), "ghost byte total:\n{text}");
+    }
+}

@@ -1,0 +1,504 @@
+//! The unified, versioned run artifact: a magic-tagged JSON envelope
+//! (like the checkpoint header) holding any number of labeled runs,
+//! each a full [`RunReport`] plus its per-iteration telemetry rows.
+//!
+//! One schema replaces the ad-hoc shapes of the committed bench files:
+//! `lens` reads only artifacts, and [`RunArtifact::from_any_json_str`]
+//! lifts every legacy shape (`BENCH_PR1/PR3` sweep rows, `BENCH_PR4`
+//! watchdog rows, `RUNREPORT_PR2` embedded reports, or a bare
+//! `RunReport` document) into it, so the whole PR history diffs with
+//! one tool.
+
+use crate::json::{Json, JsonError};
+use crate::metrics::{Histogram, HIST_BUCKETS};
+use crate::report::RunReport;
+use crate::telemetry::TelemetryRow;
+
+/// First bytes of every artifact (the `magic` field).
+pub const ARTIFACT_MAGIC: &str = "LVRA";
+/// Artifact schema version (bump on breaking changes).
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// One labeled run inside an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunEntry {
+    /// Stable key used to match runs across artifacts when diffing;
+    /// by convention `<graph>/p<ranks>/<mode>`.
+    pub label: String,
+    pub report: RunReport,
+    /// Per-(phase, iteration) convergence rows; empty when the run was
+    /// not traced.
+    pub telemetry: Vec<TelemetryRow>,
+}
+
+/// A versioned collection of runs — the one on-disk analytics format.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunArtifact {
+    pub name: String,
+    pub description: String,
+    pub runs: Vec<RunEntry>,
+}
+
+/// The conventional entry label: `<graph>/p<ranks>/<mode>`.
+pub fn run_label(graph: &str, ranks: usize, mode: &str) -> String {
+    format!("{graph}/p{ranks}/{mode}")
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding
+// ---------------------------------------------------------------------------
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num_u(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn hist_to_json(h: &Histogram) -> Json {
+    let top = h.buckets.iter().rposition(|&b| b > 0).map_or(0, |i| i + 1);
+    let (p50, p95, p99) = h.quantile_summary();
+    obj(vec![
+        ("count", num_u(h.count)),
+        ("sum", num_u(h.sum)),
+        ("p50", num_u(p50)),
+        ("p95", num_u(p95)),
+        ("p99", num_u(p99)),
+        (
+            "log2_buckets",
+            Json::Arr(h.buckets[..top].iter().map(|&b| num_u(b)).collect()),
+        ),
+    ])
+}
+
+fn hist_from_json(doc: &Json) -> Result<Histogram, String> {
+    let mut h = Histogram {
+        count: u(doc, "count")?,
+        sum: u(doc, "sum")?,
+        ..Default::default()
+    };
+    let buckets = doc
+        .get("log2_buckets")
+        .and_then(Json::as_arr)
+        .ok_or("histogram missing `log2_buckets`")?;
+    for (i, b) in buckets.iter().enumerate() {
+        if i < HIST_BUCKETS {
+            h.buckets[i] = b.as_u64().ok_or("histogram bucket is not a u64")?;
+        }
+    }
+    Ok(h)
+}
+
+fn telemetry_to_json(row: &TelemetryRow) -> Json {
+    obj(vec![
+        ("phase", num_u(row.phase)),
+        ("iteration", num_u(row.iteration)),
+        ("modularity", Json::Num(row.modularity)),
+        ("delta_q", Json::Num(row.delta_q)),
+        ("moves", num_u(row.moves)),
+        ("active", num_u(row.active)),
+        ("vertices", num_u(row.vertices)),
+        ("communities", num_u(row.communities)),
+        ("community_sizes", hist_to_json(&row.community_sizes)),
+        (
+            "ghost_bytes_per_rank",
+            Json::Arr(row.ghost_bytes_per_rank.iter().map(|&b| num_u(b)).collect()),
+        ),
+    ])
+}
+
+fn get<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn f(doc: &Json, key: &str) -> Result<f64, String> {
+    get(doc, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+fn u(doc: &Json, key: &str) -> Result<u64, String> {
+    get(doc, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not a u64"))
+}
+
+fn s(doc: &Json, key: &str) -> Result<String, String> {
+    Ok(get(doc, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))?
+        .to_string())
+}
+
+fn telemetry_from_json(doc: &Json) -> Result<TelemetryRow, String> {
+    Ok(TelemetryRow {
+        phase: u(doc, "phase")?,
+        iteration: u(doc, "iteration")?,
+        modularity: f(doc, "modularity")?,
+        delta_q: f(doc, "delta_q")?,
+        moves: u(doc, "moves")?,
+        active: u(doc, "active")?,
+        vertices: u(doc, "vertices")?,
+        communities: u(doc, "communities")?,
+        community_sizes: hist_from_json(get(doc, "community_sizes")?)?,
+        ghost_bytes_per_rank: get(doc, "ghost_bytes_per_rank")?
+            .as_arr()
+            .ok_or("`ghost_bytes_per_rank` is not an array")?
+            .iter()
+            .map(|v| v.as_u64().ok_or_else(|| "ghost bytes not u64".to_string()))
+            .collect::<Result<_, String>>()?,
+    })
+}
+
+impl RunArtifact {
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("magic", Json::str(ARTIFACT_MAGIC)),
+            ("artifact_version", num_u(ARTIFACT_VERSION as u64)),
+            ("name", Json::str(self.name.clone())),
+            ("description", Json::str(self.description.clone())),
+            (
+                "runs",
+                Json::Arr(
+                    self.runs
+                        .iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("label", Json::str(r.label.clone())),
+                                ("report", r.report.to_json()),
+                                (
+                                    "telemetry",
+                                    Json::Arr(r.telemetry.iter().map(telemetry_to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Pretty-printed JSON document (the on-disk format).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Strict parse of an `LVRA` document.
+    pub fn from_json(doc: &Json) -> Result<RunArtifact, String> {
+        let magic = s(doc, "magic")?;
+        if magic != ARTIFACT_MAGIC {
+            return Err(format!("bad artifact magic `{magic}`"));
+        }
+        let version = u(doc, "artifact_version")?;
+        if version != ARTIFACT_VERSION as u64 {
+            return Err(format!("unsupported artifact_version {version}"));
+        }
+        Ok(RunArtifact {
+            name: s(doc, "name")?,
+            description: s(doc, "description")?,
+            runs: get(doc, "runs")?
+                .as_arr()
+                .ok_or("`runs` is not an array")?
+                .iter()
+                .map(|r| {
+                    Ok(RunEntry {
+                        label: s(r, "label")?,
+                        report: RunReport::from_json(get(r, "report")?)?,
+                        telemetry: get(r, "telemetry")?
+                            .as_arr()
+                            .ok_or("`telemetry` is not an array")?
+                            .iter()
+                            .map(telemetry_from_json)
+                            .collect::<Result<_, String>>()?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        })
+    }
+
+    pub fn from_json_str(text: &str) -> Result<RunArtifact, String> {
+        let doc = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        Self::from_json(&doc)
+    }
+
+    /// Parse any committed run-data shape into an artifact: a native
+    /// `LVRA` document, a bare `RunReport`, or one of the legacy bench
+    /// files (`BENCH_PR1`/`BENCH_PR3` sweep rows, `BENCH_PR4` watchdog
+    /// rows, `RUNREPORT_PR2` embedded reports).
+    pub fn from_any_json_str(text: &str) -> Result<RunArtifact, String> {
+        let doc = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        if doc.get("magic").is_some() {
+            return Self::from_json(&doc);
+        }
+        if doc.get("run_report_version").is_some() {
+            let report = RunReport::from_json(&doc)?;
+            let label = run_label(&report.graph, report.ranks, &report.variant);
+            return Ok(RunArtifact {
+                name: "run".into(),
+                description: String::new(),
+                runs: vec![RunEntry {
+                    label,
+                    report,
+                    telemetry: Vec::new(),
+                }],
+            });
+        }
+        let name = doc
+            .get("bench")
+            .and_then(Json::as_str)
+            .unwrap_or("legacy")
+            .to_string();
+        let description = doc
+            .get("description")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let mut runs = Vec::new();
+        if let Some(rows) = doc.get("runs").and_then(Json::as_arr) {
+            for row in rows {
+                runs.push(legacy_sweep_entry(row)?);
+            }
+        }
+        if let Some(rows) = doc.get("watchdog").and_then(Json::as_arr) {
+            for row in rows {
+                runs.push(legacy_watchdog_entry(row)?);
+            }
+        }
+        if let Some(reports) = doc.get("reports").and_then(Json::as_arr) {
+            for rd in reports {
+                let report = RunReport::from_json(rd)?;
+                let label = run_label(&report.graph, report.ranks, &report.variant);
+                runs.push(RunEntry {
+                    label,
+                    report,
+                    telemetry: Vec::new(),
+                });
+            }
+        }
+        if runs.is_empty() {
+            return Err("unrecognized document: no magic, reports, runs, or watchdog rows".into());
+        }
+        Ok(RunArtifact {
+            name,
+            description,
+            runs,
+        })
+    }
+}
+
+/// Lift one `BENCH_PR1`/`BENCH_PR3` sweep row into a [`RunEntry`]. The
+/// legacy rows are flat: per-step bytes, modeled seconds, and wall
+/// milliseconds; message counts and per-rank detail were never recorded
+/// and stay zero.
+fn legacy_sweep_entry(row: &Json) -> Result<RunEntry, String> {
+    use crate::report::{ModeledBreakdown, StepTotal};
+    let lu = |key: &str| row.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let lf = |key: &str| row.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let graph = s(row, "graph")?;
+    let ranks = u(row, "ranks")? as usize;
+    let mode = s(row, "mode")?;
+    let variant = row
+        .get("variant")
+        .and_then(Json::as_str)
+        .map(|v| format!("{v}+{mode}"))
+        .unwrap_or_else(|| mode.clone());
+    let step_totals: Vec<StepTotal> = [
+        ("ghost_refresh", lu("ghost_refresh_bytes")),
+        ("community_pull", lu("community_pull_bytes")),
+        ("delta_push", lu("delta_push_bytes")),
+        ("reduction", lu("reduction_bytes")),
+    ]
+    .into_iter()
+    .map(|(step, bytes)| StepTotal {
+        step: step.into(),
+        bytes,
+        messages: 0,
+    })
+    .collect();
+    let total_bytes = step_totals.iter().map(|t| t.bytes).sum();
+    Ok(RunEntry {
+        label: run_label(&graph, ranks, &mode),
+        report: RunReport {
+            graph,
+            vertices: lu("n"),
+            edges: lu("m"),
+            ranks,
+            variant,
+            threads_per_rank: 1,
+            modularity: f(row, "modularity")?,
+            phases: lu("phases"),
+            iterations: lu("iterations"),
+            wall_seconds: lf("wall_ms") / 1000.0,
+            modeled: ModeledBreakdown {
+                compute: lf("modeled_compute_seconds"),
+                comm: lf("modeled_comm_seconds"),
+                reduce: lf("modeled_reduce_seconds"),
+                rebuild: lf("modeled_rebuild_seconds"),
+            },
+            step_totals,
+            total_bytes,
+            ..Default::default()
+        },
+        telemetry: Vec::new(),
+    })
+}
+
+/// Lift one `BENCH_PR4` watchdog A-B row: the watchdog-armed arm's wall
+/// time, with the wd_* counters landing in the health section.
+fn legacy_watchdog_entry(row: &Json) -> Result<RunEntry, String> {
+    use crate::report::HealthTotals;
+    let lu = |key: &str| row.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let graph = s(row, "graph")?;
+    let ranks = u(row, "ranks")? as usize;
+    let mode = s(row, "mode")?;
+    Ok(RunEntry {
+        label: format!("{}+wd", run_label(&graph, ranks, &mode)),
+        report: RunReport {
+            graph,
+            vertices: lu("n"),
+            edges: lu("m"),
+            ranks,
+            variant: format!("{mode}+wd"),
+            threads_per_rank: 1,
+            modularity: f(row, "modularity")?,
+            phases: lu("phases"),
+            wall_seconds: lu("wall_ms_watchdog_on") as f64 / 1000.0,
+            health: HealthTotals {
+                checksum_rejects: lu("checksum_rejects"),
+                wd_timeouts: lu("wd_timeouts"),
+                wd_retries: lu("wd_retries"),
+                wd_stragglers: lu("wd_stragglers"),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        telemetry: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunArtifact {
+        let mut sizes = Histogram::default();
+        sizes.observe(3);
+        sizes.observe(40);
+        RunArtifact {
+            name: "BENCH_TEST".into(),
+            description: "sample".into(),
+            runs: vec![RunEntry {
+                label: run_label("lfr_3k", 2, "delta"),
+                report: RunReport {
+                    graph: "lfr_3k".into(),
+                    vertices: 3000,
+                    edges: 18000,
+                    ranks: 2,
+                    variant: "ET(0.25)+delta".into(),
+                    threads_per_rank: 1,
+                    modularity: 0.86,
+                    phases: 4,
+                    iterations: 12,
+                    wall_seconds: 0.034,
+                    ..Default::default()
+                },
+                telemetry: vec![TelemetryRow {
+                    phase: 0,
+                    iteration: 0,
+                    modularity: 0.41,
+                    delta_q: 0.0,
+                    moves: 2210,
+                    active: 3000,
+                    vertices: 3000,
+                    communities: 1800,
+                    community_sizes: sizes,
+                    ghost_bytes_per_rank: vec![1024, 980],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let a = sample();
+        let text = a.to_json_string();
+        let back = RunArtifact::from_json_str(&text).expect("parse back");
+        assert_eq!(back, a);
+        // from_any must take the same path for native documents.
+        assert_eq!(RunArtifact::from_any_json_str(&text).unwrap(), a);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut doc = sample().to_json();
+        if let Json::Obj(members) = &mut doc {
+            members[0].1 = Json::str("NOPE");
+        }
+        assert!(RunArtifact::from_json(&doc).unwrap_err().contains("magic"));
+        let mut doc = sample().to_json();
+        if let Json::Obj(members) = &mut doc {
+            members[1].1 = Json::Num(99.0);
+        }
+        assert!(RunArtifact::from_json(&doc)
+            .unwrap_err()
+            .contains("artifact_version"));
+    }
+
+    #[test]
+    fn legacy_sweep_rows_convert() {
+        let text = r#"{
+          "bench": "BENCH_PR3",
+          "description": "sweep",
+          "runs": [
+            {"graph": "ssca2_4k", "n": 4000, "m": 64593, "ranks": 2,
+             "variant": "ET(0.25)", "mode": "delta", "modularity": 0.988502,
+             "phases": 3, "iterations": 5, "wall_ms": 9,
+             "modeled_comm_seconds": 0.000048, "modeled_compute_seconds": 0.011612,
+             "modeled_reduce_seconds": 0.000037, "modeled_rebuild_seconds": 0.003920,
+             "ghost_refresh_bytes": 912, "community_pull_bytes": 2208,
+             "delta_push_bytes": 24, "reduction_bytes": 336}
+          ]
+        }"#;
+        let a = RunArtifact::from_any_json_str(text).expect("convert");
+        assert_eq!(a.name, "BENCH_PR3");
+        assert_eq!(a.runs.len(), 1);
+        let e = &a.runs[0];
+        assert_eq!(e.label, "ssca2_4k/p2/delta");
+        assert_eq!(e.report.variant, "ET(0.25)+delta");
+        assert_eq!(e.report.total_bytes, 912 + 2208 + 24 + 336);
+        assert_eq!(e.report.step_totals[0].step, "ghost_refresh");
+        assert!((e.report.wall_seconds - 0.009).abs() < 1e-12);
+        assert_eq!(e.report.iterations, 5);
+    }
+
+    #[test]
+    fn legacy_watchdog_rows_convert() {
+        let text = r#"{
+          "bench": "BENCH_PR4",
+          "description": "wd",
+          "watchdog": [
+            {"graph": "lfr_3k", "n": 3000, "m": 18887, "ranks": 4, "mode": "delta",
+             "modularity": 0.867489, "phases": 4, "wall_ms_watchdog_off": 36,
+             "wall_ms_watchdog_on": 36, "wd_timeouts": 1, "wd_retries": 0,
+             "wd_stragglers": 2, "checksum_rejects": 0, "bit_identical": true}
+          ]
+        }"#;
+        let a = RunArtifact::from_any_json_str(text).expect("convert");
+        assert_eq!(a.runs[0].label, "lfr_3k/p4/delta+wd");
+        assert_eq!(a.runs[0].report.health.wd_timeouts, 1);
+        assert_eq!(a.runs[0].report.health.wd_stragglers, 2);
+        assert!((a.runs[0].report.wall_seconds - 0.036).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_shapes_are_rejected() {
+        assert!(RunArtifact::from_any_json_str("{\"x\": 1}").is_err());
+        assert!(RunArtifact::from_any_json_str("not json").is_err());
+    }
+}

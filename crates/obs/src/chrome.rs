@@ -170,12 +170,14 @@ mod tests {
                     events: vec![ev("a", 1_000, 5_000, 1), ev("b", 4_000, 0, 1)],
                     dropped: 0,
                     metrics: MetricsSnapshot::default(),
+                    telemetry: Vec::new(),
                 },
                 RankTrace {
                     rank: 1,
                     events: vec![ev("c", 2_000, 3_000, 2)],
                     dropped: 0,
                     metrics: MetricsSnapshot::default(),
+                    telemetry: Vec::new(),
                 },
             ],
         }

@@ -15,6 +15,7 @@ use crate::event::TraceEvent;
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::ring::EventRing;
 use crate::span::{install_observer, uninstall_observer, ThreadObserver};
+use crate::telemetry::{self, IterationRecord, TelemetryLog, TelemetryRow};
 
 /// Default per-rank event capacity (events beyond this are dropped and
 /// counted, never reallocated — see [`EventRing`]).
@@ -23,6 +24,7 @@ pub const DEFAULT_EVENTS_PER_RANK: usize = 1 << 16;
 struct RankSlot {
     ring: Arc<EventRing>,
     metrics: Arc<MetricsRegistry>,
+    telemetry: Arc<TelemetryLog>,
 }
 
 /// Per-job trace/metrics collector (see module docs).
@@ -43,6 +45,7 @@ impl Collector {
                 .map(|_| RankSlot {
                     ring: Arc::new(EventRing::with_capacity(events_per_rank)),
                     metrics: Arc::new(MetricsRegistry::new()),
+                    telemetry: Arc::new(TelemetryLog::default()),
                 })
                 .collect(),
         }
@@ -63,6 +66,7 @@ impl Collector {
             ring: Arc::clone(&slot.ring),
             epoch: self.epoch,
             metrics: Arc::clone(&slot.metrics),
+            telemetry: Arc::clone(&slot.telemetry),
         });
         InstallGuard {
             prev: Some(prev),
@@ -93,11 +97,13 @@ impl Collector {
                 // rank's track is globally time-ordered for exporters.
                 events.sort_by_key(|e| (e.ts_ns, e.tid));
                 let metrics = slot.metrics.snapshot();
+                let telemetry = slot.telemetry.drain();
                 RankTrace {
                     rank,
                     events,
                     dropped,
                     metrics,
+                    telemetry,
                 }
             })
             .collect();
@@ -129,6 +135,8 @@ pub struct RankTrace {
     /// Events lost to ring overflow.
     pub dropped: u64,
     pub metrics: MetricsSnapshot,
+    /// Per-iteration algorithm telemetry this rank recorded.
+    pub telemetry: Vec<IterationRecord>,
 }
 
 /// Harvested per-rank traces for a whole job.
@@ -153,6 +161,13 @@ impl TraceData {
 
     pub fn total_dropped(&self) -> u64 {
         self.ranks.iter().map(|r| r.dropped).sum()
+    }
+
+    /// Per-rank telemetry merged into global `(phase, iteration)` rows.
+    pub fn merged_telemetry(&self) -> Vec<TelemetryRow> {
+        let per_rank: Vec<Vec<IterationRecord>> =
+            self.ranks.iter().map(|r| r.telemetry.clone()).collect();
+        telemetry::merge_ranks(&per_rank)
     }
 
     /// All rank metrics merged into one snapshot.

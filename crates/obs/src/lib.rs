@@ -30,6 +30,7 @@
 //! communicator and reports (cross-rank aggregation) lives above, in
 //! `louvain-dist`.
 
+mod artifact;
 mod chrome;
 mod collector;
 mod event;
@@ -38,7 +39,9 @@ mod metrics;
 mod report;
 mod ring;
 mod span;
+mod telemetry;
 
+pub use artifact::{run_label, RunArtifact, RunEntry, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use chrome::{chrome_trace, chrome_trace_json, jsonl};
 pub use collector::{
     Collector, InstallGuard, RankTrace, SpanRollup, TraceData, DEFAULT_EVENTS_PER_RANK,
@@ -58,3 +61,197 @@ pub use span::{
     add_modeled_seconds, enabled, init_from_env, instant, modeled_seconds_now, set_enabled, span,
     span_cat, SpanGuard, Stopwatch,
 };
+pub use telemetry::{merge_ranks, record_iteration, IterationRecord, TelemetryLog, TelemetryRow};
+
+// ---------------------------------------------------------------------------
+// Metric-name registry
+// ---------------------------------------------------------------------------
+
+/// Kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// The one table of every metric name the workspace records, in
+/// namespace order. Recording sites across the crates must use names
+/// from this table — `tests/observability.rs` asserts a traced run
+/// emits no stranger — so dashboards and `lens` can rely on the
+/// namespace without grepping call sites.
+///
+/// Namespaces: `sweep.*` (move sweep work), `ghost.*` (ghost refresh,
+/// split full/delta), `ingest.*` (edge-list ingestion), `comm.*`
+/// (envelope transport), `wd_*` (rank-health watchdog; underscore names
+/// match the RunReport health section they feed), `checkpoint.*`
+/// (checkpoint/restart), `resil.*` (recovery driver), `rank.*`
+/// (per-rank imbalance histograms attached at report build), plus the
+/// `modularity` gauge.
+pub const METRIC_REGISTRY: &[(&str, MetricKind, &str)] = &[
+    (
+        "checkpoint.bytes",
+        MetricKind::Counter,
+        "checkpoint bytes written",
+    ),
+    (
+        "checkpoint.restores",
+        MetricKind::Counter,
+        "checkpoint restores (resume or in-run recovery)",
+    ),
+    (
+        "checkpoint.writes",
+        MetricKind::Counter,
+        "checkpoint snapshots written",
+    ),
+    (
+        "comm.checksum_rejects",
+        MetricKind::Counter,
+        "envelopes rejected by checksum",
+    ),
+    (
+        "ghost.delta.changed",
+        MetricKind::Counter,
+        "ghost slots actually changed in delta refreshes",
+    ),
+    (
+        "ghost.delta.refreshes",
+        MetricKind::Counter,
+        "delta ghost refreshes",
+    ),
+    (
+        "ghost.delta.slots",
+        MetricKind::Counter,
+        "ghost slots shipped by delta refreshes",
+    ),
+    (
+        "ghost.full.refreshes",
+        MetricKind::Counter,
+        "full ghost refreshes",
+    ),
+    (
+        "ghost.full.slots",
+        MetricKind::Counter,
+        "ghost slots shipped by full refreshes",
+    ),
+    (
+        "ingest.duplicates_merged",
+        MetricKind::Counter,
+        "duplicate edges merged at ingest",
+    ),
+    (
+        "ingest.edges_kept",
+        MetricKind::Counter,
+        "edges kept at ingest",
+    ),
+    (
+        "ingest.self_loops_dropped",
+        MetricKind::Counter,
+        "self loops dropped at ingest",
+    ),
+    (
+        "modularity",
+        MetricKind::Gauge,
+        "per-iteration global modularity",
+    ),
+    (
+        "rank.total_bytes",
+        MetricKind::Histogram,
+        "per-rank total traffic (one observation per rank)",
+    ),
+    (
+        "resil.hang_recoveries",
+        MetricKind::Counter,
+        "recoveries triggered by hung-rank declarations",
+    ),
+    (
+        "sweep.edges",
+        MetricKind::Counter,
+        "edges scanned by move sweeps",
+    ),
+    ("sweep.moves", MetricKind::Counter, "vertices moved"),
+    (
+        "sweep.vertices",
+        MetricKind::Counter,
+        "vertices visited by move sweeps",
+    ),
+    (
+        "wd_backoff_us",
+        MetricKind::Histogram,
+        "watchdog retry backoff (microseconds)",
+    ),
+    (
+        "wd_retries",
+        MetricKind::Counter,
+        "watchdog deadline extensions (stale peer)",
+    ),
+    (
+        "wd_stragglers",
+        MetricKind::Counter,
+        "watchdog straggler extensions (live peer)",
+    ),
+    (
+        "wd_timeouts",
+        MetricKind::Counter,
+        "watchdog window expiries",
+    ),
+];
+
+/// Whether `name` is in [`METRIC_REGISTRY`] with the given kind.
+pub fn metric_registered(name: &str, kind: MetricKind) -> bool {
+    METRIC_REGISTRY
+        .iter()
+        .any(|(n, k, _)| *n == name && *k == kind)
+}
+
+/// Names in `snapshot` that are missing from [`METRIC_REGISTRY`] (or
+/// registered under a different kind), sorted. Empty means the snapshot
+/// is drift-free.
+pub fn unregistered_metrics(snapshot: &MetricsSnapshot) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in snapshot.counters.keys() {
+        if !metric_registered(name, MetricKind::Counter) {
+            out.push(name.clone());
+        }
+    }
+    for name in snapshot.gauges.keys() {
+        if !metric_registered(name, MetricKind::Gauge) {
+            out.push(name.clone());
+        }
+    }
+    for name in snapshot.histograms.keys() {
+        if !metric_registered(name, MetricKind::Histogram) {
+            out.push(name.clone());
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_duplicate_free() {
+        for w in METRIC_REGISTRY.windows(2) {
+            assert!(w[0].0 < w[1].0, "{} !< {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn unregistered_names_are_reported() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("sweep.moves", 1);
+        reg.counter_add("sweep.bogus", 1);
+        reg.gauge_set("modularity", 0.5);
+        reg.hist_observe("wd_timeouts", 3); // right name, wrong kind
+        let drift = unregistered_metrics(&reg.snapshot());
+        assert_eq!(
+            drift,
+            vec!["sweep.bogus".to_string(), "wd_timeouts".to_string()]
+        );
+        assert!(metric_registered("wd_timeouts", MetricKind::Counter));
+        assert!(!metric_registered("watchdog.timeouts", MetricKind::Counter));
+    }
+}

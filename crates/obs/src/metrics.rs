@@ -99,6 +99,46 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper edge of bucket `i`: the largest value it can hold (bucket 0
+    /// holds `{0, 1}`, bucket `i >= 1` holds `[2^i, 2^(i+1))`; the last
+    /// bucket is a catch-all).
+    pub fn bucket_upper_edge(i: usize) -> u64 {
+        if i >= HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0 < q <= 1`) by walking the cumulative
+    /// bucket counts and reporting the upper edge of the bucket the
+    /// quantile lands in — a deterministic factor-of-two upper bound,
+    /// which is the right direction for imbalance reporting (never
+    /// understates the tail). Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Self::bucket_upper_edge(i);
+            }
+        }
+        Self::bucket_upper_edge(HIST_BUCKETS - 1)
+    }
+
+    /// The (p50, p95, p99) triple reported in run artifacts.
+    pub fn quantile_summary(&self) -> (u64, u64, u64) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+        )
+    }
 }
 
 /// Plain-data snapshot of a registry; merges commutatively.
@@ -272,6 +312,31 @@ mod tests {
         assert_eq!(h.buckets[0], 1);
         assert_eq!(h.buckets[1], 2);
         assert_eq!(h.buckets[10], 1);
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.5), 0, "empty histogram");
+        let r = MetricsRegistry::new();
+        // 98 small values in bucket 0, one in bucket 4, one in bucket 10.
+        for _ in 0..98 {
+            r.hist_observe("v", 1);
+        }
+        r.hist_observe("v", 20);
+        r.hist_observe("v", 1024);
+        let h = &r.snapshot().histograms["v"];
+        assert_eq!(h.percentile(0.50), 1);
+        assert_eq!(h.percentile(0.98), 1);
+        assert_eq!(h.percentile(0.99), Histogram::bucket_upper_edge(4));
+        assert_eq!(h.percentile(1.0), Histogram::bucket_upper_edge(10));
+        assert_eq!(
+            h.quantile_summary(),
+            (1, 1, Histogram::bucket_upper_edge(4))
+        );
+        assert_eq!(Histogram::bucket_upper_edge(0), 1);
+        assert_eq!(Histogram::bucket_upper_edge(4), 31);
+        assert_eq!(Histogram::bucket_upper_edge(HIST_BUCKETS - 1), u64::MAX);
     }
 
     #[test]

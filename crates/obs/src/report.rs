@@ -264,11 +264,17 @@ fn metrics_to_json(m: &MetricsSnapshot) -> Json {
                     .iter()
                     .map(|(k, h)| {
                         let top = h.buckets.iter().rposition(|&b| b > 0).map_or(0, |i| i + 1);
+                        let (p50, p95, p99) = h.quantile_summary();
                         (
                             k.clone(),
                             obj(vec![
                                 ("count", num_u(h.count)),
                                 ("sum", num_u(h.sum)),
+                                // Derived on encode (bucket upper edges);
+                                // from_json rebuilds them from the buckets.
+                                ("p50", num_u(p50)),
+                                ("p95", num_u(p95)),
+                                ("p99", num_u(p99)),
                                 (
                                     "log2_buckets",
                                     Json::Arr(h.buckets[..top].iter().map(|&b| num_u(b)).collect()),
@@ -573,56 +579,67 @@ impl RunReport {
                 },
                 None => FaultTotals::default(),
             },
-            // The health section also arrived after version 1; absent =
-            // a run with the watchdog idle.
+            // The health section also arrived after version 1, and its
+            // counter set has grown since (the wd_* ladder landed with
+            // checkpoint format v2). Parse every field leniently so a
+            // report from any intermediate build still loads: a missing
+            // counter means the build that wrote it had nothing to count.
             health: match doc.get("health") {
-                Some(hd) => HealthTotals {
-                    stalls: u(hd, "stalls")?,
-                    bursts: u(hd, "bursts")?,
-                    corruptions: u(hd, "corruptions")?,
-                    checksum_rejects: u(hd, "checksum_rejects")?,
-                    wd_timeouts: u(hd, "wd_timeouts")?,
-                    wd_retries: u(hd, "wd_retries")?,
-                    wd_stragglers: u(hd, "wd_stragglers")?,
-                    backoff_seconds: f(hd, "backoff_seconds")?,
-                    slowest_rank: hd
-                        .get("slowest_rank")
-                        .and_then(Json::as_u64)
-                        .map(|r| r as usize),
-                    slowest_rank_seconds: f(hd, "slowest_rank_seconds")?,
-                    per_rank: get(hd, "per_rank")?
-                        .as_arr()
-                        .ok_or("`health.per_rank` is not an array")?
-                        .iter()
-                        .map(|r| {
-                            Ok(RankHealth {
-                                rank: u(r, "rank")? as usize,
-                                retries: u(r, "retries")?,
-                                wd_timeouts: u(r, "wd_timeouts")?,
-                                wd_retries: u(r, "wd_retries")?,
-                                wd_stragglers: u(r, "wd_stragglers")?,
-                                backoff_seconds: f(r, "backoff_seconds")?,
-                                checksum_rejects: u(r, "checksum_rejects")?,
-                                step_retries: u_arr(r, "step_retries")?,
+                Some(hd) => {
+                    let lu = |d: &Json, key: &str| d.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    let lf = |d: &Json, key: &str| d.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                    HealthTotals {
+                        stalls: lu(hd, "stalls"),
+                        bursts: lu(hd, "bursts"),
+                        corruptions: lu(hd, "corruptions"),
+                        checksum_rejects: lu(hd, "checksum_rejects"),
+                        wd_timeouts: lu(hd, "wd_timeouts"),
+                        wd_retries: lu(hd, "wd_retries"),
+                        wd_stragglers: lu(hd, "wd_stragglers"),
+                        backoff_seconds: lf(hd, "backoff_seconds"),
+                        slowest_rank: hd
+                            .get("slowest_rank")
+                            .and_then(Json::as_u64)
+                            .map(|r| r as usize),
+                        slowest_rank_seconds: lf(hd, "slowest_rank_seconds"),
+                        per_rank: hd
+                            .get("per_rank")
+                            .and_then(Json::as_arr)
+                            .unwrap_or(&[])
+                            .iter()
+                            .map(|r| RankHealth {
+                                rank: lu(r, "rank") as usize,
+                                retries: lu(r, "retries"),
+                                wd_timeouts: lu(r, "wd_timeouts"),
+                                wd_retries: lu(r, "wd_retries"),
+                                wd_stragglers: lu(r, "wd_stragglers"),
+                                backoff_seconds: lf(r, "backoff_seconds"),
+                                checksum_rejects: lu(r, "checksum_rejects"),
+                                step_retries: r
+                                    .get("step_retries")
+                                    .and_then(Json::as_arr)
+                                    .map(|a| a.iter().filter_map(Json::as_u64).collect())
+                                    .unwrap_or_default(),
                             })
-                        })
-                        .collect::<Result<_, String>>()?,
-                    hung_events: get(hd, "hung_events")?
-                        .as_arr()
-                        .ok_or("`health.hung_events` is not an array")?
-                        .iter()
-                        .map(|e| {
-                            Ok(HungEvent {
-                                rank: u(e, "rank")? as usize,
-                                detector: u(e, "detector")? as usize,
-                                phase: u(e, "phase")?,
-                                op: u(e, "op")?,
-                                step: s(e, "step")?,
-                                waited_ms: u(e, "waited_ms")?,
+                            .collect(),
+                        hung_events: hd
+                            .get("hung_events")
+                            .and_then(Json::as_arr)
+                            .unwrap_or(&[])
+                            .iter()
+                            .map(|e| {
+                                Ok(HungEvent {
+                                    rank: lu(e, "rank") as usize,
+                                    detector: lu(e, "detector") as usize,
+                                    phase: lu(e, "phase"),
+                                    op: lu(e, "op"),
+                                    step: s(e, "step")?,
+                                    waited_ms: lu(e, "waited_ms"),
+                                })
                             })
-                        })
-                        .collect::<Result<_, String>>()?,
-                },
+                            .collect::<Result<_, String>>()?,
+                    }
+                }
                 None => HealthTotals::default(),
             },
             modeled: ModeledBreakdown {

@@ -16,6 +16,7 @@ use std::time::Instant;
 use crate::event::{ArgValue, EventKind, TraceEvent};
 use crate::metrics::MetricsRegistry;
 use crate::ring::EventRing;
+use crate::telemetry::TelemetryLog;
 
 // ---------------------------------------------------------------------------
 // Global enable flag
@@ -61,6 +62,7 @@ pub(crate) struct ThreadObserver {
     /// so their events land on one timeline.
     pub epoch: Instant,
     pub metrics: Arc<MetricsRegistry>,
+    pub telemetry: Arc<TelemetryLog>,
 }
 
 static NEXT_TID: AtomicU32 = AtomicU32::new(1);
@@ -278,6 +280,7 @@ pub(crate) mod tests {
             ring: Arc::clone(&ring),
             epoch: Instant::now(),
             metrics: Arc::new(MetricsRegistry::new()),
+            telemetry: Arc::new(TelemetryLog::default()),
         });
         let out = f();
         uninstall_observer(prev);

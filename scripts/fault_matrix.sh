@@ -31,8 +31,9 @@ WORK="$(mktemp -d "${TMPDIR:-/tmp}/louvain-fault-matrix.XXXXXX")"
 trap 'rm -rf "$WORK"' EXIT
 
 echo "==> build"
-cargo build -q --release --bin louvain
+cargo build -q --release --bin louvain --bin lens
 BIN=target/release/louvain
+BIN2=target/release/lens
 
 echo "==> generate graph"
 "$BIN" generate --kind lfr --n 900 --seed 11 --out "$WORK/g.graph"
@@ -58,9 +59,16 @@ test -f "$WORK/ckpt/LATEST" || { echo "FAIL: no checkpoint written" >&2; exit 1;
 echo "==> C: resume from the checkpoint"
 "$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
   --checkpoint-dir "$WORK/ckpt" --resume \
+  --artifact-out "$WORK/resumed.artifact.json" \
   --assignment "$WORK/resumed.comm" | tee "$WORK/resumed.log"
 grep -q '^resumed from phase' "$WORK/resumed.log" \
   || { echo "FAIL: resume did not restore a checkpoint" >&2; exit 1; }
+# The run artifact must carry the resume provenance: a crash-resumed
+# run is distinguishable from a clean one in the unified schema.
+grep -q '"resumed_from_phase": [0-9]' "$WORK/resumed.artifact.json" \
+  || { echo "FAIL: run artifact lost resumed_from_phase" >&2; exit 1; }
+"$BIN2" show "$WORK/resumed.artifact.json" | grep -q 'resumed_from_phase=' \
+  || { echo "FAIL: lens show does not surface the resume provenance" >&2; exit 1; }
 
 echo "==> D: same crash, automatic in-run recovery"
 "$BIN" run "$WORK/g.graph" --ranks "$RANKS" \

@@ -17,6 +17,7 @@ PACKAGES=(
   louvain-dist
   grappolo
   louvain-bench
+  louvain-lens
 )
 
 pkg_flags=()
@@ -40,5 +41,19 @@ rustfmt --edition 2021 --check "${fmt_files[@]}"
 
 echo "==> cargo clippy -D warnings (first-party crates)"
 cargo clippy -q "${pkg_flags[@]}" --all-targets -- -D warnings
+
+# Perf/quality regression gate: regenerate the bench artifact and gate
+# it against the committed baseline. Byte counters, modularity and
+# iteration counts are deterministic and checked at the default
+# tolerances; wall times are machine-local, so they get a generous
+# relative tolerance and only catch order-of-magnitude blowups here.
+# The fresh artifact lands at target/run_artifact.json for CI upload.
+echo "==> bench run artifact + lens gate vs BENCH_PR5.json"
+./target/release/bench_smoke \
+  --out target/bench_scratch.json \
+  --watchdog-out target/watchdog_scratch.json \
+  --artifact-out target/run_artifact.json 2>/dev/null
+./target/release/lens gate --baseline BENCH_PR5.json target/run_artifact.json \
+  --wall-tol 9.0 --wall-floor 0.25
 
 echo "verify: OK"

@@ -1,0 +1,226 @@
+//! `lens` — run-artifact analytics for the distributed Louvain repo.
+//!
+//! ```text
+//! lens show BENCH_PR5.json
+//! lens diff artifacts/bench_pr1.json BENCH_PR5.json
+//! lens gate --baseline BENCH_PR5.json fresh.json --wall-tol 4.0
+//! lens convert BENCH_PR1.json --out artifacts/bench_pr1.json
+//! ```
+//!
+//! Every input goes through [`RunArtifact::from_any_json_str`], so the
+//! legacy bench shapes (`BENCH_PR1/3/4.json`, `RUNREPORT_PR2.json`) and
+//! bare RunReports are accepted everywhere an artifact is.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use distributed_louvain::obs::RunArtifact;
+use louvain_lens::{diff, gate, show, Thresholds};
+
+const USAGE: &str = "\
+lens — run-artifact analytics (convergence tables, diffs, CI gate)
+
+USAGE:
+  lens show <ARTIFACT>
+      Human summary: one block per run; traced runs get a sparkline
+      convergence table (modularity, delta-Q, moves, active fraction,
+      community count, ghost bytes per iteration).
+
+  lens diff <BASELINE> <CURRENT> [threshold flags]
+      Match runs by label and print wall / bytes / modularity /
+      iterations deltas. Deterministic: same inputs, byte-identical
+      output. Threshold crossings are marked REGRESSION but do not
+      affect the exit code.
+
+  lens gate --baseline <BASELINE> <CURRENT> [threshold flags]
+      CI verdict: exit 0 when every baseline run matches within
+      thresholds, nonzero on any regression or on a baseline run
+      missing from <CURRENT>. Runs only in <CURRENT> are allowed.
+
+  lens convert <IN> --out <OUT>
+      Normalize any accepted input (legacy BENCH_PR*.json,
+      RUNREPORT_PR2.json, bare RunReport, or an artifact) into the
+      versioned RunArtifact schema.
+
+Threshold flags (defaults in parentheses):
+  --wall-tol <F>     relative wall-time growth allowed (0.75 = 1.75x)
+  --wall-floor <F>   absolute wall growth in seconds below which wall
+                     deltas are never flagged (0.005)
+  --bytes-tol <F>    relative total-byte growth allowed (0.10)
+  --mod-drop <F>     absolute modularity drop allowed (0.01)
+  --iters-tol <F>    relative iterations-to-converge growth allowed,
+                     plus 2 iterations of fixed slack (0.50)
+
+Inputs may be any shape `RunArtifact::from_any_json_str` accepts.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("show") => run(cmd_show(&args[1..])),
+        Some("diff") => run(cmd_diff(&args[1..])),
+        Some("gate") => match cmd_gate(&args[1..]) {
+            Ok(passed) => {
+                if passed {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(msg) => fail(&msg),
+        },
+        Some("convert") => run(cmd_convert(&args[1..])),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn run(r: Result<(), String>) -> ExitCode {
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => fail(&msg),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<RunArtifact, String> {
+    let text = std::fs::read_to_string(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    RunArtifact::from_any_json_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Positional (non-flag) arguments; every flag here takes a value.
+fn positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn thresholds(args: &[String]) -> Result<Thresholds, String> {
+    let mut t = Thresholds::default();
+    let set = |key: &str, dst: &mut f64| -> Result<(), String> {
+        if let Some(v) = flag(args, key) {
+            *dst = v.parse().map_err(|_| format!("bad value for {key}: {v}"))?;
+        }
+        Ok(())
+    };
+    set("--wall-tol", &mut t.wall_tol)?;
+    set("--wall-floor", &mut t.wall_floor_seconds)?;
+    set("--bytes-tol", &mut t.bytes_tol)?;
+    set("--mod-drop", &mut t.modularity_drop)?;
+    set("--iters-tol", &mut t.iters_tol)?;
+    Ok(t)
+}
+
+fn cmd_show(args: &[String]) -> Result<(), String> {
+    let [path] = positionals(args)[..] else {
+        return Err("usage: lens show <ARTIFACT>".into());
+    };
+    print!("{}", show(&load(path)?));
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let [a, b] = positionals(args)[..] else {
+        return Err("usage: lens diff <BASELINE> <CURRENT>".into());
+    };
+    let t = thresholds(args)?;
+    print!("{}", diff(&load(a)?, &load(b)?, &t).render());
+    Ok(())
+}
+
+fn cmd_gate(args: &[String]) -> Result<bool, String> {
+    let baseline =
+        flag(args, "--baseline").ok_or("usage: lens gate --baseline <BASELINE> <CURRENT>")?;
+    let [current] = positionals(args)[..] else {
+        return Err("usage: lens gate --baseline <BASELINE> <CURRENT>".into());
+    };
+    let t = thresholds(args)?;
+    let result = gate(&load(&baseline)?, &load(current)?, &t);
+    print!("{}", result.render());
+    Ok(result.passed())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let [input] = positionals(args)[..] else {
+        return Err("usage: lens convert <IN> --out <OUT>".into());
+    };
+    let out = flag(args, "--out").ok_or("missing required option --out")?;
+    let artifact = load(input)?;
+    std::fs::write(&out, artifact.to_json_string()).map_err(|e| format!("{out}: {e}"))?;
+    println!("converted {input} -> {out} ({} runs)", artifact.runs.len());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_skip_flag_values() {
+        let args = s(&["--baseline", "b.json", "cur.json", "--wall-tol", "4.0"]);
+        assert_eq!(positionals(&args), vec!["cur.json"]);
+    }
+
+    #[test]
+    fn threshold_flags_override_defaults() {
+        let t = thresholds(&s(&["--wall-tol", "4.0", "--mod-drop", "0.002"])).unwrap();
+        assert_eq!(t.wall_tol, 4.0);
+        assert_eq!(t.modularity_drop, 0.002);
+        assert_eq!(t.bytes_tol, Thresholds::default().bytes_tol);
+        assert!(thresholds(&s(&["--bytes-tol", "abc"])).is_err());
+    }
+
+    #[test]
+    fn convert_show_diff_gate_on_real_artifacts() {
+        // End-to-end over a committed legacy bench file: convert it,
+        // then show/diff/gate the converted artifact against itself.
+        let src = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_PR1.json");
+        let dir = std::env::temp_dir().join("louvain-lens-cli");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("pr1.artifact.json");
+        cmd_convert(&s(&[src, "--out", out.to_str().unwrap()])).unwrap();
+        let converted = load(out.to_str().unwrap()).unwrap();
+        assert!(!converted.runs.is_empty());
+
+        cmd_show(&s(&[out.to_str().unwrap()])).unwrap();
+        cmd_diff(&s(&[out.to_str().unwrap(), out.to_str().unwrap()])).unwrap();
+        assert!(
+            cmd_gate(&s(&[
+                "--baseline",
+                out.to_str().unwrap(),
+                out.to_str().unwrap()
+            ]))
+            .unwrap(),
+            "an artifact must gate cleanly against itself"
+        );
+    }
+}

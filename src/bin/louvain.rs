@@ -72,6 +72,7 @@ USAGE:
   louvain run <FILE> [--ranks <P>] [--variant <V>] [--threads-per-rank <T>]
               [--tau <F>] [--assignment <OUT>]
               [--trace-out <TRACE>] [--report-out <REPORT>]
+              [--artifact-out <ARTIFACT>]
               [--checkpoint-dir <DIR>] [--checkpoint-every <K>] [--resume]
               [--fault-plan <SPEC>] [--max-recoveries <N>]
               [--comm-timeout-ms <MS>] [--max-retries <N>]
@@ -85,6 +86,9 @@ USAGE:
       --report-out writes the aggregated RunReport JSON (per-step byte
       totals, modeled compute/comm/reduce breakdown, metrics, span
       rollup). Setting LOUVAIN_TRACE=1 also enables tracing.
+      --artifact-out writes a versioned RunArtifact JSON (the unified
+      schema `lens` consumes: RunReport + per-iteration convergence
+      telemetry). Implies tracing, like --trace-out.
       --checkpoint-dir writes a checkpoint at every --checkpoint-every'th
       phase boundary (default 1); --resume restarts from the newest
       complete checkpoint in that directory. A run killed mid-flight and
@@ -313,6 +317,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let variant = parse_variant(opts.get("--variant").unwrap_or("baseline"))?;
     let trace_out = opts.get("--trace-out").map(PathBuf::from);
     let report_out = opts.get("--report-out").map(PathBuf::from);
+    let artifact_out = opts.get("--artifact-out").map(PathBuf::from);
     let checkpoint_dir = opts.get("--checkpoint-dir").map(PathBuf::from);
     let checkpoint_every: u64 = opts.parse("--checkpoint-every", 1u64)?;
     let resume = opts.has("--resume");
@@ -350,9 +355,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     };
 
-    // LOUVAIN_TRACE=1 enables tracing too; --trace-out implies it.
+    // LOUVAIN_TRACE=1 enables tracing too; --trace-out and
+    // --artifact-out imply it (telemetry rides on the span machinery).
     obs::init_from_env();
-    if trace_out.is_some() {
+    if trace_out.is_some() || artifact_out.is_some() {
         obs::set_enabled(true);
     }
 
@@ -465,7 +471,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             trace.total_dropped()
         );
     }
-    if let Some(dest) = &report_out {
+    if report_out.is_some() || artifact_out.is_some() {
         let meta = dist::ReportMeta::new(
             path.file_name()
                 .map(|f| f.to_string_lossy().into_owned())
@@ -476,9 +482,39 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .variant(variant.label())
         .threads_per_rank(threads);
         let report = dist::build_run_report(&out, &meta);
-        std::fs::write(dest, report.to_json_string())
-            .map_err(|e| format!("{}: {e}", dest.display()))?;
-        println!("wrote {}", dest.display());
+        if let Some(dest) = &report_out {
+            std::fs::write(dest, report.to_json_string())
+                .map_err(|e| format!("{}: {e}", dest.display()))?;
+            println!("wrote {}", dest.display());
+        }
+        if let Some(dest) = &artifact_out {
+            let telemetry = out
+                .trace
+                .as_ref()
+                .map(|t| t.merged_telemetry())
+                .unwrap_or_default();
+            let mode = if cfg.delta_ghost_refresh {
+                "delta"
+            } else {
+                "full"
+            };
+            let artifact = obs::RunArtifact {
+                name: "louvain-cli".into(),
+                description: format!(
+                    "louvain run {} on {ranks} ranks ({})",
+                    report.graph,
+                    variant.label()
+                ),
+                runs: vec![obs::RunEntry {
+                    label: obs::run_label(&report.graph, ranks, mode),
+                    report,
+                    telemetry,
+                }],
+            };
+            std::fs::write(dest, artifact.to_json_string())
+                .map_err(|e| format!("{}: {e}", dest.display()))?;
+            println!("wrote {} (run artifact)", dest.display());
+        }
     }
     // If the generator left a ground-truth file next to the input, score
     // against it automatically.

@@ -1,0 +1,142 @@
+//! Acceptance tests for the `lens` analytics over the committed
+//! artifacts: every legacy bench file converts into the unified
+//! RunArtifact schema, diffing committed artifacts is deterministic
+//! (byte-identical output), and the CI gate passes on the committed
+//! baseline while failing on a synthetic 2x wall-time regression.
+
+use distributed_louvain::obs::RunArtifact;
+use louvain_lens::{diff, gate, show, Thresholds};
+
+fn load(rel: &str) -> RunArtifact {
+    let path = format!("{}/{}", env!("CARGO_MANIFEST_DIR"), rel);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    RunArtifact::from_any_json_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Every committed artifact — native schema and all legacy shapes —
+/// loads through the single `from_any_json_str` entry point.
+#[test]
+fn committed_artifacts_and_legacy_files_all_parse() {
+    for rel in [
+        "BENCH_PR5.json",
+        "artifacts/bench_pr1.json",
+        "artifacts/bench_pr3.json",
+        "artifacts/bench_pr4.json",
+        "artifacts/runreport_pr2.json",
+        "BENCH_PR1.json",
+        "BENCH_PR3.json",
+        "BENCH_PR4.json",
+        "RUNREPORT_PR2.json",
+    ] {
+        let a = load(rel);
+        assert!(!a.runs.is_empty(), "{rel}: no runs");
+        for e in &a.runs {
+            assert!(!e.label.is_empty(), "{rel}: entry without a label");
+        }
+    }
+}
+
+/// The converted artifacts/ copies carry exactly the runs of the legacy
+/// originals (labels are derived, data is not resampled).
+#[test]
+fn converted_baselines_match_their_legacy_originals() {
+    for (legacy, converted) in [
+        ("BENCH_PR1.json", "artifacts/bench_pr1.json"),
+        ("BENCH_PR3.json", "artifacts/bench_pr3.json"),
+        ("BENCH_PR4.json", "artifacts/bench_pr4.json"),
+        ("RUNREPORT_PR2.json", "artifacts/runreport_pr2.json"),
+    ] {
+        let a = load(legacy);
+        let b = load(converted);
+        assert_eq!(a.runs.len(), b.runs.len(), "{legacy} vs {converted}");
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.report.modularity.to_bits(), y.report.modularity.to_bits());
+            assert_eq!(x.report.total_bytes, y.report.total_bytes);
+            assert_eq!(x.report.iterations, y.report.iterations);
+        }
+    }
+}
+
+/// Acceptance criterion: `lens diff` of two committed artifacts is
+/// deterministic — two independent load+diff+render passes produce
+/// byte-identical output.
+#[test]
+fn diff_of_committed_artifacts_is_deterministic() {
+    let t = Thresholds::default();
+    let r1 = diff(
+        &load("artifacts/bench_pr3.json"),
+        &load("BENCH_PR5.json"),
+        &t,
+    )
+    .render();
+    let r2 = diff(
+        &load("artifacts/bench_pr3.json"),
+        &load("BENCH_PR5.json"),
+        &t,
+    )
+    .render();
+    assert_eq!(r1, r2, "diff rendering must be byte-identical");
+    assert!(r1.contains("matched"));
+    // The two bench sweeps share the 18 sweep labels.
+    assert!(r1.starts_with("diff: 18 matched"), "{r1}");
+}
+
+/// Acceptance criterion: the gate passes on the committed baseline
+/// (diffed against itself) with default thresholds.
+#[test]
+fn gate_passes_on_committed_baseline() {
+    let base = load("BENCH_PR5.json");
+    let g = gate(&base, &base, &Thresholds::default());
+    assert!(g.passed(), "failures: {:?}", g.failures);
+    assert_eq!(g.checked, base.runs.len());
+}
+
+/// Acceptance criterion: a synthetic 2x wall-time regression on every
+/// run fails the gate with default thresholds.
+#[test]
+fn gate_fails_on_synthetic_two_x_wall_regression() {
+    let base = load("BENCH_PR5.json");
+    let mut cur = base.clone();
+    for e in &mut cur.runs {
+        e.report.wall_seconds *= 2.0;
+    }
+    let g = gate(&base, &cur, &Thresholds::default());
+    assert!(!g.passed(), "2x wall regression must fail the gate");
+    assert!(
+        g.failures.iter().any(|f| f.contains("wall")),
+        "failures: {:?}",
+        g.failures
+    );
+}
+
+/// The committed baseline carries telemetry for the traced entries, and
+/// `lens show` renders their convergence tables.
+#[test]
+fn committed_baseline_has_telemetry_and_shows_convergence() {
+    let base = load("BENCH_PR5.json");
+    let traced: Vec<_> = base
+        .runs
+        .iter()
+        .filter(|e| !e.telemetry.is_empty())
+        .collect();
+    assert_eq!(traced.len(), 3, "one traced entry per bench graph");
+    for e in &traced {
+        assert!(e.label.ends_with("delta+traced"), "{}", e.label);
+        // Rows are ordered and end converged.
+        let last = e.telemetry.last().unwrap();
+        assert_eq!(last.moves, 0);
+        assert_eq!(
+            last.modularity.to_bits(),
+            e.report.modularity.to_bits(),
+            "{}: final telemetry row must agree with the report",
+            e.label
+        );
+        for r in &e.telemetry {
+            assert_eq!(r.ghost_bytes_per_rank.len(), e.report.ranks);
+        }
+    }
+    let text = show(&base);
+    assert!(text.contains("convergence:"));
+    assert!(text.contains("rank imbalance"));
+}

@@ -163,6 +163,135 @@ fn tracing_enabled_end_to_end() {
     assert_eq!(back.spans.len(), report.spans.len());
 }
 
+/// Telemetry and the metric-name registry, end to end: a traced run
+/// must record only registered metric names, and its merged telemetry
+/// must be a dense, ordered, internally consistent convergence table.
+#[test]
+fn telemetry_rows_and_metric_names_are_consistent() {
+    let _guard = TRACE_FLAG.lock().unwrap();
+    let g = lfr(LfrParams::small(1_000, 11)).graph;
+    obs::set_enabled(true);
+    let out = run_distributed(&g, 3, &DistConfig::baseline());
+    obs::set_enabled(false);
+    let trace = out.trace.as_ref().expect("tracing was enabled");
+
+    // Counter-name drift gate: every name recorded anywhere in the run
+    // must appear in the documented registry (obs::METRIC_REGISTRY).
+    let merged = trace.merged_metrics();
+    assert_eq!(
+        obs::unregistered_metrics(&merged),
+        Vec::<String>::new(),
+        "recorded metric names must be declared in obs::METRIC_REGISTRY"
+    );
+
+    let rows = trace.merged_telemetry();
+    assert!(!rows.is_empty(), "a traced run must produce telemetry");
+    let mut prev: Option<(u64, u64)> = None;
+    let mut prev_q: Option<f64> = None;
+    for r in &rows {
+        // Strictly ordered by (phase, iteration) with no duplicates.
+        if let Some(p) = prev {
+            assert!((r.phase, r.iteration) > p, "rows out of order at {p:?}");
+            // delta_q is exactly the step from the previous iteration
+            // of the same phase, and 0.0 on each phase's first row.
+            if p.0 == r.phase {
+                assert_eq!(
+                    r.delta_q.to_bits(),
+                    (r.modularity - prev_q.unwrap()).to_bits()
+                );
+            } else {
+                assert_eq!(r.delta_q, 0.0);
+            }
+        }
+        prev = Some((r.phase, r.iteration));
+        prev_q = Some(r.modularity);
+        // Per-rank ghost bytes are dense (one slot per rank).
+        assert_eq!(r.ghost_bytes_per_rank.len(), 3);
+        assert!(r.active <= r.vertices);
+        assert!(r.communities <= r.vertices);
+        // The size histogram observes each non-empty community once.
+        assert_eq!(r.community_sizes.count, r.communities);
+        assert_eq!(r.community_sizes.sum, r.vertices);
+    }
+    // Every vertex is active entering a phase; the run ends converged.
+    assert_eq!(rows[0].active, rows[0].vertices);
+    let last = rows.last().unwrap();
+    assert_eq!(last.moves, 0, "the final iteration must be a fixed point");
+    assert_eq!(last.communities, out.num_communities as u64);
+    assert_eq!(last.modularity.to_bits(), out.modularity.to_bits());
+}
+
+/// Acceptance criterion: per-iteration telemetry for a 2-rank SSCA2 run
+/// matches the serial reference (1 rank = the serial algorithm, see
+/// tests/parity.rs) trajectory bit-exactly. SSCA2's planted cliques
+/// make the greedy decisions partition-invariant, so the full move /
+/// community-census trajectory must agree exactly. The recorded
+/// modularity is the algorithm's own convergence measure, which is
+/// computed against ghost views one exchange stale: on rows that moved
+/// vertices it is a lagged *estimate*, and the exact serial value
+/// appears one exchange later. Every settled row (`moves == 0` — the
+/// measurement the convergence decision actually uses, including each
+/// phase's last iteration) must therefore be bit-exact, and estimate
+/// rows must agree within lag error.
+#[test]
+fn ssca2_telemetry_trajectory_matches_serial_reference_bit_exactly() {
+    use distributed_louvain::graph::gen::{ssca2, Ssca2Params};
+    let _guard = TRACE_FLAG.lock().unwrap();
+    let g = ssca2(Ssca2Params {
+        n: 1_000,
+        max_clique_size: 50,
+        inter_clique_prob: 0.05,
+        seed: 9,
+    })
+    .graph;
+    obs::set_enabled(true);
+    let serial = run_distributed(&g, 1, &DistConfig::baseline());
+    let dist = run_distributed(&g, 2, &DistConfig::baseline());
+    obs::set_enabled(false);
+
+    let reference = serial.trace.as_ref().unwrap().merged_telemetry();
+    let observed = dist.trace.as_ref().unwrap().merged_telemetry();
+    assert!(!reference.is_empty());
+    assert_eq!(
+        reference.len(),
+        observed.len(),
+        "iteration counts diverged between 1 and 2 ranks"
+    );
+    let mut settled = 0usize;
+    for (a, b) in reference.iter().zip(&observed) {
+        assert_eq!((a.phase, a.iteration), (b.phase, b.iteration));
+        assert_eq!(
+            a.moves, b.moves,
+            "phase {} iteration {}",
+            a.phase, a.iteration
+        );
+        assert_eq!(a.communities, b.communities);
+        assert_eq!(a.vertices, b.vertices);
+        if b.moves == 0 {
+            assert_eq!(
+                a.modularity.to_bits(),
+                b.modularity.to_bits(),
+                "settled modularity diverged at phase {} iteration {}",
+                a.phase,
+                a.iteration
+            );
+            settled += 1;
+        } else {
+            assert!(
+                (a.modularity - b.modularity).abs() < 0.05,
+                "lagged estimate too far off at phase {} iteration {}: {} vs {}",
+                a.phase,
+                a.iteration,
+                a.modularity,
+                b.modularity
+            );
+        }
+    }
+    assert!(settled >= 2, "each phase must end on a settled measurement");
+    assert_eq!(serial.modularity.to_bits(), dist.modularity.to_bits());
+    assert_eq!(serial.assignment, dist.assignment);
+}
+
 /// With tracing off (the default), runs carry no trace and pay no
 /// recording cost — and the report builder still works from the
 /// always-on comm counters.
@@ -174,7 +303,12 @@ fn disabled_tracing_yields_reports_without_trace_sections() {
     assert!(out.trace.is_none());
     let report = build_run_report(&out, &ReportMeta::new("lfr-700", 700, g.num_edges() as u64));
     assert!(report.spans.is_empty());
-    assert!(report.metrics.is_empty());
+    // No recorded metrics — only the imbalance histogram derived from
+    // the always-on per-rank traffic counters.
+    assert!(report.metrics.counters.is_empty());
+    assert!(report.metrics.gauges.is_empty());
+    let rank_bytes = &report.metrics.histograms["rank.total_bytes"];
+    assert_eq!(rank_bytes.count, 2, "one observation per rank");
     assert!(report.total_bytes > 0);
 }
 
