@@ -31,13 +31,20 @@
 //! schema `lens` diffs and gates on): every sweep row as an untraced
 //! RunReport entry, plus one traced p=2 delta entry per graph carrying
 //! per-iteration convergence telemetry.
+//! `--threads` (default `1,2,4`) selects the intra-rank thread axis of
+//! the colored-sweep scaling section: per graph at p∈{1,2}, one run per
+//! thread count under `SweepMode::Colored`, asserting bit-identical
+//! results across the axis and a ≥1.5x modeled phase-1 sweep win at the
+//! largest thread count vs 1 thread on at least 2 of the 3 graphs per
+//! rank count (the wall clock is recorded alongside; on a single-core
+//! CI host only the modeled win is stable enough to gate on).
 
 use std::fmt::Write as _;
 
 use louvain_comm::{CommStep, HealthConfig, RunConfig};
 use louvain_dist::{
     build_run_report, run_distributed, run_distributed_resilient, CheckpointOptions, DistConfig,
-    DistOutcome, ReportMeta, ResilOptions, Variant,
+    DistOutcome, ReportMeta, ResilOptions, SweepMode, Variant,
 };
 use louvain_graph::gen::{lfr, rmat, ssca2, LfrParams, RmatParams, Ssca2Params};
 use louvain_graph::Csr;
@@ -160,6 +167,17 @@ fn main() {
         .unwrap_or_else(|| "BENCH_PR4.json".into());
     let artifact_path =
         flag(&args, "--artifact-out").or_else(|| std::env::var("BENCH_SMOKE_ARTIFACT").ok());
+    let mut threads_axis: Vec<usize> = flag(&args, "--threads")
+        .unwrap_or_else(|| "1,2,4".into())
+        .split(',')
+        .map(|t| t.trim().parse().expect("--threads wants integers"))
+        .collect();
+    threads_axis.sort_unstable();
+    threads_axis.dedup();
+    assert!(
+        threads_axis.first() == Some(&1),
+        "--threads needs a 1-thread reference arm"
+    );
 
     let graphs: Vec<(&'static str, Csr)> = vec![
         ("rmat_s11_ef8", rmat(RmatParams::social(11, 8, 5)).graph),
@@ -211,6 +229,106 @@ fn main() {
                 rows.push(row);
             }
         }
+    }
+
+    // Intra-rank thread scaling under the colored deterministic sweep:
+    // per graph at p∈{1,2}, one run per thread count on the axis, all
+    // with ET(0.25)+delta+Colored. The colored schedule is engineered to
+    // be thread-count invariant, so the runs must agree bit for bit; the
+    // speedup is asserted on the modeled phase-1 sweep seconds (the
+    // critical path: max over ranks of the first phase's thread-adjusted
+    // compute time), which is deterministic — the recorded wall time is
+    // informational on a single-core host. Tracing stays off.
+    let t_max = *threads_axis.iter().max().unwrap();
+    let mut threads_rows = String::new();
+    let mut first_threads_row = true;
+    for p in [1usize, 2] {
+        let mut wins = 0usize;
+        for (name, g) in &graphs {
+            let mut reference: Option<(&Vec<u64>, f64)> = None;
+            let mut sweep_t1 = f64::NAN;
+            let mut outs: Vec<(usize, DistOutcome, u128)> = Vec::new();
+            for &t in &threads_axis {
+                let cfg = DistConfig {
+                    delta_ghost_refresh: true,
+                    sweep: SweepMode::Colored,
+                    threads_per_rank: t,
+                    ..DistConfig::with_variant(Variant::Et { alpha: 0.25 })
+                };
+                let watch = louvain_obs::Stopwatch::start();
+                let out = run_distributed(g, p, &cfg);
+                let wall_ms = (watch.wall_seconds() * 1e3) as u128;
+                outs.push((t, out, wall_ms));
+            }
+            for (t, out, wall_ms) in &outs {
+                // Modeled phase-1 sweep critical path across ranks.
+                let sweep_seconds = out
+                    .per_rank_stats
+                    .iter()
+                    .map(|phases| phases[0].compute_seconds())
+                    .fold(0.0f64, f64::max);
+                match &reference {
+                    None => {
+                        reference = Some((&out.assignment, out.modularity));
+                        sweep_t1 = sweep_seconds;
+                    }
+                    Some((a, q)) => {
+                        assert_eq!(
+                            *a, &out.assignment,
+                            "{name} p={p}: t={t} changed the assignment"
+                        );
+                        assert_eq!(
+                            q.to_bits(),
+                            out.modularity.to_bits(),
+                            "{name} p={p}: t={t} changed the modularity"
+                        );
+                    }
+                }
+                let speedup = sweep_t1 / sweep_seconds;
+                if *t == t_max && speedup >= 1.5 {
+                    wins += 1;
+                }
+                eprintln!(
+                    "{:>14} p={:<2} t={:<2} colored q={:.4} sweep_modeled={:.4}s speedup={:.2}x wall={}ms",
+                    name, p, t, out.modularity, sweep_seconds, speedup, wall_ms
+                );
+                if !first_threads_row {
+                    threads_rows.push(',');
+                }
+                first_threads_row = false;
+                write!(
+                    threads_rows,
+                    "\n    {{\"graph\": {:?}, \"ranks\": {}, \"threads\": {}, \"mode\": \"colored\", \"modularity\": {:.6}, \"phases\": {}, \"iterations\": {}, \"sweep_modeled_seconds\": {:.6}, \"sweep_speedup_vs_t1\": {:.3}, \"modeled_total_seconds\": {:.6}, \"wall_ms\": {}, \"bit_identical\": true}}",
+                    name,
+                    p,
+                    t,
+                    out.modularity,
+                    out.phases,
+                    out.total_iterations,
+                    sweep_seconds,
+                    speedup,
+                    out.modeled_seconds,
+                    wall_ms,
+                )
+                .unwrap();
+                if artifact_path.is_some() {
+                    let meta =
+                        ReportMeta::new(*name, g.num_vertices() as u64, g.num_edges() as u64)
+                            .variant("ET(0.25)+delta+colored")
+                            .threads_per_rank(*t);
+                    artifact_runs.push(RunEntry {
+                        label: run_label(name, p, &format!("t{t}/colored")),
+                        report: build_run_report(out, &meta),
+                        telemetry: Vec::new(),
+                    });
+                }
+            }
+        }
+        assert!(
+            wins >= 2,
+            "p={p}: modeled phase-1 sweep win at t={t_max} vs t=1 reached 1.5x on only {wins} of {} graphs",
+            graphs.len()
+        );
     }
 
     // Dedicated traced runs for the reports — one per graph at the
@@ -446,17 +564,19 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"BENCH_PR3\",\n  \"description\": \"fixed-seed smoke sweep: ET(0.25), full vs delta ghost refresh; checkpoint-on vs checkpoint-off overhead at p=2\",\n  \"runs\": [{runs}\n  ],\n  \"checkpoint\": [{ckpt_rows}\n  ],\n  \"summary\": [{summary}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"BENCH_PR3\",\n  \"description\": \"fixed-seed smoke sweep: ET(0.25), full vs delta ghost refresh; checkpoint-on vs checkpoint-off overhead at p=2; colored-sweep thread scaling at p in {{1,2}}\",\n  \"runs\": [{runs}\n  ],\n  \"threads\": [{threads_rows}\n  ],\n  \"checkpoint\": [{ckpt_rows}\n  ],\n  \"summary\": [{summary}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("wrote {out_path}");
 
     if let Some(path) = artifact_path {
         let artifact = RunArtifact {
-            name: "BENCH_PR5".into(),
+            name: "BENCH_PR6".into(),
             description: "fixed-seed bench sweep as a unified run artifact: ET(0.25) full vs \
                           delta ghost refresh over {rmat_s11_ef8, ssca2_4k, lfr_3k} x p{1,2,8}, \
-                          plus one traced p=2 delta run per graph with per-iteration convergence \
+                          the colored-sweep thread-scaling axis t{1,2,4} at p{1,2} (bit-identical \
+                          across threads, modeled phase-1 sweep win asserted in-bench), plus one \
+                          traced p=2 delta run per graph with per-iteration convergence \
                           telemetry; byte counters and modularity are deterministic, wall times \
                           are machine-local (gate with a generous --wall-tol)"
                 .into(),

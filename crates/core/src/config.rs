@@ -51,6 +51,45 @@ impl Variant {
     }
 }
 
+/// How the intra-rank compute sweep schedules its vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Sequential when `threads_per_rank <= 1` (the seed behaviour,
+    /// bit-reproducible); the colored deterministic schedule otherwise.
+    Auto,
+    /// Always use the colored schedule, even on one thread. Results are
+    /// bit-identical across thread counts for a fixed coloring (the
+    /// coloring seed does not depend on the thread count, so they always
+    /// are) — this is the mode the determinism tests pin.
+    Colored,
+    /// Ablation: the legacy racing parallel sweep (relaxed atomics, no
+    /// conflict-free batches) when `threads_per_rank > 1`. Results then
+    /// depend on thread interleaving, like the shared-memory baseline.
+    Relaxed,
+}
+
+impl SweepMode {
+    /// Stable label used in fingerprints and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepMode::Auto => "auto",
+            SweepMode::Colored => "colored",
+            SweepMode::Relaxed => "relaxed",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(SweepMode::Auto),
+            "colored" => Ok(SweepMode::Colored),
+            "relaxed" => Ok(SweepMode::Relaxed),
+            other => Err(format!(
+                "unknown sweep mode {other:?} (expected auto|colored|relaxed)"
+            )),
+        }
+    }
+}
+
 /// Tunables of the distributed runner.
 #[derive(Debug, Clone)]
 pub struct DistConfig {
@@ -113,6 +152,10 @@ pub struct DistConfig {
     /// costing more than full. The decision is made uniformly from the
     /// all-reduced move count so every rank picks the same flavour.
     pub delta_ghost_refresh: bool,
+    /// Intra-rank sweep schedule (see [`SweepMode`]). `Auto` keeps the
+    /// seed's sequential sweep on one thread and switches to the colored
+    /// deterministic schedule when `threads_per_rank > 1`.
+    pub sweep: SweepMode,
 }
 
 impl DistConfig {
@@ -136,6 +179,7 @@ impl DistConfig {
             threads_per_rank: 1,
             vertex_following: false,
             delta_ghost_refresh: false,
+            sweep: SweepMode::Auto,
         }
     }
 
@@ -184,5 +228,13 @@ mod tests {
     #[test]
     fn paper_variant_set_is_complete() {
         assert_eq!(DistConfig::paper_variants().len(), 6);
+    }
+
+    #[test]
+    fn sweep_mode_labels_round_trip() {
+        for mode in [SweepMode::Auto, SweepMode::Colored, SweepMode::Relaxed] {
+            assert_eq!(SweepMode::parse(mode.label()), Ok(mode));
+        }
+        assert!(SweepMode::parse("frobnicate").is_err());
     }
 }

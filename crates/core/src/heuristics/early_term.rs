@@ -5,21 +5,26 @@
 //! coin flips keyed by the **global** vertex id. The ETC variant adds a
 //! global reduction of the inactive count each iteration; the phase exits
 //! once ≥90% of all vertices are inactive.
+//!
+//! The probability state machine itself is [`grappolo::EtState`] — the
+//! same implementation the shared-memory baseline runs — instantiated
+//! with this rank's global-id offset ([`grappolo::EtState::with_offset`])
+//! so a vertex flips the same coin no matter which rank hosts it. This
+//! wrapper adds only the distributed concerns: the `u64` inactive count
+//! for the ETC all-reduce and the newly-frozen drain that feeds
+//! inactive-ghost pruning.
 
-use louvain_graph::hash::{coin_u01, mix64};
+use grappolo::EtState;
 
 /// A vertex whose probability falls below 2% is labeled inactive
 /// (paper: "when the probability for a given vertex becomes less than 2%,
 /// we label it inactive").
-pub const INACTIVE_CUTOFF: f64 = 0.02;
+pub const INACTIVE_CUTOFF: f64 = grappolo::INACTIVE_CUTOFF;
 
 /// Per-rank early-termination state for one phase.
 #[derive(Debug, Clone)]
 pub struct EtTracker {
-    alpha: f64,
-    seed: u64,
-    first_global: u64,
-    prob: Vec<f64>,
+    inner: EtState,
     /// Vertices already announced as permanently frozen (ghost pruning).
     frozen_reported: Vec<bool>,
 }
@@ -28,12 +33,8 @@ impl EtTracker {
     /// Fresh tracker for `n_local` vertices starting at global id
     /// `first_global`.
     pub fn new(n_local: usize, first_global: u64, alpha: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha));
         Self {
-            alpha,
-            seed,
-            first_global,
-            prob: vec![1.0; n_local],
+            inner: EtState::with_offset(n_local, first_global, alpha, seed),
             frozen_reported: vec![false; n_local],
         }
     }
@@ -41,35 +42,22 @@ impl EtTracker {
     /// Whether local vertex `l` participates in `(phase, iteration)`.
     #[inline]
     pub fn is_active(&self, phase: usize, iteration: usize, l: usize) -> bool {
-        let p = self.prob[l];
-        if p < INACTIVE_CUTOFF {
-            return false;
-        }
-        if p >= 1.0 {
-            return true;
-        }
-        let g = self.first_global + l as u64;
-        let h = mix64(self.seed ^ mix64((phase as u64) << 32 | iteration as u64) ^ mix64(g));
-        coin_u01(h) < p
+        self.inner.is_active(phase, iteration, l)
     }
 
     /// Decay/reset after an iteration.
     #[inline]
     pub fn update(&mut self, l: usize, moved: bool) {
-        if moved {
-            self.prob[l] = 1.0;
-        } else {
-            self.prob[l] *= 1.0 - self.alpha;
-        }
+        self.inner.update(l, moved);
     }
 
     /// Local count of inactive vertices (for the ETC global reduction).
     pub fn num_inactive(&self) -> u64 {
-        self.prob.iter().filter(|&&p| p < INACTIVE_CUTOFF).count() as u64
+        self.inner.num_inactive() as u64
     }
 
     pub fn probability(&self, l: usize) -> f64 {
-        self.prob[l]
+        self.inner.probability(l)
     }
 
     /// Local vertices that crossed below the inactive cutoff since the
@@ -78,8 +66,8 @@ impl EtTracker {
     /// participates), so these are safe to announce for ghost pruning.
     pub fn drain_newly_frozen(&mut self) -> Vec<usize> {
         let mut out = Vec::new();
-        for l in 0..self.prob.len() {
-            if !self.frozen_reported[l] && self.prob[l] < INACTIVE_CUTOFF {
+        for l in 0..self.frozen_reported.len() {
+            if !self.frozen_reported[l] && self.inner.probability(l) < INACTIVE_CUTOFF {
                 self.frozen_reported[l] = true;
                 out.push(l);
             }
@@ -150,6 +138,26 @@ mod tests {
         for phase in 0..3 {
             for it in 0..20 {
                 assert!(!t.is_active(phase, it, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn wrapper_matches_grappolo_state_bit_for_bit() {
+        // The delegation must be observationally identical to driving the
+        // shared-memory EtState directly with the same offset.
+        let mut tracker = EtTracker::new(6, 40, 0.25, 77);
+        let mut state = EtState::with_offset(6, 40, 0.25, 77);
+        let moved = [false, true, false, false, true, false];
+        for (l, &m) in moved.iter().enumerate() {
+            tracker.update(l, m);
+            state.update(l, m);
+        }
+        assert_eq!(tracker.num_inactive(), state.num_inactive() as u64);
+        for it in 0..20 {
+            for l in 0..6 {
+                assert_eq!(tracker.probability(l), state.probability(l));
+                assert_eq!(tracker.is_active(1, it, l), state.is_active(1, it, l));
             }
         }
     }

@@ -46,7 +46,7 @@ pub use api::{
     run_distributed, run_distributed_partitioned, run_distributed_resilient, run_distributed_with,
     DistOutcome, PartitionStrategy,
 };
-pub use config::{DistConfig, Variant};
+pub use config::{DistConfig, SweepMode, Variant};
 pub use quality::{adjusted_rand_index, f_score, nmi, QualityReport};
 pub use report::{build_run_report, ReportMeta};
 pub use resume::{config_fingerprint, CheckpointOptions, ResilOptions};

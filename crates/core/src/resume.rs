@@ -93,7 +93,7 @@ pub fn config_fingerprint(cfg: &DistConfig) -> u64 {
          etc_exit_fraction={:016x};seed={:016x};neighborhood_collectives={};\
          prune_inactive_ghosts={};color_sweeps={};disable_singleton_guard={};\
          index_order_sweep={};threads_per_rank={};vertex_following={};\
-         delta_ghost_refresh={}",
+         delta_ghost_refresh={};sweep={}",
         cfg.threshold.to_bits(),
         cfg.max_phases,
         cfg.max_iterations,
@@ -107,6 +107,7 @@ pub fn config_fingerprint(cfg: &DistConfig) -> u64 {
         cfg.threads_per_rank,
         cfg.vertex_following,
         cfg.delta_ghost_refresh,
+        cfg.sweep.label(),
     );
     louvain_resil::fnv1a64(text.as_bytes())
 }
@@ -129,10 +130,12 @@ mod tests {
         tau.threshold *= 2.0;
         let mut delta = DistConfig::baseline();
         delta.delta_ghost_refresh = true;
+        let mut sweep = DistConfig::baseline();
+        sweep.sweep = crate::SweepMode::Colored;
         let variant = DistConfig::with_variant(Variant::Et { alpha: 0.25 });
         let mut alpha = DistConfig::with_variant(Variant::Et { alpha: 0.75 });
         alpha.seed = base.seed;
-        for other in [&seeds, &tau, &delta, &variant, &alpha] {
+        for other in [&seeds, &tau, &delta, &sweep, &variant, &alpha] {
             assert_ne!(fp, config_fingerprint(other));
         }
         assert_ne!(

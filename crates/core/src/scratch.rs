@@ -45,6 +45,9 @@ pub struct IterScratch {
     pub round_vertices: Vec<usize>,
     /// Per-destination-rank delta messages for the owner push.
     pub delta_msgs: Vec<Vec<(VertexId, f64, i64)>>,
+    /// Per-color conflict-free batches of the colored sweep schedule,
+    /// rebuilt (cleared, capacities kept) every round it runs.
+    pub batches: Vec<Vec<usize>>,
     /// Neighbor-weight maps checked out by sweep workers (sequential or
     /// one per rayon chunk) and returned after the sweep.
     weights: Mutex<Vec<FastMap<VertexId, Weight>>>,
@@ -64,6 +67,7 @@ impl IterScratch {
             remote_a: FastMap::default(),
             round_vertices: Vec::with_capacity(nlocal),
             delta_msgs: vec![Vec::new(); p],
+            batches: Vec::new(),
             weights: Mutex::new(Vec::new()),
         }
     }

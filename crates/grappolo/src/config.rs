@@ -64,6 +64,20 @@ impl GrappoloConfig {
             ..Self::default()
         }
     }
+
+    /// The VFC composition of Lu et al.: **V**ertex **F**ollowing to
+    /// collapse degree-1 fringes before phase 1, plus distance-1
+    /// **C**oloring so each sweep processes conflict-free classes — the
+    /// pairing the 15-418 exemplar and §4 of the Grappolo paper show
+    /// gives multi-x speedups at negligible quality cost.
+    pub fn vfc(threads: usize) -> Self {
+        Self {
+            threads,
+            coloring: true,
+            vertex_following: true,
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +95,13 @@ mod tests {
     fn with_et_sets_alpha() {
         let c = GrappoloConfig::with_et(0.25);
         assert_eq!(c.early_termination, EtMode::On { alpha: 0.25 });
+    }
+
+    #[test]
+    fn vfc_enables_both_heuristics() {
+        let c = GrappoloConfig::vfc(4);
+        assert!(c.coloring);
+        assert!(c.vertex_following);
+        assert_eq!(c.threads, 4);
     }
 }

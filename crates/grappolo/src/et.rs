@@ -15,20 +15,35 @@ use louvain_graph::hash::{coin_u01, mix64};
 pub const INACTIVE_CUTOFF: f64 = 0.02;
 
 /// Per-vertex activity probabilities for one phase.
+///
+/// Coins are keyed by `first_global + v`, so the same state machine
+/// serves both the shared-memory runner (local ids, offset 0 via
+/// [`EtState::new`]) and the distributed per-rank tracker (global ids
+/// via [`EtState::with_offset`]): a vertex flips the same coin no matter
+/// which rank hosts it.
 #[derive(Debug, Clone)]
 pub struct EtState {
     alpha: f64,
     seed: u64,
+    first_global: u64,
     prob: Vec<f64>,
 }
 
 impl EtState {
-    /// Fresh state with every vertex fully active.
+    /// Fresh state with every vertex fully active, coins keyed by the
+    /// plain vertex index (offset 0).
     pub fn new(n: usize, alpha: f64, seed: u64) -> Self {
+        Self::with_offset(n, 0, alpha, seed)
+    }
+
+    /// Fresh state for `n` vertices whose global ids start at
+    /// `first_global` — the distributed per-rank flavour.
+    pub fn with_offset(n: usize, first_global: u64, alpha: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
         Self {
             alpha,
             seed,
+            first_global,
             prob: vec![1.0; n],
         }
     }
@@ -47,7 +62,8 @@ impl EtState {
         if p >= 1.0 {
             return true;
         }
-        let h = mix64(self.seed ^ mix64((phase as u64) << 32 | iteration as u64) ^ mix64(v as u64));
+        let g = self.first_global + v as u64;
+        let h = mix64(self.seed ^ mix64((phase as u64) << 32 | iteration as u64) ^ mix64(g));
         coin_u01(h) < p
     }
 
@@ -136,5 +152,30 @@ mod tests {
         assert_eq!(a, b);
         // Probability 0.7: most iterations active, some not.
         assert!(a.iter().filter(|&&x| x).count() >= 10);
+    }
+
+    #[test]
+    fn offset_keys_coins_by_global_id() {
+        // The vertex with the same global id must flip the same coin no
+        // matter which local index (rank) hosts it.
+        let mut a = EtState::with_offset(10, 0, 0.5, 42);
+        let mut b = EtState::with_offset(10, 5, 0.5, 42);
+        a.update(7, false);
+        b.update(2, false);
+        for it in 0..30 {
+            assert_eq!(a.is_active(0, it, 7), b.is_active(0, it, 2), "iter {it}");
+        }
+        // Offset 0 is exactly `new`.
+        let mut plain = EtState::new(4, 0.25, 9);
+        let mut zero = EtState::with_offset(4, 0, 0.25, 9);
+        for v in 0..4 {
+            plain.update(v, false);
+            zero.update(v, false);
+        }
+        for it in 0..10 {
+            for v in 0..4 {
+                assert_eq!(plain.is_active(1, it, v), zero.is_active(1, it, v));
+            }
+        }
     }
 }

@@ -28,6 +28,12 @@
 //! assert!(result.modularity > 0.5);
 //! ```
 
+// The public entry points below (coloring, VF, ET) are shared
+// infrastructure for the distributed path as well as the local runner;
+// deny dead code so unused drift is caught at build time instead of
+// silently accumulating.
+#![deny(dead_code)]
+
 mod atomicf64;
 mod coloring;
 mod config;
@@ -39,7 +45,7 @@ mod vf;
 pub use atomicf64::AtomicF64;
 pub use coloring::greedy_coloring;
 pub use config::{EtMode, GrappoloConfig};
-pub use et::EtState;
+pub use et::{EtState, INACTIVE_CUTOFF};
 pub use phase::PhaseOutcome;
 pub use runner::{LouvainResult, ParallelLouvain, PhaseTrace};
 pub use vf::vertex_following_assignment;

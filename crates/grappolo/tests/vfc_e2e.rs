@@ -1,0 +1,59 @@
+//! End-to-end VFC (vertex following + coloring) runs through the
+//! shared-memory grappolo runner on the three bench-generator families
+//! (SSCA2, LFR, RMAT) — the integration coverage that keeps the
+//! coloring/VF entry points exercised beyond their unit tests.
+
+use grappolo::{GrappoloConfig, ParallelLouvain};
+use louvain_graph::community::modularity;
+use louvain_graph::gen::{lfr, rmat, ssca2, LfrParams, RmatParams, Ssca2Params};
+use louvain_graph::Csr;
+
+fn bench_trio() -> Vec<(&'static str, Csr)> {
+    vec![
+        (
+            "ssca2",
+            ssca2(Ssca2Params {
+                n: 1_000,
+                max_clique_size: 20,
+                inter_clique_prob: 0.05,
+                seed: 9,
+            })
+            .graph,
+        ),
+        ("lfr", lfr(LfrParams::small(1_000, 7)).graph),
+        ("rmat", rmat(RmatParams::social(10, 8, 5)).graph),
+    ]
+}
+
+#[test]
+fn vfc_runs_end_to_end_on_the_bench_trio() {
+    for (name, g) in bench_trio() {
+        let base = ParallelLouvain::new(GrappoloConfig::serial()).run(&g);
+        let vfc = ParallelLouvain::new(GrappoloConfig::vfc(4)).run(&g);
+        // The assignment is complete and the reported modularity is the
+        // true modularity of the reported assignment.
+        assert_eq!(vfc.assignment.len(), g.num_vertices(), "{name}");
+        let q_ref = modularity(&g, &vfc.assignment);
+        assert!(
+            (vfc.modularity - q_ref).abs() < 1e-9,
+            "{name}: reported {} vs recomputed {q_ref}",
+            vfc.modularity
+        );
+        // Negligible quality loss vs the serial reference (Lu et al. §6).
+        assert!(
+            vfc.modularity > base.modularity - 0.05,
+            "{name}: vfc {} vs serial {}",
+            vfc.modularity,
+            base.modularity
+        );
+        assert!(vfc.num_communities > 1, "{name}");
+    }
+}
+
+#[test]
+fn vfc_converges_in_no_more_phases_than_the_cap() {
+    let g = lfr(LfrParams::small(800, 3)).graph;
+    let out = ParallelLouvain::new(GrappoloConfig::vfc(2)).run(&g);
+    assert!(out.phases <= GrappoloConfig::default().max_phases);
+    assert!(out.total_iterations >= out.phases);
+}

@@ -165,6 +165,16 @@ pub const METRIC_REGISTRY: &[(&str, MetricKind, &str)] = &[
         "recoveries triggered by hung-rank declarations",
     ),
     (
+        "sweep.batch_moves",
+        MetricKind::Counter,
+        "vertices moved by colored conflict-free batches",
+    ),
+    (
+        "sweep.colors",
+        MetricKind::Counter,
+        "color classes of the per-phase distance-1 coloring",
+    ),
+    (
         "sweep.edges",
         MetricKind::Counter,
         "edges scanned by move sweeps",
@@ -174,6 +184,11 @@ pub const METRIC_REGISTRY: &[(&str, MetricKind, &str)] = &[
         "sweep.vertices",
         MetricKind::Counter,
         "vertices visited by move sweeps",
+    ),
+    (
+        "vf.collapsed",
+        MetricKind::Counter,
+        "vertices collapsed into their anchor by vertex following",
     ),
     (
         "wd_backoff_us",

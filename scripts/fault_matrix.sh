@@ -23,10 +23,19 @@
 #
 # Everything runs on the simulated communicator: deterministic, offline,
 # a few seconds total.
+#
+# Environment knobs:
+#   RANKS=<P>         rank count (default 2)
+#   EXTRA_FLAGS="..." extra `louvain run` flags appended to every run,
+#                     e.g. "--threads-per-rank 4 --sweep colored" to
+#                     exercise the matrix under the parallel sweep
+#   ONLY_CLEAN=1      stop after scenario A (the clean reference run) —
+#                     used by the CI threads=4 job as a fast smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RANKS="${RANKS:-2}"
+EXTRA_FLAGS="${EXTRA_FLAGS:-}"
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/louvain-fault-matrix.XXXXXX")"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -43,11 +52,20 @@ run_q() { # <logfile> — extract the modularity line
 }
 
 echo "==> A: clean reference run"
-"$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
+# shellcheck disable=SC2086  # EXTRA_FLAGS is a flag list
+"$BIN" run "$WORK/g.graph" --ranks "$RANKS" $EXTRA_FLAGS \
   --assignment "$WORK/clean.comm" | tee "$WORK/clean.log"
 
+if [ "${ONLY_CLEAN:-0}" = "1" ]; then
+  grep -q '^modularity:' "$WORK/clean.log" \
+    || { echo "FAIL: clean run printed no modularity" >&2; exit 1; }
+  echo "fault-matrix: OK (ONLY_CLEAN: scenario A only)"
+  exit 0
+fi
+
 echo "==> B: crash at phase 1, recovery budget 0 (must fail)"
-if "$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
+# shellcheck disable=SC2086  # EXTRA_FLAGS is a flag list
+if "$BIN" run "$WORK/g.graph" --ranks "$RANKS" $EXTRA_FLAGS \
     --checkpoint-dir "$WORK/ckpt" \
     --fault-plan 'crash:rank=0,phase=1,op=0' \
     --max-recoveries 0 >"$WORK/crash.log" 2>&1; then
@@ -57,7 +75,8 @@ fi
 test -f "$WORK/ckpt/LATEST" || { echo "FAIL: no checkpoint written" >&2; exit 1; }
 
 echo "==> C: resume from the checkpoint"
-"$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
+# shellcheck disable=SC2086  # EXTRA_FLAGS is a flag list
+"$BIN" run "$WORK/g.graph" --ranks "$RANKS" $EXTRA_FLAGS \
   --checkpoint-dir "$WORK/ckpt" --resume \
   --artifact-out "$WORK/resumed.artifact.json" \
   --assignment "$WORK/resumed.comm" | tee "$WORK/resumed.log"
@@ -71,7 +90,8 @@ grep -q '"resumed_from_phase": [0-9]' "$WORK/resumed.artifact.json" \
   || { echo "FAIL: lens show does not surface the resume provenance" >&2; exit 1; }
 
 echo "==> D: same crash, automatic in-run recovery"
-"$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
+# shellcheck disable=SC2086  # EXTRA_FLAGS is a flag list
+"$BIN" run "$WORK/g.graph" --ranks "$RANKS" $EXTRA_FLAGS \
   --checkpoint-dir "$WORK/ckpt2" \
   --fault-plan 'crash:rank=0,phase=1,op=0' \
   --assignment "$WORK/recovered.comm" | tee "$WORK/recovered.log"
@@ -79,14 +99,16 @@ grep -q '^recoveries:' "$WORK/recovered.log" \
   || { echo "FAIL: no recovery happened" >&2; exit 1; }
 
 echo "==> E: transient faults (drop/delay/duplicate/truncate)"
-"$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
+# shellcheck disable=SC2086  # EXTRA_FLAGS is a flag list
+"$BIN" run "$WORK/g.graph" --ranks "$RANKS" $EXTRA_FLAGS \
   --fault-plan 'seed=7;drop:prob=0.05;truncate:prob=0.03;duplicate:prob=0.05;delay:prob=0.01' \
   --assignment "$WORK/noisy.comm" | tee "$WORK/noisy.log"
 grep -q '^faults:' "$WORK/noisy.log" \
   || { echo "FAIL: fault plan injected nothing" >&2; exit 1; }
 
 echo "==> F: hang at phase 1, watchdog declares + recovers from checkpoint"
-"$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
+# shellcheck disable=SC2086  # EXTRA_FLAGS is a flag list
+"$BIN" run "$WORK/g.graph" --ranks "$RANKS" $EXTRA_FLAGS \
   --checkpoint-dir "$WORK/ckpt3" \
   --fault-plan 'hang:rank=1,phase=1,op=0' \
   --comm-timeout-ms 100 --max-retries 2 \
@@ -97,7 +119,8 @@ grep -q '(0 crash, 1 hang)' "$WORK/hang.log" \
   || { echo "FAIL: hang not recovered as a hang" >&2; exit 1; }
 
 echo "==> G: stall straggler — extended, not declared hung"
-"$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
+# shellcheck disable=SC2086  # EXTRA_FLAGS is a flag list
+"$BIN" run "$WORK/g.graph" --ranks "$RANKS" $EXTRA_FLAGS \
   --fault-plan 'seed=2;stall:rank=1,ms=150,prob=0.05' \
   --comm-timeout-ms 60 \
   --assignment "$WORK/stall.comm" | tee "$WORK/stall.log"
@@ -109,7 +132,8 @@ grep -Eq '^watchdog:.* [1-9][0-9]* straggler extensions' "$WORK/stall.log" \
   || { echo "FAIL: no straggler extension recorded" >&2; exit 1; }
 
 echo "==> H: corrupt payloads + flaky bursts, absorbed by checksums/retries"
-"$BIN" run "$WORK/g.graph" --ranks "$RANKS" \
+# shellcheck disable=SC2086  # EXTRA_FLAGS is a flag list
+"$BIN" run "$WORK/g.graph" --ranks "$RANKS" $EXTRA_FLAGS \
   --fault-plan 'seed=12;corrupt-payload:prob=0.1;flaky-burst:prob=0.05,len=2' \
   --assignment "$WORK/corrupt.comm" | tee "$WORK/corrupt.log"
 if grep -q '^recoveries:' "$WORK/corrupt.log"; then

@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use distributed_louvain::comm::{BackoffPolicy, FaultPlan, HealthConfig, RunConfig};
 use distributed_louvain::dist::{
     adjusted_rand_index, f_score, nmi, run_distributed_resilient, CheckpointOptions, DistConfig,
-    ResilOptions, Variant,
+    ResilOptions, SweepMode, Variant,
 };
 use distributed_louvain::graph::{binio, gen, Csr, IngestPolicy, VertexId};
 use distributed_louvain::{dist, obs};
@@ -70,6 +70,7 @@ USAGE:
       file.
 
   louvain run <FILE> [--ranks <P>] [--variant <V>] [--threads-per-rank <T>]
+              [--sweep <auto|colored|relaxed>]
               [--tau <F>] [--assignment <OUT>]
               [--trace-out <TRACE>] [--report-out <REPORT>]
               [--artifact-out <ARTIFACT>]
@@ -80,6 +81,10 @@ USAGE:
       V: baseline | cycling | et:<alpha> | etc:<alpha> | et+cycling:<alpha>
       Runs distributed Louvain on P simulated ranks, prints the summary,
       optionally writes the community assignment to <OUT>.
+      --sweep picks the per-rank sweep schedule: `auto` (sequential at one
+      thread, colored conflict-free batches otherwise), `colored` (force
+      the deterministic colored schedule at any thread count), `relaxed`
+      (legacy racing multithreaded sweep; results may vary with T).
       --trace-out enables tracing and writes a Chrome trace-event JSON
       (load in Perfetto / chrome://tracing; one process track per rank);
       a `.jsonl` extension selects line-delimited JSON instead.
@@ -313,6 +318,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = PathBuf::from(opts.positional().ok_or("missing graph file")?);
     let ranks: usize = opts.parse("--ranks", 4usize)?;
     let threads: usize = opts.parse("--threads-per-rank", 1usize)?;
+    let sweep = match opts.get("--sweep") {
+        Some(s) => SweepMode::parse(s).map_err(|e| format!("--sweep: {e}"))?,
+        None => SweepMode::Auto,
+    };
     let tau: f64 = opts.parse("--tau", 1e-6f64)?;
     let variant = parse_variant(opts.get("--variant").unwrap_or("baseline"))?;
     let trace_out = opts.get("--trace-out").map(PathBuf::from);
@@ -374,6 +383,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let cfg = DistConfig {
         threshold: tau,
         threads_per_rank: threads,
+        sweep,
         ..DistConfig::with_variant(variant)
     };
     let runcfg = RunConfig {

@@ -292,6 +292,55 @@ fn ssca2_telemetry_trajectory_matches_serial_reference_bit_exactly() {
     assert_eq!(serial.assignment, dist.assignment);
 }
 
+/// ET activity tracking under the colored parallel sweep: the per-color
+/// work queues skip settled vertices, and the existing `active_fraction`
+/// telemetry rows must still populate correctly — a decaying active set
+/// with the same guarantees the sequential sweep provides, plus the new
+/// colored-schedule counters.
+#[test]
+fn et_active_fraction_rows_populate_under_colored_parallel_sweep() {
+    use distributed_louvain::dist::{SweepMode, Variant};
+    let _guard = TRACE_FLAG.lock().unwrap();
+    let g = lfr(LfrParams::small(1_200, 13)).graph;
+    let cfg = DistConfig {
+        sweep: SweepMode::Colored,
+        threads_per_rank: 4,
+        ..DistConfig::with_variant(Variant::Et { alpha: 0.25 })
+    };
+    obs::set_enabled(true);
+    let out = run_distributed(&g, 2, &cfg);
+    obs::set_enabled(false);
+    let trace = out.trace.as_ref().expect("tracing was enabled");
+
+    let rows = trace.merged_telemetry();
+    assert!(!rows.is_empty(), "a traced run must produce telemetry");
+    for r in &rows {
+        assert!(r.vertices > 0);
+        assert!(r.active <= r.vertices, "active set can never exceed n");
+        let f = r.active_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+    // Every vertex is active entering the run, and ET must actually
+    // deactivate some vertices as the phase converges.
+    assert_eq!(rows[0].active, rows[0].vertices);
+    assert!(
+        rows.iter().any(|r| r.active < r.vertices),
+        "ET never froze a vertex: the activity filter is not wired in"
+    );
+    // The colored schedule's own counters ride the same trace: a
+    // coloring was computed, and every move went through a color batch.
+    let metrics = trace.merged_metrics();
+    assert!(
+        metrics.counter("sweep.colors") > 0,
+        "coloring was never computed"
+    );
+    assert_eq!(
+        metrics.counter("sweep.batch_moves"),
+        metrics.counter("sweep.moves"),
+        "every move must be attributed to a conflict-free color batch"
+    );
+}
+
 /// With tracing off (the default), runs carry no trace and pay no
 /// recording cost — and the report builder still works from the
 /// always-on comm counters.

@@ -103,6 +103,59 @@ fn kill_and_resume_is_bit_identical_for_every_phase() {
     }
 }
 
+/// Checkpoint/resume under the colored parallel sweep: a crash landing
+/// mid-phase (on a comm op in the middle of an iteration's exchange
+/// sequence) while ranks sweep with 4 worker threads must restore and
+/// replay to results bit-identical to the uninterrupted parallel run —
+/// and to the 1-thread run, since the colored schedule is thread-count
+/// deterministic.
+#[test]
+fn parallel_sweep_crash_mid_phase_resumes_bit_identically() {
+    let cfg = DistConfig {
+        sweep: louvain_dist::SweepMode::Colored,
+        threads_per_rank: 4,
+        ..DistConfig::baseline()
+    };
+    let serial_cfg = DistConfig {
+        sweep: louvain_dist::SweepMode::Colored,
+        threads_per_rank: 1,
+        ..DistConfig::baseline()
+    };
+    for (name, g) in graphs() {
+        for p in [2, 4] {
+            let clean = run_distributed(&g, p, &cfg);
+            assert!(clean.phases >= 2, "{name}: want a multi-phase run");
+            assert_bit_identical(
+                &clean,
+                &run_distributed(&g, p, &serial_cfg),
+                &format!("{name} p={p} threads 4 vs 1"),
+            );
+            // op=2 lands inside an iteration's 4-step comm sequence, so
+            // the recovery replays a partially swept phase.
+            for (kill_phase, op) in [(1usize, 2usize), (clean.phases - 1, 2)] {
+                let label = format!("{name} p={p} kill at phase {kill_phase} op {op}");
+                let dir = tmp_dir(&format!("par-kill-{name}-p{p}-k{kill_phase}"));
+                let resil = ResilOptions {
+                    checkpoint: Some(CheckpointOptions::new(&dir)),
+                    resume: false,
+                    max_recoveries: 1,
+                };
+                let out = run_distributed_resilient(
+                    &g,
+                    p,
+                    &cfg,
+                    with_plan(&format!("crash:rank=0,phase={kill_phase},op={op}")),
+                    &resil,
+                )
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_eq!(out.recoveries, 1, "{label}");
+                assert_bit_identical(&out, &clean, &label);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
 /// Several crashes in one run: each recovery consumes one crash rule
 /// and restarts from the newest checkpoint at that moment.
 #[test]
