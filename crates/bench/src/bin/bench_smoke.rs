@@ -30,7 +30,10 @@
 //! the whole sweep as one versioned [`louvain_obs::RunArtifact`] (the
 //! schema `lens` diffs and gates on): every sweep row as an untraced
 //! RunReport entry, plus one traced p=2 delta entry per graph carrying
-//! per-iteration convergence telemetry.
+//! per-iteration convergence telemetry, the causal phase profile, and
+//! the Lamport-matched message edges `lens crit` analyzes.
+//! `--trace-out` (or env `BENCH_SMOKE_TRACE`) writes the Chrome/Perfetto
+//! trace of the first traced artifact run (load it at ui.perfetto.dev).
 //! `--threads` (default `1,2,4`) selects the intra-rank thread axis of
 //! the colored-sweep scaling section: per graph at p∈{1,2}, one run per
 //! thread count under `SweepMode::Colored`, asserting bit-identical
@@ -167,6 +170,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_PR4.json".into());
     let artifact_path =
         flag(&args, "--artifact-out").or_else(|| std::env::var("BENCH_SMOKE_ARTIFACT").ok());
+    let trace_path = flag(&args, "--trace-out").or_else(|| std::env::var("BENCH_SMOKE_TRACE").ok());
     let mut threads_axis: Vec<usize> = flag(&args, "--threads")
         .unwrap_or_else(|| "1,2,4".into())
         .split(',')
@@ -350,8 +354,12 @@ fn main() {
     // Artifact telemetry runs: one traced p=2 delta run per graph, kept
     // separate from the sweep (so tracing overhead never leaks into the
     // wall_ms columns) and labeled `<graph>/p2/delta+traced` to avoid
-    // colliding with the untraced sweep entry of the same shape.
-    if artifact_path.is_some() {
+    // colliding with the untraced sweep entry of the same shape. The
+    // traced entries carry the causal sections (phase_profile, messages)
+    // that `lens crit` consumes; `--trace-out` dumps the first one as a
+    // Chrome/Perfetto trace.
+    let mut trace_written = false;
+    if artifact_path.is_some() || trace_path.is_some() {
         louvain_obs::set_enabled(true);
         for (name, g) in &graphs {
             let (_row, out) = run_mode(name, g, 2, true);
@@ -360,6 +368,14 @@ fn main() {
                 .as_ref()
                 .map(|t| t.merged_telemetry())
                 .unwrap_or_default();
+            if let (Some(path), Some(trace)) = (trace_path.as_ref(), out.trace.as_ref()) {
+                if !trace_written {
+                    std::fs::write(path, louvain_obs::chrome_trace_json(trace))
+                        .expect("write chrome trace");
+                    eprintln!("wrote {path}");
+                    trace_written = true;
+                }
+            }
             let meta = ReportMeta::new(*name, g.num_vertices() as u64, g.num_edges() as u64)
                 .variant("ET(0.25)+delta");
             artifact_runs.push(RunEntry {
@@ -571,14 +587,16 @@ fn main() {
 
     if let Some(path) = artifact_path {
         let artifact = RunArtifact {
-            name: "BENCH_PR6".into(),
+            name: "BENCH_PR7".into(),
             description: "fixed-seed bench sweep as a unified run artifact: ET(0.25) full vs \
                           delta ghost refresh over {rmat_s11_ef8, ssca2_4k, lfr_3k} x p{1,2,8}, \
                           the colored-sweep thread-scaling axis t{1,2,4} at p{1,2} (bit-identical \
                           across threads, modeled phase-1 sweep win asserted in-bench), plus one \
                           traced p=2 delta run per graph with per-iteration convergence \
-                          telemetry; byte counters and modularity are deterministic, wall times \
-                          are machine-local (gate with a generous --wall-tol)"
+                          telemetry and the causal profiling sections (per-(rank,phase) wall \
+                          attribution, Lamport-matched message edges, memory gauges) that `lens \
+                          crit` analyzes; byte counters and modularity are deterministic, wall \
+                          times are machine-local (gate with a generous --wall-tol)"
                 .into(),
             runs: artifact_runs,
         };

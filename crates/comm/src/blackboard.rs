@@ -101,6 +101,11 @@ impl Blackboard {
         if s.filled == self.p {
             self.cv.notify_all();
         }
+        // Everything from here until the board fills is *wait* (idle,
+        // blocked on slower ranks), charged to the current comm step.
+        // Timed only when actually entered: the last depositor of a
+        // round never blocks and records zero wait.
+        let fill_wait = (s.generation == gen && s.filled < self.p).then(std::time::Instant::now);
         while s.generation == gen && s.filled < self.p {
             self.cv.wait_for(&mut s, tick);
             self.check_poison();
@@ -120,6 +125,11 @@ impl Blackboard {
                     d.observe(&missing);
                 }
             }
+        }
+        if let (Some(start), Some(ctx)) = (fill_wait, watch) {
+            let waited = start.elapsed().as_nanos() as u64;
+            ctx.stats.record_wait_nanos(waited);
+            louvain_obs::counter_add("wait.collective_ns", waited);
         }
         let out = read(&mut s.slots);
         s.read += 1;

@@ -209,11 +209,42 @@ impl Comm {
     /// a stale extra copy the receiver deduplicates, delays sleep
     /// briefly. Returns the number of physical copies transmitted, for
     /// byte accounting (always 1 in clean runs).
-    fn deliver<T: Send + 'static>(&self, dst: usize, tag: Tag, data: Vec<T>) -> u64 {
+    ///
+    /// `bytes` is the serialized payload size the caller charges to its
+    /// byte counters; it rides on the envelope (and the `msg_send`
+    /// trace event) so the receive side can attribute the same number.
+    fn deliver<T: Send + 'static>(&self, dst: usize, tag: Tag, data: Vec<T>, bytes: u64) -> u64 {
+        // One Lamport tick and one `msg_send` event per *logical*
+        // message: every physical copy carries the same stamp, and the
+        // receiver's dedup/checksum intake delivers exactly one, so the
+        // (src, lamport) pair matches send and recv events one-to-one.
+        let lamport = self.stats.tick_lamport();
+        if louvain_obs::enabled() {
+            louvain_obs::instant(
+                "msg_send",
+                "comm",
+                vec![
+                    ("src", louvain_obs::ArgValue::from(self.rank)),
+                    ("dst", louvain_obs::ArgValue::from(dst)),
+                    (
+                        "step",
+                        louvain_obs::ArgValue::from(self.stats.current_step().label()),
+                    ),
+                    ("lamport", louvain_obs::ArgValue::from(lamport)),
+                    ("bytes", louvain_obs::ArgValue::from(bytes)),
+                    (
+                        "modeled_ns",
+                        louvain_obs::ArgValue::from((self.cost.p2p(bytes) * 1e9) as u64),
+                    ),
+                ],
+            );
+        }
         let beat = self.board.beat(self.rank);
         let Some(f) = &self.fault else {
             let mut env = Envelope::clean(self.rank, tag, Box::new(data));
             env.beat = beat;
+            env.lamport = lamport;
+            env.wire_bytes = bytes;
             self.senders[dst].send(env).expect("peer mailbox closed");
             return 1;
         };
@@ -241,6 +272,8 @@ impl Comm {
                     corrupt,
                     checksum,
                     beat: self.board.beat(self.rank),
+                    lamport,
+                    wire_bytes: bytes,
                     payload,
                 }
             };
@@ -352,6 +385,13 @@ impl Comm {
     /// so traffic and retry/backoff activity that happened before a
     /// panic (e.g. a crash injected mid-collective) still lands on the
     /// span instead of being lost with the unwind.
+    ///
+    /// The guard also splits the step's blocking time into two
+    /// attribution sub-spans: `wait` (wall time spent idle in a blocked
+    /// receive or collective fill-wait — straggler-bound) and
+    /// `transfer` (modeled seconds charged for the bytes that moved,
+    /// carrying the step's byte delta so trace totals reconcile with
+    /// the `CommStats` counters byte-for-byte).
     pub fn with_step<R>(&self, step: CommStep, f: impl FnOnce() -> R) -> R {
         struct Restore<'a> {
             stats: &'a CommStats,
@@ -361,20 +401,39 @@ impl Comm {
             bytes_before: u64,
             msgs_before: u64,
             retries_before: u64,
+            wait_before: u64,
+            modeled_before: f64,
         }
         impl Drop for Restore<'_> {
             fn drop(&mut self) {
-                self.span.arg(
-                    "bytes",
-                    self.stats.step_bytes(self.step) - self.bytes_before,
+                let bytes = self.stats.step_bytes(self.step) - self.bytes_before;
+                let messages = self.stats.step_messages(self.step) - self.msgs_before;
+                let retries = self.stats.step_retries(self.step) - self.retries_before;
+                let wait_ns = self
+                    .stats
+                    .step_wait_nanos(self.step)
+                    .saturating_sub(self.wait_before);
+                let modeled = (self.stats.modeled_seconds() - self.modeled_before).max(0.0);
+                self.span.arg("bytes", bytes);
+                self.span.arg("messages", messages);
+                self.span.arg("retries", retries);
+                self.span.arg("wait_ns", wait_ns);
+                louvain_obs::complete_span(
+                    "wait",
+                    "comm",
+                    wait_ns,
+                    0.0,
+                    vec![("step", louvain_obs::ArgValue::from(self.step.label()))],
                 );
-                self.span.arg(
-                    "messages",
-                    self.stats.step_messages(self.step) - self.msgs_before,
-                );
-                self.span.arg(
-                    "retries",
-                    self.stats.step_retries(self.step) - self.retries_before,
+                louvain_obs::complete_span(
+                    "transfer",
+                    "comm",
+                    (modeled * 1e9) as u64,
+                    modeled,
+                    vec![
+                        ("step", louvain_obs::ArgValue::from(self.step.label())),
+                        ("bytes", louvain_obs::ArgValue::from(bytes)),
+                    ],
                 );
                 self.stats.set_step(self.prev);
             }
@@ -388,6 +447,8 @@ impl Comm {
             bytes_before: self.stats.step_bytes(step),
             msgs_before: self.stats.step_messages(step),
             retries_before: self.stats.step_retries(step),
+            wait_before: self.stats.step_wait_nanos(step),
+            modeled_before: self.stats.modeled_seconds(),
         };
         f()
     }
@@ -425,7 +486,7 @@ impl Comm {
         );
         self.fault_op_tick();
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
-        let copies = self.deliver(dst, tag, data);
+        let copies = self.deliver(dst, tag, data, bytes);
         self.stats
             .record_p2p_batch(copies, bytes * copies, self.cost.p2p(bytes) * copies as f64);
     }
@@ -606,7 +667,7 @@ impl Comm {
                 continue;
             }
             let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
-            let copies = self.deliver(dst, A2A_TAG, buf);
+            let copies = self.deliver(dst, A2A_TAG, buf, bytes);
             nmsgs += copies;
             sent += bytes * copies;
         }
@@ -649,7 +710,7 @@ impl Comm {
                 continue;
             }
             let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
-            let copies = self.deliver(dst, A2A_TAG, buf.clone());
+            let copies = self.deliver(dst, A2A_TAG, buf.clone(), bytes);
             nmsgs += copies;
             sent += bytes * copies;
         }
@@ -698,7 +759,7 @@ impl Comm {
         for (&dst, buf) in neighbors.iter().zip(bufs) {
             assert!(dst < self.size && dst != self.rank, "bad neighbor {dst}");
             let bytes = (buf.len() * std::mem::size_of::<T>()) as u64;
-            let copies = self.deliver(dst, NBR_TAG, buf);
+            let copies = self.deliver(dst, NBR_TAG, buf, bytes);
             nmsgs += copies;
             sent += bytes * copies;
         }

@@ -116,6 +116,16 @@ pub struct CommStats {
     /// happens, so a panic mid-step cannot lose them (the panic-safety
     /// contract of `Comm::with_step`).
     step_retries: [Cell<u64>; NUM_COMM_STEPS],
+    /// Idle wall time spent blocked (receive loops, collective
+    /// fill-waits) per step — the *wait* half of the wait/transfer
+    /// split. Wall-clock derived, so excluded from snapshot equality.
+    step_wait_nanos: [Cell<u64>; NUM_COMM_STEPS],
+    /// This rank's Lamport clock: bumped on every envelope send, folded
+    /// to `max(local, remote) + 1` on every receive. Gives every sent
+    /// envelope a per-src-unique stamp for matching send/recv trace
+    /// events into cross-rank happens-before edges. Not part of the
+    /// snapshot: it is a clock, not a traffic counter.
+    lamport: Cell<u64>,
 }
 
 impl CommStats {
@@ -247,6 +257,32 @@ impl CommStats {
         self.checksum_rejects.set(self.checksum_rejects.get() + 1);
     }
 
+    /// Charge idle blocked time to the current step (the *wait* half of
+    /// the wait/transfer split).
+    pub(crate) fn record_wait_nanos(&self, nanos: u64) {
+        let i = self.step.get().index();
+        self.step_wait_nanos[i].set(self.step_wait_nanos[i].get() + nanos);
+    }
+
+    /// Advance this rank's Lamport clock for a send; returns the stamp
+    /// to put on the envelope.
+    pub(crate) fn tick_lamport(&self) -> u64 {
+        let next = self.lamport.get() + 1;
+        self.lamport.set(next);
+        next
+    }
+
+    /// Fold a received envelope's Lamport stamp into the local clock
+    /// (`max(local, remote) + 1`).
+    pub(crate) fn fold_lamport(&self, remote: u64) {
+        self.lamport.set(self.lamport.get().max(remote) + 1);
+    }
+
+    /// Idle blocked nanoseconds attributed to one algorithmic step.
+    pub fn step_wait_nanos(&self, step: CommStep) -> u64 {
+        self.step_wait_nanos[step.index()].get()
+    }
+
     /// Watchdog event counts `(timeouts, retries, stragglers,
     /// backoff_nanos)` on this rank's blocked waits.
     pub fn watchdog_counts(&self) -> (u64, u64, u64, u64) {
@@ -304,6 +340,7 @@ impl CommStats {
             wd_stragglers: self.wd_stragglers.get(),
             backoff_nanos: self.backoff_nanos.get(),
             step_retries: std::array::from_fn(|i| self.step_retries[i].get()),
+            step_wait_nanos: std::array::from_fn(|i| self.step_wait_nanos[i].get()),
         }
     }
 
@@ -352,6 +389,7 @@ impl CommStats {
             .set(self.backoff_nanos.get() + base.backoff_nanos);
         for i in 0..NUM_COMM_STEPS {
             self.step_retries[i].set(self.step_retries[i].get() + base.step_retries[i]);
+            self.step_wait_nanos[i].set(self.step_wait_nanos[i].get() + base.step_wait_nanos[i]);
         }
     }
 
@@ -382,13 +420,15 @@ impl CommStats {
         self.backoff_nanos.set(0);
         for i in 0..NUM_COMM_STEPS {
             self.step_retries[i].set(0);
+            self.step_wait_nanos[i].set(0);
         }
+        self.lamport.set(0);
         snap
     }
 }
 
 /// Plain-old-data copy of [`CommStats`], summable across ranks.
-#[derive(Debug, Default, Clone, Copy, PartialEq)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct StatsSnapshot {
     pub p2p_messages: u64,
     pub p2p_bytes: u64,
@@ -419,6 +459,40 @@ pub struct StatsSnapshot {
     /// Per-[`CommStep`] retry counts (retransmissions + watchdog
     /// deadline extensions), indexed by `CommStep::index()`.
     pub step_retries: [u64; NUM_COMM_STEPS],
+    /// Per-[`CommStep`] idle blocked time (wall nanoseconds), indexed by
+    /// `CommStep::index()`. Excluded from equality: see the manual
+    /// `PartialEq` below.
+    pub step_wait_nanos: [u64; NUM_COMM_STEPS],
+}
+
+/// Equality over the *deterministic* counters only. `step_wait_nanos`
+/// is wall-clock derived — two bit-identical runs block for different
+/// real durations — and the determinism/parity tests compare snapshots
+/// wholesale, so the non-deterministic field is excluded by hand.
+impl PartialEq for StatsSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.p2p_messages == other.p2p_messages
+            && self.p2p_bytes == other.p2p_bytes
+            && self.collective_calls == other.collective_calls
+            && self.collective_bytes == other.collective_bytes
+            && self.modeled_seconds == other.modeled_seconds
+            && self.step_messages == other.step_messages
+            && self.step_bytes == other.step_bytes
+            && self.fault_drops == other.fault_drops
+            && self.fault_delays == other.fault_delays
+            && self.fault_duplicates == other.fault_duplicates
+            && self.fault_truncations == other.fault_truncations
+            && self.fault_retries == other.fault_retries
+            && self.fault_stalls == other.fault_stalls
+            && self.fault_bursts == other.fault_bursts
+            && self.fault_corruptions == other.fault_corruptions
+            && self.checksum_rejects == other.checksum_rejects
+            && self.wd_timeouts == other.wd_timeouts
+            && self.wd_retries == other.wd_retries
+            && self.wd_stragglers == other.wd_stragglers
+            && self.backoff_nanos == other.backoff_nanos
+            && self.step_retries == other.step_retries
+    }
 }
 
 impl StatsSnapshot {
@@ -449,6 +523,7 @@ impl StatsSnapshot {
         self.backoff_nanos += other.backoff_nanos;
         for i in 0..NUM_COMM_STEPS {
             self.step_retries[i] += other.step_retries[i];
+            self.step_wait_nanos[i] += other.step_wait_nanos[i];
         }
     }
 
@@ -460,6 +535,16 @@ impl StatsSnapshot {
     /// Messages/calls attributed to one algorithmic step.
     pub fn step_messages_for(&self, step: CommStep) -> u64 {
         self.step_messages[step.index()]
+    }
+
+    /// Idle blocked nanoseconds attributed to one algorithmic step.
+    pub fn step_wait_nanos_for(&self, step: CommStep) -> u64 {
+        self.step_wait_nanos[step.index()]
+    }
+
+    /// Total idle blocked nanoseconds across all steps.
+    pub fn wait_nanos_total(&self) -> u64 {
+        self.step_wait_nanos.iter().sum()
     }
 }
 
@@ -526,6 +611,44 @@ mod tests {
         assert_eq!(a.collective_calls, 3);
         assert_eq!(a.collective_bytes, 12);
         assert_eq!(a.modeled_seconds, 0.5);
+    }
+
+    #[test]
+    fn lamport_clock_ticks_and_folds() {
+        let s = CommStats::new();
+        assert_eq!(s.tick_lamport(), 1);
+        assert_eq!(s.tick_lamport(), 2);
+        // Receiving a stamp from the future jumps past it.
+        s.fold_lamport(10);
+        assert_eq!(s.tick_lamport(), 12);
+        // Receiving a stale stamp still advances.
+        s.fold_lamport(3);
+        assert_eq!(s.tick_lamport(), 14);
+    }
+
+    #[test]
+    fn wait_nanos_charge_current_step_and_survive_absorb() {
+        let s = CommStats::new();
+        s.set_step(CommStep::GhostRefresh);
+        s.record_wait_nanos(500);
+        s.set_step(CommStep::Reduction);
+        s.record_wait_nanos(200);
+        assert_eq!(s.step_wait_nanos(CommStep::GhostRefresh), 500);
+        assert_eq!(s.step_wait_nanos(CommStep::Reduction), 200);
+        let cut = s.reset();
+        assert_eq!(cut.step_wait_nanos_for(CommStep::GhostRefresh), 500);
+        assert_eq!(s.step_wait_nanos(CommStep::GhostRefresh), 0);
+        s.set_step(CommStep::GhostRefresh);
+        s.record_wait_nanos(100);
+        s.absorb(&cut);
+        let after = s.snapshot();
+        assert_eq!(after.step_wait_nanos_for(CommStep::GhostRefresh), 600);
+        assert_eq!(after.wait_nanos_total(), 800);
+        // Equality ignores the wall-clock wait field: two runs with the
+        // same traffic but different idle time still compare equal.
+        let mut other = after;
+        other.step_wait_nanos = [0; NUM_COMM_STEPS];
+        assert_eq!(after, other);
     }
 
     #[test]

@@ -258,7 +258,11 @@ pub fn run_distributed_resilient(
         };
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_with(p, attempt_runcfg, |c| {
-                let _obs = collector.as_ref().map(|col| col.install(c.rank()));
+                // Tag every event of this attempt so the trace keeps
+                // recovered attempts on separate, labeled tracks.
+                let _obs = collector
+                    .as_ref()
+                    .map(|col| col.install_attempt(c.rank(), recoveries as u32));
                 let lg = slots.take(c.rank());
                 let outcome = run_on_rank_resilient(c, lg, cfg, &attempt_resil);
                 let stats = c.stats().snapshot();

@@ -65,6 +65,16 @@ impl<T> BufPool<T> {
         let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
         free.extend(bufs);
     }
+
+    /// Bytes held by the pooled buffers (capacities).
+    fn pooled_bytes(&self) -> u64 {
+        self.free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|b| (b.capacity() * std::mem::size_of::<T>()) as u64)
+            .sum()
+    }
 }
 
 /// Per-phase ghost bookkeeping for one rank.
@@ -381,6 +391,30 @@ impl GhostLayer {
     /// enumerate ghost ids.
     pub fn requests(&self) -> &[Vec<VertexId>] {
         &self.requests
+    }
+
+    /// Approximate resident bytes of the ghost bookkeeping (request and
+    /// serve tables, masks, slot map) — the `mem.ghost_bytes` gauge.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        fn nested<T>(v: &[Vec<T>]) -> u64 {
+            v.iter()
+                .map(|b| (b.capacity() * size_of::<T>()) as u64)
+                .sum()
+        }
+        nested(&self.requests)
+            + nested(&self.request_mask)
+            + nested(&self.serve)
+            + nested(&self.serve_mask)
+            + (self.slot.capacity() * size_of::<(VertexId, usize)>()) as u64
+            + (self.neighbors.capacity() * size_of::<usize>()) as u64
+            + (self.base.capacity() * size_of::<usize>()) as u64
+    }
+
+    /// Bytes parked in the recycled wire-buffer pools between refresh
+    /// rounds — the `mem.wire_bytes` gauge.
+    pub fn wire_bytes(&self) -> u64 {
+        self.val_pool.pooled_bytes() + self.delta_pool.pooled_bytes()
     }
 }
 

@@ -12,7 +12,7 @@
 //! its already-colored neighbors; ghost colors are exchanged between
 //! rounds through the phase's [`GhostLayer`].
 
-use louvain_comm::{Comm, ReduceOp};
+use louvain_comm::{Comm, CommStep, ReduceOp};
 use louvain_graph::hash::mix64;
 use louvain_graph::{LocalGraph, VertexId};
 
@@ -43,7 +43,9 @@ pub fn distributed_coloring(
     let mut forbidden: Vec<u64> = Vec::new();
 
     loop {
-        ghosts.refresh(comm, &color, &mut ghost_color);
+        comm.with_step(CommStep::Other, || {
+            ghosts.refresh(comm, &color, &mut ghost_color)
+        });
         let mut colored_this_round = 0u64;
         // Decisions are made against the round-start snapshot so every
         // rank sees a consistent frontier.
@@ -92,14 +94,18 @@ pub fn distributed_coloring(
             colored_this_round += 1;
         }
         uncolored -= colored_this_round;
-        let remaining = comm.all_reduce(uncolored, ReduceOp::Sum);
+        let remaining = comm.with_step(CommStep::Other, || {
+            comm.all_reduce(uncolored, ReduceOp::Sum)
+        });
         if remaining == 0 {
             break;
         }
     }
 
     let local_max = color.iter().copied().max().unwrap_or(0);
-    let global_max = comm.all_reduce(if nlocal == 0 { 0 } else { local_max }, ReduceOp::Max);
+    let global_max = comm.with_step(CommStep::Other, || {
+        comm.all_reduce(if nlocal == 0 { 0 } else { local_max }, ReduceOp::Max)
+    });
     (
         color.into_iter().map(|c| c as u32).collect(),
         global_max as u32 + 1,

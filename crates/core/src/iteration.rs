@@ -1009,6 +1009,14 @@ pub fn louvain_phase(
         0.0
     };
 
+    // Memory gauges at phase end: buffer capacities are monotone within
+    // a phase, so this samples the arena's and wire pools' high-water
+    // marks (min/max land in the gauge stats across phases).
+    if louvain_obs::enabled() {
+        louvain_obs::gauge_set("mem.scratch_bytes", scratch.approx_bytes() as f64);
+        louvain_obs::gauge_set("mem.wire_bytes", ghosts.wire_bytes() as f64);
+    }
+
     PhaseResult {
         comm_of_local,
         ghost_comm,
@@ -1056,12 +1064,17 @@ fn apply_vertex_following(
     let part = lg.partition();
     let first = lg.first_vertex();
     let nlocal = lg.num_local();
+    // Vertex-following traffic keeps its default `Other` attribution;
+    // the explicit scopes give it wait/transfer sub-spans so the traced
+    // byte counters reconcile with the sub-span totals.
     let refresh = |vals: &[u64], out: &mut Vec<u64>| {
-        if neighborhood {
-            ghosts.refresh_neighborhood(comm, vals, out);
-        } else {
-            ghosts.refresh(comm, vals, out);
-        }
+        comm.with_step(CommStep::Other, || {
+            if neighborhood {
+                ghosts.refresh_neighborhood(comm, vals, out);
+            } else {
+                ghosts.refresh(comm, vals, out);
+            }
+        });
     };
 
     // -- Peeling rounds. ---------------------------------------------------
@@ -1116,7 +1129,9 @@ fn apply_vertex_following(
             parent[l] = Some(u);
             peeled += 1;
         }
-        if comm.all_reduce(peeled, ReduceOp::Sum) == 0 {
+        let peeled_global =
+            comm.with_step(CommStep::Other, || comm.all_reduce(peeled, ReduceOp::Sum));
+        if peeled_global == 0 {
             break;
         }
     }
@@ -1132,7 +1147,7 @@ fn apply_vertex_following(
                 requests[part.owner_of(t)].push(t);
             }
         }
-        let incoming = comm.all_to_all_v(requests);
+        let incoming = comm.with_step(CommStep::Other, || comm.all_to_all_v(requests));
         let replies: Vec<Vec<(VertexId, u64, VertexId)>> = incoming
             .iter()
             .map(|ids| {
@@ -1148,7 +1163,7 @@ fn apply_vertex_following(
                     .collect()
             })
             .collect();
-        let reply_vals = comm.all_to_all_v(replies);
+        let reply_vals = comm.with_step(CommStep::Other, || comm.all_to_all_v(replies));
         let mut next: FastMap<VertexId, (bool, VertexId)> = fast_map();
         for vals in &reply_vals {
             for &(u, alive_flag, nxt) in vals {
@@ -1169,7 +1184,10 @@ fn apply_vertex_following(
                 unresolved += 1;
             }
         }
-        if comm.all_reduce(unresolved, ReduceOp::Sum) == 0 {
+        let unresolved_global = comm.with_step(CommStep::Other, || {
+            comm.all_reduce(unresolved, ReduceOp::Sum)
+        });
+        if unresolved_global == 0 {
             break;
         }
     }
@@ -1204,7 +1222,7 @@ fn apply_vertex_following(
     for (&c, &(da, ds)) in &deltas {
         delta_msgs[part.owner_of(c)].push((c, da, ds));
     }
-    let received = comm.all_to_all_v(delta_msgs);
+    let received = comm.with_step(CommStep::Other, || comm.all_to_all_v(delta_msgs));
     for msgs in &received {
         for &(c, da, ds) in msgs {
             let i = (c - first) as usize;

@@ -12,7 +12,7 @@
 //!    vertices,
 //! 7. rebuild the CSR arrays of the coarse graph.
 
-use louvain_comm::{Comm, ReduceOp};
+use louvain_comm::{Comm, CommStep, ReduceOp};
 use louvain_graph::hash::{fast_map, fast_set, FastMap};
 use louvain_graph::{LocalGraph, VertexId, VertexPartition, Weight};
 
@@ -64,7 +64,7 @@ pub fn rebuild(
             }
         }
     }
-    let reports = comm.all_to_all_v(report_sets);
+    let reports = comm.with_step(CommStep::Other, || comm.all_to_all_v(report_sets));
     let mut survivors: Vec<VertexId> = {
         let mut s = fast_set::<VertexId>();
         for list in &reports {
@@ -77,8 +77,12 @@ pub fn rebuild(
 
     // -- Step 3: global renumbering via exclusive prefix sum. -------------
     let k_local = survivors.len() as u64;
-    let base = comm.exscan_sum(k_local);
-    let new_num_vertices = comm.all_reduce(k_local, ReduceOp::Sum);
+    let (base, new_num_vertices) = comm.with_step(CommStep::Other, || {
+        (
+            comm.exscan_sum(k_local),
+            comm.all_reduce(k_local, ReduceOp::Sum),
+        )
+    });
     let mut owned_new_id: FastMap<VertexId, VertexId> = fast_map();
     for (i, &c) in survivors.iter().enumerate() {
         owned_new_id.insert(c, base + i as u64);
@@ -96,7 +100,7 @@ pub fn rebuild(
             }
         }
     }
-    let incoming_queries = comm.all_to_all_v(query_sets);
+    let incoming_queries = comm.with_step(CommStep::Other, || comm.all_to_all_v(query_sets));
     // Keyed replies (community, new id) avoid cloning the query sets just
     // to decode positional responses.
     let replies: Vec<Vec<(VertexId, VertexId)>> = incoming_queries
@@ -114,7 +118,7 @@ pub fn rebuild(
                 .collect()
         })
         .collect();
-    let reply_vals = comm.all_to_all_v(replies);
+    let reply_vals = comm.with_step(CommStep::Other, || comm.all_to_all_v(replies));
     let mut new_id: FastMap<VertexId, VertexId> = owned_new_id;
     for pairs in &reply_vals {
         for &(c, id) in pairs {
@@ -144,7 +148,7 @@ pub fn rebuild(
     }
 
     // -- Step 6: redistribute. ---------------------------------------------
-    let received = comm.all_to_all_v(outgoing);
+    let received = comm.with_step(CommStep::Other, || comm.all_to_all_v(outgoing));
     let arcs: Vec<(VertexId, VertexId, Weight)> = received.into_iter().flatten().collect();
     work.edges_scanned += arcs.len() as u64;
 

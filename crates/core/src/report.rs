@@ -13,10 +13,151 @@
 
 use louvain_comm::CommStep;
 use louvain_obs::{
-    HealthTotals, HungEvent, ModeledBreakdown, RankHealth, RankTotals, RunReport, StepTotal,
+    ArgValue, EventKind, HealthTotals, HungEvent, MessageEdge, ModeledBreakdown, PhaseProfileRow,
+    RankHealth, RankTotals, RunReport, StepTotal, TraceData, TraceEvent,
 };
 
 use crate::api::DistOutcome;
+
+fn arg_u64(ev: &TraceEvent, key: &str) -> Option<u64> {
+    ev.args
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            ArgValue::U64(n) => Some(*n),
+            ArgValue::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        })
+}
+
+fn arg_str<'a>(ev: &'a TraceEvent, key: &str) -> Option<&'a str> {
+    ev.args
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            ArgValue::Str(s) => Some(*s),
+            _ => None,
+        })
+}
+
+fn is_comm_step_span(ev: &TraceEvent) -> bool {
+    ev.cat == "comm" && CommStep::ALL.iter().any(|s| s.label() == ev.name)
+}
+
+/// Per-(rank, phase) wall attribution derived from the trace: the
+/// `phase` span is the window, comm-step spans inside it are wall spent
+/// in communication (split into `wait` — the blocked sub-spans — and
+/// `transfer`, the remainder), `rebuild` spans minus their nested comm
+/// are graph reconstruction, and `compute` is the residual. The four
+/// buckets sum to the window by construction (up to clamping when a
+/// nested span leaks past its parent's edge).
+fn build_phase_profile(trace: &TraceData) -> Vec<PhaseProfileRow> {
+    let mut rows: std::collections::BTreeMap<(usize, u64), PhaseProfileRow> =
+        std::collections::BTreeMap::new();
+    for rt in &trace.ranks {
+        for ev in &rt.events {
+            let EventKind::Complete { dur_ns } = ev.kind else {
+                continue;
+            };
+            if ev.name != "phase" {
+                continue;
+            }
+            let Some(phase) = arg_u64(ev, "phase") else {
+                continue;
+            };
+            let (start, end) = (ev.ts_ns, ev.ts_ns + dur_ns);
+            let within =
+                |e: &TraceEvent| e.attempt == ev.attempt && e.ts_ns >= start && e.ts_ns < end;
+            let mut comm_wall = 0u64;
+            let mut wait = 0u64;
+            let mut rebuild_wall = 0u64;
+            let mut rebuild_windows: Vec<(u64, u64)> = Vec::new();
+            for e in rt.events.iter().filter(|e| within(e)) {
+                if e.name == "rebuild" {
+                    let d = e.dur_ns();
+                    rebuild_wall += d;
+                    rebuild_windows.push((e.ts_ns, e.ts_ns + d));
+                }
+            }
+            let mut comm_in_rebuild = 0u64;
+            for e in rt.events.iter().filter(|e| within(e)) {
+                if e.name == "wait" && e.cat == "comm" {
+                    wait += e.dur_ns();
+                } else if is_comm_step_span(e) {
+                    comm_wall += e.dur_ns();
+                    if rebuild_windows
+                        .iter()
+                        .any(|&(s, t)| e.ts_ns >= s && e.ts_ns < t)
+                    {
+                        comm_in_rebuild += e.dur_ns();
+                    }
+                }
+            }
+            let rebuild_ns = rebuild_wall.saturating_sub(comm_in_rebuild);
+            let row = rows.entry((rt.rank, phase)).or_insert(PhaseProfileRow {
+                rank: rt.rank,
+                phase,
+                ..Default::default()
+            });
+            row.total_ns += dur_ns;
+            row.wait_ns += wait.min(comm_wall);
+            row.transfer_ns += comm_wall.saturating_sub(wait);
+            row.rebuild_ns += rebuild_ns;
+            row.compute_ns += dur_ns.saturating_sub(comm_wall + rebuild_ns);
+        }
+    }
+    rows.into_values().collect()
+}
+
+/// Matched cross-rank message edges: every `msg_send` instant paired
+/// with the `msg_recv` recorded by the destination rank. The Lamport
+/// stamp is unique per (sender, attempt), so `(src, lamport, attempt)`
+/// is the join key; sends whose delivery was never observed (e.g. the
+/// receiver crashed first) are dropped.
+fn build_message_edges(trace: &TraceData) -> Vec<MessageEdge> {
+    let mut recvs: std::collections::BTreeMap<(u64, u64, u32), u64> =
+        std::collections::BTreeMap::new();
+    for rt in &trace.ranks {
+        for ev in &rt.events {
+            if ev.name != "msg_recv" {
+                continue;
+            }
+            if let (Some(src), Some(lamport)) = (arg_u64(ev, "src"), arg_u64(ev, "lamport")) {
+                recvs.insert((src, lamport, ev.attempt), ev.ts_ns);
+            }
+        }
+    }
+    let mut edges = Vec::new();
+    for rt in &trace.ranks {
+        for ev in &rt.events {
+            if ev.name != "msg_send" {
+                continue;
+            }
+            let (Some(src), Some(dst), Some(lamport)) = (
+                arg_u64(ev, "src"),
+                arg_u64(ev, "dst"),
+                arg_u64(ev, "lamport"),
+            ) else {
+                continue;
+            };
+            let Some(&recv_ts) = recvs.get(&(src, lamport, ev.attempt)) else {
+                continue;
+            };
+            edges.push(MessageEdge {
+                src: src as usize,
+                dst: dst as usize,
+                step: arg_str(ev, "step").unwrap_or("other").to_string(),
+                lamport,
+                bytes: arg_u64(ev, "bytes").unwrap_or(0),
+                send_ts_ns: ev.ts_ns,
+                recv_ts_ns: recv_ts,
+                modeled_ns: arg_u64(ev, "modeled_ns").unwrap_or(0),
+            });
+        }
+    }
+    edges.sort_by_key(|e| (e.src, e.lamport));
+    edges
+}
 
 /// Run identity that the [`DistOutcome`] itself does not know: what
 /// graph was run, under which variant label, with how many software
@@ -72,6 +213,7 @@ pub fn build_run_report(outcome: &DistOutcome, meta: &ReportMeta) -> RunReport {
             step: step.label().to_string(),
             bytes: traffic.step_bytes_for(step),
             messages: traffic.step_messages_for(step),
+            wait_ns: traffic.step_wait_nanos_for(step),
         })
         .collect();
 
@@ -95,6 +237,7 @@ pub fn build_run_report(outcome: &DistOutcome, meta: &ReportMeta) -> RunReport {
                 modeled_comm_seconds: s.modeled_seconds,
                 step_messages: s.step_messages.to_vec(),
                 step_bytes: s.step_bytes.to_vec(),
+                wait_ns: s.wait_nanos_total(),
                 events_recorded,
                 events_dropped,
             }
@@ -151,9 +294,14 @@ pub fn build_run_report(outcome: &DistOutcome, meta: &ReportMeta) -> RunReport {
 
     let (compute, comm, reduce, rebuild) = outcome.modeled_breakdown();
 
-    let (mut metrics, spans) = match &outcome.trace {
-        Some(t) => (t.merged_metrics(), t.span_rollup()),
-        None => (Default::default(), Vec::new()),
+    let (mut metrics, spans, phase_profile, messages) = match &outcome.trace {
+        Some(t) => (
+            t.merged_metrics(),
+            t.span_rollup(),
+            build_phase_profile(t),
+            build_message_edges(t),
+        ),
+        None => (Default::default(), Vec::new(), Vec::new(), Vec::new()),
     };
 
     // Per-rank imbalance row: one observation per rank of its total
@@ -212,6 +360,8 @@ pub fn build_run_report(outcome: &DistOutcome, meta: &ReportMeta) -> RunReport {
         per_rank,
         metrics,
         spans,
+        phase_profile,
+        messages,
     }
 }
 

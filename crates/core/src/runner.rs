@@ -55,7 +55,10 @@ fn pull_values(
     for &k in unique.keys() {
         requests[part.owner_of(k)].push(k);
     }
-    let incoming = comm.all_to_all_v(requests);
+    // `Other` is the default attribution; the explicit scope exists so
+    // the projection traffic gets wait/transfer sub-spans like every
+    // other collective (the counter totals are unchanged).
+    let incoming = comm.with_step(CommStep::Other, || comm.all_to_all_v(requests));
     // Keyed replies (key, value) make retaining a copy of the outbound
     // requests unnecessary.
     let replies: Vec<Vec<(VertexId, VertexId)>> = incoming
@@ -69,7 +72,7 @@ fn pull_values(
                 .collect()
         })
         .collect();
-    let reply_vals = comm.all_to_all_v(replies);
+    let reply_vals = comm.with_step(CommStep::Other, || comm.all_to_all_v(replies));
     let mut map: FastMap<VertexId, VertexId> = fast_map();
     for pairs in &reply_vals {
         for &(k, v) in pairs {
@@ -77,6 +80,44 @@ fn pull_values(
         }
     }
     keys.iter().map(|k| map[k]).collect()
+}
+
+/// Process peak resident set (`VmHWM` from `/proc/self/status`), in
+/// bytes; 0 where unavailable (non-Linux, or a restricted procfs).
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Per-phase memory gauges: CSR and ghost-table resident bytes plus the
+/// process peak RSS. Sampled once per phase right after the ghost build,
+/// when both structures are at their final size for the phase.
+fn record_memory_gauges(lg: &LocalGraph, ghosts: &GhostLayer) {
+    if !louvain_obs::enabled() {
+        return;
+    }
+    let (offsets, dests, weights) = lg.csr_parts();
+    let csr = std::mem::size_of_val(offsets)
+        + std::mem::size_of_val(dests)
+        + std::mem::size_of_val(weights);
+    louvain_obs::gauge_set("mem.csr_bytes", csr as f64);
+    louvain_obs::gauge_set("mem.ghost_bytes", ghosts.approx_bytes() as f64);
+    louvain_obs::gauge_set("mem.peak_rss_bytes", peak_rss_bytes() as f64);
 }
 
 /// One rank's state recovered from the newest complete checkpoint.
@@ -214,9 +255,14 @@ pub fn run_on_rank_resilient(
 
         let mut ghosts = {
             let _s = louvain_obs::span!("ghost_build", phase = phase_idx);
-            GhostLayer::build(comm, &lg)
+            // Scoped under `Other` (its default attribution) so the
+            // slot-map exchange gets wait/transfer sub-spans.
+            comm.with_step(CommStep::Other, || GhostLayer::build(comm, &lg))
         };
-        let two_m = comm.all_reduce(lg.local_arc_weight(), ReduceOp::Sum);
+        record_memory_gauges(&lg, &ghosts);
+        let two_m = comm.with_step(CommStep::Other, || {
+            comm.all_reduce(lg.local_arc_weight(), ReduceOp::Sum)
+        });
         let ctx = PhaseContext {
             comm,
             lg: &lg,

@@ -92,6 +92,38 @@ impl IterScratch {
             .unwrap_or_else(|e| e.into_inner())
             .push(m);
     }
+
+    /// Approximate resident bytes of the arena, from buffer *capacities*
+    /// (not lengths): buffers only grow within a phase, so sampling at
+    /// phase end yields the arena's high-water mark for the
+    /// `mem.scratch_bytes` gauge.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        fn flat<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * size_of::<T>()) as u64
+        }
+        fn nested<T>(v: &[Vec<T>]) -> u64 {
+            v.iter()
+                .map(|b| (b.capacity() * size_of::<T>()) as u64)
+                .sum()
+        }
+        let weights = self.weights.lock().unwrap_or_else(|e| e.into_inner());
+        flat(&self.comm_snapshot)
+            + flat(&self.last_pushed)
+            + flat(&self.changed)
+            + flat(&self.active)
+            + (self.needed.capacity() * size_of::<VertexId>()) as u64
+            + nested(&self.requests)
+            + nested(&self.replies)
+            + (self.remote_a.capacity() * size_of::<(VertexId, (Weight, u64))>()) as u64
+            + flat(&self.round_vertices)
+            + nested(&self.delta_msgs)
+            + nested(&self.batches)
+            + weights
+                .iter()
+                .map(|m| (m.capacity() * size_of::<(VertexId, Weight)>()) as u64)
+                .sum::<u64>()
+    }
 }
 
 /// Reclaim the vectors received from one collective as the send buffers

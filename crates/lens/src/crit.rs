@@ -1,0 +1,700 @@
+//! `lens crit` — cross-rank critical-path analysis over the causal
+//! profiling sections of a [`RunArtifact`].
+//!
+//! A traced run carries two causal sections in its [`RunReport`]:
+//!
+//! - `phase_profile`: per-(rank, phase) wall attribution derived from the
+//!   span tree (compute / transfer / wait / rebuild, summing to the
+//!   phase-span wall by construction), and
+//! - `messages`: Lamport-matched send/recv edges with wire bytes and the
+//!   α-β modeled cost of each edge.
+//!
+//! From these we reconstruct the happens-before DAG. Nodes are
+//! (rank, phase) cells; within a rank, phase `k` happens-before phase
+//! `k+1`; across ranks, the end-of-phase reduction is an all-to-all
+//! barrier, so every rank's phase `k` happens-before every rank's phase
+//! `k+1` (the message edges realize a subset of these barrier edges — we
+//! use them for blame refinement, the barrier for path structure). The
+//! longest path through that DAG is computed by dynamic programming:
+//! because each frontier is all-to-all, `longest(k) = longest(k-1) +
+//! max_rank(total_ns[k])`, and backtracking the per-phase argmax yields
+//! the slowest-rank chain.
+//!
+//! On top of the path we report:
+//!
+//! - per-phase wall attribution along the critical path and its
+//!   aggregate compute/transfer/wait/rebuild fractions (they sum to 1
+//!   because each cell's buckets sum to its total),
+//! - straggler blame: the rank spending the most *self* time (compute +
+//!   transfer + rebuild, excluding blocked wait — wait is victim time: a
+//!   rank stalled behind a straggler must not inherit the blame),
+//!   refined by message evidence (the receiver whose incoming edges show
+//!   the most delivery latency in excess of the α-β model — in the
+//!   simulated clocks, excess latency means the message folded late
+//!   because the receiver's clock had run ahead),
+//! - an α-β fit: least-squares of `modeled_ns` against `bytes` over all
+//!   message edges, compared to the generating [`CostModel::aries`]
+//!   constants. The recovered constants must land within
+//!   [`FIT_TOLERANCE`] (5%) of the model — slack that covers the
+//!   per-edge u64-nanosecond truncation of the traced clocks — which CI
+//!   asserts on the committed bench artifact,
+//! - a byte reconciliation between the matched message edges and the
+//!   run's p2p traffic counters (exact on clean runs, where every
+//!   logical p2p message is traced at both endpoints),
+//! - and, given a baseline artifact, a wait-fraction regression gate:
+//!   the run fails when its blocked-wait share of traced wall exceeds
+//!   the baseline's by more than an absolute `wait_tol` slack.
+//!
+//! Rendering is deterministic (fixed float precision, `BTreeMap`
+//! ordering, no clocks): same artifacts in, byte-identical report out.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use louvain_comm::CostModel;
+use louvain_obs::{MessageEdge, PhaseProfileRow, RunArtifact, RunReport};
+
+/// Relative tolerance for the recovered α and β against the generating
+/// model constants. The traced `modeled_ns` values are u64-truncated
+/// nanoseconds of an exactly linear model, so the fit is near-exact;
+/// 5% leaves room for truncation and tiny-sample runs.
+pub const FIT_TOLERANCE: f64 = 0.05;
+
+/// Default absolute slack allowed on the wait fraction versus a
+/// baseline before `crit` fails the gate (`--wait-tol`).
+pub const DEFAULT_WAIT_TOL: f64 = 0.25;
+
+/// One step of the slowest-rank chain: the cell that carried phase
+/// `phase` on the critical path.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainStep {
+    pub phase: u64,
+    pub rank: usize,
+    pub cell: PhaseProfileRow,
+}
+
+/// Least-squares α-β recovery from the message edges.
+#[derive(Debug, Clone, Copy)]
+pub struct AlphaBetaFit {
+    /// Edges the fit used.
+    pub edges: usize,
+    /// Recovered latency term, seconds.
+    pub alpha_seconds: f64,
+    /// Recovered inverse bandwidth, seconds per byte.
+    pub beta_seconds_per_byte: f64,
+    /// Relative error of α against the generating model.
+    pub alpha_rel_err: f64,
+    /// Relative error of β against the generating model.
+    pub beta_rel_err: f64,
+}
+
+impl AlphaBetaFit {
+    /// Both constants within [`FIT_TOLERANCE`] of the model.
+    pub fn within_tolerance(&self) -> bool {
+        self.alpha_rel_err.abs() <= FIT_TOLERANCE && self.beta_rel_err.abs() <= FIT_TOLERANCE
+    }
+}
+
+/// Crit analysis of one traced run.
+#[derive(Debug, Clone)]
+pub struct RunCrit {
+    pub label: String,
+    pub ranks: usize,
+    /// Slowest-rank chain, one entry per phase in phase order.
+    pub chain: Vec<ChainStep>,
+    /// Critical-path length: sum of the chain cells' totals.
+    pub critical_path_ns: u64,
+    /// Whole-run wall from the report, for the path/wall ratio.
+    pub wall_ns: u64,
+    /// (compute, transfer, wait, rebuild) sums along the chain.
+    pub path_breakdown_ns: [u64; 4],
+    /// Rank with the most self time (compute + transfer + rebuild,
+    /// excluding blocked wait) and its share of all-rank self time.
+    /// Wait is victim time: a rank blocked behind a straggler must not
+    /// inherit the blame, so the straggler is whoever spends the most
+    /// non-wait wall.
+    pub blame_rank: usize,
+    pub blame_share: f64,
+    /// Receiver whose incoming edges show the most delivery latency in
+    /// excess of the α-β model, and that excess (`None` when no edge
+    /// exceeds the model). Excess latency means the message folded late
+    /// because the receiver's clock had run ahead (busy or stalled).
+    pub message_blame: Option<(usize, u64)>,
+    /// α-β recovery (`None` when the edges are degenerate — fewer than
+    /// two distinct message sizes).
+    pub fit: Option<AlphaBetaFit>,
+    /// Total bytes over matched message edges vs the run's p2p byte
+    /// counters (equal on clean runs).
+    pub edge_bytes: u64,
+    pub p2p_bytes: u64,
+    /// Blocked-wait share of traced wall across all cells.
+    pub wait_fraction: f64,
+    /// Baseline wait fraction when the baseline had this label.
+    pub baseline_wait_fraction: Option<f64>,
+    /// Wait-gate verdict: `None` = no baseline to gate against.
+    pub wait_gate_ok: Option<bool>,
+}
+
+impl RunCrit {
+    /// (compute, transfer, wait, rebuild) as fractions of the critical
+    /// path. Sums to 1 whenever the path is non-empty, because each
+    /// cell's four buckets sum to its total by construction.
+    pub fn path_fractions(&self) -> [f64; 4] {
+        let t = self.critical_path_ns;
+        if t == 0 {
+            return [0.0; 4];
+        }
+        self.path_breakdown_ns.map(|v| v as f64 / t as f64)
+    }
+}
+
+/// The full crit report: analyzed runs plus the labels skipped for
+/// lacking causal sections.
+#[derive(Debug, Clone)]
+pub struct CritReport {
+    pub artifact: String,
+    pub runs: Vec<RunCrit>,
+    /// Labels present in the artifact but not analyzable (no message
+    /// events / phase profile).
+    pub skipped: Vec<String>,
+}
+
+impl CritReport {
+    /// Gate verdict: every gated run within its wait tolerance. Runs
+    /// without a baseline counterpart do not fail the gate.
+    pub fn passed(&self) -> bool {
+        self.runs.iter().all(|r| r.wait_gate_ok.unwrap_or(true))
+    }
+
+    /// Deterministic human rendering (byte-identical across invocations
+    /// on the same inputs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "crit: {} ({} analyzed, {} skipped)",
+            self.artifact,
+            self.runs.len(),
+            self.skipped.len()
+        );
+        for label in &self.skipped {
+            let _ = writeln!(out, "  skipped {label}: no causal trace sections");
+        }
+        for r in &self.runs {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "{}  ranks={}", r.label, r.ranks);
+            let ratio = if r.wall_ns > 0 {
+                100.0 * r.critical_path_ns as f64 / r.wall_ns as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  critical path: {:.3}ms of {:.3}ms wall ({:.1}%)",
+                r.critical_path_ns as f64 / 1e6,
+                r.wall_ns as f64 / 1e6,
+                ratio
+            );
+            let [fc, ft, fw, fb] = r.path_fractions();
+            let _ = writeln!(
+                out,
+                "  attribution: compute {:.1}% transfer {:.1}% wait {:.1}% rebuild {:.1}%",
+                100.0 * fc,
+                100.0 * ft,
+                100.0 * fw,
+                100.0 * fb
+            );
+            let _ = writeln!(out, "  slowest-rank chain:");
+            for s in &r.chain {
+                let _ = writeln!(
+                    out,
+                    "    phase {:>2}: rank {:>2}  total {:>10.3}ms  compute {:.3} transfer {:.3} wait {:.3} rebuild {:.3}",
+                    s.phase,
+                    s.rank,
+                    s.cell.total_ns as f64 / 1e6,
+                    s.cell.compute_ns as f64 / 1e6,
+                    s.cell.transfer_ns as f64 / 1e6,
+                    s.cell.wait_ns as f64 / 1e6,
+                    s.cell.rebuild_ns as f64 / 1e6,
+                );
+            }
+            let _ = write!(
+                out,
+                "  straggler blame: rank {} ({:.1}% of self time)",
+                r.blame_rank,
+                100.0 * r.blame_share
+            );
+            match r.message_blame {
+                Some((rank, excess)) => {
+                    let _ = writeln!(
+                        out,
+                        "; message excess blames rank {} ({:.3}ms over model)",
+                        rank,
+                        excess as f64 / 1e6
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "; no message edge exceeded the model");
+                }
+            }
+            match &r.fit {
+                Some(f) => {
+                    let _ = writeln!(
+                        out,
+                        "  alpha-beta fit over {} edges: alpha={:.4e} s ({:+.2}% vs model) beta={:.4e} s/B ({:+.2}% vs model){}",
+                        f.edges,
+                        f.alpha_seconds,
+                        100.0 * f.alpha_rel_err,
+                        f.beta_seconds_per_byte,
+                        100.0 * f.beta_rel_err,
+                        if f.within_tolerance() {
+                            ""
+                        } else {
+                            "  OUTSIDE TOLERANCE"
+                        }
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  alpha-beta fit: skipped (degenerate message sizes)");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  messages: {} bytes traced, {} bytes in p2p counters ({})",
+                r.edge_bytes,
+                r.p2p_bytes,
+                if r.edge_bytes == r.p2p_bytes {
+                    "exact match"
+                } else {
+                    "MISMATCH"
+                }
+            );
+            match (r.baseline_wait_fraction, r.wait_gate_ok) {
+                (Some(base), Some(ok)) => {
+                    let _ = writeln!(
+                        out,
+                        "  wait fraction: {:.4} (baseline {:.4}) {}",
+                        r.wait_fraction,
+                        base,
+                        if ok { "OK" } else { "REGRESSION" }
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "  wait fraction: {:.4} (no baseline)", r.wait_fraction);
+                }
+            }
+        }
+        if !self.runs.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "crit gate: {}",
+                if self.passed() { "PASS" } else { "FAIL" }
+            );
+        }
+        out
+    }
+}
+
+/// Blocked-wait share of traced wall across every (rank, phase) cell.
+fn wait_fraction(rows: &[PhaseProfileRow]) -> f64 {
+    let total: u64 = rows.iter().map(|r| r.total_ns).sum();
+    let wait: u64 = rows.iter().map(|r| r.wait_ns).sum();
+    if total == 0 {
+        0.0
+    } else {
+        wait as f64 / total as f64
+    }
+}
+
+/// Longest path through the barrier-coupled phase DAG: pick the slowest
+/// rank per phase, in phase order.
+fn slowest_chain(rows: &[PhaseProfileRow]) -> Vec<ChainStep> {
+    let mut by_phase: BTreeMap<u64, ChainStep> = BTreeMap::new();
+    for row in rows {
+        let step = ChainStep {
+            phase: row.phase,
+            rank: row.rank,
+            cell: *row,
+        };
+        by_phase
+            .entry(row.phase)
+            .and_modify(|cur| {
+                // Ties break toward the lower rank for determinism.
+                if row.total_ns > cur.cell.total_ns
+                    || (row.total_ns == cur.cell.total_ns && row.rank < cur.rank)
+                {
+                    *cur = step;
+                }
+            })
+            .or_insert(step);
+    }
+    by_phase.into_values().collect()
+}
+
+/// Least-squares line through (bytes, modeled_ns), reported in seconds
+/// and seconds-per-byte against [`CostModel::aries`].
+fn fit_alpha_beta(edges: &[MessageEdge]) -> Option<AlphaBetaFit> {
+    let n = edges.len() as f64;
+    if edges.len() < 2 {
+        return None;
+    }
+    let sx: f64 = edges.iter().map(|e| e.bytes as f64).sum();
+    let sy: f64 = edges.iter().map(|e| e.modeled_ns as f64).sum();
+    let sxx: f64 = edges.iter().map(|e| (e.bytes as f64).powi(2)).sum();
+    let sxy: f64 = edges
+        .iter()
+        .map(|e| e.bytes as f64 * e.modeled_ns as f64)
+        .sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return None; // every edge the same size: slope unobservable
+    }
+    let beta_ns = (n * sxy - sx * sy) / denom;
+    let alpha_ns = (sy - beta_ns * sx) / n;
+    let model = CostModel::aries();
+    let alpha_seconds = alpha_ns * 1e-9;
+    let beta_seconds_per_byte = beta_ns * 1e-9;
+    Some(AlphaBetaFit {
+        edges: edges.len(),
+        alpha_seconds,
+        beta_seconds_per_byte,
+        alpha_rel_err: (alpha_seconds - model.alpha) / model.alpha,
+        beta_rel_err: (beta_seconds_per_byte - model.beta) / model.beta,
+    })
+}
+
+/// Receiver whose incoming edges show the most delivery latency in
+/// excess of the α-β model — the message-level straggler. In the
+/// simulated clocks `recv_ts = max(receiver_clock, send_ts + modeled)`,
+/// so any excess over the model means the *receiver* was behind on
+/// folding the delivery (busy or stalled); the sender's own delay shows
+/// up in a late `send_ts`, not in the edge latency.
+fn message_blame(edges: &[MessageEdge]) -> Option<(usize, u64)> {
+    let mut excess: BTreeMap<usize, u64> = BTreeMap::new();
+    for e in edges {
+        let latency = e.recv_ts_ns.saturating_sub(e.send_ts_ns);
+        let over = latency.saturating_sub(e.modeled_ns);
+        if over > 0 {
+            *excess.entry(e.dst).or_insert(0) += over;
+        }
+    }
+    // Max excess; ties break toward the lower rank (BTreeMap order).
+    excess
+        .into_iter()
+        .max_by_key(|&(rank, ns)| (ns, usize::MAX - rank))
+}
+
+fn analyze_run(
+    label: &str,
+    report: &RunReport,
+    baseline: Option<&RunReport>,
+    wait_tol: f64,
+) -> RunCrit {
+    let chain = slowest_chain(&report.phase_profile);
+    let critical_path_ns: u64 = chain.iter().map(|s| s.cell.total_ns).sum();
+    let mut path_breakdown_ns = [0u64; 4];
+    for s in &chain {
+        path_breakdown_ns[0] += s.cell.compute_ns;
+        path_breakdown_ns[1] += s.cell.transfer_ns;
+        path_breakdown_ns[2] += s.cell.wait_ns;
+        path_breakdown_ns[3] += s.cell.rebuild_ns;
+    }
+    // Straggler blame goes by *self* time across every cell, not chain
+    // membership: a rank blocked waiting on the straggler can carry the
+    // longest per-phase wall (its wait absorbs the stall) and would
+    // steal the blame if wait counted.
+    let mut per_rank_self: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut total_self: u64 = 0;
+    for row in &report.phase_profile {
+        let self_ns = row.compute_ns + row.transfer_ns + row.rebuild_ns;
+        *per_rank_self.entry(row.rank).or_insert(0) += self_ns;
+        total_self += self_ns;
+    }
+    let (blame_rank, blame_ns) = per_rank_self
+        .into_iter()
+        .max_by_key(|&(rank, ns)| (ns, usize::MAX - rank))
+        .unwrap_or((0, 0));
+    let blame_share = if total_self > 0 {
+        blame_ns as f64 / total_self as f64
+    } else {
+        0.0
+    };
+    let edge_bytes: u64 = report.messages.iter().map(|e| e.bytes).sum();
+    let p2p_bytes: u64 = report.per_rank.iter().map(|r| r.p2p_bytes).sum();
+    let frac = wait_fraction(&report.phase_profile);
+    let baseline_wait_fraction = baseline.map(|b| wait_fraction(&b.phase_profile));
+    let wait_gate_ok = baseline_wait_fraction.map(|base| frac <= base + wait_tol);
+    RunCrit {
+        label: label.to_string(),
+        ranks: report.ranks,
+        chain,
+        critical_path_ns,
+        wall_ns: (report.wall_seconds * 1e9) as u64,
+        path_breakdown_ns,
+        blame_rank,
+        blame_share,
+        message_blame: message_blame(&report.messages),
+        fit: fit_alpha_beta(&report.messages),
+        edge_bytes,
+        p2p_bytes,
+        wait_fraction: frac,
+        baseline_wait_fraction,
+        wait_gate_ok,
+    }
+}
+
+/// Analyze every causally-traced run of `artifact`, gating wait
+/// fractions against `baseline` (matched by label) when given.
+///
+/// Errors when **no** run carries the causal sections — legacy
+/// artifacts written before the profiling layer degrade with a clear
+/// message instead of an empty report.
+pub fn crit(
+    artifact: &RunArtifact,
+    baseline: Option<&RunArtifact>,
+    wait_tol: f64,
+) -> Result<CritReport, String> {
+    let base_by_label: BTreeMap<&str, &RunReport> = baseline
+        .map(|b| {
+            b.runs
+                .iter()
+                .map(|e| (e.label.as_str(), &e.report))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut runs = Vec::new();
+    let mut skipped = Vec::new();
+    for entry in &artifact.runs {
+        let r = &entry.report;
+        if r.messages.is_empty() || r.phase_profile.is_empty() {
+            skipped.push(entry.label.clone());
+            continue;
+        }
+        runs.push(analyze_run(
+            &entry.label,
+            r,
+            base_by_label.get(entry.label.as_str()).copied(),
+            wait_tol,
+        ));
+    }
+    if runs.is_empty() {
+        return Err(format!(
+            "artifact `{}` has no runs with message events: it predates the \
+             causal profiling layer (re-run the bench with tracing to produce \
+             phase_profile and messages sections)",
+            artifact.name
+        ));
+    }
+    Ok(CritReport {
+        artifact: artifact.name.clone(),
+        runs,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use louvain_obs::{RankTotals, RunEntry};
+
+    fn cell(rank: usize, phase: u64, c: u64, t: u64, w: u64, b: u64) -> PhaseProfileRow {
+        PhaseProfileRow {
+            rank,
+            phase,
+            compute_ns: c,
+            transfer_ns: t,
+            wait_ns: w,
+            rebuild_ns: b,
+            total_ns: c + t + w + b,
+        }
+    }
+
+    fn edge(src: usize, dst: usize, bytes: u64, latency_ns: u64) -> MessageEdge {
+        let model = CostModel::aries();
+        MessageEdge {
+            src,
+            dst,
+            step: "ghost_refresh".into(),
+            lamport: 1,
+            bytes,
+            send_ts_ns: 1_000,
+            recv_ts_ns: 1_000 + latency_ns,
+            modeled_ns: (model.p2p(bytes) * 1e9) as u64,
+        }
+    }
+
+    fn traced_entry(label: &str) -> RunEntry {
+        let phase_profile = vec![
+            cell(0, 0, 700, 100, 50, 150),
+            cell(1, 0, 900, 100, 200, 100), // slowest in phase 0
+            cell(0, 1, 400, 50, 25, 25),    // slowest in phase 1
+            cell(1, 1, 300, 50, 25, 25),
+        ];
+        let messages = vec![
+            edge(0, 1, 64, 2_000),
+            // Rank 1 folds this delivery far beyond the model: the
+            // receiver-side excess has to blame rank 1.
+            edge(0, 1, 4_096, 9_000_000),
+            edge(1, 0, 1_024, 2_000),
+        ];
+        let p2p_bytes: u64 = messages.iter().map(|e| e.bytes).sum();
+        RunEntry {
+            label: label.into(),
+            report: RunReport {
+                graph: "g".into(),
+                ranks: 2,
+                variant: "delta".into(),
+                wall_seconds: 2.0e-6,
+                per_rank: vec![RankTotals {
+                    rank: 0,
+                    p2p_messages: 3,
+                    p2p_bytes,
+                    collective_calls: 0,
+                    collective_bytes: 0,
+                    modeled_comm_seconds: 0.0,
+                    step_messages: vec![0; 6],
+                    step_bytes: vec![0; 6],
+                    wait_ns: 0,
+                    events_recorded: 0,
+                    events_dropped: 0,
+                }],
+                phase_profile,
+                messages,
+                ..Default::default()
+            },
+            telemetry: Vec::new(),
+        }
+    }
+
+    fn traced_artifact() -> RunArtifact {
+        RunArtifact {
+            name: "crit-test".into(),
+            description: String::new(),
+            runs: vec![traced_entry("g/p2/delta")],
+        }
+    }
+
+    #[test]
+    fn critical_path_sums_slowest_rank_per_phase() {
+        let report = crit(&traced_artifact(), None, DEFAULT_WAIT_TOL).unwrap();
+        let r = &report.runs[0];
+        // phase 0: rank 1 (1300ns) + phase 1: rank 0 (500ns)
+        assert_eq!(r.critical_path_ns, 1_300 + 500);
+        assert_eq!(r.chain.len(), 2);
+        assert_eq!(r.chain[0].rank, 1);
+        assert_eq!(r.chain[1].rank, 0);
+        // The chain total must be at least every rank's own phase time.
+        for row in &traced_entry("x").report.phase_profile {
+            assert!(r.critical_path_ns >= row.total_ns);
+        }
+        // Critical path cannot exceed wall (2.0e-6 s = 2000ns > 1800ns).
+        assert!(r.critical_path_ns <= r.wall_ns);
+    }
+
+    #[test]
+    fn path_fractions_sum_to_one() {
+        let report = crit(&traced_artifact(), None, DEFAULT_WAIT_TOL).unwrap();
+        let sum: f64 = report.runs[0].path_fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "fractions sum {sum}");
+    }
+
+    #[test]
+    fn blame_prefers_rank_with_most_self_time_and_message_excess() {
+        let report = crit(&traced_artifact(), None, DEFAULT_WAIT_TOL).unwrap();
+        let r = &report.runs[0];
+        // Self time excludes wait: rank 0 = 700+100+150 + 400+50+25 =
+        // 1425ns, rank 1 = 900+100+100 + 300+50+25 = 1475ns.
+        assert_eq!(r.blame_rank, 1, "rank 1 carries 1475 of 2900ns self");
+        assert!((r.blame_share - 1475.0 / 2900.0).abs() < 1e-9);
+        let (msg_rank, excess) = r.message_blame.expect("rank 1 folds late");
+        assert_eq!(msg_rank, 1);
+        assert!(excess > 1_000_000);
+    }
+
+    #[test]
+    fn blame_ignores_victim_wait_time() {
+        // Rank 0 waits out a straggling rank 1: rank 0's wall dominates
+        // every phase (so it owns the whole chain), but all of it is
+        // blocked wait — the blame must land on rank 1, whose transfer
+        // time is where the stall actually lives.
+        let mut a = traced_artifact();
+        a.runs[0].report.phase_profile = vec![
+            cell(0, 0, 100, 50, 9_000, 0),
+            cell(1, 0, 200, 5_000, 100, 0),
+            cell(0, 1, 50, 25, 4_000, 0),
+            cell(1, 1, 100, 2_000, 50, 0),
+        ];
+        let report = crit(&a, None, DEFAULT_WAIT_TOL).unwrap();
+        let r = &report.runs[0];
+        assert!(r.chain.iter().all(|s| s.rank == 0), "rank 0 owns the chain");
+        assert_eq!(r.blame_rank, 1, "blame must skip rank 0's victim wait");
+    }
+
+    #[test]
+    fn alpha_beta_fit_recovers_model_constants() {
+        let report = crit(&traced_artifact(), None, DEFAULT_WAIT_TOL).unwrap();
+        let fit = report.runs[0].fit.expect("three distinct sizes");
+        assert!(
+            fit.within_tolerance(),
+            "alpha {:+.3}% beta {:+.3}%",
+            100.0 * fit.alpha_rel_err,
+            100.0 * fit.beta_rel_err
+        );
+    }
+
+    #[test]
+    fn edge_bytes_reconcile_with_p2p_counters() {
+        let report = crit(&traced_artifact(), None, DEFAULT_WAIT_TOL).unwrap();
+        let r = &report.runs[0];
+        assert_eq!(r.edge_bytes, r.p2p_bytes);
+        assert!(report.render().contains("exact match"));
+    }
+
+    #[test]
+    fn wait_gate_fails_on_regression_within_slack_passes() {
+        let base = traced_artifact();
+        let mut cur = traced_artifact();
+        // Inflate waits: shift most of rank 1's compute into wait.
+        for row in &mut cur.runs[0].report.phase_profile {
+            row.wait_ns += row.compute_ns;
+            row.compute_ns = 0;
+        }
+        let strict = crit(&cur, Some(&base), 0.05).unwrap();
+        assert!(!strict.passed(), "wait fraction jumped far beyond 5% slack");
+        assert!(strict.render().contains("REGRESSION"));
+        let loose = crit(&cur, Some(&base), 10.0).unwrap();
+        assert!(loose.passed());
+        let same = crit(&base, Some(&base), DEFAULT_WAIT_TOL).unwrap();
+        assert!(same.passed());
+    }
+
+    #[test]
+    fn legacy_artifact_without_messages_errors() {
+        let mut a = traced_artifact();
+        a.runs[0].report.messages.clear();
+        let err = crit(&a, None, DEFAULT_WAIT_TOL).unwrap_err();
+        assert!(err.contains("no runs with message events"), "{err}");
+    }
+
+    #[test]
+    fn untraced_runs_are_skipped_not_fatal() {
+        let mut a = traced_artifact();
+        let mut legacy = traced_entry("g/p4/legacy");
+        legacy.report.messages.clear();
+        a.runs.push(legacy);
+        let report = crit(&a, None, DEFAULT_WAIT_TOL).unwrap();
+        assert_eq!(report.runs.len(), 1);
+        assert_eq!(report.skipped, vec!["g/p4/legacy".to_string()]);
+        assert!(report.render().contains("skipped g/p4/legacy"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let a = traced_artifact();
+        let r1 = crit(&a, Some(&a), DEFAULT_WAIT_TOL).unwrap().render();
+        let r2 = crit(&a, Some(&a), DEFAULT_WAIT_TOL).unwrap().render();
+        assert_eq!(r1, r2, "crit rendering must be byte-identical");
+        assert!(r1.contains("crit gate: PASS"));
+    }
+}

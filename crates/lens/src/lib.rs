@@ -12,6 +12,10 @@
 //!   modularity counts) from jitter (wall time).
 //! - [`gate`]: nonzero-exit regression verdict for CI, against a
 //!   committed baseline artifact.
+//! - [`crit`]: cross-rank critical-path analysis over the causal
+//!   profiling sections (phase profiles + Lamport-matched message
+//!   edges) — per-phase wall attribution, straggler blame, an α-β
+//!   model fit, and a wait-fraction regression gate (see [`crit`]).
 //!
 //! Every rendering path is deterministic — fixed float precision, label
 //! ordering via `BTreeMap`, no clocks — so diffing the same two
@@ -22,6 +26,11 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use louvain_obs::{RunArtifact, RunEntry, TelemetryRow};
+
+mod crit;
+pub use crit::{
+    crit, AlphaBetaFit, ChainStep, CritReport, RunCrit, DEFAULT_WAIT_TOL, FIT_TOLERANCE,
+};
 
 /// Noise thresholds separating regression signal from run-to-run
 /// jitter. Wall time on a shared CI box is noisy, so it gets both a

@@ -319,6 +319,7 @@ fn legacy_sweep_entry(row: &Json) -> Result<RunEntry, String> {
         step: step.into(),
         bytes,
         messages: 0,
+        wait_ns: 0,
     })
     .collect();
     let total_bytes = step_totals.iter().map(|t| t.bytes).sum();

@@ -55,6 +55,9 @@ fn event_record(rank: usize, ev: &TraceEvent) -> Json {
             members.push(("s".to_string(), Json::str("t")));
         }
     }
+    if ev.attempt > 0 {
+        members.push(("attempt".to_string(), Json::Num(ev.attempt as f64)));
+    }
     members.push(("args".to_string(), event_args(ev)));
     Json::Obj(members)
 }
@@ -75,11 +78,47 @@ fn metadata_record(rank: usize) -> Json {
     ])
 }
 
+/// Per-(rank, tid) thread metadata: resilient runs record each recovery
+/// attempt on a fresh thread (hence a fresh tid), so labeling the track
+/// with its attempt keeps pre-crash and resumed events distinguishable
+/// in the Perfetto UI.
+fn thread_metadata_record(rank: usize, tid: u32, attempt: u32) -> Json {
+    let label = if attempt > 0 {
+        format!("rank {rank} attempt {attempt}")
+    } else {
+        format!("rank {rank}")
+    };
+    Json::Obj(vec![
+        ("name".to_string(), Json::str("thread_name")),
+        ("ph".to_string(), Json::str("M")),
+        ("pid".to_string(), Json::Num(rank as f64)),
+        ("tid".to_string(), Json::Num(tid as f64)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![
+                ("name".to_string(), Json::str(label)),
+                ("attempt".to_string(), Json::Num(attempt as f64)),
+            ]),
+        ),
+    ])
+}
+
 /// Build the Chrome trace-event document as a [`Json`] value
 /// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`). Events are
 /// emitted globally sorted by timestamp.
 pub fn chrome_trace(data: &TraceData) -> Json {
     let mut records: Vec<Json> = data.ranks.iter().map(|r| metadata_record(r.rank)).collect();
+    // Thread tracks, labeled with the execution attempt that recorded
+    // on them (first-seen attempt wins; a tid never spans attempts).
+    for rank in &data.ranks {
+        let mut seen: Vec<u32> = Vec::new();
+        for ev in &rank.events {
+            if !seen.contains(&ev.tid) {
+                seen.push(ev.tid);
+                records.push(thread_metadata_record(rank.rank, ev.tid, ev.attempt));
+            }
+        }
+    }
     // Per-rank event lists are already time-sorted; k-way merge them so
     // the whole stream is monotonic.
     let mut cursors = vec![0usize; data.ranks.len()];
@@ -125,6 +164,9 @@ pub fn jsonl(data: &TraceData) -> String {
             if ev.modeled_seconds != 0.0 {
                 members.push(("modeled_s".to_string(), Json::Num(ev.modeled_seconds)));
             }
+            if ev.attempt > 0 {
+                members.push(("attempt".to_string(), Json::Num(ev.attempt as f64)));
+            }
             if !ev.args.is_empty() {
                 let args = ev
                     .args
@@ -158,6 +200,7 @@ mod tests {
             ts_ns,
             tid,
             modeled_seconds: 0.001,
+            attempt: 0,
             args: vec![("k", ArgValue::U64(7))],
         }
     }
@@ -191,8 +234,8 @@ mod tests {
             .get("traceEvents")
             .and_then(Json::as_arr)
             .expect("traceEvents array");
-        // 2 metadata + 3 events.
-        assert_eq!(events.len(), 5);
+        // 2 process metadata + 2 thread metadata (tids 1, 2) + 3 events.
+        assert_eq!(events.len(), 7);
         let mut last_ts = f64::NEG_INFINITY;
         let mut pids = std::collections::BTreeSet::new();
         for e in events {
@@ -238,7 +281,7 @@ mod tests {
             .iter()
             .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
             .collect();
-        assert_eq!(meta.len(), 2);
+        assert_eq!(meta.len(), 4, "2 process_name + 2 thread_name records");
         assert_eq!(
             meta[0]
                 .get("args")
@@ -246,6 +289,73 @@ mod tests {
                 .and_then(Json::as_str),
             Some("rank 0")
         );
+        let threads: Vec<&&Json> = meta
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .collect();
+        assert_eq!(threads.len(), 2);
+        assert_eq!(
+            threads[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("rank 0")
+        );
+        assert_eq!(
+            threads[0]
+                .get("args")
+                .and_then(|a| a.get("attempt"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn resumed_attempts_get_labeled_tracks_and_attempt_fields() {
+        let mut data = sample();
+        // Rank 0's second event came from a resumed attempt on a new tid.
+        data.ranks[0].events[1] = TraceEvent {
+            attempt: 1,
+            ..ev("b", 4_000, 0, 9)
+        };
+        let doc = chrome_trace(&data);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let resumed_thread = events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str) == Some("thread_name")
+                    && e.get("tid").and_then(Json::as_u64) == Some(9)
+            })
+            .expect("thread metadata for the resumed attempt's tid");
+        assert_eq!(
+            resumed_thread
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("rank 0 attempt 1")
+        );
+        let b = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("b"))
+            .unwrap();
+        assert_eq!(b.get("attempt").and_then(Json::as_u64), Some(1));
+        // The merged stream stays monotonic across the attempt boundary.
+        let mut last_ts = f64::NEG_INFINITY;
+        for e in events {
+            if e.get("ph").and_then(Json::as_str) == Some("M") {
+                continue;
+            }
+            let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+            assert!(ts >= last_ts);
+            last_ts = ts;
+        }
+        // JSONL carries the attempt too.
+        let lines = jsonl(&data);
+        assert!(lines.lines().any(|l| {
+            let v = Json::parse(l).unwrap();
+            v.get("name").and_then(Json::as_str) == Some("b")
+                && v.get("attempt").and_then(Json::as_u64) == Some(1)
+        }));
     }
 
     #[test]

@@ -61,12 +61,22 @@ impl Collector {
     ///
     /// Panics if `rank` is out of range.
     pub fn install(&self, rank: usize) -> InstallGuard {
+        self.install_attempt(rank, 0)
+    }
+
+    /// Like [`Collector::install`], but stamping every event recorded by
+    /// this thread with the given execution `attempt`. Resilient runs
+    /// reinstall a rank's observer after each crash/hang recovery with an
+    /// incremented attempt so pre-crash events stay distinguishable from
+    /// the resumed attempt's in the merged trace.
+    pub fn install_attempt(&self, rank: usize, attempt: u32) -> InstallGuard {
         let slot = &self.ranks[rank];
         let prev = install_observer(ThreadObserver {
             ring: Arc::clone(&slot.ring),
             epoch: self.epoch,
             metrics: Arc::clone(&slot.metrics),
             telemetry: Arc::clone(&slot.telemetry),
+            attempt,
         });
         InstallGuard {
             prev: Some(prev),

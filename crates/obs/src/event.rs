@@ -85,6 +85,10 @@ pub struct TraceEvent {
     /// Modeled (α-β / work-counter) seconds elapsed inside the span,
     /// recorded side by side with the wall-clock duration.
     pub modeled_seconds: f64,
+    /// Which execution attempt of the rank recorded this event: 0 for
+    /// the first, incremented on each crash/hang recovery so pre-crash
+    /// events stay distinguishable from the resumed attempt's.
+    pub attempt: u32,
     pub args: Vec<(&'static str, ArgValue)>,
 }
 
@@ -121,6 +125,7 @@ mod tests {
             ts_ns: 5,
             tid: 0,
             modeled_seconds: 0.0,
+            attempt: 0,
             args: vec![],
         };
         assert_eq!(e.dur_ns(), 0);

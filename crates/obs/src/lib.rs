@@ -53,13 +53,13 @@ pub use metrics::{
     HIST_BUCKETS,
 };
 pub use report::{
-    FaultTotals, HealthTotals, HungEvent, ModeledBreakdown, RankHealth, RankTotals, RunReport,
-    StepTotal, RUN_REPORT_VERSION,
+    FaultTotals, HealthTotals, HungEvent, MessageEdge, ModeledBreakdown, PhaseProfileRow,
+    RankHealth, RankTotals, RunReport, StepTotal, RUN_REPORT_VERSION,
 };
 pub use ring::EventRing;
 pub use span::{
-    add_modeled_seconds, enabled, init_from_env, instant, modeled_seconds_now, set_enabled, span,
-    span_cat, SpanGuard, Stopwatch,
+    add_modeled_seconds, complete_span, enabled, init_from_env, instant, modeled_seconds_now,
+    set_enabled, span, span_cat, SpanGuard, Stopwatch,
 };
 pub use telemetry::{merge_ranks, record_iteration, IterationRecord, TelemetryLog, TelemetryRow};
 
@@ -150,6 +150,31 @@ pub const METRIC_REGISTRY: &[(&str, MetricKind, &str)] = &[
         "self loops dropped at ingest",
     ),
     (
+        "mem.csr_bytes",
+        MetricKind::Gauge,
+        "local CSR graph footprint (bytes, per phase)",
+    ),
+    (
+        "mem.ghost_bytes",
+        MetricKind::Gauge,
+        "ghost-layer footprint (bytes, per phase)",
+    ),
+    (
+        "mem.peak_rss_bytes",
+        MetricKind::Gauge,
+        "process peak RSS (VmHWM, bytes; 0 where unavailable)",
+    ),
+    (
+        "mem.scratch_bytes",
+        MetricKind::Gauge,
+        "iteration scratch-arena high-water mark (bytes)",
+    ),
+    (
+        "mem.wire_bytes",
+        MetricKind::Gauge,
+        "wire-buffer (outgoing message staging) high-water mark (bytes)",
+    ),
+    (
         "modularity",
         MetricKind::Gauge,
         "per-iteration global modularity",
@@ -189,6 +214,16 @@ pub const METRIC_REGISTRY: &[(&str, MetricKind, &str)] = &[
         "vf.collapsed",
         MetricKind::Counter,
         "vertices collapsed into their anchor by vertex following",
+    ),
+    (
+        "wait.collective_ns",
+        MetricKind::Counter,
+        "idle nanoseconds blocked in collective fill-waits",
+    ),
+    (
+        "wait.recv_ns",
+        MetricKind::Counter,
+        "idle nanoseconds blocked in point-to-point receives",
     ),
     (
         "wd_backoff_us",

@@ -23,6 +23,9 @@ pub struct StepTotal {
     pub step: String,
     pub bytes: u64,
     pub messages: u64,
+    /// Idle wall nanoseconds ranks spent blocked inside this step
+    /// (summed across ranks; 0 in pre-wait-split artifacts).
+    pub wait_ns: u64,
 }
 
 /// One rank's traffic totals plus its trace bookkeeping.
@@ -39,8 +42,46 @@ pub struct RankTotals {
     pub step_messages: Vec<u64>,
     /// Per-step byte counts, indexed like `CommStep::index()`.
     pub step_bytes: Vec<u64>,
+    /// Idle wall nanoseconds this rank spent blocked in receives and
+    /// collective fill-waits (0 in pre-wait-split artifacts).
+    pub wait_ns: u64,
     pub events_recorded: u64,
     pub events_dropped: u64,
+}
+
+/// Wall-clock attribution for one (rank, phase) cell, derived from the
+/// traced span tree: the phase span is the window, comm-step spans
+/// within it split into wait (blocked) and transfer (bytes moving)
+/// portions, rebuild spans are explicit, and compute is the residual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseProfileRow {
+    pub rank: usize,
+    pub phase: u64,
+    pub compute_ns: u64,
+    pub transfer_ns: u64,
+    pub wait_ns: u64,
+    pub rebuild_ns: u64,
+    /// Wall duration of the phase span; the four categories above sum
+    /// to exactly this value by construction.
+    pub total_ns: u64,
+}
+
+/// One matched send/recv edge of the cross-rank happens-before graph:
+/// a Lamport-stamped envelope observed at both endpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MessageEdge {
+    pub src: usize,
+    pub dst: usize,
+    /// Communication step label the sender charged the bytes to.
+    pub step: String,
+    /// Sender's Lamport clock at send time (unique per src).
+    pub lamport: u64,
+    pub bytes: u64,
+    pub send_ts_ns: u64,
+    pub recv_ts_ns: u64,
+    /// Modeled α-β transfer cost of this edge, in nanoseconds — the
+    /// calibration target for the `lens crit` α-β fit.
+    pub modeled_ns: u64,
 }
 
 /// Modeled-seconds breakdown in the paper's Section V-A categories.
@@ -207,6 +248,12 @@ pub struct RunReport {
     pub metrics: MetricsSnapshot,
     /// Wall/modeled rollup per span name (descending wall time).
     pub spans: Vec<SpanRollup>,
+    /// Per-(rank, phase) wall attribution (empty on untraced runs and
+    /// pre-causal-profiling artifacts).
+    pub phase_profile: Vec<PhaseProfileRow>,
+    /// Matched cross-rank message edges (empty on untraced runs and
+    /// pre-causal-profiling artifacts).
+    pub messages: Vec<MessageEdge>,
 }
 
 // ---------------------------------------------------------------------------
@@ -414,6 +461,7 @@ impl RunReport {
                                 ("step", Json::str(s.step.clone())),
                                 ("bytes", num_u(s.bytes)),
                                 ("messages", num_u(s.messages)),
+                                ("wait_ns", num_u(s.wait_ns)),
                             ])
                         })
                         .collect(),
@@ -442,6 +490,7 @@ impl RunReport {
                                     "step_bytes",
                                     Json::Arr(r.step_bytes.iter().map(|&v| num_u(v)).collect()),
                                 ),
+                                ("wait_ns", num_u(r.wait_ns)),
                                 ("events_recorded", num_u(r.events_recorded)),
                                 ("events_dropped", num_u(r.events_dropped)),
                             ])
@@ -461,6 +510,45 @@ impl RunReport {
                                 ("count", num_u(s.count)),
                                 ("wall_seconds", Json::Num(s.wall_seconds)),
                                 ("modeled_seconds", Json::Num(s.modeled_seconds)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "phase_profile",
+                Json::Arr(
+                    self.phase_profile
+                        .iter()
+                        .map(|p| {
+                            obj(vec![
+                                ("rank", num_u(p.rank as u64)),
+                                ("phase", num_u(p.phase)),
+                                ("compute_ns", num_u(p.compute_ns)),
+                                ("transfer_ns", num_u(p.transfer_ns)),
+                                ("wait_ns", num_u(p.wait_ns)),
+                                ("rebuild_ns", num_u(p.rebuild_ns)),
+                                ("total_ns", num_u(p.total_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "messages",
+                Json::Arr(
+                    self.messages
+                        .iter()
+                        .map(|m| {
+                            obj(vec![
+                                ("src", num_u(m.src as u64)),
+                                ("dst", num_u(m.dst as u64)),
+                                ("step", Json::str(m.step.clone())),
+                                ("lamport", num_u(m.lamport)),
+                                ("bytes", num_u(m.bytes)),
+                                ("send_ts_ns", num_u(m.send_ts_ns)),
+                                ("recv_ts_ns", num_u(m.recv_ts_ns)),
+                                ("modeled_ns", num_u(m.modeled_ns)),
                             ])
                         })
                         .collect(),
@@ -657,6 +745,8 @@ impl RunReport {
                         step: s(t, "step")?,
                         bytes: u(t, "bytes")?,
                         messages: u(t, "messages")?,
+                        // Lenient: pre-wait-split artifacts lack it.
+                        wait_ns: t.get("wait_ns").and_then(Json::as_u64).unwrap_or(0),
                     })
                 })
                 .collect::<Result<_, String>>()?,
@@ -676,6 +766,7 @@ impl RunReport {
                         modeled_comm_seconds: f(r, "modeled_comm_seconds")?,
                         step_messages: u_arr(r, "step_messages")?,
                         step_bytes: u_arr(r, "step_bytes")?,
+                        wait_ns: r.get("wait_ns").and_then(Json::as_u64).unwrap_or(0),
                         events_recorded: u(r, "events_recorded")?,
                         events_dropped: u(r, "events_dropped")?,
                     })
@@ -692,6 +783,47 @@ impl RunReport {
                         count: u(sp, "count")?,
                         wall_seconds: f(sp, "wall_seconds")?,
                         modeled_seconds: f(sp, "modeled_seconds")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+            // Causal-profiling sections arrived after version 1 shipped;
+            // parse them leniently so earlier artifacts still load (an
+            // absent section means the build that wrote the report could
+            // not have recorded message edges or phase profiles).
+            phase_profile: doc
+                .get("phase_profile")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .map(|p| {
+                    let lu = |d: &Json, key: &str| d.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    PhaseProfileRow {
+                        rank: lu(p, "rank") as usize,
+                        phase: lu(p, "phase"),
+                        compute_ns: lu(p, "compute_ns"),
+                        transfer_ns: lu(p, "transfer_ns"),
+                        wait_ns: lu(p, "wait_ns"),
+                        rebuild_ns: lu(p, "rebuild_ns"),
+                        total_ns: lu(p, "total_ns"),
+                    }
+                })
+                .collect(),
+            messages: doc
+                .get("messages")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .map(|m| {
+                    let lu = |d: &Json, key: &str| d.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    Ok(MessageEdge {
+                        src: lu(m, "src") as usize,
+                        dst: lu(m, "dst") as usize,
+                        step: s(m, "step")?,
+                        lamport: lu(m, "lamport"),
+                        bytes: lu(m, "bytes"),
+                        send_ts_ns: lu(m, "send_ts_ns"),
+                        recv_ts_ns: lu(m, "recv_ts_ns"),
+                        modeled_ns: lu(m, "modeled_ns"),
                     })
                 })
                 .collect::<Result<_, String>>()?,
@@ -782,11 +914,13 @@ mod tests {
                     step: "ghost_refresh".into(),
                     bytes: 1_000,
                     messages: 24,
+                    wait_ns: 1_200,
                 },
                 StepTotal {
                     step: "reduction".into(),
                     bytes: 640,
                     messages: 80,
+                    wait_ns: 300,
                 },
             ],
             total_bytes: 1_640,
@@ -800,6 +934,7 @@ mod tests {
                 modeled_comm_seconds: 0.42,
                 step_messages: vec![12, 0, 0, 10, 0],
                 step_bytes: vec![500, 0, 0, 80, 0],
+                wait_ns: 1_500,
                 events_recorded: 321,
                 events_dropped: 0,
             }],
@@ -809,6 +944,25 @@ mod tests {
                 count: 3,
                 wall_seconds: 1.1,
                 modeled_seconds: 9.9,
+            }],
+            phase_profile: vec![PhaseProfileRow {
+                rank: 0,
+                phase: 0,
+                compute_ns: 700,
+                transfer_ns: 200,
+                wait_ns: 80,
+                rebuild_ns: 20,
+                total_ns: 1_000,
+            }],
+            messages: vec![MessageEdge {
+                src: 0,
+                dst: 1,
+                step: "ghost_refresh".into(),
+                lamport: 7,
+                bytes: 128,
+                send_ts_ns: 10_000,
+                recv_ts_ns: 12_000,
+                modeled_ns: 1_314,
             }],
         }
     }
@@ -862,6 +1016,32 @@ mod tests {
         assert!(!back.faults.any());
         assert_eq!(back.health, HealthTotals::default());
         assert!(!back.health.any());
+    }
+
+    #[test]
+    fn causal_sections_parse_leniently_when_absent() {
+        // Pre-causal-profiling artifacts lack wait_ns / phase_profile /
+        // messages; they must load as zero-wait, section-free reports.
+        let mut doc = sample().to_json();
+        if let Json::Obj(members) = &mut doc {
+            members.retain(|(k, _)| k != "phase_profile" && k != "messages");
+            for (k, v) in members.iter_mut() {
+                if k == "step_totals" || k == "per_rank" {
+                    if let Json::Arr(rows) = v {
+                        for row in rows {
+                            if let Json::Obj(fields) = row {
+                                fields.retain(|(f, _)| f != "wait_ns");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let back = RunReport::from_json(&doc).expect("lenient parse");
+        assert!(back.phase_profile.is_empty());
+        assert!(back.messages.is_empty());
+        assert!(back.step_totals.iter().all(|s| s.wait_ns == 0));
+        assert!(back.per_rank.iter().all(|r| r.wait_ns == 0));
     }
 
     #[test]

@@ -146,6 +146,7 @@ mod tests {
             ts_ns: ts,
             tid: 0,
             modeled_seconds: 0.0,
+            attempt: 0,
             args: vec![],
         }
     }

@@ -63,6 +63,9 @@ pub(crate) struct ThreadObserver {
     pub epoch: Instant,
     pub metrics: Arc<MetricsRegistry>,
     pub telemetry: Arc<TelemetryLog>,
+    /// Execution attempt of the rank this observer records for (0 on
+    /// the first attempt, bumped after each crash/hang recovery).
+    pub attempt: u32,
 }
 
 static NEXT_TID: AtomicU32 = AtomicU32::new(1);
@@ -161,6 +164,7 @@ impl Drop for SpanGuard {
                 ts_ns: inner.start_ts_ns,
                 tid: current_tid(),
                 modeled_seconds: modeled,
+                attempt: obs.attempt,
                 args: inner.args,
             });
         });
@@ -210,6 +214,37 @@ pub fn instant(name: &'static str, cat: &'static str, args: Vec<(&'static str, A
             ts_ns: obs.epoch.elapsed().as_nanos() as u64,
             tid: current_tid(),
             modeled_seconds: 0.0,
+            attempt: obs.attempt,
+            args,
+        });
+    });
+}
+
+/// Record a completed span retroactively: the span ends *now* and lasted
+/// `dur_ns`. Used for sub-spans whose extent is known only after the
+/// fact — e.g. the wait/transfer split of a comm step, where the idle
+/// time is accumulated by the blocking receive loops and only totalled
+/// when the step closes.
+pub fn complete_span(
+    name: &'static str,
+    cat: &'static str,
+    dur_ns: u64,
+    modeled_seconds: f64,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    if !enabled() {
+        return;
+    }
+    with_observer(|obs| {
+        let now_ns = obs.epoch.elapsed().as_nanos() as u64;
+        obs.ring.push(TraceEvent {
+            name,
+            cat,
+            kind: EventKind::Complete { dur_ns },
+            ts_ns: now_ns.saturating_sub(dur_ns),
+            tid: current_tid(),
+            modeled_seconds,
+            attempt: obs.attempt,
             args,
         });
     });
@@ -281,6 +316,7 @@ pub(crate) mod tests {
             epoch: Instant::now(),
             metrics: Arc::new(MetricsRegistry::new()),
             telemetry: Arc::new(TelemetryLog::default()),
+            attempt: 0,
         });
         let out = f();
         uninstall_observer(prev);

@@ -118,11 +118,12 @@ grep -q '^hung rank:' "$WORK/hang.log" \
 grep -q '(0 crash, 1 hang)' "$WORK/hang.log" \
   || { echo "FAIL: hang not recovered as a hang" >&2; exit 1; }
 
-echo "==> G: stall straggler — extended, not declared hung"
+echo "==> G: stall straggler — extended, not declared hung, blamed by crit"
 # shellcheck disable=SC2086  # EXTRA_FLAGS is a flag list
 "$BIN" run "$WORK/g.graph" --ranks "$RANKS" $EXTRA_FLAGS \
   --fault-plan 'seed=2;stall:rank=1,ms=150,prob=0.05' \
   --comm-timeout-ms 60 \
+  --artifact-out "$WORK/stall.artifact.json" \
   --assignment "$WORK/stall.comm" | tee "$WORK/stall.log"
 if grep -q '^recoveries:' "$WORK/stall.log"; then
   echo "FAIL: straggler was escalated to a recovery" >&2
@@ -130,6 +131,11 @@ if grep -q '^recoveries:' "$WORK/stall.log"; then
 fi
 grep -Eq '^watchdog:.* [1-9][0-9]* straggler extensions' "$WORK/stall.log" \
   || { echo "FAIL: no straggler extension recorded" >&2; exit 1; }
+# The causal profiler must pin the injected straggler: rank 1 is the
+# one stalling, so the critical-path chain has to put the blame there.
+"$BIN2" crit "$WORK/stall.artifact.json" | tee "$WORK/stall.crit.txt"
+grep -q 'straggler blame: rank 1 ' "$WORK/stall.crit.txt" \
+  || { echo "FAIL: lens crit did not blame the stalled rank 1" >&2; exit 1; }
 
 echo "==> H: corrupt payloads + flaky bursts, absorbed by checksums/retries"
 # shellcheck disable=SC2086  # EXTRA_FLAGS is a flag list

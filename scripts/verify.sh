@@ -49,12 +49,24 @@ cargo clippy -q "${pkg_flags[@]}" --all-targets -- -D warnings
 # (>=1.5x modeled phase-1 sweep at t=4 vs t=1 on >=2 of 3 graphs per
 # rank count) before the artifact is even written. The fresh artifact
 # lands at target/run_artifact.json for CI upload.
-echo "==> bench run artifact + lens gate vs BENCH_PR6.json"
+echo "==> bench run artifact + lens gate vs BENCH_PR7.json"
 ./target/release/bench_smoke \
   --threads 1,2,4 \
   --out target/bench_scratch.json \
   --watchdog-out target/watchdog_scratch.json \
-  --artifact-out target/run_artifact.json 2>/dev/null
-./target/release/lens gate --baseline BENCH_PR6.json target/run_artifact.json
+  --artifact-out target/run_artifact.json \
+  --trace-out target/trace.json 2>/dev/null
+./target/release/lens gate --baseline BENCH_PR7.json target/run_artifact.json
+
+# Causal critical-path gate: reconstruct the cross-rank happens-before
+# DAG from the fresh artifact's message edges, check byte-exact
+# agreement between transfer sub-spans and the comm counters, the
+# alpha-beta fit against the modeled-clock constants, and that the
+# wait fraction has not regressed past the committed baseline's plus
+# the tolerance. The report lands at target/crit_report.txt and the
+# Perfetto trace at target/trace.json for CI upload.
+echo "==> lens crit (critical path + wait-fraction gate vs BENCH_PR7.json)"
+./target/release/lens crit target/run_artifact.json \
+  --baseline BENCH_PR7.json | tee target/crit_report.txt
 
 echo "verify: OK"

@@ -15,7 +15,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use distributed_louvain::obs::RunArtifact;
-use louvain_lens::{diff, gate, show, Thresholds};
+use louvain_lens::{crit, diff, gate, show, Thresholds, DEFAULT_WAIT_TOL};
 
 const USAGE: &str = "\
 lens — run-artifact analytics (convergence tables, diffs, CI gate)
@@ -36,6 +36,17 @@ USAGE:
       CI verdict: exit 0 when every baseline run matches within
       thresholds, nonzero on any regression or on a baseline run
       missing from <CURRENT>. Runs only in <CURRENT> are allowed.
+
+  lens crit <ARTIFACT> [--baseline <BASELINE>] [--wait-tol <F>]
+      Cross-rank critical-path analysis over the causal profiling
+      sections (phase profiles + Lamport-matched message edges):
+      per-phase compute/transfer/wait/rebuild attribution along the
+      critical path, slowest-rank chains with straggler blame, an
+      alpha-beta model fit against the traced edges, and byte
+      reconciliation with the p2p counters. With --baseline, exits
+      nonzero when a run's blocked-wait fraction exceeds the
+      baseline's by more than --wait-tol (absolute slack, 0.25).
+      Errors (nonzero exit) on artifacts with no message events.
 
   lens convert <IN> --out <OUT>
       Normalize any accepted input (legacy BENCH_PR*.json,
@@ -60,6 +71,16 @@ fn main() -> ExitCode {
         Some("show") => run(cmd_show(&args[1..])),
         Some("diff") => run(cmd_diff(&args[1..])),
         Some("gate") => match cmd_gate(&args[1..]) {
+            Ok(passed) => {
+                if passed {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(msg) => fail(&msg),
+        },
+        Some("crit") => match cmd_crit(&args[1..]) {
             Ok(passed) => {
                 if passed {
                     ExitCode::SUCCESS
@@ -163,6 +184,25 @@ fn cmd_gate(args: &[String]) -> Result<bool, String> {
     let result = gate(&load(&baseline)?, &load(current)?, &t);
     print!("{}", result.render());
     Ok(result.passed())
+}
+
+fn cmd_crit(args: &[String]) -> Result<bool, String> {
+    let [path] = positionals(args)[..] else {
+        return Err("usage: lens crit <ARTIFACT> [--baseline <BASELINE>] [--wait-tol <F>]".into());
+    };
+    let baseline = match flag(args, "--baseline") {
+        Some(b) => Some(load(&b)?),
+        None => None,
+    };
+    let wait_tol = match flag(args, "--wait-tol") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for --wait-tol: {v}"))?,
+        None => DEFAULT_WAIT_TOL,
+    };
+    let report = crit(&load(path)?, baseline.as_ref(), wait_tol)?;
+    print!("{}", report.render());
+    Ok(report.passed())
 }
 
 fn cmd_convert(args: &[String]) -> Result<(), String> {

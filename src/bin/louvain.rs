@@ -409,6 +409,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         out.traffic.p2p_bytes / 1024,
         out.traffic.collective_calls
     );
+    if out.traffic.wait_nanos_total() > 0 {
+        // Idle time blocked on peers, split out of the comm steps by the
+        // wait/transfer sub-spans (summed across ranks).
+        println!(
+            "blocked wait:  {:.3} ms across ranks (worst step: {})",
+            out.traffic.wait_nanos_total() as f64 * 1e-6,
+            distributed_louvain::comm::CommStep::ALL
+                .iter()
+                .max_by_key(|s| out.traffic.step_wait_nanos_for(**s))
+                .map(|s| s.label())
+                .unwrap_or("other"),
+        );
+    }
     if let Some(phase) = out.resumed_from_phase {
         println!("resumed from phase {phase}");
     }

@@ -1,0 +1,161 @@
+//! Acceptance tests for `lens crit` over the committed bench
+//! artifacts: the causal analysis of BENCH_PR7.json is deterministic
+//! (byte-identical renders), the critical path is bounded by the wall
+//! and bounds every single rank's own phase time, the per-phase
+//! attribution fractions sum to 1 within 1%, the traced message-edge
+//! bytes agree byte-exactly with the p2p counters, the recovered α-β
+//! constants land within tolerance of the generating model, and legacy
+//! artifacts without message events degrade with a clear error and a
+//! nonzero CLI exit instead of an empty report.
+
+use std::collections::BTreeMap;
+
+use distributed_louvain::obs::RunArtifact;
+use louvain_lens::{crit, DEFAULT_WAIT_TOL, FIT_TOLERANCE};
+
+fn load(rel: &str) -> RunArtifact {
+    let path = format!("{}/{}", env!("CARGO_MANIFEST_DIR"), rel);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    RunArtifact::from_any_json_str(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Two invocations on the same committed artifact render byte-identical
+/// reports: no clocks, no hash-order dependence, fixed float precision.
+#[test]
+fn crit_on_committed_artifact_is_deterministic() {
+    let a = load("BENCH_PR7.json");
+    let r1 = crit(&a, Some(&a), DEFAULT_WAIT_TOL).unwrap().render();
+    let r2 = crit(&a, Some(&a), DEFAULT_WAIT_TOL).unwrap().render();
+    assert_eq!(r1, r2, "crit render must be byte-identical");
+    assert!(
+        r1.contains("crit gate: PASS"),
+        "self-baseline must pass:\n{r1}"
+    );
+}
+
+/// The committed artifact carries causally-traced runs and the critical
+/// path of each sits between the per-rank phase sums (lower bound: the
+/// path picks the slowest rank per phase, so it dominates any single
+/// rank's own run) and the whole-run wall (upper bound).
+#[test]
+fn critical_path_is_bounded_by_wall_and_bounds_every_rank() {
+    let a = load("BENCH_PR7.json");
+    let report = crit(&a, None, DEFAULT_WAIT_TOL).unwrap();
+    assert!(!report.runs.is_empty(), "BENCH_PR7 must carry traced runs");
+    let reports: BTreeMap<&str, _> = a
+        .runs
+        .iter()
+        .map(|e| (e.label.as_str(), &e.report))
+        .collect();
+    for r in &report.runs {
+        assert!(r.critical_path_ns > 0, "{}: empty critical path", r.label);
+        assert!(
+            r.critical_path_ns <= r.wall_ns,
+            "{}: path {} exceeds wall {}",
+            r.label,
+            r.critical_path_ns,
+            r.wall_ns
+        );
+        let rep = reports[r.label.as_str()];
+        let mut per_rank: BTreeMap<usize, u64> = BTreeMap::new();
+        for row in &rep.phase_profile {
+            *per_rank.entry(row.rank).or_insert(0) += row.total_ns;
+        }
+        for (rank, total) in per_rank {
+            assert!(
+                r.critical_path_ns >= total,
+                "{}: path {} below rank {}'s own phase time {}",
+                r.label,
+                r.critical_path_ns,
+                rank,
+                total
+            );
+        }
+    }
+}
+
+/// Per-phase wall attribution along the path sums to the path total
+/// within 1%, the traced message-edge bytes reconcile byte-exactly with
+/// the p2p counters, and the least-squares α-β recovery lands within
+/// the documented tolerance of the generating model constants.
+#[test]
+fn attribution_bytes_and_fit_meet_the_acceptance_bars() {
+    let a = load("BENCH_PR7.json");
+    let report = crit(&a, None, DEFAULT_WAIT_TOL).unwrap();
+    let rendered = report.render();
+    for r in &report.runs {
+        let sum: f64 = r.path_fractions().iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 0.01,
+            "{}: fractions sum {sum}, off by more than 1%",
+            r.label
+        );
+        assert_eq!(
+            r.edge_bytes, r.p2p_bytes,
+            "{}: traced edge bytes disagree with p2p counters",
+            r.label
+        );
+        let fit = r
+            .fit
+            .unwrap_or_else(|| panic!("{}: no alpha-beta fit", r.label));
+        assert!(
+            fit.within_tolerance(),
+            "{}: alpha {:+.3}% beta {:+.3}% outside {}%",
+            r.label,
+            100.0 * fit.alpha_rel_err,
+            100.0 * fit.beta_rel_err,
+            100.0 * FIT_TOLERANCE
+        );
+    }
+    assert!(rendered.contains("exact match"));
+    assert!(!rendered.contains("MISMATCH"));
+    assert!(!rendered.contains("OUTSIDE TOLERANCE"));
+}
+
+/// BENCH_PR6.json predates the causal profiling layer: `crit` must
+/// refuse it with a message that says why, not return an empty report.
+#[test]
+fn legacy_artifact_degrades_with_a_clear_error() {
+    let a = load("BENCH_PR6.json");
+    let err = crit(&a, None, DEFAULT_WAIT_TOL).unwrap_err();
+    assert!(
+        err.contains("no runs with message events"),
+        "unhelpful error: {err}"
+    );
+    assert!(
+        err.contains("BENCH_PR6"),
+        "error must name the artifact: {err}"
+    );
+}
+
+/// The CLI surfaces that refusal as a nonzero exit with the error on
+/// stderr, so scripted pipelines fail loudly on pre-causal artifacts.
+#[test]
+fn cli_exits_nonzero_on_legacy_artifact() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_lens"))
+        .arg("crit")
+        .arg(format!("{}/BENCH_PR6.json", env!("CARGO_MANIFEST_DIR")))
+        .output()
+        .expect("spawn lens");
+    assert!(!out.status.success(), "legacy artifact must fail the CLI");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no runs with message events"),
+        "stderr: {stderr}"
+    );
+}
+
+/// And the happy path through the same CLI: crit on the committed
+/// artifact gated against itself passes with a zero exit.
+#[test]
+fn cli_passes_on_committed_artifact_with_self_baseline() {
+    let path = format!("{}/BENCH_PR7.json", env!("CARGO_MANIFEST_DIR"));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_lens"))
+        .args(["crit", &path, "--baseline", &path])
+        .output()
+        .expect("spawn lens");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "exit {:?}\n{stdout}", out.status);
+    assert!(stdout.contains("crit gate: PASS"));
+    assert!(stdout.contains("alpha-beta fit"));
+}

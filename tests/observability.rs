@@ -361,6 +361,253 @@ fn disabled_tracing_yields_reports_without_trace_sections() {
     assert!(report.total_bytes > 0);
 }
 
+fn arg_u64(ev: &obs::TraceEvent, key: &str) -> Option<u64> {
+    ev.args.iter().find_map(|(k, v)| {
+        if *k != key {
+            return None;
+        }
+        match v {
+            obs::ArgValue::U64(n) => Some(*n),
+            obs::ArgValue::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    })
+}
+
+fn arg_str<'a>(ev: &'a obs::TraceEvent, key: &str) -> Option<&'a str> {
+    ev.args.iter().find_map(|(k, v)| match v {
+        obs::ArgValue::Str(s) if *k == key => Some(*s),
+        _ => None,
+    })
+}
+
+/// Satellite: counter/sub-span reconciliation. For every rank count, the
+/// bytes carried by the `transfer` sub-spans must agree byte-exactly
+/// with the per-step comm counters, the `wait` sub-span durations must
+/// agree with the per-step blocked-wait counters, and the `wait.*`
+/// metric counters must sum to the same total. Memory gauges ride the
+/// same traced run and must be registered.
+#[test]
+fn transfer_span_bytes_reconcile_with_step_counters_across_rank_counts() {
+    use distributed_louvain::comm::CommStep;
+    let _guard = TRACE_FLAG.lock().unwrap();
+    let g = lfr(LfrParams::small(1_000, 19)).graph;
+    for p in [1usize, 2, 8] {
+        obs::set_enabled(true);
+        let out = run_distributed(&g, p, &DistConfig::baseline());
+        obs::set_enabled(false);
+        let trace = out.trace.as_ref().expect("tracing was enabled");
+
+        let mut transfer_bytes = std::collections::BTreeMap::new();
+        let mut wait_ns = std::collections::BTreeMap::new();
+        for r in &trace.ranks {
+            for ev in &r.events {
+                if ev.cat != "comm" {
+                    continue;
+                }
+                let Some(step) = arg_str(ev, "step") else {
+                    continue;
+                };
+                match ev.name {
+                    "transfer" => {
+                        *transfer_bytes.entry(step.to_string()).or_insert(0u64) +=
+                            arg_u64(ev, "bytes").unwrap_or(0);
+                    }
+                    "wait" => {
+                        *wait_ns.entry(step.to_string()).or_insert(0u64) += ev.dur_ns();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for step in CommStep::ALL {
+            assert_eq!(
+                transfer_bytes.get(step.label()).copied().unwrap_or(0),
+                out.traffic.step_bytes_for(step),
+                "p={p} step={}: transfer sub-span bytes must equal the step counter",
+                step.label()
+            );
+            assert_eq!(
+                wait_ns.get(step.label()).copied().unwrap_or(0),
+                out.traffic.step_wait_nanos_for(step),
+                "p={p} step={}: wait sub-span time must equal the step wait counter",
+                step.label()
+            );
+        }
+
+        // The wait.* metric counters decompose the same total.
+        let metrics = trace.merged_metrics();
+        assert_eq!(
+            metrics.counter("wait.recv_ns") + metrics.counter("wait.collective_ns"),
+            out.traffic.wait_nanos_total(),
+            "p={p}: wait counters must sum to the snapshot's blocked-wait total"
+        );
+
+        // Memory gauges are recorded on traced runs and registered.
+        for gauge in [
+            "mem.csr_bytes",
+            "mem.ghost_bytes",
+            "mem.peak_rss_bytes",
+            "mem.scratch_bytes",
+            "mem.wire_bytes",
+        ] {
+            assert!(
+                metrics.gauges.contains_key(gauge),
+                "p={p}: gauge {gauge} missing from a traced run"
+            );
+        }
+        #[cfg(target_os = "linux")]
+        assert!(
+            metrics.gauges["mem.peak_rss_bytes"].last > 0.0,
+            "VmHWM must be readable on linux"
+        );
+        assert!(metrics.gauges["mem.csr_bytes"].last > 0.0);
+        assert_eq!(
+            obs::unregistered_metrics(&metrics),
+            Vec::<String>::new(),
+            "p={p}: every recorded mem.*/wait.* name must be in METRIC_REGISTRY"
+        );
+    }
+}
+
+/// Satellite: message edges in the report match sends to receives 1:1 by
+/// (src, lamport, attempt) and reconcile byte-exactly with the p2p
+/// counters; every phase-profile row's four buckets sum to its total.
+#[test]
+fn message_edges_and_phase_profile_are_consistent_on_a_traced_run() {
+    let _guard = TRACE_FLAG.lock().unwrap();
+    let g = lfr(LfrParams::small(1_000, 19)).graph;
+    obs::set_enabled(true);
+    let out = run_distributed(&g, 4, &DistConfig::baseline());
+    obs::set_enabled(false);
+
+    let meta = ReportMeta::new("lfr-1000", 1_000, g.num_edges() as u64);
+    let report = build_run_report(&out, &meta);
+    assert!(
+        !report.messages.is_empty(),
+        "a multi-rank traced run must record message edges"
+    );
+    let edge_bytes: u64 = report.messages.iter().map(|e| e.bytes).sum();
+    assert_eq!(
+        edge_bytes, out.traffic.p2p_bytes,
+        "matched edges must carry exactly the p2p bytes"
+    );
+    assert_eq!(
+        report.messages.len() as u64,
+        out.traffic.p2p_messages,
+        "every logical p2p message must match at both endpoints"
+    );
+    for e in &report.messages {
+        assert!(e.recv_ts_ns >= e.send_ts_ns, "recv cannot precede send");
+        assert_ne!(e.src, e.dst, "self-sends bypass the mailbox");
+    }
+    // Lamport stamps strictly increase per sender.
+    let mut last: std::collections::BTreeMap<usize, u64> = Default::default();
+    for e in &report.messages {
+        if let Some(prev) = last.insert(e.src, e.lamport) {
+            assert!(e.lamport > prev, "lamport must increase per sender");
+        }
+    }
+
+    assert!(!report.phase_profile.is_empty());
+    for row in &report.phase_profile {
+        assert_eq!(
+            row.compute_ns + row.transfer_ns + row.wait_ns + row.rebuild_ns,
+            row.total_ns,
+            "rank {} phase {}: buckets must sum to the phase wall",
+            row.rank,
+            row.phase
+        );
+    }
+    // One row per (rank, phase) cell.
+    let mut cells = std::collections::BTreeSet::new();
+    for row in &report.phase_profile {
+        assert!(cells.insert((row.rank, row.phase)), "duplicate cell");
+    }
+
+    // Round-trip: the causal sections survive JSON.
+    let back = obs::RunReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(back.messages, report.messages);
+    assert_eq!(back.phase_profile, report.phase_profile);
+}
+
+/// Satellite: Chrome-trace export under the resilient driver. A
+/// crash-recovered run tags every event with its attempt, the exporter
+/// names per-attempt tracks, and the k-way merged stream stays
+/// monotonic across the attempt boundary.
+#[test]
+fn chrome_trace_tags_attempts_under_resilient_recovery() {
+    use distributed_louvain::comm::{FaultPlan, RunConfig};
+    use distributed_louvain::dist::{run_distributed_resilient, CheckpointOptions, ResilOptions};
+    use std::sync::Arc;
+
+    let _guard = TRACE_FLAG.lock().unwrap();
+    let g = lfr(LfrParams::small(900, 11)).graph;
+    let dir = std::env::temp_dir().join(format!("louvain-obs-attempt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = FaultPlan::parse("crash:rank=0,phase=1,op=0").unwrap();
+    obs::set_enabled(true);
+    let out = run_distributed_resilient(
+        &g,
+        2,
+        &DistConfig::baseline(),
+        RunConfig {
+            fault: Some(Arc::new(plan)),
+            ..RunConfig::default()
+        },
+        &ResilOptions {
+            checkpoint: Some(CheckpointOptions::new(&dir)),
+            resume: false,
+            max_recoveries: 1,
+        },
+    )
+    .expect("crash within recovery budget");
+    obs::set_enabled(false);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(out.recoveries, 1);
+    let trace = out.trace.as_ref().expect("tracing was enabled");
+    let attempts: std::collections::BTreeSet<u32> = trace
+        .ranks
+        .iter()
+        .flat_map(|r| r.events.iter().map(|e| e.attempt))
+        .collect();
+    assert!(
+        attempts.contains(&0) && attempts.contains(&1),
+        "both the crashed and the recovered attempt must be traced, got {attempts:?}"
+    );
+
+    let text = obs::chrome_trace_json(trace);
+    let doc = obs::Json::parse(&text).expect("exporter must emit valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut attempt_tracks = 0usize;
+    for ev in events {
+        if ev.get("ph").unwrap().as_str().unwrap() == "M" {
+            if let Some(name) = ev
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(obs::Json::as_str)
+            {
+                if name.contains("attempt 1") {
+                    attempt_tracks += 1;
+                }
+            }
+            continue;
+        }
+        let ts = ev.get("ts").unwrap().as_f64().unwrap();
+        assert!(
+            ts >= last_ts,
+            "k-way merge must stay monotonic across the attempt boundary"
+        );
+        last_ts = ts;
+    }
+    assert!(
+        attempt_tracks > 0,
+        "metadata must name the recovered attempt's tracks"
+    );
+}
+
 /// Stats hygiene across a crash/restart: checkpointed counters are
 /// re-absorbed on resume, so the recovered run's cumulative per-step
 /// traffic reconciles exactly with an uninterrupted run's — for every
