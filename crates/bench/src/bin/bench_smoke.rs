@@ -41,17 +41,28 @@
 //! largest thread count vs 1 thread on at least 2 of the 3 graphs per
 //! rank count (the wall clock is recorded alongside; on a single-core
 //! CI host only the modeled win is stable enough to gate on).
+//! `--scale-out` (or env `BENCH_SMOKE_SCALE`) switches to the
+//! million-edge weak-scaling pass instead of the smoke suite: two
+//! ≥1M-edge graphs are stream-generated to disk slabs, run mmap-backed
+//! at p∈{1,2,8} (p=2 byte-range load asserted bit-identical), and a
+//! 64→4096-rank α-β curve is modeled off the measured p=8 counters;
+//! the artifact (committed as `BENCH_PR8.json`) is written to the given
+//! path. See [`scale_section`].
 
 use std::fmt::Write as _;
 
-use louvain_comm::{CommStep, HealthConfig, RunConfig};
+use louvain_comm::{CommStep, CostModel, HealthConfig, RunConfig};
 use louvain_dist::{
-    build_run_report, run_distributed, run_distributed_resilient, CheckpointOptions, DistConfig,
-    DistOutcome, ReportMeta, ResilOptions, SweepMode, Variant,
+    build_run_report, run_distributed, run_distributed_resilient, run_distributed_resilient_source,
+    CheckpointOptions, DistConfig, DistOutcome, GraphSource, ReportMeta, ResilOptions, SweepMode,
+    Variant,
 };
-use louvain_graph::gen::{lfr, rmat, ssca2, LfrParams, RmatParams, Ssca2Params};
+use louvain_graph::gen::{
+    lfr, rmat, rmat_stream, ssca2, ssca2_stream, LfrParams, RmatParams, Ssca2Params,
+};
 use louvain_graph::Csr;
-use louvain_obs::{run_label, RunArtifact, RunEntry};
+use louvain_obs::{run_label, RunArtifact, RunEntry, RunReport};
+use louvain_store::{Slab, SlabBuilder, SlabOptions, SlabSummary};
 
 struct RunRow {
     graph: &'static str,
@@ -157,8 +168,227 @@ fn flag(args: &[String], key: &str) -> Option<String> {
         .cloned()
 }
 
+/// Million-edge weak-scaling sweep over the out-of-core slab path
+/// (paper Fig. 4 / Table V shape). Two ≥1M-edge graphs are
+/// stream-generated straight to disk slabs (bounded-memory external
+/// sort — no in-RAM edge list ever exists), then run mmap-backed at
+/// p∈{1,2,8}; the p=2 per-rank byte-range load is asserted bit-identical
+/// to the shared mapping. On top of the measured points, a 64→4096-rank
+/// curve is modeled with the Aries α-β constants: per-rank compute
+/// scales as 1/P off the measured p=8 modeled compute, the exchanged
+/// bytes follow the 1D cut fraction (1 − 1/P) calibrated on the
+/// measured p=8 comm bytes, and each of the measured iterations pays
+/// α·(P−1) per rank for the ghost exchange — which is exactly the term
+/// that flattens the paper's scaling curves at high rank counts.
+///
+/// The artifact (`BENCH_PR8.json` when committed) labels measured rows
+/// `weak/...` (wall times are machine-local: gate with
+/// `--skip-label weak/`) and modeled rows `model/...` (derived from
+/// deterministic byte counters and iteration counts — they gate
+/// exactly).
+fn scale_section(out_path: &str) {
+    let dir = std::env::temp_dir().join(format!("louvain-bench-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scale slab dir");
+
+    // Stream-generate the slabs. SlabOptions::default() spills sorted
+    // 1M-triple runs, so peak generator RSS is O(chunk), not O(edges).
+    let mut graphs: Vec<(&'static str, std::path::PathBuf, SlabSummary)> = Vec::new();
+    {
+        let name = "rmat_s17_ef10";
+        let path = dir.join(format!("{name}.slab"));
+        let watch = louvain_obs::Stopwatch::start();
+        let mut b = SlabBuilder::new(1u64 << 17, SlabOptions::default());
+        rmat_stream(RmatParams::social(17, 10, 5), &mut b).expect("rmat stream");
+        let s = b.finish(&path).expect("finish rmat slab");
+        eprintln!(
+            "{:>14} generated: {} vertices, {} edges, {} slab bytes in {:.1}s",
+            name,
+            s.num_vertices,
+            s.num_edges,
+            s.file_bytes,
+            watch.wall_seconds()
+        );
+        graphs.push((name, path, s));
+    }
+    {
+        let name = "ssca2_45k";
+        let path = dir.join(format!("{name}.slab"));
+        let watch = louvain_obs::Stopwatch::start();
+        let mut b = SlabBuilder::new(45_000, SlabOptions::default());
+        ssca2_stream(Ssca2Params::paper(45_000, 9), &mut b).expect("ssca2 stream");
+        let s = b.finish(&path).expect("finish ssca2 slab");
+        eprintln!(
+            "{:>14} generated: {} vertices, {} edges, {} slab bytes in {:.1}s",
+            name,
+            s.num_vertices,
+            s.num_edges,
+            s.file_bytes,
+            watch.wall_seconds()
+        );
+        graphs.push((name, path, s));
+    }
+
+    // Tracing ON for the measured runs so the artifact rows carry the
+    // mem.* gauges (`lens show` renders bytes/edge + peak RSS from
+    // them). Wall times include the recording cost — another reason the
+    // weak/ rows are skip-gated.
+    louvain_obs::set_enabled(true);
+    let mut entries: Vec<RunEntry> = Vec::new();
+    for (name, path, s) in &graphs {
+        assert!(
+            s.num_edges >= 1_000_000,
+            "{name}: weak-scaling graph must have >=1M edges, got {}",
+            s.num_edges
+        );
+        let slab = Slab::open(path).expect("open scale slab");
+        let cfg = et_cfg(true);
+        let mut mapped_p2: Option<DistOutcome> = None;
+        let mut mapped_p8: Option<DistOutcome> = None;
+        for p in [1usize, 2, 8] {
+            let watch = louvain_obs::Stopwatch::start();
+            let out = run_distributed_resilient_source(
+                GraphSource::SlabMapped(&slab),
+                p,
+                &cfg,
+                RunConfig::default(),
+                &ResilOptions::none(),
+            )
+            .expect("mapped scale run");
+            eprintln!(
+                "{:>14} p={:<2} mapped q={:.4} it={:<3} bytes={:<11} wall={:.2}s",
+                name,
+                p,
+                out.modularity,
+                out.total_iterations,
+                out.traffic.p2p_bytes + out.traffic.collective_bytes,
+                watch.wall_seconds()
+            );
+            let meta =
+                ReportMeta::new(*name, s.num_vertices, s.num_edges).variant("ET(0.25)+delta+mmap");
+            entries.push(RunEntry {
+                label: format!("weak/{name}/p{p}/mapped"),
+                report: build_run_report(&out, &meta),
+                telemetry: Vec::new(),
+            });
+            match p {
+                2 => mapped_p2 = Some(out),
+                8 => mapped_p8 = Some(out),
+                _ => {}
+            }
+        }
+
+        // Per-rank byte-range loading must reproduce the shared mapping
+        // bit for bit — same assignment, same modularity bits.
+        let ranged = run_distributed_resilient_source(
+            GraphSource::SlabRanged(path),
+            2,
+            &cfg,
+            RunConfig::default(),
+            &ResilOptions::none(),
+        )
+        .expect("ranged scale run");
+        let m2 = mapped_p2.as_ref().unwrap();
+        assert_eq!(
+            m2.assignment, ranged.assignment,
+            "{name}: ranged p=2 assignment diverged from mapped"
+        );
+        assert_eq!(
+            m2.modularity.to_bits(),
+            ranged.modularity.to_bits(),
+            "{name}: ranged p=2 modularity diverged from mapped"
+        );
+        eprintln!("{:>14} p=2  ranged bit-identical to mapped", name);
+        let meta =
+            ReportMeta::new(*name, s.num_vertices, s.num_edges).variant("ET(0.25)+delta+ranged");
+        entries.push(RunEntry {
+            label: format!("weak/{name}/p2/ranged"),
+            report: build_run_report(&ranged, &meta),
+            telemetry: Vec::new(),
+        });
+
+        // Modeled 64→4096-rank α-β curve off the measured p=8 point.
+        let out8 = mapped_p8.unwrap();
+        let comm_bytes8: u64 = [
+            CommStep::GhostRefresh,
+            CommStep::CommunityPull,
+            CommStep::DeltaPush,
+            CommStep::Reduction,
+        ]
+        .iter()
+        .map(|step| out8.traffic.step_bytes_for(*step))
+        .sum();
+        // Calibrate the 1D-cut constant: bytes(p) = C·(1 − 1/p).
+        let cut_c = comm_bytes8 as f64 / (1.0 - 1.0 / 8.0);
+        let (compute8, _, _, _) = out8.modeled_breakdown();
+        let supersteps = out8.total_iterations as f64;
+        let m = CostModel::aries();
+        let mut t64 = f64::NAN;
+        for pm in [64usize, 128, 256, 512, 1024, 2048, 4096] {
+            let bytes_total = cut_c * (1.0 - 1.0 / pm as f64);
+            let comm_s = supersteps * m.alpha * (pm - 1) as f64 + m.beta * bytes_total / pm as f64;
+            let compute_s = compute8 * 8.0 / pm as f64;
+            let total = compute_s + comm_s;
+            if pm == 64 {
+                t64 = total;
+            }
+            eprintln!(
+                "{:>14} P={:<5} modeled total={:.4}s (compute={:.4} comm={:.4}) speedup_vs_64={:.2}x",
+                name,
+                pm,
+                total,
+                compute_s,
+                comm_s,
+                t64 / total
+            );
+            entries.push(RunEntry {
+                label: format!("model/{name}/p{pm}"),
+                report: RunReport {
+                    graph: name.to_string(),
+                    vertices: s.num_vertices,
+                    edges: s.num_edges,
+                    ranks: pm,
+                    variant: "modeled(aries alpha-beta)".into(),
+                    modularity: out8.modularity,
+                    iterations: out8.total_iterations as u64,
+                    wall_seconds: total,
+                    total_bytes: bytes_total as u64,
+                    ..Default::default()
+                },
+                telemetry: Vec::new(),
+            });
+        }
+    }
+    louvain_obs::set_enabled(false);
+
+    let artifact = RunArtifact {
+        name: "BENCH_PR8".into(),
+        description: "million-edge weak scaling over the out-of-core slab path: two >=1M-edge \
+                      graphs stream-generated to disk slabs (bounded-memory external sort), run \
+                      mmap-backed at p{1,2,8} with the p=2 per-rank byte-range load asserted \
+                      bit-identical in-bench, plus 64->4096-rank alpha-beta curves modeled with \
+                      the Aries constants off the measured p=8 byte counters (paper Fig. 4 / \
+                      Table V shape). Rows labeled weak/ are measured (machine-local wall times \
+                      - gate with --skip-label weak/); rows labeled model/ derive from \
+                      deterministic counters and gate exactly"
+            .into(),
+        runs: entries,
+    };
+    std::fs::write(out_path, artifact.to_json_string()).expect("write scale artifact");
+    eprintln!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(scale_path) = flag(&args, "--scale-out")
+        .or_else(|| std::env::var("BENCH_SMOKE_SCALE").ok())
+        .filter(|p| !p.is_empty())
+    {
+        // The scale sweep is its own pass: minutes of >=1M-edge runs
+        // that CI only pays for behind the LOUVAIN_SCALE_GATE toggle.
+        scale_section(&scale_path);
+        return;
+    }
     let out_path = flag(&args, "--out")
         .or_else(|| std::env::var("BENCH_SMOKE_OUT").ok())
         .or_else(|| args.first().filter(|a| !a.starts_with("--")).cloned())

@@ -146,6 +146,81 @@ impl DistOutcome {
     }
 }
 
+/// Where the input graph comes from — the scatter step's counterpart to
+/// the paper's MPI-I/O loading modes.
+#[derive(Debug, Clone, Copy)]
+pub enum GraphSource<'a> {
+    /// A resident [`Csr`]: partition, then slice per rank
+    /// ([`LocalGraph::scatter`]).
+    Memory(&'a Csr),
+    /// A fully validated memory-mapped slab; per-rank pieces are sliced
+    /// zero-copy from the shared mapping.
+    SlabMapped(&'a louvain_store::Slab),
+    /// A slab file loaded by per-rank byte-range reads
+    /// ([`louvain_store::load_rank`]): each rank opens the file itself
+    /// and reads only its own extents, like the paper's per-process
+    /// `MPI_File_read_at` pattern.
+    SlabRanged(&'a std::path::Path),
+}
+
+/// Per-rank graph dispenser for [`GraphSource`]. Slab modes defer the
+/// load into the rank closure so the I/O (and the `mem.mapped_bytes`
+/// gauge) happens in rank context; a failed load aborts the job through
+/// the typed [`ResilAbort`] panic the resilient loop already understands.
+enum RankFeed<'a> {
+    Slots(TakeSlots<LocalGraph>),
+    Mapped {
+        slab: &'a louvain_store::Slab,
+        part: VertexPartition,
+    },
+    Ranged {
+        path: &'a std::path::Path,
+        ranks: usize,
+    },
+}
+
+impl RankFeed<'_> {
+    fn make<'a>(src: &GraphSource<'a>, p: usize, strategy: PartitionStrategy) -> RankFeed<'a> {
+        match *src {
+            GraphSource::Memory(g) => {
+                let part = match strategy {
+                    PartitionStrategy::EdgeBalanced => VertexPartition::balanced_edges(g, p),
+                    PartitionStrategy::VertexBalanced => {
+                        VertexPartition::balanced_vertices(g.num_vertices() as u64, p)
+                    }
+                };
+                RankFeed::Slots(TakeSlots::new(LocalGraph::scatter(g, &part)))
+            }
+            GraphSource::SlabMapped(slab) => RankFeed::Mapped {
+                slab,
+                part: slab.partition(p),
+            },
+            GraphSource::SlabRanged(path) => RankFeed::Ranged { path, ranks: p },
+        }
+    }
+
+    fn get(&self, rank: usize) -> LocalGraph {
+        match self {
+            RankFeed::Slots(slots) => slots.take(rank),
+            RankFeed::Mapped { slab, part } => {
+                louvain_obs::gauge_set("mem.mapped_bytes", slab.mapped_bytes() as f64);
+                slab.local_graph(part, rank)
+            }
+            RankFeed::Ranged { path, ranks } => {
+                match louvain_store::load_rank(path, rank, *ranks) {
+                    Ok(slice) => {
+                        louvain_obs::gauge_set("mem.mapped_bytes", slice.bytes_read as f64);
+                        slice.local
+                    }
+                    Err(e) => std::panic::panic_any(ResilAbort(format!(
+                        "slab load failed on rank {rank}: {e}"
+                    ))),
+                }
+            }
+        }
+    }
+}
+
 /// How the input is split across ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PartitionStrategy {
@@ -179,30 +254,55 @@ pub fn run_distributed_partitioned(
     runcfg: RunConfig,
     strategy: PartitionStrategy,
 ) -> DistOutcome {
-    let part = match strategy {
-        PartitionStrategy::EdgeBalanced => VertexPartition::balanced_edges(g, p),
-        PartitionStrategy::VertexBalanced => {
-            VertexPartition::balanced_vertices(g.num_vertices() as u64, p)
-        }
-    };
-    let parts = LocalGraph::scatter(g, &part);
-    let slots = TakeSlots::new(parts);
+    run_source_partitioned(GraphSource::Memory(g), p, cfg, runcfg, strategy)
+        .expect("in-memory scatter cannot fail to load")
+}
+
+/// Run distributed Louvain from any [`GraphSource`] (resident CSR,
+/// mapped slab, or per-rank byte-range slab reads). Slab load failures
+/// come back as `Err` instead of panicking.
+pub fn run_distributed_source(
+    src: GraphSource<'_>,
+    p: usize,
+    cfg: &DistConfig,
+    runcfg: RunConfig,
+) -> Result<DistOutcome, String> {
+    run_source_partitioned(src, p, cfg, runcfg, PartitionStrategy::EdgeBalanced)
+}
+
+fn run_source_partitioned(
+    src: GraphSource<'_>,
+    p: usize,
+    cfg: &DistConfig,
+    runcfg: RunConfig,
+    strategy: PartitionStrategy,
+) -> Result<DistOutcome, String> {
+    let feed = RankFeed::make(&src, p, strategy);
 
     // One collector for the whole job when tracing is on: rank threads
     // install it on entry so spans/metrics land in per-rank rings.
     let collector = louvain_obs::enabled().then(|| louvain_obs::Collector::new(p));
     let watch = louvain_obs::Stopwatch::start();
-    let results: Vec<(RankOutcome, StatsSnapshot)> = run_with(p, runcfg, |c| {
-        let _obs = collector.as_ref().map(|col| col.install(c.rank()));
-        let lg = slots.take(c.rank());
-        let outcome = run_on_rank(c, lg, cfg);
-        let stats = c.stats().snapshot();
-        (outcome, stats)
-    });
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_with(p, runcfg, |c| {
+            let _obs = collector.as_ref().map(|col| col.install(c.rank()));
+            let lg = feed.get(c.rank());
+            let outcome = run_on_rank(c, lg, cfg);
+            let stats = c.stats().snapshot();
+            (outcome, stats)
+        })
+    }));
+    let results: Vec<(RankOutcome, StatsSnapshot)> = match attempt {
+        Ok(results) => results,
+        Err(payload) => match payload.downcast_ref::<ResilAbort>() {
+            Some(aborted) => return Err(aborted.0.clone()),
+            None => std::panic::resume_unwind(payload),
+        },
+    };
     let wall = Duration::from_secs_f64(watch.wall_seconds());
     let trace = collector.map(louvain_obs::Collector::finish);
 
-    merge(results, wall, trace)
+    Ok(merge(results, wall, trace))
 }
 
 /// [`run_distributed`] with checkpointing, resume, and crash/hang
@@ -227,7 +327,21 @@ pub fn run_distributed_resilient(
     runcfg: RunConfig,
     resil: &ResilOptions,
 ) -> Result<DistOutcome, String> {
-    let part = VertexPartition::balanced_edges(g, p);
+    run_distributed_resilient_source(GraphSource::Memory(g), p, cfg, runcfg, resil)
+}
+
+/// [`run_distributed_resilient`] from any [`GraphSource`]. Every
+/// recovery attempt re-loads the graph from the source — for slab
+/// sources that means re-slicing the mapping or re-issuing the per-rank
+/// byte-range reads, exactly like a restarted MPI job re-reading its
+/// input file.
+pub fn run_distributed_resilient_source(
+    src: GraphSource<'_>,
+    p: usize,
+    cfg: &DistConfig,
+    runcfg: RunConfig,
+    resil: &ResilOptions,
+) -> Result<DistOutcome, String> {
     let base_fault: Option<std::sync::Arc<FaultPlan>> = runcfg.fault.clone();
 
     // One collector across attempts: a crashed attempt's spans stay in
@@ -239,7 +353,7 @@ pub fn run_distributed_resilient(
     let mut hung_events: Vec<RankHung> = Vec::new();
     loop {
         let recoveries = crash_recoveries as u64 + hung_events.len() as u64;
-        let slots = TakeSlots::new(LocalGraph::scatter(g, &part));
+        let feed = RankFeed::make(&src, p, PartitionStrategy::EdgeBalanced);
         let attempt_runcfg = RunConfig {
             // Each absorbed crash consumes one crash rule and each
             // absorbed hang one hang rule, so the next attempt gets
@@ -263,7 +377,7 @@ pub fn run_distributed_resilient(
                 let _obs = collector
                     .as_ref()
                     .map(|col| col.install_attempt(c.rank(), recoveries as u32));
-                let lg = slots.take(c.rank());
+                let lg = feed.get(c.rank());
                 let outcome = run_on_rank_resilient(c, lg, cfg, &attempt_resil);
                 let stats = c.stats().snapshot();
                 (outcome, stats)

@@ -43,8 +43,9 @@ pub mod serial;
 pub mod stats;
 
 pub use api::{
-    run_distributed, run_distributed_partitioned, run_distributed_resilient, run_distributed_with,
-    DistOutcome, PartitionStrategy,
+    run_distributed, run_distributed_partitioned, run_distributed_resilient,
+    run_distributed_resilient_source, run_distributed_source, run_distributed_with, DistOutcome,
+    GraphSource, PartitionStrategy,
 };
 pub use config::{DistConfig, SweepMode, Variant};
 pub use quality::{adjusted_rand_index, f_score, nmi, QualityReport};

@@ -84,24 +84,10 @@ fn pull_values(
 
 /// Process peak resident set (`VmHWM` from `/proc/self/status`), in
 /// bytes; 0 where unavailable (non-Linux, or a restricted procfs).
+/// Delegates to the shared reader in `louvain-obs` so the phase loop
+/// and the slab-ingest path report the same number.
 pub fn peak_rss_bytes() -> u64 {
-    #[cfg(target_os = "linux")]
-    {
-        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
-            for line in status.lines() {
-                if let Some(rest) = line.strip_prefix("VmHWM:") {
-                    let kb: u64 = rest
-                        .trim()
-                        .trim_end_matches("kB")
-                        .trim()
-                        .parse()
-                        .unwrap_or(0);
-                    return kb * 1024;
-                }
-            }
-        }
-    }
-    0
+    louvain_obs::peak_rss_bytes()
 }
 
 /// Per-phase memory gauges: CSR and ghost-table resident bytes plus the

@@ -24,7 +24,9 @@ use crate::{VertexId, Weight};
 const MAGIC: u64 = 0x4C56_4752_4250_4831;
 /// The low byte of [`MAGIC`] carries the format version (ASCII `'1'`);
 /// the remaining seven bytes are the fixed `"LVGRBPH"` signature.
-const MAGIC_SIGNATURE: u64 = MAGIC & !0xFF;
+/// Public so callers (the CLI) can sniff file types by their first
+/// eight bytes.
+pub const MAGIC_SIGNATURE: u64 = MAGIC & !0xFF;
 const FORMAT_VERSION: u8 = (MAGIC & 0xFF) as u8;
 const HEADER_BYTES: u64 = 24;
 const RECORD_BYTES: u64 = 24;
@@ -138,6 +140,31 @@ pub fn read_edge_range(
     Ok(out)
 }
 
+/// Stream every edge record into `sink` without materializing an
+/// [`EdgeList`] — O(1) memory regardless of file size. This is the
+/// binary-to-slab ingest path (`louvain ingest`); the sink enforces
+/// whatever defect policy it was built with. Returns the validated
+/// header.
+pub fn stream_edge_records<S: crate::sink::EdgeSink>(
+    path: &Path,
+    sink: &mut S,
+) -> Result<Header, crate::ingest::IngestError> {
+    let header = read_header(path)?;
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(HEADER_BYTES))?;
+    let mut r = BufReader::new(f);
+    let mut rec = [0u8; RECORD_BYTES as usize];
+    for _ in 0..header.num_edges {
+        r.read_exact(&mut rec)?;
+        sink.edge(
+            u64::from_le_bytes(rec[0..8].try_into().unwrap()),
+            u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+            f64::from_le_bytes(rec[16..24].try_into().unwrap()),
+        )?;
+    }
+    Ok(header)
+}
+
 /// Read the whole file back into an [`EdgeList`].
 pub fn read_edge_list(path: &Path) -> io::Result<EdgeList> {
     let header = read_header(path)?;
@@ -219,6 +246,17 @@ mod tests {
             covered = hi;
         }
         assert_eq!(covered, m);
+    }
+
+    #[test]
+    fn streamed_records_match_read_edge_list() {
+        let path = tmp("stream.bin");
+        let el = sample();
+        write_edge_list(&path, &el).unwrap();
+        let mut sunk = EdgeList::new(5);
+        let h = stream_edge_records(&path, &mut sunk).unwrap();
+        assert_eq!(h.num_edges, 4);
+        assert_eq!(sunk.edges(), el.edges());
     }
 
     #[test]

@@ -47,6 +47,27 @@ impl Csr {
         csr
     }
 
+    /// Build from raw CSR storage (the slab-store load path). Panics if
+    /// the parts are not a well-formed CSR; symmetry is checked in debug
+    /// mode like every other constructor.
+    pub fn from_raw_parts(offsets: Vec<usize>, dests: Vec<VertexId>, weights: Vec<Weight>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be nondecreasing"
+        );
+        assert_eq!(*offsets.last().unwrap(), dests.len());
+        assert_eq!(dests.len(), weights.len());
+        let csr = Self {
+            offsets,
+            dests,
+            weights,
+        };
+        debug_assert!(csr.is_symmetric(), "CSR built from asymmetric raw parts");
+        csr
+    }
+
     pub fn num_vertices(&self) -> usize {
         self.offsets.len() - 1
     }

@@ -10,6 +10,8 @@ use rand::{Rng, SeedableRng};
 use super::Generated;
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
+use crate::ingest::IngestError;
+use crate::sink::EdgeSink;
 
 /// Parameters for [`banded`].
 #[derive(Debug, Clone, Copy)]
@@ -38,9 +40,20 @@ impl BandedParams {
 /// Generate a banded graph: edges `(v, v+d)` for `d ∈ 1..=bandwidth`,
 /// each kept with probability `fill`.
 pub fn banded(p: BandedParams) -> Generated {
+    let mut el = EdgeList::new(p.n);
+    banded_stream(p, &mut el).expect("in-memory sink is infallible");
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: None,
+    }
+}
+
+/// Emit the banded edge stream into `sink` in O(1) carried state.
+/// [`banded`] is this loop collected into an [`EdgeList`], so both
+/// paths see the identical edge sequence.
+pub fn banded_stream(p: BandedParams, sink: &mut impl EdgeSink) -> Result<(), IngestError> {
     assert!(p.n >= 2 && p.bandwidth >= 1);
     let mut rng = SmallRng::seed_from_u64(p.seed);
-    let mut el = EdgeList::new(p.n);
     for v in 0..p.n {
         for d in 1..=p.bandwidth {
             let u = v + d;
@@ -49,14 +62,11 @@ pub fn banded(p: BandedParams) -> Generated {
             }
             // Always keep the immediate neighbor so the band stays connected.
             if d == 1 || rng.random::<f64>() < p.fill {
-                el.push(v, u, 1.0);
+                sink.edge(v, u, 1.0)?;
             }
         }
     }
-    Generated {
-        graph: Csr::from_edge_list(el),
-        ground_truth: None,
-    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@ use rand::{Rng, SeedableRng};
 use super::Generated;
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
+use crate::ingest::IngestError;
+use crate::sink::{CountingSink, EdgeSink};
 
 /// Parameters for [`erdos_renyi`].
 #[derive(Debug, Clone, Copy)]
@@ -20,21 +22,34 @@ pub struct ErdosRenyiParams {
 /// Sample `n·avg_degree/2` uniformly random edges (duplicates merged,
 /// self-loops skipped).
 pub fn erdos_renyi(p: ErdosRenyiParams) -> Generated {
-    assert!(p.n >= 2);
-    let mut rng = SmallRng::seed_from_u64(p.seed);
-    let m = ((p.n as f64) * p.avg_degree / 2.0).round() as usize;
     let mut el = EdgeList::new(p.n);
-    while el.num_edges() < m {
-        let u = rng.random_range(0..p.n);
-        let v = rng.random_range(0..p.n);
-        if u != v {
-            el.push(u, v, 1.0);
-        }
-    }
+    erdos_renyi_stream(p, &mut el).expect("in-memory sink is infallible");
     Generated {
         graph: Csr::from_edge_list(el),
         ground_truth: None,
     }
+}
+
+/// Emit the Erdős–Rényi edge stream into `sink` in O(1) carried state
+/// (the accepted-edge count replaces `EdgeList::num_edges`).
+/// [`erdos_renyi`] is this loop collected into an [`EdgeList`], so both
+/// paths see the identical edge sequence.
+pub fn erdos_renyi_stream(
+    p: ErdosRenyiParams,
+    sink: &mut impl EdgeSink,
+) -> Result<(), IngestError> {
+    assert!(p.n >= 2);
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let m = ((p.n as f64) * p.avg_degree / 2.0).round() as u64;
+    let mut counted = CountingSink::new(sink);
+    while counted.edges() < m {
+        let u = rng.random_range(0..p.n);
+        let v = rng.random_range(0..p.n);
+        if u != v {
+            counted.edge(u, v, 1.0)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

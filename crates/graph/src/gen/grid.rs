@@ -10,6 +10,8 @@ use rand::{Rng, SeedableRng};
 use super::Generated;
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
+use crate::ingest::IngestError;
+use crate::sink::EdgeSink;
 
 /// Parameters for [`grid3d`].
 #[derive(Debug, Clone, Copy)]
@@ -43,11 +45,21 @@ impl Grid3dParams {
 
 /// Generate a 3D grid graph.
 pub fn grid3d(p: Grid3dParams) -> Generated {
+    let mut el = EdgeList::new(p.nx * p.ny * p.nz);
+    grid3d_stream(p, &mut el).expect("in-memory sink is infallible");
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: None,
+    }
+}
+
+/// Emit the 3D-grid edge stream into `sink` in O(1) carried state.
+/// [`grid3d`] is this loop collected into an [`EdgeList`], so both
+/// paths see the identical edge sequence.
+pub fn grid3d_stream(p: Grid3dParams, sink: &mut impl EdgeSink) -> Result<(), IngestError> {
     assert!(p.nx >= 1 && p.ny >= 1 && p.nz >= 1);
-    let n = p.nx * p.ny * p.nz;
     let mut rng = SmallRng::seed_from_u64(p.seed);
     let idx = |x: u64, y: u64, z: u64| (z * p.ny + y) * p.nx + x;
-    let mut el = EdgeList::new(n);
     // Face neighbors (+x, +y, +z) and optionally the +-diagonals in each
     // coordinate plane; each undirected edge emitted once.
     let mut offsets: Vec<(i64, i64, i64)> = vec![(1, 0, 0), (0, 1, 0), (0, 0, 1)];
@@ -76,16 +88,13 @@ pub fn grid3d(p: Grid3dParams) -> Generated {
                     // Keep face neighbors unconditionally for connectivity.
                     let is_face = dy == 0 && dz == 0 || dx == 0 && (dy == 0 || dz == 0);
                     if is_face || rng.random::<f64>() < p.fill {
-                        el.push(idx(x, y, z), idx(xx, yy, zz), 1.0);
+                        sink.edge(idx(x, y, z), idx(xx, yy, zz), 1.0)?;
                     }
                 }
             }
         }
     }
-    Generated {
-        graph: Csr::from_edge_list(el),
-        ground_truth: None,
-    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -17,6 +17,8 @@ use rand::SeedableRng;
 use super::{power_law_sample, Generated};
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
+use crate::ingest::IngestError;
+use crate::sink::EdgeSink;
 use crate::VertexId;
 
 /// Parameters for [`lfr`].
@@ -58,6 +60,21 @@ impl LfrParams {
 
 /// Generate an LFR graph with ground-truth communities.
 pub fn lfr(p: LfrParams) -> Generated {
+    let mut el = EdgeList::new(p.n);
+    let community = lfr_stream(p, &mut el).expect("in-memory sink is infallible");
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: Some(community),
+    }
+}
+
+/// Emit the LFR edge stream into `sink`, returning the ground-truth
+/// community assignment. Stub matching is inherently global, so this
+/// carries O(n + m) working state (degree, membership, and stub
+/// arrays) — it avoids a second resident copy of the edges, not the
+/// model state. [`lfr`] is this loop collected into an [`EdgeList`],
+/// so both paths see the identical edge sequence.
+pub fn lfr_stream(p: LfrParams, sink: &mut impl EdgeSink) -> Result<Vec<VertexId>, IngestError> {
     assert!(p.n >= p.min_community, "graph smaller than one community");
     assert!((0.0..=1.0).contains(&p.mu));
     let mut rng = SmallRng::seed_from_u64(p.seed);
@@ -113,8 +130,6 @@ pub fn lfr(p: LfrParams) -> Generated {
         external[v] = degrees[v] - internal[v];
     }
 
-    let mut el = EdgeList::new(p.n);
-
     // 5. Intra-community stub matching.
     for group in &members {
         let mut stubs: Vec<VertexId> = Vec::new();
@@ -129,7 +144,7 @@ pub fn lfr(p: LfrParams) -> Generated {
         stubs.shuffle(&mut rng);
         for pair in stubs.chunks_exact(2) {
             if pair[0] != pair[1] {
-                el.push(pair[0], pair[1], 1.0);
+                sink.edge(pair[0], pair[1], 1.0)?;
             }
         }
     }
@@ -157,7 +172,7 @@ pub fn lfr(p: LfrParams) -> Generated {
             j += 1;
         }
         if found {
-            el.push(a, stubs[j], 1.0);
+            sink.edge(a, stubs[j], 1.0)?;
             stubs.swap(i + 1, j);
             i += 2;
         } else {
@@ -165,10 +180,7 @@ pub fn lfr(p: LfrParams) -> Generated {
         }
     }
 
-    Generated {
-        graph: Csr::from_edge_list(el),
-        ground_truth: Some(community),
-    }
+    Ok(community)
 }
 
 #[cfg(test)]

@@ -23,15 +23,15 @@ mod smallworld;
 mod ssca2;
 mod weblike;
 
-pub use banded::{banded, BandedParams};
-pub use erdos_renyi::{erdos_renyi, ErdosRenyiParams};
-pub use grid::{grid3d, Grid3dParams};
-pub use lfr::{lfr, LfrParams};
-pub use preferential::{barabasi_albert, BarabasiAlbertParams};
-pub use rmat::{rmat, RmatParams};
-pub use smallworld::{watts_strogatz, WattsStrogatzParams};
-pub use ssca2::{ssca2, Ssca2Params};
-pub use weblike::{weblike, WeblikeParams};
+pub use banded::{banded, banded_stream, BandedParams};
+pub use erdos_renyi::{erdos_renyi, erdos_renyi_stream, ErdosRenyiParams};
+pub use grid::{grid3d, grid3d_stream, Grid3dParams};
+pub use lfr::{lfr, lfr_stream, LfrParams};
+pub use preferential::{barabasi_albert, barabasi_albert_stream, BarabasiAlbertParams};
+pub use rmat::{rmat, rmat_stream, RmatParams};
+pub use smallworld::{watts_strogatz, watts_strogatz_stream, WattsStrogatzParams};
+pub use ssca2::{ssca2, ssca2_stream, Ssca2Params};
+pub use weblike::{weblike, weblike_stream, WeblikeParams};
 
 use rand::Rng;
 
@@ -69,8 +69,127 @@ pub(crate) fn power_law_sample(rng: &mut impl Rng, tau: f64, lo: u64, hi: u64) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::edgelist::EdgeList;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    /// Every generator's streamed path must emit the exact edge sequence
+    /// its in-memory wrapper collects — that equivalence is what makes
+    /// slab-built CSRs bit-identical to `Csr::from_edge_list`.
+    #[test]
+    fn streamed_paths_match_in_memory_generators() {
+        type StreamCase = (&'static str, Box<dyn Fn(&mut EdgeList)>, Generated);
+        let cases: Vec<StreamCase> = vec![
+            (
+                "rmat",
+                Box::new(|el: &mut EdgeList| rmat_stream(RmatParams::social(9, 4, 7), el).unwrap()),
+                rmat(RmatParams::social(9, 4, 7)),
+            ),
+            (
+                "ssca2",
+                Box::new(|el: &mut EdgeList| {
+                    ssca2_stream(Ssca2Params::paper(700, 3), el).unwrap();
+                }),
+                ssca2(Ssca2Params::paper(700, 3)),
+            ),
+            (
+                "erdos_renyi",
+                Box::new(|el: &mut EdgeList| {
+                    erdos_renyi_stream(
+                        ErdosRenyiParams {
+                            n: 400,
+                            avg_degree: 6.0,
+                            seed: 5,
+                        },
+                        el,
+                    )
+                    .unwrap()
+                }),
+                erdos_renyi(ErdosRenyiParams {
+                    n: 400,
+                    avg_degree: 6.0,
+                    seed: 5,
+                }),
+            ),
+            (
+                "banded",
+                Box::new(|el: &mut EdgeList| {
+                    banded_stream(BandedParams::channel_like(300, 2), el).unwrap()
+                }),
+                banded(BandedParams::channel_like(300, 2)),
+            ),
+            (
+                "grid3d",
+                Box::new(|el: &mut EdgeList| {
+                    grid3d_stream(Grid3dParams::cube(343, 4), el).unwrap()
+                }),
+                grid3d(Grid3dParams::cube(343, 4)),
+            ),
+            (
+                "lfr",
+                Box::new(|el: &mut EdgeList| {
+                    lfr_stream(LfrParams::small(500, 11), el).unwrap();
+                }),
+                lfr(LfrParams::small(500, 11)),
+            ),
+            (
+                "watts_strogatz",
+                Box::new(|el: &mut EdgeList| {
+                    watts_strogatz_stream(
+                        WattsStrogatzParams {
+                            n: 300,
+                            k: 4,
+                            beta: 0.2,
+                            seed: 9,
+                        },
+                        el,
+                    )
+                    .unwrap()
+                }),
+                watts_strogatz(WattsStrogatzParams {
+                    n: 300,
+                    k: 4,
+                    beta: 0.2,
+                    seed: 9,
+                }),
+            ),
+            (
+                "barabasi_albert",
+                Box::new(|el: &mut EdgeList| {
+                    barabasi_albert_stream(
+                        BarabasiAlbertParams {
+                            n: 400,
+                            m: 3,
+                            seed: 6,
+                        },
+                        el,
+                    )
+                    .unwrap()
+                }),
+                barabasi_albert(BarabasiAlbertParams {
+                    n: 400,
+                    m: 3,
+                    seed: 6,
+                }),
+            ),
+            (
+                "weblike",
+                Box::new(|el: &mut EdgeList| {
+                    weblike_stream(WeblikeParams::web(600, 8), el).unwrap();
+                }),
+                weblike(WeblikeParams::web(600, 8)),
+            ),
+        ];
+        for (name, stream, expected) in cases {
+            let mut el = EdgeList::new(expected.graph.num_vertices() as u64);
+            stream(&mut el);
+            assert_eq!(
+                Csr::from_edge_list(el),
+                expected.graph,
+                "{name}: streamed edges differ from the in-memory generator"
+            );
+        }
+    }
 
     #[test]
     fn power_law_respects_bounds() {

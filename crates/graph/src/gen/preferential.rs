@@ -9,6 +9,8 @@ use rand::{Rng, SeedableRng};
 use super::Generated;
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
+use crate::ingest::IngestError;
+use crate::sink::EdgeSink;
 use crate::VertexId;
 
 /// Parameters for [`barabasi_albert`].
@@ -24,16 +26,32 @@ pub struct BarabasiAlbertParams {
 /// edge endpoint is drawn uniformly from the stub list, which realizes
 /// degree-proportional attachment).
 pub fn barabasi_albert(p: BarabasiAlbertParams) -> Generated {
+    let mut el = EdgeList::new(p.n);
+    barabasi_albert_stream(p, &mut el).expect("in-memory sink is infallible");
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: None,
+    }
+}
+
+/// Emit the Barabási–Albert edge stream into `sink`. Preferential
+/// attachment is inherently stateful — the stub list carries O(n·m)
+/// endpoints — but no [`EdgeList`] is materialized alongside it.
+/// [`barabasi_albert`] is this loop collected into an [`EdgeList`], so
+/// both paths see the identical edge sequence.
+pub fn barabasi_albert_stream(
+    p: BarabasiAlbertParams,
+    sink: &mut impl EdgeSink,
+) -> Result<(), IngestError> {
     assert!(p.m >= 1 && p.n > p.m, "need n > m >= 1");
     let mut rng = SmallRng::seed_from_u64(p.seed);
-    let mut el = EdgeList::new(p.n);
     // Stub list: every edge contributes both endpoints, so sampling a
     // uniform stub is degree-proportional sampling.
     let mut stubs: Vec<VertexId> = Vec::with_capacity(2 * (p.n * p.m) as usize);
     // Seed clique over the first m+1 vertices.
     for i in 0..=p.m {
         for j in (i + 1)..=p.m {
-            el.push(i, j, 1.0);
+            sink.edge(i, j, 1.0)?;
             stubs.push(i);
             stubs.push(j);
         }
@@ -49,15 +67,12 @@ pub fn barabasi_albert(p: BarabasiAlbertParams) -> Generated {
             }
         }
         for &t in &chosen {
-            el.push(v, t, 1.0);
+            sink.edge(v, t, 1.0)?;
             stubs.push(v);
             stubs.push(t);
         }
     }
-    Generated {
-        graph: Csr::from_edge_list(el),
-        ground_truth: None,
-    }
+    Ok(())
 }
 
 #[cfg(test)]

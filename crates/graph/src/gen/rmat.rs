@@ -9,6 +9,8 @@ use rand::{Rng, SeedableRng};
 use super::Generated;
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
+use crate::ingest::IngestError;
+use crate::sink::EdgeSink;
 
 /// Parameters for [`rmat`].
 #[derive(Debug, Clone, Copy)]
@@ -41,12 +43,23 @@ impl RmatParams {
 
 /// Generate an RMAT graph. Duplicate edges are merged, self-loops skipped.
 pub fn rmat(p: RmatParams) -> Generated {
+    let mut el = EdgeList::new(1 << p.scale);
+    rmat_stream(p, &mut el).expect("in-memory sink is infallible");
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: None,
+    }
+}
+
+/// Emit the RMAT edge stream into `sink` in bounded memory: O(1) state
+/// beyond the quadrant descent. [`rmat`] is this loop collected into an
+/// [`EdgeList`], so both paths see the identical edge sequence.
+pub fn rmat_stream(p: RmatParams, sink: &mut impl EdgeSink) -> Result<(), IngestError> {
     let n: u64 = 1 << p.scale;
     let m = n * p.edge_factor as u64;
     let d = 1.0 - p.a - p.b - p.c;
     assert!(d >= 0.0, "quadrant probabilities exceed 1");
     let mut rng = SmallRng::seed_from_u64(p.seed);
-    let mut el = EdgeList::new(n);
     for _ in 0..m {
         let (mut u, mut v) = (0u64, 0u64);
         for level in (0..p.scale).rev() {
@@ -64,13 +77,10 @@ pub fn rmat(p: RmatParams) -> Generated {
             }
         }
         if u != v {
-            el.push(u, v, 1.0);
+            sink.edge(u, v, 1.0)?;
         }
     }
-    Generated {
-        graph: Csr::from_edge_list(el),
-        ground_truth: None,
-    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@ use rand::{Rng, SeedableRng};
 use super::Generated;
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
+use crate::ingest::IngestError;
+use crate::sink::EdgeSink;
 
 /// Parameters for [`watts_strogatz`].
 #[derive(Debug, Clone, Copy)]
@@ -23,10 +25,24 @@ pub struct WattsStrogatzParams {
 
 /// Generate a Watts–Strogatz graph.
 pub fn watts_strogatz(p: WattsStrogatzParams) -> Generated {
+    let mut el = EdgeList::new(p.n);
+    watts_strogatz_stream(p, &mut el).expect("in-memory sink is infallible");
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: None,
+    }
+}
+
+/// Emit the Watts–Strogatz edge stream into `sink` in O(1) carried
+/// state. [`watts_strogatz`] is this loop collected into an
+/// [`EdgeList`], so both paths see the identical edge sequence.
+pub fn watts_strogatz_stream(
+    p: WattsStrogatzParams,
+    sink: &mut impl EdgeSink,
+) -> Result<(), IngestError> {
     assert!(p.n > 2 * p.k, "ring too small for k");
     assert!((0.0..=1.0).contains(&p.beta));
     let mut rng = SmallRng::seed_from_u64(p.seed);
-    let mut el = EdgeList::new(p.n);
     for v in 0..p.n {
         for d in 1..=p.k {
             let mut u = (v + d) % p.n;
@@ -39,13 +55,10 @@ pub fn watts_strogatz(p: WattsStrogatzParams) -> Generated {
                     }
                 }
             }
-            el.push(v, u, 1.0);
+            sink.edge(v, u, 1.0)?;
         }
     }
-    Generated {
-        graph: Csr::from_edge_list(el),
-        ground_truth: None,
-    }
+    Ok(())
 }
 
 #[cfg(test)]

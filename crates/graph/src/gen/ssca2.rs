@@ -13,6 +13,8 @@ use rand::{Rng, SeedableRng};
 use super::Generated;
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
+use crate::ingest::IngestError;
+use crate::sink::EdgeSink;
 use crate::VertexId;
 
 /// Parameters for [`ssca2`].
@@ -43,6 +45,23 @@ impl Ssca2Params {
 
 /// Generate an SSCA#2 graph. Ground truth = the cliques.
 pub fn ssca2(p: Ssca2Params) -> Generated {
+    let mut el = EdgeList::new(p.n);
+    let clique_of = ssca2_stream(p, &mut el).expect("in-memory sink is infallible");
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: Some(clique_of),
+    }
+}
+
+/// Emit the SSCA#2 edge stream into `sink`, returning the ground-truth
+/// clique assignment. Carried state is O(#cliques + n) for the clique
+/// table and ground truth — no edge is ever materialized. [`ssca2`] is
+/// this loop collected into an [`EdgeList`], so both paths see the
+/// identical edge sequence.
+pub fn ssca2_stream(
+    p: Ssca2Params,
+    sink: &mut impl EdgeSink,
+) -> Result<Vec<VertexId>, IngestError> {
     assert!(p.n >= 1 && p.max_clique_size >= 1);
     let mut rng = SmallRng::seed_from_u64(p.seed);
 
@@ -61,12 +80,11 @@ pub fn ssca2(p: Ssca2Params) -> Generated {
         cid += 1;
     }
 
-    let mut el = EdgeList::new(p.n);
     // All intra-clique pairs.
     for &(first, size) in &cliques {
         for i in 0..size {
             for j in (i + 1)..size {
-                el.push(first + i, first + j, 1.0);
+                sink.edge(first + i, first + j, 1.0)?;
             }
         }
     }
@@ -78,7 +96,7 @@ pub fn ssca2(p: Ssca2Params) -> Generated {
         if rng.random::<f64>() < p.inter_clique_prob {
             let a = f0 + rng.random_range(0..s0);
             let b = f1 + rng.random_range(0..s1);
-            el.push(a, b, 1.0);
+            sink.edge(a, b, 1.0)?;
         }
     }
     let nc = cliques.len();
@@ -92,18 +110,14 @@ pub fn ssca2(p: Ssca2Params) -> Generated {
             }
             let (fi, si) = cliques[ci];
             let (fj, sj) = cliques[cj];
-            el.push(
+            sink.edge(
                 fi + rng.random_range(0..si),
                 fj + rng.random_range(0..sj),
                 1.0,
-            );
+            )?;
         }
     }
-
-    Generated {
-        graph: Csr::from_edge_list(el),
-        ground_truth: Some(clique_of),
-    }
+    Ok(clique_of)
 }
 
 #[cfg(test)]

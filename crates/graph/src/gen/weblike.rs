@@ -8,6 +8,8 @@ use rand::{Rng, SeedableRng};
 use super::{power_law_sample, Generated};
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
+use crate::ingest::IngestError;
+use crate::sink::EdgeSink;
 use crate::VertexId;
 
 /// Parameters for [`weblike`].
@@ -44,6 +46,22 @@ impl WeblikeParams {
 
 /// Generate a web-like clustered graph. Ground truth = host clusters.
 pub fn weblike(p: WeblikeParams) -> Generated {
+    let mut el = EdgeList::new(p.n);
+    let cluster_of = weblike_stream(p, &mut el).expect("in-memory sink is infallible");
+    Generated {
+        graph: Csr::from_edge_list(el),
+        ground_truth: Some(cluster_of),
+    }
+}
+
+/// Emit the web-like edge stream into `sink`, returning the ground-truth
+/// cluster assignment. Carried state is O(#clusters + n) for the bounds
+/// table and ground truth. [`weblike`] is this loop collected into an
+/// [`EdgeList`], so both paths see the identical edge sequence.
+pub fn weblike_stream(
+    p: WeblikeParams,
+    sink: &mut impl EdgeSink,
+) -> Result<Vec<VertexId>, IngestError> {
     assert!(p.n >= p.min_cluster && p.min_cluster >= 2);
     let mut rng = SmallRng::seed_from_u64(p.seed);
 
@@ -63,8 +81,6 @@ pub fn weblike(p: WeblikeParams) -> Generated {
         v += size;
         cid += 1;
     }
-    let n = v;
-    let mut el = EdgeList::new(n);
 
     // Intra-cluster: a ring for connectivity plus random chords up to the
     // requested average degree.
@@ -73,14 +89,14 @@ pub fn weblike(p: WeblikeParams) -> Generated {
             continue;
         }
         for i in 0..size {
-            el.push(first + i, first + (i + 1) % size, 1.0);
+            sink.edge(first + i, first + (i + 1) % size, 1.0)?;
         }
         let extra = ((p.intra_degree - 2.0).max(0.0) * size as f64 / 2.0).round() as u64;
         for _ in 0..extra {
             let a = first + rng.random_range(0..size);
             let b = first + rng.random_range(0..size);
             if a != b {
-                el.push(a, b, 1.0);
+                sink.edge(a, b, 1.0)?;
             }
         }
     }
@@ -95,15 +111,12 @@ pub fn weblike(p: WeblikeParams) -> Generated {
                 let (ofirst, osize) = bounds[cj];
                 let a = first + rng.random_range(0..size);
                 let b = ofirst + rng.random_range(0..osize);
-                el.push(a, b, 1.0);
+                sink.edge(a, b, 1.0)?;
             }
         }
     }
 
-    Generated {
-        graph: Csr::from_edge_list(el),
-        ground_truth: Some(cluster_of),
-    }
+    Ok(cluster_of)
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ pub mod hash;
 pub mod ingest;
 pub mod metrics;
 pub mod partition;
+pub mod sink;
 pub mod textio;
 
 pub use community::{modularity, CommunityAssignment};
@@ -43,6 +44,7 @@ pub use dist::LocalGraph;
 pub use edgelist::EdgeList;
 pub use ingest::{IngestError, IngestPolicy, RepairStats, WeightFault};
 pub use partition::VertexPartition;
+pub use sink::EdgeSink;
 
 /// Global vertex identifier. The paper targets graphs with more than 4
 /// billion edges and 100M+ vertices, so identifiers are 64-bit.

@@ -1,0 +1,77 @@
+//! Streaming edge consumers.
+//!
+//! An [`EdgeSink`] receives undirected edges one at a time, so producers
+//! (the `gen` generators, the text-edge-list parser) can feed consumers
+//! that never hold the whole edge set in memory — most importantly the
+//! out-of-core slab builder in `louvain-store`. The in-memory paths are
+//! thin wrappers over the same emission loops (an [`EdgeList`] is itself
+//! a sink), which is what makes the streamed and materialized pipelines
+//! bit-identical: both see the exact same edge sequence.
+
+use crate::edgelist::EdgeList;
+use crate::ingest::IngestError;
+use crate::{VertexId, Weight};
+
+/// A consumer of a stream of undirected edges.
+///
+/// `u == v` denotes a self-loop. Implementations may reject an edge with
+/// a typed [`IngestError`] (policy violations, out-of-range endpoints);
+/// infallible sinks simply return `Ok(())`.
+pub trait EdgeSink {
+    fn edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), IngestError>;
+}
+
+impl EdgeSink for EdgeList {
+    fn edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), IngestError> {
+        self.try_push(u, v, w)
+    }
+}
+
+/// Pass-through sink that counts accepted edges — used by generators
+/// whose loops target an edge count, and by CLI progress reporting.
+pub struct CountingSink<'a, S: EdgeSink + ?Sized> {
+    inner: &'a mut S,
+    edges: u64,
+}
+
+impl<'a, S: EdgeSink + ?Sized> CountingSink<'a, S> {
+    pub fn new(inner: &'a mut S) -> Self {
+        Self { inner, edges: 0 }
+    }
+
+    /// Edges accepted (forwarded without error) so far.
+    pub fn edges(&self) -> u64 {
+        self.edges
+    }
+}
+
+impl<S: EdgeSink + ?Sized> EdgeSink for CountingSink<'_, S> {
+    fn edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), IngestError> {
+        self.inner.edge(u, v, w)?;
+        self.edges += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_is_a_sink() {
+        let mut el = EdgeList::new(3);
+        el.edge(0, 1, 1.0).unwrap();
+        el.edge(1, 2, 2.0).unwrap();
+        assert_eq!(el.num_edges(), 2);
+        assert!(el.edge(0, 7, 1.0).is_err());
+    }
+
+    #[test]
+    fn counting_sink_counts_only_accepted_edges() {
+        let mut el = EdgeList::new(2);
+        let mut c = CountingSink::new(&mut el);
+        c.edge(0, 1, 1.0).unwrap();
+        let _ = c.edge(0, 5, 1.0);
+        assert_eq!(c.edges(), 1);
+    }
+}

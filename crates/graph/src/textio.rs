@@ -63,25 +63,7 @@ pub fn parse_edge_list_policy<R: BufRead>(
             continue;
         }
         let lineno = lineno + 1;
-        let mut it = t.split_whitespace();
-        let bad = |what: &str| IngestError::Parse {
-            line: lineno,
-            msg: format!("{what}: {t}"),
-        };
-        let u: u64 = it
-            .next()
-            .ok_or_else(|| bad("missing source"))?
-            .parse()
-            .map_err(|_| bad("bad source id"))?;
-        let v: u64 = it
-            .next()
-            .ok_or_else(|| bad("missing destination"))?
-            .parse()
-            .map_err(|_| bad("bad destination id"))?;
-        let w: f64 = match it.next() {
-            None => 1.0,
-            Some(s) => s.parse().map_err(|_| bad("bad weight"))?,
-        };
+        let (u, v, w) = split_line(t, lineno)?;
         check_weight(w, lineno)?;
         total_weight += w;
         if total_weight.is_infinite() {
@@ -122,6 +104,101 @@ pub fn parse_edge_list_policy<R: BufRead>(
         original_ids,
         repairs,
     })
+}
+
+/// Split one non-comment line into `(src, dst, weight)`.
+fn split_line(t: &str, lineno: usize) -> Result<(u64, u64, f64), IngestError> {
+    let mut it = t.split_whitespace();
+    let bad = |what: &str| IngestError::Parse {
+        line: lineno,
+        msg: format!("{what}: {t}"),
+    };
+    let u: u64 = it
+        .next()
+        .ok_or_else(|| bad("missing source"))?
+        .parse()
+        .map_err(|_| bad("bad source id"))?;
+    let v: u64 = it
+        .next()
+        .ok_or_else(|| bad("missing destination"))?
+        .parse()
+        .map_err(|_| bad("bad destination id"))?;
+    let w: f64 = match it.next() {
+        None => 1.0,
+        Some(s) => s.parse().map_err(|_| bad("bad weight"))?,
+    };
+    Ok((u, v, w))
+}
+
+/// Run `f` over every data line of `path` (comments and blanks skipped),
+/// with 1-based line numbers.
+fn for_each_data_line(
+    path: &Path,
+    mut f: impl FnMut(usize, &str) -> Result<(), IngestError>,
+) -> Result<(), IngestError> {
+    let file = std::fs::File::open(path)?;
+    for (lineno, line) in io::BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        f(lineno + 1, t)?;
+    }
+    Ok(())
+}
+
+/// Streaming two-pass text import: pass 1 scans the file to size the
+/// dense id space (`O(distinct vertices)` memory, full line validation
+/// with line numbers), pass 2 re-reads it and feeds remapped edges
+/// straight into the sink `make_sink(num_vertices)` returns — no
+/// RAM-resident [`EdgeList`]. Weight validation (NaN / negative /
+/// running-total overflow) matches [`parse_edge_list_policy`] exactly;
+/// self-loop and duplicate policy is whatever the *sink* enforces (the
+/// slab builder's `IngestPolicy`), which means strict-policy duplicate
+/// errors surface at the sink without text line numbers — the price of
+/// never materializing the edges. Returns the sink and the
+/// `original_id[dense_id]` table. Edge order into the sink is identical
+/// to the in-memory parse, so a slab built this way is bit-identical to
+/// `Csr::from_edge_list` over the parsed list.
+pub fn stream_text_edge_list<S: crate::sink::EdgeSink>(
+    path: &Path,
+    make_sink: impl FnOnce(u64) -> S,
+) -> Result<(S, Vec<u64>), IngestError> {
+    let mut remap: FastMap<u64, VertexId> = fast_map();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut total_weight = 0.0f64;
+    for_each_data_line(path, |lineno, t| {
+        let (u, v, w) = split_line(t, lineno)?;
+        check_weight(w, lineno)?;
+        total_weight += w;
+        if total_weight.is_infinite() {
+            return Err(IngestError::BadWeight {
+                line: lineno,
+                value: w,
+                fault: crate::ingest::WeightFault::Overflow,
+            });
+        }
+        for raw in [u, v] {
+            if let std::collections::hash_map::Entry::Vacant(e) = remap.entry(raw) {
+                e.insert(original_ids.len() as VertexId);
+                original_ids.push(raw);
+            }
+        }
+        Ok(())
+    })?;
+    let changed = |line: usize| IngestError::Parse {
+        line,
+        msg: "file changed between scan and stream passes".into(),
+    };
+    let mut sink = make_sink(original_ids.len() as u64);
+    for_each_data_line(path, |lineno, t| {
+        let (u, v, w) = split_line(t, lineno)?;
+        let du = *remap.get(&u).ok_or_else(|| changed(lineno))?;
+        let dv = *remap.get(&v).ok_or_else(|| changed(lineno))?;
+        sink.edge(du, dv, w)
+    })?;
+    Ok((sink, original_ids))
 }
 
 /// Read a text edge-list file (lenient policy; see [`parse_edge_list`]).
@@ -249,6 +326,33 @@ mod tests {
         let lp =
             parse_edge_list_policy(io::BufReader::new("3 3\n".as_bytes()), IngestPolicy::Strict);
         assert!(matches!(lp, Err(IngestError::SelfLoop { v: 3, line: 1 })));
+    }
+
+    #[test]
+    fn streamed_import_matches_in_memory_parse() {
+        let dir = std::env::temp_dir().join("louvain-textio-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.txt");
+        std::fs::write(
+            &path,
+            "# sparse ids, duplicates, a self-loop\n1000 42\n42 7 2.5\n7 1000\n1000 42 0.5\n7 7\n",
+        )
+        .unwrap();
+        let in_mem = read_text_edge_list(&path).unwrap();
+        let (el, original_ids) = stream_text_edge_list(&path, EdgeList::new).unwrap();
+        assert_eq!(el.edges(), in_mem.edges.edges());
+        assert_eq!(el.num_vertices(), in_mem.edges.num_vertices());
+        assert_eq!(original_ids, in_mem.original_ids);
+    }
+
+    #[test]
+    fn streamed_import_reports_weight_errors_with_line_numbers() {
+        let dir = std::env::temp_dir().join("louvain-textio-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream-bad.txt");
+        std::fs::write(&path, "0 1\n1 2 nan\n").unwrap();
+        let r = stream_text_edge_list(&path, EdgeList::new);
+        assert!(matches!(r, Err(IngestError::BadWeight { line: 2, .. })));
     }
 
     #[test]

@@ -121,6 +121,37 @@ fn convergence_table(rows: &[TelemetryRow]) -> String {
     out
 }
 
+/// Storage-footprint line built from the `mem.*` gauges (absent on
+/// artifacts predating them). Heap CSR bytes and mmap-resident bytes
+/// are summed across ranks (`GaugeStat::sum` — each rank sets its gauge
+/// once per run); peak RSS is process-wide, so ranks all observe the
+/// same value and `max` is the honest aggregate.
+fn memory_line(r: &louvain_obs::RunReport) -> Option<String> {
+    let csr = r.metrics.gauges.get("mem.csr_bytes");
+    let mapped = r.metrics.gauges.get("mem.mapped_bytes");
+    let rss = r.metrics.gauges.get("mem.peak_rss_bytes");
+    if csr.is_none() && mapped.is_none() && rss.is_none() {
+        return None;
+    }
+    let csr_b = csr.map(|g| g.sum).unwrap_or(0.0);
+    let mapped_b = mapped.map(|g| g.sum).unwrap_or(0.0);
+    let mut line = format!(
+        "memory: csr={} B  mapped={} B",
+        csr_b as u64, mapped_b as u64
+    );
+    if r.edges > 0 {
+        let _ = write!(
+            line,
+            "  bytes/edge={:.1}",
+            (csr_b + mapped_b) / r.edges as f64
+        );
+    }
+    if let Some(g) = rss {
+        let _ = write!(line, "  peak_rss={:.1} MiB", g.max / (1024.0 * 1024.0));
+    }
+    Some(line)
+}
+
 /// Human summary of an artifact: one block per run, with a sparkline
 /// convergence table for traced runs.
 pub fn show(artifact: &RunArtifact) -> String {
@@ -167,6 +198,9 @@ pub fn show(artifact: &RunArtifact) -> String {
                 r.health.checksum_rejects,
                 r.health.hung_events.len(),
             );
+        }
+        if let Some(mem) = memory_line(r) {
+            let _ = writeln!(out, "  {mem}");
         }
         if let Some(h) = r.metrics.histograms.get("rank.total_bytes") {
             let (p50, p95, p99) = h.quantile_summary();
@@ -383,15 +417,39 @@ impl GateResult {
 /// Gate `current` against `baseline`: regressions and missing baseline
 /// runs fail; runs only in `current` are allowed (new coverage).
 pub fn gate(baseline: &RunArtifact, current: &RunArtifact, t: &Thresholds) -> GateResult {
+    gate_with_skips(baseline, current, t, &[])
+}
+
+/// [`gate`], but runs whose label starts with any prefix in `skips`
+/// are excluded from the verdict entirely (neither regressions nor
+/// missing-run failures). This keeps informational rows — e.g. the
+/// machine-dependent weak-scaling sweeps in `BENCH_PR8.json` — inside
+/// the committed artifact without letting their wall-time jitter gate
+/// CI.
+pub fn gate_with_skips(
+    baseline: &RunArtifact,
+    current: &RunArtifact,
+    t: &Thresholds,
+    skips: &[&str],
+) -> GateResult {
+    let skipped = |label: &str| skips.iter().any(|s| label.starts_with(s));
     let d = diff(baseline, current, t);
-    let mut failures = d.regressions();
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for m in &d.matched {
+        if skipped(&m.label) {
+            continue;
+        }
+        checked += 1;
+        failures.extend(m.regressions.iter().map(|r| format!("{}: {r}", m.label)));
+    }
     for l in &d.only_a {
+        if skipped(l) {
+            continue;
+        }
         failures.push(format!("{l}: present in baseline but missing from current"));
     }
-    GateResult {
-        checked: d.matched.len(),
-        failures,
-    }
+    GateResult { checked, failures }
 }
 
 #[cfg(test)]
@@ -487,6 +545,52 @@ mod tests {
         let r2 = diff(&base, &cur, &Thresholds::default()).render();
         assert_eq!(r1, r2, "diff rendering must be byte-identical");
         assert!(r1.contains("only in baseline: g/p4/full"));
+    }
+
+    #[test]
+    fn skip_label_prefixes_are_excluded_from_the_verdict() {
+        let base = artifact(vec![
+            entry("g/p2/delta", 0.2, 10_000, 0.8, 12),
+            entry("weak/rmat17/p8", 0.2, 10_000, 0.8, 12),
+        ]);
+        // The weak-scaling row regresses on wall AND goes missing in a
+        // second artifact — neither may gate when its prefix is skipped.
+        let cur = artifact(vec![
+            entry("g/p2/delta", 0.2, 10_000, 0.8, 12),
+            entry("weak/rmat17/p8", 0.9, 10_000, 0.8, 12),
+        ]);
+        let t = Thresholds::default();
+        assert!(!gate(&base, &cur, &t).passed(), "unskipped: must fail");
+        let g = gate_with_skips(&base, &cur, &t, &["weak/"]);
+        assert!(g.passed(), "{:?}", g.failures);
+        assert_eq!(g.checked, 1, "skipped rows must not count as checked");
+
+        let missing = artifact(vec![entry("g/p2/delta", 0.2, 10_000, 0.8, 12)]);
+        assert!(gate_with_skips(&base, &missing, &t, &["weak/"]).passed());
+        assert!(!gate(&base, &missing, &t).passed());
+    }
+
+    #[test]
+    fn show_renders_memory_line_from_gauges() {
+        use louvain_obs::MetricsRegistry;
+        let mut e = entry("g/p2/delta", 0.2, 10_000, 0.8, 12);
+        e.report.edges = 1_000;
+        let reg = MetricsRegistry::default();
+        reg.gauge_set("mem.csr_bytes", 48_000.0);
+        reg.gauge_set("mem.mapped_bytes", 16_000.0);
+        reg.gauge_set("mem.peak_rss_bytes", 8.0 * 1024.0 * 1024.0);
+        e.report.metrics = reg.snapshot();
+        let text = show(&artifact(vec![e]));
+        assert!(
+            text.contains("memory: csr=48000 B  mapped=16000 B"),
+            "{text}"
+        );
+        assert!(text.contains("bytes/edge=64.0"), "{text}");
+        assert!(text.contains("peak_rss=8.0 MiB"), "{text}");
+
+        // Artifacts without the gauges (pre-PR7) render no memory line.
+        let plain = show(&artifact(vec![entry("g/p2/delta", 0.2, 10_000, 0.8, 12)]));
+        assert!(!plain.contains("memory:"), "{plain}");
     }
 
     #[test]

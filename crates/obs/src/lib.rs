@@ -49,8 +49,8 @@ pub use collector::{
 pub use event::{ArgValue, EventKind, TraceEvent};
 pub use json::{Json, JsonError};
 pub use metrics::{
-    counter_add, gauge_set, hist_observe, GaugeStat, Histogram, MetricsRegistry, MetricsSnapshot,
-    HIST_BUCKETS,
+    counter_add, gauge_set, hist_observe, peak_rss_bytes, GaugeStat, Histogram, MetricsRegistry,
+    MetricsSnapshot, HIST_BUCKETS,
 };
 pub use report::{
     FaultTotals, HealthTotals, HungEvent, MessageEdge, ModeledBreakdown, PhaseProfileRow,
@@ -152,12 +152,19 @@ pub const METRIC_REGISTRY: &[(&str, MetricKind, &str)] = &[
     (
         "mem.csr_bytes",
         MetricKind::Gauge,
-        "local CSR graph footprint (bytes, per phase)",
+        "local CSR graph footprint (heap bytes only, per phase; \
+         mapped slab bytes are reported under mem.mapped_bytes)",
     ),
     (
         "mem.ghost_bytes",
         MetricKind::Gauge,
         "ghost-layer footprint (bytes, per phase)",
+    ),
+    (
+        "mem.mapped_bytes",
+        MetricKind::Gauge,
+        "slab bytes mapped or range-read from the store (not heap; \
+         disjoint from mem.csr_bytes, which counts heap copies only)",
     ),
     (
         "mem.peak_rss_bytes",

@@ -263,6 +263,30 @@ pub fn hist_observe(name: &str, value: u64) {
     }
 }
 
+/// Process peak resident set (`VmHWM` from `/proc/self/status`), in
+/// bytes; 0 where unavailable (non-Linux, or a restricted procfs).
+/// Lives here so every recording site of the `mem.peak_rss_bytes`
+/// gauge (phase loop, slab ingest) reads the same number.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,466 @@
+//! `louvain-store`: out-of-core slab storage for distributed Louvain.
+//!
+//! A *slab* is a versioned, checksummed on-disk CSR (see [`layout`] for
+//! the byte-exact format). It decouples graph size from RAM in both
+//! directions:
+//!
+//! * **Writing** — [`SlabBuilder`] is an `EdgeSink`; the streamed
+//!   generator paths (`rmat_stream`, `ssca2_stream`, ...) and file
+//!   parsers emit edges into it with `O(n + chunk)` peak memory, and an
+//!   external merge sort produces a CSR **bit-identical** to
+//!   `Csr::from_edge_list` over the same stream.
+//! * **Reading** — [`Slab::open`] memory-maps the whole file with
+//!   zero-copy section views; [`load_rank`] reads only one rank's byte
+//!   ranges (the paper's MPI-I/O pattern), reconstructing the exact
+//!   `LocalGraph` that `LocalGraph::scatter` would have produced.
+
+pub mod builder;
+pub mod err;
+pub mod layout;
+mod mmap;
+pub mod slab;
+
+pub use builder::{SlabBuilder, SlabOptions, SlabSummary};
+pub use err::StoreError;
+pub use layout::{
+    SectionDesc, SlabHeader, DEFAULT_INDEX_STRIDE, FORMAT_VERSION, HEADER_BYTES, MAGIC,
+    MAGIC_SIGNATURE, SECTION_ALIGN, SECTION_NAMES,
+};
+pub use slab::{load_rank, peek_header, RankSlice, Slab};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use louvain_graph::csr::Csr;
+    use louvain_graph::dist::LocalGraph;
+    use louvain_graph::edgelist::EdgeList;
+    use louvain_graph::gen::{
+        lfr, lfr_stream, rmat, rmat_stream, ssca2, ssca2_stream, LfrParams, RmatParams, Ssca2Params,
+    };
+    use louvain_graph::ingest::{IngestError, IngestPolicy};
+    use louvain_graph::partition::VertexPartition;
+    use louvain_graph::sink::EdgeSink;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TEST_ID: AtomicU64 = AtomicU64::new(0);
+
+    /// A unique temp path, removed by `TempPath::drop`.
+    struct TempPath(PathBuf);
+
+    impl TempPath {
+        fn new(tag: &str) -> Self {
+            Self(std::env::temp_dir().join(format!(
+                "louvain-store-test-{}-{}-{tag}.slab",
+                std::process::id(),
+                TEST_ID.fetch_add(1, Ordering::Relaxed)
+            )))
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn small_opts() -> SlabOptions {
+        SlabOptions {
+            // Tiny chunks force multi-run external merges in every test.
+            chunk_edges: 64,
+            index_stride: 8,
+            ..SlabOptions::default()
+        }
+    }
+
+    fn build_slab(
+        n: u64,
+        stream: impl FnOnce(&mut SlabBuilder) -> Result<(), IngestError>,
+        opts: SlabOptions,
+        path: &TempPath,
+    ) -> SlabSummary {
+        let mut b = SlabBuilder::new(n, opts);
+        stream(&mut b).unwrap();
+        b.finish(&path.0).unwrap()
+    }
+
+    #[test]
+    fn rmat_slab_is_bit_identical_to_in_memory_csr() {
+        let p = RmatParams::social(10, 8, 42);
+        let expected = rmat(p).graph;
+        let path = TempPath::new("rmat");
+        let summary = build_slab(
+            expected.num_vertices() as u64,
+            |b| rmat_stream(p, b),
+            small_opts(),
+            &path,
+        );
+        let slab = Slab::open(&path.0).unwrap();
+        assert_eq!(slab.num_vertices() as usize, expected.num_vertices());
+        assert_eq!(slab.num_arcs() as usize, expected.num_arcs());
+        assert_eq!(slab.num_edges() as usize, expected.num_edges());
+        assert_eq!(summary.num_arcs as usize, expected.num_arcs());
+        let roundtrip = slab.to_csr();
+        // PartialEq would accept -0.0 == 0.0; compare bit patterns too.
+        assert_eq!(roundtrip, expected);
+        assert!(roundtrip
+            .weights()
+            .iter()
+            .zip(expected.weights())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // The halo section is the weighted-degree table, bit for bit.
+        for v in 0..expected.num_vertices() {
+            assert_eq!(
+                slab.halo()[v].to_bits(),
+                expected.weighted_degree(v as u64).to_bits(),
+                "halo[{v}]"
+            );
+        }
+    }
+
+    #[test]
+    fn ssca2_slab_round_trips() {
+        let p = Ssca2Params::paper(2_000, 5);
+        let expected = ssca2(p).graph;
+        let path = TempPath::new("ssca2");
+        build_slab(
+            expected.num_vertices() as u64,
+            |b| ssca2_stream(p, b).map(|_| ()),
+            small_opts(),
+            &path,
+        );
+        assert_eq!(Slab::open(&path.0).unwrap().to_csr(), expected);
+    }
+
+    #[test]
+    fn single_chunk_and_multi_chunk_builds_are_identical_files() {
+        let p = LfrParams::small(600, 3);
+        let big = TempPath::new("one-chunk");
+        let small = TempPath::new("many-chunks");
+        let n = 600;
+        build_slab(
+            n,
+            |b| lfr_stream(p, b).map(|_| ()),
+            SlabOptions::default(),
+            &big,
+        );
+        build_slab(n, |b| lfr_stream(p, b).map(|_| ()), small_opts(), &small);
+        // index_stride differs between the two options, so compare the
+        // graph payload sections rather than whole files.
+        let a = Slab::open(&big.0).unwrap();
+        let b = Slab::open(&small.0).unwrap();
+        assert_eq!(a.offsets(), b.offsets());
+        assert_eq!(a.targets(), b.targets());
+        assert!(a
+            .weights()
+            .iter()
+            .zip(b.weights())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn partition_matches_balanced_edges() {
+        let p = RmatParams::social(9, 6, 7);
+        let g = rmat(p).graph;
+        let path = TempPath::new("partition");
+        build_slab(
+            g.num_vertices() as u64,
+            |b| rmat_stream(p, b),
+            small_opts(),
+            &path,
+        );
+        let slab = Slab::open(&path.0).unwrap();
+        for ranks in [1, 2, 3, 8, 17] {
+            assert_eq!(
+                slab.partition(ranks),
+                VertexPartition::balanced_edges(&g, ranks),
+                "p={ranks}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapped_local_graphs_match_scatter() {
+        let p = LfrParams::small(500, 9);
+        let g = lfr(p).graph;
+        let path = TempPath::new("scatter");
+        build_slab(500, |b| lfr_stream(p, b).map(|_| ()), small_opts(), &path);
+        let slab = Slab::open(&path.0).unwrap();
+        for ranks in [1, 2, 8] {
+            let part = slab.partition(ranks);
+            let scattered = LocalGraph::scatter(&g, &part);
+            for (rank, expected) in scattered.iter().enumerate() {
+                let got = slab.local_graph(&part, rank);
+                assert_eq!(
+                    got.csr_parts(),
+                    expected.csr_parts(),
+                    "p={ranks} rank {rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranged_loads_match_scatter_and_read_less() {
+        let p = RmatParams::social(9, 8, 3);
+        let g = rmat(p).graph;
+        let path = TempPath::new("ranged");
+        build_slab(
+            g.num_vertices() as u64,
+            |b| rmat_stream(p, b),
+            small_opts(),
+            &path,
+        );
+        let slab = Slab::open(&path.0).unwrap();
+        for ranks in [1, 2, 8] {
+            let part = slab.partition(ranks);
+            let scattered = LocalGraph::scatter(&g, &part);
+            for (rank, expected) in scattered.iter().enumerate() {
+                let slice = load_rank(&path.0, rank, ranks).unwrap();
+                assert_eq!(slice.local.partition(), &part, "p={ranks} rank {rank}");
+                assert_eq!(
+                    slice.local.csr_parts(),
+                    expected.csr_parts(),
+                    "p={ranks} rank {rank}"
+                );
+                assert_eq!(slice.halo.len() as u64, slab.num_vertices());
+                if ranks > 1 {
+                    assert!(
+                        slice.bytes_read < slab.mapped_bytes(),
+                        "p={ranks} rank {rank}: ranged load read the whole file"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_slab() {
+        let path = TempPath::new("empty");
+        let summary = build_slab(5, |_| Ok(()), small_opts(), &path);
+        assert_eq!(summary.num_edges, 0);
+        let slab = Slab::open(&path.0).unwrap();
+        assert_eq!(slab.num_arcs(), 0);
+        assert_eq!(slab.offsets(), &[0; 6]);
+        assert_eq!(slab.partition(2), VertexPartition::balanced_vertices(5, 2));
+        let g = slab.to_csr();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_arcs(), 0);
+        let slice = load_rank(&path.0, 1, 2).unwrap();
+        assert_eq!(slice.local.num_local_arcs(), 0);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_follow_lenient_semantics() {
+        // Same stream the EdgeList/dedup_sum path would see.
+        let mut el = EdgeList::new(4);
+        let edges = [(0, 1, 1.0), (1, 0, 2.0), (2, 2, 3.0), (1, 3, 0.5)];
+        let path = TempPath::new("lenient");
+        let summary = build_slab(
+            4,
+            |b| {
+                for &(u, v, w) in &edges {
+                    b.edge(u, v, w)?;
+                }
+                Ok(())
+            },
+            small_opts(),
+            &path,
+        );
+        for &(u, v, w) in &edges {
+            el.push(u, v, w);
+        }
+        let expected = Csr::from_edge_list(el);
+        assert_eq!(Slab::open(&path.0).unwrap().to_csr(), expected);
+        assert_eq!(summary.num_edges, 3);
+        assert_eq!(summary.edges_in, 4);
+        assert!(!summary.repair.any());
+    }
+
+    #[test]
+    fn strict_policy_rejects_loops_and_duplicates() {
+        let opts = SlabOptions {
+            policy: IngestPolicy::Strict,
+            ..small_opts()
+        };
+        let mut b = SlabBuilder::new(4, opts.clone());
+        assert!(matches!(
+            b.edge(2, 2, 1.0),
+            Err(IngestError::SelfLoop { v: 2, .. })
+        ));
+        drop(b);
+
+        let path = TempPath::new("strict-dup");
+        let mut b = SlabBuilder::new(4, opts);
+        b.edge(0, 1, 1.0).unwrap();
+        b.edge(1, 0, 1.0).unwrap(); // same undirected pair
+        let err = b.finish(&path.0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Ingest(IngestError::DuplicateEdge { u: 0, v: 1, .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn repair_policy_merges_and_drops_with_stats() {
+        let path = TempPath::new("repair");
+        let summary = build_slab(
+            4,
+            |b| {
+                b.edge(0, 1, 1.0)?;
+                b.edge(1, 0, 2.0)?;
+                b.edge(0, 1, 0.5)?;
+                b.edge(2, 2, 9.0)?;
+                b.edge(1, 3, 1.0)?;
+                Ok(())
+            },
+            SlabOptions {
+                policy: IngestPolicy::Repair,
+                ..small_opts()
+            },
+            &path,
+        );
+        assert_eq!(summary.repair.duplicates_merged, 2);
+        assert_eq!(summary.repair.self_loops_dropped, 1);
+        assert_eq!(summary.num_edges, 2);
+        let g = Slab::open(&path.0).unwrap().to_csr();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.self_loop(2), 0.0);
+        let w01: f64 = g.neighbors(0).map(|(_, w)| w).sum();
+        assert_eq!(w01, 3.5);
+    }
+
+    #[test]
+    fn out_of_range_and_bad_weights_are_typed_errors() {
+        let mut b = SlabBuilder::new(3, small_opts());
+        assert!(matches!(
+            b.edge(0, 3, 1.0),
+            Err(IngestError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.edge(0, 1, f64::NAN),
+            Err(IngestError::BadWeight { .. })
+        ));
+    }
+
+    // --- corruption coverage: every defect is its own typed error ---
+
+    fn valid_slab_bytes(path: &TempPath) -> Vec<u8> {
+        let p = LfrParams::small(120, 1);
+        build_slab(120, |b| lfr_stream(p, b).map(|_| ()), small_opts(), path);
+        std::fs::read(&path.0).unwrap()
+    }
+
+    #[test]
+    fn truncated_file_is_truncated_error() {
+        let path = TempPath::new("trunc");
+        let bytes = valid_slab_bytes(&path);
+        std::fs::write(&path.0, &bytes[..100]).unwrap();
+        assert!(matches!(
+            Slab::open(&path.0),
+            Err(StoreError::Truncated { what: "header", .. })
+        ));
+        std::fs::write(&path.0, &bytes[..bytes.len() - 16]).unwrap();
+        assert!(matches!(
+            Slab::open(&path.0),
+            Err(StoreError::Truncated { .. })
+        ));
+        assert!(matches!(
+            load_rank(&path.0, 0, 2),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_bad_magic_error() {
+        let path = TempPath::new("magic");
+        let mut bytes = valid_slab_bytes(&path);
+        bytes[..8].copy_from_slice(&0x1122_3344_5566_7788u64.to_le_bytes());
+        std::fs::write(&path.0, &bytes).unwrap();
+        assert!(matches!(
+            Slab::open(&path.0),
+            Err(StoreError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            load_rank(&path.0, 0, 2),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_wrong_version_error() {
+        let path = TempPath::new("version");
+        let mut bytes = valid_slab_bytes(&path);
+        bytes[..8].copy_from_slice(&(layout::MAGIC_SIGNATURE | b'9' as u64).to_le_bytes());
+        std::fs::write(&path.0, &bytes).unwrap();
+        assert!(matches!(
+            Slab::open(&path.0),
+            Err(StoreError::WrongVersion { found: b'9' })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_checksum_mismatch() {
+        let path = TempPath::new("checksum");
+        let mut bytes = valid_slab_bytes(&path);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path.0, &bytes).unwrap();
+        assert!(matches!(
+            Slab::open(&path.0),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_halo_fails_ranged_load_too() {
+        let path = TempPath::new("halo-checksum");
+        let mut bytes = valid_slab_bytes(&path);
+        let header = layout::SlabHeader::decode(&bytes).unwrap();
+        let halo = &header.sections[layout::SEC_HALO];
+        bytes[(halo.offset + halo.len / 2) as usize] ^= 0x01;
+        std::fs::write(&path.0, &bytes).unwrap();
+        assert!(matches!(
+            load_rank(&path.0, 0, 2),
+            Err(StoreError::ChecksumMismatch {
+                section: "halo",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn misaligned_section_is_misaligned_error() {
+        let path = TempPath::new("misaligned");
+        let mut bytes = valid_slab_bytes(&path);
+        // Section table starts at 0x30; nudge section 1's offset by 8.
+        let off_pos = 0x30 + 24; // section 1's offset field
+        let old = u64::from_le_bytes(bytes[off_pos..off_pos + 8].try_into().unwrap());
+        bytes[off_pos..off_pos + 8].copy_from_slice(&(old + 8).to_le_bytes());
+        std::fs::write(&path.0, &bytes).unwrap();
+        assert!(matches!(
+            Slab::open(&path.0),
+            Err(StoreError::MisalignedSection {
+                section: "targets",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_section_length_is_corrupt() {
+        let path = TempPath::new("badlen");
+        let mut bytes = valid_slab_bytes(&path);
+        let len_pos = 0x30 + 8; // section 0's len field
+        let old = u64::from_le_bytes(bytes[len_pos..len_pos + 8].try_into().unwrap());
+        bytes[len_pos..len_pos + 8].copy_from_slice(&(old + 8).to_le_bytes());
+        std::fs::write(&path.0, &bytes).unwrap();
+        assert!(matches!(
+            Slab::open(&path.0),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

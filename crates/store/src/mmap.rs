@@ -1,0 +1,174 @@
+//! Read-only memory mapping with a portable fallback.
+//!
+//! On Unix this wraps raw `mmap`/`munmap` (linked through std's libc, so
+//! no external crate is needed). Elsewhere it reads the file into a
+//! `u64`-backed buffer, which guarantees the same 8-byte base alignment
+//! the zero-copy section views rely on.
+
+use std::fs::File;
+use std::io;
+
+/// An immutable byte view of an entire file, 8-byte aligned at its base.
+#[derive(Debug)]
+pub struct Mapping {
+    inner: Inner,
+}
+
+#[cfg(unix)]
+#[derive(Debug)]
+enum Inner {
+    Mapped {
+        ptr: *mut std::ffi::c_void,
+        len: usize,
+    },
+    Empty,
+}
+
+#[cfg(not(unix))]
+#[derive(Debug)]
+enum Inner {
+    Owned { buf: Vec<u64>, len: usize },
+    Empty,
+}
+
+// The mapping is read-only and never mutated after creation.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+impl Mapping {
+    /// Map (or read) the whole of `file`.
+    #[cfg(unix)]
+    pub fn of(file: &File) -> io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Ok(Self {
+                inner: Inner::Empty,
+            });
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            inner: Inner::Mapped { ptr, len },
+        })
+    }
+
+    /// Map (or read) the whole of `file`.
+    #[cfg(not(unix))]
+    pub fn of(file: &File) -> io::Result<Self> {
+        use std::io::Read;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Ok(Self {
+                inner: Inner::Empty,
+            });
+        }
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, buf.len() * 8) };
+        let mut reader = file;
+        reader.read_exact(&mut bytes[..len])?;
+        Ok(Self {
+            inner: Inner::Owned { buf, len },
+        })
+    }
+
+    /// The file contents. Base pointer is page-aligned (Unix) or
+    /// 8-byte aligned (fallback).
+    pub fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(*ptr as *const u8, *len)
+            },
+            #[cfg(not(unix))]
+            Inner::Owned { buf, len } => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len)
+            },
+            Inner::Empty => &[],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    #[allow(dead_code)] // pairs with len(); exercised in tests
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("louvain-mmap-test-{}", std::process::id()));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let map = Mapping::of(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.bytes(), &payload[..]);
+        assert_eq!(map.bytes().as_ptr() as usize % 8, 0, "base not 8-aligned");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("louvain-mmap-empty-{}", std::process::id()));
+        std::fs::File::create(&path).unwrap();
+        let map = Mapping::of(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

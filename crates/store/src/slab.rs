@@ -1,0 +1,364 @@
+//! Reading slabs: whole-file mmap views and per-rank byte-range loads.
+//!
+//! Two load paths, mirroring the paper's MPI-I/O usage:
+//!
+//! * [`Slab::open`] maps the entire file read-only and exposes zero-copy
+//!   `u64`/`f64` views of every section. All five checksums are
+//!   validated up front.
+//! * [`load_rank`] reads only the byte ranges one rank needs: the header,
+//!   the small `pindex` and `halo` sections (checksummed), the rank's
+//!   window of `offsets`, and its `[lo, hi)` extent of `targets` and
+//!   `weights`. The big sections are *not* checksummed on this path —
+//!   a rank reads a strict subset of their bytes — which is the
+//!   documented trade-off for O(local) I/O.
+//!
+//! Both paths produce `LocalGraph`s bit-identical to
+//! `LocalGraph::scatter` over the in-memory CSR.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use louvain_graph::csr::Csr;
+use louvain_graph::dist::LocalGraph;
+use louvain_graph::partition::VertexPartition;
+use louvain_graph::{VertexId, Weight};
+
+use crate::err::StoreError;
+use crate::layout::{
+    fnv1a_words, SlabHeader, HEADER_BYTES, SECTION_NAMES, SEC_HALO, SEC_OFFSETS, SEC_PINDEX,
+    SEC_TARGETS, SEC_WEIGHTS,
+};
+use crate::mmap::Mapping;
+
+// The zero-copy section views reinterpret little-endian file bytes
+// in place.
+#[cfg(target_endian = "big")]
+compile_error!("the slab store requires a little-endian target");
+
+/// A fully mapped, fully validated slab file.
+#[derive(Debug)]
+pub struct Slab {
+    map: Mapping,
+    header: SlabHeader,
+}
+
+impl Slab {
+    /// Map `path` and validate the header, section table, and **all**
+    /// section checksums.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let file = File::open(path)?;
+        let map = Mapping::of(&file)?;
+        let header = SlabHeader::decode(map.bytes())?;
+        header.validate_extents(map.len() as u64)?;
+        for (name, s) in SECTION_NAMES.iter().zip(&header.sections) {
+            let bytes = &map.bytes()[s.offset as usize..(s.offset + s.len) as usize];
+            let found = fnv1a_words(bytes);
+            if found != s.checksum {
+                return Err(StoreError::ChecksumMismatch {
+                    section: name,
+                    expect: s.checksum,
+                    found,
+                });
+            }
+        }
+        Ok(Self { map, header })
+    }
+
+    pub fn num_vertices(&self) -> u64 {
+        self.header.num_vertices
+    }
+
+    pub fn num_arcs(&self) -> u64 {
+        self.header.num_arcs
+    }
+
+    pub fn num_edges(&self) -> u64 {
+        self.header.num_edges
+    }
+
+    pub fn index_stride(&self) -> u64 {
+        self.header.index_stride
+    }
+
+    /// Total bytes backed by the mapping (the whole file).
+    pub fn mapped_bytes(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    fn view_u64(&self, section: usize) -> &[u64] {
+        let s = &self.header.sections[section];
+        let bytes = &self.map.bytes()[s.offset as usize..(s.offset + s.len) as usize];
+        debug_assert_eq!(bytes.as_ptr() as usize % 8, 0, "section view misaligned");
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u64, bytes.len() / 8) }
+    }
+
+    fn view_f64(&self, section: usize) -> &[f64] {
+        let s = &self.header.sections[section];
+        let bytes = &self.map.bytes()[s.offset as usize..(s.offset + s.len) as usize];
+        debug_assert_eq!(bytes.as_ptr() as usize % 8, 0, "section view misaligned");
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f64, bytes.len() / 8) }
+    }
+
+    /// CSR row offsets (`n + 1` entries), zero-copy.
+    pub fn offsets(&self) -> &[u64] {
+        self.view_u64(SEC_OFFSETS)
+    }
+
+    /// Arc destinations (global ids), zero-copy.
+    pub fn targets(&self) -> &[u64] {
+        self.view_u64(SEC_TARGETS)
+    }
+
+    /// Arc weights, zero-copy.
+    pub fn weights(&self) -> &[f64] {
+        self.view_f64(SEC_WEIGHTS)
+    }
+
+    /// Per-vertex weighted degrees (the ghost-halo section), zero-copy.
+    pub fn halo(&self) -> &[f64] {
+        self.view_f64(SEC_HALO)
+    }
+
+    /// Sampled offsets (`offsets[i * stride]`), zero-copy.
+    pub fn pindex(&self) -> &[u64] {
+        self.view_u64(SEC_PINDEX)
+    }
+
+    /// Copy the slab into an in-memory [`Csr`].
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_raw_parts(
+            self.offsets().iter().map(|&o| o as usize).collect(),
+            self.targets().to_vec(),
+            self.weights().to_vec(),
+        )
+    }
+
+    /// Edge-balanced partition boundaries, identical to
+    /// `VertexPartition::balanced_edges` over the in-memory CSR.
+    pub fn partition(&self, p: usize) -> VertexPartition {
+        assert!(p > 0);
+        if self.num_arcs() == 0 {
+            return VertexPartition::balanced_vertices(self.num_vertices(), p);
+        }
+        let offsets = self.offsets();
+        let mut starts = Vec::with_capacity(p + 1);
+        starts.push(0);
+        for r in 1..p as u64 {
+            starts.push(start_for_target(offsets, self.num_arcs() * r / p as u64));
+        }
+        starts.push(self.num_vertices());
+        VertexPartition::from_starts(starts)
+    }
+
+    /// Build one rank's piece from the mapped sections — bit-identical
+    /// to `LocalGraph::scatter(&self.to_csr(), part)[rank]`, without the
+    /// full-graph copy.
+    pub fn local_graph(&self, part: &VertexPartition, rank: usize) -> LocalGraph {
+        assert_eq!(part.num_vertices(), self.num_vertices());
+        let range = part.range(rank);
+        let offsets = self.offsets();
+        let lo = offsets[range.start as usize] as usize;
+        let hi = offsets[range.end as usize] as usize;
+        let local_offsets: Vec<usize> = offsets[range.start as usize..=range.end as usize]
+            .iter()
+            .map(|&o| o as usize - lo)
+            .collect();
+        LocalGraph::from_csr_parts(
+            part.clone(),
+            rank,
+            local_offsets,
+            self.targets()[lo..hi].to_vec(),
+            self.weights()[lo..hi].to_vec(),
+        )
+    }
+}
+
+/// The sequential `balanced_edges_from_degrees` walk, restated over the
+/// offsets array: boundary `r` is the first `v` with `offsets[v] >=
+/// total*r/p`. `offsets[n] = total >= target` bounds the result by `n`.
+fn start_for_target(offsets: &[u64], target: u64) -> u64 {
+    offsets.partition_point(|&o| o < target) as u64
+}
+
+/// Read and validate only the header: magic, version, geometry, and the
+/// section table against the file length — without mapping the file or
+/// touching any section bytes. This is what `run --ranged` and `info`
+/// use to report a slab's shape cheaply; checksums are *not* verified.
+pub fn peek_header(path: &Path) -> Result<SlabHeader, StoreError> {
+    let mut file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    if file_len < HEADER_BYTES {
+        return Err(StoreError::Truncated {
+            what: "header",
+            need: HEADER_BYTES,
+            have: file_len,
+        });
+    }
+    let mut head = [0u8; HEADER_BYTES as usize];
+    file.read_exact(&mut head)?;
+    let header = SlabHeader::decode(&head)?;
+    header.validate_extents(file_len)?;
+    Ok(header)
+}
+
+/// One rank's worth of a slab, loaded through byte-range reads.
+#[derive(Debug)]
+pub struct RankSlice {
+    /// This rank's CSR piece (global destination ids), with the full
+    /// ownership table — exactly what `LocalGraph::scatter` hands out.
+    pub local: LocalGraph,
+    /// Weighted degrees of **all** vertices (the ghost-halo section), so
+    /// ghost degrees resolve without communication.
+    pub halo: Vec<Weight>,
+    /// Bytes actually read from the file for this rank.
+    pub bytes_read: u64,
+}
+
+/// Byte-range loader used by ranked runs: each rank calls this with its
+/// own `(rank, p)` and reads only the extents it owns (plus the small
+/// `pindex`/`halo` sections). Partition boundaries come from a windowed
+/// binary search over `pindex`, so no rank ever reads the full `offsets`
+/// section.
+pub fn load_rank(path: &Path, rank: usize, p: usize) -> Result<RankSlice, StoreError> {
+    assert!(p > 0 && rank < p, "rank {rank} out of range for p={p}");
+    let mut file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut bytes_read = 0u64;
+
+    let mut head = [0u8; HEADER_BYTES as usize];
+    if file_len < HEADER_BYTES {
+        return Err(StoreError::Truncated {
+            what: "header",
+            need: HEADER_BYTES,
+            have: file_len,
+        });
+    }
+    file.read_exact(&mut head)?;
+    bytes_read += HEADER_BYTES;
+    let header = SlabHeader::decode(&head)?;
+    header.validate_extents(file_len)?;
+    let n = header.num_vertices;
+    let stride = header.index_stride;
+
+    // Small sections are read whole and checksummed even on this path.
+    let pindex = read_u64s_checked(&mut file, &header, SEC_PINDEX, &mut bytes_read)?;
+    let halo_raw = read_u64s_checked(&mut file, &header, SEC_HALO, &mut bytes_read)?;
+    let halo: Vec<f64> = halo_raw.iter().map(|&b| f64::from_bits(b)).collect();
+    drop(halo_raw);
+
+    // Partition boundaries via windowed binary search: pindex narrows
+    // each target to one stride of `offsets`, which is then read from
+    // disk. All ranks compute the same table (static knowledge).
+    let offsets_off = header.sections[SEC_OFFSETS].offset;
+    let mut read_offsets = |first: u64, count: u64| -> Result<Vec<u64>, StoreError> {
+        let mut buf = vec![0u8; (count * 8) as usize];
+        file.seek(SeekFrom::Start(offsets_off + first * 8))?;
+        file.read_exact(&mut buf)?;
+        bytes_read += count * 8;
+        Ok(buf
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    };
+    let part = if header.num_arcs == 0 {
+        VertexPartition::balanced_vertices(n, p)
+    } else {
+        let mut starts: Vec<VertexId> = Vec::with_capacity(p + 1);
+        starts.push(0);
+        for r in 1..p as u64 {
+            let target = header.num_arcs * r / p as u64;
+            // First sample >= target bounds the answer's window.
+            let i = pindex.partition_point(|&s| s < target) as u64;
+            let win_first = i.saturating_sub(1) * stride;
+            let win_last = (i * stride).min(n); // inclusive
+            let window = read_offsets(win_first, win_last - win_first + 1)?;
+            let v = if i == 0 {
+                // pindex[0] = offsets[0] = 0 >= target, so target == 0.
+                0
+            } else {
+                win_first + window.partition_point(|&o| o < target) as u64
+            };
+            starts.push(v);
+        }
+        starts.push(n);
+        VertexPartition::from_starts(starts)
+    };
+
+    // This rank's offset window, rebased to local.
+    let range = part.range(rank);
+    let window = read_offsets(range.start, range.end - range.start + 1)?;
+    let lo = window[0];
+    let hi = *window.last().unwrap();
+    let local_offsets: Vec<usize> = window.iter().map(|&o| (o - lo) as usize).collect();
+
+    // The [lo, hi) extents of targets and weights.
+    let mut read_arc_extent = |section: usize| -> Result<Vec<u64>, StoreError> {
+        let off = header.sections[section].offset;
+        let count = hi - lo;
+        let mut buf = vec![0u8; (count * 8) as usize];
+        file.seek(SeekFrom::Start(off + lo * 8))?;
+        file.read_exact(&mut buf)?;
+        bytes_read += count * 8;
+        Ok(buf
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    };
+    let dests = read_arc_extent(SEC_TARGETS)?;
+    let weights: Vec<f64> = read_arc_extent(SEC_WEIGHTS)?
+        .iter()
+        .map(|&b| f64::from_bits(b))
+        .collect();
+
+    let local = LocalGraph::from_csr_parts(part, rank, local_offsets, dests, weights);
+    Ok(RankSlice {
+        local,
+        halo,
+        bytes_read,
+    })
+}
+
+/// Read one whole section as `u64` words and validate its checksum.
+fn read_u64s_checked(
+    file: &mut File,
+    header: &SlabHeader,
+    section: usize,
+    bytes_read: &mut u64,
+) -> Result<Vec<u64>, StoreError> {
+    let s = &header.sections[section];
+    let mut buf = vec![0u8; s.len as usize];
+    file.seek(SeekFrom::Start(s.offset))?;
+    read_exact_or_truncated(file, &mut buf, SECTION_NAMES[section])?;
+    *bytes_read += s.len;
+    let found = fnv1a_words(&buf);
+    if found != s.checksum {
+        return Err(StoreError::ChecksumMismatch {
+            section: SECTION_NAMES[section],
+            expect: s.checksum,
+            found,
+        });
+    }
+    Ok(buf
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+fn read_exact_or_truncated(
+    file: &mut File,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), StoreError> {
+    file.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated {
+                what,
+                need: buf.len() as u64,
+                have: 0,
+            }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}

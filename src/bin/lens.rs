@@ -15,7 +15,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use distributed_louvain::obs::RunArtifact;
-use louvain_lens::{crit, diff, gate, show, Thresholds, DEFAULT_WAIT_TOL};
+use louvain_lens::{crit, diff, gate_with_skips, show, Thresholds, DEFAULT_WAIT_TOL};
 
 const USAGE: &str = "\
 lens — run-artifact analytics (convergence tables, diffs, CI gate)
@@ -24,7 +24,9 @@ USAGE:
   lens show <ARTIFACT>
       Human summary: one block per run; traced runs get a sparkline
       convergence table (modularity, delta-Q, moves, active fraction,
-      community count, ghost bytes per iteration).
+      community count, ghost bytes per iteration). Runs carrying the
+      mem.* gauges also get a memory line: heap CSR bytes, mmap-resident
+      bytes, bytes-per-edge, and peak RSS.
 
   lens diff <BASELINE> <CURRENT> [threshold flags]
       Match runs by label and print wall / bytes / modularity /
@@ -32,10 +34,15 @@ USAGE:
       output. Threshold crossings are marked REGRESSION but do not
       affect the exit code.
 
-  lens gate --baseline <BASELINE> <CURRENT> [threshold flags]
+  lens gate --baseline <BASELINE> <CURRENT> [--skip-label <PREFIX>]...
+            [threshold flags]
       CI verdict: exit 0 when every baseline run matches within
       thresholds, nonzero on any regression or on a baseline run
       missing from <CURRENT>. Runs only in <CURRENT> are allowed.
+      --skip-label (repeatable) excludes runs whose label starts with
+      PREFIX from the verdict — for informational rows (e.g. the
+      machine-dependent weak-scaling sweeps) that should stay in the
+      artifact without gating CI.
 
   lens crit <ARTIFACT> [--baseline <BASELINE>] [--wait-tol <F>]
       Cross-rank critical-path analysis over the causal profiling
@@ -141,6 +148,23 @@ fn flag(args: &[String], key: &str) -> Option<String> {
         .cloned()
 }
 
+/// Every value of a repeatable flag, in order of appearance.
+fn flag_multi(args: &[String], key: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == key {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 fn thresholds(args: &[String]) -> Result<Thresholds, String> {
     let mut t = Thresholds::default();
     let set = |key: &str, dst: &mut f64| -> Result<(), String> {
@@ -181,7 +205,9 @@ fn cmd_gate(args: &[String]) -> Result<bool, String> {
         return Err("usage: lens gate --baseline <BASELINE> <CURRENT>".into());
     };
     let t = thresholds(args)?;
-    let result = gate(&load(&baseline)?, &load(current)?, &t);
+    let skips = flag_multi(args, "--skip-label");
+    let skip_refs: Vec<&str> = skips.iter().map(String::as_str).collect();
+    let result = gate_with_skips(&load(&baseline)?, &load(current)?, &t, &skip_refs);
     print!("{}", result.render());
     Ok(result.passed())
 }
@@ -228,6 +254,15 @@ mod tests {
     fn positionals_skip_flag_values() {
         let args = s(&["--baseline", "b.json", "cur.json", "--wall-tol", "4.0"]);
         assert_eq!(positionals(&args), vec!["cur.json"]);
+    }
+
+    #[test]
+    fn flag_multi_collects_repeated_values() {
+        let args = s(&["--skip-label", "weak/", "x.json", "--skip-label", "model/"]);
+        assert_eq!(flag_multi(&args, "--skip-label"), vec!["weak/", "model/"]);
+        assert!(flag_multi(&args, "--other").is_empty());
+        // Trailing flag with no value must not panic or loop.
+        assert!(flag_multi(&s(&["--skip-label"]), "--skip-label").is_empty());
     }
 
     #[test]

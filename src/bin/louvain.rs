@@ -17,10 +17,11 @@ use std::process::ExitCode;
 
 use distributed_louvain::comm::{BackoffPolicy, FaultPlan, HealthConfig, RunConfig};
 use distributed_louvain::dist::{
-    adjusted_rand_index, f_score, nmi, run_distributed_resilient, CheckpointOptions, DistConfig,
-    ResilOptions, SweepMode, Variant,
+    adjusted_rand_index, f_score, nmi, run_distributed_resilient, run_distributed_resilient_source,
+    CheckpointOptions, DistConfig, GraphSource, ResilOptions, SweepMode, Variant,
 };
-use distributed_louvain::graph::{binio, gen, Csr, IngestPolicy, VertexId};
+use distributed_louvain::graph::{binio, gen, textio, Csr, IngestError, IngestPolicy, VertexId};
+use distributed_louvain::store::{self, Slab, SlabBuilder, SlabOptions, SlabSummary};
 use distributed_louvain::{dist, obs};
 
 fn main() -> ExitCode {
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("quality") => cmd_quality(&args[1..]),
@@ -51,25 +53,42 @@ louvain — distributed Louvain community detection (IPDPS 2018 reproduction)
 
 USAGE:
   louvain generate --kind <KIND> --n <N> [--seed <S>] --out <FILE>
+                   [--slab [--chunk-edges <C>]]
       KIND: lfr | ssca2 | rmat | weblike | grid3d | erdos-renyi |
             watts-strogatz | barabasi-albert
       extra: --mu <F> (lfr), --avg-degree <F> (erdos-renyi)
       Writes <FILE> (binary edge list) and, when the generator plants
       communities, <FILE>.truth (one community id per line).
+      --slab streams the generator straight into a slab file (on-disk
+      CSR) instead: peak memory stays O(n + chunk) no matter how many
+      edges are emitted. --chunk-edges tunes the spill-chunk size.
 
-  louvain convert <TEXT-FILE> --out <FILE> [--repair | --strict]
+  louvain convert <TEXT-FILE> --out <FILE> [--repair | --strict] [--slab]
       Converts a text edge list (`src dst [weight]` per line, # comments,
       SNAP-style) to the binary format, remapping sparse ids densely.
       NaN/negative/overflowing weights are always rejected with the
       offending line number. --strict also rejects duplicate edges and
       self-loops; --repair merges duplicates (summing weights) and drops
-      self-loops, printing what changed.
+      self-loops, printing what changed. --slab writes a slab (on-disk
+      CSR) directly, streaming in two passes with no RAM-resident edge
+      list; the policies behave identically.
+
+  louvain ingest <FILE> --out <SLAB> [--repair | --strict]
+                 [--chunk-edges <C>]
+      Builds a slab — a versioned, checksummed on-disk CSR — from a
+      binary edge list or a text edge list (detected by file magic),
+      streaming with bounded memory: edges are chunk-sorted, spilled,
+      and external-merged, so graphs far larger than RAM ingest cleanly.
+      The resulting CSR is bit-identical to loading the same edges in
+      memory.
 
   louvain info <FILE>
       Prints header, degree and clustering statistics of a binary graph
-      file.
+      file, or the header / section layout of a slab (after validating
+      every section checksum).
 
-  louvain run <FILE> [--ranks <P>] [--variant <V>] [--threads-per-rank <T>]
+  louvain run <FILE> [--slab [--ranged]]
+              [--ranks <P>] [--variant <V>] [--threads-per-rank <T>]
               [--sweep <auto|colored|relaxed>]
               [--tau <F>] [--assignment <OUT>]
               [--trace-out <TRACE>] [--report-out <REPORT>]
@@ -81,6 +100,11 @@ USAGE:
       V: baseline | cycling | et:<alpha> | etc:<alpha> | et+cycling:<alpha>
       Runs distributed Louvain on P simulated ranks, prints the summary,
       optionally writes the community assignment to <OUT>.
+      --slab treats <FILE> as a slab: the file is memory-mapped once and
+      every rank slices its piece zero-copy. Adding --ranged makes each
+      rank instead read only its own byte ranges from the file (the
+      paper's MPI-I/O pattern) — nothing is ever fully resident. Both
+      paths are bit-identical to running the in-memory graph.
       --sweep picks the per-rank sweep schedule: `auto` (sequential at one
       thread, colored conflict-free batches otherwise), `colored` (force
       the deterministic colored schedule at any thread count), `relaxed`
@@ -123,7 +147,14 @@ struct Opts<'a> {
 
 /// Flags that take no value; `positional()` must not skip the token
 /// following one of these.
-const BOOL_FLAGS: &[&str] = &["--resume", "--repair", "--strict", "--no-watchdog"];
+const BOOL_FLAGS: &[&str] = &[
+    "--resume",
+    "--repair",
+    "--strict",
+    "--no-watchdog",
+    "--slab",
+    "--ranged",
+];
 
 impl<'a> Opts<'a> {
     fn get(&self, key: &str) -> Option<&'a str> {
@@ -194,46 +225,153 @@ fn parse_variant(spec: &str) -> Result<Variant, String> {
     }
 }
 
+/// A parsed `--kind` plus its parameters, shared by the in-memory and
+/// the streamed `--slab` generation paths so both see identical specs.
+enum GenSpec {
+    Lfr(gen::LfrParams),
+    Ssca2(gen::Ssca2Params),
+    Rmat(gen::RmatParams),
+    Weblike(gen::WeblikeParams),
+    Grid3d(gen::Grid3dParams),
+    ErdosRenyi(gen::ErdosRenyiParams),
+    WattsStrogatz(gen::WattsStrogatzParams),
+    BarabasiAlbert(gen::BarabasiAlbertParams),
+}
+
+impl GenSpec {
+    fn parse(kind: &str, opts: &Opts) -> Result<Self, String> {
+        let n: u64 = opts.parse("--n", 10_000u64)?;
+        let seed: u64 = opts.parse("--seed", 1u64)?;
+        Ok(match kind {
+            "lfr" => {
+                let mu: f64 = opts.parse("--mu", 0.1f64)?;
+                GenSpec::Lfr(gen::LfrParams {
+                    mu,
+                    ..gen::LfrParams::small(n, seed)
+                })
+            }
+            "ssca2" => GenSpec::Ssca2(gen::Ssca2Params::paper(n, seed)),
+            "rmat" => {
+                let scale = (63 - n.max(2).leading_zeros() as u64) as u32;
+                GenSpec::Rmat(gen::RmatParams::social(scale, 8, seed))
+            }
+            "weblike" => GenSpec::Weblike(gen::WeblikeParams::web(n, seed)),
+            "grid3d" => GenSpec::Grid3d(gen::Grid3dParams::cube(n, seed)),
+            "erdos-renyi" => {
+                let d: f64 = opts.parse("--avg-degree", 8.0f64)?;
+                GenSpec::ErdosRenyi(gen::ErdosRenyiParams {
+                    n,
+                    avg_degree: d,
+                    seed,
+                })
+            }
+            "watts-strogatz" => GenSpec::WattsStrogatz(gen::WattsStrogatzParams {
+                n,
+                k: 4,
+                beta: 0.1,
+                seed,
+            }),
+            "barabasi-albert" => {
+                GenSpec::BarabasiAlbert(gen::BarabasiAlbertParams { n, m: 4, seed })
+            }
+            other => return Err(format!("unknown generator kind `{other}`")),
+        })
+    }
+
+    /// Vertex count of the stream this spec will emit — what sizes the
+    /// slab builder before the first edge exists.
+    fn num_vertices(&self) -> u64 {
+        match self {
+            GenSpec::Lfr(p) => p.n,
+            GenSpec::Ssca2(p) => p.n,
+            GenSpec::Rmat(p) => 1 << p.scale,
+            GenSpec::Weblike(p) => p.n,
+            GenSpec::Grid3d(p) => p.nx * p.ny * p.nz,
+            GenSpec::ErdosRenyi(p) => p.n,
+            GenSpec::WattsStrogatz(p) => p.n,
+            GenSpec::BarabasiAlbert(p) => p.n,
+        }
+    }
+
+    /// Feed the generator's streamed path into `sink`, returning any
+    /// planted ground truth.
+    fn stream<S: distributed_louvain::graph::EdgeSink>(
+        self,
+        sink: &mut S,
+    ) -> Result<Option<Vec<VertexId>>, IngestError> {
+        Ok(match self {
+            GenSpec::Lfr(p) => Some(gen::lfr_stream(p, sink)?),
+            GenSpec::Ssca2(p) => Some(gen::ssca2_stream(p, sink)?),
+            GenSpec::Weblike(p) => Some(gen::weblike_stream(p, sink)?),
+            GenSpec::Rmat(p) => {
+                gen::rmat_stream(p, sink)?;
+                None
+            }
+            GenSpec::Grid3d(p) => {
+                gen::grid3d_stream(p, sink)?;
+                None
+            }
+            GenSpec::ErdosRenyi(p) => {
+                gen::erdos_renyi_stream(p, sink)?;
+                None
+            }
+            GenSpec::WattsStrogatz(p) => {
+                gen::watts_strogatz_stream(p, sink)?;
+                None
+            }
+            GenSpec::BarabasiAlbert(p) => {
+                gen::barabasi_albert_stream(p, sink)?;
+                None
+            }
+        })
+    }
+
+    fn generate(self) -> gen::Generated {
+        match self {
+            GenSpec::Lfr(p) => gen::lfr(p),
+            GenSpec::Ssca2(p) => gen::ssca2(p),
+            GenSpec::Rmat(p) => gen::rmat(p),
+            GenSpec::Weblike(p) => gen::weblike(p),
+            GenSpec::Grid3d(p) => gen::grid3d(p),
+            GenSpec::ErdosRenyi(p) => gen::erdos_renyi(p),
+            GenSpec::WattsStrogatz(p) => gen::watts_strogatz(p),
+            GenSpec::BarabasiAlbert(p) => gen::barabasi_albert(p),
+        }
+    }
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let opts = Opts { args };
     let kind = opts.require("--kind")?;
-    let n: u64 = opts.parse("--n", 10_000u64)?;
-    let seed: u64 = opts.parse("--seed", 1u64)?;
     let out = PathBuf::from(opts.require("--out")?);
+    let spec = GenSpec::parse(kind, &opts)?;
 
-    let generated = match kind {
-        "lfr" => {
-            let mu: f64 = opts.parse("--mu", 0.1f64)?;
-            gen::lfr(gen::LfrParams {
-                mu,
-                ..gen::LfrParams::small(n, seed)
-            })
+    if opts.has("--slab") {
+        let sopts = slab_options(&opts, IngestPolicy::Lenient)?;
+        let mut b = SlabBuilder::new(spec.num_vertices(), sopts);
+        let truth = spec
+            .stream(&mut b)
+            .map_err(|e| format!("generating {kind}: {e}"))?;
+        let summary = b
+            .finish(&out)
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!(
+            "wrote {} ({} vertices, {} edges, {} arcs, {} bytes; slab)",
+            out.display(),
+            summary.num_vertices,
+            summary.num_edges,
+            summary.num_arcs,
+            summary.file_bytes
+        );
+        if let Some(truth) = truth {
+            let truth_path = truth_sibling(&out);
+            write_assignment(&truth_path, &truth)?;
+            println!("wrote {} (ground truth)", truth_path.display());
         }
-        "ssca2" => gen::ssca2(gen::Ssca2Params::paper(n, seed)),
-        "rmat" => {
-            let scale = (63 - n.max(2).leading_zeros() as u64) as u32;
-            gen::rmat(gen::RmatParams::social(scale, 8, seed))
-        }
-        "weblike" => gen::weblike(gen::WeblikeParams::web(n, seed)),
-        "grid3d" => gen::grid3d(gen::Grid3dParams::cube(n, seed)),
-        "erdos-renyi" => {
-            let d: f64 = opts.parse("--avg-degree", 8.0f64)?;
-            gen::erdos_renyi(gen::ErdosRenyiParams {
-                n,
-                avg_degree: d,
-                seed,
-            })
-        }
-        "watts-strogatz" => gen::watts_strogatz(gen::WattsStrogatzParams {
-            n,
-            k: 4,
-            beta: 0.1,
-            seed,
-        }),
-        "barabasi-albert" => gen::barabasi_albert(gen::BarabasiAlbertParams { n, m: 4, seed }),
-        other => return Err(format!("unknown generator kind `{other}`")),
-    };
+        return Ok(());
+    }
 
+    let generated = spec.generate();
     binio::write_edge_list(&out, &generated.graph.to_edge_list())
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!(
@@ -250,21 +388,122 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_convert(args: &[String]) -> Result<(), String> {
-    let opts = Opts { args };
-    let input = PathBuf::from(opts.positional().ok_or("missing text edge-list file")?);
-    let out = PathBuf::from(opts.require("--out")?);
+/// Shared `--repair` / `--strict` handling.
+fn parse_policy(opts: &Opts) -> Result<IngestPolicy, String> {
     if opts.has("--repair") && opts.has("--strict") {
         return Err("--repair and --strict are mutually exclusive".into());
     }
-    let policy = if opts.has("--repair") {
+    Ok(if opts.has("--repair") {
         IngestPolicy::Repair
     } else if opts.has("--strict") {
         IngestPolicy::Strict
     } else {
         IngestPolicy::Lenient
+    })
+}
+
+/// Slab-builder tuning from CLI flags.
+fn slab_options(opts: &Opts, policy: IngestPolicy) -> Result<SlabOptions, String> {
+    let defaults = SlabOptions::default();
+    Ok(SlabOptions {
+        policy,
+        chunk_edges: opts.parse("--chunk-edges", defaults.chunk_edges)?,
+        index_stride: opts.parse("--index-stride", defaults.index_stride)?,
+        ..defaults
+    })
+}
+
+/// What a file holds, sniffed from its first eight bytes.
+enum FileKind {
+    Slab,
+    BinaryEdges,
+    Text,
+}
+
+fn sniff_kind(path: &Path) -> Result<FileKind, String> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut head = [0u8; 8];
+    if f.read_exact(&mut head).is_err() {
+        // Too short for any binary header — let the text parser report.
+        return Ok(FileKind::Text);
+    }
+    // Both magics put a 7-byte signature above a version byte.
+    Ok(match u64::from_le_bytes(head) & !0xFF {
+        store::MAGIC_SIGNATURE => FileKind::Slab,
+        binio::MAGIC_SIGNATURE => FileKind::BinaryEdges,
+        _ => FileKind::Text,
+    })
+}
+
+fn print_slab_summary(input: &Path, out: &Path, s: &SlabSummary) {
+    println!(
+        "ingested {} -> {} ({} vertices, {} edges, {} arcs, {} raw edges in, {} bytes)",
+        input.display(),
+        out.display(),
+        s.num_vertices,
+        s.num_edges,
+        s.num_arcs,
+        s.edges_in,
+        s.file_bytes
+    );
+    if s.repair.any() {
+        println!(
+            "repaired: {} duplicate edges merged, {} self-loops dropped",
+            s.repair.duplicates_merged, s.repair.self_loops_dropped
+        );
+    }
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    let opts = Opts { args };
+    let input = PathBuf::from(opts.positional().ok_or("missing input file")?);
+    let out = PathBuf::from(opts.require("--out")?);
+    let policy = parse_policy(&opts)?;
+    let sopts = slab_options(&opts, policy)?;
+    let summary = match sniff_kind(&input)? {
+        FileKind::Slab => {
+            return Err(format!("{} is already a slab", input.display()));
+        }
+        FileKind::BinaryEdges => {
+            let header = binio::read_header(&input).map_err(|e| e.to_string())?;
+            let mut b = SlabBuilder::new(header.num_vertices, sopts);
+            binio::stream_edge_records(&input, &mut b)
+                .map_err(|e| format!("{}: {e}", input.display()))?;
+            b.finish(&out)
+                .map_err(|e| format!("writing {}: {e}", out.display()))?
+        }
+        FileKind::Text => {
+            let (b, _original_ids) =
+                textio::stream_text_edge_list(&input, |n| SlabBuilder::new(n, sopts))
+                    .map_err(|e| format!("{}: {e}", input.display()))?;
+            b.finish(&out)
+                .map_err(|e| format!("writing {}: {e}", out.display()))?
+        }
     };
-    let imported = distributed_louvain::graph::textio::read_text_edge_list_policy(&input, policy)
+    print_slab_summary(&input, &out, &summary);
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let opts = Opts { args };
+    let input = PathBuf::from(opts.positional().ok_or("missing text edge-list file")?);
+    let out = PathBuf::from(opts.require("--out")?);
+    let policy = parse_policy(&opts)?;
+    if opts.has("--slab") {
+        // Streamed two-pass conversion: no RAM-resident edge list; the
+        // builder enforces the self-loop/duplicate policy.
+        let sopts = slab_options(&opts, policy)?;
+        let (b, _original_ids) =
+            textio::stream_text_edge_list(&input, |n| SlabBuilder::new(n, sopts))
+                .map_err(|e| format!("{}: {e}", input.display()))?;
+        let summary = b
+            .finish(&out)
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+        print_slab_summary(&input, &out, &summary);
+        return Ok(());
+    }
+    let imported = textio::read_text_edge_list_policy(&input, policy)
         .map_err(|e| format!("{}: {e}", input.display()))?;
     binio::write_edge_list(&out, &imported.edges)
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
@@ -284,9 +523,45 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn slab_info(path: &Path) -> Result<(), String> {
+    // Full open: validates the header, the section table, and every
+    // section checksum before printing anything.
+    let slab = Slab::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let two_m: f64 = slab.halo().iter().sum();
+    println!("file:         {}", path.display());
+    println!(
+        "format:       slab v{} (all section checksums OK)",
+        store::FORMAT_VERSION as char
+    );
+    println!("vertices:     {}", slab.num_vertices());
+    println!("edges:        {}", slab.num_edges());
+    println!("arcs:         {}", slab.num_arcs());
+    println!("total weight: {}", two_m / 2.0);
+    println!("file bytes:   {}", slab.mapped_bytes());
+    if slab.num_edges() > 0 {
+        println!(
+            "bytes/edge:   {:.1}",
+            slab.mapped_bytes() as f64 / slab.num_edges() as f64
+        );
+    }
+    println!("index stride: {}", slab.index_stride());
+    let header = store::peek_header(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    for (i, name) in store::SECTION_NAMES.iter().enumerate() {
+        let s = header.sections[i];
+        println!(
+            "section:      {name:<8} offset {:>12}  len {:>12}  fnv1a {:016x}",
+            s.offset, s.len, s.checksum
+        );
+    }
+    Ok(())
+}
+
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let opts = Opts { args };
     let path = PathBuf::from(opts.positional().ok_or("missing graph file")?);
+    if matches!(sniff_kind(&path)?, FileKind::Slab) {
+        return slab_info(&path);
+    }
     let header = binio::read_header(&path).map_err(|e| e.to_string())?;
     let el = binio::read_edge_list(&path).map_err(|e| e.to_string())?;
     let g = Csr::from_edge_list(el);
@@ -366,19 +641,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     // LOUVAIN_TRACE=1 enables tracing too; --trace-out and
     // --artifact-out imply it (telemetry rides on the span machinery).
+    let use_slab = opts.has("--slab");
+    let ranged = opts.has("--ranged");
+    if ranged && !use_slab {
+        return Err("--ranged requires --slab".into());
+    }
+
     obs::init_from_env();
     if trace_out.is_some() || artifact_out.is_some() {
         obs::set_enabled(true);
     }
-
-    let el = binio::read_edge_list(&path).map_err(|e| e.to_string())?;
-    let g = Csr::from_edge_list(el);
-    println!(
-        "graph: {} vertices, {} edges; running {} on {ranks} ranks × {threads} threads",
-        g.num_vertices(),
-        g.num_edges(),
-        variant.label()
-    );
 
     let cfg = DistConfig {
         threshold: tau,
@@ -396,7 +668,58 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         resume,
         max_recoveries,
     };
-    let out = run_distributed_resilient(&g, ranks, &cfg, runcfg, &resil)?;
+    let (out, n_vertices, n_edges) = if use_slab {
+        if ranged {
+            // Validate the header up front so a corrupt file fails here,
+            // loudly, instead of inside a rank thread.
+            let h = store::peek_header(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!(
+                "graph: {} vertices, {} edges (slab, per-rank byte-range loads); running {} on {ranks} ranks × {threads} threads",
+                h.num_vertices,
+                h.num_edges,
+                variant.label()
+            );
+            let out = run_distributed_resilient_source(
+                GraphSource::SlabRanged(&path),
+                ranks,
+                &cfg,
+                runcfg,
+                &resil,
+            )?;
+            (out, h.num_vertices, h.num_edges)
+        } else {
+            let slab = Slab::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!(
+                "graph: {} vertices, {} edges (slab, mmap); running {} on {ranks} ranks × {threads} threads",
+                slab.num_vertices(),
+                slab.num_edges(),
+                variant.label()
+            );
+            let nv = slab.num_vertices();
+            let ne = slab.num_edges();
+            let out = run_distributed_resilient_source(
+                GraphSource::SlabMapped(&slab),
+                ranks,
+                &cfg,
+                runcfg,
+                &resil,
+            )?;
+            (out, nv, ne)
+        }
+    } else {
+        let el = binio::read_edge_list(&path).map_err(|e| e.to_string())?;
+        let g = Csr::from_edge_list(el);
+        println!(
+            "graph: {} vertices, {} edges; running {} on {ranks} ranks × {threads} threads",
+            g.num_vertices(),
+            g.num_edges(),
+            variant.label()
+        );
+        let nv = g.num_vertices() as u64;
+        let ne = g.num_edges() as u64;
+        let out = run_distributed_resilient(&g, ranks, &cfg, runcfg, &resil)?;
+        (out, nv, ne)
+    };
     println!("modularity:    {:.6}", out.modularity);
     println!("communities:   {}", out.num_communities);
     println!("phases:        {}", out.phases);
@@ -499,8 +822,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             path.file_name()
                 .map(|f| f.to_string_lossy().into_owned())
                 .unwrap_or_default(),
-            g.num_vertices() as u64,
-            g.num_edges() as u64,
+            n_vertices,
+            n_edges,
         )
         .variant(variant.label())
         .threads_per_rank(threads);
@@ -733,6 +1056,175 @@ mod tests {
             s(assign.to_str().unwrap()),
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn end_to_end_slab_flow_matches_in_memory() {
+        let dir = std::env::temp_dir().join("louvain-cli-slab");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("s.graph");
+        let slab = dir.join("s.slab");
+        let s = |x: &str| x.to_string();
+        let p = |x: &Path| s(x.to_str().unwrap());
+        // The same spec through both writers: binary edge list + slab.
+        for extra in [None, Some("--slab")] {
+            let mut args = vec![
+                s("--kind"),
+                s("ssca2"),
+                s("--n"),
+                s("600"),
+                s("--seed"),
+                s("3"),
+                s("--out"),
+                if extra.is_some() { p(&slab) } else { p(&graph) },
+            ];
+            if let Some(f) = extra {
+                args.push(s(f));
+            }
+            cmd_generate(&args).unwrap();
+        }
+        assert!(truth_sibling(&slab).exists());
+        // Slab-aware info validates every checksum before printing.
+        cmd_info(&[p(&slab)]).unwrap();
+        // All three load paths must produce the identical assignment.
+        let mem = dir.join("mem.comm");
+        let mapped = dir.join("map.comm");
+        let ranged = dir.join("rng.comm");
+        cmd_run(&[p(&graph), s("--ranks"), s("2"), s("--assignment"), p(&mem)]).unwrap();
+        cmd_run(&[
+            s("--slab"),
+            p(&slab),
+            s("--ranks"),
+            s("2"),
+            s("--assignment"),
+            p(&mapped),
+        ])
+        .unwrap();
+        cmd_run(&[
+            s("--slab"),
+            s("--ranged"),
+            p(&slab),
+            s("--ranks"),
+            s("2"),
+            s("--assignment"),
+            p(&ranged),
+        ])
+        .unwrap();
+        let want = read_assignment(&mem).unwrap();
+        assert_eq!(want, read_assignment(&mapped).unwrap());
+        assert_eq!(want, read_assignment(&ranged).unwrap());
+        // Ingesting the binary edge list replays the identical edge
+        // stream, so the slab files are byte-identical.
+        let ingested = dir.join("i.slab");
+        cmd_ingest(&[p(&graph), s("--out"), p(&ingested)]).unwrap();
+        assert_eq!(
+            std::fs::read(&slab).unwrap(),
+            std::fs::read(&ingested).unwrap()
+        );
+        // --ranged without --slab is refused.
+        let err = cmd_run(&[s("--ranged"), p(&graph)]).unwrap_err();
+        assert!(err.contains("--slab"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn convert_slab_matches_in_memory_convert() {
+        let dir = std::env::temp_dir().join("louvain-cli-convert-slab");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = dir.join("t.txt");
+        // Sparse ids, duplicates, and a self-loop exercise the repair
+        // policy on both paths.
+        std::fs::write(
+            &text,
+            "# test\n100 200\n200 300 2.0\n300 100\n100 200 0.5\n300 300\n400 100\n",
+        )
+        .unwrap();
+        let bin = dir.join("t.bin");
+        let slab = dir.join("t.slab");
+        let s = |x: &str| x.to_string();
+        let p = |x: &Path| s(x.to_str().unwrap());
+        cmd_convert(&[p(&text), s("--out"), p(&bin), s("--repair")]).unwrap();
+        cmd_convert(&[p(&text), s("--out"), p(&slab), s("--repair"), s("--slab")]).unwrap();
+        let mem = dir.join("mem.comm");
+        let mapped = dir.join("map.comm");
+        cmd_run(&[p(&bin), s("--ranks"), s("2"), s("--assignment"), p(&mem)]).unwrap();
+        cmd_run(&[
+            s("--slab"),
+            p(&slab),
+            s("--ranks"),
+            s("2"),
+            s("--assignment"),
+            p(&mapped),
+        ])
+        .unwrap();
+        assert_eq!(
+            read_assignment(&mem).unwrap(),
+            read_assignment(&mapped).unwrap()
+        );
+        // Strict conversion rejects the duplicate on both paths.
+        assert!(cmd_convert(&[p(&text), s("--out"), p(&bin), s("--strict")]).is_err());
+        assert!(
+            cmd_convert(&[p(&text), s("--out"), p(&slab), s("--strict"), s("--slab")]).is_err()
+        );
+    }
+
+    #[test]
+    fn corrupt_slab_fails_loudly_on_every_path() {
+        let dir = std::env::temp_dir().join("louvain-cli-slab-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let slab = dir.join("c.slab");
+        let s = |x: &str| x.to_string();
+        let p = |x: &Path| s(x.to_str().unwrap());
+        cmd_generate(&[
+            s("--kind"),
+            s("lfr"),
+            s("--n"),
+            s("400"),
+            s("--seed"),
+            s("2"),
+            s("--out"),
+            p(&slab),
+            s("--slab"),
+        ])
+        .unwrap();
+        let pristine = std::fs::read(&slab).unwrap();
+        let header = store::peek_header(&slab).unwrap();
+        // Flip one byte inside the offsets section: `info` and mmap runs
+        // validate every checksum up front and must name the section.
+        let mut bytes = pristine.clone();
+        bytes[header.sections[0].offset as usize] ^= 0xFF;
+        std::fs::write(&slab, &bytes).unwrap();
+        let err = cmd_info(&[p(&slab)]).unwrap_err();
+        assert!(
+            err.contains("checksum mismatch") && err.contains("offsets"),
+            "unexpected error: {err}"
+        );
+        let err = cmd_run(&[s("--slab"), p(&slab), s("--ranks"), s("2")]).unwrap_err();
+        assert!(
+            err.contains("checksum mismatch") && err.contains("offsets"),
+            "unexpected error: {err}"
+        );
+        // The ranged path reads only its own byte ranges of the big
+        // sections, but checksums the small sections it reads whole —
+        // corrupt the halo and the per-rank load must fail loudly too.
+        let mut bytes = pristine.clone();
+        bytes[header.sections[3].offset as usize] ^= 0xFF;
+        std::fs::write(&slab, &bytes).unwrap();
+        let err =
+            cmd_run(&[s("--slab"), s("--ranged"), p(&slab), s("--ranks"), s("2")]).unwrap_err();
+        assert!(
+            err.contains("checksum mismatch") && err.contains("halo"),
+            "unexpected error: {err}"
+        );
+        // Truncation is a distinct typed error.
+        std::fs::write(&slab, &pristine[..100]).unwrap();
+        let err = cmd_run(&[s("--slab"), p(&slab), s("--ranks"), s("2")]).unwrap_err();
+        assert!(err.contains("truncated"), "unexpected error: {err}");
+        // Re-ingesting a slab is refused by the magic sniff.
+        let err = cmd_ingest(&[p(&slab), s("--out"), p(&dir.join("x.slab"))]).unwrap_err();
+        assert!(err.contains("already a slab"), "unexpected error: {err}");
     }
 
     #[test]

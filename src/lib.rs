@@ -15,7 +15,10 @@
 //! * [`obs`] — rank-aware tracing: spans, Chrome-trace/JSONL export,
 //!   metrics, aggregated run reports,
 //! * [`resil`] — checkpoint/restart: versioned per-rank phase-boundary
-//!   checkpoints, atomic manifests, deterministic crash recovery.
+//!   checkpoints, atomic manifests, deterministic crash recovery,
+//! * [`store`] — out-of-core slab storage: checksummed on-disk CSR built
+//!   by bounded-memory external sort, memory-mapped or per-rank
+//!   byte-range loading (the paper's MPI-I/O pattern).
 //!
 //! ## Quickstart
 //!
@@ -35,6 +38,7 @@ pub use louvain_dist as dist;
 pub use louvain_graph as graph;
 pub use louvain_obs as obs;
 pub use louvain_resil as resil;
+pub use louvain_store as store;
 
 /// Convenience re-exports for examples and quick experiments.
 pub mod prelude {
