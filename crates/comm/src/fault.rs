@@ -387,11 +387,34 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty() && self.crashes.is_empty() && self.hangs.is_empty()
     }
+
+    /// One-line human summary of what the plan injects — used by the job
+    /// server to log the fault shape of a submitted job next to its
+    /// recovery budgets (e.g. `"2 transient rules, 1 crash, 0 hangs"`).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} transient rule{}, {} crash{}, {} hang{}",
+            self.rules.len(),
+            if self.rules.len() == 1 { "" } else { "s" },
+            self.crashes.len(),
+            if self.crashes.len() == 1 { "" } else { "es" },
+            self.hangs.len(),
+            if self.hangs.len() == 1 { "" } else { "s" },
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summary_counts_by_kind() {
+        let plan = FaultPlan::parse("drop:prob=0.1;crash:rank=0,phase=1,op=0").unwrap();
+        assert_eq!(plan.summary(), "1 transient rule, 1 crash, 0 hangs");
+        let plan = FaultPlan::parse("hang:rank=1,phase=0,op=2").unwrap();
+        assert_eq!(plan.summary(), "0 transient rules, 0 crashes, 1 hang");
+    }
 
     #[test]
     fn parse_full_spec() {

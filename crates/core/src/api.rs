@@ -8,7 +8,10 @@ use louvain_graph::{Csr, LocalGraph, VertexId, VertexPartition};
 use parking_lot_free::TakeSlots;
 
 use crate::config::DistConfig;
-use crate::resume::{ResilAbort, ResilOptions};
+use crate::resume::{
+    JobCancelled, ResilAbort, ResilOptions, CANCELLED_AT_PHASE, CRASH_BUDGET_EXHAUSTED,
+    HANG_BUDGET_EXHAUSTED,
+};
 use crate::runner::{run_on_rank, run_on_rank_resilient, RankOutcome};
 use crate::stats::PhaseStats;
 
@@ -64,13 +67,29 @@ pub struct DistOutcome {
     /// to this outcome (always 0 from the non-resilient entry points).
     /// Counts both crash and hung-rank recoveries.
     pub recoveries: u64,
+    /// Crash-kind recoveries only (`recoveries` minus the hang
+    /// recoveries). Tagged separately so serving-layer quarantine
+    /// decisions can tell a poisoned job (recurring crashes) from a
+    /// flaky network (hang declarations).
+    pub crash_recoveries: u64,
     /// Hung-rank declarations absorbed on the way to this outcome, in
     /// the order the watchdog raised them (empty from the non-resilient
     /// entry points).
     pub hung_events: Vec<RankHung>,
+    /// The dendrogram: for each executed phase, the community (coarse
+    /// vertex) of every original vertex after that phase. Populated only
+    /// under [`ResilOptions::record_levels`]; each level is densely
+    /// renumbered, and the last equals `assignment`.
+    pub levels: Vec<Vec<VertexId>>,
 }
 
 impl DistOutcome {
+    /// Hang-kind recoveries (the watchdog's `RankHung` declarations
+    /// absorbed on the way to this outcome).
+    pub fn hang_recoveries(&self) -> u64 {
+        self.hung_events.len() as u64
+    }
+
     /// Modularity after each phase (from rank 0's trace).
     pub fn modularity_per_phase(&self) -> Vec<f64> {
         self.per_rank_stats[0]
@@ -311,9 +330,12 @@ fn run_source_partitioned(
 /// Runs the job, and whenever a rank failure surfaces as a typed panic
 /// — [`RankCrashed`] from an injected (or, in principle, real) crash,
 /// or [`RankHung`] from the communication watchdog declaring a silent
-/// rank dead — restarts all ranks from the newest complete checkpoint,
-/// up to `resil.max_recoveries` times total across both kinds, before
-/// giving up with an `Err`. Because phase boundaries are consistent
+/// rank dead — restarts all ranks from the newest complete checkpoint.
+/// Each failure kind has its own budget ([`ResilOptions::crash_budget`]
+/// and [`ResilOptions::hang_budget`], both defaulting to
+/// `max_recoveries`), so a flaky network cannot burn the budget a
+/// genuinely crashing job needs and vice versa; exhausting either gives
+/// up with an `Err` tagged by kind. Because phase boundaries are consistent
 /// cuts and the trajectory is deterministic, the recovered outcome is
 /// bit-identical to an uninterrupted run's.
 ///
@@ -389,6 +411,7 @@ pub fn run_distributed_resilient_source(
                 let trace = collector.map(louvain_obs::Collector::finish);
                 let mut out = merge(results, wall, trace);
                 out.recoveries = recoveries;
+                out.crash_recoveries = crash_recoveries as u64;
                 out.hung_events = hung_events;
                 return Ok(out);
             }
@@ -396,21 +419,28 @@ pub fn run_distributed_resilient_source(
                 if let Some(aborted) = payload.downcast_ref::<ResilAbort>() {
                     return Err(aborted.0.clone());
                 }
+                if let Some(cancelled) = payload.downcast_ref::<JobCancelled>() {
+                    return Err(format!("{CANCELLED_AT_PHASE}{}", cancelled.phase));
+                }
                 if let Some(crash) = payload.downcast_ref::<RankCrashed>() {
-                    if recoveries >= resil.max_recoveries as u64 {
+                    if crash_recoveries >= resil.crash_budget() {
                         return Err(format!(
-                            "{crash}; recovery budget of {} exhausted",
-                            resil.max_recoveries
+                            "{crash}; {CRASH_BUDGET_EXHAUSTED} of {} exhausted \
+                             ({crash_recoveries} crash + {} hang recoveries consumed)",
+                            resil.crash_budget(),
+                            hung_events.len(),
                         ));
                     }
                     crash_recoveries += 1;
                     continue;
                 }
                 if let Some(hung) = payload.downcast_ref::<RankHung>() {
-                    if recoveries >= resil.max_recoveries as u64 {
+                    if hung_events.len() >= resil.hang_budget() {
                         return Err(format!(
-                            "{hung}; recovery budget of {} exhausted",
-                            resil.max_recoveries
+                            "{hung}; {HANG_BUDGET_EXHAUSTED} of {} exhausted \
+                             ({crash_recoveries} crash + {} hang recoveries consumed)",
+                            resil.hang_budget(),
+                            hung_events.len(),
                         ));
                     }
                     louvain_obs::counter_add("resil.hang_recoveries", 1);
@@ -443,6 +473,24 @@ fn merge(
         traffic.merge_max_time(s);
         per_rank_traffic.push(*s);
     }
+    // Dendrogram levels (recorded only under `record_levels`): the phase
+    // loop is collective, so every rank recorded the same level count;
+    // concatenate rank slices in rank order and renumber densely like
+    // the final assignment.
+    let num_levels = results
+        .iter()
+        .map(|(o, _)| o.levels.len())
+        .max()
+        .unwrap_or(0);
+    let mut levels: Vec<Vec<VertexId>> = Vec::with_capacity(num_levels);
+    for li in 0..num_levels {
+        let mut level: Vec<VertexId> = Vec::with_capacity(assignment.len());
+        for (o, _) in &results {
+            level.extend(o.levels.get(li).into_iter().flatten().copied());
+        }
+        let (dense, _) = louvain_graph::community::renumber(&level);
+        levels.push(dense);
+    }
     for (o, _) in results {
         per_rank_stats.push(o.phase_stats);
     }
@@ -473,7 +521,9 @@ fn merge(
         trace,
         resumed_from_phase,
         recoveries: 0,
+        crash_recoveries: 0,
         hung_events: Vec::new(),
+        levels,
     }
 }
 

@@ -50,7 +50,10 @@ pub use api::{
 pub use config::{DistConfig, SweepMode, Variant};
 pub use quality::{adjusted_rand_index, f_score, nmi, QualityReport};
 pub use report::{build_run_report, ReportMeta};
-pub use resume::{config_fingerprint, CheckpointOptions, ResilOptions};
+pub use resume::{
+    config_fingerprint, CheckpointOptions, JobCancelled, ResilOptions, CANCELLED_AT_PHASE,
+    CRASH_BUDGET_EXHAUSTED, HANG_BUDGET_EXHAUSTED,
+};
 pub use runner::{run_on_rank_resilient, RankOutcome};
 pub use serial::serial_louvain;
 pub use stats::{IterationTrace, PhaseStats, WorkCounter};

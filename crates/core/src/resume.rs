@@ -11,6 +11,8 @@
 //! path refuses on mismatch.
 
 use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 use crate::config::{DistConfig, Variant};
 
@@ -48,9 +50,33 @@ pub struct ResilOptions {
     /// instead of from scratch (falls back to a fresh start when the
     /// directory holds no complete checkpoint yet).
     pub resume: bool,
-    /// How many rank crashes [`crate::api::run_distributed_resilient`]
-    /// absorbs by restarting from the newest checkpoint before giving up.
+    /// How many rank failures [`crate::api::run_distributed_resilient`]
+    /// absorbs by restarting from the newest checkpoint before giving
+    /// up. This is the shared default for both failure kinds; the
+    /// per-kind fields below override it when set.
     pub max_recoveries: usize,
+    /// Crash-specific recovery budget. `None` falls back to
+    /// `max_recoveries`. Splitting the budgets lets a serving layer
+    /// distinguish a poisoned job (crashes keep recurring) from a flaky
+    /// network (hang declarations) instead of burning one shared count
+    /// across unrelated failure kinds.
+    pub max_crash_recoveries: Option<usize>,
+    /// Hang-specific recovery budget. `None` falls back to
+    /// `max_recoveries`.
+    pub max_hang_recoveries: Option<usize>,
+    /// Cooperative cancellation token, checked once per phase boundary
+    /// (after the boundary checkpoint is durable). When it flips to
+    /// `true`, all ranks agree on the decision via a collective and the
+    /// run aborts with a typed [`JobCancelled`] payload that the
+    /// resilient driver maps to an `Err` starting with
+    /// [`CANCELLED_AT_PHASE`] — the job can later resume from the
+    /// checkpoint it drained to.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Record the per-original-vertex assignment after every accepted
+    /// phase (`RankOutcome::levels` / `DistOutcome::levels`), giving the
+    /// full dendrogram instead of only the final communities. Off by
+    /// default: it clones one `Vec<VertexId>` per phase.
+    pub record_levels: bool,
 }
 
 impl ResilOptions {
@@ -62,6 +88,40 @@ impl ResilOptions {
     pub fn is_none(&self) -> bool {
         self.checkpoint.is_none() && !self.resume
     }
+
+    /// Effective crash recovery budget (per-kind override or the shared
+    /// default).
+    pub fn crash_budget(&self) -> usize {
+        self.max_crash_recoveries.unwrap_or(self.max_recoveries)
+    }
+
+    /// Effective hang recovery budget (per-kind override or the shared
+    /// default).
+    pub fn hang_budget(&self) -> usize {
+        self.max_hang_recoveries.unwrap_or(self.max_recoveries)
+    }
+}
+
+/// Stable `Err` prefixes the resilient driver uses for budget
+/// exhaustion and cancellation, so callers (the CLI, the job server's
+/// quarantine ladder) can classify failures without a typed error enum.
+pub const CRASH_BUDGET_EXHAUSTED: &str = "crash recovery budget";
+/// See [`CRASH_BUDGET_EXHAUSTED`].
+pub const HANG_BUDGET_EXHAUSTED: &str = "hang recovery budget";
+/// Prefix of the `Err` produced when a run stops at a phase boundary
+/// because its [`ResilOptions::cancel`] token was set; the digits after
+/// it are the phase the run stopped before (its newest checkpoint, when
+/// checkpointing is on, covers exactly the phases executed so far).
+pub const CANCELLED_AT_PHASE: &str = "job cancelled at phase boundary ";
+
+/// Panic payload raised by every rank when the cancellation token is
+/// observed set at a phase boundary. The agreement collective guarantees
+/// all ranks raise it at the same boundary, so the unwind is clean (no
+/// peer is left blocked mid-collective).
+#[derive(Debug, Clone, Copy)]
+pub struct JobCancelled {
+    /// Phase boundary the run stopped at (phases `0..phase` ran).
+    pub phase: u64,
 }
 
 /// Panic payload for unrecoverable checkpoint/restore failures inside a

@@ -12,7 +12,7 @@ use crate::ghost::GhostLayer;
 use crate::heuristics::ThresholdSchedule;
 use crate::iteration::{louvain_phase, PhaseContext};
 use crate::rebuild::rebuild;
-use crate::resume::{abort, config_fingerprint, ResilOptions};
+use crate::resume::{abort, config_fingerprint, JobCancelled, ResilOptions};
 use crate::stats::PhaseStats;
 
 /// What one rank returns from a full distributed Louvain run.
@@ -34,6 +34,12 @@ pub struct RankOutcome {
     /// `total_iterations`, and the comm counters are cumulative over the
     /// whole logical run.
     pub resumed_from_phase: Option<u64>,
+    /// Per-phase projections of this rank's ORIGINAL vertices onto the
+    /// coarse graph after each executed phase — the rank's slice of the
+    /// dendrogram. Populated only under
+    /// [`ResilOptions::record_levels`]; on resumed runs it covers the
+    /// re-executed phases only. The last entry equals `assignment`.
+    pub levels: Vec<Vec<VertexId>>,
 }
 
 /// Fetch `local_vals[key - owner_first]` from the owner of every `key`.
@@ -224,8 +230,25 @@ pub fn run_on_rank_resilient(
         }
     }
 
+    let mut levels: Vec<Vec<VertexId>> = Vec::new();
+
     for phase_idx in start_phase..cfg.max_phases {
         comm.advance_fault_epoch(phase_idx as u64);
+        // Cooperative cancellation, checked once per phase boundary —
+        // i.e. right after the boundary checkpoint (if any) went
+        // durable at the end of the previous iteration. The tiny
+        // agreement all-reduce makes the decision collective: either
+        // every rank stops here or none does, so no peer is ever left
+        // blocked mid-collective by a unilateral exit.
+        if let Some(token) = resil.cancel.as_ref() {
+            let local = token.load(std::sync::atomic::Ordering::SeqCst) as u64;
+            let agreed = comm.with_step(CommStep::Other, || comm.all_reduce(local, ReduceOp::Max));
+            if agreed > 0 {
+                std::panic::panic_any(JobCancelled {
+                    phase: phase_idx as u64,
+                });
+            }
+        }
         let tau = if force_min_tau {
             min_tau
         } else {
@@ -297,6 +320,9 @@ pub fn run_on_rank_resilient(
                 &result.comm_of_local,
                 first,
             );
+            if resil.record_levels {
+                levels.push(cur_of_orig.clone());
+            }
             phase_stats.push(stats);
             break;
         }
@@ -331,6 +357,9 @@ pub fn run_on_rank_resilient(
                 first,
             )
         };
+        if resil.record_levels {
+            levels.push(cur_of_orig.clone());
+        }
 
         let compressed = out.new_num_vertices < lg.num_global();
         lg = out.new_lg;
@@ -419,6 +448,7 @@ pub fn run_on_rank_resilient(
         phase_stats,
         wall: Duration::from_secs_f64(watch.wall_seconds()),
         resumed_from_phase,
+        levels,
     }
 }
 

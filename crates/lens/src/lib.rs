@@ -209,6 +209,14 @@ pub fn show(artifact: &RunArtifact) -> String {
                 "  rank imbalance (total bytes): p50<={p50} p95<={p95} p99<={p99}"
             );
         }
+        if let Some(h) = r.metrics.histograms.get("serve.job_latency_ms") {
+            let (p50, p95, p99) = h.quantile_summary();
+            let _ = writeln!(
+                out,
+                "  job latency (ms): p50<={p50} p95<={p95} p99<={p99} over {} jobs",
+                h.count
+            );
+        }
         if !entry.telemetry.is_empty() {
             out.push_str(&convergence_table(&entry.telemetry));
         }

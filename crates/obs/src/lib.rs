@@ -197,6 +197,61 @@ pub const METRIC_REGISTRY: &[(&str, MetricKind, &str)] = &[
         "recoveries triggered by hung-rank declarations",
     ),
     (
+        "serve.cache_evictions",
+        MetricKind::Counter,
+        "cached job results evicted by the LRU capacity bound",
+    ),
+    (
+        "serve.cache_hits",
+        MetricKind::Counter,
+        "jobs answered from the fingerprint-keyed result cache",
+    ),
+    (
+        "serve.cache_misses",
+        MetricKind::Counter,
+        "jobs that had to run because no cached result matched",
+    ),
+    (
+        "serve.job_latency_ms",
+        MetricKind::Histogram,
+        "submit-to-result latency per served job (milliseconds)",
+    ),
+    (
+        "serve.jobs_accepted",
+        MetricKind::Counter,
+        "jobs admitted past the bounded queue",
+    ),
+    (
+        "serve.jobs_cancelled",
+        MetricKind::Counter,
+        "jobs drained to a phase-boundary checkpoint by shutdown",
+    ),
+    (
+        "serve.jobs_completed",
+        MetricKind::Counter,
+        "jobs that finished with a result (fresh or cached)",
+    ),
+    (
+        "serve.jobs_quarantined",
+        MetricKind::Counter,
+        "jobs quarantined by the poisoned-job ladder",
+    ),
+    (
+        "serve.jobs_rejected",
+        MetricKind::Counter,
+        "submissions shed with queue_full by admission control",
+    ),
+    (
+        "serve.jobs_resumed",
+        MetricKind::Counter,
+        "jobs that restarted from a checkpoint instead of from scratch",
+    ),
+    (
+        "serve.queue_depth",
+        MetricKind::Gauge,
+        "admission queue depth (jobs waiting for a worker)",
+    ),
+    (
         "sweep.batch_moves",
         MetricKind::Counter,
         "vertices moved by colored conflict-free batches",

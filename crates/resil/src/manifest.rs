@@ -238,6 +238,44 @@ impl CheckpointStore {
             .map_err(|_| ResilError::Manifest(format!("LATEST holds {:?}", text.trim())))
     }
 
+    /// Resume-latest helper: the parsed manifest of the newest committed
+    /// phase, or `None` when the store holds no complete checkpoint yet.
+    pub fn latest_manifest(&self) -> Result<Option<Manifest>, ResilError> {
+        match self.latest()? {
+            Some(phase) => self.manifest(phase).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Retention: remove every `phase-<k>` directory superseded by the
+    /// newest committed phase, keeping that phase's slabs + manifest and
+    /// the `LATEST` pointer (so a later resume still works). Returns the
+    /// number of phase directories pruned. A store with no committed
+    /// checkpoint is left untouched — half-written phase directories may
+    /// be one commit away from becoming the newest.
+    pub fn prune_superseded(&self) -> Result<usize, ResilError> {
+        let Some(latest) = self.latest()? else {
+            return Ok(0);
+        };
+        let mut pruned = 0usize;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(phase) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("phase-"))
+                .and_then(|k| k.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if phase < latest {
+                std::fs::remove_dir_all(entry.path())?;
+                pruned += 1;
+            }
+        }
+        Ok(pruned)
+    }
+
     /// Load and parse the manifest of one phase.
     pub fn manifest(&self, phase: u64) -> Result<Manifest, ResilError> {
         let path = self.phase_dir(phase).join("MANIFEST.json");
@@ -386,5 +424,41 @@ mod tests {
     fn missing_manifest_reads_as_error_not_panic() {
         let store = tmp_store("missing");
         assert!(matches!(store.manifest(7), Err(ResilError::Io(_))));
+    }
+
+    #[test]
+    fn latest_manifest_resolves_newest_committed_phase() {
+        let store = tmp_store("latest-manifest");
+        assert!(store.latest_manifest().unwrap().is_none());
+        commit(&store, 1);
+        commit(&store, 3);
+        let m = store.latest_manifest().unwrap().unwrap();
+        assert_eq!(m.phase, 3);
+        m.validate(2, 0xABCD).unwrap();
+    }
+
+    #[test]
+    fn prune_superseded_keeps_latest_restorable() {
+        let store = tmp_store("prune");
+        // Nothing committed yet: nothing pruned, even with a stray
+        // half-written phase dir on disk.
+        let _ = store.write_rank(&ckpt(0, 1)).unwrap();
+        assert_eq!(store.prune_superseded().unwrap(), 0);
+        assert!(store.phase_dir(1).exists());
+
+        commit(&store, 1);
+        commit(&store, 2);
+        commit(&store, 4);
+        assert_eq!(store.prune_superseded().unwrap(), 2);
+        assert!(!store.phase_dir(1).exists());
+        assert!(!store.phase_dir(2).exists());
+        // The survivor still restores end to end.
+        assert_eq!(store.latest().unwrap(), Some(4));
+        let m = store.latest_manifest().unwrap().unwrap();
+        for r in 0..2 {
+            assert_eq!(store.load_rank(&m, r).unwrap(), ckpt(r, 4));
+        }
+        // Idempotent.
+        assert_eq!(store.prune_superseded().unwrap(), 0);
     }
 }

@@ -1,0 +1,234 @@
+//! Job specifications: what a client submits.
+
+use std::path::PathBuf;
+
+use louvain_dist::{DistConfig, SweepMode, Variant};
+use louvain_obs::Json;
+
+/// One submitted job: a graph snapshot on disk plus a full
+/// [`DistConfig`] and the rank count to run it on. The optional fault
+/// plan and per-kind budget overrides exist for testing the recovery
+/// path — production submissions leave them out.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Client-chosen identifier echoed back in every response.
+    pub job_id: String,
+    /// Path to an ingested snapshot (slab or binary edge list).
+    pub graph: PathBuf,
+    pub ranks: usize,
+    pub cfg: DistConfig,
+    /// Optional fault-plan DSL string (see `louvain_comm::FaultPlan`),
+    /// injected into the run for kill-and-resume testing.
+    pub fault_plan: Option<String>,
+    /// Per-job override of the server's crash-recovery budget.
+    pub max_crash_recoveries: Option<usize>,
+    /// Per-job override of the server's hang-recovery budget.
+    pub max_hang_recoveries: Option<usize>,
+}
+
+/// Parse a variant spec in the CLI grammar:
+/// `baseline | cycling | et:<a> | etc:<a> | et+cycling:<a>`.
+pub fn parse_variant(spec: &str) -> Result<Variant, String> {
+    let (name, alpha) = match spec.split_once(':') {
+        Some((n, a)) => {
+            let alpha: f64 = a.parse().map_err(|_| format!("bad alpha in `{spec}`"))?;
+            if !(0.0..=1.0).contains(&alpha) {
+                return Err(format!("alpha must be in [0,1], got {alpha}"));
+            }
+            (n, Some(alpha))
+        }
+        None => (spec, None),
+    };
+    match (name, alpha) {
+        ("baseline", None) => Ok(Variant::Baseline),
+        ("cycling", None) => Ok(Variant::ThresholdCycling),
+        ("et", Some(a)) => Ok(Variant::Et { alpha: a }),
+        ("etc", Some(a)) => Ok(Variant::Etc { alpha: a }),
+        ("et+cycling", Some(a)) => Ok(Variant::EtPlusCycling { alpha: a }),
+        _ => Err(format!(
+            "unknown variant `{spec}` (expected baseline | cycling | et:<a> | etc:<a> | et+cycling:<a>)"
+        )),
+    }
+}
+
+fn opt_usize(doc: &Json, key: &str) -> Result<Option<usize>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(|u| Some(u as usize))
+            .ok_or_else(|| format!("`{key}` is not an unsigned integer")),
+    }
+}
+
+fn opt_bool(doc: &Json, key: &str) -> Result<Option<bool>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(format!("`{key}` is not a bool")),
+    }
+}
+
+impl JobSpec {
+    /// Parse a submit request body. Required fields: `job_id`, `graph`.
+    /// `ranks` defaults to 2; the optional `config` subobject overrides
+    /// individual [`DistConfig`] fields on top of the baseline defaults.
+    pub fn from_json(doc: &Json) -> Result<JobSpec, String> {
+        let job_id = doc
+            .get("job_id")
+            .and_then(Json::as_str)
+            .ok_or("submit is missing string field `job_id`")?
+            .to_string();
+        if job_id.is_empty() {
+            return Err("`job_id` must be non-empty".into());
+        }
+        let graph = doc
+            .get("graph")
+            .and_then(Json::as_str)
+            .ok_or("submit is missing string field `graph`")?;
+        let ranks = opt_usize(doc, "ranks")?.unwrap_or(2);
+        if ranks == 0 {
+            return Err("`ranks` must be at least 1".into());
+        }
+
+        let mut cfg = DistConfig::baseline();
+        if let Some(c) = doc.get("config") {
+            if c.as_obj().is_none() {
+                return Err("`config` is not an object".into());
+            }
+            if let Some(v) = c.get("variant") {
+                let spec = v.as_str().ok_or("`config.variant` is not a string")?;
+                cfg.variant = parse_variant(spec)?;
+            }
+            if let Some(v) = c.get("threshold") {
+                cfg.threshold = v.as_f64().ok_or("`config.threshold` is not a number")?;
+            }
+            if let Some(v) = c.get("seed") {
+                cfg.seed = v.as_u64().ok_or("`config.seed` is not a u64")?;
+            }
+            if let Some(v) = opt_usize(c, "max_phases")? {
+                cfg.max_phases = v;
+            }
+            if let Some(v) = opt_usize(c, "max_iterations")? {
+                cfg.max_iterations = v;
+            }
+            if let Some(v) = opt_usize(c, "threads_per_rank")? {
+                cfg.threads_per_rank = v.max(1);
+            }
+            if let Some(v) = c.get("sweep") {
+                let spec = v.as_str().ok_or("`config.sweep` is not a string")?;
+                cfg.sweep = SweepMode::parse(spec)?;
+            }
+            if let Some(v) = opt_bool(c, "delta_ghost_refresh")? {
+                cfg.delta_ghost_refresh = v;
+            }
+            if let Some(v) = opt_bool(c, "vertex_following")? {
+                cfg.vertex_following = v;
+            }
+            if let Some(v) = opt_bool(c, "prune_inactive_ghosts")? {
+                cfg.prune_inactive_ghosts = v;
+            }
+            if let Some(v) = opt_bool(c, "neighborhood_collectives")? {
+                cfg.neighborhood_collectives = v;
+            }
+            if let Some(v) = opt_bool(c, "color_sweeps")? {
+                cfg.color_sweeps = v;
+            }
+        }
+
+        let fault_plan = match doc.get("fault_plan") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or("`fault_plan` is not a string")?
+                    .to_string(),
+            ),
+        };
+
+        Ok(JobSpec {
+            job_id,
+            graph: PathBuf::from(graph),
+            ranks,
+            cfg,
+            fault_plan,
+            max_crash_recoveries: opt_usize(doc, "max_crash_recoveries")?,
+            max_hang_recoveries: opt_usize(doc, "max_hang_recoveries")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_submit_gets_baseline_defaults() {
+        let doc = Json::parse(r#"{"job_id": "j1", "graph": "/tmp/g.bin"}"#).unwrap();
+        let spec = JobSpec::from_json(&doc).unwrap();
+        assert_eq!(spec.job_id, "j1");
+        assert_eq!(spec.ranks, 2);
+        assert_eq!(spec.cfg.variant, Variant::Baseline);
+        assert_eq!(spec.cfg.seed, DistConfig::baseline().seed);
+        assert!(spec.fault_plan.is_none());
+        assert!(spec.max_crash_recoveries.is_none());
+    }
+
+    #[test]
+    fn config_overrides_apply_on_top_of_baseline() {
+        let doc = Json::parse(
+            r#"{"job_id": "j2", "graph": "g.slab", "ranks": 4,
+                "config": {"variant": "et:0.25", "threshold": 0.001,
+                           "seed": 42, "max_phases": 5, "sweep": "colored",
+                           "delta_ghost_refresh": true},
+                "fault_plan": "crash:rank=0,phase=1,op=0",
+                "max_crash_recoveries": 1}"#,
+        )
+        .unwrap();
+        let spec = JobSpec::from_json(&doc).unwrap();
+        assert_eq!(spec.ranks, 4);
+        assert_eq!(spec.cfg.variant, Variant::Et { alpha: 0.25 });
+        assert_eq!(spec.cfg.threshold, 0.001);
+        assert_eq!(spec.cfg.seed, 42);
+        assert_eq!(spec.cfg.max_phases, 5);
+        assert_eq!(spec.cfg.sweep, SweepMode::Colored);
+        assert!(spec.cfg.delta_ghost_refresh);
+        assert_eq!(
+            spec.fault_plan.as_deref(),
+            Some("crash:rank=0,phase=1,op=0")
+        );
+        assert_eq!(spec.max_crash_recoveries, Some(1));
+    }
+
+    #[test]
+    fn bad_submits_are_rejected_with_field_names() {
+        let cases = [
+            (r#"{"graph": "g"}"#, "job_id"),
+            (r#"{"job_id": "j", "graph": "g", "ranks": 0}"#, "ranks"),
+            (
+                r#"{"job_id": "j", "graph": "g", "config": {"variant": "bogus"}}"#,
+                "variant",
+            ),
+            (
+                r#"{"job_id": "j", "graph": "g", "config": {"sweep": "fast"}}"#,
+                "sweep",
+            ),
+        ];
+        for (text, needle) in cases {
+            let doc = Json::parse(text).unwrap();
+            let err = JobSpec::from_json(&doc).unwrap_err();
+            assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn variant_grammar_matches_cli() {
+        assert_eq!(parse_variant("baseline").unwrap(), Variant::Baseline);
+        assert_eq!(parse_variant("cycling").unwrap(), Variant::ThresholdCycling);
+        assert_eq!(
+            parse_variant("et+cycling:0.5").unwrap(),
+            Variant::EtPlusCycling { alpha: 0.5 }
+        );
+        assert!(parse_variant("et:2.0").is_err());
+        assert!(parse_variant("et").is_err());
+    }
+}

@@ -1,0 +1,389 @@
+//! The JSON-lines wire protocol `louvaind` speaks over stdin pipes and
+//! TCP connections.
+//!
+//! Requests, one JSON object per line:
+//!
+//! * `{"type":"submit", "job_id":"...", "graph":"...", "ranks":2,
+//!    "config":{...}, "fault_plan":"...", ...}` — answered immediately
+//!   with `accepted` or `rejected` (admission control never blocks the
+//!   listener), then with a `result` line once the job is terminal.
+//! * `{"type":"status", "job_id":"..."}` — current lifecycle state.
+//! * `{"type":"query", "job_id":"..."}` — the dendrogram (per-level
+//!   assignments) of a finished job, from the result cache.
+//! * `{"type":"metrics"}` — the server's `serve.*` counters.
+//! * `{"type":"shutdown"}` — drain in-flight jobs to a phase-boundary
+//!   checkpoint, answer `drained`, and close the session.
+//!
+//! Unknown or unparsable lines are answered with a typed `error` line;
+//! the session stays up.
+
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Mutex};
+
+use louvain_obs::Json;
+
+use crate::job::JobSpec;
+use crate::server::{JobStatus, Server, SubmitError};
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn error_line(message: &str) -> Json {
+    obj(vec![
+        ("type", Json::str("error")),
+        ("message", Json::str(message)),
+    ])
+}
+
+/// Encode a terminal (or in-flight, for `status`) job state.
+pub fn status_json(job_id: &str, seq: Option<u64>, status: &JobStatus) -> Json {
+    let mut members = vec![("type", Json::str("result")), ("job_id", Json::str(job_id))];
+    if let Some(seq) = seq {
+        members.push(("seq", num(seq)));
+    }
+    match status {
+        JobStatus::Queued => members.push(("outcome", Json::str("queued"))),
+        JobStatus::Running => members.push(("outcome", Json::str("running"))),
+        JobStatus::Done {
+            cached,
+            resumed_from_phase,
+            crash_recoveries,
+            hang_recoveries,
+            wall_ms,
+            result,
+        } => {
+            members.push(("outcome", Json::str("done")));
+            members.push(("cached", Json::Bool(*cached)));
+            members.push((
+                "resumed_from_phase",
+                resumed_from_phase.map_or(Json::Null, num),
+            ));
+            members.push(("crash_recoveries", num(*crash_recoveries)));
+            members.push(("hang_recoveries", num(*hang_recoveries)));
+            members.push(("wall_ms", num(*wall_ms)));
+            members.push(("modularity", Json::Num(result.modularity)));
+            members.push(("num_communities", num(result.num_communities as u64)));
+            members.push(("phases", num(result.phases as u64)));
+            members.push(("levels", num(result.levels.len() as u64)));
+        }
+        JobStatus::Failed { error, attempts } => {
+            members.push(("outcome", Json::str("failed")));
+            members.push(("error", Json::str(error.clone())));
+            members.push(("attempts", num(*attempts as u64)));
+        }
+        JobStatus::Quarantined { error, attempts } => {
+            members.push(("outcome", Json::str("quarantined")));
+            members.push(("error", Json::str(error.clone())));
+            members.push(("attempts", num(*attempts as u64)));
+        }
+        JobStatus::Cancelled { at_phase } => {
+            members.push(("outcome", Json::str("cancelled")));
+            members.push(("at_phase", at_phase.map_or(Json::Null, num)));
+        }
+    }
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn write_line<W: Write>(writer: &Arc<Mutex<W>>, doc: &Json) {
+    let mut w = writer.lock().unwrap();
+    let _ = writeln!(w, "{}", doc.to_string_compact());
+    let _ = w.flush();
+}
+
+/// Serve one JSON-lines session: read requests from `reader`, write
+/// responses to the shared `writer` (shared because result lines for
+/// accepted jobs arrive asynchronously, from waiter threads). Returns
+/// `true` when the client requested shutdown — the server is already
+/// drained in that case.
+pub fn serve_lines<R: BufRead, W: Write + Send + 'static>(
+    server: &Server,
+    reader: R,
+    writer: Arc<Mutex<W>>,
+) -> bool {
+    let mut waiters: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut shutdown = false;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match handle_line(server, &line, &writer, &mut waiters) {
+            SessionStep::Continue => {}
+            SessionStep::Shutdown => {
+                shutdown = true;
+                break;
+            }
+        }
+    }
+    if shutdown {
+        // Drain before answering so "drained" really means drained:
+        // queued jobs shed, running jobs checkpointed and stopped.
+        server.drain();
+    }
+    for h in waiters {
+        let _ = h.join();
+    }
+    if shutdown {
+        write_line(&writer, &obj(vec![("type", Json::str("drained"))]));
+    }
+    shutdown
+}
+
+enum SessionStep {
+    Continue,
+    Shutdown,
+}
+
+fn handle_line<W: Write + Send + 'static>(
+    server: &Server,
+    line: &str,
+    writer: &Arc<Mutex<W>>,
+    waiters: &mut Vec<std::thread::JoinHandle<()>>,
+) -> SessionStep {
+    let doc = match Json::parse(line) {
+        Ok(d) => d,
+        Err(e) => {
+            write_line(writer, &error_line(&format!("bad request line: {e}")));
+            return SessionStep::Continue;
+        }
+    };
+    let Some(ty) = doc.get("type").and_then(Json::as_str) else {
+        write_line(writer, &error_line("request has no string field `type`"));
+        return SessionStep::Continue;
+    };
+    match ty {
+        "submit" => {
+            let spec = match JobSpec::from_json(&doc) {
+                Ok(s) => s,
+                Err(e) => {
+                    write_line(writer, &error_line(&e));
+                    return SessionStep::Continue;
+                }
+            };
+            let job_id = spec.job_id.clone();
+            match server.submit(spec) {
+                Ok(seq) => {
+                    write_line(
+                        writer,
+                        &obj(vec![
+                            ("type", Json::str("accepted")),
+                            ("job_id", Json::str(job_id.clone())),
+                            ("seq", num(seq)),
+                        ]),
+                    );
+                    let server = server.clone();
+                    let writer = writer.clone();
+                    waiters.push(std::thread::spawn(move || {
+                        if let Some(status) = server.wait(seq) {
+                            write_line(&writer, &status_json(&job_id, Some(seq), &status));
+                        }
+                    }));
+                }
+                Err(e) => {
+                    let reason = match &e {
+                        SubmitError::QueueFull => "queue_full".to_string(),
+                        SubmitError::ShuttingDown => "shutting_down".to_string(),
+                        SubmitError::Invalid(msg) => format!("invalid: {msg}"),
+                    };
+                    write_line(
+                        writer,
+                        &obj(vec![
+                            ("type", Json::str("rejected")),
+                            ("job_id", Json::str(job_id)),
+                            ("reason", Json::str(reason)),
+                        ]),
+                    );
+                }
+            }
+        }
+        "status" => {
+            let Some(job_id) = doc.get("job_id").and_then(Json::as_str) else {
+                write_line(writer, &error_line("status needs `job_id`"));
+                return SessionStep::Continue;
+            };
+            match server.status_by_id(job_id) {
+                Some(status) => write_line(writer, &status_json(job_id, None, &status)),
+                None => write_line(writer, &error_line(&format!("unknown job `{job_id}`"))),
+            }
+        }
+        "query" => {
+            let Some(job_id) = doc.get("job_id").and_then(Json::as_str) else {
+                write_line(writer, &error_line("query needs `job_id`"));
+                return SessionStep::Continue;
+            };
+            match server.query(job_id) {
+                Some(result) => {
+                    let levels = Json::Arr(
+                        result
+                            .levels
+                            .iter()
+                            .map(|level| Json::Arr(level.iter().map(|&c| num(c)).collect()))
+                            .collect(),
+                    );
+                    write_line(
+                        writer,
+                        &obj(vec![
+                            ("type", Json::str("hierarchy")),
+                            ("job_id", Json::str(job_id)),
+                            ("modularity", Json::Num(result.modularity)),
+                            ("num_communities", num(result.num_communities as u64)),
+                            ("levels", levels),
+                        ]),
+                    );
+                }
+                None => write_line(
+                    writer,
+                    &error_line(&format!("no finished result for job `{job_id}`")),
+                ),
+            }
+        }
+        "metrics" => {
+            let snap = server.metrics_snapshot();
+            let counters = Json::Obj(
+                snap.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), num(*v)))
+                    .collect(),
+            );
+            write_line(
+                writer,
+                &obj(vec![("type", Json::str("metrics")), ("counters", counters)]),
+            );
+        }
+        "shutdown" => return SessionStep::Shutdown,
+        other => {
+            write_line(
+                writer,
+                &error_line(&format!("unknown request type `{other}`")),
+            );
+        }
+    }
+    SessionStep::Continue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+    use louvain_graph::{binio, gen};
+    use std::io::Cursor;
+    use std::path::PathBuf;
+
+    fn tiny_graph(dir: &std::path::Path) -> PathBuf {
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join("lfr_tiny.bin");
+        if !path.exists() {
+            let g = gen::lfr(gen::LfrParams::small(300, 7)).graph;
+            binio::write_edge_list(&path, &g.to_edge_list()).unwrap();
+        }
+        path
+    }
+
+    fn session_output(server: &Server, script: &str) -> (bool, Vec<Json>) {
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let shutdown = serve_lines(server, Cursor::new(script.to_string()), writer.clone());
+        let bytes = writer.lock().unwrap().clone();
+        let lines = String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).expect("every response line is JSON"))
+            .collect();
+        (shutdown, lines)
+    }
+
+    #[test]
+    fn session_runs_submit_status_query_shutdown() {
+        let root = std::env::temp_dir().join("louvain-serve-proto-test");
+        let graph = tiny_graph(&root);
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            checkpoint_root: root.join("ckpt"),
+            ..ServeConfig::default()
+        });
+        // Session 1: submit and wait — serve_lines joins the waiter
+        // thread before returning, so the result line is in the output.
+        let script = format!(
+            r#"{{"type":"submit","job_id":"a","graph":{:?},"ranks":2,"config":{{"max_phases":3}}}}"#,
+            graph.to_string_lossy()
+        ) + "\n";
+        let (shutdown, lines) = session_output(&server, &script);
+        assert!(!shutdown);
+        assert_eq!(
+            lines[0].get("type").and_then(Json::as_str),
+            Some("accepted")
+        );
+        let result = lines
+            .iter()
+            .find(|l| l.get("type").and_then(Json::as_str) == Some("result"))
+            .expect("a result line arrives once the job is terminal");
+        assert_eq!(result.get("outcome").and_then(Json::as_str), Some("done"));
+        assert!(result.get("modularity").and_then(Json::as_f64).unwrap() > 0.0);
+
+        // Session 2: query the dendrogram, then shut down.
+        let script = "{\"type\":\"query\",\"job_id\":\"a\"}\n{\"type\":\"shutdown\"}\n";
+        let (shutdown, lines) = session_output(&server, script);
+        assert!(shutdown);
+        let hierarchy = &lines[0];
+        assert_eq!(
+            hierarchy.get("type").and_then(Json::as_str),
+            Some("hierarchy")
+        );
+        let levels = hierarchy.get("levels").and_then(Json::as_arr).unwrap();
+        assert!(!levels.is_empty(), "dendrogram has at least one level");
+        assert_eq!(levels[0].as_arr().unwrap().len(), 300);
+        assert_eq!(
+            lines.last().unwrap().get("type").and_then(Json::as_str),
+            Some("drained")
+        );
+
+        // Follow-up session against a drained server: submits are shed.
+        let (shutdown, lines) = session_output(
+            &server,
+            &format!(
+                "{{\"type\":\"submit\",\"job_id\":\"b\",\"graph\":{:?}}}\n",
+                graph.to_string_lossy()
+            ),
+        );
+        assert!(!shutdown);
+        assert_eq!(
+            lines[0].get("type").and_then(Json::as_str),
+            Some("rejected")
+        );
+        assert_eq!(
+            lines[0].get("reason").and_then(Json::as_str),
+            Some("shutting_down")
+        );
+    }
+
+    #[test]
+    fn bad_lines_get_typed_errors_and_do_not_kill_the_session() {
+        let server = Server::start(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        let script = "not json\n{\"no_type\":1}\n{\"type\":\"frobnicate\"}\n\
+                      {\"type\":\"status\",\"job_id\":\"nope\"}\n";
+        let (shutdown, lines) = session_output(&server, script);
+        assert!(!shutdown);
+        assert_eq!(lines.len(), 4);
+        for l in &lines {
+            assert_eq!(l.get("type").and_then(Json::as_str), Some("error"));
+        }
+        server.drain();
+    }
+}

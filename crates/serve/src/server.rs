@@ -1,0 +1,663 @@
+//! The job server: admission-controlled worker pool, kill-and-resume
+//! execution, quarantine ladder, and the result cache.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use louvain_comm::{FaultPlan, RunConfig};
+use louvain_dist::{
+    build_run_report, config_fingerprint, run_distributed_resilient_source, CheckpointOptions,
+    GraphSource, ReportMeta, ResilOptions, CANCELLED_AT_PHASE,
+};
+use louvain_graph::{binio, Csr};
+use louvain_obs::{run_label, MetricsRegistry, MetricsSnapshot, RunArtifact, RunEntry};
+use louvain_resil::CheckpointStore;
+
+use crate::cache::{graph_fingerprint, ArtifactCache, CachedResult, JobKey};
+use crate::job::JobSpec;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (the in-flight cap). `0` is a valid test mode:
+    /// jobs queue but never start, so admission behaviour is
+    /// deterministic.
+    pub workers: usize,
+    /// Bounded admission queue depth; submissions past it are shed with
+    /// [`SubmitError::QueueFull`].
+    pub queue_depth: usize,
+    /// Result-cache capacity (jobs).
+    pub cache_capacity: usize,
+    /// Root under which each job gets its own checkpoint directory.
+    pub checkpoint_root: PathBuf,
+    /// Failed attempts (across resubmissions) after which a job key is
+    /// quarantined.
+    pub quarantine_after: usize,
+    /// Default per-job crash-recovery budget (a submission can lower or
+    /// raise its own).
+    pub max_crash_recoveries: usize,
+    /// Default per-job hang-recovery budget.
+    pub max_hang_recoveries: usize,
+    /// Log job lifecycle lines to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 8,
+            cache_capacity: 64,
+            checkpoint_root: std::env::temp_dir().join(format!("louvaind-{}", std::process::id())),
+            quarantine_after: 3,
+            max_crash_recoveries: 2,
+            max_hang_recoveries: 2,
+            verbose: false,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — load was shed, try again later.
+    QueueFull,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// The spec itself is bad (unparsable fault plan, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "queue_full"),
+            SubmitError::ShuttingDown => write!(f, "shutting_down"),
+            SubmitError::Invalid(msg) => write!(f, "invalid: {msg}"),
+        }
+    }
+}
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    Queued,
+    Running,
+    /// Finished with a result (fresh run or cache hit).
+    Done {
+        cached: bool,
+        resumed_from_phase: Option<u64>,
+        crash_recoveries: u64,
+        hang_recoveries: u64,
+        wall_ms: u64,
+        result: Arc<CachedResult>,
+    },
+    /// The run failed (budget exhausted, bad graph file, …) but the job
+    /// key is still below the quarantine ladder — a resubmission will
+    /// try again, resuming from any checkpoint the failed run left.
+    Failed {
+        error: String,
+        attempts: usize,
+    },
+    /// The poisoned-job ladder tripped: this key failed
+    /// `quarantine_after` times and is refused without running until
+    /// the server restarts. The daemon itself stays up.
+    Quarantined {
+        error: String,
+        attempts: usize,
+    },
+    /// Cancelled: either shed from the queue at drain (`at_phase:
+    /// None`) or stopped cooperatively at a phase boundary
+    /// (`at_phase: Some(k)`, with the checkpoint for phases `0..k`
+    /// durable for a later resume).
+    Cancelled {
+        at_phase: Option<u64>,
+    },
+}
+
+impl JobStatus {
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    status: JobStatus,
+    cancel: Arc<AtomicBool>,
+    submitted: Instant,
+}
+
+struct State {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobRecord>,
+    /// Latest submission seq per client job id.
+    by_id: HashMap<String, u64>,
+    cache: ArtifactCache,
+    /// Failed-attempt count per job key (the quarantine ladder).
+    poisoned: HashMap<JobKey, usize>,
+    running: usize,
+    next_seq: u64,
+    accepting: bool,
+    stop_workers: bool,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    /// Signalled when the queue gains work or workers must stop.
+    work: Condvar,
+    /// Signalled on any status change (for `wait`).
+    change: Condvar,
+    metrics: MetricsRegistry,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Handle to a running job server. Cheap to clone; the last drop does
+/// not stop the workers — call [`Server::drain`] for an orderly stop.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Start the worker pool.
+    pub fn start(cfg: ServeConfig) -> Server {
+        let workers = cfg.workers;
+        let server = Server {
+            inner: Arc::new(Inner {
+                cfg,
+                state: Mutex::new(State {
+                    queue: VecDeque::new(),
+                    jobs: HashMap::new(),
+                    by_id: HashMap::new(),
+                    cache: ArtifactCache::new(0),
+                    poisoned: HashMap::new(),
+                    running: 0,
+                    next_seq: 0,
+                    accepting: true,
+                    stop_workers: false,
+                }),
+                work: Condvar::new(),
+                change: Condvar::new(),
+                metrics: MetricsRegistry::new(),
+                handles: Mutex::new(Vec::new()),
+            }),
+        };
+        server.inner.state.lock().unwrap().cache =
+            ArtifactCache::new(server.inner.cfg.cache_capacity);
+        let mut handles = server.inner.handles.lock().unwrap();
+        for w in 0..workers {
+            let s = server.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("louvaind-worker-{w}"))
+                    .spawn(move || s.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        drop(handles);
+        server
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.cfg
+    }
+
+    fn log(&self, msg: &str) {
+        if self.inner.cfg.verbose {
+            eprintln!("louvaind: {msg}");
+        }
+    }
+
+    /// Admission control: accept into the bounded queue or shed.
+    /// Never blocks on a full pool — that is the point.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        if let Some(plan) = spec.fault_plan.as_deref() {
+            FaultPlan::parse(plan).map_err(SubmitError::Invalid)?;
+        }
+        let mut st = self.inner.state.lock().unwrap();
+        if !st.accepting {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queue.len() >= self.inner.cfg.queue_depth {
+            self.inner.metrics.counter_add("serve.jobs_rejected", 1);
+            return Err(SubmitError::QueueFull);
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.by_id.insert(spec.job_id.clone(), seq);
+        let job_id = spec.job_id.clone();
+        st.jobs.insert(
+            seq,
+            JobRecord {
+                spec,
+                status: JobStatus::Queued,
+                cancel: Arc::new(AtomicBool::new(false)),
+                submitted: Instant::now(),
+            },
+        );
+        st.queue.push_back(seq);
+        self.inner.metrics.counter_add("serve.jobs_accepted", 1);
+        self.inner
+            .metrics
+            .gauge_set("serve.queue_depth", st.queue.len() as f64);
+        drop(st);
+        self.log(&format!("accepted job {job_id} as #{seq}"));
+        self.inner.work.notify_one();
+        Ok(seq)
+    }
+
+    pub fn status(&self, seq: u64) -> Option<JobStatus> {
+        let st = self.inner.state.lock().unwrap();
+        st.jobs.get(&seq).map(|r| r.status.clone())
+    }
+
+    /// Status of the latest submission under a client job id.
+    pub fn status_by_id(&self, job_id: &str) -> Option<JobStatus> {
+        let st = self.inner.state.lock().unwrap();
+        let seq = st.by_id.get(job_id)?;
+        st.jobs.get(seq).map(|r| r.status.clone())
+    }
+
+    /// Block until the job reaches a terminal status.
+    pub fn wait(&self, seq: u64) -> Option<JobStatus> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            match st.jobs.get(&seq) {
+                None => return None,
+                Some(r) if r.status.is_terminal() => return Some(r.status.clone()),
+                Some(_) => st = self.inner.change.wait(st).unwrap(),
+            }
+        }
+    }
+
+    /// Like [`Server::wait`], bounded; `None` on timeout or unknown seq.
+    pub fn wait_timeout(&self, seq: u64, dur: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + dur;
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            match st.jobs.get(&seq) {
+                None => return None,
+                Some(r) if r.status.is_terminal() => return Some(r.status.clone()),
+                Some(_) => {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return None;
+                    }
+                    let (guard, timeout) = self.inner.change.wait_timeout(st, left).unwrap();
+                    st = guard;
+                    if timeout.timed_out() {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The dendrogram + result for a client job id, when it finished.
+    pub fn query(&self, job_id: &str) -> Option<Arc<CachedResult>> {
+        let st = self.inner.state.lock().unwrap();
+        let seq = st.by_id.get(job_id)?;
+        match &st.jobs.get(seq)?.status {
+            JobStatus::Done { result, .. } => Some(result.clone()),
+            _ => None,
+        }
+    }
+
+    /// Cancel a job: a queued one is removed immediately
+    /// (`Cancelled { at_phase: None }`); a running one has its token
+    /// set and stops cooperatively at the next phase boundary. Returns
+    /// `false` for unknown or already-terminal jobs.
+    pub fn cancel_job(&self, seq: u64) -> bool {
+        let mut st = self.inner.state.lock().unwrap();
+        let Some(record) = st.jobs.get(&seq) else {
+            return false;
+        };
+        match record.status {
+            JobStatus::Queued => {
+                st.queue.retain(|&q| q != seq);
+                let depth = st.queue.len() as f64;
+                if let Some(r) = st.jobs.get_mut(&seq) {
+                    r.status = JobStatus::Cancelled { at_phase: None };
+                }
+                self.inner.metrics.counter_add("serve.jobs_cancelled", 1);
+                self.inner.metrics.gauge_set("serve.queue_depth", depth);
+                drop(st);
+                self.inner.change.notify_all();
+                true
+            }
+            JobStatus::Running => {
+                record.cancel.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Orderly shutdown: stop accepting, shed the queue, ask running
+    /// jobs to stop at their next phase boundary (their checkpoints
+    /// stay durable for a later resume), wait for them, then stop and
+    /// join the workers.
+    pub fn drain(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.accepting = false;
+        let shed: Vec<u64> = st.queue.drain(..).collect();
+        for seq in &shed {
+            if let Some(r) = st.jobs.get_mut(seq) {
+                r.status = JobStatus::Cancelled { at_phase: None };
+                self.inner.metrics.counter_add("serve.jobs_cancelled", 1);
+            }
+        }
+        self.inner.metrics.gauge_set("serve.queue_depth", 0.0);
+        for r in st.jobs.values() {
+            if matches!(r.status, JobStatus::Running) {
+                r.cancel.store(true, Ordering::SeqCst);
+            }
+        }
+        while st.running > 0 {
+            st = self.inner.change.wait(st).unwrap();
+        }
+        st.stop_workers = true;
+        drop(st);
+        self.inner.change.notify_all();
+        self.inner.work.notify_all();
+        let handles: Vec<_> = std::mem::take(&mut *self.inner.handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        self.log("drained");
+    }
+
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let (seq, spec, cancel) = {
+                let mut st = self.inner.state.lock().unwrap();
+                loop {
+                    if st.stop_workers {
+                        return;
+                    }
+                    if let Some(seq) = st.queue.pop_front() {
+                        let depth = st.queue.len() as f64;
+                        self.inner.metrics.gauge_set("serve.queue_depth", depth);
+                        st.running += 1;
+                        let r = st.jobs.get_mut(&seq).expect("queued job has a record");
+                        r.status = JobStatus::Running;
+                        break (seq, r.spec.clone(), r.cancel.clone());
+                    }
+                    st = self.inner.work.wait(st).unwrap();
+                }
+            };
+            let started = self.job_submitted_at(seq);
+            let status = self.run_job(&spec, &cancel);
+            let latency_ms = started.elapsed().as_millis() as u64;
+            self.inner
+                .metrics
+                .hist_observe("serve.job_latency_ms", latency_ms);
+            let mut st = self.inner.state.lock().unwrap();
+            st.running -= 1;
+            if let Some(r) = st.jobs.get_mut(&seq) {
+                self.log(&format!("job {} #{seq}: {:?}", spec.job_id, kind(&status)));
+                r.status = status;
+            }
+            drop(st);
+            self.inner.change.notify_all();
+        }
+    }
+
+    fn job_submitted_at(&self, seq: u64) -> Instant {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .jobs
+            .get(&seq)
+            .map(|r| r.submitted)
+            .unwrap_or_else(Instant::now)
+    }
+
+    /// Run one job to a terminal status. Never panics the worker: every
+    /// failure becomes a structured `Failed`/`Quarantined` status.
+    fn run_job(&self, spec: &JobSpec, cancel: &Arc<AtomicBool>) -> JobStatus {
+        let m = &self.inner.metrics;
+        let graph_fp = match graph_fingerprint(&spec.graph) {
+            Ok(fp) => fp,
+            Err(e) => {
+                return JobStatus::Failed {
+                    error: format!("cannot read graph {}: {e}", spec.graph.display()),
+                    attempts: 0,
+                }
+            }
+        };
+        let key = JobKey {
+            graph_fp,
+            config_fp: config_fingerprint(&spec.cfg),
+            ranks: spec.ranks,
+        };
+
+        // Poisoned-job ladder: a key past the threshold is refused
+        // without running. The daemon never crashes on its account.
+        let attempts_so_far = {
+            let st = self.inner.state.lock().unwrap();
+            st.poisoned.get(&key).copied().unwrap_or(0)
+        };
+        if attempts_so_far >= self.inner.cfg.quarantine_after {
+            m.counter_add("serve.jobs_quarantined", 1);
+            return JobStatus::Quarantined {
+                error: format!("job key quarantined after {attempts_so_far} failed attempts"),
+                attempts: attempts_so_far,
+            };
+        }
+
+        // Result cache: an identical submission is answered without a run.
+        if let Some(hit) = self.inner.state.lock().unwrap().cache.get(&key) {
+            m.counter_add("serve.cache_hits", 1);
+            m.counter_add("serve.jobs_completed", 1);
+            return JobStatus::Done {
+                cached: true,
+                resumed_from_phase: None,
+                crash_recoveries: 0,
+                hang_recoveries: 0,
+                wall_ms: 0,
+                result: hit,
+            };
+        }
+        m.counter_add("serve.cache_misses", 1);
+
+        let ckpt_dir = self.inner.cfg.checkpoint_root.join(key.dir_name());
+        let resil = ResilOptions {
+            checkpoint: Some(CheckpointOptions::new(&ckpt_dir)),
+            resume: true,
+            max_recoveries: 0,
+            max_crash_recoveries: Some(
+                spec.max_crash_recoveries
+                    .unwrap_or(self.inner.cfg.max_crash_recoveries),
+            ),
+            max_hang_recoveries: Some(
+                spec.max_hang_recoveries
+                    .unwrap_or(self.inner.cfg.max_hang_recoveries),
+            ),
+            cancel: Some(cancel.clone()),
+            record_levels: true,
+        };
+        let mut runcfg = RunConfig::default();
+        if let Some(plan) = spec.fault_plan.as_deref() {
+            match FaultPlan::parse(plan) {
+                Ok(p) if !p.is_empty() => runcfg.fault = Some(Arc::new(p)),
+                Ok(_) => {}
+                Err(e) => return self.record_failure(&key, format!("bad fault plan: {e}")),
+            }
+        }
+
+        let outcome = match self.load_and_run(spec, runcfg, &resil) {
+            Ok(v) => v,
+            Err(e) => {
+                if let Some(rest) = e.strip_prefix(CANCELLED_AT_PHASE) {
+                    m.counter_add("serve.jobs_cancelled", 1);
+                    return JobStatus::Cancelled {
+                        at_phase: rest.trim().parse::<u64>().ok(),
+                    };
+                }
+                return self.record_failure(&key, e);
+            }
+        };
+        let (out, vertices, edges) = outcome;
+
+        // Phase checkpoints below the newest manifest are dead weight
+        // now that the run finished — retire them.
+        if let Ok(store) = CheckpointStore::new(&ckpt_dir) {
+            let _ = store.prune_superseded();
+        }
+
+        let graph_name = spec
+            .graph
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "graph".to_string());
+        let mut meta = ReportMeta::new(graph_name.clone(), vertices, edges);
+        meta.variant = spec.cfg.variant.label();
+        meta.threads_per_rank = spec.cfg.threads_per_rank;
+        let report = build_run_report(&out, &meta);
+        let artifact = RunArtifact {
+            name: format!("serve:{}", spec.job_id),
+            description: format!("served job on {}", spec.graph.display()),
+            runs: vec![RunEntry {
+                label: run_label(&graph_name, spec.ranks, "serve"),
+                report,
+                telemetry: Vec::new(),
+            }],
+        };
+        let cached = CachedResult {
+            key,
+            modularity: out.modularity,
+            num_communities: out.num_communities,
+            phases: out.phases,
+            assignment: out.assignment,
+            levels: out.levels,
+            artifact,
+        };
+        let result = {
+            let mut st = self.inner.state.lock().unwrap();
+            st.poisoned.remove(&key);
+            let evicted = st.cache.insert(cached);
+            if evicted > 0 {
+                m.counter_add("serve.cache_evictions", evicted as u64);
+            }
+            st.cache.get(&key).expect("just inserted")
+        };
+        m.counter_add("serve.jobs_completed", 1);
+        if out.resumed_from_phase.is_some() {
+            m.counter_add("serve.jobs_resumed", 1);
+        }
+        JobStatus::Done {
+            cached: false,
+            resumed_from_phase: out.resumed_from_phase,
+            crash_recoveries: out.crash_recoveries,
+            hang_recoveries: out.hung_events.len() as u64,
+            wall_ms: out.wall.as_millis() as u64,
+            result,
+        }
+    }
+
+    /// Bump the poison ladder for a failed key and decide Failed vs
+    /// Quarantined.
+    fn record_failure(&self, key: &JobKey, error: String) -> JobStatus {
+        let attempts = {
+            let mut st = self.inner.state.lock().unwrap();
+            let e = st.poisoned.entry(*key).or_insert(0);
+            *e += 1;
+            *e
+        };
+        if attempts >= self.inner.cfg.quarantine_after {
+            self.inner.metrics.counter_add("serve.jobs_quarantined", 1);
+            JobStatus::Quarantined { error, attempts }
+        } else {
+            JobStatus::Failed { error, attempts }
+        }
+    }
+
+    /// Sniff the snapshot format and run. Returns the outcome plus the
+    /// input's (vertices, edges) for the report.
+    fn load_and_run(
+        &self,
+        spec: &JobSpec,
+        runcfg: RunConfig,
+        resil: &ResilOptions,
+    ) -> Result<(louvain_dist::DistOutcome, u64, u64), String> {
+        let path = &spec.graph;
+        let kind = sniff_kind(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        match kind {
+            FileKind::Slab => {
+                let h = louvain_store::peek_header(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                let out = run_distributed_resilient_source(
+                    GraphSource::SlabRanged(path),
+                    spec.ranks,
+                    &spec.cfg,
+                    runcfg,
+                    resil,
+                )?;
+                Ok((out, h.num_vertices, h.num_edges))
+            }
+            FileKind::BinaryEdges => {
+                let el = binio::read_edge_list(path).map_err(|e| e.to_string())?;
+                let g = Csr::from_edge_list(el);
+                let (nv, ne) = (g.num_vertices() as u64, g.num_edges() as u64);
+                let out = run_distributed_resilient_source(
+                    GraphSource::Memory(&g),
+                    spec.ranks,
+                    &spec.cfg,
+                    runcfg,
+                    resil,
+                )?;
+                Ok((out, nv, ne))
+            }
+            FileKind::Text => Err(format!(
+                "{} is not an ingested snapshot (slab or binary edge list); \
+                 run `louvain ingest`/`louvain generate` first",
+                path.display()
+            )),
+        }
+    }
+}
+
+fn kind(status: &JobStatus) -> &'static str {
+    match status {
+        JobStatus::Queued => "queued",
+        JobStatus::Running => "running",
+        JobStatus::Done { cached: true, .. } => "done (cached)",
+        JobStatus::Done { cached: false, .. } => "done",
+        JobStatus::Failed { .. } => "failed",
+        JobStatus::Quarantined { .. } => "quarantined",
+        JobStatus::Cancelled { .. } => "cancelled",
+    }
+}
+
+enum FileKind {
+    Slab,
+    BinaryEdges,
+    Text,
+}
+
+/// First-8-bytes magic sniff, mirroring the CLI's ingest dispatch: both
+/// binary formats put a 7-byte signature above a version byte.
+fn sniff_kind(path: &std::path::Path) -> std::io::Result<FileKind> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path)?;
+    let mut head = [0u8; 8];
+    if f.read_exact(&mut head).is_err() {
+        return Ok(FileKind::Text);
+    }
+    Ok(match u64::from_le_bytes(head) & !0xFF {
+        louvain_store::MAGIC_SIGNATURE => FileKind::Slab,
+        binio::MAGIC_SIGNATURE => FileKind::BinaryEdges,
+        _ => FileKind::Text,
+    })
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Serving smoke: exercise the louvaind daemon end to end over TCP.
+#
+#   A. start the daemon on an ephemeral port with a 1-job crash budget;
+#   B. submit a clean job — must finish `done`;
+#   C. resubmit the identical job — must be answered `"cached":true`
+#      from the result cache without re-running;
+#   D. submit a job with an injected mid-run crash — the per-job
+#      recovery budget absorbs it and the run resumes from its
+#      phase-boundary checkpoint (`resumed_from_phase` non-null), with
+#      the daemon unharmed;
+#   E. query the finished job's dendrogram;
+#   F. SIGTERM the daemon — it must drain and exit cleanly (status 0).
+#
+# Everything runs on the simulated communicator: deterministic, offline,
+# a few seconds total.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/louvain-serve-smoke.XXXXXX")"
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "==> build"
+cargo build -q --release --bin louvain --bin louvaind
+LOUVAIN=target/release/louvain
+LOUVAIND=target/release/louvaind
+
+echo "==> generate graph"
+"$LOUVAIN" generate --kind lfr --n 900 --seed 11 --out "$WORK/g.graph"
+
+echo "==> start daemon"
+"$LOUVAIND" serve --listen 127.0.0.1:0 --workers 2 \
+    --ckpt-root "$WORK/ckpt" >"$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^louvaind listening on //p' "$WORK/daemon.log" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/daemon.log"; echo "FAIL: daemon died on startup"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { cat "$WORK/daemon.log"; echo "FAIL: daemon never announced its address"; exit 1; }
+echo "    listening on $ADDR"
+
+echo "==> B. clean job"
+"$LOUVAIND" submit --addr "$ADDR" --job-id clean --graph "$WORK/g.graph" \
+    --ranks 2 | tee "$WORK/clean.out"
+grep -q '"outcome":"done"' "$WORK/clean.out" || { echo "FAIL: clean job did not finish"; exit 1; }
+grep -q '"cached":false' "$WORK/clean.out" || { echo "FAIL: first run cannot be cached"; exit 1; }
+
+echo "==> C. identical resubmission (cache hit)"
+"$LOUVAIND" submit --addr "$ADDR" --job-id clean-again --graph "$WORK/g.graph" \
+    --ranks 2 | tee "$WORK/cached.out"
+grep -q '"cached":true' "$WORK/cached.out" || { echo "FAIL: resubmission was not served from the cache"; exit 1; }
+
+echo "==> D. crash-injected job (kill-and-resume inside its budget)"
+"$LOUVAIND" submit --addr "$ADDR" --job-id crashy --graph "$WORK/g.graph" \
+    --ranks 2 --variant et:0.25 --fault "crash:rank=0,phase=1,op=0" \
+    --crash-budget 1 | tee "$WORK/crash.out"
+grep -q '"outcome":"done"' "$WORK/crash.out" || { echo "FAIL: crash-injected job did not finish"; exit 1; }
+grep -q '"crash_recoveries":1' "$WORK/crash.out" || { echo "FAIL: the injected crash was not recovered"; exit 1; }
+grep -q '"resumed_from_phase":1' "$WORK/crash.out" || { echo "FAIL: recovery did not resume from the phase checkpoint"; exit 1; }
+
+echo "==> E. query the dendrogram"
+"$LOUVAIND" query --addr "$ADDR" --job-id crashy >"$WORK/query.out"
+grep -q '"type":"hierarchy"' "$WORK/query.out" || { echo "FAIL: query returned no hierarchy"; exit 1; }
+grep -q '"levels":\[\[' "$WORK/query.out" || { echo "FAIL: hierarchy has no levels"; exit 1; }
+
+echo "==> F. SIGTERM drain"
+kill -TERM "$DAEMON_PID"
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$DAEMON_PID" 2>/dev/null; then
+    cat "$WORK/daemon.log"
+    echo "FAIL: daemon did not exit after SIGTERM"
+    exit 1
+fi
+wait "$DAEMON_PID" && STATUS=0 || STATUS=$?
+DAEMON_PID=""
+[ "$STATUS" -eq 0 ] || { cat "$WORK/daemon.log"; echo "FAIL: daemon exited with status $STATUS"; exit 1; }
+grep -q "louvaind drained, exiting" "$WORK/daemon.log" || { cat "$WORK/daemon.log"; echo "FAIL: daemon did not drain before exit"; exit 1; }
+
+echo "serve smoke: OK (cache hit, kill-and-resume, clean SIGTERM drain)"

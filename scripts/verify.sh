@@ -18,6 +18,7 @@ PACKAGES=(
   grappolo
   louvain-bench
   louvain-lens
+  louvain-serve
   louvain-store
 )
 
@@ -69,6 +70,20 @@ echo "==> bench run artifact + lens gate vs BENCH_PR7.json"
 echo "==> lens crit (critical path + wait-fraction gate vs BENCH_PR7.json)"
 ./target/release/lens crit target/run_artifact.json \
   --baseline BENCH_PR7.json | tee target/crit_report.txt
+
+# Serving gate: run the in-process louvaind bench (fresh job, cache
+# hit, crash-injected kill-and-resume, single-rank job — the bench
+# errors out unless the cache hit and the checkpoint resume actually
+# happened) and gate the per-job rows against the committed
+# BENCH_PR9.json. Modularity/bytes/iterations are deterministic; job
+# wall times are machine-local latencies, hence the wide --wall-tol.
+# The summary row must render the job-latency percentiles in lens show.
+echo "==> louvaind bench + lens gate vs BENCH_PR9.json"
+./target/release/louvaind bench --out target/serve_artifact.json 2>/dev/null
+./target/release/lens gate --baseline BENCH_PR9.json target/serve_artifact.json \
+  --wall-tol 4.0
+./target/release/lens show BENCH_PR9.json | grep -q "job latency" \
+  || { echo "FAIL: BENCH_PR9.json has no job-latency row"; exit 1; }
 
 # Million-edge weak-scaling gate over the out-of-core slab path: opt-in
 # via LOUVAIN_SCALE_GATE=1 because it spends tens of seconds on >=1M-edge

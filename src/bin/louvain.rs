@@ -667,6 +667,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         checkpoint: checkpoint_dir.map(|dir| CheckpointOptions::new(dir).every(checkpoint_every)),
         resume,
         max_recoveries,
+        ..ResilOptions::none()
     };
     let (out, n_vertices, n_edges) = if use_slab {
         if ranged {
@@ -747,6 +748,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     if let Some(phase) = out.resumed_from_phase {
         println!("resumed from phase {phase}");
+    }
+    // Checkpoint retention: with the run complete, phase dirs below the
+    // newest manifest can never be resumed from again — prune them.
+    // Only on success: a failed run keeps everything restorable.
+    if let Some(ckpt) = resil.checkpoint.as_ref() {
+        if let Ok(store) = distributed_louvain::resil::CheckpointStore::new(&ckpt.dir) {
+            match store.prune_superseded() {
+                Ok(0) => {}
+                Ok(n) => println!("checkpoints:   pruned {n} superseded phase dir(s)"),
+                Err(e) => eprintln!("warning: checkpoint retention failed: {e}"),
+            }
+        }
     }
     if out.recoveries > 0 {
         println!(

@@ -1,0 +1,505 @@
+//! `louvaind` — the fault-tolerant Louvain job server.
+//!
+//! ```text
+//! louvaind serve --listen 127.0.0.1:7077 --workers 2
+//! louvaind submit --addr 127.0.0.1:7077 --job-id a --graph g.bin --ranks 2
+//! louvaind query --addr 127.0.0.1:7077 --job-id a
+//! louvaind bench --out target/serve_artifact.json
+//! ```
+//!
+//! `serve` speaks the JSON-lines protocol of `louvain_serve::proto` over
+//! stdin (the default: one session on the pipe) or TCP (`--listen`,
+//! accepting any number of concurrent sessions). SIGTERM/SIGINT drain
+//! in-flight jobs to a phase-boundary checkpoint before exit, so a
+//! killed daemon's jobs resume from their newest manifest when
+//! resubmitted — never from scratch.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use distributed_louvain::graph::{binio, gen};
+use distributed_louvain::obs::{Json, RunArtifact, RunEntry, RunReport};
+use distributed_louvain::serve::{serve_lines, JobSpec, JobStatus, ServeConfig, Server};
+
+const USAGE: &str = "\
+louvaind — fault-tolerant job server for distributed Louvain
+
+USAGE:
+  louvaind serve [--listen <HOST:PORT>] [--workers <N>] [--queue-depth <N>]
+                 [--cache <N>] [--ckpt-root <DIR>] [--quarantine-after <N>]
+                 [--crash-budget <N>] [--hang-budget <N>] [--verbose]
+      Run the daemon. Without --listen it serves one JSON-lines session
+      on stdin/stdout; with --listen it accepts TCP sessions (port 0
+      picks a free port; the bound address is printed on startup).
+      SIGTERM/SIGINT drain in-flight jobs to a phase-boundary
+      checkpoint, then exit cleanly.
+
+  louvaind submit --addr <HOST:PORT> --job-id <ID> --graph <FILE>
+                  [--ranks <N>] [--variant <V>] [--threads <N>]
+                  [--sweep auto|colored|relaxed] [--seed <S>]
+                  [--max-phases <N>] [--fault <PLAN>]
+                  [--crash-budget <N>] [--hang-budget <N>]
+      Submit one job over TCP and print every response line until the
+      job is terminal (accepted, then result).
+
+  louvaind query --addr <HOST:PORT> --job-id <ID>
+      Fetch a finished job's dendrogram (per-level assignments).
+
+  louvaind bench --out <FILE>
+      In-process serving benchmark: a 2-worker pool runs a fresh job, a
+      cache-hit repeat, a crash-injected kill-and-resume job, and a
+      single-rank job; asserts the cache hit and the resume actually
+      happened and writes a run artifact whose summary row carries the
+      serve.* metrics (p50/p95/p99 job latency included).
+
+The wire protocol is one JSON object per line; see DESIGN.md §14.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_usize(args: &[String], key: &str) -> Result<Option<usize>, String> {
+    match flag(args, key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("bad value for {key}: {v}")),
+    }
+}
+
+fn has_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+// ---------------------------------------------------------------------------
+// Signals: typed declaration (no libc crate in the build environment).
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    type SigHandler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> isize;
+    }
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Install SIGTERM (15) and SIGINT (2) handlers that set a flag the
+    /// serve loops poll; the drain itself runs on a normal thread.
+    pub fn install() {
+        unsafe {
+            signal(15, on_term);
+            signal(2, on_term);
+        }
+    }
+
+    pub fn termed() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn termed() -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+fn serve_config(args: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig {
+        verbose: has_flag(args, "--verbose"),
+        ..ServeConfig::default()
+    };
+    if let Some(v) = flag_usize(args, "--workers")? {
+        cfg.workers = v;
+    }
+    if let Some(v) = flag_usize(args, "--queue-depth")? {
+        cfg.queue_depth = v;
+    }
+    if let Some(v) = flag_usize(args, "--cache")? {
+        cfg.cache_capacity = v;
+    }
+    if let Some(v) = flag_usize(args, "--quarantine-after")? {
+        cfg.quarantine_after = v;
+    }
+    if let Some(v) = flag_usize(args, "--crash-budget")? {
+        cfg.max_crash_recoveries = v;
+    }
+    if let Some(v) = flag_usize(args, "--hang-budget")? {
+        cfg.max_hang_recoveries = v;
+    }
+    if let Some(dir) = flag(args, "--ckpt-root") {
+        cfg.checkpoint_root = PathBuf::from(dir);
+    }
+    Ok(cfg)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    sig::install();
+    let cfg = serve_config(args)?;
+    let server = Server::start(cfg);
+    match flag(args, "--listen") {
+        Some(addr) => serve_tcp(&server, &addr),
+        None => serve_stdin(&server),
+    }
+}
+
+/// One JSON-lines session on the stdin/stdout pipe. The reader thread
+/// blocks on stdin; the main thread polls the TERM flag so a signal
+/// drains and exits even while the pipe is idle.
+fn serve_stdin(server: &Server) -> Result<(), String> {
+    let writer = Arc::new(Mutex::new(std::io::stdout()));
+    let done = Arc::new(AtomicBool::new(false));
+    let session = {
+        let server = server.clone();
+        let writer = writer.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let shutdown = serve_lines(&server, std::io::stdin().lock(), writer);
+            done.store(true, Ordering::SeqCst);
+            shutdown
+        })
+    };
+    loop {
+        if done.load(Ordering::SeqCst) {
+            // Session ended: a `shutdown` request already drained; a
+            // plain EOF has not.
+            let shutdown = session.join().unwrap_or(false);
+            if !shutdown {
+                server.drain();
+            }
+            return Ok(());
+        }
+        if sig::termed() {
+            eprintln!("louvaind: signal received, draining");
+            server.drain();
+            // The session thread may still be blocked on stdin; the
+            // process exits regardless — all jobs are checkpointed.
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// TCP listener: nonblocking accept loop polling the TERM flag, one
+/// session thread per connection. Any session's `shutdown` request
+/// drains the pool and stops the listener.
+fn serve_tcp(server: &Server, addr: &str) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("louvaind listening on {local}");
+    std::io::stdout().flush().ok();
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut sessions = Vec::new();
+    loop {
+        if sig::termed() || shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let server = server.clone();
+                let shutdown = shutdown.clone();
+                sessions.push(std::thread::spawn(move || {
+                    let Ok(read_half) = stream.try_clone() else {
+                        return;
+                    };
+                    stream.set_nonblocking(false).ok();
+                    read_half.set_nonblocking(false).ok();
+                    let writer = Arc::new(Mutex::new(stream));
+                    if serve_lines(&server, BufReader::new(read_half), writer) {
+                        shutdown.store(true, Ordering::SeqCst);
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    if sig::termed() {
+        eprintln!("louvaind: signal received, draining");
+    }
+    server.drain();
+    for s in sessions {
+        let _ = s.join();
+    }
+    println!("louvaind drained, exiting");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// submit / query (TCP clients)
+// ---------------------------------------------------------------------------
+
+fn connect(args: &[String]) -> Result<TcpStream, String> {
+    let addr = flag(args, "--addr").ok_or("missing required option --addr")?;
+    TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let job_id = flag(args, "--job-id").ok_or("missing required option --job-id")?;
+    let graph = flag(args, "--graph").ok_or("missing required option --graph")?;
+    let graph = std::fs::canonicalize(&graph)
+        .map_err(|e| format!("{graph}: {e}"))?
+        .to_string_lossy()
+        .into_owned();
+
+    let mut config: Vec<(String, Json)> = Vec::new();
+    if let Some(v) = flag(args, "--variant") {
+        config.push(("variant".into(), Json::str(v)));
+    }
+    if let Some(v) = flag(args, "--sweep") {
+        config.push(("sweep".into(), Json::str(v)));
+    }
+    if let Some(v) = flag_usize(args, "--threads")? {
+        config.push(("threads_per_rank".into(), Json::Num(v as f64)));
+    }
+    if let Some(v) = flag_usize(args, "--seed")? {
+        config.push(("seed".into(), Json::Num(v as f64)));
+    }
+    if let Some(v) = flag_usize(args, "--max-phases")? {
+        config.push(("max_phases".into(), Json::Num(v as f64)));
+    }
+
+    let mut req: Vec<(String, Json)> = vec![
+        ("type".into(), Json::str("submit")),
+        ("job_id".into(), Json::str(job_id.clone())),
+        ("graph".into(), Json::str(graph)),
+    ];
+    if let Some(v) = flag_usize(args, "--ranks")? {
+        req.push(("ranks".into(), Json::Num(v as f64)));
+    }
+    if !config.is_empty() {
+        req.push(("config".into(), Json::Obj(config)));
+    }
+    if let Some(plan) = flag(args, "--fault") {
+        req.push(("fault_plan".into(), Json::str(plan)));
+    }
+    if let Some(v) = flag_usize(args, "--crash-budget")? {
+        req.push(("max_crash_recoveries".into(), Json::Num(v as f64)));
+    }
+    if let Some(v) = flag_usize(args, "--hang-budget")? {
+        req.push(("max_hang_recoveries".into(), Json::Num(v as f64)));
+    }
+
+    let stream = connect(args)?;
+    talk(stream, &Json::Obj(req), |line| {
+        // Stop once the submission is terminal: a result for our job,
+        // a rejection, or a protocol error.
+        matches!(
+            line.get("type").and_then(Json::as_str),
+            Some("result" | "rejected" | "error")
+        )
+    })
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let job_id = flag(args, "--job-id").ok_or("missing required option --job-id")?;
+    let req = Json::Obj(vec![
+        ("type".into(), Json::str("query")),
+        ("job_id".into(), Json::str(job_id)),
+    ]);
+    let stream = connect(args)?;
+    talk(stream, &req, |_| true)
+}
+
+/// Send one request line, print response lines until `done` says stop.
+fn talk(mut stream: TcpStream, req: &Json, done: impl Fn(&Json) -> bool) -> Result<(), String> {
+    writeln!(stream, "{}", req.to_string_compact()).map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())?;
+    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    for line in reader.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        println!("{line}");
+        let doc = Json::parse(&line).map_err(|e| format!("bad response line: {e}"))?;
+        if done(&doc) {
+            return Ok(());
+        }
+    }
+    Err("connection closed before a terminal response".into())
+}
+
+// ---------------------------------------------------------------------------
+// bench
+// ---------------------------------------------------------------------------
+
+/// The committed-benchmark driver: exercises the serving layer's three
+/// headline behaviours (admission + fresh runs, the result cache, and
+/// crash recovery with resume) in-process and writes a run artifact.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("missing required option --out")?;
+    let work = std::env::temp_dir().join(format!("louvaind-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&work).map_err(|e| e.to_string())?;
+
+    let graph_path = work.join("lfr_1k.bin");
+    let g = gen::lfr(gen::LfrParams::small(1000, 42)).graph;
+    binio::write_edge_list(&graph_path, &g.to_edge_list()).map_err(|e| e.to_string())?;
+
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        checkpoint_root: work.join("ckpt"),
+        verbose: false,
+        ..ServeConfig::default()
+    });
+
+    let spec = |job_id: &str, ranks: usize| JobSpec {
+        job_id: job_id.to_string(),
+        graph: graph_path.clone(),
+        ranks,
+        cfg: distributed_louvain::dist::DistConfig::baseline(),
+        fault_plan: None,
+        max_crash_recoveries: None,
+        max_hang_recoveries: None,
+    };
+
+    // a-base and a-repeat share a cache key; b-crash takes a mid-run
+    // crash with budget 1 (absorbed in-run, resuming off the phase
+    // checkpoint); c-p1 is a distinct key on one rank.
+    let jobs: Vec<(&str, JobSpec)> = vec![
+        ("a-base", spec("a-base", 2)),
+        ("a-repeat", spec("a-repeat", 2)),
+        ("b-crash", {
+            // A distinct config (ET variant) so b-crash cannot hit
+            // a-base's cache entry — the fault plan is deliberately not
+            // part of the cache key.
+            let mut job = spec("b-crash", 2);
+            job.cfg.variant = distributed_louvain::dist::Variant::Et { alpha: 0.25 };
+            job.fault_plan = Some("crash:rank=0,phase=1,op=0".into());
+            job.max_crash_recoveries = Some(1);
+            job
+        }),
+        ("c-p1", spec("c-p1", 1)),
+    ];
+
+    let mut entries: Vec<RunEntry> = Vec::new();
+    for (name, job) in jobs {
+        // Sequential submission keeps cache behaviour deterministic
+        // (a-repeat must run after a-base finished).
+        let seq = server
+            .submit(job)
+            .map_err(|e| format!("submit {name}: {e}"))?;
+        let status = server.wait(seq).ok_or("job record vanished")?;
+        let JobStatus::Done {
+            cached,
+            resumed_from_phase,
+            crash_recoveries,
+            result,
+            ..
+        } = &status
+        else {
+            return Err(format!("job {name} did not finish: {status:?}"));
+        };
+        println!(
+            "job {name}: modularity {:.6}, {} communities, cached={cached}, \
+             resumed_from_phase={resumed_from_phase:?}, crash_recoveries={crash_recoveries}",
+            result.modularity, result.num_communities
+        );
+        for run in &result.artifact.runs {
+            entries.push(RunEntry {
+                label: format!("serve/{name}"),
+                ..run.clone()
+            });
+        }
+    }
+
+    let snapshot = server.metrics_snapshot();
+    server.drain();
+
+    let hits = snapshot
+        .counters
+        .get("serve.cache_hits")
+        .copied()
+        .unwrap_or(0);
+    let resumed = snapshot
+        .counters
+        .get("serve.jobs_resumed")
+        .copied()
+        .unwrap_or(0);
+    if hits < 1 {
+        return Err(format!("expected at least one cache hit, saw {hits}"));
+    }
+    if resumed < 1 {
+        return Err(format!(
+            "expected at least one checkpoint resume, saw {resumed}"
+        ));
+    }
+
+    // Summary row: an otherwise-empty report carrying the server's
+    // serve.* metrics, so `lens show` renders the job-latency
+    // percentiles and `lens gate` keeps the row matched across PRs.
+    entries.push(RunEntry {
+        label: "serve/daemon".into(),
+        report: RunReport {
+            graph: "serve-daemon".into(),
+            variant: "serve".into(),
+            metrics: snapshot,
+            ..RunReport::default()
+        },
+        telemetry: Vec::new(),
+    });
+
+    let artifact = RunArtifact {
+        name: "BENCH_PR9".into(),
+        description: "louvaind serving benchmark: fresh run, cache hit, \
+                      crash-injected kill-and-resume, single-rank job; the \
+                      serve/daemon row carries the serve.* metrics and the \
+                      job-latency histogram"
+            .into(),
+        runs: entries,
+    };
+    std::fs::write(&out, artifact.to_json_string()).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out} ({} runs; cache_hits={hits}, jobs_resumed={resumed})",
+        artifact.runs.len()
+    );
+    let _ = std::fs::remove_dir_all(&work);
+    Ok(())
+}

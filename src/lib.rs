@@ -16,6 +16,9 @@
 //!   metrics, aggregated run reports,
 //! * [`resil`] — checkpoint/restart: versioned per-rank phase-boundary
 //!   checkpoints, atomic manifests, deterministic crash recovery,
+//! * [`serve`] — the `louvaind` job server: admission-controlled worker
+//!   pool, per-job recovery budgets, kill-and-resume serving, and a
+//!   fingerprint-keyed result cache,
 //! * [`store`] — out-of-core slab storage: checksummed on-disk CSR built
 //!   by bounded-memory external sort, memory-mapped or per-rank
 //!   byte-range loading (the paper's MPI-I/O pattern).
@@ -38,6 +41,7 @@ pub use louvain_dist as dist;
 pub use louvain_graph as graph;
 pub use louvain_obs as obs;
 pub use louvain_resil as resil;
+pub use louvain_serve as serve;
 pub use louvain_store as store;
 
 /// Convenience re-exports for examples and quick experiments.

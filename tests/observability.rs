@@ -559,6 +559,7 @@ fn chrome_trace_tags_attempts_under_resilient_recovery() {
             checkpoint: Some(CheckpointOptions::new(&dir)),
             resume: false,
             max_recoveries: 1,
+            ..ResilOptions::none()
         },
     )
     .expect("crash within recovery budget");
@@ -639,6 +640,7 @@ fn resumed_run_counters_reconcile_with_uninterrupted_run() {
             checkpoint: Some(CheckpointOptions::new(&dir)),
             resume: false,
             max_recoveries: 1,
+            ..ResilOptions::none()
         },
     )
     .expect("crash within recovery budget");

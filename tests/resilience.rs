@@ -81,6 +81,7 @@ fn kill_and_resume_is_bit_identical_for_every_phase() {
                     checkpoint: Some(CheckpointOptions::new(&dir)),
                     resume: false,
                     max_recoveries: 1,
+                    ..ResilOptions::none()
                 };
                 let out = run_distributed_resilient(
                     &g,
@@ -139,6 +140,7 @@ fn parallel_sweep_crash_mid_phase_resumes_bit_identically() {
                     checkpoint: Some(CheckpointOptions::new(&dir)),
                     resume: false,
                     max_recoveries: 1,
+                    ..ResilOptions::none()
                 };
                 let out = run_distributed_resilient(
                     &g,
@@ -170,6 +172,7 @@ fn repeated_crashes_are_each_recovered_from_the_newest_checkpoint() {
         checkpoint: Some(CheckpointOptions::new(&dir)),
         resume: false,
         max_recoveries: 2,
+        ..ResilOptions::none()
     };
     let spec = format!("crash:rank=1,phase=1,op=0;crash:rank=0,phase={last},op=1");
     let out = run_distributed_resilient(&g, p, &cfg, with_plan(&spec), &resil)
@@ -197,6 +200,7 @@ fn exhausted_recovery_budget_is_an_error() {
         checkpoint: Some(CheckpointOptions::new(&dir)),
         resume: false,
         max_recoveries: 0,
+        ..ResilOptions::none()
     };
     let err =
         run_distributed_resilient(&g, 2, &cfg, with_plan("crash:rank=0,phase=1,op=0"), &resil)
@@ -215,6 +219,7 @@ fn exhausted_recovery_budget_is_an_error() {
             checkpoint: Some(CheckpointOptions::new(&dir)),
             resume: true,
             max_recoveries: 0,
+            ..ResilOptions::none()
         },
     )
     .expect("resume after external restart");
@@ -235,6 +240,7 @@ fn resume_validation_refuses_incompatible_state() {
         checkpoint: Some(CheckpointOptions::new(&dir)),
         resume: false,
         max_recoveries: 0,
+        ..ResilOptions::none()
     };
     run_distributed_resilient(&g, 2, &cfg, RunConfig::default(), &resil).expect("checkpointed run");
 
@@ -275,6 +281,7 @@ fn resume_validation_refuses_incompatible_state() {
             checkpoint: None,
             resume: true,
             max_recoveries: 0,
+            ..ResilOptions::none()
         },
     )
     .expect_err("resume without a checkpoint dir");
@@ -337,6 +344,7 @@ fn crash_recovery_survives_concurrent_transient_faults() {
         checkpoint: Some(CheckpointOptions::new(&dir)),
         resume: false,
         max_recoveries: 1,
+        ..ResilOptions::none()
     };
     let spec = "seed=13;drop:prob=0.04;duplicate:prob=0.04;crash:rank=1,phase=1,op=2";
     let out = run_distributed_resilient(&g, p, &cfg, with_plan(spec), &resil)
@@ -388,6 +396,7 @@ fn delta_ghost_refresh_falls_back_to_full_after_resume() {
             checkpoint: checkpoint.clone(),
             resume: false,
             max_recoveries: 0,
+            ..ResilOptions::none()
         },
     );
     assert!(crashed.is_err());
@@ -404,6 +413,7 @@ fn delta_ghost_refresh_falls_back_to_full_after_resume() {
             checkpoint,
             resume: true,
             max_recoveries: 0,
+            ..ResilOptions::none()
         },
     );
     louvain_obs::set_enabled(false);
@@ -453,6 +463,7 @@ fn checkpointing_never_changes_results_and_is_step_attributed() {
             checkpoint: Some(CheckpointOptions::new(&dir)),
             resume: false,
             max_recoveries: 0,
+            ..ResilOptions::none()
         };
         let ckpt = run_distributed_resilient(&g, p, &cfg, RunConfig::default(), &resil)
             .expect("checkpointed run");
@@ -538,6 +549,7 @@ fn hang_recovery_is_bit_identical_for_every_phase() {
                     checkpoint: Some(CheckpointOptions::new(&dir)),
                     resume: false,
                     max_recoveries: 1,
+                    ..ResilOptions::none()
                 };
                 let out = run_distributed_resilient(
                     &g,
@@ -668,6 +680,7 @@ fn run_report_carries_health_section_and_hung_events() {
         checkpoint: Some(CheckpointOptions::new(&dir)),
         resume: false,
         max_recoveries: 1,
+        ..ResilOptions::none()
     };
     let out = run_distributed_resilient(
         &g,

@@ -1,0 +1,364 @@
+//! End-to-end guarantees of the `louvaind` serving layer: concurrent
+//! jobs on a bounded pool, the fingerprint-keyed result cache,
+//! kill-and-resume with bit-identical results, the poisoned-job
+//! quarantine ladder, deterministic cancellation, and admission-control
+//! backpressure.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use distributed_louvain::serve::{JobSpec, JobStatus, ServeConfig, Server, SubmitError};
+use louvain_dist::{run_distributed, DistConfig, Variant};
+use louvain_graph::gen::{lfr, LfrParams};
+use louvain_graph::{binio, Csr};
+use proptest::prelude::*;
+
+fn work_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("louvain-serve-it-{}", std::process::id()))
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Deterministic test graph, written as a binary edge list.
+fn graph_file(dir: &Path, n: u64, seed: u64) -> (PathBuf, Csr) {
+    let g = lfr(LfrParams::small(n, seed)).graph;
+    let path = dir.join(format!("lfr_{n}_{seed}.bin"));
+    binio::write_edge_list(&path, &g.to_edge_list()).unwrap();
+    (path, g)
+}
+
+fn spec(job_id: &str, graph: &Path, ranks: usize, cfg: DistConfig) -> JobSpec {
+    JobSpec {
+        job_id: job_id.to_string(),
+        graph: graph.to_path_buf(),
+        ranks,
+        cfg,
+        fault_plan: None,
+        max_crash_recoveries: None,
+        max_hang_recoveries: None,
+    }
+}
+
+fn server(dir: &Path, workers: usize) -> Server {
+    Server::start(ServeConfig {
+        workers,
+        checkpoint_root: dir.join("ckpt"),
+        ..ServeConfig::default()
+    })
+}
+
+fn done(status: &JobStatus) -> &JobStatus {
+    assert!(
+        matches!(status, JobStatus::Done { .. }),
+        "expected Done, got {status:?}"
+    );
+    status
+}
+
+#[test]
+fn concurrent_jobs_on_two_workers_match_direct_runs() {
+    let dir = work_dir("concurrent");
+    let (path_a, g_a) = graph_file(&dir, 400, 3);
+    let (path_b, g_b) = graph_file(&dir, 500, 4);
+    let srv = server(&dir, 2);
+
+    // Distinct graphs and configs, all in flight together on the
+    // 2-worker pool.
+    let jobs = [
+        ("a", &path_a, 2, DistConfig::baseline()),
+        (
+            "b",
+            &path_b,
+            2,
+            DistConfig::with_variant(Variant::Et { alpha: 0.25 }),
+        ),
+        ("c", &path_a, 4, DistConfig::baseline()),
+        ("d", &path_b, 1, DistConfig::baseline()),
+    ];
+    let seqs: Vec<u64> = jobs
+        .iter()
+        .map(|(id, path, ranks, cfg)| srv.submit(spec(id, path, *ranks, cfg.clone())).unwrap())
+        .collect();
+    for ((id, path, ranks, cfg), seq) in jobs.iter().zip(&seqs) {
+        let status = srv
+            .wait_timeout(*seq, Duration::from_secs(120))
+            .unwrap_or_else(|| panic!("job {id} timed out"));
+        let JobStatus::Done { result, .. } = done(&status) else {
+            unreachable!()
+        };
+        let reference = run_distributed(if *path == &path_a { &g_a } else { &g_b }, *ranks, cfg);
+        assert_eq!(
+            result.assignment, reference.assignment,
+            "job {id}: served assignment differs from a direct run"
+        );
+        assert_eq!(result.modularity.to_bits(), reference.modularity.to_bits());
+        assert_eq!(
+            *result.levels.last().unwrap(),
+            result.assignment,
+            "job {id}: last dendrogram level must equal the final assignment"
+        );
+    }
+    srv.drain();
+}
+
+#[test]
+fn identical_resubmission_is_a_cache_hit() {
+    let dir = work_dir("cache");
+    let (path, _) = graph_file(&dir, 300, 9);
+    let srv = server(&dir, 1);
+
+    let s1 = srv
+        .submit(spec("first", &path, 2, DistConfig::baseline()))
+        .unwrap();
+    let first = srv.wait(s1).unwrap();
+    let JobStatus::Done {
+        cached: false,
+        result: r1,
+        ..
+    } = done(&first)
+    else {
+        unreachable!()
+    };
+
+    // Different job id, same (graph, config, ranks) key.
+    let s2 = srv
+        .submit(spec("second", &path, 2, DistConfig::baseline()))
+        .unwrap();
+    let second = srv.wait(s2).unwrap();
+    let JobStatus::Done {
+        cached: true,
+        result: r2,
+        ..
+    } = done(&second)
+    else {
+        panic!("resubmission must be served from the cache: {second:?}");
+    };
+    assert!(Arc::ptr_eq(r1, r2), "cache hit returns the same result");
+
+    let snap = srv.metrics_snapshot();
+    assert_eq!(snap.counters.get("serve.cache_hits"), Some(&1));
+    assert_eq!(snap.counters.get("serve.cache_misses"), Some(&1));
+    assert_eq!(snap.counters.get("serve.jobs_completed"), Some(&2));
+
+    // A different ranks count is a different key: miss, not hit.
+    let s3 = srv
+        .submit(spec("third", &path, 4, DistConfig::baseline()))
+        .unwrap();
+    done(&srv.wait(s3).unwrap());
+    let snap = srv.metrics_snapshot();
+    assert_eq!(snap.counters.get("serve.cache_hits"), Some(&1));
+    assert_eq!(snap.counters.get("serve.cache_misses"), Some(&2));
+    srv.drain();
+}
+
+#[test]
+fn killed_job_resumes_from_checkpoint_bit_identically() {
+    let dir = work_dir("resume");
+    let (path, g) = graph_file(&dir, 500, 11);
+    let cfg = DistConfig::baseline();
+    let reference = run_distributed(&g, 2, &cfg);
+    let srv = server(&dir, 1);
+
+    // Attempt 1: injected crash past its budget (0) kills the job after
+    // phase 1's checkpoint committed.
+    let killed = JobSpec {
+        fault_plan: Some("crash:rank=0,phase=1,op=0".into()),
+        max_crash_recoveries: Some(0),
+        ..spec("job", &path, 2, cfg.clone())
+    };
+    let s1 = srv.submit(killed).unwrap();
+    let failed = srv.wait(s1).unwrap();
+    let JobStatus::Failed { error, attempts } = &failed else {
+        panic!("budget-0 crash must fail the job: {failed:?}");
+    };
+    assert!(error.contains("crash recovery budget"), "{error}");
+    assert_eq!(*attempts, 1);
+
+    // Attempt 2: same key, no fault. Must resume off the dead
+    // attempt's newest manifest, not start from scratch, and match the
+    // uninterrupted run bit for bit.
+    let s2 = srv.submit(spec("job", &path, 2, cfg)).unwrap();
+    let second = srv.wait(s2).unwrap();
+    let JobStatus::Done {
+        cached: false,
+        resumed_from_phase,
+        result,
+        ..
+    } = done(&second)
+    else {
+        unreachable!()
+    };
+    assert!(
+        resumed_from_phase.is_some(),
+        "resubmission must resume from the killed attempt's checkpoint"
+    );
+    assert_eq!(result.assignment, reference.assignment);
+    assert_eq!(result.modularity.to_bits(), reference.modularity.to_bits());
+    assert_eq!(result.phases, reference.phases);
+
+    let snap = srv.metrics_snapshot();
+    assert_eq!(snap.counters.get("serve.jobs_resumed"), Some(&1));
+    srv.drain();
+}
+
+#[test]
+fn poisoned_job_is_quarantined_and_daemon_survives() {
+    let dir = work_dir("quarantine");
+    let (path, _) = graph_file(&dir, 300, 13);
+    let srv = Server::start(ServeConfig {
+        workers: 1,
+        quarantine_after: 2,
+        checkpoint_root: dir.join("ckpt"),
+        ..ServeConfig::default()
+    });
+
+    // A phase-0 crash with budget 0 fails before any checkpoint exists,
+    // so every retry fails the same way.
+    let poisoned = || JobSpec {
+        fault_plan: Some("crash:rank=0,phase=0,op=0".into()),
+        max_crash_recoveries: Some(0),
+        ..spec("poison", &path, 2, DistConfig::baseline())
+    };
+    let s1 = srv.submit(poisoned()).unwrap();
+    assert!(matches!(
+        srv.wait(s1).unwrap(),
+        JobStatus::Failed { attempts: 1, .. }
+    ));
+    let s2 = srv.submit(poisoned()).unwrap();
+    assert!(
+        matches!(
+            srv.wait(s2).unwrap(),
+            JobStatus::Quarantined { attempts: 2, .. }
+        ),
+        "the ladder trips at quarantine_after"
+    );
+    // Third submission short-circuits without running.
+    let s3 = srv.submit(poisoned()).unwrap();
+    assert!(matches!(
+        srv.wait(s3).unwrap(),
+        JobStatus::Quarantined { .. }
+    ));
+    let snap = srv.metrics_snapshot();
+    assert_eq!(snap.counters.get("serve.jobs_quarantined"), Some(&2));
+
+    // The daemon is alive and well: an unrelated clean job (different
+    // key — the quarantine is per job key, and the fault plan is not
+    // part of the key) still runs.
+    let s4 = srv
+        .submit(spec("clean", &path, 4, DistConfig::baseline()))
+        .unwrap();
+    done(&srv.wait(s4).unwrap());
+    srv.drain();
+}
+
+#[test]
+fn queued_job_cancels_deterministically_and_resubmits_clean() {
+    let dir = work_dir("cancel");
+    let (path, _) = graph_file(&dir, 300, 17);
+    // workers = 0: submissions stay queued, so cancellation is
+    // deterministic (the job can never have started).
+    let srv = server(&dir, 0);
+    let s1 = srv
+        .submit(spec("victim", &path, 2, DistConfig::baseline()))
+        .unwrap();
+    assert!(matches!(srv.status(s1), Some(JobStatus::Queued)));
+    assert!(srv.cancel_job(s1));
+    assert!(matches!(
+        srv.status(s1),
+        Some(JobStatus::Cancelled { at_phase: None })
+    ));
+    assert!(!srv.cancel_job(s1), "already terminal");
+    let snap = srv.metrics_snapshot();
+    assert_eq!(snap.counters.get("serve.jobs_cancelled"), Some(&1));
+    srv.drain();
+
+    // A fresh server with workers runs the same spec to completion.
+    let srv = server(&dir, 1);
+    let s2 = srv
+        .submit(spec("victim", &path, 2, DistConfig::baseline()))
+        .unwrap();
+    done(&srv.wait(s2).unwrap());
+    srv.drain();
+}
+
+#[test]
+fn drain_sheds_queued_jobs_and_refuses_new_work() {
+    let dir = work_dir("drain");
+    let (path, _) = graph_file(&dir, 300, 19);
+    let srv = server(&dir, 0);
+    let seqs: Vec<u64> = (0..3)
+        .map(|i| {
+            srv.submit(spec(&format!("q{i}"), &path, 2, DistConfig::baseline()))
+                .unwrap()
+        })
+        .collect();
+    srv.drain();
+    for seq in seqs {
+        assert!(matches!(
+            srv.status(seq),
+            Some(JobStatus::Cancelled { at_phase: None })
+        ));
+    }
+    assert_eq!(
+        srv.submit(spec("late", &path, 2, DistConfig::baseline())),
+        Err(SubmitError::ShuttingDown)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Admission control backpressure: with a pool that never drains
+    /// (workers = 0), exactly the first `queue_depth` submissions are
+    /// accepted in order, every later one is shed with `QueueFull`
+    /// without blocking, and the server still drains cleanly.
+    #[test]
+    fn backpressure_sheds_exactly_past_queue_depth(
+        queue_depth in 1usize..6,
+        extra in 0usize..5,
+    ) {
+        let dir = work_dir(&format!("backpressure-{queue_depth}-{extra}"));
+        let (path, _) = graph_file(&dir, 300, 23);
+        let srv = Server::start(ServeConfig {
+            workers: 0,
+            queue_depth,
+            checkpoint_root: dir.join("ckpt"),
+            ..ServeConfig::default()
+        });
+        let start = std::time::Instant::now();
+        let mut accepted = Vec::new();
+        for i in 0..queue_depth + extra {
+            match srv.submit(spec(&format!("j{i}"), &path, 2, DistConfig::baseline())) {
+                Ok(seq) => accepted.push((i, seq)),
+                Err(e) => {
+                    prop_assert_eq!(e, SubmitError::QueueFull);
+                    prop_assert!(i >= queue_depth, "premature shed at {}", i);
+                }
+            }
+        }
+        // Deterministic accepted set and order: the first queue_depth
+        // submissions, with monotonically increasing seqs.
+        prop_assert_eq!(accepted.len(), queue_depth);
+        for (k, (i, _)) in accepted.iter().enumerate() {
+            prop_assert_eq!(*i, k);
+        }
+        for w in accepted.windows(2) {
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        // The listener never blocked: rejections are immediate.
+        prop_assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "admission control must not block"
+        );
+        let snap = srv.metrics_snapshot();
+        prop_assert_eq!(
+            snap.counters.get("serve.jobs_rejected").copied().unwrap_or(0),
+            extra as u64
+        );
+        srv.drain();
+    }
+}
