@@ -368,7 +368,24 @@ pub fn run_distributed_resilient_source(
 
     // One collector across attempts: a crashed attempt's spans stay in
     // the rings, so the final trace shows the recovery story end to end.
-    let collector = louvain_obs::enabled().then(|| louvain_obs::Collector::new(p));
+    // A live progress sink also needs the collector (its merger rides on
+    // the installed observers), but does not by itself enable tracing —
+    // a progress-only run produces no trace sections.
+    let tracing = louvain_obs::enabled();
+    let collector = (tracing || resil.progress.is_some()).then(|| {
+        let mut col = louvain_obs::Collector::new(p);
+        if let Some(sink) = &resil.progress {
+            col.set_progress(std::sync::Arc::clone(sink));
+        }
+        col
+    });
+    // Keep the global progress bit set for the duration of the run so
+    // `record_iteration` sites feed the merger; dropped on every return
+    // path.
+    let _progress_scope = resil
+        .progress
+        .as_ref()
+        .map(|_| louvain_obs::ProgressScope::new());
     let watch = louvain_obs::Stopwatch::start();
 
     let mut crash_recoveries = 0usize;
@@ -408,7 +425,15 @@ pub fn run_distributed_resilient_source(
         match attempt {
             Ok(results) => {
                 let wall = Duration::from_secs_f64(watch.wall_seconds());
-                let trace = collector.map(louvain_obs::Collector::finish);
+                // Rows whose iterations some ranks early-terminated out
+                // of never reach a full rank count in the merger; emit
+                // them now so watchers see the complete trajectory.
+                if let Some(m) = collector.as_ref().and_then(|c| c.progress_merger()) {
+                    m.flush();
+                }
+                let trace = collector
+                    .map(louvain_obs::Collector::finish)
+                    .filter(|_| tracing);
                 let mut out = merge(results, wall, trace);
                 out.recoveries = recoveries;
                 out.crash_recoveries = crash_recoveries as u64;

@@ -933,7 +933,7 @@ pub fn louvain_phase(
         iter_span.arg("moves", moves_global);
         iter_span.arg("q", q);
         louvain_obs::gauge_set("modularity", q);
-        if louvain_obs::enabled() {
+        if louvain_obs::telemetry_enabled() {
             // Convergence telemetry: the global fields (q, delta-Q,
             // moves) are all-reduced and identical on every rank; the
             // per-rank fields sum exactly across ranks because each

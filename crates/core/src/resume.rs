@@ -42,7 +42,7 @@ impl CheckpointOptions {
 /// Checkpoint/resume/recovery behaviour of a distributed run. The
 /// default is fully inert: no checkpoints, no resume, no recovery —
 /// and no cost on the hot path.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ResilOptions {
     /// Write checkpoints when set.
     pub checkpoint: Option<CheckpointOptions>,
@@ -77,6 +77,27 @@ pub struct ResilOptions {
     /// full dendrogram instead of only the final communities. Off by
     /// default: it clones one `Vec<VertexId>` per phase.
     pub record_levels: bool,
+    /// Live progress subscriber: receives globally-merged per-iteration
+    /// telemetry rows *while the run executes*, sourced from the same
+    /// records tracing collects (no extra communication). Attaching a
+    /// sink does not enable tracing; a run with a sink but tracing off
+    /// still produces no trace sections.
+    pub progress: Option<Arc<dyn louvain_obs::ProgressSink>>,
+}
+
+impl std::fmt::Debug for ResilOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilOptions")
+            .field("checkpoint", &self.checkpoint)
+            .field("resume", &self.resume)
+            .field("max_recoveries", &self.max_recoveries)
+            .field("max_crash_recoveries", &self.max_crash_recoveries)
+            .field("max_hang_recoveries", &self.max_hang_recoveries)
+            .field("cancel", &self.cancel.is_some())
+            .field("record_levels", &self.record_levels)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
 }
 
 impl ResilOptions {

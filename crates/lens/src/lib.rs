@@ -31,6 +31,8 @@ mod crit;
 pub use crit::{
     crit, AlphaBetaFit, ChainStep, CritReport, RunCrit, DEFAULT_WAIT_TOL, FIT_TOLERANCE,
 };
+mod ops;
+pub use ops::{parse_event_log, render_event, render_tail, render_top, PromMetrics};
 
 /// Noise thresholds separating regression signal from run-to-run
 /// jitter. Wall time on a shared CI box is noisy, so it gets both a
@@ -152,6 +154,37 @@ fn memory_line(r: &louvain_obs::RunReport) -> Option<String> {
     Some(line)
 }
 
+/// Serve-ops line for runs carrying the daemon's `serve.*` metrics
+/// (the `serve/daemon` summary row of the serving benchmark): queue
+/// high-water from the gauge's max, shed count, and the cache hit rate.
+fn serve_ops_line(r: &louvain_obs::RunReport) -> Option<String> {
+    let has_serve = r.metrics.counters.keys().any(|k| k.starts_with("serve."))
+        || r.metrics.gauges.keys().any(|k| k.starts_with("serve."));
+    if !has_serve {
+        return None;
+    }
+    let counter = |name: &str| r.metrics.counters.get(name).copied().unwrap_or(0);
+    let mut line = format!(
+        "serve ops: accepted={} completed={} shed={}",
+        counter("serve.jobs_accepted"),
+        counter("serve.jobs_completed"),
+        counter("serve.jobs_rejected"),
+    );
+    if let Some(g) = r.metrics.gauges.get("serve.queue_depth") {
+        let _ = write!(line, "  queue_high_water={}", g.max as u64);
+    }
+    let hits = counter("serve.cache_hits");
+    let misses = counter("serve.cache_misses");
+    if hits + misses > 0 {
+        let _ = write!(
+            line,
+            "  cache_hit_rate={:.1}%",
+            100.0 * hits as f64 / (hits + misses) as f64
+        );
+    }
+    Some(line)
+}
+
 /// Human summary of an artifact: one block per run, with a sparkline
 /// convergence table for traced runs.
 pub fn show(artifact: &RunArtifact) -> String {
@@ -201,6 +234,9 @@ pub fn show(artifact: &RunArtifact) -> String {
         }
         if let Some(mem) = memory_line(r) {
             let _ = writeln!(out, "  {mem}");
+        }
+        if let Some(ops) = serve_ops_line(r) {
+            let _ = writeln!(out, "  {ops}");
         }
         if let Some(h) = r.metrics.histograms.get("rank.total_bytes") {
             let (p50, p95, p99) = h.quantile_summary();

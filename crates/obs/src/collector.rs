@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use crate::event::TraceEvent;
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::progress::{ProgressMerger, ProgressSink};
 use crate::ring::EventRing;
 use crate::span::{install_observer, uninstall_observer, ThreadObserver};
 use crate::telemetry::{self, IterationRecord, TelemetryLog, TelemetryRow};
@@ -31,6 +32,7 @@ struct RankSlot {
 pub struct Collector {
     epoch: Instant,
     ranks: Vec<RankSlot>,
+    progress: Option<Arc<ProgressMerger>>,
 }
 
 impl Collector {
@@ -48,11 +50,27 @@ impl Collector {
                     telemetry: Arc::new(TelemetryLog::default()),
                 })
                 .collect(),
+            progress: None,
         }
     }
 
     pub fn num_ranks(&self) -> usize {
         self.ranks.len()
+    }
+
+    /// Attach a live progress subscriber: every rank installed after
+    /// this call offers its iteration records to a shared
+    /// [`ProgressMerger`] that emits globally-merged rows to `sink` as
+    /// soon as all ranks have contributed. Call before spawning rank
+    /// threads.
+    pub fn set_progress(&mut self, sink: Arc<dyn ProgressSink>) {
+        self.progress = Some(Arc::new(ProgressMerger::new(self.ranks.len(), sink)));
+    }
+
+    /// The attached progress merger, if any (e.g. to flush partial rows
+    /// after the run completes).
+    pub fn progress_merger(&self) -> Option<Arc<ProgressMerger>> {
+        self.progress.clone()
     }
 
     /// Install this collector as the calling thread's observer, recording
@@ -76,7 +94,9 @@ impl Collector {
             epoch: self.epoch,
             metrics: Arc::clone(&slot.metrics),
             telemetry: Arc::clone(&slot.telemetry),
+            rank,
             attempt,
+            progress: self.progress.clone(),
         });
         InstallGuard {
             prev: Some(prev),

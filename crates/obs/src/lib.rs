@@ -36,6 +36,9 @@ mod collector;
 mod event;
 mod json;
 mod metrics;
+mod ops;
+mod progress;
+mod prom;
 mod report;
 mod ring;
 mod span;
@@ -52,6 +55,12 @@ pub use metrics::{
     counter_add, gauge_set, hist_observe, peak_rss_bytes, GaugeStat, Histogram, MetricsRegistry,
     MetricsSnapshot, HIST_BUCKETS,
 };
+pub use ops::{
+    parse_flight_dump, unix_ms_now, OpEvent, OpKind, OpsPlane, DEFAULT_FLIGHT_CAPACITY,
+    FLIGHT_MAGIC, FLIGHT_VERSION,
+};
+pub use progress::{ProgressMerger, ProgressScope, ProgressSink};
+pub use prom::{parse_prometheus_text, prometheus_name, prometheus_text};
 pub use report::{
     FaultTotals, HealthTotals, HungEvent, MessageEdge, ModeledBreakdown, PhaseProfileRow,
     RankHealth, RankTotals, RunReport, StepTotal, RUN_REPORT_VERSION,
@@ -59,7 +68,7 @@ pub use report::{
 pub use ring::EventRing;
 pub use span::{
     add_modeled_seconds, complete_span, enabled, init_from_env, instant, modeled_seconds_now,
-    set_enabled, span, span_cat, SpanGuard, Stopwatch,
+    set_enabled, span, span_cat, telemetry_enabled, SpanGuard, Stopwatch,
 };
 pub use telemetry::{merge_ranks, record_iteration, IterationRecord, TelemetryLog, TelemetryRow};
 
@@ -245,6 +254,11 @@ pub const METRIC_REGISTRY: &[(&str, MetricKind, &str)] = &[
         "serve.jobs_resumed",
         MetricKind::Counter,
         "jobs that restarted from a checkpoint instead of from scratch",
+    ),
+    (
+        "serve.jobs_running",
+        MetricKind::Gauge,
+        "jobs currently executing on worker threads",
     ),
     (
         "serve.queue_depth",

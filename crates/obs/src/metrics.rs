@@ -364,6 +364,42 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases() {
+        // Empty: every quantile is 0 and the summary is all zeros.
+        let empty = Histogram::default();
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.percentile(q), 0);
+        }
+        assert_eq!(empty.quantile_summary(), (0, 0, 0));
+
+        // Single sample: every quantile is that sample's bucket edge.
+        let mut one = Histogram::default();
+        one.observe(100); // bucket 6, upper edge 127
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(one.percentile(q), 127);
+        }
+        assert_eq!(one.quantile_summary(), (127, 127, 127));
+
+        // All observations in one bucket: p50 == p99 == that edge,
+        // regardless of count.
+        let mut flat = Histogram::default();
+        for _ in 0..1000 {
+            flat.observe(5); // bucket 2, upper edge 7
+        }
+        assert_eq!(flat.quantile_summary(), (7, 7, 7));
+        assert_eq!(flat.percentile(1e-9_f64.max(0.001)), 7);
+
+        // Zero-valued observations land in bucket 0 (edge 1), and the
+        // catch-all bucket reports u64::MAX.
+        let mut zeros = Histogram::default();
+        zeros.observe(0);
+        assert_eq!(zeros.percentile(0.5), 1);
+        let mut huge = Histogram::default();
+        huge.observe(u64::MAX);
+        assert_eq!(huge.percentile(0.5), u64::MAX);
+    }
+
+    #[test]
     fn snapshots_merge_commutatively() {
         let a = {
             let r = MetricsRegistry::new();

@@ -1,0 +1,483 @@
+//! Daemon operational events: typed event log, bounded JSONL rotation,
+//! and the crash flight recorder.
+//!
+//! Tracing and telemetry answer "what did the algorithm do"; the ops
+//! plane answers "what did the *daemon* do": which jobs were admitted
+//! or shed, when phases completed, when a drain began. Events carry a
+//! monotonic sequence number and a wall-clock timestamp, flow through
+//! one [`OpsPlane`] per daemon, and land in up to three places:
+//!
+//! 1. a fixed-size in-memory ring (always on — this is the flight
+//!    recorder's source),
+//! 2. an optional size-rotated JSONL file (`--event-log`), flushed per
+//!    event so a `kill -9` loses at most the event being written,
+//! 3. watchers reading [`OpsPlane::events`] (the `dump` verb, tests).
+//!
+//! The flight recorder dumps the ring plus a metrics snapshot to
+//! `flight-<unix_ms>.json` via write-temp/fsync/rename, so a dump is
+//! either absent or complete — never torn. Because the JSONL log is
+//! flushed per line, the dump's `last_seq` equals the sequence number
+//! of the event-log tail whenever both are enabled, which is exactly
+//! the consistency check the serve smoke test pins.
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::report::metrics_to_json;
+
+/// Magic tag of a flight-recorder dump document.
+pub const FLIGHT_MAGIC: &str = "LVFR";
+/// Flight-dump format version.
+pub const FLIGHT_VERSION: u32 = 1;
+/// Default flight-recorder ring capacity (events).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// Every kind of operational event the daemon emits. The snake_case
+/// wire names double as the `lens tail --kind` filter vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    JobAccepted,
+    JobShed,
+    JobStarted,
+    PhaseCompleted,
+    JobResumed,
+    JobQuarantined,
+    JobCancelled,
+    JobFailed,
+    JobDone,
+    CheckpointGc,
+    DrainBegin,
+    DrainEnd,
+    FlightDump,
+}
+
+impl OpKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpKind::JobAccepted => "job_accepted",
+            OpKind::JobShed => "job_shed",
+            OpKind::JobStarted => "job_started",
+            OpKind::PhaseCompleted => "phase_completed",
+            OpKind::JobResumed => "job_resumed",
+            OpKind::JobQuarantined => "job_quarantined",
+            OpKind::JobCancelled => "job_cancelled",
+            OpKind::JobFailed => "job_failed",
+            OpKind::JobDone => "job_done",
+            OpKind::CheckpointGc => "checkpoint_gc",
+            OpKind::DrainBegin => "drain_begin",
+            OpKind::DrainEnd => "drain_end",
+            OpKind::FlightDump => "flight_dump",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<OpKind> {
+        Some(match s {
+            "job_accepted" => OpKind::JobAccepted,
+            "job_shed" => OpKind::JobShed,
+            "job_started" => OpKind::JobStarted,
+            "phase_completed" => OpKind::PhaseCompleted,
+            "job_resumed" => OpKind::JobResumed,
+            "job_quarantined" => OpKind::JobQuarantined,
+            "job_cancelled" => OpKind::JobCancelled,
+            "job_failed" => OpKind::JobFailed,
+            "job_done" => OpKind::JobDone,
+            "checkpoint_gc" => OpKind::CheckpointGc,
+            "drain_begin" => OpKind::DrainBegin,
+            "drain_end" => OpKind::DrainEnd,
+            "flight_dump" => OpKind::FlightDump,
+            _ => return None,
+        })
+    }
+}
+
+/// One typed daemon event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpEvent {
+    /// Monotonic per-daemon sequence number, starting at 1.
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    pub kind: OpKind,
+    /// Job this event concerns, when it concerns one.
+    pub job: Option<String>,
+    /// Kind-specific payload (phase index, shed reason, ...).
+    pub fields: Vec<(String, Json)>,
+}
+
+impl OpEvent {
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("seq".to_string(), Json::Num(self.seq as f64)),
+            ("unix_ms".to_string(), Json::Num(self.unix_ms as f64)),
+            ("kind".to_string(), Json::str(self.kind.as_str())),
+        ];
+        if let Some(job) = &self.job {
+            members.push(("job".to_string(), Json::str(job.clone())));
+        }
+        members.extend(self.fields.iter().cloned());
+        Json::Obj(members)
+    }
+
+    pub fn from_json(doc: &Json) -> Result<OpEvent, String> {
+        let seq = doc
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or("event is missing `seq`")?;
+        let unix_ms = doc
+            .get("unix_ms")
+            .and_then(Json::as_u64)
+            .ok_or("event is missing `unix_ms`")?;
+        let kind_str = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("event is missing `kind`")?;
+        let kind =
+            OpKind::parse(kind_str).ok_or_else(|| format!("unknown event kind `{kind_str}`"))?;
+        let job = doc.get("job").and_then(Json::as_str).map(str::to_string);
+        let fields = doc
+            .as_obj()
+            .ok_or("event is not an object")?
+            .iter()
+            .filter(|(k, _)| !matches!(k.as_str(), "seq" | "unix_ms" | "kind" | "job"))
+            .cloned()
+            .collect();
+        Ok(OpEvent {
+            seq,
+            unix_ms,
+            kind,
+            job,
+            fields,
+        })
+    }
+}
+
+/// Current wall clock as milliseconds since the Unix epoch.
+pub fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+struct LogInner {
+    path: PathBuf,
+    max_bytes: u64,
+    file: File,
+    written: u64,
+}
+
+impl LogInner {
+    fn append(&mut self, line: &str) -> io::Result<()> {
+        // Rotate *before* writing so a single event is never split
+        // across generations; `path.1` holds the previous generation.
+        if self.written > 0 && self.written + line.len() as u64 + 1 > self.max_bytes {
+            let old = self.path.with_extension(format!(
+                "{}1",
+                self.path
+                    .extension()
+                    .map(|e| format!("{}.", e.to_string_lossy()))
+                    .unwrap_or_default()
+            ));
+            let _ = std::fs::rename(&self.path, &old);
+            self.file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&self.path)?;
+            self.written = 0;
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        // Flush per event: after kill -9 the log tail is the last
+        // fully-emitted event, which the flight dump's last_seq must
+        // match.
+        self.file.flush()?;
+        self.written += line.len() as u64 + 1;
+        Ok(())
+    }
+}
+
+/// The daemon's operational-event hub: sequence numbering, the flight
+/// ring, and the optional rotating JSONL log. Shared via `Arc`; all
+/// methods take `&self`.
+pub struct OpsPlane {
+    seq: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<OpEvent>>,
+    log: Option<Mutex<LogInner>>,
+}
+
+impl OpsPlane {
+    pub fn new(flight_capacity: usize) -> OpsPlane {
+        OpsPlane {
+            seq: AtomicU64::new(0),
+            capacity: flight_capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            log: None,
+        }
+    }
+
+    /// Like [`OpsPlane::new`], also appending every event as one JSON
+    /// line to `path`, rotating to `<path>.1` when the file would
+    /// exceed `max_bytes`.
+    pub fn with_log(flight_capacity: usize, path: &Path, max_bytes: u64) -> io::Result<OpsPlane> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let written = file.metadata()?.len();
+        let mut plane = OpsPlane::new(flight_capacity);
+        plane.log = Some(Mutex::new(LogInner {
+            path: path.to_path_buf(),
+            max_bytes: max_bytes.max(1024),
+            file,
+            written,
+        }));
+        Ok(plane)
+    }
+
+    /// Record one event; returns its sequence number. The ring insert
+    /// and the (optional) log append happen before this returns, so a
+    /// caller that observes seq `n` knows events `1..=n` are durable in
+    /// the log.
+    pub fn emit(&self, kind: OpKind, job: Option<&str>, fields: Vec<(&str, Json)>) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let ev = OpEvent {
+            seq,
+            unix_ms: unix_ms_now(),
+            kind,
+            job: job.map(str::to_string),
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        };
+        if let Some(log) = &self.log {
+            let line = ev.to_json().to_string_compact();
+            let mut inner = log.lock().unwrap();
+            if let Err(e) = inner.append(&line) {
+                eprintln!("louvaind: event log write failed: {e}");
+            }
+        }
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+        seq
+    }
+
+    /// Highest sequence number emitted so far (0 before any event).
+    pub fn last_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// The flight ring's current contents, oldest first.
+    pub fn events(&self) -> Vec<OpEvent> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Dump the flight ring plus `metrics` to `dir/flight-<unix_ms>.json`
+    /// atomically (write temp, fsync, rename) and return the path. The
+    /// dump itself is recorded as a [`OpKind::FlightDump`] event *before*
+    /// the snapshot is taken, so the dump contains its own event as the
+    /// newest one and — with the per-event-flushed JSONL log — its
+    /// `last_seq` equals the event-log tail's sequence number at dump
+    /// time. `last_seq` is read off the snapshotted ring, never the live
+    /// counter, so it always names the newest contained event even if
+    /// other threads keep emitting.
+    pub fn dump_flight(
+        &self,
+        dir: &Path,
+        reason: &str,
+        metrics: &MetricsSnapshot,
+    ) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let now = unix_ms_now();
+        let path = dir.join(format!("flight-{now}.json"));
+        self.emit(
+            OpKind::FlightDump,
+            None,
+            vec![
+                ("reason", Json::str(reason)),
+                ("path", Json::str(path.to_string_lossy().into_owned())),
+            ],
+        );
+        let events = self.events();
+        let last_seq = events.last().map(|e| e.seq).unwrap_or(0);
+        let doc = Json::Obj(vec![
+            ("magic".to_string(), Json::str(FLIGHT_MAGIC)),
+            ("version".to_string(), Json::Num(FLIGHT_VERSION as f64)),
+            ("reason".to_string(), Json::str(reason)),
+            ("dumped_unix_ms".to_string(), Json::Num(now as f64)),
+            ("last_seq".to_string(), Json::Num(last_seq as f64)),
+            (
+                "events".to_string(),
+                Json::Arr(events.iter().map(OpEvent::to_json).collect()),
+            ),
+            ("metrics".to_string(), metrics_to_json(metrics)),
+        ]);
+        let tmp = dir.join(format!(".flight-{now}.json.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(doc.to_string_pretty().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+/// Parse and sanity-check a flight dump: magic, version, and that
+/// `last_seq` equals the newest contained event's sequence number.
+/// Returns `(reason, last_seq, events)`.
+pub fn parse_flight_dump(text: &str) -> Result<(String, u64, Vec<OpEvent>), String> {
+    let doc = Json::parse(text).map_err(|e| format!("flight dump is not JSON: {e:?}"))?;
+    if doc.get("magic").and_then(Json::as_str) != Some(FLIGHT_MAGIC) {
+        return Err("flight dump has wrong magic".into());
+    }
+    if doc.get("version").and_then(Json::as_u64) != Some(FLIGHT_VERSION as u64) {
+        return Err("flight dump has unknown version".into());
+    }
+    let reason = doc
+        .get("reason")
+        .and_then(Json::as_str)
+        .ok_or("flight dump is missing `reason`")?
+        .to_string();
+    let last_seq = doc
+        .get("last_seq")
+        .and_then(Json::as_u64)
+        .ok_or("flight dump is missing `last_seq`")?;
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("flight dump is missing `events`")?
+        .iter()
+        .map(OpEvent::from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    if let Some(newest) = events.last() {
+        if newest.seq != last_seq {
+            return Err(format!(
+                "flight dump last_seq {last_seq} != newest event seq {}",
+                newest.seq
+            ));
+        }
+    }
+    Ok((reason, last_seq, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "louvain-ops-{tag}-{}-{}",
+            std::process::id(),
+            unix_ms_now()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let ev = OpEvent {
+            seq: 7,
+            unix_ms: 1_700_000_000_123,
+            kind: OpKind::PhaseCompleted,
+            job: Some("j1".into()),
+            fields: vec![
+                ("phase".to_string(), Json::Num(2.0)),
+                ("modularity".to_string(), Json::Num(0.437)),
+            ],
+        };
+        let back = OpEvent::from_json(&ev.to_json()).unwrap();
+        assert_eq!(back, ev);
+        assert!(OpEvent::from_json(&Json::parse(r#"{"seq":1}"#).unwrap()).is_err());
+        for kind in [
+            OpKind::JobAccepted,
+            OpKind::JobShed,
+            OpKind::DrainEnd,
+            OpKind::FlightDump,
+        ] {
+            assert_eq!(OpKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(OpKind::parse("job_exploded"), None);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_seq_is_monotonic() {
+        let plane = OpsPlane::new(3);
+        for i in 0..5u64 {
+            let seq = plane.emit(OpKind::JobAccepted, Some("j"), vec![]);
+            assert_eq!(seq, i + 1);
+        }
+        let events = plane.events();
+        assert_eq!(events.len(), 3, "ring keeps only the newest N");
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert_eq!(plane.last_seq(), 5);
+    }
+
+    #[test]
+    fn event_log_appends_jsonl_and_rotates_by_size() {
+        let dir = tmpdir("rotate");
+        let path = dir.join("events.jsonl");
+        // Tiny bound (floored to 1024) forces rotation after a handful
+        // of ~100-byte events.
+        let plane = OpsPlane::with_log(64, &path, 1).unwrap();
+        for i in 0..40 {
+            plane.emit(
+                OpKind::JobAccepted,
+                Some(&format!("job-{i}")),
+                vec![("queue_depth", Json::Num(i as f64))],
+            );
+        }
+        let rotated = path.with_extension("jsonl.1");
+        assert!(rotated.exists(), "log should have rotated at least once");
+        // Both generations parse line by line, and the live tail's seq
+        // is the plane's last_seq.
+        let tail = std::fs::read_to_string(&path).unwrap();
+        let mut last = None;
+        for line in tail.lines() {
+            last = Some(OpEvent::from_json(&Json::parse(line).unwrap()).unwrap());
+        }
+        assert_eq!(last.unwrap().seq, plane.last_seq());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flight_dump_is_parseable_and_seq_consistent() {
+        let dir = tmpdir("flight");
+        let plane = OpsPlane::new(8);
+        plane.emit(OpKind::JobAccepted, Some("a"), vec![]);
+        plane.emit(OpKind::JobDone, Some("a"), vec![]);
+        let reg = MetricsRegistry::new();
+        reg.counter_add("serve.jobs_completed", 1);
+        let path = plane.dump_flight(&dir, "test", &reg.snapshot()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (reason, last_seq, events) = parse_flight_dump(&text).unwrap();
+        assert_eq!(reason, "test");
+        // The dump event itself is emitted before the snapshot, so the
+        // dump contains it as its newest event and last_seq matches
+        // both the ring and (when logging) the event-log tail.
+        assert_eq!(last_seq, 3);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events.last().unwrap().kind, OpKind::FlightDump);
+        assert_eq!(plane.last_seq(), 3);
+        assert!(parse_flight_dump("{}").is_err());
+        assert!(parse_flight_dump("not json").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

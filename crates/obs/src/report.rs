@@ -273,7 +273,7 @@ fn num_u(v: u64) -> Json {
     Json::Num(v as f64)
 }
 
-fn metrics_to_json(m: &MetricsSnapshot) -> Json {
+pub(crate) fn metrics_to_json(m: &MetricsSnapshot) -> Json {
     obj(vec![
         (
             "counters",

@@ -9,32 +9,72 @@
 //! `louvain-dist`), so both timelines ride on every event.
 
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::event::{ArgValue, EventKind, TraceEvent};
 use crate::metrics::MetricsRegistry;
+use crate::progress::ProgressMerger;
 use crate::ring::EventRing;
 use crate::telemetry::TelemetryLog;
 
 // ---------------------------------------------------------------------------
-// Global enable flag
+// Global enable flags
 // ---------------------------------------------------------------------------
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit set in [`FLAGS`] while tracing is enabled.
+pub(crate) const FLAG_TRACE: u32 = 1 << 0;
+/// Bit set in [`FLAGS`] while at least one live progress subscriber
+/// exists (see [`crate::progress::ProgressScope`]).
+pub(crate) const FLAG_PROGRESS: u32 = 1 << 1;
+
+/// One word holds every recording switch so the disabled fast path stays
+/// a single relaxed atomic load even with multiple consumers (tracing,
+/// live progress streaming).
+static FLAGS: AtomicU32 = AtomicU32::new(0);
 
 /// Turn tracing on or off process-wide. Spans opened while disabled are
-/// no-ops even if tracing is enabled before they close.
+/// no-ops even if tracing is enabled before they close. Leaves the
+/// progress-subscriber bit untouched.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    if on {
+        FLAGS.fetch_or(FLAG_TRACE, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!FLAG_TRACE, Ordering::Relaxed);
+    }
 }
 
 /// Whether tracing is currently enabled. This is the only cost a span
 /// site pays when tracing is off.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    FLAGS.load(Ordering::Relaxed) & FLAG_TRACE != 0
+}
+
+/// All recording flags in one load; `0` means every consumer is off and
+/// recording sites return immediately.
+#[inline]
+pub(crate) fn recording_flags() -> u32 {
+    FLAGS.load(Ordering::Relaxed)
+}
+
+/// Whether *any* recording consumer (tracing or a live progress
+/// subscriber) is on. Sites that prepare an [`crate::IterationRecord`]
+/// gate on this — still a single relaxed load when everything is off —
+/// so the record reaches progress watchers even when tracing is
+/// disabled.
+#[inline]
+pub fn telemetry_enabled() -> bool {
+    FLAGS.load(Ordering::Relaxed) != 0
+}
+
+pub(crate) fn set_flag(bit: u32, on: bool) {
+    if on {
+        FLAGS.fetch_or(bit, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!bit, Ordering::Relaxed);
+    }
 }
 
 /// Enable tracing if the `LOUVAIN_TRACE` environment variable is set to
@@ -63,9 +103,14 @@ pub(crate) struct ThreadObserver {
     pub epoch: Instant,
     pub metrics: Arc<MetricsRegistry>,
     pub telemetry: Arc<TelemetryLog>,
+    /// Rank this observer records for.
+    pub rank: usize,
     /// Execution attempt of the rank this observer records for (0 on
     /// the first attempt, bumped after each crash/hang recovery).
     pub attempt: u32,
+    /// Live progress fan-in, present when a subscriber is watching the
+    /// job this observer belongs to.
+    pub progress: Option<Arc<ProgressMerger>>,
 }
 
 static NEXT_TID: AtomicU32 = AtomicU32::new(1);
@@ -316,7 +361,9 @@ pub(crate) mod tests {
             epoch: Instant::now(),
             metrics: Arc::new(MetricsRegistry::new()),
             telemetry: Arc::new(TelemetryLog::default()),
+            rank: 0,
             attempt: 0,
+            progress: None,
         });
         let out = f();
         uninstall_observer(prev);
@@ -361,6 +408,23 @@ pub(crate) mod tests {
         );
         assert_eq!(events[1].name, "poisoned");
         assert!(matches!(events[1].kind, EventKind::Instant));
+    }
+
+    #[test]
+    fn progress_flag_does_not_enable_tracing() {
+        let _l = ENABLE_LOCK.lock().unwrap();
+        set_enabled(false);
+        set_flag(FLAG_PROGRESS, true);
+        assert!(!enabled(), "progress subscribers must not enable tracing");
+        assert_eq!(recording_flags(), FLAG_PROGRESS);
+        // Spans stay inert: only telemetry sites consult the progress bit.
+        let ((), events) = with_ring(|| {
+            let _g = span!("phase", phase = 1);
+            instant("marker", "t", vec![]);
+        });
+        assert!(events.is_empty());
+        set_flag(FLAG_PROGRESS, false);
+        assert_eq!(recording_flags(), 0);
     }
 
     #[test]

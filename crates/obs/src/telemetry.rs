@@ -66,13 +66,23 @@ impl TelemetryLog {
     }
 }
 
-/// Record one iteration on the current rank's telemetry log. No-op when
-/// tracing is disabled (one relaxed atomic load) or no observer is
-/// installed.
+/// Record one iteration on the current rank's telemetry log and offer
+/// it to the live progress merger if one is attached. No-op when every
+/// recording consumer is off (one relaxed atomic load) or no observer
+/// is installed.
 pub fn record_iteration(rec: IterationRecord) {
-    if crate::enabled() {
-        crate::span::with_observer(|o| o.telemetry.push(rec));
+    let flags = crate::span::recording_flags();
+    if flags == 0 {
+        return;
     }
+    crate::span::with_observer(|o| {
+        if let Some(p) = &o.progress {
+            p.offer(o.rank, o.attempt, &rec);
+        }
+        if flags & crate::span::FLAG_TRACE != 0 {
+            o.telemetry.push(rec);
+        }
+    });
 }
 
 /// One globally-merged telemetry row: per-rank fields summed, histograms

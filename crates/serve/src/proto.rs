@@ -7,20 +7,32 @@
 //!    "config":{...}, "fault_plan":"...", ...}` — answered immediately
 //!   with `accepted` or `rejected` (admission control never blocks the
 //!   listener), then with a `result` line once the job is terminal.
-//! * `{"type":"status", "job_id":"..."}` — current lifecycle state.
+//! * `{"type":"status", "job_id":"..."}` — current lifecycle state,
+//!   including queue position (queued jobs) and current
+//!   phase/iteration/modularity (running jobs).
 //! * `{"type":"query", "job_id":"..."}` — the dendrogram (per-level
 //!   assignments) of a finished job, from the result cache.
 //! * `{"type":"metrics"}` — the server's `serve.*` counters.
+//! * `{"type":"metrics-text"}` — the full live snapshot rendered as
+//!   Prometheus exposition text (in a `metrics_text` response line).
+//! * `{"type":"watch", "job_id":"..."}` — subscribe to the job's
+//!   per-(phase, iteration) progress stream: replayed + live `progress`
+//!   lines, closed by the job's terminal `result` line.
+//! * `{"type":"dump"}` — dump the flight recorder to disk on demand.
 //! * `{"type":"shutdown"}` — drain in-flight jobs to a phase-boundary
 //!   checkpoint, answer `drained`, and close the session.
 //!
 //! Unknown or unparsable lines are answered with a typed `error` line;
-//! the session stays up.
+//! the session stays up. As a convenience for scrapers, a session whose
+//! first line is `GET /metrics ...` is treated as a plain HTTP request:
+//! it gets the Prometheus text back as an HTTP response and the session
+//! closes.
 
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use louvain_obs::Json;
+use louvain_obs::{Json, TelemetryRow};
 
 use crate::job::JobSpec;
 use crate::server::{JobStatus, Server, SubmitError};
@@ -99,9 +111,49 @@ pub fn status_json(job_id: &str, seq: Option<u64>, status: &JobStatus) -> Json {
     )
 }
 
+/// One per-(phase, iteration) progress line for `watch` subscribers.
+pub fn progress_json(job_id: &str, row: &TelemetryRow) -> Json {
+    obj(vec![
+        ("type", Json::str("progress")),
+        ("job_id", Json::str(job_id)),
+        ("phase", num(row.phase)),
+        ("iteration", num(row.iteration)),
+        ("modularity", Json::Num(row.modularity)),
+        ("delta_q", Json::Num(row.delta_q)),
+        ("moves", num(row.moves)),
+        ("active", num(row.active)),
+        ("vertices", num(row.vertices)),
+        ("active_fraction", Json::Num(row.active_fraction())),
+    ])
+}
+
 fn write_line<W: Write>(writer: &Arc<Mutex<W>>, doc: &Json) {
     let mut w = writer.lock().unwrap();
     let _ = writeln!(w, "{}", doc.to_string_compact());
+    let _ = w.flush();
+}
+
+/// Answer a plain `GET /metrics` HTTP request on the JSON-lines port —
+/// enough for a Prometheus scraper pointed straight at the daemon. Any
+/// other path gets a 404. The session closes after one response, as
+/// HTTP/1.0 clients expect.
+fn serve_http_get<W: Write>(server: &Server, request_line: &str, writer: &Arc<Mutex<W>>) {
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        match server.prometheus_text() {
+            Ok(text) => ("200 OK", text),
+            Err(e) => ("500 Internal Server Error", format!("{e}\n")),
+        }
+    } else {
+        ("404 Not Found", "only /metrics is served\n".to_string())
+    };
+    let mut w = writer.lock().unwrap();
+    let _ = write!(
+        w,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
     let _ = w.flush();
 }
 
@@ -117,8 +169,14 @@ pub fn serve_lines<R: BufRead, W: Write + Send + 'static>(
 ) -> bool {
     let mut waiters: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let mut shutdown = false;
+    let mut first = true;
     for line in reader.lines() {
         let Ok(line) = line else { break };
+        if first && line.starts_with("GET ") {
+            serve_http_get(server, &line, &writer);
+            return false;
+        }
+        first = false;
         if line.trim().is_empty() {
             continue;
         }
@@ -216,8 +274,29 @@ fn handle_line<W: Write + Send + 'static>(
                 write_line(writer, &error_line("status needs `job_id`"));
                 return SessionStep::Continue;
             };
-            match server.status_by_id(job_id) {
-                Some(status) => write_line(writer, &status_json(job_id, None, &status)),
+            let detail = server
+                .seq_of(job_id)
+                .and_then(|seq| server.status_detail(seq));
+            match detail {
+                Some(d) => {
+                    let mut line = status_json(job_id, None, &d.status);
+                    if let Json::Obj(members) = &mut line {
+                        if let Some(pos) = d.queue_position {
+                            members.push(("queue_position".to_string(), num(pos as u64)));
+                        }
+                        // Only in-flight jobs report a current position;
+                        // terminal lines already carry their final
+                        // modularity/phases fields.
+                        if matches!(d.status, JobStatus::Running) {
+                            if let Some((phase, iteration, modularity)) = d.current {
+                                members.push(("phase".to_string(), num(phase)));
+                                members.push(("iteration".to_string(), num(iteration)));
+                                members.push(("modularity".to_string(), Json::Num(modularity)));
+                            }
+                        }
+                    }
+                    write_line(writer, &line);
+                }
                 None => write_line(writer, &error_line(&format!("unknown job `{job_id}`"))),
             }
         }
@@ -265,6 +344,81 @@ fn handle_line<W: Write + Send + 'static>(
                 &obj(vec![("type", Json::str("metrics")), ("counters", counters)]),
             );
         }
+        "metrics-text" => match server.prometheus_text() {
+            Ok(text) => write_line(
+                writer,
+                &obj(vec![
+                    ("type", Json::str("metrics_text")),
+                    ("text", Json::str(text)),
+                ]),
+            ),
+            Err(e) => write_line(writer, &error_line(&e)),
+        },
+        "watch" => {
+            let Some(job_id) = doc.get("job_id").and_then(Json::as_str) else {
+                write_line(writer, &error_line("watch needs `job_id`"));
+                return SessionStep::Continue;
+            };
+            let Some(seq) = server.seq_of(job_id) else {
+                write_line(writer, &error_line(&format!("unknown job `{job_id}`")));
+                return SessionStep::Continue;
+            };
+            // Subscribe before the first status check so no row can slip
+            // between the replay and the live stream.
+            let Some((replay, rx)) = server.watch(seq) else {
+                write_line(writer, &error_line(&format!("unknown job `{job_id}`")));
+                return SessionStep::Continue;
+            };
+            write_line(
+                writer,
+                &obj(vec![
+                    ("type", Json::str("watching")),
+                    ("job_id", Json::str(job_id)),
+                    ("seq", num(seq)),
+                ]),
+            );
+            for row in &replay {
+                write_line(writer, &progress_json(job_id, row));
+            }
+            loop {
+                match rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(row) => write_line(writer, &progress_json(job_id, &row)),
+                    Err(err) => match server.status(seq) {
+                        None => break,
+                        Some(JobStatus::Queued) | Some(JobStatus::Running) => {
+                            // A dropped sender with the job still in
+                            // flight means it is between attempts; fall
+                            // back to polling on the timer.
+                            if err == std::sync::mpsc::RecvTimeoutError::Disconnected {
+                                std::thread::sleep(Duration::from_millis(50));
+                            }
+                        }
+                        Some(status) => {
+                            // Rows buffered ahead of the terminal
+                            // transition are still in the channel: the
+                            // sink pushes every row before the status
+                            // flips, so draining here keeps the stream
+                            // complete.
+                            while let Ok(row) = rx.try_recv() {
+                                write_line(writer, &progress_json(job_id, &row));
+                            }
+                            write_line(writer, &status_json(job_id, Some(seq), &status));
+                            break;
+                        }
+                    },
+                }
+            }
+        }
+        "dump" => match server.dump_flight("on_demand") {
+            Ok(path) => write_line(
+                writer,
+                &obj(vec![
+                    ("type", Json::str("flight")),
+                    ("path", Json::str(path.to_string_lossy().into_owned())),
+                ]),
+            ),
+            Err(e) => write_line(writer, &error_line(&format!("flight dump failed: {e}"))),
+        },
         "shutdown" => return SessionStep::Shutdown,
         other => {
             write_line(
@@ -368,6 +522,118 @@ mod tests {
             lines[0].get("reason").and_then(Json::as_str),
             Some("shutting_down")
         );
+    }
+
+    #[test]
+    fn metrics_text_and_dump_verbs_round_trip() {
+        let root = std::env::temp_dir().join("louvain-serve-proto-ops-test");
+        let _ = std::fs::remove_dir_all(&root);
+        let server = Server::start(ServeConfig {
+            workers: 0,
+            checkpoint_root: root.join("ckpt"),
+            ..ServeConfig::default()
+        });
+        let (shutdown, lines) = session_output(
+            &server,
+            "{\"type\":\"metrics-text\"}\n{\"type\":\"dump\"}\n",
+        );
+        assert!(!shutdown);
+        assert_eq!(lines.len(), 2);
+
+        assert_eq!(
+            lines[0].get("type").and_then(Json::as_str),
+            Some("metrics_text")
+        );
+        let text = lines[0].get("text").and_then(Json::as_str).unwrap();
+        let parsed = louvain_obs::parse_prometheus_text(text).unwrap();
+        assert!(
+            parsed.keys().any(|k| k.starts_with("serve_queue_depth")),
+            "exposition carries the serve gauges: {:?}",
+            parsed.keys().take(8).collect::<Vec<_>>()
+        );
+
+        assert_eq!(lines[1].get("type").and_then(Json::as_str), Some("flight"));
+        let path = lines[1].get("path").and_then(Json::as_str).unwrap();
+        let doc = std::fs::read_to_string(path).unwrap();
+        let (reason, last_seq, events) = louvain_obs::parse_flight_dump(&doc).unwrap();
+        assert_eq!(reason, "on_demand");
+        assert_eq!(last_seq, events.last().map(|e| e.seq).unwrap_or(0));
+        server.drain();
+    }
+
+    #[test]
+    fn http_get_on_the_json_port_serves_metrics() {
+        let server = Server::start(ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        });
+        let raw = |script: &str| {
+            let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+            let shutdown = serve_lines(&server, Cursor::new(script.to_string()), writer.clone());
+            assert!(!shutdown, "an HTTP session never drains the server");
+            let bytes = writer.lock().unwrap().clone();
+            String::from_utf8(bytes).unwrap()
+        };
+
+        let response = raw("GET /metrics HTTP/1.0\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        louvain_obs::parse_prometheus_text(body).unwrap();
+
+        let response = raw("GET /nope HTTP/1.0\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+
+        // `GET ` only short-circuits on the *first* line: later lines
+        // that merely look like HTTP still get a JSON error.
+        let response = raw("{\"type\":\"metrics\"}\nGET /metrics HTTP/1.0\n");
+        assert!(response.starts_with("{\"type\":\"metrics\""), "{response}");
+        assert!(response.contains("bad request line"), "{response}");
+        server.drain();
+    }
+
+    #[test]
+    fn watch_replays_rows_and_closes_with_the_result_line() {
+        let root = std::env::temp_dir().join("louvain-serve-proto-watch-test");
+        let graph = tiny_graph(&root);
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            checkpoint_root: root.join("ckpt"),
+            ..ServeConfig::default()
+        });
+        let script = format!(
+            r#"{{"type":"submit","job_id":"w","graph":{:?},"ranks":2,"config":{{"max_phases":2}}}}"#,
+            graph.to_string_lossy()
+        ) + "\n";
+        let (_, lines) = session_output(&server, &script);
+        assert_eq!(
+            lines.last().unwrap().get("outcome").and_then(Json::as_str),
+            Some("done")
+        );
+
+        // Watching the finished job replays the full progress history,
+        // then closes with its terminal result line.
+        let (shutdown, lines) = session_output(&server, "{\"type\":\"watch\",\"job_id\":\"w\"}\n");
+        assert!(!shutdown);
+        assert_eq!(
+            lines[0].get("type").and_then(Json::as_str),
+            Some("watching")
+        );
+        let progress: Vec<_> = lines
+            .iter()
+            .filter(|l| l.get("type").and_then(Json::as_str) == Some("progress"))
+            .collect();
+        assert!(!progress.is_empty(), "a finished job has progress rows");
+        for p in &progress {
+            assert!(p.get("modularity").and_then(Json::as_f64).is_some());
+            assert!(p.get("active_fraction").and_then(Json::as_f64).is_some());
+        }
+        let last = lines.last().unwrap();
+        assert_eq!(last.get("type").and_then(Json::as_str), Some("result"));
+        assert_eq!(last.get("outcome").and_then(Json::as_str), Some("done"));
+
+        let (_, lines) = session_output(&server, "{\"type\":\"watch\",\"job_id\":\"nope\"}\n");
+        assert_eq!(lines[0].get("type").and_then(Json::as_str), Some("error"));
+        server.drain();
     }
 
     #[test]

@@ -13,7 +13,10 @@ use louvain_dist::{
     GraphSource, ReportMeta, ResilOptions, CANCELLED_AT_PHASE,
 };
 use louvain_graph::{binio, Csr};
-use louvain_obs::{run_label, MetricsRegistry, MetricsSnapshot, RunArtifact, RunEntry};
+use louvain_obs::{
+    run_label, Json, MetricsRegistry, MetricsSnapshot, OpKind, OpsPlane, ProgressSink, RunArtifact,
+    RunEntry, TelemetryRow, DEFAULT_FLIGHT_CAPACITY,
+};
 use louvain_resil::CheckpointStore;
 
 use crate::cache::{graph_fingerprint, ArtifactCache, CachedResult, JobKey};
@@ -43,6 +46,16 @@ pub struct ServeConfig {
     pub max_hang_recoveries: usize,
     /// Log job lifecycle lines to stderr.
     pub verbose: bool,
+    /// Append every operational event as one JSON line to this file
+    /// (rotated to `<path>.1` at `event_log_max_bytes`).
+    pub event_log: Option<PathBuf>,
+    /// Size bound of the event log before rotation.
+    pub event_log_max_bytes: u64,
+    /// Where flight-recorder dumps land; defaults to
+    /// `<checkpoint_root>/flight`.
+    pub flight_dir: Option<PathBuf>,
+    /// Events kept in the in-memory flight ring.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -56,7 +69,20 @@ impl Default for ServeConfig {
             max_crash_recoveries: 2,
             max_hang_recoveries: 2,
             verbose: false,
+            event_log: None,
+            event_log_max_bytes: 1 << 20,
+            flight_dir: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Effective flight-dump directory.
+    pub fn flight_dir(&self) -> PathBuf {
+        self.flight_dir
+            .clone()
+            .unwrap_or_else(|| self.checkpoint_root.join("flight"))
     }
 }
 
@@ -124,11 +150,83 @@ impl JobStatus {
     }
 }
 
+/// Live per-job progress: merged telemetry rows collected as the run
+/// executes (late watchers replay them), the current position, and the
+/// channels of attached watchers.
+#[derive(Default)]
+struct JobProgress {
+    /// Rows in arrival order; sorted by key when the artifact is built.
+    rows: Vec<TelemetryRow>,
+    /// `(phase, iteration, modularity)` of the newest row.
+    current: Option<(u64, u64, f64)>,
+    watchers: Vec<std::sync::mpsc::Sender<TelemetryRow>>,
+}
+
 struct JobRecord {
     spec: JobSpec,
     status: JobStatus,
     cancel: Arc<AtomicBool>,
     submitted: Instant,
+    progress: Arc<Mutex<JobProgress>>,
+}
+
+/// Detailed status for the `status` verb: lifecycle plus where the job
+/// sits (queue position) or is (current phase/iteration).
+#[derive(Debug, Clone)]
+pub struct StatusDetail {
+    pub status: JobStatus,
+    /// 0-based position in the admission queue, for queued jobs.
+    pub queue_position: Option<usize>,
+    /// `(phase, iteration, modularity)` of the newest progress row, for
+    /// jobs that have produced one.
+    pub current: Option<(u64, u64, f64)>,
+}
+
+/// The per-job [`ProgressSink`] handed to the resilient runner: stores
+/// each merged row for replay, forwards it to live watchers, and emits
+/// a `phase_completed` event when the row stream crosses a phase
+/// boundary.
+struct JobProgressSink {
+    job_id: String,
+    progress: Arc<Mutex<JobProgress>>,
+    ops: Arc<OpsPlane>,
+    /// Newest phase seen, plus that phase's latest (iteration count,
+    /// modularity) for the `phase_completed` payload.
+    last_phase: Mutex<Option<(u64, u64, f64)>>,
+}
+
+impl ProgressSink for JobProgressSink {
+    fn on_row(&self, row: &TelemetryRow) {
+        {
+            let mut p = self.progress.lock().unwrap();
+            p.rows.push(row.clone());
+            p.current = Some((row.phase, row.iteration, row.modularity));
+            p.watchers.retain(|w| w.send(row.clone()).is_ok());
+        }
+        let mut last = self.last_phase.lock().unwrap();
+        match &mut *last {
+            Some((phase, iterations, modularity)) if *phase == row.phase => {
+                *iterations = (*iterations).max(row.iteration + 1);
+                *modularity = row.modularity;
+            }
+            Some((phase, iterations, modularity)) if row.phase > *phase => {
+                self.ops.emit(
+                    OpKind::PhaseCompleted,
+                    Some(&self.job_id),
+                    vec![
+                        ("phase", Json::Num(*phase as f64)),
+                        ("iterations", Json::Num(*iterations as f64)),
+                        ("modularity", Json::Num(*modularity)),
+                    ],
+                );
+                *last = Some((row.phase, row.iteration + 1, row.modularity));
+            }
+            // End-of-run flush can deliver a stale phase's partial row
+            // out of order; it never un-completes a phase.
+            Some(_) => {}
+            None => *last = Some((row.phase, row.iteration + 1, row.modularity)),
+        }
+    }
 }
 
 struct State {
@@ -153,6 +251,7 @@ struct Inner {
     /// Signalled on any status change (for `wait`).
     change: Condvar,
     metrics: MetricsRegistry,
+    ops: Arc<OpsPlane>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -167,6 +266,17 @@ impl Server {
     /// Start the worker pool.
     pub fn start(cfg: ServeConfig) -> Server {
         let workers = cfg.workers;
+        let ops = match &cfg.event_log {
+            Some(path) => OpsPlane::with_log(cfg.flight_capacity, path, cfg.event_log_max_bytes)
+                .unwrap_or_else(|e| {
+                    eprintln!(
+                        "louvaind: cannot open event log {}: {e}; continuing without it",
+                        path.display()
+                    );
+                    OpsPlane::new(cfg.flight_capacity)
+                }),
+            None => OpsPlane::new(cfg.flight_capacity),
+        };
         let server = Server {
             inner: Arc::new(Inner {
                 cfg,
@@ -184,11 +294,18 @@ impl Server {
                 work: Condvar::new(),
                 change: Condvar::new(),
                 metrics: MetricsRegistry::new(),
+                ops: Arc::new(ops),
                 handles: Mutex::new(Vec::new()),
             }),
         };
-        server.inner.state.lock().unwrap().cache =
-            ArtifactCache::new(server.inner.cfg.cache_capacity);
+        {
+            let mut st = server.inner.state.lock().unwrap();
+            st.cache = ArtifactCache::new(server.inner.cfg.cache_capacity);
+            // Initialise the gauges so a scrape of an idle daemon
+            // already exposes them at zero.
+            server.sync_queue_depth(&st);
+            server.inner.metrics.gauge_set("serve.jobs_running", 0.0);
+        }
         let mut handles = server.inner.handles.lock().unwrap();
         for w in 0..workers {
             let s = server.clone();
@@ -213,18 +330,55 @@ impl Server {
         }
     }
 
+    /// The one place the `serve.queue_depth` gauge is written: always
+    /// under the state lock, always from the queue's actual length, so
+    /// the gauge can never go negative or disagree with the queue —
+    /// including in the drain-while-shedding race, where drain and a
+    /// concurrent cancel both recompute from the now-empty queue.
+    fn sync_queue_depth(&self, st: &State) {
+        let depth = st.queue.len();
+        debug_assert!(
+            depth <= self.inner.cfg.queue_depth,
+            "queue depth {depth} exceeds configured bound {}",
+            self.inner.cfg.queue_depth
+        );
+        self.inner
+            .metrics
+            .gauge_set("serve.queue_depth", depth as f64);
+    }
+
     /// Admission control: accept into the bounded queue or shed.
     /// Never blocks on a full pool — that is the point.
     pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
         if let Some(plan) = spec.fault_plan.as_deref() {
-            FaultPlan::parse(plan).map_err(SubmitError::Invalid)?;
+            if let Err(e) = FaultPlan::parse(plan) {
+                self.inner.ops.emit(
+                    OpKind::JobShed,
+                    Some(&spec.job_id),
+                    vec![("reason", Json::str("invalid"))],
+                );
+                return Err(SubmitError::Invalid(e));
+            }
         }
         let mut st = self.inner.state.lock().unwrap();
         if !st.accepting {
+            self.inner.ops.emit(
+                OpKind::JobShed,
+                Some(&spec.job_id),
+                vec![("reason", Json::str("shutting_down"))],
+            );
             return Err(SubmitError::ShuttingDown);
         }
         if st.queue.len() >= self.inner.cfg.queue_depth {
             self.inner.metrics.counter_add("serve.jobs_rejected", 1);
+            self.inner.ops.emit(
+                OpKind::JobShed,
+                Some(&spec.job_id),
+                vec![
+                    ("reason", Json::str("queue_full")),
+                    ("queue_depth", Json::Num(st.queue.len() as f64)),
+                ],
+            );
             return Err(SubmitError::QueueFull);
         }
         let seq = st.next_seq;
@@ -238,14 +392,22 @@ impl Server {
                 status: JobStatus::Queued,
                 cancel: Arc::new(AtomicBool::new(false)),
                 submitted: Instant::now(),
+                progress: Arc::new(Mutex::new(JobProgress::default())),
             },
         );
         st.queue.push_back(seq);
         self.inner.metrics.counter_add("serve.jobs_accepted", 1);
-        self.inner
-            .metrics
-            .gauge_set("serve.queue_depth", st.queue.len() as f64);
+        self.sync_queue_depth(&st);
+        let depth = st.queue.len();
         drop(st);
+        self.inner.ops.emit(
+            OpKind::JobAccepted,
+            Some(&job_id),
+            vec![
+                ("seq", Json::Num(seq as f64)),
+                ("queue_depth", Json::Num(depth as f64)),
+            ],
+        );
         self.log(&format!("accepted job {job_id} as #{seq}"));
         self.inner.work.notify_one();
         Ok(seq)
@@ -261,6 +423,58 @@ impl Server {
         let st = self.inner.state.lock().unwrap();
         let seq = st.by_id.get(job_id)?;
         st.jobs.get(seq).map(|r| r.status.clone())
+    }
+
+    /// Lifecycle plus queue position / current phase for the `status`
+    /// verb.
+    pub fn status_detail(&self, seq: u64) -> Option<StatusDetail> {
+        let st = self.inner.state.lock().unwrap();
+        let r = st.jobs.get(&seq)?;
+        let queue_position = st.queue.iter().position(|&q| q == seq);
+        let current = r.progress.lock().unwrap().current;
+        Some(StatusDetail {
+            status: r.status.clone(),
+            queue_position,
+            current,
+        })
+    }
+
+    /// Latest submission seq for a client job id.
+    pub fn seq_of(&self, job_id: &str) -> Option<u64> {
+        self.inner.state.lock().unwrap().by_id.get(job_id).copied()
+    }
+
+    /// Subscribe to a job's progress stream: returns the rows emitted
+    /// so far (replay, in arrival order) plus a receiver for every
+    /// subsequent row. The sender side lives in the job record, so the
+    /// receiver disconnects only when the server drops the job — poll
+    /// [`Server::status`] for terminal states rather than blocking
+    /// forever on a finished job.
+    pub fn watch(
+        &self,
+        seq: u64,
+    ) -> Option<(Vec<TelemetryRow>, std::sync::mpsc::Receiver<TelemetryRow>)> {
+        let st = self.inner.state.lock().unwrap();
+        let r = st.jobs.get(&seq)?;
+        let mut p = r.progress.lock().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        p.watchers.push(tx);
+        Some((p.rows.clone(), rx))
+    }
+
+    /// The daemon's operational-event hub (event log, flight ring).
+    pub fn ops(&self) -> Arc<OpsPlane> {
+        Arc::clone(&self.inner.ops)
+    }
+
+    /// Dump the flight recorder (ring + a fresh metrics snapshot) to
+    /// the configured flight directory.
+    pub fn dump_flight(&self, reason: &str) -> std::io::Result<PathBuf> {
+        self.inner.ops.dump_flight(
+            &self.inner.cfg.flight_dir(),
+            reason,
+            &self.metrics_snapshot(),
+        )
     }
 
     /// Block until the job reaches a terminal status.
@@ -319,14 +533,19 @@ impl Server {
         };
         match record.status {
             JobStatus::Queued => {
+                let job_id = record.spec.job_id.clone();
                 st.queue.retain(|&q| q != seq);
-                let depth = st.queue.len() as f64;
                 if let Some(r) = st.jobs.get_mut(&seq) {
                     r.status = JobStatus::Cancelled { at_phase: None };
                 }
                 self.inner.metrics.counter_add("serve.jobs_cancelled", 1);
-                self.inner.metrics.gauge_set("serve.queue_depth", depth);
+                self.sync_queue_depth(&st);
                 drop(st);
+                self.inner.ops.emit(
+                    OpKind::JobCancelled,
+                    Some(&job_id),
+                    vec![("while", Json::str("queued"))],
+                );
                 self.inner.change.notify_all();
                 true
             }
@@ -346,13 +565,24 @@ impl Server {
         let mut st = self.inner.state.lock().unwrap();
         st.accepting = false;
         let shed: Vec<u64> = st.queue.drain(..).collect();
+        self.inner.ops.emit(
+            OpKind::DrainBegin,
+            None,
+            vec![("shed", Json::Num(shed.len() as f64))],
+        );
         for seq in &shed {
             if let Some(r) = st.jobs.get_mut(seq) {
                 r.status = JobStatus::Cancelled { at_phase: None };
                 self.inner.metrics.counter_add("serve.jobs_cancelled", 1);
+                let job_id = r.spec.job_id.clone();
+                self.inner.ops.emit(
+                    OpKind::JobCancelled,
+                    Some(&job_id),
+                    vec![("while", Json::str("shed_at_drain"))],
+                );
             }
         }
-        self.inner.metrics.gauge_set("serve.queue_depth", 0.0);
+        self.sync_queue_depth(&st);
         for r in st.jobs.values() {
             if matches!(r.status, JobStatus::Running) {
                 r.cancel.store(true, Ordering::SeqCst);
@@ -369,6 +599,7 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        self.inner.ops.emit(OpKind::DrainEnd, None, vec![]);
         self.log("drained");
     }
 
@@ -376,39 +607,113 @@ impl Server {
         self.inner.metrics.snapshot()
     }
 
+    /// The live snapshot rendered as Prometheus exposition text. Every
+    /// name is validated against the metric registry; an unregistered
+    /// name is an error, not a silently-exported stranger.
+    pub fn prometheus_text(&self) -> Result<String, String> {
+        louvain_obs::prometheus_text(&self.metrics_snapshot())
+    }
+
     fn worker_loop(&self) {
         loop {
-            let (seq, spec, cancel) = {
+            let (seq, spec, cancel, progress) = {
                 let mut st = self.inner.state.lock().unwrap();
                 loop {
                     if st.stop_workers {
                         return;
                     }
                     if let Some(seq) = st.queue.pop_front() {
-                        let depth = st.queue.len() as f64;
-                        self.inner.metrics.gauge_set("serve.queue_depth", depth);
+                        self.sync_queue_depth(&st);
                         st.running += 1;
+                        self.inner
+                            .metrics
+                            .gauge_set("serve.jobs_running", st.running as f64);
                         let r = st.jobs.get_mut(&seq).expect("queued job has a record");
                         r.status = JobStatus::Running;
-                        break (seq, r.spec.clone(), r.cancel.clone());
+                        break (seq, r.spec.clone(), r.cancel.clone(), r.progress.clone());
                     }
                     st = self.inner.work.wait(st).unwrap();
                 }
             };
+            self.inner.ops.emit(
+                OpKind::JobStarted,
+                Some(&spec.job_id),
+                vec![("seq", Json::Num(seq as f64))],
+            );
             let started = self.job_submitted_at(seq);
-            let status = self.run_job(&spec, &cancel);
+            let status = self.run_job(&spec, &cancel, &progress);
             let latency_ms = started.elapsed().as_millis() as u64;
             self.inner
                 .metrics
                 .hist_observe("serve.job_latency_ms", latency_ms);
+            self.emit_terminal_event(&spec.job_id, seq, &status, latency_ms);
             let mut st = self.inner.state.lock().unwrap();
             st.running -= 1;
+            self.inner
+                .metrics
+                .gauge_set("serve.jobs_running", st.running as f64);
             if let Some(r) = st.jobs.get_mut(&seq) {
                 self.log(&format!("job {} #{seq}: {:?}", spec.job_id, kind(&status)));
                 r.status = status;
             }
             drop(st);
             self.inner.change.notify_all();
+        }
+    }
+
+    fn emit_terminal_event(&self, job_id: &str, seq: u64, status: &JobStatus, latency_ms: u64) {
+        let ops = &self.inner.ops;
+        match status {
+            JobStatus::Done {
+                cached,
+                resumed_from_phase,
+                ..
+            } => {
+                if let Some(phase) = resumed_from_phase {
+                    ops.emit(
+                        OpKind::JobResumed,
+                        Some(job_id),
+                        vec![("from_phase", Json::Num(*phase as f64))],
+                    );
+                }
+                ops.emit(
+                    OpKind::JobDone,
+                    Some(job_id),
+                    vec![
+                        ("seq", Json::Num(seq as f64)),
+                        ("cached", Json::Bool(*cached)),
+                        ("latency_ms", Json::Num(latency_ms as f64)),
+                    ],
+                );
+            }
+            JobStatus::Failed { error, .. } => {
+                ops.emit(
+                    OpKind::JobFailed,
+                    Some(job_id),
+                    vec![("error", Json::str(error.clone()))],
+                );
+            }
+            JobStatus::Quarantined { error, attempts } => {
+                ops.emit(
+                    OpKind::JobQuarantined,
+                    Some(job_id),
+                    vec![
+                        ("error", Json::str(error.clone())),
+                        ("attempts", Json::Num(*attempts as f64)),
+                    ],
+                );
+            }
+            JobStatus::Cancelled { at_phase } => {
+                ops.emit(
+                    OpKind::JobCancelled,
+                    Some(job_id),
+                    vec![(
+                        "at_phase",
+                        at_phase.map_or(Json::Null, |p| Json::Num(p as f64)),
+                    )],
+                );
+            }
+            JobStatus::Queued | JobStatus::Running => {}
         }
     }
 
@@ -425,7 +730,12 @@ impl Server {
 
     /// Run one job to a terminal status. Never panics the worker: every
     /// failure becomes a structured `Failed`/`Quarantined` status.
-    fn run_job(&self, spec: &JobSpec, cancel: &Arc<AtomicBool>) -> JobStatus {
+    fn run_job(
+        &self,
+        spec: &JobSpec,
+        cancel: &Arc<AtomicBool>,
+        progress: &Arc<Mutex<JobProgress>>,
+    ) -> JobStatus {
         let m = &self.inner.metrics;
         let graph_fp = match graph_fingerprint(&spec.graph) {
             Ok(fp) => fp,
@@ -486,6 +796,16 @@ impl Server {
             ),
             cancel: Some(cancel.clone()),
             record_levels: true,
+            // Every served job publishes live progress: the rows feed
+            // `watch` subscribers, the `status` current-phase fields,
+            // and the artifact's telemetry section — all from the
+            // telemetry records the run produces anyway.
+            progress: Some(Arc::new(JobProgressSink {
+                job_id: spec.job_id.clone(),
+                progress: progress.clone(),
+                ops: Arc::clone(&self.inner.ops),
+                last_phase: Mutex::new(None),
+            })),
         };
         let mut runcfg = RunConfig::default();
         if let Some(plan) = spec.fault_plan.as_deref() {
@@ -513,7 +833,13 @@ impl Server {
         // Phase checkpoints below the newest manifest are dead weight
         // now that the run finished — retire them.
         if let Ok(store) = CheckpointStore::new(&ckpt_dir) {
-            let _ = store.prune_superseded();
+            if store.prune_superseded().is_ok() {
+                self.inner.ops.emit(
+                    OpKind::CheckpointGc,
+                    Some(&spec.job_id),
+                    vec![("dir", Json::str(ckpt_dir.to_string_lossy().into_owned()))],
+                );
+            }
         }
 
         let graph_name = spec
@@ -525,13 +851,22 @@ impl Server {
         meta.variant = spec.cfg.variant.label();
         meta.threads_per_rank = spec.cfg.threads_per_rank;
         let report = build_run_report(&out, &meta);
+        // The artifact's telemetry section is the progress stream
+        // itself, sorted into canonical `(phase, iteration)` order —
+        // so what a `watch` subscriber saw live is bit-for-bit what the
+        // final artifact records.
+        let telemetry = {
+            let mut rows = progress.lock().unwrap().rows.clone();
+            rows.sort_by_key(|r| (r.phase, r.iteration));
+            rows
+        };
         let artifact = RunArtifact {
             name: format!("serve:{}", spec.job_id),
             description: format!("served job on {}", spec.graph.display()),
             runs: vec![RunEntry {
                 label: run_label(&graph_name, spec.ranks, "serve"),
                 report,
-                telemetry: Vec::new(),
+                telemetry,
             }],
         };
         let cached = CachedResult {

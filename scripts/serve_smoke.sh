@@ -10,7 +10,17 @@
 #      phase-boundary checkpoint (`resumed_from_phase` non-null), with
 #      the daemon unharmed;
 #   E. query the finished job's dendrogram;
-#   F. SIGTERM the daemon — it must drain and exit cleanly (status 0).
+#   G. scrape Prometheus metrics mid-job — the daemon must report at
+#      least one running job while one is in flight;
+#   H. watch a job: per-(phase, iteration) progress lines stream until
+#      the terminal result line;
+#   I. lens top (live TCP + saved file) and lens tail over the event
+#      log, with a kind filter;
+#   J. on-demand flight dump, then kill -9 — the dump must be
+#      well-formed and its last_seq must equal the event-log tail's
+#      sequence number (the log is flushed per event);
+#   K. fresh daemon, SIGTERM — it must drain, dump the flight recorder,
+#      and exit cleanly (status 0).
 #
 # Everything runs on the simulated communicator: deterministic, offline,
 # a few seconds total.
@@ -26,16 +36,21 @@ cleanup() {
 trap cleanup EXIT
 
 echo "==> build"
-cargo build -q --release --bin louvain --bin louvaind
+cargo build -q --release --bin louvain --bin louvaind --bin lens
 LOUVAIN=target/release/louvain
 LOUVAIND=target/release/louvaind
+LENS=target/release/lens
 
-echo "==> generate graph"
+echo "==> generate graphs"
 "$LOUVAIN" generate --kind lfr --n 900 --seed 11 --out "$WORK/g.graph"
+# A bigger graph keeps a job in flight long enough to scrape mid-run.
+"$LOUVAIN" generate --kind lfr --n 30000 --seed 13 --out "$WORK/big.graph"
 
 echo "==> start daemon"
 "$LOUVAIND" serve --listen 127.0.0.1:0 --workers 2 \
-    --ckpt-root "$WORK/ckpt" >"$WORK/daemon.log" 2>&1 &
+    --ckpt-root "$WORK/ckpt" \
+    --event-log "$WORK/events.jsonl" \
+    --flight-dir "$WORK/flight" >"$WORK/daemon.log" 2>&1 &
 DAEMON_PID=$!
 ADDR=""
 for _ in $(seq 1 100); do
@@ -71,20 +86,76 @@ echo "==> E. query the dendrogram"
 grep -q '"type":"hierarchy"' "$WORK/query.out" || { echo "FAIL: query returned no hierarchy"; exit 1; }
 grep -q '"levels":\[\[' "$WORK/query.out" || { echo "FAIL: hierarchy has no levels"; exit 1; }
 
-echo "==> F. SIGTERM drain"
+echo "==> G. mid-job metrics scrape"
+"$LOUVAIND" submit --addr "$ADDR" --job-id long --graph "$WORK/big.graph" \
+    --ranks 2 >"$WORK/long.out" 2>&1 &
+SUBMIT_PID=$!
+RUNNING=""
+for _ in $(seq 1 100); do
+    "$LOUVAIND" metrics --addr "$ADDR" >"$WORK/metrics.txt" 2>/dev/null || true
+    if grep -Eq '^serve_jobs_running [1-9]' "$WORK/metrics.txt"; then RUNNING=1; break; fi
+    kill -0 "$SUBMIT_PID" 2>/dev/null || break
+    sleep 0.1
+done
+[ -n "$RUNNING" ] || { cat "$WORK/metrics.txt"; echo "FAIL: never saw a running job in the metrics"; exit 1; }
+grep -q '^serve_queue_depth ' "$WORK/metrics.txt" || { echo "FAIL: exposition is missing the queue-depth gauge"; exit 1; }
+grep -q '^# TYPE serve_jobs_accepted_total counter' "$WORK/metrics.txt" || { echo "FAIL: exposition is missing TYPE lines"; exit 1; }
+
+echo "==> H. watch the in-flight job to completion"
+"$LOUVAIND" watch --addr "$ADDR" --job-id long | tee "$WORK/watch.out" >/dev/null
+grep -q '"type":"progress"' "$WORK/watch.out" || { cat "$WORK/watch.out"; echo "FAIL: watch streamed no progress rows"; exit 1; }
+grep -q '"outcome":"done"' "$WORK/watch.out" || { cat "$WORK/watch.out"; echo "FAIL: watch did not close with the job's result"; exit 1; }
+wait "$SUBMIT_PID" || { cat "$WORK/long.out"; echo "FAIL: background submission failed"; exit 1; }
+
+echo "==> I. lens top and lens tail"
+"$LENS" top "$ADDR" | tee "$WORK/top.out"
+grep -q '^queue depth' "$WORK/top.out" || { echo "FAIL: lens top printed no dashboard"; exit 1; }
+grep -q 'jobs: accepted' "$WORK/top.out" || { echo "FAIL: lens top printed no job counters"; exit 1; }
+"$LENS" top "$WORK/metrics.txt" >/dev/null || { echo "FAIL: lens top cannot read saved exposition text"; exit 1; }
+"$LENS" tail "$WORK/events.jsonl" >"$WORK/tail.out"
+grep -q 'job_accepted' "$WORK/tail.out" || { cat "$WORK/tail.out"; echo "FAIL: lens tail shows no admissions"; exit 1; }
+"$LENS" tail "$WORK/events.jsonl" --kind job_done | grep -q 'job_done' || { echo "FAIL: lens tail kind filter found no completions"; exit 1; }
+
+echo "==> J. on-demand flight dump, then kill -9"
+"$LOUVAIND" dump --addr "$ADDR" >"$WORK/dump.out"
+cat "$WORK/dump.out"
+FLIGHT="$(sed -n 's/.*"path":"\([^"]*\)".*/\1/p' "$WORK/dump.out")"
+[ -n "$FLIGHT" ] && [ -f "$FLIGHT" ] || { echo "FAIL: dump verb returned no flight file"; exit 1; }
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+grep -q '"magic": "LVFR"' "$FLIGHT" || { echo "FAIL: flight dump has no magic"; exit 1; }
+DUMP_SEQ="$(sed -n 's/.*"last_seq": \([0-9]*\).*/\1/p' "$FLIGHT" | head -1)"
+LOG_SEQ="$(grep -o '"seq":[0-9]*' "$WORK/events.jsonl" | tail -1 | cut -d: -f2)"
+[ -n "$DUMP_SEQ" ] && [ "$DUMP_SEQ" = "$LOG_SEQ" ] || {
+    echo "FAIL: flight dump last_seq ($DUMP_SEQ) != event-log tail seq ($LOG_SEQ)"; exit 1; }
+"$LENS" tail "$WORK/events.jsonl" | grep -q 'flight_dump' || { echo "FAIL: event log after kill -9 is unreadable or missing the dump event"; exit 1; }
+echo "    flight dump and event log agree at seq $DUMP_SEQ"
+
+echo "==> K. fresh daemon, SIGTERM drain"
+"$LOUVAIND" serve --listen 127.0.0.1:0 --workers 2 \
+    --ckpt-root "$WORK/ckpt2" \
+    --flight-dir "$WORK/flight2" >"$WORK/daemon2.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    grep -q '^louvaind listening on ' "$WORK/daemon2.log" && break
+    sleep 0.1
+done
 kill -TERM "$DAEMON_PID"
 for _ in $(seq 1 100); do
     kill -0 "$DAEMON_PID" 2>/dev/null || break
     sleep 0.1
 done
 if kill -0 "$DAEMON_PID" 2>/dev/null; then
-    cat "$WORK/daemon.log"
+    cat "$WORK/daemon2.log"
     echo "FAIL: daemon did not exit after SIGTERM"
     exit 1
 fi
 wait "$DAEMON_PID" && STATUS=0 || STATUS=$?
 DAEMON_PID=""
-[ "$STATUS" -eq 0 ] || { cat "$WORK/daemon.log"; echo "FAIL: daemon exited with status $STATUS"; exit 1; }
-grep -q "louvaind drained, exiting" "$WORK/daemon.log" || { cat "$WORK/daemon.log"; echo "FAIL: daemon did not drain before exit"; exit 1; }
+[ "$STATUS" -eq 0 ] || { cat "$WORK/daemon2.log"; echo "FAIL: daemon exited with status $STATUS"; exit 1; }
+grep -q "louvaind drained, exiting" "$WORK/daemon2.log" || { cat "$WORK/daemon2.log"; echo "FAIL: daemon did not drain before exit"; exit 1; }
+grep -q "flight recorder dumped to" "$WORK/daemon2.log" || { cat "$WORK/daemon2.log"; echo "FAIL: SIGTERM drain did not dump the flight recorder"; exit 1; }
+ls "$WORK/flight2"/flight-*.json >/dev/null 2>&1 || { echo "FAIL: no flight dump on disk after SIGTERM"; exit 1; }
 
-echo "serve smoke: OK (cache hit, kill-and-resume, clean SIGTERM drain)"
+echo "serve smoke: OK (cache hit, kill-and-resume, mid-job scrape, watch stream, flight/event-log parity, clean SIGTERM drain)"

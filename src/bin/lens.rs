@@ -55,6 +55,19 @@ USAGE:
       baseline's by more than --wait-tol (absolute slack, 0.25).
       Errors (nonzero exit) on artifacts with no message events.
 
+  lens top <ADDR|FILE> [--watch <SECS>]
+      One-screen ops dashboard over a live daemon's metrics: queue
+      depth, running jobs, admission/cache counters, and the
+      job-latency percentiles. <ADDR> (host:port) fetches over the
+      daemon's JSON-lines port; <FILE> reads saved Prometheus text.
+      --watch refreshes every SECS seconds until interrupted.
+
+  lens tail <EVENT-LOG> [--kind <KIND>] [--job <ID>]
+      Pretty-print a daemon's JSONL event log (--event-log), one
+      aligned line per event, filterable by snake_case event kind
+      (job_accepted, job_shed, phase_completed, drain_begin, ...) and
+      by job id. A torn final line (kill -9 mid-write) is tolerated.
+
   lens convert <IN> --out <OUT>
       Normalize any accepted input (legacy BENCH_PR*.json,
       RUNREPORT_PR2.json, bare RunReport, or an artifact) into the
@@ -97,6 +110,8 @@ fn main() -> ExitCode {
             }
             Err(msg) => fail(&msg),
         },
+        Some("top") => run(cmd_top(&args[1..])),
+        Some("tail") => run(cmd_tail(&args[1..])),
         Some("convert") => run(cmd_convert(&args[1..])),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -229,6 +244,85 @@ fn cmd_crit(args: &[String]) -> Result<bool, String> {
     let report = crit(&load(path)?, baseline.as_ref(), wait_tol)?;
     print!("{}", report.render());
     Ok(report.passed())
+}
+
+/// Fetch Prometheus exposition text from `source`: an existing file is
+/// read; anything else must look like host:port and is queried over the
+/// daemon's JSON-lines port with a `metrics-text` request.
+fn fetch_metrics_text(source: &str) -> Result<String, String> {
+    if Path::new(source).exists() {
+        return std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"));
+    }
+    if !source.contains(':') {
+        return Err(format!("{source}: not a file, and not a host:port address"));
+    }
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let mut stream = std::net::TcpStream::connect(source).map_err(|e| format!("{source}: {e}"))?;
+    writeln!(stream, "{{\"type\":\"metrics-text\"}}").map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| e.to_string())?;
+    let doc = distributed_louvain::obs::Json::parse(line.trim())
+        .map_err(|e| format!("bad response line: {e:?}"))?;
+    use distributed_louvain::obs::Json;
+    match doc.get("type").and_then(Json::as_str) {
+        Some("metrics_text") => doc
+            .get("text")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "metrics_text response has no `text`".into()),
+        Some("error") => Err(doc
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("daemon returned an error")
+            .to_string()),
+        _ => Err(format!("unexpected response: {}", line.trim())),
+    }
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let [source] = positionals(args)[..] else {
+        return Err("usage: lens top <ADDR|FILE> [--watch <SECS>]".into());
+    };
+    let watch_secs: Option<u64> = match flag(args, "--watch") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("bad value for --watch: {v}"))?,
+        ),
+        None => None,
+    };
+    loop {
+        let text = fetch_metrics_text(source)?;
+        let metrics = distributed_louvain::obs::parse_prometheus_text(&text)?;
+        print!("{}", louvain_lens::render_top(&metrics));
+        let Some(secs) = watch_secs else {
+            return Ok(());
+        };
+        println!("---");
+        std::thread::sleep(std::time::Duration::from_secs(secs.max(1)));
+    }
+}
+
+fn cmd_tail(args: &[String]) -> Result<(), String> {
+    let [path] = positionals(args)[..] else {
+        return Err("usage: lens tail <EVENT-LOG> [--kind <KIND>] [--job <ID>]".into());
+    };
+    let kind = flag(args, "--kind");
+    if let Some(k) = &kind {
+        if distributed_louvain::obs::OpKind::parse(k).is_none() {
+            return Err(format!("unknown event kind `{k}`"));
+        }
+    }
+    let job = flag(args, "--job");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let events = louvain_lens::parse_event_log(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!(
+        "{}",
+        louvain_lens::render_tail(&events, kind.as_deref(), job.as_deref())
+    );
+    Ok(())
 }
 
 fn cmd_convert(args: &[String]) -> Result<(), String> {

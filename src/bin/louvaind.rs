@@ -33,11 +33,17 @@ USAGE:
   louvaind serve [--listen <HOST:PORT>] [--workers <N>] [--queue-depth <N>]
                  [--cache <N>] [--ckpt-root <DIR>] [--quarantine-after <N>]
                  [--crash-budget <N>] [--hang-budget <N>] [--verbose]
+                 [--event-log <FILE>] [--event-log-max-bytes <N>]
+                 [--flight-dir <DIR>] [--flight-events <N>]
       Run the daemon. Without --listen it serves one JSON-lines session
       on stdin/stdout; with --listen it accepts TCP sessions (port 0
       picks a free port; the bound address is printed on startup).
       SIGTERM/SIGINT drain in-flight jobs to a phase-boundary
-      checkpoint, then exit cleanly.
+      checkpoint, dump the flight recorder, then exit cleanly.
+      --event-log appends every operational event as one JSON line
+      (rotated at --event-log-max-bytes, default 1 MiB); a panic also
+      dumps the flight recorder (last --flight-events events plus a
+      metrics snapshot) into --flight-dir before the process dies.
 
   louvaind submit --addr <HOST:PORT> --job-id <ID> --graph <FILE>
                   [--ranks <N>] [--variant <V>] [--threads <N>]
@@ -49,6 +55,18 @@ USAGE:
 
   louvaind query --addr <HOST:PORT> --job-id <ID>
       Fetch a finished job's dendrogram (per-level assignments).
+
+  louvaind watch --addr <HOST:PORT> --job-id <ID>
+      Stream the job's per-(phase, iteration) progress lines — replayed
+      history first, then live — until its terminal result line.
+
+  louvaind metrics --addr <HOST:PORT>
+      Print the daemon's live metrics as Prometheus exposition text
+      (the same text `GET /metrics` on the daemon port returns).
+
+  louvaind dump --addr <HOST:PORT>
+      Ask the daemon to dump its flight recorder to disk now; prints
+      the dump's path.
 
   louvaind bench --out <FILE>
       In-process serving benchmark: a 2-worker pool runs a fresh job, a
@@ -66,6 +84,9 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
+        Some("dump") => cmd_dump(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -174,13 +195,49 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, String> {
     if let Some(dir) = flag(args, "--ckpt-root") {
         cfg.checkpoint_root = PathBuf::from(dir);
     }
+    if let Some(path) = flag(args, "--event-log") {
+        cfg.event_log = Some(PathBuf::from(path));
+    }
+    if let Some(v) = flag_usize(args, "--event-log-max-bytes")? {
+        cfg.event_log_max_bytes = v as u64;
+    }
+    if let Some(dir) = flag(args, "--flight-dir") {
+        cfg.flight_dir = Some(PathBuf::from(dir));
+    }
+    if let Some(v) = flag_usize(args, "--flight-events")? {
+        cfg.flight_capacity = v;
+    }
     Ok(cfg)
+}
+
+/// Dump the flight recorder, logging where it landed (or why not).
+fn dump_flight(server: &Server, reason: &str) {
+    match server.dump_flight(reason) {
+        Ok(path) => eprintln!("louvaind: flight recorder dumped to {}", path.display()),
+        Err(e) => eprintln!("louvaind: flight dump failed: {e}"),
+    }
+}
+
+/// Chain a panic hook that dumps the flight recorder before the default
+/// hook prints the panic. Worker panics are caught and mapped to job
+/// failures, so reaching this hook means the daemon itself is dying —
+/// the dump is the post-mortem: the last N operational events plus a
+/// metrics snapshot, written atomically so a half-dead process cannot
+/// leave a torn file.
+fn install_flight_panic_hook(server: &Server) {
+    let server = server.clone();
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        dump_flight(&server, "panic");
+        previous(info);
+    }));
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     sig::install();
     let cfg = serve_config(args)?;
     let server = Server::start(cfg);
+    install_flight_panic_hook(&server);
     match flag(args, "--listen") {
         Some(addr) => serve_tcp(&server, &addr),
         None => serve_stdin(&server),
@@ -216,6 +273,9 @@ fn serve_stdin(server: &Server) -> Result<(), String> {
         if sig::termed() {
             eprintln!("louvaind: signal received, draining");
             server.drain();
+            // The drain events are in the ring before the dump, so the
+            // post-mortem shows what was shed on the way out.
+            dump_flight(server, "sigterm");
             // The session thread may still be blocked on stdin; the
             // process exits regardless — all jobs are checkpointed.
             return Ok(());
@@ -261,10 +321,14 @@ fn serve_tcp(server: &Server, addr: &str) -> Result<(), String> {
             Err(e) => return Err(format!("accept: {e}")),
         }
     }
-    if sig::termed() {
+    let termed = sig::termed();
+    if termed {
         eprintln!("louvaind: signal received, draining");
     }
     server.drain();
+    if termed {
+        dump_flight(server, "sigterm");
+    }
     for s in sessions {
         let _ = s.join();
     }
@@ -345,6 +409,59 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         ("job_id".into(), Json::str(job_id)),
     ]);
     let stream = connect(args)?;
+    talk(stream, &req, |_| true)
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let job_id = flag(args, "--job-id").ok_or("missing required option --job-id")?;
+    let req = Json::Obj(vec![
+        ("type".into(), Json::str("watch")),
+        ("job_id".into(), Json::str(job_id)),
+    ]);
+    let stream = connect(args)?;
+    talk(stream, &req, |line| {
+        // The stream closes with the job's terminal result line (or an
+        // error for an unknown job).
+        matches!(
+            line.get("type").and_then(Json::as_str),
+            Some("result" | "error")
+        )
+    })
+}
+
+/// Fetch the daemon's live metrics and print them as Prometheus text —
+/// the decoded `text` field, not the JSON envelope, so the output pipes
+/// straight into promtool or a file.
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let mut stream = connect(args)?;
+    let req = Json::Obj(vec![("type".into(), Json::str("metrics-text"))]);
+    writeln!(stream, "{}", req.to_string_compact()).map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let doc = Json::parse(line.trim()).map_err(|e| format!("bad response line: {e}"))?;
+    match doc.get("type").and_then(Json::as_str) {
+        Some("metrics_text") => {
+            let text = doc
+                .get("text")
+                .and_then(Json::as_str)
+                .ok_or("metrics_text response has no `text`")?;
+            print!("{text}");
+            Ok(())
+        }
+        Some("error") => Err(doc
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("daemon returned an error")
+            .to_string()),
+        _ => Err(format!("unexpected response: {}", line.trim())),
+    }
+}
+
+fn cmd_dump(args: &[String]) -> Result<(), String> {
+    let stream = connect(args)?;
+    let req = Json::Obj(vec![("type".into(), Json::str("dump"))]);
     talk(stream, &req, |_| true)
 }
 

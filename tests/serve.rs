@@ -309,6 +309,217 @@ fn drain_sheds_queued_jobs_and_refuses_new_work() {
     );
 }
 
+/// Regression for the drain-while-shedding race: submitters hammering a
+/// full queue while another thread drains must leave the
+/// `serve.queue_depth` gauge consistent — never negative at any point
+/// (`min >= 0`) and exactly zero once the drain finished. The gauge has
+/// a single writer (`sync_queue_depth`, always under the state lock,
+/// always recomputing from the queue's actual length), which is the
+/// invariant this test pins.
+#[test]
+fn queue_depth_gauge_survives_drain_while_shedding() {
+    let dir = work_dir("drain-shed-race");
+    let (path, _) = graph_file(&dir, 300, 29);
+    let srv = Server::start(ServeConfig {
+        workers: 0,
+        queue_depth: 4,
+        checkpoint_root: dir.join("ckpt"),
+        ..ServeConfig::default()
+    });
+    // Fill the queue, then race shedding submitters and cancels against
+    // the drain.
+    let seqs: Vec<u64> = (0..4)
+        .map(|i| {
+            srv.submit(spec(&format!("q{i}"), &path, 2, DistConfig::baseline()))
+                .unwrap()
+        })
+        .collect();
+    let submitters: Vec<_> = (0..3)
+        .map(|t| {
+            let srv = srv.clone();
+            let path = path.clone();
+            std::thread::spawn(move || {
+                for i in 0..20 {
+                    let _ = srv.submit(spec(
+                        &format!("shed-{t}-{i}"),
+                        &path,
+                        2,
+                        DistConfig::baseline(),
+                    ));
+                }
+            })
+        })
+        .collect();
+    let canceller = {
+        let srv = srv.clone();
+        std::thread::spawn(move || {
+            for seq in seqs {
+                let _ = srv.cancel_job(seq);
+            }
+        })
+    };
+    srv.drain();
+    for h in submitters {
+        h.join().unwrap();
+    }
+    canceller.join().unwrap();
+
+    let gauge = srv.metrics_snapshot().gauges["serve.queue_depth"];
+    assert!(gauge.min >= 0.0, "queue depth went negative: {gauge:?}");
+    assert_eq!(gauge.last, 0.0, "drained server has an empty queue");
+    assert!(
+        gauge.max <= 4.0,
+        "gauge exceeded the queue bound: {gauge:?}"
+    );
+}
+
+/// Satellite for the metric-name registry: every name a *live* daemon
+/// snapshot carries — taken both mid-job and after a full bench-style
+/// job mix — must render through the Prometheus exposition path, which
+/// hard-errors on any name missing from `METRIC_REGISTRY`. A metric
+/// added to the serving layer without registering it fails here, not in
+/// production scrapes.
+#[test]
+fn live_daemon_snapshot_is_registry_clean() {
+    let dir = work_dir("registry-clean");
+    let (path, _) = graph_file(&dir, 400, 31);
+    let srv = server(&dir, 2);
+
+    let s1 = srv
+        .submit(spec("r1", &path, 2, DistConfig::baseline()))
+        .unwrap();
+    // Mid-job scrape: must render cleanly while work is in flight.
+    let mid = louvain_obs::prometheus_text(&srv.metrics_snapshot())
+        .expect("mid-job snapshot renders without unregistered names");
+    assert!(mid.contains("serve_queue_depth"), "{mid}");
+    done(&srv.wait(s1).unwrap());
+
+    // A cache hit and a second config broaden the exercised counters.
+    let s2 = srv
+        .submit(spec("r2", &path, 2, DistConfig::baseline()))
+        .unwrap();
+    let s3 = srv
+        .submit(spec(
+            "r3",
+            &path,
+            1,
+            DistConfig::with_variant(Variant::Et { alpha: 0.25 }),
+        ))
+        .unwrap();
+    done(&srv.wait(s2).unwrap());
+    done(&srv.wait(s3).unwrap());
+
+    let text = louvain_obs::prometheus_text(&srv.metrics_snapshot())
+        .expect("full live snapshot renders without unregistered names");
+    for series in [
+        "serve_jobs_accepted_total",
+        "serve_jobs_completed_total",
+        "serve_jobs_running",
+        "serve_cache_hits_total",
+        "serve_job_latency_ms_bucket",
+    ] {
+        assert!(text.contains(series), "missing {series} in:\n{text}");
+    }
+    // Round-trip: the renderer's output parses back.
+    let parsed = louvain_obs::parse_prometheus_text(&text).unwrap();
+    assert_eq!(parsed.get("serve_jobs_completed_total"), Some(&3.0));
+    srv.drain();
+}
+
+/// The `watch` acceptance bit: the progress rows a watcher receives are
+/// bit-for-bit the telemetry the finished job's artifact carries — same
+/// rows, same order, identical float bits — because both come from the
+/// same merged per-iteration records.
+#[test]
+fn watch_stream_matches_artifact_telemetry_bit_for_bit() {
+    let dir = work_dir("watch-parity");
+    let (path, _) = graph_file(&dir, 400, 37);
+    let srv = server(&dir, 1);
+    let seq = srv
+        .submit(spec("w", &path, 2, DistConfig::baseline()))
+        .unwrap();
+    // Subscribe immediately: replay covers anything already emitted,
+    // the channel covers the rest.
+    let (replay, rx) = srv.watch(seq).expect("job exists");
+    let status = done(&srv.wait(seq).unwrap()).clone();
+    let mut streamed = replay;
+    while let Ok(row) = rx.try_recv() {
+        streamed.push(row);
+    }
+    streamed.sort_by_key(|r| (r.phase, r.iteration));
+
+    let JobStatus::Done { result, .. } = status else {
+        unreachable!()
+    };
+    let telemetry: Vec<_> = result
+        .artifact
+        .runs
+        .iter()
+        .flat_map(|run| run.telemetry.iter().cloned())
+        .collect();
+    assert!(!telemetry.is_empty(), "served artifact carries telemetry");
+    assert_eq!(streamed.len(), telemetry.len());
+    for (s, t) in streamed.iter().zip(&telemetry) {
+        assert_eq!((s.phase, s.iteration), (t.phase, t.iteration));
+        assert_eq!(s.modularity.to_bits(), t.modularity.to_bits());
+        assert_eq!(s.delta_q.to_bits(), t.delta_q.to_bits());
+        assert_eq!(s.moves, t.moves);
+        assert_eq!(s.active, t.active);
+        assert_eq!(s.vertices, t.vertices);
+        assert_eq!(s.communities, t.communities);
+    }
+    srv.drain();
+}
+
+/// Flight-recorder consistency: a `dump` while the event log is enabled
+/// produces a parseable document whose `last_seq` equals the sequence
+/// number of the event-log tail — the exact invariant a post-crash
+/// investigation leans on.
+#[test]
+fn flight_dump_last_seq_matches_event_log_tail() {
+    let dir = work_dir("flight-parity");
+    let (path, _) = graph_file(&dir, 300, 41);
+    let log_path = dir.join("events.jsonl");
+    let srv = Server::start(ServeConfig {
+        workers: 1,
+        checkpoint_root: dir.join("ckpt"),
+        event_log: Some(log_path.clone()),
+        ..ServeConfig::default()
+    });
+    let seq = srv
+        .submit(spec("f", &path, 2, DistConfig::baseline()))
+        .unwrap();
+    done(&srv.wait(seq).unwrap());
+
+    let dump_path = srv.dump_flight("test").unwrap();
+    let (reason, last_seq, events) =
+        louvain_obs::parse_flight_dump(&std::fs::read_to_string(&dump_path).unwrap()).unwrap();
+    assert_eq!(reason, "test");
+    assert_eq!(events.last().unwrap().seq, last_seq);
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == louvain_obs::OpKind::JobDone),
+        "ring holds the job lifecycle"
+    );
+
+    let log_tail_seq = std::fs::read_to_string(&log_path)
+        .unwrap()
+        .lines()
+        .rfind(|l| !l.trim().is_empty())
+        .map(|l| {
+            louvain_obs::OpEvent::from_json(&louvain_obs::Json::parse(l).unwrap())
+                .unwrap()
+                .seq
+        })
+        .unwrap();
+    assert_eq!(
+        last_seq, log_tail_seq,
+        "flight dump and event log disagree about the newest event"
+    );
+    srv.drain();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
